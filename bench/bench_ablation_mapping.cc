@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ablation of the atom-engine mapping design choices DESIGN.md calls
+ * out (Sec. IV-C machinery): full placement optimization (permutation
+ * search + affinity refinement) versus plain zig-zag placement, and
+ * versus zig-zag without the stable intra-layer ordering that keeps
+ * recurring layers on recurring engine slots.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+ad::sim::ExecutionReport
+runWith(const ad::graph::Graph &graph,
+        const ad::sim::SystemConfig &system, int batch, bool optimize,
+        bool stable)
+{
+    ad::core::OrchestratorOptions options;
+    options.batch = batch;
+    options.scheduler.mode = ad::core::SchedMode::Greedy;
+    options.mapper.optimize = optimize;
+    options.mapper.stableOrder = stable;
+    return ad::core::Orchestrator(system, options).run(graph).report;
+}
+
+} // namespace
+
+int
+main()
+{
+    const int batch = 4;
+    const auto system = ad::bench::defaultSystem();
+    std::vector<std::string> names{"resnet50", "inception_v3"};
+    if (std::getenv("AD_BENCH_MODELS")) {
+        names.clear();
+        for (const auto &entry : ad::bench::selectedModels())
+            names.push_back(entry.name);
+    }
+
+    std::cout << "== Ablation: atom-engine mapping policies, batch="
+              << batch << " (greedy scheduler pinned) ==\n";
+    ad::TextTable table;
+    table.setHeader({"model", "metric", "optimized", "zig-zag",
+                     "zig-zag unstable"});
+    for (const auto &name : names) {
+        const auto graph = ad::models::buildByName(name);
+        const auto opt = runWith(graph, system, batch, true, true);
+        const auto zig = runWith(graph, system, batch, false, true);
+        const auto unstable =
+            runWith(graph, system, batch, false, false);
+
+        table.addRow({name, "cycles", std::to_string(opt.totalCycles),
+                      std::to_string(zig.totalCycles),
+                      std::to_string(unstable.totalCycles)});
+        table.addRow({"", "NoC traffic (MB)",
+                      ad::fmtDouble(opt.nocBytes / 1e6, 0),
+                      ad::fmtDouble(zig.nocBytes / 1e6, 0),
+                      ad::fmtDouble(unstable.nocBytes / 1e6, 0)});
+        table.addRow({"", "NoC energy (mJ)",
+                      ad::fmtDouble(opt.nocEnergyPj * 1e-9, 1),
+                      ad::fmtDouble(zig.nocEnergyPj * 1e-9, 1),
+                      ad::fmtDouble(unstable.nocEnergyPj * 1e-9, 1)});
+    }
+    std::cout << table.render()
+              << "expectation: placement optimization and stable slot "
+                 "assignment cut NoC traffic/energy\n";
+    return 0;
+}

@@ -1,0 +1,217 @@
+#include "bench_common.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ad::bench {
+
+std::vector<models::ModelEntry>
+selectedModels()
+{
+    const char *env = std::getenv("AD_BENCH_MODELS");
+    if (!env)
+        return models::tableOneModels();
+    std::vector<models::ModelEntry> picked;
+    std::stringstream ss(env);
+    std::string name;
+    while (std::getline(ss, name, ',')) {
+        for (const auto &entry : models::tableOneModels()) {
+            if (entry.name == name)
+                picked.push_back(entry);
+        }
+    }
+    if (picked.empty())
+        fatal("AD_BENCH_MODELS matched no zoo models: ", env);
+    return picked;
+}
+
+int
+benchBatch()
+{
+    const char *env = std::getenv("AD_BENCH_BATCH");
+    return env ? std::max(1, std::atoi(env)) : 20;
+}
+
+std::vector<engine::DataflowKind>
+benchDataflows()
+{
+    std::vector<engine::DataflowKind> kinds{
+        engine::DataflowKind::KcPartition};
+    const char *env = std::getenv("AD_BENCH_FULL");
+    if (env && std::string(env) == "1")
+        kinds.push_back(engine::DataflowKind::YxPartition);
+    return kinds;
+}
+
+sim::SystemConfig
+defaultSystem(engine::DataflowKind dataflow)
+{
+    sim::SystemConfig system;
+    system.dataflow = dataflow;
+    return system;
+}
+
+std::vector<StrategyResult>
+runAllStrategies(const graph::Graph &graph,
+                 const sim::SystemConfig &system, int batch)
+{
+    std::vector<StrategyResult> results;
+
+    baselines::LsOptions ls_options;
+    ls_options.batch = batch;
+    results.push_back(
+        {"LS",
+         baselines::LayerSequential(system, ls_options).run(graph)});
+
+    baselines::CnnPOptions cnnp_options;
+    cnnp_options.batch = batch;
+    results.push_back(
+        {"CNN-P",
+         baselines::CnnPartition(system, cnnp_options).run(graph)});
+
+    baselines::IlPipeOptions pipe_options;
+    pipe_options.batch = batch;
+    results.push_back(
+        {"IL-Pipe", baselines::IlPipe(system, pipe_options).run(graph)});
+
+    results.push_back({"AD", runAd(graph, system, batch)});
+    return results;
+}
+
+sim::ExecutionReport
+runAd(const graph::Graph &graph, const sim::SystemConfig &system,
+      int batch)
+{
+    core::OrchestratorOptions options;
+    options.batch = batch;
+    return core::Orchestrator(system, options).run(graph).report;
+}
+
+} // namespace ad::bench
+
+#include <fstream>
+
+namespace ad::bench {
+
+namespace {
+
+constexpr int kCacheVersion = 3;
+
+} // namespace
+
+ResultCache::ResultCache()
+{
+    const char *env = std::getenv("AD_BENCH_CACHE");
+    _path = env ? env : "ad_bench_cache.csv";
+    std::ifstream in(_path);
+    std::string line;
+    while (std::getline(in, line)) {
+        std::stringstream ss(line);
+        std::string key, field;
+        if (!std::getline(ss, key, ','))
+            continue;
+        sim::ExecutionReport r;
+        int version = 0;
+        auto next = [&]() -> double {
+            std::getline(ss, field, ',');
+            return std::atof(field.c_str());
+        };
+        version = static_cast<int>(next());
+        if (version != kCacheVersion)
+            continue;
+        r.totalCycles = static_cast<Cycles>(next());
+        r.rounds = static_cast<std::uint64_t>(next());
+        r.batch = static_cast<int>(next());
+        r.peUtilization = next();
+        r.computeUtilization = next();
+        r.nocOverhead = next();
+        r.memOverhead = next();
+        r.onChipReuseRatio = next();
+        r.hbmReadBytes = static_cast<Bytes>(next());
+        r.hbmWriteBytes = static_cast<Bytes>(next());
+        r.nocBytes = static_cast<Bytes>(next());
+        r.computeEnergyPj = next();
+        r.nocEnergyPj = next();
+        r.hbmEnergyPj = next();
+        r.staticEnergyPj = next();
+        _entries[key] = r;
+    }
+}
+
+bool
+ResultCache::get(const std::string &key, sim::ExecutionReport &out) const
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return false;
+    out = it->second;
+    return true;
+}
+
+void
+ResultCache::put(const std::string &key, const sim::ExecutionReport &r)
+{
+    _entries[key] = r;
+    std::ofstream out(_path, std::ios::app);
+    out << key << ',' << kCacheVersion << ',' << r.totalCycles << ','
+        << r.rounds << ',' << r.batch << ',' << r.peUtilization << ','
+        << r.computeUtilization << ',' << r.nocOverhead << ','
+        << r.memOverhead << ',' << r.onChipReuseRatio << ','
+        << r.hbmReadBytes << ',' << r.hbmWriteBytes << ',' << r.nocBytes
+        << ',' << r.computeEnergyPj << ',' << r.nocEnergyPj << ','
+        << r.hbmEnergyPj << ',' << r.staticEnergyPj << '\n';
+}
+
+std::string
+ResultCache::key(const std::string &model, const std::string &strategy,
+                 engine::DataflowKind dataflow, int batch)
+{
+    return model + "/" + strategy + "/" +
+           engine::dataflowName(dataflow) + "/b" + std::to_string(batch);
+}
+
+std::vector<StrategyResult>
+runAllStrategiesCached(const models::ModelEntry &entry,
+                       const sim::SystemConfig &system, int batch,
+                       ResultCache &cache)
+{
+    const std::vector<std::string> names{"LS", "CNN-P", "IL-Pipe", "AD"};
+    std::vector<StrategyResult> results;
+    graph::Graph graph("unbuilt");
+    bool built = false;
+
+    for (const std::string &name : names) {
+        const std::string key =
+            ResultCache::key(entry.name, name, system.dataflow, batch);
+        sim::ExecutionReport report;
+        if (!cache.get(key, report)) {
+            if (!built) {
+                graph = entry.build();
+                built = true;
+            }
+            if (name == "LS") {
+                baselines::LsOptions options;
+                options.batch = batch;
+                report =
+                    baselines::LayerSequential(system, options)
+                        .run(graph);
+            } else if (name == "CNN-P") {
+                baselines::CnnPOptions options;
+                options.batch = batch;
+                report = baselines::CnnPartition(system, options)
+                             .run(graph);
+            } else if (name == "IL-Pipe") {
+                baselines::IlPipeOptions options;
+                options.batch = batch;
+                report = baselines::IlPipe(system, options).run(graph);
+            } else {
+                report = runAd(graph, system, batch);
+            }
+            cache.put(key, report);
+        }
+        results.push_back({name, report});
+    }
+    return results;
+}
+
+} // namespace ad::bench

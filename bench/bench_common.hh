@@ -1,0 +1,94 @@
+#pragma once
+
+/**
+ * @file
+ * Shared plumbing for the reproduction benches: workload selection,
+ * system construction, strategy runners, and environment-variable
+ * scaling knobs.
+ *
+ * Environment variables:
+ *   AD_BENCH_MODELS  comma-separated zoo names (default: all eight)
+ *   AD_BENCH_BATCH   batch size for throughput benches (default: 20)
+ *   AD_BENCH_FULL    set to 1 to also run the YX-Partition dataflow
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/cnn_partition.hh"
+#include "baselines/il_pipe.hh"
+#include "baselines/layer_sequential.hh"
+#include "baselines/rammer.hh"
+#include "core/orchestrator.hh"
+#include "models/models.hh"
+#include "util/table.hh"
+
+namespace ad::bench {
+
+/** Zoo entries selected by AD_BENCH_MODELS (default: all). */
+std::vector<models::ModelEntry> selectedModels();
+
+/** Batch size from AD_BENCH_BATCH (default 20). */
+int benchBatch();
+
+/** Dataflows to evaluate (KC-P, plus YX-P when AD_BENCH_FULL=1). */
+std::vector<engine::DataflowKind> benchDataflows();
+
+/** The paper's default system (Sec. V-A) with @p dataflow. */
+sim::SystemConfig defaultSystem(
+    engine::DataflowKind dataflow = engine::DataflowKind::KcPartition);
+
+/** One strategy's result row. */
+struct StrategyResult
+{
+    std::string name;
+    sim::ExecutionReport report;
+};
+
+/** Run LS / CNN-P / IL-Pipe / AD on one workload. */
+std::vector<StrategyResult> runAllStrategies(
+    const graph::Graph &graph, const sim::SystemConfig &system,
+    int batch);
+
+/** Run atomic dataflow only. */
+sim::ExecutionReport runAd(const graph::Graph &graph,
+                           const sim::SystemConfig &system, int batch);
+
+} // namespace ad::bench
+
+namespace ad::bench {
+
+/**
+ * Disk-backed result cache shared by the throughput/energy/utilization
+ * benches (they evaluate the identical configurations). Keyed by
+ * (model, strategy, dataflow, batch); stored as CSV next to the
+ * binaries (override with AD_BENCH_CACHE).
+ */
+class ResultCache
+{
+  public:
+    ResultCache();
+
+    /** Fetch a cached report; false when absent. */
+    bool get(const std::string &key, sim::ExecutionReport &out) const;
+
+    /** Store and persist a report. */
+    void put(const std::string &key, const sim::ExecutionReport &report);
+
+    /** Cache key for one strategy run. */
+    static std::string key(const std::string &model,
+                           const std::string &strategy,
+                           engine::DataflowKind dataflow, int batch);
+
+  private:
+    std::string _path;
+    std::map<std::string, sim::ExecutionReport> _entries;
+};
+
+/** runAllStrategies with read-through caching. */
+std::vector<StrategyResult> runAllStrategiesCached(
+    const models::ModelEntry &entry, const sim::SystemConfig &system,
+    int batch, ResultCache &cache);
+
+} // namespace ad::bench

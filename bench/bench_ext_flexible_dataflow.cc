@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Extension experiment (the paper's Sec. VI discussion): atomic dataflow
+ * on reconfigurable engines that pick the cheaper of the KC-P and YX-P
+ * mappings per atom. The paper argues such arrays "can also benefit from
+ * atomic dataflow" by adapting the atom coefficients; this bench
+ * quantifies the gain over both fixed dataflows.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    const int batch = 4;
+    std::vector<std::string> names{"resnet50", "inception_v3",
+                                   "efficientnet"};
+    if (std::getenv("AD_BENCH_MODELS")) {
+        names.clear();
+        for (const auto &entry : ad::bench::selectedModels())
+            names.push_back(entry.name);
+    }
+
+    std::cout << "== Extension: AD on fixed vs per-atom reconfigurable "
+                 "dataflows, batch="
+              << batch << " ==\n";
+    ad::TextTable table;
+    table.setHeader({"model", "KC-P cycles", "YX-P cycles",
+                     "Flex cycles", "Flex vs best fixed"});
+    for (const auto &name : names) {
+        const auto graph = ad::models::buildByName(name);
+        std::vector<std::string> cells{name};
+        ad::Cycles best_fixed = 0;
+        ad::Cycles flex_cycles = 0;
+        for (auto kind : {ad::engine::DataflowKind::KcPartition,
+                          ad::engine::DataflowKind::YxPartition,
+                          ad::engine::DataflowKind::Flexible}) {
+            const auto report = ad::bench::runAd(
+                graph, ad::bench::defaultSystem(kind), batch);
+            cells.push_back(std::to_string(report.totalCycles));
+            if (kind == ad::engine::DataflowKind::Flexible) {
+                flex_cycles = report.totalCycles;
+            } else if (best_fixed == 0 ||
+                       report.totalCycles < best_fixed) {
+                best_fixed = report.totalCycles;
+            }
+        }
+        cells.push_back(ad::fmtSpeedup(
+            static_cast<double>(best_fixed) /
+            static_cast<double>(flex_cycles)));
+        table.addRow(cells);
+    }
+    std::cout << table.render()
+              << "expectation: Flex >= best fixed mapping (reconfig "
+                 "charge bounded by reconfigCycles per atom)\n";
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fig. 10 reproduction: per-stage performance improvements of the three
+ * atomic-dataflow techniques — SA-based atom generation (vs naive even
+ * partition), DP/priority-rule DAG scheduling (vs plain dependency
+ * order), and on-chip reuse via mapping + buffering (vs all-DRAM). Each
+ * stage's factor is AD-full divided by AD with that stage ablated.
+ * Paper: SA 1.06-1.21x, scheduling 1.17-1.42x, reuse 1.07-1.17x.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    ad::bench::ResultCache cache;
+    const int batch = ad::bench::benchBatch();
+    const auto system = ad::bench::defaultSystem();
+
+    std::cout << "== Fig. 10: per-stage improvement factors, batch="
+              << batch << " ==\n";
+    ad::TextTable table;
+    table.setHeader({"model", "SA atom-gen", "DAG scheduling",
+                     "on-chip reuse"});
+
+    for (const auto &entry : ad::bench::selectedModels()) {
+        const auto graph = entry.build();
+
+        // Full AD (cached when a throughput bench already ran it).
+        const std::string ad_key = ad::bench::ResultCache::key(
+            entry.name, "AD", system.dataflow, batch);
+        ad::sim::ExecutionReport full;
+        if (!cache.get(ad_key, full)) {
+            full = ad::bench::runAd(graph, system, batch);
+            cache.put(ad_key, full);
+        }
+
+        auto ablate = [&](const char *tag,
+                          auto mutate) -> ad::sim::ExecutionReport {
+            const std::string key = ad::bench::ResultCache::key(
+                entry.name, tag, system.dataflow, batch);
+            ad::sim::ExecutionReport report;
+            if (cache.get(key, report))
+                return report;
+            ad::core::OrchestratorOptions options;
+            options.batch = batch;
+            mutate(options);
+            report = ad::core::Orchestrator(system, options)
+                         .run(graph)
+                         .report;
+            cache.put(key, report);
+            return report;
+        };
+
+        const auto no_sa =
+            ablate("AD-noSA", [](ad::core::OrchestratorOptions &o) {
+                o.atomGen = ad::core::AtomGenMode::EvenPartition;
+            });
+        const auto no_sched =
+            ablate("AD-noSched", [](ad::core::OrchestratorOptions &o) {
+                o.scheduler.mode = ad::core::SchedMode::LayerOrder;
+            });
+        const auto no_reuse =
+            ablate("AD-noReuse", [](ad::core::OrchestratorOptions &o) {
+                o.onChipReuse = false;
+            });
+
+        auto factor = [&](const ad::sim::ExecutionReport &ablated) {
+            return ad::fmtSpeedup(
+                static_cast<double>(ablated.totalCycles) /
+                static_cast<double>(full.totalCycles));
+        };
+        table.addRow({entry.name, factor(no_sa), factor(no_sched),
+                      factor(no_reuse)});
+    }
+    std::cout << table.render()
+              << "paper: SA 1.06-1.21x, DP scheduling 1.17-1.42x, "
+                 "reuse 1.07-1.17x\n";
+    return 0;
+}

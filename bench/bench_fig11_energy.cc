@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 11 reproduction: inference energy with batch size 20. The paper
+ * finds IL-Pipe and AD the most energy-efficient, with AD slightly
+ * above IL-Pipe on the first three workloads and below it on the rest;
+ * CNN-P pays for its all-DRAM traffic.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    ad::bench::ResultCache cache;
+    const int batch = ad::bench::benchBatch();
+    const auto system = ad::bench::defaultSystem();
+    std::cout << "== Fig. 11: energy (mJ), batch=" << batch
+              << ", KC-P ==\n";
+    ad::TextTable table;
+    table.setHeader({"model", "LS", "CNN-P", "IL-Pipe", "AD",
+                     "AD breakdown (comp/noc/hbm/static)"});
+    for (const auto &entry : ad::bench::selectedModels()) {
+        const auto rows = ad::bench::runAllStrategiesCached(
+            entry, system, batch, cache);
+        std::vector<std::string> cells{entry.name};
+        for (const auto &row : rows)
+            cells.push_back(
+                ad::fmtDouble(row.report.totalEnergyMj(), 1));
+        const auto &adr = rows[3].report;
+        cells.push_back(ad::fmtDouble(adr.computeEnergyPj * 1e-9, 1) +
+                        "/" + ad::fmtDouble(adr.nocEnergyPj * 1e-9, 1) +
+                        "/" + ad::fmtDouble(adr.hbmEnergyPj * 1e-9, 1) +
+                        "/" +
+                        ad::fmtDouble(adr.staticEnergyPj * 1e-9, 1));
+        table.addRow(cells);
+    }
+    std::cout << table.render()
+              << "paper: IL-Pipe and AD most efficient; CNN-P pays "
+                 "all-DRAM traffic\n";
+    return 0;
+}

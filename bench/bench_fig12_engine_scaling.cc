@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Fig. 12 reproduction: execution time versus engine count at a fixed
+ * total PE budget (16384) and total on-chip buffer (8 MiB). The paper
+ * observes U-shaped curves with per-model sweet spots (e.g. 4x4 engines
+ * for VGG-19, ResNet-152, and NasNet).
+ *
+ * The sweep uses the greedy priority-rule scheduler (a single search
+ * candidate) to keep the 4-mesh x 2-batch sweep tractable; relative
+ * orderings are unaffected. Default models: the paper's named
+ * sweet-spot examples plus ResNet-50 (AD_BENCH_MODELS overrides).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace {
+
+ad::sim::SystemConfig
+partitioned(int mesh)
+{
+    ad::sim::SystemConfig system;
+    system.meshX = mesh;
+    system.meshY = mesh;
+    const int pes = 16384 / (mesh * mesh);
+    int rows = 1;
+    while (rows * rows < pes)
+        rows *= 2;
+    system.engine.peRows = rows;
+    system.engine.peCols = pes / rows;
+    system.engine.bufferBytes =
+        (8ull << 20) / static_cast<ad::Bytes>(mesh * mesh);
+    return system;
+}
+
+ad::sim::ExecutionReport
+runQuick(const ad::graph::Graph &graph,
+         const ad::sim::SystemConfig &system, int batch)
+{
+    ad::core::OrchestratorOptions options;
+    options.batch = batch;
+    options.scheduler.mode = ad::core::SchedMode::Greedy;
+    // Bound the atom count proportionally to the engine count so the
+    // 256-engine points stay tractable (relative orderings preserved).
+    options.maxAtoms = static_cast<std::size_t>(200) *
+                       static_cast<std::size_t>(system.engines());
+    return ad::core::Orchestrator(system, options).run(graph).report;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<std::string> names{"vgg19", "resnet50", "resnet152",
+                                   "nasnet"};
+    if (std::getenv("AD_BENCH_MODELS")) {
+        names.clear();
+        for (const auto &entry : ad::bench::selectedModels())
+            names.push_back(entry.name);
+    }
+
+    for (int batch : {2, 4}) {
+        std::cout << "== Fig. 12: engine scaling (16384 PEs, 8 MiB "
+                     "SRAM total), batch="
+                  << batch << " ==\n";
+        ad::TextTable table;
+        table.setHeader({"model", "2x2", "4x4", "8x8", "16x16",
+                         "sweet spot"});
+        for (const auto &name : names) {
+            const auto graph = ad::models::buildByName(name);
+            std::vector<std::string> cells{name};
+            ad::Cycles best = 0;
+            int best_mesh = 0;
+            for (int mesh : {2, 4, 8, 16}) {
+                const auto report =
+                    runQuick(graph, partitioned(mesh), batch);
+                cells.push_back(std::to_string(report.totalCycles));
+                if (best == 0 || report.totalCycles < best) {
+                    best = report.totalCycles;
+                    best_mesh = mesh;
+                }
+            }
+            cells.push_back(std::to_string(best_mesh) + "x" +
+                            std::to_string(best_mesh));
+            table.addRow(cells);
+        }
+        std::cout << table.render() << '\n';
+    }
+    std::cout << "paper: U-shaped curves; e.g. VGG-19/ResNet-152/"
+                 "NasNet bottom out at 4x4 engines\n";
+    return 0;
+}

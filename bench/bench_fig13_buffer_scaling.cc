@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Fig. 13 reproduction: execution time versus per-engine buffer size on
+ * the default 8x8 mesh. The paper observes gains that flatten beyond
+ * 128 KiB because the data transferring/reusing techniques keep small
+ * buffers efficient.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    std::vector<std::string> names{"vgg19", "resnet50", "inception_v3",
+                                   "efficientnet"};
+    if (std::getenv("AD_BENCH_MODELS")) {
+        names.clear();
+        for (const auto &entry : ad::bench::selectedModels())
+            names.push_back(entry.name);
+    }
+    const int batch = 4;
+
+    std::cout << "== Fig. 13: per-engine buffer scaling (8x8 engines), "
+                 "batch="
+              << batch << " ==\n";
+    ad::TextTable table;
+    table.setHeader({"model", "32KiB", "64KiB", "128KiB", "256KiB",
+                     "512KiB"});
+    for (const auto &name : names) {
+        const auto graph = ad::models::buildByName(name);
+        std::vector<std::string> cells{name};
+        for (ad::Bytes kib : {32, 64, 128, 256, 512}) {
+            auto system = ad::bench::defaultSystem();
+            system.engine.bufferBytes = kib * 1024;
+            ad::core::OrchestratorOptions options;
+            options.batch = batch;
+            options.scheduler.mode = ad::core::SchedMode::Greedy;
+            const auto report =
+                ad::core::Orchestrator(system, options)
+                    .run(graph)
+                    .report;
+            cells.push_back(std::to_string(report.totalCycles));
+        }
+        table.addRow(cells);
+    }
+    std::cout << table.render()
+              << "paper: performance benefits from larger buffers but "
+                 "flattens past 128 KiB\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 5(b) reproduction: convergence of the SA-based atomic tensor
+ * generation versus a genetic algorithm. The paper observes SA
+ * converging faster and stopping at lower variance, with GA showing
+ * abrupt rises and falls due to mutation.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/atom_generator.hh"
+
+int
+main()
+{
+    const auto system = ad::bench::defaultSystem();
+    const ad::engine::CostModel model(system.engine, system.dataflow);
+    const auto g = ad::models::resnet50();
+    const ad::core::ShapeCatalog catalog(g, model);
+
+    ad::core::SaOptions sa_options;
+    sa_options.maxIterations = 600;
+    sa_options.epsilon = 0.0;
+    const auto sa = ad::core::SaAtomGenerator(sa_options)
+                        .generate(catalog);
+
+    ad::core::GaOptions ga_options;
+    ga_options.generations = 600;
+    const auto ga = ad::core::GaAtomGenerator(ga_options)
+                        .generate(catalog);
+
+    std::cout << "== Fig. 5(b): SA vs GA convergence (resnet50, "
+                 "normalized Var of atom cycles) ==\n";
+    ad::TextTable table;
+    table.setHeader({"iteration", "SA", "GA"});
+    for (std::size_t i = 0; i < 600; i += 25) {
+        auto at = [i](const std::vector<double> &trace) {
+            if (trace.empty())
+                return std::string("-");
+            const std::size_t idx = std::min(i, trace.size() - 1);
+            return ad::fmtDouble(trace[idx], 5);
+        };
+        table.addRow({std::to_string(i), at(sa.varianceTrace),
+                      at(ga.varianceTrace)});
+    }
+    std::cout << table.render();
+    std::cout << "final: SA=" << ad::fmtDouble(sa.finalVariance, 5)
+              << " (iter " << sa.iterations << ")  GA="
+              << ad::fmtDouble(ga.finalVariance, 5) << " (gen "
+              << ga.iterations << ")\n";
+    std::cout << "paper: SA converges more quickly and stops at lower "
+                 "Var; GA oscillates due to mutation\n";
+    return 0;
+}

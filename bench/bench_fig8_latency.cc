@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Fig. 8 reproduction: DNN inference latency at BatchSize = 1 for LS,
+ * IL-Pipe, and AD (CNN-P cannot pipeline at batch 1; its mapping equals
+ * LS and the paper omits it). The paper reports AD speedups of
+ * 1.45-2.30x over LS/CNN-P and 1.42-3.78x over IL-Pipe on KC-P, with a
+ * similar situation on YX-P.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    ad::bench::ResultCache cache;
+    for (const auto dataflow : ad::bench::benchDataflows()) {
+        const auto system = ad::bench::defaultSystem(dataflow);
+        std::cout << "== Fig. 8: inference latency, batch=1, "
+                  << ad::engine::dataflowName(dataflow) << " ==\n";
+        ad::TextTable table;
+        table.setHeader({"model", "LS(ms)", "IL-Pipe(ms)", "AD(ms)",
+                         "AD vs LS", "AD vs IL-Pipe"});
+        for (const auto &entry : ad::bench::selectedModels()) {
+            const auto rows = ad::bench::runAllStrategiesCached(
+                entry, system, 1, cache);
+            const double freq = system.engine.freqGhz;
+            const double ls = rows[0].report.latencyMs(freq);
+            const double pipe = rows[2].report.latencyMs(freq);
+            const double atomic = rows[3].report.latencyMs(freq);
+            table.addRow({entry.name, ad::fmtDouble(ls, 3),
+                          ad::fmtDouble(pipe, 3),
+                          ad::fmtDouble(atomic, 3),
+                          ad::fmtSpeedup(ls / atomic),
+                          ad::fmtSpeedup(pipe / atomic)});
+        }
+        std::cout << table.render()
+                  << "paper bands (KC-P): AD/LS+CNN-P 1.45-2.30x, "
+                     "AD/IL-Pipe 1.42-3.78x\n\n";
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Fig. 9 reproduction: DNN inference throughput with batch size 20 for
+ * LS, CNN-P, IL-Pipe, and AD. The paper reports AD over CNN-P at
+ * 1.12-1.38x (KC-P) and 1.08-1.42x (YX-P), CNN-P beating LS in all
+ * cases, and IL-Pipe trailing due to pipeline delay.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    ad::bench::ResultCache cache;
+    const int batch = ad::bench::benchBatch();
+    for (const auto dataflow : ad::bench::benchDataflows()) {
+        const auto system = ad::bench::defaultSystem(dataflow);
+        std::cout << "== Fig. 9: throughput (fps), batch=" << batch
+                  << ", " << ad::engine::dataflowName(dataflow)
+                  << " ==\n";
+        ad::TextTable table;
+        table.setHeader({"model", "LS", "CNN-P", "IL-Pipe", "AD",
+                         "AD vs CNN-P"});
+        for (const auto &entry : ad::bench::selectedModels()) {
+            const auto rows = ad::bench::runAllStrategiesCached(
+                entry, system, batch, cache);
+            const double freq = system.engine.freqGhz;
+            std::vector<std::string> cells{entry.name};
+            for (const auto &row : rows)
+                cells.push_back(ad::fmtDouble(
+                    row.report.throughputFps(freq), 1));
+            cells.push_back(ad::fmtSpeedup(
+                rows[3].report.throughputFps(freq) /
+                rows[1].report.throughputFps(freq)));
+            table.addRow(cells);
+        }
+        std::cout << table.render()
+                  << "paper bands: AD/CNN-P 1.12-1.38x (KC-P), "
+                     "1.08-1.42x (YX-P); CNN-P > LS everywhere\n\n";
+    }
+    return 0;
+}

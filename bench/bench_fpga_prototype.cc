@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sec. V-D reproduction: the 2x2-engine prototype (32x32 INT8 MACs per
+ * engine, 600 MHz) running VGG and ResNet-50 under LS, a Rammer-like
+ * rTask scheduler, and AD. The paper measures 49.2/57.9/64.3 fps (VGG)
+ * and 156.2/194.4/223.9 fps (ResNet-50) on the Synopsys HAPS system and
+ * notes the AD improvement matches the simulation methodology.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    system.engine.peRows = 32;
+    system.engine.peCols = 32;
+    system.engine.freqGhz = 0.6;
+    const int batch = 8;
+    const double freq = system.engine.freqGhz;
+
+    std::cout << "== Sec. V-D: 2x2-engine prototype (32x32 MACs, "
+                 "600 MHz), fps at batch="
+              << batch << " ==\n";
+    ad::TextTable table;
+    table.setHeader({"model", "LS", "Rammer", "AD", "AD vs LS",
+                     "AD vs Rammer", "paper (LS/Rammer/AD)"});
+    const std::vector<std::pair<std::string, std::string>> paper = {
+        {"vgg19", "49.2 / 57.9 / 64.3"},
+        {"resnet50", "156.2 / 194.4 / 223.9"},
+    };
+    for (const auto &[name, reported] : paper) {
+        const auto graph = ad::models::buildByName(name);
+
+        ad::baselines::LsOptions ls_options;
+        ls_options.batch = batch;
+        // The prototype's LS splits every layer across all four engines
+        // (no multi-sample mapping on the HAPS system).
+        ls_options.samplesInFlight = 1;
+        const auto ls =
+            ad::baselines::LayerSequential(system, ls_options)
+                .run(graph);
+        const auto rammer =
+            ad::baselines::RammerScheduler(system, batch).run(graph);
+        const auto atomic = ad::bench::runAd(graph, system, batch);
+
+        table.addRow(
+            {name, ad::fmtDouble(ls.throughputFps(freq), 1),
+             ad::fmtDouble(rammer.throughputFps(freq), 1),
+             ad::fmtDouble(atomic.throughputFps(freq), 1),
+             ad::fmtSpeedup(atomic.throughputFps(freq) /
+                            ls.throughputFps(freq)),
+             ad::fmtSpeedup(atomic.throughputFps(freq) /
+                            rammer.throughputFps(freq)),
+             reported});
+    }
+    std::cout << table.render()
+              << "paper ratios: AD/LS 1.31x (VGG) and 1.43x "
+                 "(ResNet-50); AD/Rammer 1.11x and 1.15x\n";
+    return 0;
+}

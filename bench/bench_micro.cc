@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the substrate hot paths: the
+ * analytical engine cost model, NoC batch evaluation, HBM accesses,
+ * atomic DAG construction, and scheduling throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/partition.hh"
+#include "core/scheduler.hh"
+#include "core/shape_catalog.hh"
+#include "mem/hbm_model.hh"
+#include "models/models.hh"
+#include "noc/noc_model.hh"
+
+namespace {
+
+void
+BM_CostModelEvaluate(benchmark::State &state)
+{
+    const ad::engine::EngineConfig cfg;
+    const ad::engine::CostModel model(
+        cfg, ad::engine::DataflowKind::KcPartition);
+    ad::engine::AtomWorkload atom;
+    atom.type = ad::graph::OpType::Conv;
+    atom.h = 14;
+    atom.w = 14;
+    atom.ci = 256;
+    atom.co = 64;
+    atom.window = {3, 3, 1, 1, 1, 1};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.evaluate(atom));
+}
+BENCHMARK(BM_CostModelEvaluate);
+
+void
+BM_NocBatch(benchmark::State &state)
+{
+    const ad::noc::MeshTopology topo(8, 8);
+    const ad::noc::NocModel model(topo);
+    std::vector<ad::noc::Transfer> transfers;
+    for (int i = 0; i < state.range(0); ++i)
+        transfers.push_back({i % 64, (i * 7 + 3) % 64,
+                             static_cast<ad::Bytes>(4096 + i)});
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.batch(transfers));
+}
+BENCHMARK(BM_NocBatch)->Arg(8)->Arg(64);
+
+void
+BM_HbmAccess(benchmark::State &state)
+{
+    ad::mem::HbmModel hbm;
+    ad::Cycles now = 0;
+    ad::mem::Address addr = 0;
+    for (auto _ : state) {
+        now = hbm.access(addr, 4096, false, now);
+        addr += 1 << 16;
+    }
+}
+BENCHMARK(BM_HbmAccess);
+
+void
+BM_ShapeCatalogBuild(benchmark::State &state)
+{
+    const auto g = ad::models::resnet50();
+    const ad::engine::CostModel model(
+        ad::engine::EngineConfig{},
+        ad::engine::DataflowKind::KcPartition);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ad::core::ShapeCatalog(g, model));
+}
+BENCHMARK(BM_ShapeCatalogBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_AtomicDagBuild(benchmark::State &state)
+{
+    const auto g = ad::models::resnet50();
+    const auto shapes = ad::core::evenPartitionShapes(g, 64);
+    ad::core::AtomicDagOptions options;
+    options.batch = static_cast<int>(state.range(0));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ad::core::AtomicDag(g, shapes, options));
+}
+BENCHMARK(BM_AtomicDagBuild)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GreedySchedule(benchmark::State &state)
+{
+    const auto g = ad::models::resnet50();
+    const auto shapes = ad::core::evenPartitionShapes(g, 64);
+    const ad::core::AtomicDag dag(g, shapes);
+    const ad::engine::CostModel model(
+        ad::engine::EngineConfig{},
+        ad::engine::DataflowKind::KcPartition);
+    ad::core::SchedulerOptions options;
+    options.engines = 64;
+    options.mode = ad::core::SchedMode::Greedy;
+    const ad::core::DpScheduler scheduler(dag, model, options);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(scheduler.schedule());
+}
+BENCHMARK(BM_GreedySchedule)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table I reproduction: DNN workload characterization — layer counts,
+ * parameter counts, MACs, and structural characteristics of the eight
+ * evaluation networks. (Our vertex counts are lower than the ONNX node
+ * counts in the paper because activation/BN are folded; see DESIGN.md.)
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+int
+main()
+{
+    std::cout << "== Table I: DNN workload characterization ==\n";
+    ad::TextTable table;
+    table.setHeader({"DNN Model", "#Layers", "#MAC layers", "#Params",
+                     "GMACs", "Characteristics"});
+    for (const auto &entry : ad::models::tableOneModels()) {
+        const auto g = entry.build();
+        table.addRow({g.name(), std::to_string(g.layerCount()),
+                      std::to_string(g.macLayerCount()),
+                      ad::fmtDouble(g.totalParams() / 1e6, 1) + "M",
+                      ad::fmtDouble(g.totalMacs() / 1e9, 2),
+                      entry.description});
+    }
+    std::cout << table.render();
+    return 0;
+}

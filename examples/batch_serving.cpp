@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Batched-serving scenario: pick the best batch size for a
+ * latency-bounded inference service. Sweeps the batch and reports the
+ * latency/throughput frontier under atomic dataflow, flagging the
+ * largest batch that still meets the deadline.
+ */
+
+#include <iostream>
+
+#include "core/orchestrator.hh"
+#include "models/models.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "efficientnet";
+    const double deadline_ms = argc > 2 ? std::atof(argv[2]) : 40.0;
+
+    const auto graph = ad::models::buildByName(model);
+    ad::sim::SystemConfig system; // the paper's 8x8-engine default
+    std::cout << "serving " << graph.name() << " under a "
+              << deadline_ms << " ms deadline\n\n";
+
+    ad::TextTable table;
+    table.setHeader({"batch", "latency(ms)", "fps", "PE util",
+                     "energy/inference(mJ)", "meets deadline"});
+
+    int best_batch = 0;
+    double best_fps = 0;
+    for (int batch : {1, 2, 4, 8, 16}) {
+        ad::core::OrchestratorOptions options;
+        options.batch = batch;
+        options.sa.maxIterations = 300;
+        const auto result =
+            ad::core::Orchestrator(system, options).run(graph);
+        const auto &r = result.report;
+        const double lat = r.latencyMs(system.engine.freqGhz);
+        const double fps = r.throughputFps(system.engine.freqGhz);
+        const bool ok = lat <= deadline_ms;
+        if (ok && fps > best_fps) {
+            best_fps = fps;
+            best_batch = batch;
+        }
+        table.addRow({std::to_string(batch), ad::fmtDouble(lat, 2),
+                      ad::fmtDouble(fps, 1),
+                      ad::fmtPercent(r.peUtilization),
+                      ad::fmtDouble(r.totalEnergyMj() / batch, 2),
+                      ok ? "yes" : "no"});
+    }
+    std::cout << table.render() << '\n';
+    if (best_batch > 0) {
+        std::cout << "recommended batch: " << best_batch << " ("
+                  << ad::fmtDouble(best_fps, 1) << " fps)\n";
+    } else {
+        std::cout << "no batch meets the deadline; "
+                     "consider a larger accelerator\n";
+    }
+    return 0;
+}

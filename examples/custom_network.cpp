@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Building a custom network with the graph IR and comparing scheduling
+ * strategies on it — the workflow a user follows for a model that is
+ * not in the zoo.
+ *
+ * The example constructs a small two-branch detection-style backbone
+ * (stem, residual stage, dual-rate branches, fused head), then runs
+ * Layer-Sequential, the Rammer-like scheduler, and atomic dataflow on
+ * the same 4x4-engine accelerator.
+ */
+
+#include <iostream>
+
+#include "baselines/layer_sequential.hh"
+#include "baselines/rammer.hh"
+#include "core/orchestrator.hh"
+#include "util/table.hh"
+
+namespace {
+
+/** A residual block with two 3x3 convolutions. */
+ad::graph::LayerId
+residualBlock(ad::graph::Graph &g, ad::graph::LayerId x, int channels,
+              const std::string &name)
+{
+    auto y = g.conv(x, channels, 3, 1, 1, name + "_a");
+    y = g.conv(y, channels, 3, 1, 1, name + "_b");
+    return g.add({y, x}, name + "_add");
+}
+
+ad::graph::Graph
+buildDetector()
+{
+    ad::graph::Graph g("tiny_detector");
+    auto x = g.input({96, 96, 3});
+    x = g.conv(x, 32, 3, 2, 1, "stem");         // 48x48
+    x = residualBlock(g, x, 32, "stage1");
+    x = g.conv(x, 64, 3, 2, 1, "down1");        // 24x24
+    x = residualBlock(g, x, 64, "stage2");
+
+    // Two detection branches at different rates.
+    auto fine = g.conv(x, 64, 3, 1, 1, "fine");
+    auto coarse = g.conv(x, 64, 3, 2, 1, "coarse");       // 12x12
+    coarse = g.conv(coarse, 64, 3, 1, 1, "coarse2");
+    auto up = g.conv(fine, 64, 3, 2, 1, "fine_down");     // align 12x12
+
+    auto fused = g.add({up, coarse}, "fuse");
+    fused = g.conv(fused, 128, 1, 1, 0, "head");
+    g.globalPool(fused, "gpool");
+    g.validate();
+    return g;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ad::graph::Graph graph = buildDetector();
+    std::cout << "custom workload: " << graph.name() << " ("
+              << graph.layerCount() << " layers, "
+              << ad::fmtDouble(graph.totalMacs() / 1e6, 1)
+              << " MMACs)\n\n";
+
+    ad::sim::SystemConfig system;
+    system.meshX = 4;
+    system.meshY = 4;
+    const int batch = 4;
+
+    ad::TextTable table;
+    table.setHeader({"strategy", "cycles", "latency(ms)", "fps",
+                     "PE util", "reuse", "energy(mJ)"});
+    auto row = [&](const char *name, const ad::sim::ExecutionReport &r) {
+        table.addRow({name, std::to_string(r.totalCycles),
+                      ad::fmtDouble(r.latencyMs(0.5), 3),
+                      ad::fmtDouble(r.throughputFps(0.5), 1),
+                      ad::fmtPercent(r.peUtilization),
+                      ad::fmtPercent(r.onChipReuseRatio),
+                      ad::fmtDouble(r.totalEnergyMj(), 3)});
+    };
+
+    ad::baselines::LsOptions ls_options;
+    ls_options.batch = batch;
+    row("LS", ad::baselines::LayerSequential(system, ls_options)
+                  .run(graph));
+    row("Rammer-like",
+        ad::baselines::RammerScheduler(system, batch).run(graph));
+
+    ad::core::OrchestratorOptions options;
+    options.batch = batch;
+    const auto ad_result =
+        ad::core::Orchestrator(system, options).run(graph);
+    row("AtomicDataflow", ad_result.report);
+
+    std::cout << table.render() << '\n';
+    std::cout << "atomic dataflow used " << ad_result.report.rounds
+              << " rounds for " << ad_result.dag->size() << " atoms\n";
+    return 0;
+}

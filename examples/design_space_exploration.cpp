@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Architectural design-space exploration with the framework (the
+ * paper's Sec. V-C workflow): sweep the engine count at a fixed total
+ * PE and SRAM budget, and sweep the per-engine buffer size, reporting
+ * where each workload's sweet spot falls.
+ */
+
+#include <iostream>
+
+#include "core/orchestrator.hh"
+#include "models/models.hh"
+#include "util/table.hh"
+
+namespace {
+
+/** Partition a fixed 4096-PE / 2 MiB-SRAM budget into n x n engines. */
+ad::sim::SystemConfig
+partitioned(int mesh, int total_pes = 4096,
+            ad::Bytes total_buffer = 2 * 1024 * 1024)
+{
+    ad::sim::SystemConfig system;
+    system.meshX = mesh;
+    system.meshY = mesh;
+    const int pes_per_engine = total_pes / (mesh * mesh);
+    int side = 1;
+    while (side * side < pes_per_engine)
+        side *= 2;
+    system.engine.peRows = side;
+    system.engine.peCols = pes_per_engine / side;
+    system.engine.bufferBytes =
+        total_buffer / static_cast<ad::Bytes>(mesh * mesh);
+    return system;
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto graph = ad::models::tinyBranchy();
+    const int batch = 8;
+
+    std::cout << "== engine-count sweep (fixed 4096 PEs, 2 MiB SRAM) ==\n";
+    ad::TextTable sweep;
+    sweep.setHeader({"engines", "PEs/engine", "buffer/engine", "cycles",
+                     "PE util"});
+    for (int mesh : {1, 2, 4, 8}) {
+        const auto system = partitioned(mesh);
+        ad::core::OrchestratorOptions options;
+        options.batch = batch;
+        options.sa.maxIterations = 200;
+        const auto result =
+            ad::core::Orchestrator(system, options).run(graph);
+        sweep.addRow({std::to_string(mesh) + "x" + std::to_string(mesh),
+                      std::to_string(system.engine.pes()),
+                      std::to_string(system.engine.bufferBytes / 1024) +
+                          " KiB",
+                      std::to_string(result.report.totalCycles),
+                      ad::fmtPercent(result.report.peUtilization)});
+    }
+    std::cout << sweep.render() << '\n';
+
+    std::cout << "== per-engine buffer sweep (4x4 engines) ==\n";
+    ad::TextTable buffers;
+    buffers.setHeader({"buffer", "cycles", "reuse", "HBM reads"});
+    for (ad::Bytes kib : {32, 64, 128, 256}) {
+        auto system = partitioned(4);
+        system.engine.bufferBytes = kib * 1024;
+        ad::core::OrchestratorOptions options;
+        options.batch = batch;
+        options.sa.maxIterations = 200;
+        const auto result =
+            ad::core::Orchestrator(system, options).run(graph);
+        buffers.addRow(
+            {std::to_string(kib) + " KiB",
+             std::to_string(result.report.totalCycles),
+             ad::fmtPercent(result.report.onChipReuseRatio),
+             ad::fmtDouble(result.report.hbmReadBytes / 1e6, 2) + " MB"});
+    }
+    std::cout << buffers.render();
+    return 0;
+}

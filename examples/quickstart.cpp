@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Quickstart: optimize one DNN workload for the paper's default
+ * scalable accelerator (8x8 engines of 16x16 PEs) and print the
+ * resulting execution report.
+ *
+ * Usage: quickstart [model] [batch]
+ *   model  one of: vgg19 resnet50 resnet152 resnet1001 inception_v3
+ *          nasnet pnasnet efficientnet        (default: resnet50)
+ *   batch  input samples gathered into one atomic DAG (default: 1)
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/orchestrator.hh"
+#include "models/models.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    const std::string model = argc > 1 ? argv[1] : "resnet50";
+    const int batch = argc > 2 ? std::atoi(argv[2]) : 1;
+
+    // 1. Build the workload (this substitutes an ONNX import).
+    const ad::graph::Graph graph = ad::models::buildByName(model);
+    std::cout << "workload: " << graph.name() << " ("
+              << graph.layerCount() << " layers, "
+              << ad::fmtDouble(graph.totalMacs() / 1e9, 2) << " GMACs, "
+              << ad::fmtDouble(graph.totalParams() / 1e6, 1)
+              << "M params)\n";
+
+    // 2. Describe the accelerator (defaults follow the paper's Sec. V-A).
+    ad::sim::SystemConfig system;
+    std::cout << "system: " << system.meshX << "x" << system.meshY
+              << " engines, " << system.engine.peRows << "x"
+              << system.engine.peCols << " PEs each, "
+              << system.engine.bufferBytes / 1024 << " KiB buffers, "
+              << ad::engine::dataflowName(system.dataflow) << "\n";
+
+    // 3. Run the atomic-dataflow optimization framework.
+    ad::core::OrchestratorOptions options;
+    options.batch = batch;
+    const ad::core::Orchestrator orchestrator(system, options);
+    const auto result = orchestrator.run(graph);
+
+    // 4. Inspect the solution.
+    const auto &report = result.report;
+    ad::TextTable table;
+    table.setHeader({"metric", "value"});
+    table.addRow({"atoms", std::to_string(result.dag->size())});
+    table.addRow({"rounds", std::to_string(report.rounds)});
+    table.addRow({"cycles", std::to_string(report.totalCycles)});
+    table.addRow({"latency",
+                  ad::fmtDouble(report.latencyMs(system.engine.freqGhz), 3) +
+                      " ms"});
+    table.addRow({"throughput",
+                  ad::fmtDouble(report.throughputFps(system.engine.freqGhz),
+                                1) +
+                      " fps"});
+    table.addRow({"PE utilization", ad::fmtPercent(report.peUtilization)});
+    table.addRow({"compute utilization (w/o mem delay)",
+                  ad::fmtPercent(report.computeUtilization)});
+    table.addRow({"NoC overhead", ad::fmtPercent(report.nocOverhead)});
+    table.addRow({"on-chip reuse", ad::fmtPercent(report.onChipReuseRatio)});
+    table.addRow({"energy", ad::fmtDouble(report.totalEnergyMj(), 2) + " mJ"});
+    table.addRow({"search time",
+                  ad::fmtDouble(result.searchSeconds, 1) + " s"});
+    std::cout << table.render();
+    return 0;
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerate every table and figure of the paper's evaluation section.
+#
+# Usage: scripts/run_all_experiments.sh [build-dir] [output-dir]
+#
+# Environment knobs (see bench/bench_common.hh):
+#   AD_BENCH_MODELS=resnet50,vgg19   restrict the workload set
+#   AD_BENCH_BATCH=8                 change the throughput batch size
+#   AD_BENCH_FULL=1                  also run the YX-Partition dataflow
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-experiment_results}"
+mkdir -p "$OUT_DIR"
+
+BENCHES=(
+    bench_table1_workloads
+    bench_fig2_ls_utilization
+    bench_fig5a_atom_histogram
+    bench_fig5b_sa_vs_ga
+    bench_fig8_latency
+    bench_fig9_throughput
+    bench_fig10_ablation
+    bench_fig11_energy
+    bench_fig12_engine_scaling
+    bench_fig13_buffer_scaling
+    bench_table2_utilization
+    bench_fpga_prototype
+    bench_ext_flexible_dataflow
+    bench_ablation_mapping
+)
+
+for bench in "${BENCHES[@]}"; do
+    echo "== $bench =="
+    "$BUILD_DIR/bench/$bench" | tee "$OUT_DIR/$bench.txt"
+    echo
+done
+
+echo "results written to $OUT_DIR/"

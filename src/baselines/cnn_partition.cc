@@ -1,0 +1,225 @@
+#include "cnn_partition.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/partition.hh"
+
+namespace ad::baselines {
+
+namespace {
+
+/** Per-layer analytic quantities shared by the clustering sweep. */
+struct LayerCost
+{
+    graph::LayerId id;
+    MacCount macs = 0;
+    Bytes dramBytes = 0;       ///< ifmap + weights + ofmap, all off-chip
+    PicoJoules tileEnergy = 0; ///< compute+SRAM energy of the whole layer
+};
+
+/** Execution cycles of @p layer evenly partitioned over @p engines. */
+Cycles
+layerCycles(const graph::Layer &layer, int engines,
+            const engine::CostModel &model, PicoJoules *energy_out)
+{
+    // Split into `engines` tiles along the largest dims (same policy as
+    // core::evenPartitionShapes, local to one layer).
+    int nh = 1, nw = 1, nc = 1;
+    while (nh * nw * nc < engines) {
+        const int room_h = layer.out.h / (nh + 1);
+        const int room_w = layer.out.w / (nw + 1);
+        const int room_c = layer.out.c / (nc + 1);
+        if (room_h >= room_w && room_h >= room_c && room_h >= 1) {
+            ++nh;
+        } else if (room_w >= room_c && room_w >= 1) {
+            ++nw;
+        } else if (room_c >= 1) {
+            ++nc;
+        } else {
+            break;
+        }
+    }
+    engine::AtomWorkload tile;
+    tile.type = layer.type;
+    tile.h = ceilDiv(layer.out.h, nh);
+    tile.w = ceilDiv(layer.out.w, nw);
+    tile.co = ceilDiv(layer.out.c, nc);
+    tile.ci = layer.in.c;
+    if (layer.type == graph::OpType::DepthwiseConv ||
+        layer.type == graph::OpType::Pool ||
+        layer.type == graph::OpType::Eltwise) {
+        tile.ci = tile.co;
+    }
+    tile.window = layer.window;
+
+    const auto result = model.evaluate(tile);
+    const int tiles = nh * nw * nc;
+    if (energy_out)
+        *energy_out = result.energyPj * tiles;
+    return result.cycles * ceilDiv(tiles, engines);
+}
+
+/** Off-chip traffic of one layer under CNN-P (everything via DRAM). */
+Bytes
+layerDramBytes(const graph::Layer &layer, int bytes_per_elem)
+{
+    const Bytes in_bytes =
+        layer.in.bytes(bytes_per_elem) *
+        (layer.type == graph::OpType::Eltwise
+             ? static_cast<Bytes>(layer.inputs.size())
+             : 1);
+    return in_bytes + layer.weightBytes(bytes_per_elem) +
+           layer.out.bytes(bytes_per_elem);
+}
+
+} // namespace
+
+CnnPartition::CnnPartition(const sim::SystemConfig &system,
+                           CnnPOptions options)
+    : _system(system), _options(options)
+{
+    _system.validate();
+    if (_options.batch < 1)
+        fatal("CNN-P batch must be at least 1");
+    if (_options.maxClps < 1)
+        fatal("CNN-P needs at least one CLP");
+}
+
+sim::ExecutionReport
+CnnPartition::run(const graph::Graph &graph) const
+{
+    const engine::CostModel model(_system.engine, _system.dataflow);
+    const int engines = _system.engines();
+    const int B = _options.batch;
+    const double bw_bytes_per_cycle =
+        _system.hbm.peakBandwidthGBps / _system.engine.freqGhz;
+
+    // Layer costs, topological order (insertion order is topological).
+    std::vector<LayerCost> costs;
+    MacCount total_macs = 0;
+    Bytes dram_total = 0;
+    Bytes dram_writes = 0;
+    for (const graph::Layer &layer : graph.layers()) {
+        if (layer.type == graph::OpType::Input ||
+            layer.type == graph::OpType::Concat) {
+            continue;
+        }
+        LayerCost c;
+        c.id = layer.id;
+        c.macs = layer.macs();
+        c.dramBytes =
+            layerDramBytes(layer, _system.engine.bytesPerElem);
+        total_macs += c.macs;
+        dram_total += c.dramBytes;
+        dram_writes += layer.out.bytes(_system.engine.bytesPerElem);
+        costs.push_back(c);
+    }
+
+    // Sweep CLP counts; keep the fastest configuration.
+    Cycles best_total = 0;
+    Cycles best_compute_total = 0;
+    PicoJoules best_energy = 0;
+    int best_k = 1;
+    bool first = true;
+
+    for (int k = 1; k <= _options.maxClps && k <= engines; ++k) {
+        const int clp_engines = engines / k;
+        if (clp_engines == 0)
+            break;
+
+        // Contiguous chunks with balanced compute (greedy prefix cut).
+        std::vector<Cycles> clp_compute(static_cast<std::size_t>(k), 0);
+        std::vector<Cycles> clp_mem(static_cast<std::size_t>(k), 0);
+        PicoJoules energy = 0;
+        // First pass: per-layer cycles on a CLP.
+        std::vector<Cycles> cyc(costs.size());
+        Cycles grand_total = 0;
+        for (std::size_t i = 0; i < costs.size(); ++i) {
+            PicoJoules tile_energy = 0;
+            cyc[i] = layerCycles(graph.layer(costs[i].id), clp_engines,
+                                 model, &tile_energy);
+            energy += tile_energy;
+            grand_total += cyc[i];
+        }
+        const Cycles target = grand_total / static_cast<Cycles>(k) + 1;
+        int clp = 0;
+        Cycles acc = 0;
+        for (std::size_t i = 0; i < costs.size(); ++i) {
+            if (acc >= target && clp + 1 < k) {
+                ++clp;
+                acc = 0;
+            }
+            acc += cyc[i];
+            clp_compute[static_cast<std::size_t>(clp)] += cyc[i];
+            // Off-chip bandwidth is shared among the K parallel CLPs.
+            clp_mem[static_cast<std::size_t>(clp)] += static_cast<Cycles>(
+                static_cast<double>(costs[i].dramBytes) /
+                (bw_bytes_per_cycle / k));
+        }
+
+        Cycles t_seg = 0;
+        Cycles t_seg_compute = 0;
+        for (int c = 0; c < k; ++c) {
+            // Double buffering overlaps DRAM time with compute, but not
+            // completely (Sec. V-B).
+            const Cycles comp = clp_compute[static_cast<std::size_t>(c)];
+            const Cycles mem = clp_mem[static_cast<std::size_t>(c)];
+            const Cycles hidden = static_cast<Cycles>(
+                _options.overlapEfficiency *
+                static_cast<double>(std::min(comp, mem)));
+            const Cycles t_c = comp + mem - hidden;
+            t_seg = std::max(t_seg, t_c);
+            t_seg_compute = std::max(t_seg_compute, comp);
+        }
+
+        // Layer-granularity image pipelining: fill (K-1) + B beats.
+        const auto beats = static_cast<Cycles>(B + k - 1);
+        const Cycles total = beats * t_seg;
+        const Cycles compute_total = beats * t_seg_compute;
+
+        if (first || total < best_total) {
+            first = false;
+            best_total = total;
+            best_compute_total = compute_total;
+            best_energy = energy * B;
+            best_k = k;
+        }
+    }
+    _selectedClps = best_k;
+
+    sim::ExecutionReport report;
+    report.batch = B;
+    report.rounds = costs.size() * static_cast<std::size_t>(B);
+    report.totalCycles = best_total;
+    const double total_pes = _system.totalPes();
+    const auto batch_macs =
+        static_cast<double>(total_macs) * static_cast<double>(B);
+    if (best_total > 0)
+        report.peUtilization =
+            batch_macs / (static_cast<double>(best_total) * total_pes);
+    if (best_compute_total > 0)
+        report.computeUtilization =
+            batch_macs /
+            (static_cast<double>(best_compute_total) * total_pes);
+    report.memOverhead =
+        best_total > best_compute_total
+            ? static_cast<double>(best_total - best_compute_total) /
+                  static_cast<double>(best_total)
+            : 0.0;
+    report.onChipReuseRatio = 0.0; // every fmap goes through DRAM
+
+    report.hbmReadBytes =
+        static_cast<Bytes>(B) * (dram_total - dram_writes);
+    report.hbmWriteBytes = static_cast<Bytes>(B) * dram_writes;
+    report.computeEnergyPj = best_energy;
+    report.hbmEnergyPj = static_cast<double>(dram_total) * B * 8.0 *
+                         _system.hbm.energyPjPerBit;
+    const double seconds = static_cast<double>(best_total) /
+                           (_system.engine.freqGhz * 1e9);
+    report.staticEnergyPj =
+        _system.engine.staticPowerMw * 1e-3 * seconds * 1e12 * engines;
+    return report;
+}
+
+} // namespace ad::baselines

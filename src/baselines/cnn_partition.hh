@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * CNN-Partition (CNN-P) baseline [Shen et al., ISCA'17] as characterized
+ * in Sec. II-B: on-chip resources are clustered into convolutional layer
+ * processors (CLPs); the layer sequence is divided among CLPs; batched
+ * images pipeline through the CLPs at layer granularity. Every CLP reads
+ * its inputs and weights from off-chip memory and writes outputs back,
+ * and a segment is paced by its slowest CLP.
+ */
+
+#include "engine/cost_model.hh"
+#include "graph/graph.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace ad::baselines {
+
+/** CNN-P parameters. */
+struct CnnPOptions
+{
+    int batch = 1;
+    /** CLP counts tried; the best-throughput clustering wins. */
+    int maxClps = 16;
+    /** Fraction of DRAM time hidden behind compute by double buffering
+     * (Sec. V-B: CNN-P's DRAM traffic "cannot be completely overlapped
+     * by double buffering"). */
+    double overlapEfficiency = 0.7;
+};
+
+/** Analytic CNN-P executor built on the substrate cost models. */
+class CnnPartition
+{
+  public:
+    /** Create an executor for @p system. */
+    CnnPartition(const sim::SystemConfig &system, CnnPOptions options);
+
+    /** Execute @p graph under CNN-P scheduling. */
+    sim::ExecutionReport run(const graph::Graph &graph) const;
+
+    /** The CLP count the last run() selected (for diagnostics/tests). */
+    int selectedClps() const { return _selectedClps; }
+
+  private:
+    sim::SystemConfig _system;
+    CnnPOptions _options;
+    mutable int _selectedClps = 1;
+};
+
+} // namespace ad::baselines

@@ -1,0 +1,237 @@
+#include "il_pipe.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace ad::baselines {
+
+namespace {
+
+/** Cycles of @p layer evenly split over @p engines engines. */
+Cycles
+regionCycles(const graph::Layer &layer, int engines,
+             const engine::CostModel &model, PicoJoules *energy_out)
+{
+    int nh = 1, nw = 1, nc = 1;
+    while (nh * nw * nc < engines) {
+        const int room_h = layer.out.h / (nh + 1);
+        const int room_w = layer.out.w / (nw + 1);
+        const int room_c = layer.out.c / (nc + 1);
+        if (room_h >= room_w && room_h >= room_c && room_h >= 1) {
+            ++nh;
+        } else if (room_w >= room_c && room_w >= 1) {
+            ++nw;
+        } else if (room_c >= 1) {
+            ++nc;
+        } else {
+            break;
+        }
+    }
+    engine::AtomWorkload tile;
+    tile.type = layer.type;
+    tile.h = ceilDiv(layer.out.h, nh);
+    tile.w = ceilDiv(layer.out.w, nw);
+    tile.co = ceilDiv(layer.out.c, nc);
+    tile.ci = layer.in.c;
+    if (layer.type == graph::OpType::DepthwiseConv ||
+        layer.type == graph::OpType::Pool ||
+        layer.type == graph::OpType::Eltwise) {
+        tile.ci = tile.co;
+    }
+    tile.window = layer.window;
+    const auto result = model.evaluate(tile);
+    const int tiles = nh * nw * nc;
+    if (energy_out)
+        *energy_out = result.energyPj * tiles;
+    return result.cycles * ceilDiv(tiles, engines);
+}
+
+} // namespace
+
+IlPipe::IlPipe(const sim::SystemConfig &system, IlPipeOptions options)
+    : _system(system), _options(options)
+{
+    _system.validate();
+    if (_options.batch < 1)
+        fatal("IL-Pipe batch must be at least 1");
+    if (_options.maxSegmentLayers < 1)
+        fatal("IL-Pipe segments need at least one layer");
+}
+
+sim::ExecutionReport
+IlPipe::run(const graph::Graph &graph) const
+{
+    const engine::CostModel model(_system.engine, _system.dataflow);
+    const int engines = _system.engines();
+    const int B = _options.batch;
+    const int bpe = _system.engine.bytesPerElem;
+
+    // Collect compute layers in topological order.
+    std::vector<const graph::Layer *> layers;
+    MacCount total_macs = 0;
+    for (const graph::Layer &layer : graph.layers()) {
+        if (layer.type == graph::OpType::Input ||
+            layer.type == graph::OpType::Concat) {
+            continue;
+        }
+        layers.push_back(&layer);
+        total_macs += layer.macs();
+    }
+
+    // Form segments of up to maxSegmentLayers (bounded also by one
+    // engine minimum per layer), allocate engines proportional to MACs.
+    Cycles total = 0;
+    Cycles compute_total = 0;
+    PicoJoules compute_energy = 0;
+    Bytes hbm_reads = 0;
+    Bytes hbm_writes = 0;
+    Bytes noc_bytes = 0;
+    Bytes fmap_onchip = 0;
+    Bytes fmap_total = 0;
+    int segments = 0;
+
+    const int seg_len = std::min(_options.maxSegmentLayers, engines);
+    const double fill_factor = _options.allo ? 0.5 : 1.0;
+
+    for (std::size_t s0 = 0; s0 < layers.size();
+         s0 += static_cast<std::size_t>(seg_len)) {
+        const std::size_t s1 =
+            std::min(layers.size(), s0 + static_cast<std::size_t>(seg_len));
+        const auto stages = static_cast<int>(s1 - s0);
+        ++segments;
+
+        // Proportional engine allocation (min 1 per layer), then
+        // iterative bottleneck smoothing: repeatedly move one engine
+        // from the fastest stage to the slowest while it helps.
+        MacCount seg_macs = 0;
+        for (std::size_t i = s0; i < s1; ++i)
+            seg_macs += std::max<MacCount>(layers[i]->macs(), 1);
+        std::vector<int> alloc(static_cast<std::size_t>(stages), 1);
+        int used = stages;
+        for (std::size_t i = s0; i < s1; ++i) {
+            const auto extra = static_cast<int>(
+                static_cast<double>(engines - stages) *
+                static_cast<double>(std::max<MacCount>(
+                    layers[i]->macs(), 1)) /
+                static_cast<double>(seg_macs));
+            alloc[i - s0] += extra;
+            used += extra;
+        }
+        auto stage_cycles = [&](std::size_t i) {
+            return regionCycles(*layers[i], alloc[i - s0], model,
+                                nullptr);
+        };
+        std::vector<Cycles> cyc(static_cast<std::size_t>(stages), 0);
+        for (std::size_t i = s0; i < s1; ++i)
+            cyc[i - s0] = stage_cycles(i);
+        // Hand out leftover engines to the current bottleneck.
+        while (used < engines) {
+            const auto slow = static_cast<std::size_t>(
+                std::max_element(cyc.begin(), cyc.end()) - cyc.begin());
+            ++alloc[slow];
+            ++used;
+            cyc[slow] = stage_cycles(s0 + slow);
+        }
+        // Smoothing: donate from the fastest stage to the bottleneck.
+        for (int iter = 0; iter < 4 * engines; ++iter) {
+            const auto slow = static_cast<std::size_t>(
+                std::max_element(cyc.begin(), cyc.end()) - cyc.begin());
+            auto fast = slow;
+            for (std::size_t j = 0; j < cyc.size(); ++j) {
+                if (alloc[j] > 1 &&
+                    (fast == slow || cyc[j] < cyc[fast])) {
+                    fast = j;
+                }
+            }
+            if (fast == slow)
+                break;
+            const Cycles before = cyc[slow];
+            --alloc[fast];
+            ++alloc[slow];
+            cyc[fast] = stage_cycles(s0 + fast);
+            cyc[slow] = stage_cycles(s0 + slow);
+            const Cycles after =
+                *std::max_element(cyc.begin(), cyc.end());
+            if (after >= before) {
+                // Revert a non-improving move and stop.
+                ++alloc[fast];
+                --alloc[slow];
+                cyc[fast] = stage_cycles(s0 + fast);
+                cyc[slow] = stage_cycles(s0 + slow);
+                break;
+            }
+        }
+
+        // Bottleneck stage paces the pipeline.
+        Cycles t_bottleneck = 0;
+        for (std::size_t i = s0; i < s1; ++i) {
+            PicoJoules energy = 0;
+            const Cycles c =
+                regionCycles(*layers[i], alloc[i - s0], model, &energy);
+            compute_energy += energy * B;
+            t_bottleneck = std::max(t_bottleneck, c);
+        }
+
+        const double beats =
+            static_cast<double>(B) +
+            static_cast<double>(stages - 1) * fill_factor;
+        const auto seg_total =
+            static_cast<Cycles>(beats * static_cast<double>(t_bottleneck));
+        total += seg_total;
+        compute_total += seg_total; // pipeline is compute-paced
+
+        // Traffic: segment boundary fmaps spill to DRAM; weights load
+        // once per segment residency; intra-segment fmaps ride the NoC.
+        const graph::Layer *last = layers[s1 - 1];
+        hbm_writes += static_cast<Bytes>(B) * last->out.bytes(bpe);
+        const graph::Layer *first = layers[s0];
+        hbm_reads += static_cast<Bytes>(B) * first->in.bytes(bpe);
+        for (std::size_t i = s0; i < s1; ++i) {
+            hbm_reads += layers[i]->weightBytes(bpe);
+            if (i > s0) {
+                const Bytes moved =
+                    static_cast<Bytes>(B) * layers[i]->in.bytes(bpe);
+                noc_bytes += moved;
+                fmap_onchip += moved;
+            }
+            fmap_total +=
+                static_cast<Bytes>(B) * layers[i]->in.bytes(bpe);
+        }
+    }
+    _segments = segments;
+
+    sim::ExecutionReport report;
+    report.batch = B;
+    report.rounds = static_cast<std::uint64_t>(segments) *
+                    static_cast<std::uint64_t>(B);
+    report.totalCycles = total;
+    const double total_pes = _system.totalPes();
+    const auto batch_macs =
+        static_cast<double>(total_macs) * static_cast<double>(B);
+    if (total > 0) {
+        report.peUtilization =
+            batch_macs / (static_cast<double>(total) * total_pes);
+        report.computeUtilization = report.peUtilization;
+    }
+    report.onChipReuseRatio =
+        fmap_total > 0 ? static_cast<double>(fmap_onchip) /
+                             static_cast<double>(fmap_total)
+                       : 0.0;
+    report.hbmReadBytes = hbm_reads;
+    report.hbmWriteBytes = hbm_writes;
+    report.nocBytes = noc_bytes;
+    report.nocHopBytes = noc_bytes; // adjacent regions: ~1 hop
+    report.computeEnergyPj = compute_energy;
+    report.nocEnergyPj = static_cast<double>(noc_bytes) * 8.0 *
+                         _system.noc.energyPjPerBitPerHop;
+    report.hbmEnergyPj = static_cast<double>(hbm_reads + hbm_writes) *
+                         8.0 * _system.hbm.energyPjPerBit;
+    const double seconds =
+        static_cast<double>(total) / (_system.engine.freqGhz * 1e9);
+    report.staticEnergyPj =
+        _system.engine.staticPowerMw * 1e-3 * seconds * 1e12 * engines;
+    return report;
+}
+
+} // namespace ad::baselines

@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Inter-Layer Pipelining (IL-Pipe) baseline [Tangram, ASPLOS'19] as
+ * characterized in Sec. II-B: cascaded layers of a segment map to
+ * adjacent on-chip regions sized proportionally to each layer's compute;
+ * images stream through the segment pipeline. Inter-segment feature maps
+ * spill to DRAM; intra-segment maps move over the NoC between adjacent
+ * regions. The pipeline pays fill/drain delay, halved when Alternate
+ * Layer Loop Ordering (ALLO) fine-grained pipelining is enabled.
+ */
+
+#include "engine/cost_model.hh"
+#include "graph/graph.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace ad::baselines {
+
+/** IL-Pipe parameters. */
+struct IlPipeOptions
+{
+    int batch = 1;
+    /** Enable ALLO fine-grained pipelining (halves fill/drain). */
+    bool allo = true;
+    /** Maximum layers co-resident in one pipeline segment. */
+    int maxSegmentLayers = 6;
+};
+
+/** Analytic IL-Pipe executor built on the substrate cost models. */
+class IlPipe
+{
+  public:
+    /** Create an executor for @p system. */
+    IlPipe(const sim::SystemConfig &system, IlPipeOptions options);
+
+    /** Execute @p graph under IL-Pipe scheduling. */
+    sim::ExecutionReport run(const graph::Graph &graph) const;
+
+    /** Segments formed during the last run() (for diagnostics/tests). */
+    int segmentCount() const { return _segments; }
+
+  private:
+    sim::SystemConfig _system;
+    IlPipeOptions _options;
+    mutable int _segments = 0;
+};
+
+} // namespace ad::baselines

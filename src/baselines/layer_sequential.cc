@@ -1,0 +1,135 @@
+#include "layer_sequential.hh"
+
+#include <algorithm>
+
+#include "core/partition.hh"
+#include "noc/mesh.hh"
+
+namespace ad::baselines {
+
+using core::AtomicDag;
+using core::AtomId;
+using core::Placement;
+using core::Schedule;
+
+LayerSequential::LayerSequential(const sim::SystemConfig &system,
+                                 LsOptions options)
+    : _system(system), _options(options)
+{
+    _system.validate();
+    if (_options.batch < 1)
+        fatal("LS batch must be at least 1");
+    _options.samplesInFlight =
+        std::clamp(_options.samplesInFlight, 1, _options.batch);
+}
+
+sim::ExecutionReport
+LayerSequential::run(const graph::Graph &graph) const
+{
+    const int engines = _system.engines();
+    const int group = _options.samplesInFlight;
+    // Each layer is evenly split so a group of samples fills the mesh.
+    // The naive split follows each accelerator family's scale-out
+    // convention (channels for NVDLA-like, spatial for ShiDianNao-like),
+    // which is exactly what stops matching the PE array (Fig. 2).
+    const int tiles_per_sample = std::max(1, engines / group);
+    const auto policy =
+        _system.dataflow == engine::DataflowKind::YxPartition
+            ? core::PartitionPolicy::Balanced
+            : core::PartitionPolicy::ChannelFirst;
+
+    const auto shapes =
+        core::evenPartitionShapes(graph, tiles_per_sample, policy);
+    core::AtomicDagOptions dag_options;
+    dag_options.batch = _options.batch;
+    dag_options.bytesPerElem = _system.engine.bytesPerElem;
+    AtomicDag dag(graph, shapes, dag_options);
+
+    // Zig-zag engine enumeration (naive placement, no optimization).
+    const noc::MeshTopology topo(_system.meshX, _system.meshY);
+    std::vector<int> zigzag;
+    for (int y = 0; y < topo.ydim(); ++y) {
+        if (y % 2 == 0) {
+            for (int x = 0; x < topo.xdim(); ++x)
+                zigzag.push_back(topo.idOf({x, y}));
+        } else {
+            for (int x = topo.xdim() - 1; x >= 0; --x)
+                zigzag.push_back(topo.idOf({x, y}));
+        }
+    }
+
+    // Strict layer order: all samples of a group run the same layer
+    // together; the group completes the whole network before the next
+    // group starts.
+    Schedule schedule;
+    for (int g0 = 0; g0 < _options.batch; g0 += group) {
+        const int g1 = std::min(_options.batch, g0 + group);
+        for (const graph::Layer &layer : graph.layers()) {
+            std::vector<AtomId> pending;
+            for (int s = g0; s < g1; ++s) {
+                const auto [lo, hi] = dag.layerAtoms(layer.id, s);
+                for (AtomId a = lo; a != hi && lo != core::kNoAtom; ++a)
+                    pending.push_back(a);
+            }
+            for (std::size_t i = 0; i < pending.size();
+                 i += static_cast<std::size_t>(engines)) {
+                core::Round round;
+                const std::size_t end = std::min(
+                    pending.size(), i + static_cast<std::size_t>(engines));
+                for (std::size_t j = i; j < end; ++j) {
+                    round.placements.push_back(
+                        {pending[j],
+                         zigzag[(j - i) % zigzag.size()]});
+                }
+                schedule.rounds.push_back(std::move(round));
+            }
+        }
+    }
+
+    const sim::SystemSimulator simulator(_system);
+    return simulator.execute(dag, schedule);
+}
+
+std::vector<double>
+LayerSequential::layerUtilizations(const graph::Graph &graph) const
+{
+    const engine::CostModel model(_system.engine, _system.dataflow);
+    const int engines = _system.engines();
+    const auto shapes = core::evenPartitionShapes(
+        graph, engines,
+        _system.dataflow == engine::DataflowKind::YxPartition
+            ? core::PartitionPolicy::Balanced
+            : core::PartitionPolicy::ChannelFirst);
+
+    std::vector<double> util(graph.size(), 0.0);
+    for (const graph::Layer &layer : graph.layers()) {
+        if (!layer.onPeArray())
+            continue;
+        const auto &shape = shapes[static_cast<std::size_t>(layer.id)];
+        engine::AtomWorkload tile;
+        tile.type = layer.type;
+        tile.h = std::min(shape.h, layer.out.h);
+        tile.w = std::min(shape.w, layer.out.w);
+        tile.co = std::min(shape.c, layer.out.c);
+        tile.ci = layer.in.c;
+        tile.window = layer.window;
+
+        const int tiles =
+            ceilDiv(layer.out.h, tile.h) * ceilDiv(layer.out.w, tile.w) *
+            ceilDiv(layer.out.c, tile.co);
+        // One layer at a time: the layer's MACs spread over all engines
+        // for the duration of its slowest tile (rounds of tiles).
+        const Cycles tile_cycles = model.cycles(tile);
+        const int rounds = ceilDiv(tiles, engines);
+        const double denominator =
+            static_cast<double>(tile_cycles) * rounds * engines *
+            _system.engine.pes();
+        if (denominator > 0) {
+            util[static_cast<std::size_t>(layer.id)] =
+                static_cast<double>(layer.macs()) / denominator;
+        }
+    }
+    return util;
+}
+
+} // namespace ad::baselines

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * Layer-Sequential (LS) baseline: process DNN layers one at a time, each
+ * evenly partitioned across all on-chip engines (Sec. II-B). For
+ * throughput runs the enhanced variant maps several input samples
+ * simultaneously (Sec. V-A) so small layers can still fill the mesh.
+ */
+
+#include "core/orchestrator.hh"
+#include "graph/graph.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace ad::baselines {
+
+/** LS parameters. */
+struct LsOptions
+{
+    int batch = 1;
+    /** Samples mapped simultaneously (enhanced LS); clamped to batch. */
+    int samplesInFlight = 4;
+};
+
+/** Layer-Sequential executor over the shared system simulator. */
+class LayerSequential
+{
+  public:
+    /** Create an executor for @p system. */
+    LayerSequential(const sim::SystemConfig &system, LsOptions options);
+
+    /** Execute @p graph under LS scheduling. */
+    sim::ExecutionReport run(const graph::Graph &graph) const;
+
+    /**
+     * Per-layer PE utilization of LS without communication delay —
+     * the quantity Fig. 2 plots. Indexed by LayerId; non-MAC layers
+     * report 0.
+     */
+    std::vector<double> layerUtilizations(const graph::Graph &graph) const;
+
+  private:
+    sim::SystemConfig _system;
+    LsOptions _options;
+};
+
+} // namespace ad::baselines

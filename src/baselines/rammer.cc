@@ -1,0 +1,34 @@
+#include "rammer.hh"
+
+namespace ad::baselines {
+
+RammerScheduler::RammerScheduler(const sim::SystemConfig &system,
+                                 int batch)
+    : _system(system), _batch(batch)
+{
+    _system.validate();
+    if (batch < 1)
+        fatal("Rammer batch must be at least 1");
+}
+
+sim::ExecutionReport
+RammerScheduler::run(const graph::Graph &graph) const
+{
+    core::OrchestratorOptions options;
+    options.batch = _batch;
+    // rTasks are fixed-size operator tiles from kernel templates —
+    // Rammer does not search tile shapes against the PE geometry — and
+    // they co-locate in dependency order with no transfer-cost-aware
+    // placement and no graph-level lookahead. Inter-operator data moves
+    // through off-chip memory (on the GPU Rammer targets, rTask outputs
+    // land in global memory), so distributed-buffer reuse is off.
+    options.atomGen = core::AtomGenMode::EvenPartition;
+    options.scheduler.mode = core::SchedMode::LayerOrder;
+    options.mapper.optimize = false;
+    options.mapper.stableOrder = false;
+    options.onChipReuse = false;
+    const core::Orchestrator orchestrator(_system, options);
+    return orchestrator.run(graph).report;
+}
+
+} // namespace ad::baselines

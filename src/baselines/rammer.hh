@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Rammer-like baseline [OSDI'20] for the prototype comparison of
+ * Sec. V-D: operators are split into rTasks that co-locate on the
+ * engines to exploit inter-operator parallelism — but with no spatial
+ * data-reuse awareness, no inter-engine communication optimization, and
+ * no graph-level lookahead. Realized as the atomic-dataflow pipeline
+ * with greedy (non-DP) scheduling and placement optimization disabled.
+ */
+
+#include "core/orchestrator.hh"
+#include "graph/graph.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace ad::baselines {
+
+/** Rammer-like executor. */
+class RammerScheduler
+{
+  public:
+    /** Create an executor for @p system processing @p batch samples. */
+    RammerScheduler(const sim::SystemConfig &system, int batch = 1);
+
+    /** Execute @p graph under rTask co-location scheduling. */
+    sim::ExecutionReport run(const graph::Graph &graph) const;
+
+  private:
+    sim::SystemConfig _system;
+    int _batch;
+};
+
+} // namespace ad::baselines

@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * The atom: the paper's graph-level scheduling unit (Sec. III).
+ *
+ * An atom is one output tile of one DNN layer for one batch sample:
+ * Atom_{l,x,(b)} : [(h_s,h_e), (w_s,w_e), (c_s,c_e)]. Tiles partition the
+ * output feature map; input channels are consumed whole per atom, which
+ * keeps atom-level dependencies free of partial-sum accumulation (see
+ * DESIGN.md Sec. 5 for this simplification of the paper's (c^i_s, c^i_e)
+ * range).
+ */
+
+#include <cstdint>
+
+#include "engine/cost_model.hh"
+#include "graph/layer.hh"
+
+namespace ad::core {
+
+/** Dense atom index within one AtomicDag. */
+using AtomId = std::int32_t;
+
+/** Sentinel for "no atom". */
+constexpr AtomId kNoAtom = -1;
+
+/** Output-tile sizes chosen for one layer by the atom generator. */
+struct TileShape
+{
+    int h = 1; ///< tile height (h_p)
+    int w = 1; ///< tile width (w_p)
+    int c = 1; ///< tile output channels (c^o_p)
+
+    bool operator==(const TileShape &) const = default;
+};
+
+/** One schedulable unit: a layer output tile of one batch sample. */
+struct Atom
+{
+    AtomId id = kNoAtom;
+    graph::LayerId layer = graph::kNoLayer;
+    int batch = 0;  ///< input-sample index b
+    int index = 0;  ///< x: linear tile index within (layer, batch)
+
+    // Output tile ranges, [start, end) convention.
+    int hs = 0, he = 0;
+    int ws = 0, we = 0;
+    int cs = 0, ce = 0;
+
+    /** Tile height. */
+    int tileH() const { return he - hs; }
+
+    /** Tile width. */
+    int tileW() const { return we - ws; }
+
+    /** Tile output channels. */
+    int tileC() const { return ce - cs; }
+
+    /** Output elements of this atom. */
+    std::int64_t
+    outElems() const
+    {
+        return static_cast<std::int64_t>(tileH()) * tileW() * tileC();
+    }
+};
+
+} // namespace ad::core

@@ -1,0 +1,244 @@
+#include "atom_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace ad::core {
+
+namespace {
+
+/** Layers that participate in load balancing (those with candidates). */
+std::vector<graph::LayerId>
+activeLayers(const ShapeCatalog &catalog)
+{
+    std::vector<graph::LayerId> layers;
+    for (const graph::Layer &l : catalog.graph().layers()) {
+        if (!catalog.candidatesFor(l.id).empty())
+            layers.push_back(l.id);
+    }
+    return layers;
+}
+
+/** Mean utilization across MAC layers for the chosen indices. */
+double
+meanUtilization(const ShapeCatalog &catalog,
+                const std::vector<std::size_t> &indices)
+{
+    RunningStats util;
+    for (const graph::Layer &l : catalog.graph().layers()) {
+        if (!l.onPeArray())
+            continue;
+        const auto &cands = catalog.candidatesFor(l.id);
+        if (cands.empty())
+            continue;
+        util.add(cands[indices[static_cast<std::size_t>(l.id)]]
+                     .utilization);
+    }
+    return util.mean();
+}
+
+} // namespace
+
+double
+shapeEnergy(const ShapeCatalog &catalog,
+            const std::vector<std::size_t> &indices, double *mean_out)
+{
+    RunningStats cycles;
+    for (const graph::Layer &l : catalog.graph().layers()) {
+        const auto &cands = catalog.candidatesFor(l.id);
+        if (cands.empty())
+            continue;
+        cycles.add(static_cast<double>(
+            cands[indices[static_cast<std::size_t>(l.id)]].cycles));
+    }
+    if (mean_out)
+        *mean_out = cycles.mean();
+    const double mean = cycles.mean();
+    if (mean <= 0.0)
+        return 0.0;
+    return cycles.variance() / (mean * mean);
+}
+
+SaAtomGenerator::SaAtomGenerator(SaOptions options)
+    : _options(options)
+{}
+
+GenerationResult
+SaAtomGenerator::generate(const ShapeCatalog &catalog) const
+{
+    Rng rng(_options.seed);
+    const auto layers = activeLayers(catalog);
+    const std::size_t n = catalog.graph().size();
+
+    // Line 1-3: random initial coefficients per layer.
+    std::vector<std::size_t> indices(n, 0);
+    for (graph::LayerId l : layers) {
+        const auto &cands = catalog.candidatesFor(l);
+        indices[static_cast<std::size_t>(l)] = static_cast<std::size_t>(
+            rng.uniformInt(0,
+                           static_cast<std::int64_t>(cands.size()) - 1));
+    }
+
+    // Line 5-7: initial state S = mean cycle, initial energy E = Var.
+    double mean = 0.0;
+    double energy = shapeEnergy(catalog, indices, &mean);
+    double state = mean;
+    double temp = _options.initialTemp;
+
+    GenerationResult result;
+    result.varianceTrace.reserve(
+        static_cast<std::size_t>(_options.maxIterations));
+
+    std::vector<std::size_t> best = indices;
+    double best_energy = energy;
+
+    std::vector<std::size_t> moved(n, 0);
+    for (int ite = 0; ite < _options.maxIterations; ++ite) {
+        result.varianceTrace.push_back(energy);
+        result.iterations = ite + 1;
+        if (energy <= _options.epsilon)
+            break; // Line 23: converged.
+
+        // Line 10: neighboring state.
+        const double len = _options.moveLength * std::max(state, 1.0);
+        const double state_move =
+            std::max(1.0, state + rng.uniform(-1.0, 1.0) * len);
+
+        // Line 11-14: snap every layer to the candidate nearest S_move.
+        moved = indices;
+        for (graph::LayerId l : layers) {
+            moved[static_cast<std::size_t>(l)] =
+                catalog.nearestIndex(l, state_move);
+        }
+        const double energy_move = shapeEnergy(catalog, moved, nullptr);
+
+        // Line 16-21: Metropolis acceptance with decaying temperature.
+        temp *= _options.lambda;
+        const double delta = energy - energy_move;
+        const double p =
+            delta >= 0 ? 1.0
+                       : std::exp(delta / (_options.lambda *
+                                           std::max(temp, 1e-12)));
+        if (rng.uniform() <= p) {
+            state = state_move;
+            energy = energy_move;
+            indices = moved;
+            if (energy < best_energy) {
+                best_energy = energy;
+                best = indices;
+            }
+        }
+    }
+
+    result.shapes = catalog.shapesFromIndices(best);
+    result.finalVariance = best_energy;
+    shapeEnergy(catalog, best, &result.meanCycles);
+    result.meanUtilization = meanUtilization(catalog, best);
+    return result;
+}
+
+GaAtomGenerator::GaAtomGenerator(GaOptions options)
+    : _options(options)
+{}
+
+GenerationResult
+GaAtomGenerator::generate(const ShapeCatalog &catalog) const
+{
+    Rng rng(_options.seed);
+    const auto layers = activeLayers(catalog);
+    const std::size_t n = catalog.graph().size();
+
+    auto random_genome = [&]() {
+        std::vector<std::size_t> g(n, 0);
+        for (graph::LayerId l : layers) {
+            const auto &cands = catalog.candidatesFor(l);
+            g[static_cast<std::size_t>(l)] = static_cast<std::size_t>(
+                rng.uniformInt(
+                    0, static_cast<std::int64_t>(cands.size()) - 1));
+        }
+        return g;
+    };
+
+    std::vector<std::vector<std::size_t>> pop;
+    std::vector<double> fitness;
+    pop.reserve(static_cast<std::size_t>(_options.population));
+    for (int i = 0; i < _options.population; ++i) {
+        pop.push_back(random_genome());
+        fitness.push_back(shapeEnergy(catalog, pop.back(), nullptr));
+    }
+
+    auto tournament = [&]() -> std::size_t {
+        std::size_t winner = static_cast<std::size_t>(
+            rng.uniformInt(0, _options.population - 1));
+        for (int i = 1; i < _options.tournament; ++i) {
+            const auto rival = static_cast<std::size_t>(
+                rng.uniformInt(0, _options.population - 1));
+            if (fitness[rival] < fitness[winner])
+                winner = rival;
+        }
+        return winner;
+    };
+
+    GenerationResult result;
+    std::size_t best_idx = static_cast<std::size_t>(
+        std::min_element(fitness.begin(), fitness.end()) -
+        fitness.begin());
+    std::vector<std::size_t> best = pop[best_idx];
+    double best_energy = fitness[best_idx];
+
+    for (int gen = 0; gen < _options.generations; ++gen) {
+        // Trace the current population's best (not best-so-far): without
+        // elitism, mutation makes this rise and fall — the behaviour
+        // Fig. 5(b) shows for GA.
+        result.varianceTrace.push_back(fitness[best_idx]);
+        result.iterations = gen + 1;
+
+        std::vector<std::vector<std::size_t>> next;
+        std::vector<double> next_fitness;
+        next.reserve(pop.size());
+
+        while (next.size() < pop.size()) {
+            auto child = pop[tournament()];
+            if (rng.chance(_options.crossoverRate)) {
+                const auto &other = pop[tournament()];
+                for (graph::LayerId l : layers) {
+                    if (rng.chance(0.5)) {
+                        child[static_cast<std::size_t>(l)] =
+                            other[static_cast<std::size_t>(l)];
+                    }
+                }
+            }
+            for (graph::LayerId l : layers) {
+                if (rng.chance(_options.mutationRate)) {
+                    const auto &cands = catalog.candidatesFor(l);
+                    child[static_cast<std::size_t>(l)] =
+                        static_cast<std::size_t>(rng.uniformInt(
+                            0,
+                            static_cast<std::int64_t>(cands.size()) - 1));
+                }
+            }
+            next_fitness.push_back(shapeEnergy(catalog, child, nullptr));
+            next.push_back(std::move(child));
+        }
+        pop = std::move(next);
+        fitness = std::move(next_fitness);
+
+        best_idx = static_cast<std::size_t>(
+            std::min_element(fitness.begin(), fitness.end()) -
+            fitness.begin());
+        if (fitness[best_idx] < best_energy) {
+            best_energy = fitness[best_idx];
+            best = pop[best_idx];
+        }
+    }
+
+    result.shapes = catalog.shapesFromIndices(best);
+    result.finalVariance = best_energy;
+    shapeEnergy(catalog, best, &result.meanCycles);
+    result.meanUtilization = meanUtilization(catalog, best);
+    return result;
+}
+
+} // namespace ad::core

@@ -1,0 +1,99 @@
+#pragma once
+
+/**
+ * @file
+ * Atomic tensor generation: choose per-layer atom tile shapes so that all
+ * atoms have near-equal single-engine execution cycles (Sec. IV-A).
+ *
+ * The primary algorithm is the paper's simulated-annealing search
+ * (Algorithm 1); a genetic-algorithm searcher is provided as the
+ * comparison point of Fig. 5(b).
+ */
+
+#include <vector>
+
+#include "core/shape_catalog.hh"
+#include "util/random.hh"
+
+namespace ad::core {
+
+/** Result of one atom-generation run. */
+struct GenerationResult
+{
+    std::vector<TileShape> shapes;  ///< per-layer tile shapes (by LayerId)
+    double meanCycles = 0.0;        ///< mean atom cycles at the solution
+    double finalVariance = 0.0;     ///< normalized Var (E / mean^2)
+    double meanUtilization = 0.0;   ///< MAC-layer PE utilization, unweighted
+    std::vector<double> varianceTrace; ///< per-iteration energy (Fig. 5b)
+    int iterations = 0;             ///< iterations actually executed
+};
+
+/** Parameters of Algorithm 1. */
+struct SaOptions
+{
+    int maxIterations = 600;     ///< ite_max
+    double moveLength = 0.25;    ///< Len, as a fraction of current S
+    double epsilon = 1e-4;       ///< convergence threshold on energy
+    double initialTemp = 1.0;    ///< Temp
+    double lambda = 0.995;       ///< temperature decay
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Simulated-annealing atom generator (Algorithm 1).
+ *
+ * System state S is the unified execution cycle every atom targets;
+ * energy E is the variance of per-layer atom cycles normalized by the
+ * squared mean (so temperatures are workload-independent).
+ */
+class SaAtomGenerator
+{
+  public:
+    /** Create a generator with @p options. */
+    explicit SaAtomGenerator(SaOptions options = {});
+
+    /** Run the search over @p catalog. */
+    GenerationResult generate(const ShapeCatalog &catalog) const;
+
+  private:
+    SaOptions _options;
+};
+
+/** Parameters of the GA comparator. */
+struct GaOptions
+{
+    int generations = 600;
+    int population = 24;
+    double mutationRate = 0.08;
+    double crossoverRate = 0.7;
+    int tournament = 3;
+    std::uint64_t seed = 1;
+};
+
+/**
+ * Genetic-algorithm atom generator, the baseline of Fig. 5(b). Genomes
+ * are per-layer candidate indices into the shape catalog.
+ */
+class GaAtomGenerator
+{
+  public:
+    /** Create a generator with @p options. */
+    explicit GaAtomGenerator(GaOptions options = {});
+
+    /** Run the search over @p catalog. */
+    GenerationResult generate(const ShapeCatalog &catalog) const;
+
+  private:
+    GaOptions _options;
+};
+
+/**
+ * Normalized variance (Var / mean^2) of the per-layer atom cycles induced
+ * by per-layer candidate @p indices. Shared by both searchers and the
+ * tests.
+ */
+double shapeEnergy(const ShapeCatalog &catalog,
+                   const std::vector<std::size_t> &indices,
+                   double *mean_out = nullptr);
+
+} // namespace ad::core

@@ -1,0 +1,436 @@
+#include "atomic_dag.hh"
+
+#include <algorithm>
+
+namespace ad::core {
+
+using graph::LayerId;
+using graph::OpType;
+
+namespace {
+
+/** True for layers that become atoms (everything but Input/Concat). */
+bool
+isAtomized(OpType type)
+{
+    return type != OpType::Input && type != OpType::Concat;
+}
+
+/** True for ops whose atoms depend on the producer's entire output. */
+bool
+consumesWholeInput(OpType type)
+{
+    return type == OpType::FullyConnected || type == OpType::GlobalPool;
+}
+
+} // namespace
+
+AtomicDag::AtomicDag(graph::Graph graph,
+                     const std::vector<TileShape> &shapes,
+                     const AtomicDagOptions &options)
+    : _graph(std::move(graph)), _options(options), _shapes(shapes),
+      _depths(_graph.depths())
+{
+    if (_options.batch < 1)
+        fatal("batch size must be at least 1");
+    if (_shapes.size() < _graph.size())
+        fatal("tile shapes must cover every layer: got ", _shapes.size(),
+              " for ", _graph.size(), " layers");
+    buildAtoms();
+    buildEdges();
+}
+
+void
+AtomicDag::buildAtoms()
+{
+    const auto layer_count = _graph.size();
+    _layerBase.assign(layer_count,
+                      std::vector<AtomId>(
+                          static_cast<std::size_t>(_options.batch),
+                          kNoAtom));
+    _atomsPerSample.assign(layer_count, 0);
+
+    for (int b = 0; b < _options.batch; ++b) {
+        for (const graph::Layer &layer : _graph.layers()) {
+            if (!isAtomized(layer.type))
+                continue;
+            const auto lid = static_cast<std::size_t>(layer.id);
+            TileShape shape = _shapes[lid];
+            shape.h = std::clamp(shape.h, 1, layer.out.h);
+            shape.w = std::clamp(shape.w, 1, layer.out.w);
+            shape.c = std::clamp(shape.c, 1, layer.out.c);
+            // Persist the clamp so shapeOf() reports what was used.
+            if (b == 0)
+                _shapes[lid] = shape;
+
+            const int nh = ceilDiv(layer.out.h, shape.h);
+            const int nw = ceilDiv(layer.out.w, shape.w);
+            const int nc = ceilDiv(layer.out.c, shape.c);
+            _atomsPerSample[lid] = nh * nw * nc;
+            _layerBase[lid][static_cast<std::size_t>(b)] =
+                static_cast<AtomId>(_atoms.size());
+
+            int index = 0;
+            for (int ih = 0; ih < nh; ++ih) {
+                for (int iw = 0; iw < nw; ++iw) {
+                    for (int ic = 0; ic < nc; ++ic) {
+                        Atom a;
+                        a.id = static_cast<AtomId>(_atoms.size());
+                        a.layer = layer.id;
+                        a.batch = b;
+                        a.index = index++;
+                        a.hs = ih * shape.h;
+                        a.he = std::min(layer.out.h, a.hs + shape.h);
+                        a.ws = iw * shape.w;
+                        a.we = std::min(layer.out.w, a.ws + shape.w);
+                        a.cs = ic * shape.c;
+                        a.ce = std::min(layer.out.c, a.cs + shape.c);
+                        _atoms.push_back(a);
+                    }
+                }
+            }
+        }
+    }
+}
+
+std::vector<AtomicDag::SourceSlice>
+AtomicDag::resolveSources(LayerId layer) const
+{
+    // Expand one producer layer into concrete slices, flattening Concat
+    // chains; `base` is the first consumer-input channel the producer
+    // covers.
+    std::vector<SourceSlice> slices;
+    auto expand = [this, &slices](auto &&self, LayerId producer,
+                                  int base) -> int {
+        const graph::Layer &p = _graph.layer(producer);
+        if (p.type == OpType::Concat) {
+            int offset = base;
+            for (LayerId branch : p.inputs)
+                offset = self(self, branch, offset);
+            return offset;
+        }
+        if (p.type == OpType::Input) {
+            slices.push_back({graph::kNoLayer, base, p.out.c});
+        } else {
+            slices.push_back({producer, base, p.out.c});
+        }
+        return base + p.out.c;
+    };
+
+    const graph::Layer &l = _graph.layer(layer);
+    for (LayerId input : l.inputs) {
+        // Multi-input atomized layers are element-wise (Eltwise): every
+        // input independently covers the full channel range, so each
+        // expansion restarts at base 0. Single-input layers trivially
+        // start at 0 as well; Concat stacking happens inside expand().
+        expand(expand, input, 0);
+    }
+    return slices;
+}
+
+void
+AtomicDag::collectProducerAtoms(
+    LayerId producer, int sample, int h0, int h1, int w0, int w1, int c0,
+    int c1, std::vector<std::pair<AtomId, Bytes>> &out) const
+{
+    const auto lid = static_cast<std::size_t>(producer);
+    const AtomId base = _layerBase[lid][static_cast<std::size_t>(sample)];
+    adAssert(base != kNoAtom, "producer layer has no atoms");
+    const graph::Layer &p = _graph.layer(producer);
+    const TileShape &shape = _shapes[lid];
+
+    const int nw = ceilDiv(p.out.w, shape.w);
+    const int nc = ceilDiv(p.out.c, shape.c);
+
+    h0 = std::clamp(h0, 0, p.out.h - 1);
+    h1 = std::clamp(h1, 1, p.out.h);
+    w0 = std::clamp(w0, 0, p.out.w - 1);
+    w1 = std::clamp(w1, 1, p.out.w);
+    c0 = std::clamp(c0, 0, p.out.c - 1);
+    c1 = std::clamp(c1, 1, p.out.c);
+
+    const auto bpe = static_cast<Bytes>(_options.bytesPerElem);
+    for (int ih = h0 / shape.h; ih <= (h1 - 1) / shape.h; ++ih) {
+        const int ths = ih * shape.h;
+        const int the = std::min(p.out.h, ths + shape.h);
+        const Bytes oh =
+            static_cast<Bytes>(std::min(h1, the) - std::max(h0, ths));
+        for (int iw = w0 / shape.w; iw <= (w1 - 1) / shape.w; ++iw) {
+            const int tws = iw * shape.w;
+            const int twe = std::min(p.out.w, tws + shape.w);
+            const Bytes ow = static_cast<Bytes>(std::min(w1, twe) -
+                                                std::max(w0, tws));
+            for (int ic = c0 / shape.c; ic <= (c1 - 1) / shape.c;
+                 ++ic) {
+                const int tcs = ic * shape.c;
+                const int tce = std::min(p.out.c, tcs + shape.c);
+                const Bytes oc = static_cast<Bytes>(
+                    std::min(c1, tce) - std::max(c0, tcs));
+                out.emplace_back(base + (ih * nw + iw) * nc + ic,
+                                 oh * ow * oc * bpe);
+            }
+        }
+    }
+}
+
+void
+AtomicDag::buildEdges()
+{
+    std::vector<std::vector<std::pair<AtomId, Bytes>>> deps(
+        _atoms.size());
+    _readsInput.assign(_atoms.size(), false);
+
+    // Cache per-layer source slices; identical across batch samples.
+    std::vector<std::vector<SourceSlice>> sources(_graph.size());
+    for (const graph::Layer &layer : _graph.layers()) {
+        if (isAtomized(layer.type))
+            sources[static_cast<std::size_t>(layer.id)] =
+                resolveSources(layer.id);
+    }
+
+    for (const Atom &a : _atoms) {
+        const graph::Layer &layer = _graph.layer(a.layer);
+        const auto &slices = sources[static_cast<std::size_t>(a.layer)];
+        auto &my_deps = deps[static_cast<std::size_t>(a.id)];
+
+        if (consumesWholeInput(layer.type)) {
+            for (const SourceSlice &s : slices) {
+                if (s.producer == graph::kNoLayer) {
+                    _readsInput[static_cast<std::size_t>(a.id)] = true;
+                    continue;
+                }
+                const graph::Layer &p = _graph.layer(s.producer);
+                collectProducerAtoms(s.producer, a.batch, 0, p.out.h, 0,
+                                     p.out.w, 0, p.out.c, my_deps);
+            }
+        } else {
+            // Receptive field of the output tile.
+            const graph::WindowParams &win = layer.window;
+            const int ih0 = a.hs * win.strideH - win.padH;
+            const int ih1 = (a.he - 1) * win.strideH - win.padH + win.kh;
+            const int iw0 = a.ws * win.strideW - win.padW;
+            const int iw1 = (a.we - 1) * win.strideW - win.padW + win.kw;
+
+            // Channels needed in the consumer's input space.
+            int need0 = 0;
+            int need1 = layer.in.c;
+            if (layer.type == OpType::DepthwiseConv ||
+                layer.type == OpType::Pool ||
+                layer.type == OpType::Eltwise) {
+                need0 = a.cs;
+                need1 = a.ce;
+            }
+
+            for (const SourceSlice &s : slices) {
+                const int lo = std::max(need0, s.chanBegin);
+                const int hi = std::min(need1, s.chanBegin + s.chanCount);
+                if (lo >= hi)
+                    continue;
+                if (s.producer == graph::kNoLayer) {
+                    _readsInput[static_cast<std::size_t>(a.id)] = true;
+                    continue;
+                }
+                collectProducerAtoms(s.producer, a.batch, ih0, ih1, iw0,
+                                     iw1, lo - s.chanBegin,
+                                     hi - s.chanBegin, my_deps);
+            }
+        }
+        // Merge duplicate producers (e.g. the same atom reached through
+        // two Concat slices), summing the overlap bytes.
+        std::sort(my_deps.begin(), my_deps.end());
+        std::size_t w = 0;
+        for (std::size_t r = 0; r < my_deps.size(); ++r) {
+            if (w > 0 && my_deps[w - 1].first == my_deps[r].first) {
+                my_deps[w - 1].second += my_deps[r].second;
+            } else {
+                my_deps[w++] = my_deps[r];
+            }
+        }
+        my_deps.resize(w);
+    }
+
+    // Flatten to CSR, forward and inverted.
+    _depOffsets.assign(_atoms.size() + 1, 0);
+    std::vector<std::int64_t> cons_count(_atoms.size(), 0);
+    for (std::size_t i = 0; i < _atoms.size(); ++i) {
+        _depOffsets[i + 1] = _depOffsets[i] +
+                             static_cast<std::int64_t>(deps[i].size());
+        for (const auto &[d, bytes] : deps[i])
+            ++cons_count[static_cast<std::size_t>(d)];
+    }
+    _depEdges.resize(static_cast<std::size_t>(_depOffsets.back()));
+    _depEdgeBytes.resize(static_cast<std::size_t>(_depOffsets.back()));
+    for (std::size_t i = 0; i < _atoms.size(); ++i) {
+        auto cursor = _depOffsets[i];
+        for (const auto &[d, bytes] : deps[i]) {
+            _depEdges[static_cast<std::size_t>(cursor)] = d;
+            _depEdgeBytes[static_cast<std::size_t>(cursor)] = bytes;
+            ++cursor;
+        }
+    }
+
+    _consOffsets.assign(_atoms.size() + 1, 0);
+    for (std::size_t i = 0; i < _atoms.size(); ++i)
+        _consOffsets[i + 1] = _consOffsets[i] + cons_count[i];
+    _consEdges.resize(static_cast<std::size_t>(_consOffsets.back()));
+    std::vector<std::int64_t> cursor(_consOffsets.begin(),
+                                     _consOffsets.end() - 1);
+    for (std::size_t i = 0; i < _atoms.size(); ++i) {
+        for (const auto &[d, bytes] : deps[i]) {
+            _consEdges[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(d)]++)] =
+                static_cast<AtomId>(i);
+        }
+    }
+}
+
+std::span<const Bytes>
+AtomicDag::depBytesSpan(AtomId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    adAssert(i < _atoms.size(), "atom id out of range");
+    return {_depEdgeBytes.data() + _depOffsets[i],
+            _depEdgeBytes.data() + _depOffsets[i + 1]};
+}
+
+const Atom &
+AtomicDag::atom(AtomId id) const
+{
+    adAssert(id >= 0 && static_cast<std::size_t>(id) < _atoms.size(),
+             "atom id out of range: ", id);
+    return _atoms[static_cast<std::size_t>(id)];
+}
+
+std::vector<AtomId>
+AtomicDag::deps(AtomId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    adAssert(i < _atoms.size(), "atom id out of range");
+    return {_depEdges.begin() + _depOffsets[i],
+            _depEdges.begin() + _depOffsets[i + 1]};
+}
+
+std::vector<AtomId>
+AtomicDag::consumers(AtomId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    adAssert(i < _atoms.size(), "atom id out of range");
+    return {_consEdges.begin() + _consOffsets[i],
+            _consEdges.begin() + _consOffsets[i + 1]};
+}
+
+std::span<const AtomId>
+AtomicDag::depsSpan(AtomId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    adAssert(i < _atoms.size(), "atom id out of range");
+    return {_depEdges.data() + _depOffsets[i],
+            _depEdges.data() + _depOffsets[i + 1]};
+}
+
+std::span<const AtomId>
+AtomicDag::consumersSpan(AtomId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    adAssert(i < _atoms.size(), "atom id out of range");
+    return {_consEdges.data() + _consOffsets[i],
+            _consEdges.data() + _consOffsets[i + 1]};
+}
+
+int
+AtomicDag::depCount(AtomId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    adAssert(i < _atoms.size(), "atom id out of range");
+    return static_cast<int>(_depOffsets[i + 1] - _depOffsets[i]);
+}
+
+bool
+AtomicDag::readsExternalInput(AtomId id) const
+{
+    const auto i = static_cast<std::size_t>(id);
+    adAssert(i < _atoms.size(), "atom id out of range");
+    return _readsInput[i];
+}
+
+engine::AtomWorkload
+AtomicDag::workload(AtomId id) const
+{
+    const Atom &a = atom(id);
+    const graph::Layer &layer = _graph.layer(a.layer);
+    engine::AtomWorkload w;
+    w.type = layer.type;
+    w.h = a.tileH();
+    w.w = a.tileW();
+    w.co = a.tileC();
+    w.ci = layer.in.c;
+    if (layer.type == OpType::DepthwiseConv ||
+        layer.type == OpType::Pool || layer.type == OpType::Eltwise) {
+        w.ci = a.tileC();
+    }
+    w.window = layer.window;
+    return w;
+}
+
+Bytes
+AtomicDag::ofmapBytes(AtomId id) const
+{
+    return static_cast<Bytes>(atom(id).outElems()) *
+           _options.bytesPerElem;
+}
+
+Bytes
+AtomicDag::weightBytes(AtomId id) const
+{
+    return workload(id).weightBytes(_options.bytesPerElem);
+}
+
+std::pair<AtomId, AtomId>
+AtomicDag::layerAtoms(LayerId layer, int sample) const
+{
+    const auto lid = static_cast<std::size_t>(layer);
+    adAssert(lid < _layerBase.size(), "layer id out of range");
+    adAssert(sample >= 0 && sample < _options.batch,
+             "sample out of range");
+    const AtomId base = _layerBase[lid][static_cast<std::size_t>(sample)];
+    if (base == kNoAtom)
+        return {kNoAtom, kNoAtom};
+    return {base, base + _atomsPerSample[lid]};
+}
+
+int
+AtomicDag::atomsPerSample(LayerId layer) const
+{
+    const auto lid = static_cast<std::size_t>(layer);
+    adAssert(lid < _atomsPerSample.size(), "layer id out of range");
+    return _atomsPerSample[lid];
+}
+
+int
+AtomicDag::layerDepth(LayerId layer) const
+{
+    const auto lid = static_cast<std::size_t>(layer);
+    adAssert(lid < _depths.size(), "layer id out of range");
+    return _depths[lid];
+}
+
+const TileShape &
+AtomicDag::shapeOf(LayerId layer) const
+{
+    const auto lid = static_cast<std::size_t>(layer);
+    adAssert(lid < _shapes.size(), "layer id out of range");
+    return _shapes[lid];
+}
+
+std::size_t
+AtomicDag::macAtomCount() const
+{
+    std::size_t n = 0;
+    for (const Atom &a : _atoms) {
+        if (_graph.layer(a.layer).onPeArray())
+            ++n;
+    }
+    return n;
+}
+
+} // namespace ad::core

@@ -1,0 +1,144 @@
+#pragma once
+
+/**
+ * @file
+ * The atomic DAG: atoms of every (layer, batch sample) pair plus the
+ * atom-level data dependencies derived from receptive fields (Sec. III,
+ * Fig. 6(b)).
+ *
+ * Concat layers are elided during construction — a consumer reading a
+ * channel range of a Concat output depends directly on the branch layer
+ * that produced that range, so concatenation never serializes the graph.
+ * All samples of a batch are gathered into one unified DAG (#Batch
+ * identical sub-DAGs), enabling batch-level parallelism (Sec. IV-B).
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/atom.hh"
+#include "graph/graph.hh"
+
+namespace ad::core {
+
+/** Construction options for the atomic DAG. */
+struct AtomicDagOptions
+{
+    int batch = 1;       ///< number of input samples gathered into the DAG
+    int bytesPerElem = 1;
+};
+
+/** Immutable atom-level dependency graph. */
+class AtomicDag
+{
+  public:
+    /**
+     * Partition @p graph into atoms using per-layer @p shapes (indexed by
+     * LayerId; Input/Concat entries are ignored) and derive atom-level
+     * dependencies. The DAG keeps its own copy of the graph, so
+     * temporaries are safe to pass.
+     */
+    AtomicDag(graph::Graph graph, const std::vector<TileShape> &shapes,
+              const AtomicDagOptions &options = {});
+
+    /** Source computation graph. */
+    const graph::Graph &graph() const { return _graph; }
+
+    /** Number of atoms. */
+    std::size_t size() const { return _atoms.size(); }
+
+    /** Atom by id. */
+    const Atom &atom(AtomId id) const;
+
+    /** All atoms, id-ordered. */
+    const std::vector<Atom> &atoms() const { return _atoms; }
+
+    /** Producer atoms @p id depends on (within the same sample). */
+    std::vector<AtomId> deps(AtomId id) const;
+
+    /** Consumer atoms that depend on @p id. */
+    std::vector<AtomId> consumers(AtomId id) const;
+
+    /** Allocation-free view of deps(id). */
+    std::span<const AtomId> depsSpan(AtomId id) const;
+
+    /** Allocation-free view of consumers(id). */
+    std::span<const AtomId> consumersSpan(AtomId id) const;
+
+    /**
+     * Bytes @p id actually reads from each producer (the receptive-field
+     * overlap, not the producer's whole tile); aligned with depsSpan.
+     */
+    std::span<const Bytes> depBytesSpan(AtomId id) const;
+
+    /** Number of producer atoms of @p id. */
+    int depCount(AtomId id) const;
+
+    /** True when @p id reads the graph input (data arrives from HBM). */
+    bool readsExternalInput(AtomId id) const;
+
+    /** Engine workload (tile dims + operator params) of @p id. */
+    engine::AtomWorkload workload(AtomId id) const;
+
+    /** Output bytes of @p id. */
+    Bytes ofmapBytes(AtomId id) const;
+
+    /** Weight bytes needed resident to execute @p id. */
+    Bytes weightBytes(AtomId id) const;
+
+    /** Batch size this DAG was built with. */
+    int batch() const { return _options.batch; }
+
+    /** Atoms of @p layer in @p sample (contiguous id range). */
+    std::pair<AtomId, AtomId> layerAtoms(graph::LayerId layer,
+                                         int sample) const;
+
+    /** Number of atoms per sample of @p layer (0 for elided layers). */
+    int atomsPerSample(graph::LayerId layer) const;
+
+    /** Longest-path depth of each atom's layer (for priority rule 2). */
+    int layerDepth(graph::LayerId layer) const;
+
+    /** Tile shape used for @p layer. */
+    const TileShape &shapeOf(graph::LayerId layer) const;
+
+    /** Total atoms whose layer runs on the PE array. */
+    std::size_t macAtomCount() const;
+
+  private:
+    struct SourceSlice
+    {
+        graph::LayerId producer = graph::kNoLayer; ///< kNoLayer == input
+        int chanBegin = 0; ///< first consumer-input channel of this slice
+        int chanCount = 0;
+    };
+
+    void buildAtoms();
+    void buildEdges();
+    std::vector<SourceSlice> resolveSources(graph::LayerId layer) const;
+    void collectProducerAtoms(
+        graph::LayerId producer, int sample, int h0, int h1, int w0,
+        int w1, int c0, int c1,
+        std::vector<std::pair<AtomId, Bytes>> &out) const;
+
+    graph::Graph _graph;
+    AtomicDagOptions _options;
+    std::vector<TileShape> _shapes;
+    std::vector<int> _depths;
+
+    std::vector<Atom> _atoms;
+    /// Per (layer, sample): first AtomId; kNoAtom when the layer is elided.
+    std::vector<std::vector<AtomId>> _layerBase;
+    std::vector<int> _atomsPerSample;
+
+    // CSR edge storage.
+    std::vector<std::int64_t> _depOffsets;
+    std::vector<AtomId> _depEdges;
+    std::vector<Bytes> _depEdgeBytes;
+    std::vector<std::int64_t> _consOffsets;
+    std::vector<AtomId> _consEdges;
+    std::vector<bool> _readsInput;
+};
+
+} // namespace ad::core

@@ -1,0 +1,234 @@
+#include "mapper.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace ad::core {
+
+AtomEngineMapper::AtomEngineMapper(const AtomicDag &dag,
+                                   const noc::MeshTopology &topo,
+                                   MapperOptions options)
+    : _dag(&dag), _topo(&topo), _options(options)
+{
+    // Boustrophedon (zig-zag) enumeration of the mesh: row 0 left-to-
+    // right, row 1 right-to-left, ... so consecutive engines are always
+    // mesh-adjacent.
+    _zigzag.reserve(static_cast<std::size_t>(topo.nodes()));
+    for (int y = 0; y < topo.ydim(); ++y) {
+        if (y % 2 == 0) {
+            for (int x = 0; x < topo.xdim(); ++x)
+                _zigzag.push_back(topo.idOf({x, y}));
+        } else {
+            for (int x = topo.xdim() - 1; x >= 0; --x)
+                _zigzag.push_back(topo.idOf({x, y}));
+        }
+    }
+}
+
+std::uint64_t
+AtomEngineMapper::transferCost(const std::vector<Placement> &placements,
+                               const ResidencyTracker &residency) const
+{
+    std::uint64_t cost = 0;
+    for (const Placement &p : placements) {
+        const auto dep_ids = _dag->depsSpan(p.atom);
+        const auto dep_bytes = _dag->depBytesSpan(p.atom);
+        for (std::size_t di = 0; di < dep_ids.size(); ++di) {
+            const SourceInfo src = residency.locate(dep_ids[di]);
+            if (src.location != Location::OnChip)
+                continue;
+            if (src.engine == p.engine)
+                continue; // local reuse, zero hops
+            cost += static_cast<std::uint64_t>(
+                        _topo->hops(src.engine, p.engine)) *
+                    dep_bytes[di];
+        }
+        // Weight affinity: landing on an engine that already holds the
+        // (layer, slice) weights avoids replicating them.
+        const Bytes wbytes = _dag->weightBytes(p.atom);
+        if (wbytes > 0) {
+            const Atom &a = _dag->atom(p.atom);
+            const int holder = residency.weightHolder(a.layer, a.cs);
+            if (holder >= 0 && holder != p.engine) {
+                cost += static_cast<std::uint64_t>(
+                            _topo->hops(holder, p.engine)) *
+                        wbytes;
+            }
+        }
+    }
+    return cost;
+}
+
+std::uint64_t
+AtomEngineMapper::atomCost(AtomId atom, int engine,
+                           const ResidencyTracker &residency) const
+{
+    std::uint64_t cost = 0;
+    const auto dep_ids = _dag->depsSpan(atom);
+    const auto dep_bytes = _dag->depBytesSpan(atom);
+    for (std::size_t di = 0; di < dep_ids.size(); ++di) {
+        const SourceInfo src = residency.locate(dep_ids[di]);
+        if (src.location != Location::OnChip || src.engine == engine)
+            continue;
+        cost += static_cast<std::uint64_t>(
+                    _topo->hops(src.engine, engine)) *
+                dep_bytes[di];
+    }
+    const Bytes wbytes = _dag->weightBytes(atom);
+    if (wbytes > 0) {
+        const Atom &a = _dag->atom(atom);
+        const int holder = residency.weightHolder(a.layer, a.cs);
+        if (holder >= 0 && holder != engine) {
+            cost += static_cast<std::uint64_t>(
+                        _topo->hops(holder, engine)) *
+                    wbytes;
+        }
+    }
+    return cost;
+}
+
+std::vector<Placement>
+AtomEngineMapper::refine(std::vector<Placement> placements,
+                         const ResidencyTracker &residency) const
+{
+    // Greedy slot assignment: keep the permutation's atom order but let
+    // each atom take the free engine with the lowest transfer + weight
+    // affinity cost (zig-zag rank breaks ties), so a layer re-entering
+    // in a later Round lands on the engines that still hold its weights
+    // and neighbouring tiles.
+    std::vector<bool> taken(static_cast<std::size_t>(_topo->nodes()),
+                            false);
+    for (Placement &p : placements) {
+        int best_engine = -1;
+        std::uint64_t best_cost = 0;
+        // Scan in zig-zag order so ties keep the boustrophedon layout;
+        // a zero-cost engine (all inputs local) cannot be beaten.
+        for (int slot = 0; slot < _topo->nodes(); ++slot) {
+            const int e = _zigzag[static_cast<std::size_t>(slot)];
+            if (taken[static_cast<std::size_t>(e)])
+                continue;
+            const std::uint64_t cost = atomCost(p.atom, e, residency);
+            if (best_engine < 0 || cost < best_cost) {
+                best_engine = e;
+                best_cost = cost;
+                if (cost == 0)
+                    break;
+            }
+        }
+        adAssert(best_engine >= 0, "no free engine for atom");
+        p.engine = best_engine;
+        taken[static_cast<std::size_t>(best_engine)] = true;
+    }
+    return placements;
+}
+
+std::vector<Placement>
+AtomEngineMapper::placeInOrder(
+    const std::vector<std::vector<AtomId>> &groups,
+    const std::vector<std::size_t> &perm) const
+{
+    std::vector<Placement> placements;
+    std::size_t slot = 0;
+    for (std::size_t gi : perm) {
+        for (AtomId a : groups[gi]) {
+            adAssert(slot < _zigzag.size(),
+                     "round has more atoms than engines");
+            placements.push_back({a, _zigzag[slot++]});
+        }
+    }
+    return placements;
+}
+
+std::vector<Placement>
+AtomEngineMapper::mapRound(const std::vector<AtomId> &atoms,
+                           const ResidencyTracker &residency) const
+{
+    adAssert(atoms.size() <= _zigzag.size(),
+             "round has more atoms than engines");
+
+    // Group atoms by layer, preserving arrival order.
+    std::vector<graph::LayerId> layer_of_group;
+    std::vector<std::vector<AtomId>> groups;
+    for (AtomId a : atoms) {
+        const graph::LayerId layer = _dag->atom(a).layer;
+        auto it = std::find(layer_of_group.begin(), layer_of_group.end(),
+                            layer);
+        if (it == layer_of_group.end()) {
+            layer_of_group.push_back(layer);
+            groups.emplace_back();
+            groups.back().push_back(a);
+        } else {
+            groups[static_cast<std::size_t>(
+                       it - layer_of_group.begin())]
+                .push_back(a);
+        }
+    }
+
+    // Stable intra-group order (by tile index): identical layers recur at
+    // the same engine slots Round over Round, so resident weight slices
+    // and neighbouring tiles are reused instead of replicated.
+    if (_options.stableOrder)
+    for (auto &group : groups) {
+        std::sort(group.begin(), group.end(),
+                  [this](AtomId a, AtomId b) {
+                      const Atom &aa = _dag->atom(a);
+                      const Atom &ab = _dag->atom(b);
+                      return aa.index < ab.index;
+                  });
+    }
+
+    std::vector<std::size_t> perm(groups.size());
+    std::iota(perm.begin(), perm.end(), 0);
+
+    if (!_options.optimize)
+        return placeInOrder(groups, perm);
+    if (groups.size() <= 1)
+        return refine(placeInOrder(groups, perm), residency);
+
+    if (static_cast<int>(groups.size()) <= _options.maxPermutationLayers) {
+        // Exhaustive M! search (paper footnote 4).
+        std::vector<std::size_t> best_perm = perm;
+        std::uint64_t best_cost =
+            std::numeric_limits<std::uint64_t>::max();
+        std::sort(perm.begin(), perm.end());
+        do {
+            const auto placements = placeInOrder(groups, perm);
+            const std::uint64_t cost =
+                transferCost(placements, residency);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_perm = perm;
+            }
+        } while (std::next_permutation(perm.begin(), perm.end()));
+        return refine(placeInOrder(groups, best_perm), residency);
+    }
+
+    // Greedy fallback: grow the permutation one group at a time, always
+    // appending the group that adds the least transfer cost.
+    std::vector<std::size_t> order;
+    std::vector<bool> used(groups.size(), false);
+    while (order.size() < groups.size()) {
+        std::size_t best_group = 0;
+        std::uint64_t best_cost =
+            std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            if (used[gi])
+                continue;
+            auto trial = order;
+            trial.push_back(gi);
+            const auto placements = placeInOrder(groups, trial);
+            const std::uint64_t cost =
+                transferCost(placements, residency);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_group = gi;
+            }
+        }
+        used[best_group] = true;
+        order.push_back(best_group);
+    }
+    return refine(placeInOrder(groups, order), residency);
+}
+
+} // namespace ad::core

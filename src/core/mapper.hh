@@ -1,0 +1,83 @@
+#pragma once
+
+/**
+ * @file
+ * Atom-engine mapping (Sec. IV-C): place each Round's atoms onto physical
+ * engines so that inter-engine data reuse travels the fewest NoC hops.
+ *
+ * Atoms are laid out zig-zag across the 2D mesh in the order of a layer
+ * permutation P; TransferCost(P) = sum over consumer/producer pairs of
+ * D(i,j) * TensorSize, and the permutation with minimum cost wins. For
+ * Rounds involving more layers than the factorial search can afford, a
+ * greedy insertion order replaces exhaustive permutation.
+ */
+
+#include <vector>
+
+#include "core/atomic_dag.hh"
+#include "core/residency.hh"
+#include "core/schedule.hh"
+#include "noc/mesh.hh"
+
+namespace ad::core {
+
+/** Mapper parameters. */
+struct MapperOptions
+{
+    /** Permutations are exhaustive up to this many involved layers (M!
+     * choices, paper footnote 4); beyond it a greedy order is used. */
+    int maxPermutationLayers = 5;
+    /** Disable placement optimization entirely (reuse ablation): atoms
+     * are placed zig-zag in candidate order. */
+    bool optimize = true;
+    /** Sort atoms by tile index within each layer group so recurring
+     * layers land on recurring engine slots. Disable to model mappers
+     * with no spatial awareness (the Rammer-like baseline). */
+    bool stableOrder = true;
+};
+
+/** Placement engine for one AtomicDag on one mesh. */
+class AtomEngineMapper
+{
+  public:
+    /** Create a mapper over @p dag and @p topo. */
+    AtomEngineMapper(const AtomicDag &dag, const noc::MeshTopology &topo,
+                     MapperOptions options = {});
+
+    /**
+     * Map one Round's @p atoms onto engines. @p residency locates the
+     * producer engine of every on-chip dependency.
+     */
+    std::vector<Placement> mapRound(const std::vector<AtomId> &atoms,
+                                    const ResidencyTracker &residency) const;
+
+    /**
+     * TransferCost of a concrete placement: sum of hops x bytes over all
+     * on-chip dependencies (exposed for tests and diagnostics).
+     */
+    std::uint64_t transferCost(const std::vector<Placement> &placements,
+                               const ResidencyTracker &residency) const;
+
+    /** Boustrophedon engine enumeration used for zig-zag allocation. */
+    const std::vector<int> &zigzagOrder() const { return _zigzag; }
+
+  private:
+    std::vector<Placement> placeInOrder(
+        const std::vector<std::vector<AtomId>> &groups,
+        const std::vector<std::size_t> &perm) const;
+
+    /** Transfer + weight-affinity cost of putting @p atom on @p engine. */
+    std::uint64_t atomCost(AtomId atom, int engine,
+                           const ResidencyTracker &residency) const;
+
+    /** Greedy per-atom slot assignment keeping the chosen atom order. */
+    std::vector<Placement> refine(std::vector<Placement> placements,
+                                  const ResidencyTracker &residency) const;
+
+    const AtomicDag *_dag;
+    const noc::MeshTopology *_topo;
+    MapperOptions _options;
+    std::vector<int> _zigzag;
+};
+
+} // namespace ad::core

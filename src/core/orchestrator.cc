@@ -1,0 +1,222 @@
+#include "orchestrator.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "noc/mesh.hh"
+
+namespace ad::core {
+
+Orchestrator::Orchestrator(const sim::SystemConfig &system,
+                           OrchestratorOptions options)
+    : _system(system), _options(options)
+{
+    _system.validate();
+    _options.scheduler.engines = _system.engines();
+    if (!_options.onChipReuse) {
+        _system.onChipReuse = false;
+        _options.mapper.optimize = false;
+    }
+}
+
+Schedule
+Orchestrator::buildSchedule(const AtomicDag &dag) const
+{
+    const engine::CostModel model(_system.engine, _system.dataflow);
+    DpScheduler scheduler(dag, model, _options.scheduler);
+    const RoundList rounds = scheduler.schedule();
+
+    // Mapping pass (Sec. IV-C): walk the rounds with the same residency
+    // model the simulator uses, so placement decisions see exactly what
+    // will be on-chip at execution time.
+    const noc::MeshTopology topo(_system.meshX, _system.meshY);
+    AtomEngineMapper mapper(dag, topo, _options.mapper);
+    ResidencyTracker residency(dag, _system.engines(),
+                               _system.engine.bufferBytes);
+    residency.attachSchedule(rounds);
+
+    Schedule schedule;
+    schedule.rounds.reserve(rounds.size());
+    for (std::size_t t = 0; t < rounds.size(); ++t) {
+        residency.beginRound(static_cast<int>(t));
+        Round round;
+        round.placements = mapper.mapRound(rounds[t], residency);
+        if (_options.onChipReuse) {
+            for (const Placement &p : round.placements) {
+                const graph::LayerId layer = dag.atom(p.atom).layer;
+                const int slice = dag.atom(p.atom).cs;
+                const Bytes wbytes = dag.weightBytes(p.atom);
+                if (wbytes > 0 &&
+                    !residency.weightsResident(layer, slice, p.engine)) {
+                    residency.installWeights(layer, slice, p.engine,
+                                             wbytes,
+                                             static_cast<int>(t));
+                }
+            }
+            for (const Placement &p : round.placements)
+                residency.produce(p.atom, p.engine,
+                                  static_cast<int>(t));
+        }
+        schedule.rounds.push_back(std::move(round));
+    }
+    return schedule;
+}
+
+OrchestratorResult
+Orchestrator::run(const graph::Graph &graph) const
+{
+    const auto start = std::chrono::steady_clock::now();
+
+    const engine::CostModel model(_system.engine, _system.dataflow);
+    OrchestratorResult result;
+
+    // Stage 1: atomic tensor generation (Sec. IV-A). The iterative
+    // search of Fig. 4(b) also keeps the naive balanced partition in the
+    // candidate pool — whenever the SA granularity is not an improvement
+    // the evaluation model rejects it.
+    // Under KC-P a spatial-leaning split keeps channel tiles aligned;
+    // under YX-P a channel-leaning split keeps the spatial dims whole.
+    const PartitionPolicy aligned_policy =
+        _system.dataflow == engine::DataflowKind::YxPartition
+            ? PartitionPolicy::ChannelFirst
+            : PartitionPolicy::Balanced;
+    // With several samples in flight, the naive partition does not need
+    // engines-many tiles per layer: batch parallelism already fills the
+    // mesh.
+    const int even_tiles = std::max(
+        1, _system.engines() /
+               std::min(_options.batch, _system.engines()));
+
+    // Total atoms a shape vector would create for this batch.
+    const auto atom_count = [&graph,
+                             this](const std::vector<TileShape> &shapes) {
+        std::size_t n = 0;
+        for (const graph::Layer &l : graph.layers()) {
+            if (l.type == graph::OpType::Input ||
+                l.type == graph::OpType::Concat) {
+                continue;
+            }
+            const TileShape &s =
+                shapes[static_cast<std::size_t>(l.id)];
+            n += static_cast<std::size_t>(
+                     ceilDiv(l.out.h, std::clamp(s.h, 1, l.out.h))) *
+                 static_cast<std::size_t>(
+                     ceilDiv(l.out.w, std::clamp(s.w, 1, l.out.w))) *
+                 static_cast<std::size_t>(
+                     ceilDiv(l.out.c, std::clamp(s.c, 1, l.out.c)));
+        }
+        return n * static_cast<std::size_t>(_options.batch);
+    };
+
+    std::vector<std::vector<TileShape>> shape_sets;
+    switch (_options.atomGen) {
+      case AtomGenMode::EvenPartition:
+        shape_sets.push_back(
+            evenPartitionShapes(graph, even_tiles, aligned_policy));
+        break;
+      case AtomGenMode::Sa: {
+        const ShapeCatalog catalog(graph, model);
+        const SaAtomGenerator generator(_options.sa);
+        result.generation = generator.generate(catalog);
+        // Coarsen toward larger unified cycles until the DAG fits the
+        // atom budget (tiny-layer networks at large batch).
+        std::vector<TileShape> shapes = result.generation.shapes;
+        double target = std::max(result.generation.meanCycles, 1.0);
+        for (int i = 0; i < 16 && atom_count(shapes) > _options.maxAtoms;
+             ++i) {
+            target *= 1.8;
+            for (const graph::Layer &l : graph.layers()) {
+                if (!catalog.candidatesFor(l.id).empty()) {
+                    shapes[static_cast<std::size_t>(l.id)] =
+                        catalog.nearest(l.id, target).shape;
+                }
+            }
+        }
+        shape_sets.push_back(std::move(shapes));
+        if (_options.scheduler.mode == SchedMode::Dp) {
+            auto even =
+                evenPartitionShapes(graph, even_tiles, aligned_policy);
+            if (atom_count(even) <= _options.maxAtoms)
+                shape_sets.push_back(std::move(even));
+        }
+        break;
+      }
+    }
+
+    // Stage 2-4: atomic DAG, scheduling, mapping, system evaluation —
+    // candidate solutions are fed to the evaluation model and the
+    // minimum-cost one is recorded. In Dp mode the search covers the DP
+    // lookahead, the greedy priority rules, and plain dependency order,
+    // each with and without placement optimization; a non-Dp mode pins a
+    // single candidate (used by the Fig. 10 ablations).
+    const sim::SystemSimulator simulator(_system);
+    struct Candidate
+    {
+        SchedMode mode;
+        bool optimizeMapping;
+    };
+    std::vector<Candidate> candidates;
+    if (_options.scheduler.mode == SchedMode::Dp &&
+        _options.mapper.optimize) {
+        candidates = {{SchedMode::Dp, true},
+                      {SchedMode::Greedy, true},
+                      {SchedMode::LayerOrder, true},
+                      {SchedMode::LayerOrder, false},
+                      {SchedMode::LayerBatched, true},
+                      {SchedMode::LayerBatched, false}};
+    } else {
+        candidates = {{_options.scheduler.mode,
+                       _options.mapper.optimize}};
+    }
+
+    AtomicDagOptions dag_options;
+    dag_options.batch = _options.batch;
+    dag_options.bytesPerElem = _system.engine.bytesPerElem;
+
+    bool first = true;
+    for (const auto &shapes : shape_sets) {
+        auto dag = std::make_unique<AtomicDag>(graph, shapes,
+                                               dag_options);
+        bool dag_won = false;
+        for (const Candidate &candidate : candidates) {
+            OrchestratorOptions trial_options = _options;
+            trial_options.scheduler.mode = candidate.mode;
+            trial_options.mapper.optimize = candidate.optimizeMapping;
+            Orchestrator trial(_system, trial_options);
+            Schedule schedule = trial.buildSchedule(*dag);
+            sim::ExecutionReport report =
+                simulator.execute(*dag, schedule);
+            // Primary objective: cycles. Near-ties (within 10%) resolve
+            // by energy, so the search does not trade a large energy
+            // regression for a marginal speedup.
+            bool better = false;
+            if (first) {
+                better = true;
+            } else if (report.totalCycles <
+                       result.report.totalCycles * 90 / 100) {
+                better = true;
+            } else if (report.totalCycles <=
+                           result.report.totalCycles * 110 / 100 &&
+                       report.totalEnergyPj() <
+                           result.report.totalEnergyPj()) {
+                better = true;
+            }
+            if (better) {
+                first = false;
+                dag_won = true;
+                result.schedule = std::move(schedule);
+                result.report = report;
+            }
+        }
+        if (dag_won)
+            result.dag = std::move(dag);
+    }
+
+    result.searchSeconds =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return result;
+}
+
+} // namespace ad::core

@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * The top-level atomic-dataflow optimization framework (Sec. III,
+ * Fig. 4): atom generation -> atomic DAG -> DAG scheduling -> atom-engine
+ * mapping -> system evaluation, with each stage independently selectable
+ * for the per-stage ablation of Fig. 10.
+ */
+
+#include <memory>
+
+#include "core/atom_generator.hh"
+#include "core/atomic_dag.hh"
+#include "core/mapper.hh"
+#include "core/partition.hh"
+#include "core/schedule.hh"
+#include "core/scheduler.hh"
+#include "sim/system.hh"
+
+namespace ad::core {
+
+/** Atom-generation stage selector. */
+enum class AtomGenMode {
+    EvenPartition, ///< naive N-way split, PE-geometry oblivious
+    Sa,            ///< simulated-annealing search (Algorithm 1)
+};
+
+/** Orchestrator options; sub-option structs feed the stages. */
+struct OrchestratorOptions
+{
+    int batch = 1;
+    AtomGenMode atomGen = AtomGenMode::Sa;
+    SaOptions sa;
+    SchedulerOptions scheduler; ///< engines is overwritten from the system
+    MapperOptions mapper;
+    /** Disable all on-chip inter-Round reuse (Fig. 10 ablation): every
+     * intermediate goes through HBM. */
+    bool onChipReuse = true;
+
+    /**
+     * Upper bound on total atoms in one DAG. When the SA solution's
+     * unified cycle is so small that the batch explodes past this
+     * bound (tiny-layer networks), the per-layer shapes are snapped to
+     * progressively larger cycle targets until the DAG fits — trading a
+     * little load balance for a tractable schedule.
+     */
+    std::size_t maxAtoms = 250'000;
+};
+
+/** Everything one optimization run produces. */
+struct OrchestratorResult
+{
+    GenerationResult generation;          ///< atom-generation outcome
+    std::unique_ptr<AtomicDag> dag;       ///< owns atoms + dependencies
+    Schedule schedule;                    ///< mapped rounds
+    sim::ExecutionReport report;          ///< simulated execution
+    double searchSeconds = 0.0;           ///< compile-time search cost
+};
+
+/**
+ * Runs the full workflow on one workload. The input graph must outlive
+ * the returned result (the AtomicDag references it).
+ */
+class Orchestrator
+{
+  public:
+    /** Create an orchestrator for @p system with @p options. */
+    Orchestrator(const sim::SystemConfig &system,
+                 OrchestratorOptions options = {});
+
+    /** Optimize and evaluate @p graph end to end. */
+    OrchestratorResult run(const graph::Graph &graph) const;
+
+    /**
+     * Build the mapped schedule for a pre-built @p dag (skips atom
+     * generation; used by ablations and baselines).
+     */
+    Schedule buildSchedule(const AtomicDag &dag) const;
+
+    /** System configuration in use. */
+    const sim::SystemConfig &system() const { return _system; }
+
+    /** Options in use. */
+    const OrchestratorOptions &options() const { return _options; }
+
+  private:
+    sim::SystemConfig _system;
+    OrchestratorOptions _options;
+};
+
+} // namespace ad::core

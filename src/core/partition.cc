@@ -1,0 +1,56 @@
+#include "partition.hh"
+
+#include <algorithm>
+
+#include "util/common.hh"
+
+namespace ad::core {
+
+std::vector<TileShape>
+evenPartitionShapes(const graph::Graph &graph, int tiles,
+                    PartitionPolicy policy)
+{
+    if (tiles < 1)
+        fatal("tile count must be positive");
+
+    std::vector<TileShape> shapes(graph.size(), TileShape{1, 1, 1});
+    for (const graph::Layer &layer : graph.layers()) {
+        if (layer.type == graph::OpType::Input ||
+            layer.type == graph::OpType::Concat) {
+            continue;
+        }
+        int nh = 1, nw = 1, nc = 1;
+        if (policy == PartitionPolicy::ChannelFirst) {
+            // Distribute output channels across engines first (down to a
+            // 4-channel filter group per engine); only then split the
+            // spatial dims.
+            nc = std::min(tiles, std::max(1, layer.out.c / 4));
+            int rest = ceilDiv(tiles, nc);
+            nh = std::min(rest, layer.out.h);
+            rest = ceilDiv(rest, nh);
+            nw = std::min(rest, layer.out.w);
+        } else {
+            // Grow the dimension with the most remaining headroom.
+            while (nh * nw * nc < tiles) {
+                const int room_h = layer.out.h / (nh + 1);
+                const int room_w = layer.out.w / (nw + 1);
+                const int room_c = layer.out.c / (nc + 1);
+                if (room_h >= room_w && room_h >= room_c && room_h >= 1) {
+                    ++nh;
+                } else if (room_w >= room_c && room_w >= 1) {
+                    ++nw;
+                } else if (room_c >= 1) {
+                    ++nc;
+                } else {
+                    break; // layer too small to split further
+                }
+            }
+        }
+        shapes[static_cast<std::size_t>(layer.id)] = {
+            ceilDiv(layer.out.h, nh), ceilDiv(layer.out.w, nw),
+            ceilDiv(layer.out.c, nc)};
+    }
+    return shapes;
+}
+
+} // namespace ad::core

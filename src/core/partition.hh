@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Naive even partitioning of layers into a fixed tile count — the
+ * strategy Layer-Sequential scheduling uses (Sec. II-B) and the
+ * atom-generation ablation point of Fig. 10. Tiles are split along
+ * H/W/C without regard to the PE-array geometry, which is exactly the
+ * task-engine mismatch the paper measures in Fig. 2.
+ */
+
+#include <vector>
+
+#include "core/atom.hh"
+#include "graph/graph.hh"
+
+namespace ad::core {
+
+/** How the naive even partition divides a layer. */
+enum class PartitionPolicy {
+    /**
+     * Output channels first (NVDLA/TETRIS multi-engine convention: each
+     * engine owns a distinct filter group), then spatial dims. This is
+     * what makes LS tiles stop aligning with the PE array — the
+     * task-engine mismatch of Fig. 2.
+     */
+    ChannelFirst,
+    /** Largest dimension first (spatial-leaning balanced split). */
+    Balanced,
+};
+
+/**
+ * Tile shapes that split every layer of @p graph into (at least)
+ * @p tiles pieces under @p policy.
+ */
+std::vector<TileShape> evenPartitionShapes(
+    const graph::Graph &graph, int tiles,
+    PartitionPolicy policy = PartitionPolicy::ChannelFirst);
+
+} // namespace ad::core

@@ -1,0 +1,364 @@
+#include "residency.hh"
+
+#include <algorithm>
+
+namespace ad::core {
+
+namespace {
+
+/// Key bit marking a weight resident (vs an atom ofmap).
+constexpr mem::ResidentKey kWeightTag = 1ULL << 62;
+
+} // namespace
+
+mem::ResidentKey
+ResidencyTracker::atomKey(AtomId atom)
+{
+    return static_cast<mem::ResidentKey>(atom);
+}
+
+mem::ResidentKey
+ResidencyTracker::weightKey(graph::LayerId layer, int slice)
+{
+    return kWeightTag |
+           (static_cast<mem::ResidentKey>(layer) << 24) |
+           static_cast<mem::ResidentKey>(slice);
+}
+
+graph::LayerId
+ResidencyTracker::layerOfWeightKey(mem::ResidentKey key)
+{
+    return static_cast<graph::LayerId>((key & ~kWeightTag) >> 24);
+}
+
+ResidencyTracker::ResidencyTracker(const AtomicDag &dag, int engines,
+                                   Bytes buffer_bytes,
+                                   Bytes max_resident_weight)
+    : _dag(&dag), _atomHome(dag.size(), -1), _useRounds(dag.size()),
+      _maxResidentWeight(max_resident_weight)
+{
+    if (engines <= 0)
+        fatal("engine count must be positive");
+    _buffers.reserve(static_cast<std::size_t>(engines));
+    for (int i = 0; i < engines; ++i)
+        _buffers.emplace_back(buffer_bytes);
+    _layerRounds.resize(dag.graph().size());
+}
+
+void
+ResidencyTracker::attachSchedule(
+    const std::vector<std::vector<AtomId>> &rounds)
+{
+    for (auto &v : _useRounds)
+        v.clear();
+    for (auto &v : _layerRounds)
+        v.clear();
+
+    std::vector<int> atom_round(_dag->size(), -1);
+    for (std::size_t t = 0; t < rounds.size(); ++t) {
+        for (AtomId a : rounds[t]) {
+            atom_round[static_cast<std::size_t>(a)] =
+                static_cast<int>(t);
+            _layerRounds[static_cast<std::size_t>(
+                             _dag->atom(a).layer)]
+                .push_back(static_cast<int>(t));
+        }
+    }
+    for (std::size_t a = 0; a < _dag->size(); ++a) {
+        for (AtomId c : _dag->consumers(static_cast<AtomId>(a))) {
+            const int r = atom_round[static_cast<std::size_t>(c)];
+            if (r >= 0)
+                _useRounds[a].push_back(r);
+        }
+        std::sort(_useRounds[a].begin(), _useRounds[a].end());
+    }
+    for (auto &v : _layerRounds) {
+        std::sort(v.begin(), v.end());
+        v.erase(std::unique(v.begin(), v.end()), v.end());
+    }
+}
+
+int
+ResidencyTracker::nextUseAfter(AtomId atom, int now) const
+{
+    const auto &uses = _useRounds[static_cast<std::size_t>(atom)];
+    auto it = std::upper_bound(uses.begin(), uses.end(), now);
+    return it == uses.end() ? -1 : *it;
+}
+
+int
+ResidencyTracker::nextLayerUseAfter(graph::LayerId layer, int now) const
+{
+    const auto &uses = _layerRounds[static_cast<std::size_t>(layer)];
+    auto it = std::upper_bound(uses.begin(), uses.end(), now);
+    return it == uses.end() ? -1 : *it;
+}
+
+SourceInfo
+ResidencyTracker::locate(AtomId atom) const
+{
+    SourceInfo info;
+    info.bytes = _dag->ofmapBytes(atom);
+    const int home = _atomHome[static_cast<std::size_t>(atom)];
+    if (home >= 0) {
+        info.location = Location::OnChip;
+        info.engine = home;
+    }
+    return info;
+}
+
+bool
+ResidencyTracker::weightsResident(graph::LayerId layer, int slice,
+                                  int engine) const
+{
+    return _buffers[static_cast<std::size_t>(engine)].contains(
+        weightKey(layer, slice));
+}
+
+int
+ResidencyTracker::weightHolder(graph::LayerId layer, int slice) const
+{
+    auto it = _sliceHolders.find(weightKey(layer, slice));
+    if (it == _sliceHolders.end() || it->second.empty())
+        return -1;
+    return it->second.front();
+}
+
+Eviction
+ResidencyTracker::evictOne(int engine, int now_round)
+{
+    // Algorithm 3: pick the resident with the largest invalid occupation
+    // (t_next - t_0) * TensorSize; residents that are never used again
+    // are released outright without write-back.
+    auto &buffer = _buffers[static_cast<std::size_t>(engine)];
+
+    Eviction best;
+    double best_occupation = -1.0;
+    bool best_is_weight = false;
+    mem::ResidentKey best_key = 0;
+    // Weight slices are only evicted when no fmap victim exists: they
+    // are what priority rule 1 keeps on-chip, and spilling one costs a
+    // full DRAM refetch for every later atom of the layer.
+    Eviction weight_best;
+    double weight_occupation = -1.0;
+    mem::ResidentKey weight_key = 0;
+
+    for (mem::ResidentKey key : buffer.residents()) {
+        const Bytes size = buffer.sizeOf(key);
+        int t_next;
+        bool is_weight = (key & kWeightTag) != 0;
+        AtomId atom = kNoAtom;
+        graph::LayerId layer = graph::kNoLayer;
+        // Look from (now_round - 1) so uses in the *current* Round are
+        // visible: residents consumed this Round must never be evicted
+        // out from under their readers.
+        if (is_weight) {
+            layer = layerOfWeightKey(key);
+            t_next = nextLayerUseAfter(layer, now_round - 1);
+        } else {
+            atom = static_cast<AtomId>(key);
+            t_next = nextUseAfter(atom, now_round - 1);
+        }
+        if (t_next == now_round)
+            continue; // pinned: a reader in this Round depends on it
+
+        if (t_next < 0) {
+            // Dead data: release immediately, no write-back needed
+            // (Algorithm 3 line 8-12). Weights always have a DRAM copy.
+            buffer.release(key);
+            if (!is_weight) {
+                _atomHome[static_cast<std::size_t>(atom)] = -1;
+                Eviction e;
+                e.atom = atom;
+                e.bytes = size;
+                e.writeBack = false;
+                return e;
+            }
+            forgetWeight(key, engine);
+            Eviction e;
+            e.atom = kNoAtom;
+            e.bytes = size;
+            e.writeBack = false;
+            return e;
+        }
+
+        const double occupation =
+            static_cast<double>(t_next - now_round) *
+            static_cast<double>(size);
+        if (is_weight) {
+            if (occupation > weight_occupation) {
+                weight_occupation = occupation;
+                weight_best.atom = kNoAtom;
+                weight_best.bytes = size;
+                weight_key = key;
+            }
+        } else if (occupation > best_occupation) {
+            best_occupation = occupation;
+            best.atom = atom;
+            best.bytes = size;
+            best_is_weight = false;
+            best_key = key;
+        }
+    }
+
+    if (best_occupation < 0.0 && weight_occupation >= 0.0) {
+        best = weight_best;
+        best_is_weight = true;
+        best_key = weight_key;
+        best_occupation = weight_occupation;
+    }
+    if (best_occupation < 0.0)
+        return best; // nothing evictable
+
+    if (best_is_weight) {
+        buffer.release(best_key);
+        forgetWeight(best_key, engine);
+        best.atom = kNoAtom;
+        best.writeBack = false; // weights are read-only
+    } else {
+        buffer.release(atomKey(best.atom));
+        _atomHome[static_cast<std::size_t>(best.atom)] = -1;
+        best.writeBack = true; // live ofmap spills to DRAM
+    }
+    return best;
+}
+
+std::vector<Eviction>
+ResidencyTracker::makeRoom(int engine, Bytes bytes, int now_round)
+{
+    std::vector<Eviction> evictions;
+    auto &buffer = _buffers[static_cast<std::size_t>(engine)];
+    while (buffer.free() < bytes) {
+        Eviction e = evictOne(engine, now_round);
+        if (e.bytes == 0)
+            break; // nothing left to evict
+        evictions.push_back(e);
+    }
+    return evictions;
+}
+
+std::vector<Eviction>
+ResidencyTracker::installWeights(graph::LayerId layer, int slice,
+                                 int engine, Bytes bytes, int now_round)
+{
+    auto &buffer = _buffers[static_cast<std::size_t>(engine)];
+    if (bytes > buffer.capacity() || bytes > _maxResidentWeight)
+        return {}; // streamed from DRAM, never resident
+    auto evictions = makeRoom(engine, bytes, now_round);
+    const mem::ResidentKey key = weightKey(layer, slice);
+    if (buffer.tryAllocate(key, bytes)) {
+        _sliceHolders[key].push_back(engine);
+    } else {
+        ++installFailures;
+        // The consumer's buffer is too contended; park the slice on the
+        // roomiest engine instead so future Rounds can copy it over the
+        // NoC rather than refetching from DRAM.
+        if (weightHolder(layer, slice) < 0) {
+            int roomiest = -1;
+            Bytes best_free = 0;
+            for (int e = 0; e < engines(); ++e) {
+                if (e == engine)
+                    continue;
+                const Bytes f =
+                    _buffers[static_cast<std::size_t>(e)].free();
+                if (roomiest < 0 || f > best_free) {
+                    best_free = f;
+                    roomiest = e;
+                }
+            }
+            if (roomiest >= 0) {
+                auto more = makeRoom(roomiest, bytes, now_round);
+                evictions.insert(evictions.end(), more.begin(),
+                                 more.end());
+                if (_buffers[static_cast<std::size_t>(roomiest)]
+                        .tryAllocate(key, bytes)) {
+                    _sliceHolders[key].push_back(roomiest);
+                }
+            }
+        }
+    }
+    return evictions;
+}
+
+std::vector<Eviction>
+ResidencyTracker::produce(AtomId atom, int engine, int now_round)
+{
+    std::vector<Eviction> evictions;
+    const Bytes bytes = _dag->ofmapBytes(atom);
+    auto &buffer = _buffers[static_cast<std::size_t>(engine)];
+
+    if (nextUseAfter(atom, now_round) < 0) {
+        // Final output (or dead tile): written straight to DRAM.
+        Eviction e;
+        e.atom = atom;
+        e.bytes = bytes;
+        e.writeBack = true;
+        evictions.push_back(e);
+        return evictions;
+    }
+    if (bytes > buffer.capacity()) {
+        // Cannot ever fit: spill immediately; consumers will re-fetch.
+        Eviction e;
+        e.atom = atom;
+        e.bytes = bytes;
+        e.writeBack = true;
+        evictions.push_back(e);
+        return evictions;
+    }
+
+    evictions = makeRoom(engine, bytes, now_round);
+    if (buffer.tryAllocate(atomKey(atom), bytes)) {
+        _atomHome[static_cast<std::size_t>(atom)] = engine;
+    } else {
+        Eviction e;
+        e.atom = atom;
+        e.bytes = bytes;
+        e.writeBack = true;
+        evictions.push_back(e);
+    }
+    return evictions;
+}
+
+void
+ResidencyTracker::beginRound(int round)
+{
+    // Release residents whose last use has passed (no write-back).
+    for (int engine = 0; engine < engines(); ++engine) {
+        auto &buffer = _buffers[static_cast<std::size_t>(engine)];
+        for (mem::ResidentKey key : buffer.residents()) {
+            if (key & kWeightTag) {
+                if (nextLayerUseAfter(layerOfWeightKey(key), round - 1) <
+                    0) {
+                    buffer.release(key);
+                    forgetWeight(key, engine);
+                }
+            } else {
+                const auto atom = static_cast<AtomId>(key);
+                if (nextUseAfter(atom, round - 1) < 0) {
+                    buffer.release(key);
+                    _atomHome[static_cast<std::size_t>(atom)] = -1;
+                }
+            }
+        }
+    }
+}
+
+Bytes
+ResidencyTracker::used(int engine) const
+{
+    return _buffers[static_cast<std::size_t>(engine)].used();
+}
+
+void
+ResidencyTracker::forgetWeight(mem::ResidentKey key, int engine)
+{
+    auto it = _sliceHolders.find(key);
+    if (it == _sliceHolders.end())
+        return;
+    auto &v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), engine), v.end());
+    if (v.empty())
+        _sliceHolders.erase(it);
+}
+
+} // namespace ad::core

@@ -1,0 +1,138 @@
+#pragma once
+
+/**
+ * @file
+ * Compile-time model of the distributed on-chip buffers plus the paper's
+ * buffering strategy (Algorithm 3).
+ *
+ * Both the mapping pass and the system simulator walk the schedule with
+ * an identical ResidencyTracker so placement decisions and execution
+ * accounting agree on what is on-chip at every Round.
+ */
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/atom.hh"
+#include "core/atomic_dag.hh"
+#include "core/schedule.hh"
+#include "mem/sram_buffer.hh"
+
+namespace ad::core {
+
+/** Where a tensor slice can be found when a consumer needs it. */
+enum class Location { OffChip, OnChip };
+
+/** Result of looking up one dependency. */
+struct SourceInfo
+{
+    Location location = Location::OffChip;
+    int engine = -1; ///< holder engine when on-chip
+    Bytes bytes = 0; ///< slice size
+};
+
+/** One eviction decided by the buffer planner. */
+struct Eviction
+{
+    AtomId atom = kNoAtom;
+    Bytes bytes = 0;
+    bool writeBack = false; ///< false: dead data, dropped silently
+};
+
+/**
+ * Tracks which atom ofmaps and which layer weight slices reside in each
+ * engine's buffer as the schedule advances Round by Round.
+ */
+class ResidencyTracker
+{
+  public:
+    /**
+     * Track @p engines buffers of @p buffer_bytes each over @p dag.
+     * Weight slices larger than @p max_resident_weight are streamed from
+     * DRAM (double-buffered) instead of parking in the buffer, so bulky
+     * weights cannot evict soon-needed feature-map tiles.
+     */
+    ResidencyTracker(const AtomicDag &dag, int engines,
+                     Bytes buffer_bytes,
+                     Bytes max_resident_weight = 96 * 1024);
+
+    /** Precompute exact next-use data from a fixed round sequence. */
+    void attachSchedule(const std::vector<std::vector<AtomId>> &rounds);
+
+    /** Look up where @p atom's ofmap currently lives. */
+    SourceInfo locate(AtomId atom) const;
+
+    /** True when the weight slice (@p layer, @p slice) is resident on
+     * @p engine. Slices are identified by the atom's starting output
+     * channel. */
+    bool weightsResident(graph::LayerId layer, int slice,
+                         int engine) const;
+
+    /** Any engine currently holding the slice (-1 when none): a consumer
+     * on another engine can copy it over the NoC instead of the HBM. */
+    int weightHolder(graph::LayerId layer, int slice) const;
+
+    /** Mark a weight slice resident on @p engine (after an HBM fetch or
+     * NoC copy), evicting via Algorithm 3 if needed. */
+    std::vector<Eviction> installWeights(graph::LayerId layer, int slice,
+                                         int engine, Bytes bytes,
+                                         int now_round);
+
+    /**
+     * Store @p atom's ofmap on @p engine at @p now_round, evicting via
+     * Algorithm 3 when the buffer overflows. Atoms that are never used
+     * again are not stored at all.
+     */
+    std::vector<Eviction> produce(AtomId atom, int engine, int now_round);
+
+    /**
+     * Advance to @p round: residents whose last use has passed are
+     * released without write-back (Algorithm 3 line 8-12).
+     */
+    void beginRound(int round);
+
+    /** Earliest consumer round of @p atom strictly after @p now. */
+    int nextUseAfter(AtomId atom, int now) const;
+
+    /** Earliest round after @p now in which any atom of @p layer runs
+     * (weight-residency lifetime). */
+    int nextLayerUseAfter(graph::LayerId layer, int now) const;
+
+    /** Buffer occupancy of @p engine in bytes. */
+    Bytes used(int engine) const;
+
+    /** Number of engines tracked. */
+    int engines() const { return static_cast<int>(_buffers.size()); }
+
+    /** Diagnostic: weight installs rejected for lack of space. */
+    mutable std::uint64_t installFailures = 0;
+
+  private:
+    /** Pick the victim with maximum invalid occupation (Alg. 3 line 13-17)
+     * and evict it; returns the eviction, or atom==kNoAtom if the buffer
+     * holds nothing evictable. */
+    Eviction evictOne(int engine, int now_round);
+
+    /** Free space for @p bytes on @p engine. */
+    std::vector<Eviction> makeRoom(int engine, Bytes bytes, int now_round);
+
+    static mem::ResidentKey atomKey(AtomId atom);
+    static mem::ResidentKey weightKey(graph::LayerId layer, int slice);
+    static graph::LayerId layerOfWeightKey(mem::ResidentKey key);
+
+    void forgetWeight(mem::ResidentKey key, int engine);
+
+    const AtomicDag *_dag;
+    std::vector<mem::SramBuffer> _buffers;
+    std::vector<int> _atomHome;   ///< engine holding each atom, -1 if none
+    /// Consumer rounds per atom, ascending.
+    std::vector<std::vector<int>> _useRounds;
+    /// Rounds in which each layer has atoms scheduled, ascending.
+    std::vector<std::vector<int>> _layerRounds;
+    /// Engines holding each weight slice.
+    std::unordered_map<mem::ResidentKey, std::vector<int>> _sliceHolders;
+    Bytes _maxResidentWeight;
+};
+
+} // namespace ad::core

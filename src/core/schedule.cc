@@ -1,0 +1,38 @@
+#include "schedule.hh"
+
+#include "util/common.hh"
+
+namespace ad::core {
+
+ScheduleIndex::ScheduleIndex(const Schedule &schedule,
+                             std::size_t atom_count)
+    : _round(atom_count, -1), _engine(atom_count, -1)
+{
+    for (std::size_t t = 0; t < schedule.rounds.size(); ++t) {
+        for (const Placement &p : schedule.rounds[t].placements) {
+            const auto i = static_cast<std::size_t>(p.atom);
+            adAssert(i < atom_count, "placement atom out of range");
+            adAssert(_round[i] == -1, "atom scheduled twice: ", p.atom);
+            _round[i] = static_cast<int>(t);
+            _engine[i] = p.engine;
+        }
+    }
+}
+
+int
+ScheduleIndex::roundOf(AtomId atom) const
+{
+    const auto i = static_cast<std::size_t>(atom);
+    adAssert(i < _round.size(), "atom id out of range");
+    return _round[i];
+}
+
+int
+ScheduleIndex::engineOf(AtomId atom) const
+{
+    const auto i = static_cast<std::size_t>(atom);
+    adAssert(i < _engine.size(), "atom id out of range");
+    return _engine[i];
+}
+
+} // namespace ad::core

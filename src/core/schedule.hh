@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * The compile-time scheduling artifact: atoms grouped into synchronized
+ * Rounds (Sec. III), each atom bound to one engine by the mapping pass.
+ */
+
+#include <vector>
+
+#include "core/atom.hh"
+
+namespace ad::core {
+
+/** One atom bound to one engine within a Round. */
+struct Placement
+{
+    AtomId atom = kNoAtom;
+    int engine = -1;
+};
+
+/** Atoms executing concurrently; synchronized by the last to finish. */
+struct Round
+{
+    std::vector<Placement> placements;
+};
+
+/** A complete mapped schedule. */
+struct Schedule
+{
+    std::vector<Round> rounds;
+
+    /** Total placements across rounds. */
+    std::size_t
+    atomCount() const
+    {
+        std::size_t n = 0;
+        for (const Round &r : rounds)
+            n += r.placements.size();
+        return n;
+    }
+};
+
+/**
+ * Reverse indices over a fixed schedule: the round each atom runs in and
+ * the rounds in which each atom's consumers run (exact next-use data for
+ * Algorithm 3).
+ */
+class ScheduleIndex
+{
+  public:
+    /** Build indices for @p schedule over a DAG of @p atom_count atoms. */
+    ScheduleIndex(const Schedule &schedule, std::size_t atom_count);
+
+    /** Round of @p atom; -1 when unscheduled. */
+    int roundOf(AtomId atom) const;
+
+    /** Engine of @p atom; -1 when unscheduled. */
+    int engineOf(AtomId atom) const;
+
+  private:
+    std::vector<int> _round;
+    std::vector<int> _engine;
+};
+
+} // namespace ad::core

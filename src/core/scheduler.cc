@@ -1,0 +1,500 @@
+#include "scheduler.hh"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+namespace ad::core {
+
+namespace {
+
+/** Combination-generation rule, one per Options entry (Algorithm 2
+ * line 8). Each rule orders the four priority levels differently. */
+enum class ComboRule { Standard, DepthFirst, FusionFirst, Balance };
+
+constexpr ComboRule kRules[] = {ComboRule::Standard, ComboRule::DepthFirst,
+                                ComboRule::FusionFirst,
+                                ComboRule::Balance};
+
+/**
+ * Mutable scheduling state over the un-traversed sub-DAG G', supporting
+ * apply/undo so the bounded DP recursion explores without copying.
+ */
+class SchedState
+{
+  public:
+    SchedState(const AtomicDag &dag, const std::vector<Cycles> &cycles,
+               const SchedulerOptions &options)
+        : _dag(&dag), _cycles(&cycles), _options(&options)
+    {
+        const auto &graph = dag.graph();
+        _layers = static_cast<int>(graph.size());
+        _batch = dag.batch();
+        const std::size_t keys =
+            static_cast<std::size_t>(_layers) * _batch;
+
+        _readyQ.resize(keys);
+        _scheduledPerKey.assign(keys, 0);
+        _totalPerKey.assign(keys, 0);
+        _remDeps.assign(dag.size(), 0);
+        _producedRound.assign(dag.size(), -1);
+        _remainingPerSample.assign(static_cast<std::size_t>(_batch), 0);
+
+        int max_depth = 0;
+        for (const graph::Layer &l : graph.layers())
+            max_depth = std::max(max_depth, dag.layerDepth(l.id));
+        _depthActive.assign(static_cast<std::size_t>(max_depth) + 1, 0);
+
+        for (const Atom &a : dag.atoms()) {
+            _remDeps[static_cast<std::size_t>(a.id)] =
+                dag.depCount(a.id);
+            ++_totalPerKey[keyOf(a)];
+            ++_remainingPerSample[static_cast<std::size_t>(a.batch)];
+            _remainingCycles += static_cast<double>(
+                cycles[static_cast<std::size_t>(a.id)]);
+            if (_remDeps[static_cast<std::size_t>(a.id)] == 0)
+                pushReady(a.id);
+        }
+        _remainingAtoms = dag.size();
+    }
+
+    bool done() const { return _remainingAtoms == 0; }
+
+    int round() const { return _round; }
+
+    /** Remaining-compute roll-out estimate (perfect packing). */
+    double
+    rollout() const
+    {
+        return _remainingCycles / _options->engines;
+    }
+
+    /** Surrogate cost of running @p combo this Round: compute makespan
+     * plus HBM and NoC transfer estimates. */
+    double
+    comboCost(const std::vector<AtomId> &combo) const
+    {
+        Cycles makespan = 0;
+        double hbm_bytes = 0.0;
+        double noc_bytes = 0.0;
+        for (AtomId a : combo) {
+            makespan = std::max(
+                makespan, (*_cycles)[static_cast<std::size_t>(a)]);
+            const auto dep_ids = _dag->depsSpan(a);
+            const auto dep_bytes = _dag->depBytesSpan(a);
+            for (std::size_t di = 0; di < dep_ids.size(); ++di) {
+                const int produced = _producedRound[static_cast<
+                    std::size_t>(dep_ids[di])];
+                const auto bytes = static_cast<double>(dep_bytes[di]);
+                if (produced >= 0 &&
+                    produced + _options->residencyWindow >= _round) {
+                    noc_bytes += bytes;
+                } else {
+                    hbm_bytes += bytes;
+                }
+            }
+            // Weight first-touch for a layer not yet started this sample.
+            const Atom &atom = _dag->atom(a);
+            if (_scheduledPerKey[keyOf(atom)] == 0)
+                hbm_bytes +=
+                    static_cast<double>(_dag->weightBytes(a));
+            if (_dag->readsExternalInput(a)) {
+                hbm_bytes += static_cast<double>(
+                    _dag->workload(a).ifmapBytes());
+            }
+        }
+        return static_cast<double>(makespan) +
+               hbm_bytes / _options->hbmBytesPerCycle +
+               noc_bytes / _options->nocBytesPerCycle;
+    }
+
+    /** Generate one combination of at most @p n atoms under @p rule. */
+    std::vector<AtomId>
+    select(ComboRule rule, int n) const
+    {
+        if (rule == ComboRule::Balance)
+            return selectBalanced(n);
+
+        // Level order per rule. Levels: 0 = remaining atoms of started
+        // layers (rule 1); 1 = same-depth layers of the focus sample
+        // (rule 2); 2 = other ready layers of the focus sample (rule 3);
+        // 3 = later samples (rule 4).
+        int order[4] = {0, 1, 2, 3};
+        if (rule == ComboRule::DepthFirst) {
+            order[0] = 1;
+            order[1] = 0;
+        } else if (rule == ComboRule::FusionFirst) {
+            order[0] = 2;
+            order[1] = 0;
+            order[2] = 1;
+        }
+
+        std::vector<AtomId> combo;
+        combo.reserve(static_cast<std::size_t>(n));
+        for (int oi = 0; oi < 4 && static_cast<int>(combo.size()) < n;
+             ++oi) {
+            collectLevel(order[oi], n, combo);
+        }
+        return combo;
+    }
+
+    /**
+     * Atoms in strict key order. @p layer_major false gives
+     * (sample, layer) order — the no-rules ablation; true gives
+     * (layer, sample) order so every sample of a batch shares a layer's
+     * weights before the schedule moves deeper.
+     */
+    std::vector<AtomId>
+    selectLayerOrder(int n, bool layer_major = false) const
+    {
+        std::vector<std::int64_t> keys(_activeKeys.begin(),
+                                       _activeKeys.end());
+        if (layer_major) {
+            std::sort(keys.begin(), keys.end(),
+                      [this](std::int64_t a, std::int64_t b) {
+                          const auto la = layerOfKey(a);
+                          const auto lb = layerOfKey(b);
+                          if (la != lb)
+                              return la < lb;
+                          return sampleOfKey(a) < sampleOfKey(b);
+                      });
+        }
+        std::vector<AtomId> combo;
+        combo.reserve(static_cast<std::size_t>(n));
+        for (std::int64_t key : keys) {
+            const auto &q = _readyQ[static_cast<std::size_t>(key)];
+            for (auto it = q.rbegin();
+                 it != q.rend() && static_cast<int>(combo.size()) < n;
+                 ++it) {
+                combo.push_back(*it);
+            }
+            if (static_cast<int>(combo.size()) >= n)
+                break;
+        }
+        return combo;
+    }
+
+    /** Undo log of one applied Round. */
+    struct UndoLog
+    {
+        std::vector<AtomId> combo; ///< in apply order
+        int oldFocus = 0;
+    };
+
+    /** Advance one Round executing @p combo. */
+    UndoLog
+    apply(const std::vector<AtomId> &combo)
+    {
+        UndoLog log;
+        log.combo = combo;
+        log.oldFocus = _focusSample;
+
+        for (AtomId a : combo) {
+            const Atom &atom = _dag->atom(a);
+            const std::int64_t key = keyOf(atom);
+            removeFromQueue(key, a);
+
+            // Layer start/finish bookkeeping for priority levels.
+            auto &sched = _scheduledPerKey[static_cast<std::size_t>(key)];
+            if (sched == 0)
+                bumpDepth(atom.layer, +1);
+            ++sched;
+            if (sched == _totalPerKey[static_cast<std::size_t>(key)])
+                bumpDepth(atom.layer, -1);
+
+            --_remainingPerSample[static_cast<std::size_t>(atom.batch)];
+            _producedRound[static_cast<std::size_t>(a)] = _round;
+            _remainingCycles -= static_cast<double>(
+                (*_cycles)[static_cast<std::size_t>(a)]);
+            --_remainingAtoms;
+
+            for (AtomId c : _dag->consumersSpan(a)) {
+                auto &rd = _remDeps[static_cast<std::size_t>(c)];
+                adAssert(rd > 0, "dependency underflow");
+                if (--rd == 0)
+                    pushReady(c);
+            }
+        }
+        while (_focusSample < _batch &&
+               _remainingPerSample[static_cast<std::size_t>(
+                   _focusSample)] == 0) {
+            ++_focusSample;
+        }
+        ++_round;
+        return log;
+    }
+
+    /** Reverse one apply(). Queue internal order is not preserved (it
+     * does not affect feasibility, only heuristic tie-breaking). */
+    void
+    undo(const UndoLog &log)
+    {
+        --_round;
+        _focusSample = log.oldFocus;
+
+        for (auto it = log.combo.rbegin(); it != log.combo.rend(); ++it) {
+            const AtomId a = *it;
+            const Atom &atom = _dag->atom(a);
+            const std::int64_t key = keyOf(atom);
+
+            // Re-arm consumers: those this apply() made ready leave the
+            // ready queues; every consumer regains the dependency.
+            for (AtomId c : _dag->consumersSpan(a)) {
+                auto &rd = _remDeps[static_cast<std::size_t>(c)];
+                if (rd == 0)
+                    removeFromQueue(keyOf(_dag->atom(c)), c);
+                ++rd;
+            }
+
+            auto &sched = _scheduledPerKey[static_cast<std::size_t>(key)];
+            if (sched == _totalPerKey[static_cast<std::size_t>(key)])
+                bumpDepth(atom.layer, +1);
+            --sched;
+            if (sched == 0)
+                bumpDepth(atom.layer, -1);
+
+            ++_remainingPerSample[static_cast<std::size_t>(atom.batch)];
+            _producedRound[static_cast<std::size_t>(a)] = -1;
+            _remainingCycles += static_cast<double>(
+                (*_cycles)[static_cast<std::size_t>(a)]);
+            ++_remainingAtoms;
+
+            pushReady(a);
+        }
+    }
+
+  private:
+    std::int64_t
+    keyOf(const Atom &a) const
+    {
+        return static_cast<std::int64_t>(a.batch) * _layers + a.layer;
+    }
+
+    int sampleOfKey(std::int64_t key) const
+    {
+        return static_cast<int>(key / _layers);
+    }
+
+    graph::LayerId layerOfKey(std::int64_t key) const
+    {
+        return static_cast<graph::LayerId>(key % _layers);
+    }
+
+    void
+    pushReady(AtomId a)
+    {
+        const std::int64_t key = keyOf(_dag->atom(a));
+        auto &q = _readyQ[static_cast<std::size_t>(key)];
+        if (q.empty())
+            _activeKeys.insert(key);
+        q.push_back(a);
+    }
+
+    void
+    removeFromQueue(std::int64_t key, AtomId a)
+    {
+        auto &q = _readyQ[static_cast<std::size_t>(key)];
+        if (!q.empty() && q.back() == a) {
+            q.pop_back();
+        } else {
+            auto it = std::find(q.begin(), q.end(), a);
+            adAssert(it != q.end(), "atom not in ready queue");
+            std::iter_swap(it, q.end() - 1);
+            q.pop_back();
+        }
+        if (q.empty())
+            _activeKeys.erase(key);
+    }
+
+    void
+    bumpDepth(graph::LayerId layer, int delta)
+    {
+        _depthActive[static_cast<std::size_t>(
+            _dag->layerDepth(layer))] += delta;
+    }
+
+    /** Priority level of an active key under the current state. */
+    int
+    levelOf(std::int64_t key) const
+    {
+        const int sample = sampleOfKey(key);
+        if (sample > _focusSample)
+            return 3;
+        const graph::LayerId layer = layerOfKey(key);
+        const auto k = static_cast<std::size_t>(key);
+        if (_scheduledPerKey[k] > 0 &&
+            _scheduledPerKey[k] < _totalPerKey[k]) {
+            return 0;
+        }
+        const int depth = _dag->layerDepth(layer);
+        // Started-layer depth match, excluding this key's own activity.
+        if (_depthActive[static_cast<std::size_t>(depth)] > 0)
+            return 1;
+        return 2;
+    }
+
+    /** Append ready atoms of priority level @p want (up to @p n total). */
+    void
+    collectLevel(int want, int n, std::vector<AtomId> &combo) const
+    {
+        for (std::int64_t key : _activeKeys) {
+            if (static_cast<int>(combo.size()) >= n)
+                return;
+            if (levelOf(key) != want)
+                continue;
+            const auto &q = _readyQ[static_cast<std::size_t>(key)];
+            for (auto it = q.rbegin();
+                 it != q.rend() && static_cast<int>(combo.size()) < n;
+                 ++it) {
+                combo.push_back(*it);
+            }
+        }
+    }
+
+    /** Pick N atoms with the most-equal cycles out of the top-2N
+     * priority candidates (minimizes intra-Round load unbalance). */
+    std::vector<AtomId>
+    selectBalanced(int n) const
+    {
+        std::vector<AtomId> pool = select(ComboRule::Standard, 2 * n);
+        if (static_cast<int>(pool.size()) <= n)
+            return pool;
+        std::sort(pool.begin(), pool.end(), [this](AtomId a, AtomId b) {
+            return (*_cycles)[static_cast<std::size_t>(a)] <
+                   (*_cycles)[static_cast<std::size_t>(b)];
+        });
+        std::size_t best_start = 0;
+        Cycles best_spread = std::numeric_limits<Cycles>::max();
+        for (std::size_t s = 0; s + n <= pool.size(); ++s) {
+            const Cycles spread =
+                (*_cycles)[static_cast<std::size_t>(pool[s + n - 1])] -
+                (*_cycles)[static_cast<std::size_t>(pool[s])];
+            if (spread < best_spread) {
+                best_spread = spread;
+                best_start = s;
+            }
+        }
+        return {pool.begin() + static_cast<std::ptrdiff_t>(best_start),
+                pool.begin() +
+                    static_cast<std::ptrdiff_t>(best_start + n)};
+    }
+
+    const AtomicDag *_dag;
+    const std::vector<Cycles> *_cycles;
+    const SchedulerOptions *_options;
+
+    int _layers = 0;
+    int _batch = 1;
+    int _round = 0;
+    int _focusSample = 0;
+    std::size_t _remainingAtoms = 0;
+    double _remainingCycles = 0.0;
+
+    std::vector<std::vector<AtomId>> _readyQ; ///< per (sample, layer)
+    std::set<std::int64_t> _activeKeys;       ///< keys with ready atoms
+    std::vector<int> _scheduledPerKey;
+    std::vector<int> _totalPerKey;
+    std::vector<int> _remDeps;
+    std::vector<int> _producedRound;
+    std::vector<int> _remainingPerSample;
+    std::vector<int> _depthActive;
+};
+
+/** Bounded DP over combination Options (Algorithm 2 line 9-16). */
+double
+dpSearch(SchedState &state, int depth, int engines,
+         std::vector<AtomId> *chosen)
+{
+    if (state.done())
+        return 0.0;
+
+    double best = std::numeric_limits<double>::infinity();
+    std::vector<std::vector<AtomId>> seen;
+
+    for (ComboRule rule : kRules) {
+        std::vector<AtomId> combo = state.select(rule, engines);
+        adAssert(!combo.empty(), "scheduler deadlock: no ready atoms");
+
+        std::vector<AtomId> signature = combo;
+        std::sort(signature.begin(), signature.end());
+        if (std::find(seen.begin(), seen.end(), signature) != seen.end())
+            continue;
+        seen.push_back(std::move(signature));
+
+        double cost = state.comboCost(combo);
+        auto log = state.apply(combo);
+        if (depth > 0 && !state.done()) {
+            cost += dpSearch(state, depth - 1, engines, nullptr);
+        } else {
+            cost += state.rollout();
+        }
+        state.undo(log);
+
+        if (cost < best) {
+            best = cost;
+            if (chosen)
+                *chosen = std::move(combo);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+DpScheduler::DpScheduler(const AtomicDag &dag,
+                         const engine::CostModel &model,
+                         SchedulerOptions options)
+    : _dag(&dag), _options(options)
+{
+    if (_options.engines <= 0)
+        fatal("scheduler requires a positive engine count");
+    _cycles.resize(dag.size());
+    for (const Atom &a : dag.atoms()) {
+        _cycles[static_cast<std::size_t>(a.id)] =
+            model.cycles(dag.workload(a.id));
+    }
+}
+
+Cycles
+DpScheduler::atomCycles(AtomId atom) const
+{
+    const auto i = static_cast<std::size_t>(atom);
+    adAssert(i < _cycles.size(), "atom id out of range");
+    return _cycles[i];
+}
+
+RoundList
+DpScheduler::schedule() const
+{
+    SchedState state(*_dag, _cycles, _options);
+    RoundList rounds;
+
+    SchedMode mode = _options.mode;
+    if (mode == SchedMode::Dp && _dag->size() > _options.dpAtomLimit)
+        mode = SchedMode::Greedy; // lookahead cost dominates at this size
+
+    while (!state.done()) {
+        std::vector<AtomId> combo;
+        switch (mode) {
+          case SchedMode::LayerOrder:
+            combo = state.selectLayerOrder(_options.engines);
+            break;
+          case SchedMode::LayerBatched:
+            combo = state.selectLayerOrder(_options.engines, true);
+            break;
+          case SchedMode::Greedy:
+            combo = state.select(ComboRule::Standard, _options.engines);
+            break;
+          case SchedMode::Dp:
+            dpSearch(state, _options.lookaheadDepth, _options.engines,
+                     &combo);
+            break;
+        }
+        adAssert(!combo.empty(), "scheduler deadlock: no ready atoms");
+        state.apply(combo);
+        rounds.push_back(std::move(combo));
+    }
+    return rounds;
+}
+
+} // namespace ad::core

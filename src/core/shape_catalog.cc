@@ -1,0 +1,266 @@
+#include "shape_catalog.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ad::core {
+
+using engine::DataflowKind;
+using graph::OpType;
+
+ShapeCatalog::ShapeCatalog(const graph::Graph &graph,
+                           const engine::CostModel &model,
+                           const ShapeCatalogOptions &options)
+    : _graph(&graph), _model(&model), _options(options)
+{
+    _catalog.resize(graph.size());
+    for (const graph::Layer &layer : graph.layers()) {
+        if (layer.type == OpType::Input || layer.type == OpType::Concat)
+            continue;
+        buildLayer(layer);
+    }
+}
+
+std::vector<int>
+ShapeCatalog::splitSizes(int dim, int quantum) const
+{
+    // Tile sizes produced by splitting `dim` into 1..maxSplits chunks,
+    // rounded up to `quantum` (the PE-array multiple constraint of
+    // Sec. IV-A). Always includes the whole dimension.
+    std::vector<int> sizes;
+    for (int splits = 1; splits <= _options.maxSplitsPerDim; ++splits) {
+        int tile = ceilDiv(dim, splits);
+        if (quantum > 1)
+            tile = static_cast<int>(
+                roundUp<std::int64_t>(tile, quantum));
+        tile = std::min(tile, dim);
+        sizes.push_back(tile);
+    }
+    // A quantum-sized tile is the finest meaningful granularity.
+    if (quantum > 1 && quantum < dim)
+        sizes.push_back(quantum);
+    std::sort(sizes.begin(), sizes.end());
+    sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
+    return sizes;
+}
+
+void
+ShapeCatalog::buildLayer(const graph::Layer &layer)
+{
+    const engine::EngineConfig &cfg = _model->config();
+    const bool mac = layer.onPeArray();
+    const DataflowKind kind = _model->dataflow();
+
+    // Quantisation of each tile dimension follows the spatial unrolling:
+    // KC-P pins output channels to PEy multiples; YX-P pins the spatial
+    // dims to the array instead (Sec. IV-A / Sec. VI discussion).
+    int qh = 1, qw = 1, qc = 1;
+    if (mac) {
+        if (kind == DataflowKind::KcPartition) {
+            qc = cfg.peCols;
+        } else if (kind == DataflowKind::YxPartition &&
+                   layer.type != OpType::FullyConnected) {
+            qh = cfg.peRows;
+            qw = cfg.peCols;
+        } else if (kind == DataflowKind::Flexible) {
+            // Either mapping may win per atom; keep channel alignment
+            // (the KC constraint) and let the cost model choose.
+            qc = cfg.peCols;
+        }
+    }
+
+    const std::vector<int> hs = splitSizes(layer.out.h, qh);
+    const std::vector<int> ws = splitSizes(layer.out.w, qw);
+    const std::vector<int> chans = splitSizes(layer.out.c, qc);
+
+    auto &cands = _catalog[static_cast<std::size_t>(layer.id)];
+    const Bytes capacity = cfg.bufferBytes;
+    // Streaming working sets cannot exceed what the buffer can double-
+    // buffer: scale them down for small-buffer configurations.
+    const Bytes ws_bytes =
+        std::min(_options.weightWorkingSet, capacity / 4);
+
+    // Pass 1 holds the full input tile resident; pass 2 (only tried
+    // when pass 1 yields nothing, i.e. very small buffers) streams the
+    // ifmap in working-set chunks the way weights already stream.
+    for (int pass = 0; pass < 2 && cands.empty(); ++pass) {
+    for (int th : hs) {
+        for (int tw : ws) {
+            for (int tc : chans) {
+                engine::AtomWorkload atom;
+                atom.type = layer.type;
+                atom.h = th;
+                atom.w = tw;
+                atom.co = tc;
+                atom.ci = layer.in.c;
+                if (layer.type == OpType::DepthwiseConv ||
+                    layer.type == OpType::Pool ||
+                    layer.type == OpType::Eltwise) {
+                    atom.ci = tc;
+                }
+                atom.window = layer.window;
+
+                const Bytes weights =
+                    atom.weightBytes(_options.bytesPerElem);
+                const Bytes ifmap =
+                    atom.ifmapBytes(_options.bytesPerElem);
+                const Bytes ifmap_need =
+                    pass == 0 ? ifmap : std::min(ifmap, ws_bytes);
+                const Bytes footprint =
+                    ifmap_need + atom.ofmapBytes(_options.bytesPerElem) +
+                    std::min(weights, ws_bytes);
+
+                ShapeCandidate cand;
+                cand.shape = {th, tw, tc};
+                cand.cycles = _model->cycles(atom);
+                cand.utilization = _model->utilization(atom);
+                cand.footprint = footprint;
+                const Bytes spatial_tiles =
+                    static_cast<Bytes>(ceilDiv(layer.out.h, th)) *
+                    static_cast<Bytes>(ceilDiv(layer.out.w, tw));
+                const Bytes total_tiles =
+                    spatial_tiles *
+                    static_cast<Bytes>(ceilDiv(layer.out.c, tc));
+                cand.weightReplBytes = weights * (spatial_tiles - 1);
+                cand.weightTraffic =
+                    weights <= _options.residentWeightCap
+                        ? cand.weightReplBytes
+                        : weights * total_tiles;
+                if (footprint <= capacity)
+                    cands.push_back(cand);
+            }
+        }
+    }
+    }
+
+    if (cands.empty()) {
+        // Nothing fits the buffer (huge layer): fall back to the finest
+        // granularity and let the simulator charge the spills.
+        engine::AtomWorkload atom;
+        atom.type = layer.type;
+        atom.h = std::min(layer.out.h, qh);
+        atom.w = std::min(layer.out.w, qw);
+        atom.co = std::min(layer.out.c, std::max(qc, 1));
+        atom.ci = layer.in.c;
+        atom.window = layer.window;
+        ShapeCandidate cand;
+        cand.shape = {atom.h, atom.w, atom.co};
+        cand.cycles = _model->cycles(atom);
+        cand.utilization = _model->utilization(atom);
+        cand.footprint = atom.ifmapBytes(_options.bytesPerElem) +
+                         atom.ofmapBytes(_options.bytesPerElem);
+        cands.push_back(cand);
+    }
+
+    std::sort(cands.begin(), cands.end(),
+              [](const ShapeCandidate &a, const ShapeCandidate &b) {
+                  return a.cycles < b.cycles;
+              });
+    // Deduplicate identical shapes that costing mapped to equal cycles.
+    cands.erase(std::unique(cands.begin(), cands.end(),
+                            [](const ShapeCandidate &a,
+                               const ShapeCandidate &b) {
+                                return a.shape == b.shape;
+                            }),
+                cands.end());
+}
+
+const std::vector<ShapeCandidate> &
+ShapeCatalog::candidatesFor(graph::LayerId layer) const
+{
+    adAssert(layer >= 0 &&
+                 static_cast<std::size_t>(layer) < _catalog.size(),
+             "layer id out of range");
+    return _catalog[static_cast<std::size_t>(layer)];
+}
+
+std::size_t
+ShapeCatalog::nearestIndex(graph::LayerId layer,
+                           double target_cycles) const
+{
+    const auto &cands = candidatesFor(layer);
+    adAssert(!cands.empty(), "no candidates for layer ", layer);
+    auto it = std::lower_bound(
+        cands.begin(), cands.end(), target_cycles,
+        [](const ShapeCandidate &c, double t) {
+            return static_cast<double>(c.cycles) < t;
+        });
+    std::size_t best;
+    if (it == cands.end()) {
+        best = cands.size() - 1;
+    } else if (it == cands.begin()) {
+        best = 0;
+    } else {
+        const auto hi = static_cast<std::size_t>(it - cands.begin());
+        const double above = static_cast<double>(cands[hi].cycles);
+        const double below = static_cast<double>(cands[hi - 1].cycles);
+        best = (above - target_cycles) < (target_cycles - below)
+                   ? hi
+                   : hi - 1;
+    }
+
+    // Among cycle-equivalent candidates (within 10% of the pick), prefer
+    // the one whose filter slices replicate across the fewest engines —
+    // weight distribution is pure NoC/DRAM overhead.
+    const double pick_cycles = static_cast<double>(cands[best].cycles);
+    const double lo = pick_cycles * 0.9;
+    const double hi_bound = pick_cycles * 1.1;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+        const auto c = static_cast<double>(cands[i].cycles);
+        if (c < lo || c > hi_bound)
+            continue;
+        if (cands[i].weightTraffic < cands[best].weightTraffic ||
+            (cands[i].weightTraffic == cands[best].weightTraffic &&
+             cands[i].utilization > cands[best].utilization)) {
+            best = i;
+        }
+    }
+    return best;
+}
+
+const ShapeCandidate &
+ShapeCatalog::nearest(graph::LayerId layer, double target_cycles) const
+{
+    return candidatesFor(layer)[nearestIndex(layer, target_cycles)];
+}
+
+std::vector<TileShape>
+ShapeCatalog::shapesFromIndices(
+    const std::vector<std::size_t> &indices) const
+{
+    std::vector<TileShape> shapes(_graph->size(), TileShape{1, 1, 1});
+    for (const graph::Layer &layer : _graph->layers()) {
+        const auto lid = static_cast<std::size_t>(layer.id);
+        const auto &cands = _catalog[lid];
+        if (cands.empty())
+            continue;
+        adAssert(lid < indices.size(), "index vector too short");
+        adAssert(indices[lid] < cands.size(),
+                 "candidate index out of range");
+        shapes[lid] = cands[indices[lid]].shape;
+    }
+    return shapes;
+}
+
+std::vector<TileShape>
+ShapeCatalog::defaultShapes() const
+{
+    std::vector<TileShape> shapes(_graph->size(), TileShape{1, 1, 1});
+    for (const graph::Layer &layer : _graph->layers()) {
+        const auto lid = static_cast<std::size_t>(layer.id);
+        const auto &cands = _catalog[lid];
+        if (cands.empty())
+            continue;
+        const auto best = std::max_element(
+            cands.begin(), cands.end(),
+            [](const ShapeCandidate &a, const ShapeCandidate &b) {
+                if (a.utilization != b.utilization)
+                    return a.utilization < b.utilization;
+                return a.cycles > b.cycles; // prefer smaller atoms on tie
+            });
+        shapes[lid] = best->shape;
+    }
+    return shapes;
+}
+
+} // namespace ad::core

@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * Per-layer catalog of feasible atom tile shapes and their single-engine
+ * execution cycles.
+ *
+ * Sec. IV-A constrains the spatially-unrolled tile dimensions to be
+ * multiples of the PE array (coefficients c2*PEx / c3*PEy for KC-P); the
+ * catalog enforces the constraint matching the configured dataflow,
+ * pre-evaluates every candidate with the engine cost model, and serves
+ * the argmin |Cycle(Atom_l) - S| query of Algorithm 1 (line 13) by binary
+ * search over cycles.
+ */
+
+#include <vector>
+
+#include "core/atom.hh"
+#include "engine/cost_model.hh"
+#include "graph/graph.hh"
+
+namespace ad::core {
+
+/** One feasible tile shape with its pre-computed engine cost. */
+struct ShapeCandidate
+{
+    TileShape shape;
+    Cycles cycles = 0;        ///< single-engine execution cycles
+    double utilization = 0.0; ///< PE utilization (0 for vector ops)
+    Bytes footprint = 0;      ///< buffer residency (weights streamed)
+    /** Weight bytes replicated across engines because several spatial
+     * tiles share one filter slice: slice x (spatial tiles - 1). */
+    Bytes weightReplBytes = 0;
+    /** Expected per-sample weight movement: replication when the slice
+     * can stay resident, a full refetch per tile when it cannot. */
+    Bytes weightTraffic = 0;
+};
+
+/** Catalog construction options. */
+struct ShapeCatalogOptions
+{
+    /** Weight working-set assumed streamable (double-buffered chunks). */
+    Bytes weightWorkingSet = 32 * 1024;
+    /** Largest weight slice the buffers can keep resident (matches
+     * ResidencyTracker's default cap). */
+    Bytes residentWeightCap = 96 * 1024;
+    /** Cap on tile counts tried per output dimension. */
+    int maxSplitsPerDim = 12;
+    int bytesPerElem = 1;
+};
+
+/** Immutable catalog for one (graph, engine, dataflow) combination. */
+class ShapeCatalog
+{
+  public:
+    /** Enumerate and cost all candidates for every layer of @p graph. */
+    ShapeCatalog(const graph::Graph &graph,
+                 const engine::CostModel &model,
+                 const ShapeCatalogOptions &options = {});
+
+    /** Candidates of @p layer, sorted by ascending cycles. Empty for
+     * Input/Concat layers. */
+    const std::vector<ShapeCandidate> &candidatesFor(
+        graph::LayerId layer) const;
+
+    /** Candidate whose cycles are closest to @p target_cycles. */
+    const ShapeCandidate &nearest(graph::LayerId layer,
+                                  double target_cycles) const;
+
+    /** Index (into candidatesFor) of the nearest candidate. */
+    std::size_t nearestIndex(graph::LayerId layer,
+                             double target_cycles) const;
+
+    /** Shape vector assembled from per-layer candidate indices. */
+    std::vector<TileShape> shapesFromIndices(
+        const std::vector<std::size_t> &indices) const;
+
+    /** Default shape vector: per-layer candidate with best utilization. */
+    std::vector<TileShape> defaultShapes() const;
+
+    /** The graph this catalog was built for. */
+    const graph::Graph &graph() const { return *_graph; }
+
+    /** The cost model used. */
+    const engine::CostModel &model() const { return *_model; }
+
+  private:
+    void buildLayer(const graph::Layer &layer);
+    std::vector<int> splitSizes(int dim, int quantum) const;
+
+    const graph::Graph *_graph;
+    const engine::CostModel *_model;
+    ShapeCatalogOptions _options;
+    std::vector<std::vector<ShapeCandidate>> _catalog;
+};
+
+} // namespace ad::core

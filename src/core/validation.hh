@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Structural validation of mapped schedules. The simulator assumes these
+ * invariants; the validator makes them checkable by tests, tools, and
+ * users extending the scheduler.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/atomic_dag.hh"
+#include "core/schedule.hh"
+
+namespace ad::core {
+
+/** One violated invariant. */
+struct ScheduleViolation
+{
+    std::string what; ///< human-readable description
+};
+
+/**
+ * Check a mapped schedule against @p dag for @p engines engines:
+ *  - every atom scheduled exactly once,
+ *  - every dependency retired in a strictly earlier Round,
+ *  - at most one atom per engine per Round, engine ids in range,
+ *  - no empty Rounds.
+ * Returns all violations found (empty means valid).
+ */
+std::vector<ScheduleViolation> validateSchedule(const AtomicDag &dag,
+                                                const Schedule &schedule,
+                                                int engines);
+
+/** Convenience: true when validateSchedule() returns no violations. */
+bool scheduleIsValid(const AtomicDag &dag, const Schedule &schedule,
+                     int engines);
+
+} // namespace ad::core

@@ -1,0 +1,232 @@
+#include "cost_model.hh"
+
+#include <algorithm>
+
+namespace ad::engine {
+
+using graph::OpType;
+
+AtomWorkload
+AtomWorkload::wholeLayer(const graph::Layer &layer)
+{
+    AtomWorkload atom;
+    atom.type = layer.type;
+    atom.h = layer.out.h;
+    atom.w = layer.out.w;
+    atom.ci = layer.in.c;
+    atom.co = layer.out.c;
+    atom.window = layer.window;
+    return atom;
+}
+
+MacCount
+AtomWorkload::macs() const
+{
+    const auto out_elems =
+        static_cast<MacCount>(h) * w * static_cast<MacCount>(co);
+    switch (type) {
+      case OpType::Conv:
+      case OpType::FullyConnected:
+        return out_elems * ci * window.kh * window.kw;
+      case OpType::DepthwiseConv:
+        return out_elems * window.kh * window.kw;
+      default:
+        return 0;
+    }
+}
+
+Bytes
+AtomWorkload::ofmapBytes(int bytes_per_elem) const
+{
+    return static_cast<Bytes>(h) * w * co * bytes_per_elem;
+}
+
+Bytes
+AtomWorkload::ifmapBytes(int bytes_per_elem) const
+{
+    // Receptive field of the output tile. Padding is ignored here (it
+    // only shrinks the real footprint), which keeps the estimate
+    // conservative.
+    const int ih = (h - 1) * window.strideH + window.kh;
+    const int iw = (w - 1) * window.strideW + window.kw;
+    const int channels =
+        (type == OpType::DepthwiseConv || type == OpType::Pool ||
+         type == OpType::GlobalPool || type == OpType::Eltwise)
+            ? co
+            : ci;
+    return static_cast<Bytes>(ih) * iw * channels * bytes_per_elem;
+}
+
+Bytes
+AtomWorkload::weightBytes(int bytes_per_elem) const
+{
+    switch (type) {
+      case OpType::Conv:
+      case OpType::FullyConnected:
+        return static_cast<Bytes>(window.kh) * window.kw * ci * co *
+               bytes_per_elem;
+      case OpType::DepthwiseConv:
+        return static_cast<Bytes>(window.kh) * window.kw * co *
+               bytes_per_elem;
+      default:
+        return 0;
+    }
+}
+
+CostModel::CostModel(const EngineConfig &config, DataflowKind kind)
+    : _config(config), _kind(kind)
+{
+    _config.validate();
+}
+
+Cycles
+CostModel::macCycles(const AtomWorkload &atom) const
+{
+    const auto rows = static_cast<Cycles>(_config.peRows);
+    const auto cols = static_cast<Cycles>(_config.peCols);
+    const auto h = static_cast<Cycles>(atom.h);
+    const auto w = static_cast<Cycles>(atom.w);
+    const auto ci = static_cast<Cycles>(atom.ci);
+    const auto co = static_cast<Cycles>(atom.co);
+    const auto khw =
+        static_cast<Cycles>(atom.window.kh) * atom.window.kw;
+
+    // KC-P steady state: input channels spatially unrolled along rows,
+    // output channels along columns; every output pixel and kernel
+    // position is a temporal step (NVDLA-style weight-stationary).
+    // Depthwise has no cross-channel reduction: kernel positions map to
+    // rows, channels to columns.
+    const auto kc_steady = [&]() -> Cycles {
+        if (atom.type == OpType::DepthwiseConv)
+            return h * w * ceilDiv(khw, rows) * ceilDiv(co, cols);
+        return h * w * khw * ceilDiv(ci, rows) * ceilDiv(co, cols);
+    };
+    // YX-P steady state: output rows along PE rows, output columns along
+    // PE columns; channels and kernel positions iterate temporally
+    // (ShiDianNao-style output-stationary). For H = W = 1 the classic
+    // fallback assigns one output neuron per PE across the whole array.
+    const auto yx_steady = [&]() -> Cycles {
+        if (atom.type == OpType::FullyConnected)
+            return ceilDiv(co, rows * cols) * ci;
+        if (atom.type == OpType::DepthwiseConv)
+            return ceilDiv(h, rows) * ceilDiv(w, cols) * khw * co;
+        return ceilDiv(h, rows) * ceilDiv(w, cols) * khw * ci * co;
+    };
+
+    Cycles steady = 0;
+    Cycles extra = 0;
+    switch (_kind) {
+      case DataflowKind::KcPartition:
+        steady = kc_steady();
+        break;
+      case DataflowKind::YxPartition:
+        steady = yx_steady();
+        break;
+      case DataflowKind::Flexible:
+        // Reconfigurable array (Sec. VI discussion): per atom, take the
+        // cheaper of the two mappings and pay a reconfiguration charge.
+        steady = std::min(kc_steady(), yx_steady());
+        extra = _config.reconfigCycles;
+        break;
+    }
+    // Systolic fill/drain: operands propagate across the array once per
+    // atom.
+    const Cycles fill = rows + cols;
+    return steady + fill + extra + _config.configCycles;
+}
+
+Cycles
+CostModel::vectorCycles(const AtomWorkload &atom) const
+{
+    const auto lanes = static_cast<Cycles>(_config.vectorLanes);
+    const auto out_elems =
+        static_cast<Cycles>(atom.h) * atom.w * atom.co;
+    Cycles steady = 0;
+    switch (atom.type) {
+      case OpType::Pool:
+      case OpType::GlobalPool:
+        steady = ceilDiv(out_elems * atom.window.kh * atom.window.kw,
+                         lanes);
+        break;
+      case OpType::Eltwise:
+        steady = ceilDiv(out_elems * 2, lanes);
+        break;
+      case OpType::Concat:
+      case OpType::Input:
+        // Pure data movement; handled by the DMA/NoC, no compute.
+        steady = 0;
+        break;
+      default:
+        panic("vectorCycles called on MAC op");
+    }
+    return steady + _config.configCycles;
+}
+
+Cycles
+CostModel::cycles(const AtomWorkload &atom) const
+{
+    if (graph::isMacOp(atom.type))
+        return macCycles(atom);
+    return vectorCycles(atom);
+}
+
+double
+CostModel::utilization(const AtomWorkload &atom) const
+{
+    if (!graph::isMacOp(atom.type))
+        return 0.0;
+    const Cycles c = macCycles(atom);
+    if (c == 0)
+        return 0.0;
+    return static_cast<double>(atom.macs()) /
+           (static_cast<double>(c) * _config.pes());
+}
+
+CostResult
+CostModel::evaluate(const AtomWorkload &atom) const
+{
+    CostResult r;
+    r.macs = atom.macs();
+    r.ifmapBytes = atom.ifmapBytes(_config.bytesPerElem);
+    r.weightBytes = atom.weightBytes(_config.bytesPerElem);
+    r.ofmapBytes = atom.ofmapBytes(_config.bytesPerElem);
+
+    if (graph::isMacOp(atom.type)) {
+        r.cycles = macCycles(atom);
+        r.computeCycles = r.cycles - (_config.peRows + _config.peCols) -
+                          _config.configCycles;
+        r.utilization =
+            static_cast<double>(r.macs) /
+            (static_cast<double>(r.cycles) * _config.pes());
+        // Local SRAM traffic: weights are stationary (read once); the
+        // input tile is re-read once per output-channel pass under KC-P
+        // and once per kernel position pass under YX-P; partial sums stay
+        // in the column accumulators, so the output is written once.
+        Cycles passes = 1;
+        if (_kind == DataflowKind::YxPartition) {
+            passes = atom.type == OpType::DepthwiseConv
+                         ? 1
+                         : static_cast<Cycles>(atom.co);
+        } else {
+            // KC-P; Flexible arrays default to the KC traffic pattern.
+            passes = ceilDiv<Cycles>(atom.co, _config.peCols);
+        }
+        r.sramReadBytes = r.weightBytes + r.ifmapBytes * passes;
+        r.sramWriteBytes = r.ofmapBytes;
+    } else {
+        r.cycles = vectorCycles(atom);
+        r.computeCycles = r.cycles - _config.configCycles;
+        r.utilization = 0.0;
+        r.sramReadBytes = r.ifmapBytes;
+        r.sramWriteBytes = r.ofmapBytes;
+    }
+
+    const double read_bits = static_cast<double>(r.sramReadBytes) * 8.0;
+    const double write_bits = static_cast<double>(r.sramWriteBytes) * 8.0;
+    r.energyPj = static_cast<double>(r.macs) * _config.macEnergyPj +
+                 read_bits * _config.sramReadPjPerBit +
+                 write_bits * _config.sramWritePjPerBit;
+    return r;
+}
+
+} // namespace ad::engine

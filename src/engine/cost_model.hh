@@ -1,0 +1,109 @@
+#pragma once
+
+/**
+ * @file
+ * Analytical per-engine cost model — the library's substitute for the
+ * MAESTRO tool the paper calls as its `Cycle()` oracle (Algorithm 1 line 6
+ * and the system evaluator).
+ *
+ * The model performs the same data-centric analysis MAESTRO does for the
+ * two dataflows the paper evaluates: two loop dimensions are unrolled
+ * spatially across the PE array, the remaining dimensions iterate
+ * temporally, and edge tiles that do not fill the array waste lanes. This
+ * reproduces the task-engine mismatch penalty that motivates atomic
+ * dataflow (Sec. II-B).
+ */
+
+#include "engine/engine_config.hh"
+#include "graph/layer.hh"
+
+namespace ad::engine {
+
+/**
+ * The slice of one layer an engine is asked to execute: an output tile of
+ * @c h x @c w x @c co produced from @c ci input channels. For MAC ops the
+ * window parameters describe the kernel; for vector ops they describe the
+ * pooling window.
+ */
+struct AtomWorkload
+{
+    graph::OpType type = graph::OpType::Conv;
+    int h = 1;  ///< output tile height
+    int w = 1;  ///< output tile width
+    int ci = 1; ///< input channels consumed
+    int co = 1; ///< output channels produced
+    graph::WindowParams window;
+
+    /** Construct the workload for an entire layer. */
+    static AtomWorkload wholeLayer(const graph::Layer &layer);
+
+    /** MAC count of this slice. */
+    MacCount macs() const;
+
+    /** Output tile bytes. */
+    Bytes ofmapBytes(int bytes_per_elem = 1) const;
+
+    /** Input tile bytes (receptive field of the output tile). */
+    Bytes ifmapBytes(int bytes_per_elem = 1) const;
+
+    /** Weight bytes this slice needs resident. */
+    Bytes weightBytes(int bytes_per_elem = 1) const;
+};
+
+/** Cost-model output for one atom on one engine. */
+struct CostResult
+{
+    Cycles cycles = 0;          ///< execution cycles including fill/drain
+    Cycles computeCycles = 0;   ///< steady-state compute cycles
+    double utilization = 0.0;   ///< MACs / (cycles * #PEs), 0 for vector ops
+    MacCount macs = 0;
+    Bytes ifmapBytes = 0;
+    Bytes weightBytes = 0;
+    Bytes ofmapBytes = 0;
+    Bytes sramReadBytes = 0;    ///< local buffer read traffic
+    Bytes sramWriteBytes = 0;   ///< local buffer write traffic
+    PicoJoules energyPj = 0.0;  ///< MAC + local SRAM dynamic energy
+
+    /** Total buffer residency this atom needs while executing. */
+    Bytes
+    bufferBytes() const
+    {
+        return ifmapBytes + weightBytes + ofmapBytes;
+    }
+};
+
+/**
+ * Analytical cost model for a fixed engine configuration and dataflow.
+ *
+ * Thread-safe: evaluation is pure.
+ */
+class CostModel
+{
+  public:
+    /** Build a model for @p config executing with dataflow @p kind. */
+    CostModel(const EngineConfig &config, DataflowKind kind);
+
+    /** Full evaluation of @p atom. */
+    CostResult evaluate(const AtomWorkload &atom) const;
+
+    /** Execution cycles only (the paper's `Cycle()`; cached-friendly). */
+    Cycles cycles(const AtomWorkload &atom) const;
+
+    /** PE utilization of @p atom in [0, 1]; 0 for non-MAC ops. */
+    double utilization(const AtomWorkload &atom) const;
+
+    /** Engine configuration this model describes. */
+    const EngineConfig &config() const { return _config; }
+
+    /** Dataflow this model describes. */
+    DataflowKind dataflow() const { return _kind; }
+
+  private:
+    Cycles macCycles(const AtomWorkload &atom) const;
+    Cycles vectorCycles(const AtomWorkload &atom) const;
+
+    EngineConfig _config;
+    DataflowKind _kind;
+};
+
+} // namespace ad::engine

@@ -1,0 +1,46 @@
+#include "engine_config.hh"
+
+namespace ad::engine {
+
+DataflowKind
+dataflowFromString(const std::string &s)
+{
+    if (s == "kc" || s == "KC" || s == "KC-P")
+        return DataflowKind::KcPartition;
+    if (s == "yx" || s == "YX" || s == "YX-P")
+        return DataflowKind::YxPartition;
+    if (s == "flex" || s == "FLEX" || s == "Flexible")
+        return DataflowKind::Flexible;
+    fatal("unknown dataflow '", s, "' (expected kc, yx, or flex)");
+}
+
+const char *
+dataflowName(DataflowKind kind)
+{
+    switch (kind) {
+      case DataflowKind::KcPartition:
+        return "KC-P";
+      case DataflowKind::YxPartition:
+        return "YX-P";
+      case DataflowKind::Flexible:
+        return "Flex";
+    }
+    return "?";
+}
+
+void
+EngineConfig::validate() const
+{
+    if (peRows <= 0 || peCols <= 0)
+        fatal("PE array dims must be positive: ", peRows, "x", peCols);
+    if (freqGhz <= 0)
+        fatal("engine frequency must be positive");
+    if (bufferBytes == 0)
+        fatal("engine buffer capacity must be positive");
+    if (bytesPerElem <= 0)
+        fatal("bytes per element must be positive");
+    if (vectorLanes <= 0)
+        fatal("vector lanes must be positive");
+}
+
+} // namespace ad::engine

@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Microarchitectural description of one tensor engine (Fig. 1(a)): a 2D
+ * PE array with per-column accumulators, a vector unit for element-wise
+ * operators, and a multi-bank global SRAM buffer.
+ */
+
+#include <string>
+
+#include "util/common.hh"
+
+namespace ad::engine {
+
+/**
+ * Spatial mapping strategy of a single engine (Sec. IV-A).
+ *
+ * KcPartition (NVDLA-style) unrolls input channels along PE rows and
+ * output channels along PE columns, keeping weights stationary.
+ * YxPartition (ShiDianNao-style) unrolls output-feature-map height along
+ * rows and width along columns. Flexible models reconfigurable arrays
+ * (FlexFlow/MAERI-class) that switch between the two per atom — the
+ * extension the paper's Sec. VI discussion describes.
+ */
+enum class DataflowKind { KcPartition, YxPartition, Flexible };
+
+/** Parse "kc" / "yx" (case-sensitive); fatals otherwise. */
+DataflowKind dataflowFromString(const std::string &s);
+
+/** Short name for printing ("KC-P" / "YX-P"). */
+const char *dataflowName(DataflowKind kind);
+
+/** Static configuration of one tensor engine. */
+struct EngineConfig
+{
+    int peRows = 16;            ///< PE array height (PEx)
+    int peCols = 16;            ///< PE array width (PEy)
+    double freqGhz = 0.5;       ///< clock frequency in GHz (paper: 500 MHz)
+    Bytes bufferBytes = 128 * 1024; ///< global buffer capacity per engine
+    int bufferPortBits = 64;    ///< SRAM port width
+    int bytesPerElem = 1;       ///< INT8 operands
+    int vectorLanes = 16;       ///< vector-unit elements per cycle
+
+    /** Per-atom control overhead: configuration load before execution. */
+    Cycles configCycles = 32;
+
+    /** Extra per-atom cost of switching dataflows on a Flexible array. */
+    Cycles reconfigCycles = 16;
+
+    // Energy constants (28nm-class; see DESIGN.md Sec. 3).
+    double macEnergyPj = 0.30;      ///< energy per INT8 MAC
+    double sramReadPjPerBit = 0.34; ///< derived from TSMC 28nm datasheet
+    double sramWritePjPerBit = 0.40;
+    double staticPowerMw = 15.0;    ///< per-engine leakage + clock tree
+
+    /** Total PEs in the array. */
+    int pes() const { return peRows * peCols; }
+
+    /** Validate dimensions; fatals on nonsense values. */
+    void validate() const;
+};
+
+} // namespace ad::engine

@@ -1,0 +1,286 @@
+#include "graph.hh"
+
+#include <algorithm>
+
+#include "util/common.hh"
+
+namespace ad::graph {
+
+Graph::Graph(std::string name)
+    : _name(std::move(name))
+{}
+
+int
+Graph::resolvePad(int k, int pad)
+{
+    // pad == -1 means "same" padding for odd kernels: (k - 1) / 2.
+    return pad < 0 ? (k - 1) / 2 : pad;
+}
+
+LayerId
+Graph::append(Layer layer)
+{
+    layer.id = static_cast<LayerId>(_layers.size());
+    if (layer.name.empty())
+        layer.name = std::string(opName(layer.type)) + "_" +
+                     std::to_string(layer.id);
+    for (LayerId src : layer.inputs) {
+        adAssert(src >= 0 && src < layer.id,
+                 "graph edges must point to already-added layers");
+        _successors[static_cast<std::size_t>(src)].push_back(layer.id);
+    }
+    _layers.push_back(std::move(layer));
+    _successors.emplace_back();
+    return _layers.back().id;
+}
+
+LayerId
+Graph::input(const TensorShape &shape, const std::string &name)
+{
+    Layer l;
+    l.type = OpType::Input;
+    l.name = name;
+    l.in = shape;
+    l.out = shape;
+    return append(std::move(l));
+}
+
+LayerId
+Graph::convRect(LayerId src, int out_c, int kh, int kw, int stride,
+                int pad, const std::string &name)
+{
+    const Layer &producer = layer(src);
+    Layer l;
+    l.type = OpType::Conv;
+    l.name = name;
+    l.in = producer.out;
+    l.window = {kh, kw, stride, stride, resolvePad(kh, pad),
+                resolvePad(kw, pad)};
+    l.out.h = (l.in.h + 2 * l.window.padH - kh) / stride + 1;
+    l.out.w = (l.in.w + 2 * l.window.padW - kw) / stride + 1;
+    l.out.c = out_c;
+    l.inputs = {src};
+    if (l.out.h <= 0 || l.out.w <= 0)
+        fatal("conv '", name, "' produces empty output: k=", kh, "x", kw,
+              " stride=", stride, " on ", l.in.h, "x", l.in.w);
+    return append(std::move(l));
+}
+
+LayerId
+Graph::depthwiseConv(LayerId src, int k, int stride, int pad,
+                     const std::string &name)
+{
+    const Layer &producer = layer(src);
+    Layer l;
+    l.type = OpType::DepthwiseConv;
+    l.name = name;
+    l.in = producer.out;
+    l.window = {k, k, stride, stride, resolvePad(k, pad), resolvePad(k, pad)};
+    l.out.h = (l.in.h + 2 * l.window.padH - k) / stride + 1;
+    l.out.w = (l.in.w + 2 * l.window.padW - k) / stride + 1;
+    l.out.c = l.in.c;
+    l.inputs = {src};
+    if (l.out.h <= 0 || l.out.w <= 0)
+        fatal("depthwiseConv '", name, "' produces empty output");
+    return append(std::move(l));
+}
+
+LayerId
+Graph::fullyConnected(LayerId src, int out_features, const std::string &name)
+{
+    const Layer &producer = layer(src);
+    Layer l;
+    l.type = OpType::FullyConnected;
+    l.name = name;
+    // FC is CONV with H = W = K = 1 (paper Sec. IV-A footnote): flatten the
+    // producer tensor into channels.
+    l.in = {1, 1, static_cast<int>(producer.out.elems())};
+    l.window = {};
+    l.out = {1, 1, out_features};
+    l.inputs = {src};
+    return append(std::move(l));
+}
+
+LayerId
+Graph::pool(LayerId src, int k, int stride, int pad, const std::string &name)
+{
+    if (stride == 0)
+        stride = k;
+    const Layer &producer = layer(src);
+    Layer l;
+    l.type = OpType::Pool;
+    l.name = name;
+    l.in = producer.out;
+    l.window = {k, k, stride, stride, pad, pad};
+    l.out.h = (l.in.h + 2 * pad - k) / stride + 1;
+    l.out.w = (l.in.w + 2 * pad - k) / stride + 1;
+    l.out.c = l.in.c;
+    l.inputs = {src};
+    if (l.out.h <= 0 || l.out.w <= 0)
+        fatal("pool '", name, "' produces empty output");
+    return append(std::move(l));
+}
+
+LayerId
+Graph::globalPool(LayerId src, const std::string &name)
+{
+    const Layer &producer = layer(src);
+    Layer l;
+    l.type = OpType::GlobalPool;
+    l.name = name;
+    l.in = producer.out;
+    l.window = {l.in.h, l.in.w, 1, 1, 0, 0};
+    l.out = {1, 1, l.in.c};
+    l.inputs = {src};
+    return append(std::move(l));
+}
+
+LayerId
+Graph::add(const std::vector<LayerId> &srcs, const std::string &name)
+{
+    if (srcs.size() < 2)
+        fatal("eltwise add requires at least two inputs");
+    const TensorShape shape = layer(srcs.front()).out;
+    for (LayerId src : srcs) {
+        if (!(layer(src).out == shape))
+            fatal("eltwise add '", name, "' input shapes differ: ",
+                  layer(src).name, " vs ", layer(srcs.front()).name);
+    }
+    Layer l;
+    l.type = OpType::Eltwise;
+    l.name = name;
+    l.in = shape;
+    l.out = shape;
+    l.inputs = srcs;
+    return append(std::move(l));
+}
+
+LayerId
+Graph::concat(const std::vector<LayerId> &srcs, const std::string &name)
+{
+    if (srcs.empty())
+        fatal("concat requires at least one input");
+    const TensorShape first = layer(srcs.front()).out;
+    int channels = 0;
+    for (LayerId src : srcs) {
+        const TensorShape s = layer(src).out;
+        if (s.h != first.h || s.w != first.w)
+            fatal("concat '", name, "' spatial dims differ: ",
+                  layer(src).name, " is ", s.h, "x", s.w, " vs ", first.h,
+                  "x", first.w);
+        channels += s.c;
+    }
+    Layer l;
+    l.type = OpType::Concat;
+    l.name = name;
+    l.in = first;
+    l.out = {first.h, first.w, channels};
+    l.inputs = srcs;
+    return append(std::move(l));
+}
+
+const Layer &
+Graph::layer(LayerId id) const
+{
+    adAssert(id >= 0 && static_cast<std::size_t>(id) < _layers.size(),
+             "layer id out of range: ", id);
+    return _layers[static_cast<std::size_t>(id)];
+}
+
+const std::vector<LayerId> &
+Graph::successors(LayerId id) const
+{
+    adAssert(id >= 0 && static_cast<std::size_t>(id) < _successors.size(),
+             "layer id out of range: ", id);
+    return _successors[static_cast<std::size_t>(id)];
+}
+
+std::vector<LayerId>
+Graph::sinks() const
+{
+    std::vector<LayerId> result;
+    for (const Layer &l : _layers) {
+        if (_successors[static_cast<std::size_t>(l.id)].empty())
+            result.push_back(l.id);
+    }
+    return result;
+}
+
+std::vector<int>
+Graph::depths() const
+{
+    // Insertion order is topological, so one forward pass suffices.
+    std::vector<int> depth(_layers.size(), 0);
+    for (const Layer &l : _layers) {
+        int d = 0;
+        for (LayerId src : l.inputs)
+            d = std::max(d, depth[static_cast<std::size_t>(src)] + 1);
+        depth[static_cast<std::size_t>(l.id)] = d;
+    }
+    return depth;
+}
+
+MacCount
+Graph::totalMacs() const
+{
+    MacCount total = 0;
+    for (const Layer &l : _layers)
+        total += l.macs();
+    return total;
+}
+
+std::int64_t
+Graph::totalParams() const
+{
+    std::int64_t total = 0;
+    for (const Layer &l : _layers)
+        total += l.paramCount();
+    return total;
+}
+
+std::size_t
+Graph::layerCount() const
+{
+    std::size_t n = 0;
+    for (const Layer &l : _layers) {
+        if (l.type != OpType::Input)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+Graph::macLayerCount() const
+{
+    std::size_t n = 0;
+    for (const Layer &l : _layers) {
+        if (l.onPeArray())
+            ++n;
+    }
+    return n;
+}
+
+void
+Graph::validate() const
+{
+    if (_layers.empty())
+        fatal("graph '", _name, "' is empty");
+    bool has_input = false;
+    for (const Layer &l : _layers) {
+        if (l.type == OpType::Input) {
+            has_input = true;
+            if (!l.inputs.empty())
+                fatal("input layer '", l.name, "' must not have producers");
+        } else if (l.inputs.empty()) {
+            fatal("layer '", l.name, "' has no producers");
+        }
+        if (l.out.h <= 0 || l.out.w <= 0 || l.out.c <= 0)
+            fatal("layer '", l.name, "' has non-positive output dims");
+        if (l.onPeArray() && l.in.c <= 0)
+            fatal("layer '", l.name, "' has non-positive input channels");
+    }
+    if (!has_input)
+        fatal("graph '", _name, "' has no input layer");
+}
+
+} // namespace ad::graph

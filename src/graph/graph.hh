@@ -1,0 +1,131 @@
+#pragma once
+
+/**
+ * @file
+ * The layer-level computation graph (DAG) and its builder API.
+ *
+ * Networks with arbitrary wiring topology are supported (residual
+ * bypasses, branching Inception cells, NAS-generated irregular cells).
+ * The builder methods compute output shapes from the operator parameters
+ * so model-zoo code stays declarative.
+ */
+
+#include <string>
+#include <vector>
+
+#include "graph/layer.hh"
+
+namespace ad::graph {
+
+/** A directed acyclic graph of layers representing one DNN inference. */
+class Graph
+{
+  public:
+    /** Create an empty graph named @p name. */
+    explicit Graph(std::string name = "dnn");
+
+    /** Model name. */
+    const std::string &name() const { return _name; }
+
+    // ------------------------------------------------------------------
+    // Builder API. Each method appends a layer and returns its id.
+    // ------------------------------------------------------------------
+
+    /** Add the graph input holding a tensor of @p shape. */
+    LayerId input(const TensorShape &shape, const std::string &name = "input");
+
+    /**
+     * Add a convolution with a rectangular @p kh x @p kw kernel over
+     * @p src producing @p out_c channels. Output spatial dims follow the
+     * standard formula floor((in + 2*pad - k) / stride) + 1; pad == -1
+     * selects "same" padding per dimension.
+     */
+    LayerId convRect(LayerId src, int out_c, int kh, int kw,
+                     int stride = 1, int pad = -1,
+                     const std::string &name = "");
+
+    /** Square-kernel convolution. */
+    LayerId
+    conv(LayerId src, int out_c, int k, int stride = 1, int pad = -1,
+         const std::string &name = "")
+    {
+        return convRect(src, out_c, k, k, stride, pad, name);
+    }
+
+    /** Add a depthwise convolution (channel count preserved). */
+    LayerId depthwiseConv(LayerId src, int k, int stride = 1, int pad = -1,
+                          const std::string &name = "");
+
+    /** Add a fully-connected layer with @p out_features outputs. */
+    LayerId fullyConnected(LayerId src, int out_features,
+                           const std::string &name = "");
+
+    /** Add a pooling layer with window @p k and stride @p stride. */
+    LayerId pool(LayerId src, int k, int stride = 0, int pad = 0,
+                 const std::string &name = "");
+
+    /** Add global average pooling (output 1x1xC). */
+    LayerId globalPool(LayerId src, const std::string &name = "");
+
+    /** Add an element-wise addition of two or more equal-shaped tensors. */
+    LayerId add(const std::vector<LayerId> &srcs,
+                const std::string &name = "");
+
+    /** Add a channel concatenation (spatial dims must match). */
+    LayerId concat(const std::vector<LayerId> &srcs,
+                   const std::string &name = "");
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /** Number of layers, graph inputs included. */
+    std::size_t size() const { return _layers.size(); }
+
+    /** Layer by id. */
+    const Layer &layer(LayerId id) const;
+
+    /** All layers in insertion order (which is a topological order). */
+    const std::vector<Layer> &layers() const { return _layers; }
+
+    /** Consumers of @p id. */
+    const std::vector<LayerId> &successors(LayerId id) const;
+
+    /** Layers with no successors. */
+    std::vector<LayerId> sinks() const;
+
+    /**
+     * Longest-path depth of every layer from the graph sources
+     * (Sec. IV-B: layers at equal depth can run in parallel once all
+     * shallower depths are complete).
+     */
+    std::vector<int> depths() const;
+
+    /** Total MAC count across all layers. */
+    MacCount totalMacs() const;
+
+    /** Total weight parameter count. */
+    std::int64_t totalParams() const;
+
+    /** Count of layers excluding graph inputs. */
+    std::size_t layerCount() const;
+
+    /** Count of MAC (PE-array) layers. */
+    std::size_t macLayerCount() const;
+
+    /**
+     * Check structural invariants (acyclicity by construction, shape
+     * agreement of eltwise inputs, positive dims); fatals on violation.
+     */
+    void validate() const;
+
+  private:
+    LayerId append(Layer layer);
+    static int resolvePad(int k, int pad);
+
+    std::string _name;
+    std::vector<Layer> _layers;
+    std::vector<std::vector<LayerId>> _successors;
+};
+
+} // namespace ad::graph

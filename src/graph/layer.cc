@@ -1,0 +1,85 @@
+#include "layer.hh"
+
+namespace ad::graph {
+
+bool
+isMacOp(OpType type)
+{
+    switch (type) {
+      case OpType::Conv:
+      case OpType::DepthwiseConv:
+      case OpType::FullyConnected:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isVectorOp(OpType type)
+{
+    switch (type) {
+      case OpType::Pool:
+      case OpType::GlobalPool:
+      case OpType::Eltwise:
+        return true;
+      default:
+        return false;
+    }
+}
+
+const char *
+opName(OpType type)
+{
+    switch (type) {
+      case OpType::Input:
+        return "Input";
+      case OpType::Conv:
+        return "Conv";
+      case OpType::DepthwiseConv:
+        return "DepthwiseConv";
+      case OpType::FullyConnected:
+        return "FC";
+      case OpType::Pool:
+        return "Pool";
+      case OpType::GlobalPool:
+        return "GlobalPool";
+      case OpType::Eltwise:
+        return "Eltwise";
+      case OpType::Concat:
+        return "Concat";
+    }
+    return "?";
+}
+
+MacCount
+Layer::macs() const
+{
+    const auto out_elems = static_cast<MacCount>(out.elems());
+    switch (type) {
+      case OpType::Conv:
+      case OpType::FullyConnected:
+        return out_elems * in.c * window.kh * window.kw;
+      case OpType::DepthwiseConv:
+        return out_elems * window.kh * window.kw;
+      default:
+        return 0;
+    }
+}
+
+std::int64_t
+Layer::paramCount() const
+{
+    switch (type) {
+      case OpType::Conv:
+      case OpType::FullyConnected:
+        return static_cast<std::int64_t>(out.c) * in.c * window.kh *
+               window.kw;
+      case OpType::DepthwiseConv:
+        return static_cast<std::int64_t>(out.c) * window.kh * window.kw;
+      default:
+        return 0;
+    }
+}
+
+} // namespace ad::graph

@@ -1,0 +1,120 @@
+#pragma once
+
+/**
+ * @file
+ * Layer-level intermediate representation of a DNN inference workload.
+ *
+ * Mirrors what the paper's ONNX front-end parser extracts: operator type,
+ * tensor parameters (Fig. 1(b)), and data dependencies. The scheduler only
+ * ever consumes this IR, so constructing graphs programmatically (see
+ * ad::models) exercises the identical downstream code path as an ONNX
+ * import would.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace ad::graph {
+
+/** Identifier of a layer within one Graph. */
+using LayerId = std::int32_t;
+
+/** Sentinel for "no layer". */
+constexpr LayerId kNoLayer = -1;
+
+/** Operator categories relevant to scheduling. */
+enum class OpType {
+    Input,          ///< graph source holding an external input tensor
+    Conv,           ///< standard convolution (includes 1x1)
+    DepthwiseConv,  ///< depthwise-separable convolution (groups == channels)
+    FullyConnected, ///< dense layer; CONV with H=W=K=1 (paper Sec. IV-A)
+    Pool,           ///< max/avg pooling (vector unit)
+    GlobalPool,     ///< global average pooling (vector unit)
+    Eltwise,        ///< element-wise add (residual bypass; vector unit)
+    Concat,         ///< channel concatenation (no compute, pure data motion)
+};
+
+/** True for operators executed on the PE array (MAC-dominated). */
+bool isMacOp(OpType type);
+
+/** True for operators executed on the per-engine vector unit. */
+bool isVectorOp(OpType type);
+
+/** Human-readable operator name. */
+const char *opName(OpType type);
+
+/** Height x width x channels of one feature map. */
+struct TensorShape
+{
+    int h = 1; ///< feature-map height
+    int w = 1; ///< feature-map width
+    int c = 1; ///< channels
+
+    /** Total element count. */
+    std::int64_t
+    elems() const
+    {
+        return static_cast<std::int64_t>(h) * w * c;
+    }
+
+    /** Byte size given @p bytes_per_elem (INT8 default). */
+    Bytes
+    bytes(int bytes_per_elem = 1) const
+    {
+        return static_cast<Bytes>(elems()) * bytes_per_elem;
+    }
+
+    bool operator==(const TensorShape &) const = default;
+};
+
+/** Spatial window parameters for Conv/Pool-like operators. */
+struct WindowParams
+{
+    int kh = 1;     ///< kernel height
+    int kw = 1;     ///< kernel width
+    int strideH = 1;
+    int strideW = 1;
+    int padH = 0;   ///< symmetric top/bottom padding
+    int padW = 0;   ///< symmetric left/right padding
+
+    bool operator==(const WindowParams &) const = default;
+};
+
+/**
+ * One vertex of the layer-level DAG.
+ *
+ * A layer consumes the output tensors of its @c inputs and produces one
+ * output tensor of shape @c out. For Conv-like layers the primary input
+ * shape is @c in; Concat layers derive their channel count from all inputs.
+ */
+struct Layer
+{
+    LayerId id = kNoLayer;
+    std::string name;
+    OpType type = OpType::Input;
+    TensorShape in;       ///< primary input feature-map shape
+    TensorShape out;      ///< output feature-map shape
+    WindowParams window;  ///< valid for Conv/DepthwiseConv/Pool/FC
+    std::vector<LayerId> inputs; ///< producer layers, in argument order
+
+    /** Multiply-accumulate count of this layer (0 for vector/data ops). */
+    MacCount macs() const;
+
+    /** Weight parameter count (0 for weight-less ops). */
+    std::int64_t paramCount() const;
+
+    /** Weight bytes given @p bytes_per_elem. */
+    Bytes
+    weightBytes(int bytes_per_elem = 1) const
+    {
+        return static_cast<Bytes>(paramCount()) * bytes_per_elem;
+    }
+
+    /** True if this layer performs MAC work on the PE array. */
+    bool onPeArray() const { return isMacOp(type); }
+};
+
+} // namespace ad::graph

@@ -1,0 +1,77 @@
+#include "merge.hh"
+
+#include "util/common.hh"
+
+namespace ad::graph {
+
+Graph
+mergeGraphs(const std::vector<const Graph *> &tenants,
+            const std::string &name)
+{
+    if (tenants.empty())
+        fatal("mergeGraphs requires at least one graph");
+
+    Graph merged(name);
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        const Graph &g = *tenants[t];
+        const std::string prefix = "t" + std::to_string(t) + ".";
+        // Old-id -> new-id within the merged graph.
+        std::vector<LayerId> remap(g.size(), kNoLayer);
+
+        for (const Layer &l : g.layers()) {
+            std::vector<LayerId> inputs;
+            inputs.reserve(l.inputs.size());
+            for (LayerId src : l.inputs) {
+                const LayerId mapped =
+                    remap[static_cast<std::size_t>(src)];
+                adAssert(mapped != kNoLayer,
+                         "merge encountered unseen producer");
+                inputs.push_back(mapped);
+            }
+            const std::string lname = prefix + l.name;
+            LayerId id = kNoLayer;
+            switch (l.type) {
+              case OpType::Input:
+                id = merged.input(l.out, lname);
+                break;
+              case OpType::Conv:
+                id = merged.convRect(inputs[0], l.out.c, l.window.kh,
+                                     l.window.kw, l.window.strideH,
+                                     l.window.padH == (l.window.kh - 1) / 2 &&
+                                             l.window.padW ==
+                                                 (l.window.kw - 1) / 2
+                                         ? -1
+                                         : l.window.padH,
+                                     lname);
+                break;
+              case OpType::DepthwiseConv:
+                id = merged.depthwiseConv(inputs[0], l.window.kh,
+                                          l.window.strideH,
+                                          l.window.padH, lname);
+                break;
+              case OpType::FullyConnected:
+                id = merged.fullyConnected(inputs[0], l.out.c, lname);
+                break;
+              case OpType::Pool:
+                id = merged.pool(inputs[0], l.window.kh,
+                                 l.window.strideH, l.window.padH,
+                                 lname);
+                break;
+              case OpType::GlobalPool:
+                id = merged.globalPool(inputs[0], lname);
+                break;
+              case OpType::Eltwise:
+                id = merged.add(inputs, lname);
+                break;
+              case OpType::Concat:
+                id = merged.concat(inputs, lname);
+                break;
+            }
+            remap[static_cast<std::size_t>(l.id)] = id;
+        }
+    }
+    merged.validate();
+    return merged;
+}
+
+} // namespace ad::graph

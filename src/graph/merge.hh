@@ -1,0 +1,27 @@
+#pragma once
+
+/**
+ * @file
+ * Multi-network composition: merge several independent DNN graphs into
+ * one DAG so the atomic-dataflow scheduler co-schedules them on the same
+ * accelerator. This is the multi-tenancy scenario the paper's related
+ * work discusses (HDA, PREMA, Layerweaver): atoms of both tenants fill
+ * Rounds together, so one tenant's low-parallelism phases are padded
+ * with the other's work instead of idle engines.
+ */
+
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace ad::graph {
+
+/**
+ * Merge @p tenants into a single graph named @p name. Each input graph
+ * keeps its own input layer and wiring; layer names are prefixed with
+ * "t<i>." to stay unique.
+ */
+Graph mergeGraphs(const std::vector<const Graph *> &tenants,
+                  const std::string &name = "multi_tenant");
+
+} // namespace ad::graph

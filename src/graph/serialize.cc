@@ -1,0 +1,182 @@
+#include "serialize.hh"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/common.hh"
+
+namespace ad::graph {
+
+std::string
+toText(const Graph &graph)
+{
+    std::ostringstream os;
+    os << "adgraph v1 " << graph.name() << "\n";
+    for (const Layer &l : graph.layers()) {
+        auto src = [&graph, &l](std::size_t i) {
+            return graph.layer(l.inputs[i]).name;
+        };
+        switch (l.type) {
+          case OpType::Input:
+            os << "input " << l.name << ' ' << l.out.h << ' ' << l.out.w
+               << ' ' << l.out.c << "\n";
+            break;
+          case OpType::Conv:
+            os << "conv " << l.name << ' ' << src(0) << ' ' << l.out.c
+               << ' ' << l.window.kh << ' ' << l.window.kw << ' '
+               << l.window.strideH << ' ' << l.window.padH << ' '
+               << l.window.padW << "\n";
+            break;
+          case OpType::DepthwiseConv:
+            os << "dwconv " << l.name << ' ' << src(0) << ' '
+               << l.window.kh << ' ' << l.window.strideH << ' '
+               << l.window.padH << "\n";
+            break;
+          case OpType::FullyConnected:
+            os << "fc " << l.name << ' ' << src(0) << ' ' << l.out.c
+               << "\n";
+            break;
+          case OpType::Pool:
+            os << "pool " << l.name << ' ' << src(0) << ' '
+               << l.window.kh << ' ' << l.window.strideH << ' '
+               << l.window.padH << "\n";
+            break;
+          case OpType::GlobalPool:
+            os << "gpool " << l.name << ' ' << src(0) << "\n";
+            break;
+          case OpType::Eltwise:
+          case OpType::Concat:
+            os << (l.type == OpType::Eltwise ? "add " : "concat ")
+               << l.name;
+            for (std::size_t i = 0; i < l.inputs.size(); ++i)
+                os << ' ' << src(i);
+            os << "\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+void
+saveText(const Graph &graph, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    out << toText(graph);
+    if (!out)
+        fatal("failed writing '", path, "'");
+}
+
+Graph
+fromText(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+
+    // Header.
+    if (!std::getline(in, line))
+        fatal("adgraph: empty input");
+    std::istringstream header(line);
+    std::string magic, version, name;
+    header >> magic >> version;
+    std::getline(header >> std::ws, name);
+    if (magic != "adgraph" || version != "v1")
+        fatal("adgraph: bad header '", line, "'");
+
+    Graph graph(name.empty() ? "dnn" : name);
+    std::map<std::string, LayerId> by_name;
+    auto resolve = [&by_name](const std::string &layer) {
+        auto it = by_name.find(layer);
+        if (it == by_name.end())
+            fatal("adgraph: unknown layer '", layer, "'");
+        return it->second;
+    };
+
+    int line_no = 1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ss(line);
+        std::string op, layer_name;
+        ss >> op >> layer_name;
+        LayerId id = kNoLayer;
+        if (op == "input") {
+            TensorShape shape;
+            ss >> shape.h >> shape.w >> shape.c;
+            id = graph.input(shape, layer_name);
+        } else if (op == "conv") {
+            std::string src;
+            int out_c, kh, kw, stride, padh, padw;
+            ss >> src >> out_c >> kh >> kw >> stride >> padh >> padw;
+            if (!ss)
+                fatal("adgraph line ", line_no, ": malformed conv");
+            // convRect applies symmetric per-dim padding from one value;
+            // reconstruct via explicit pads (padh for kh, padw for kw).
+            const LayerId sid = resolve(src);
+            if (padh == (kh - 1) / 2 && padw == (kw - 1) / 2) {
+                id = graph.convRect(sid, out_c, kh, kw, stride, -1,
+                                    layer_name);
+            } else {
+                id = graph.convRect(sid, out_c, kh, kw, stride, padh,
+                                    layer_name);
+            }
+        } else if (op == "dwconv") {
+            std::string src;
+            int k, stride, pad;
+            ss >> src >> k >> stride >> pad;
+            if (!ss)
+                fatal("adgraph line ", line_no, ": malformed dwconv");
+            id = graph.depthwiseConv(resolve(src), k, stride, pad,
+                                     layer_name);
+        } else if (op == "fc") {
+            std::string src;
+            int out_features;
+            ss >> src >> out_features;
+            if (!ss)
+                fatal("adgraph line ", line_no, ": malformed fc");
+            id = graph.fullyConnected(resolve(src), out_features,
+                                      layer_name);
+        } else if (op == "pool") {
+            std::string src;
+            int k, stride, pad;
+            ss >> src >> k >> stride >> pad;
+            if (!ss)
+                fatal("adgraph line ", line_no, ": malformed pool");
+            id = graph.pool(resolve(src), k, stride, pad, layer_name);
+        } else if (op == "gpool") {
+            std::string src;
+            ss >> src;
+            id = graph.globalPool(resolve(src), layer_name);
+        } else if (op == "add" || op == "concat") {
+            std::vector<LayerId> srcs;
+            std::string src;
+            while (ss >> src)
+                srcs.push_back(resolve(src));
+            id = op == "add" ? graph.add(srcs, layer_name)
+                             : graph.concat(srcs, layer_name);
+        } else {
+            fatal("adgraph line ", line_no, ": unknown op '", op, "'");
+        }
+        if (!by_name.emplace(layer_name, id).second)
+            fatal("adgraph line ", line_no, ": duplicate layer name '",
+                  layer_name, "'");
+    }
+    graph.validate();
+    return graph;
+}
+
+Graph
+loadText(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return fromText(buffer.str());
+}
+
+} // namespace ad::graph

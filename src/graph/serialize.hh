@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Plain-text serialization of layer graphs — a lightweight stand-in for
+ * the ONNX import/export path: models can be saved, edited by hand, and
+ * reloaded without touching C++.
+ *
+ * Format (one layer per line, '#' comments):
+ *   adgraph v1 <model-name>
+ *   input <name> <h> <w> <c>
+ *   conv <name> <src> <out_c> <kh> <kw> <stride> <padh> <padw>
+ *   dwconv <name> <src> <k> <stride> <pad>
+ *   fc <name> <src> <out_features>
+ *   pool <name> <src> <k> <stride> <pad>
+ *   gpool <name> <src>
+ *   add <name> <src1> <src2> [...]
+ *   concat <name> <src1> [...]
+ */
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hh"
+
+namespace ad::graph {
+
+/** Serialize @p graph to the adgraph v1 text format. */
+std::string toText(const Graph &graph);
+
+/** Write @p graph to @p path; fatals on I/O failure. */
+void saveText(const Graph &graph, const std::string &path);
+
+/** Parse a graph from adgraph v1 text; fatals on malformed input. */
+Graph fromText(const std::string &text);
+
+/** Load a graph from @p path; fatals on I/O or parse failure. */
+Graph loadText(const std::string &path);
+
+} // namespace ad::graph

@@ -1,0 +1,125 @@
+#include "hbm_model.hh"
+
+#include <algorithm>
+
+namespace ad::mem {
+
+double
+HbmConfig::bytesPerCyclePerChannel() const
+{
+    // peak GB/s spread over channels, divided by cycles/s.
+    return peakBandwidthGBps / channels / clockGhz;
+}
+
+void
+HbmConfig::validate() const
+{
+    if (channels <= 0)
+        fatal("HBM channel count must be positive");
+    if (peakBandwidthGBps <= 0)
+        fatal("HBM bandwidth must be positive");
+    if (clockGhz <= 0)
+        fatal("HBM clock must be positive");
+    if (burstBytes == 0 || rowBytes == 0)
+        fatal("HBM burst/row size must be positive");
+}
+
+HbmModel::HbmModel(HbmConfig config)
+    : _config(config)
+{
+    _config.validate();
+    reset();
+}
+
+void
+HbmModel::reset()
+{
+    _channelFree.assign(static_cast<std::size_t>(_config.channels), 0);
+    _openRow.assign(static_cast<std::size_t>(_config.channels), 0);
+    _rowValid.assign(static_cast<std::size_t>(_config.channels), false);
+    _stats = HbmStats{};
+}
+
+int
+HbmModel::channelOf(Address addr) const
+{
+    return static_cast<int>((addr / _config.burstBytes) %
+                            static_cast<Address>(_config.channels));
+}
+
+std::uint64_t
+HbmModel::rowOf(Address addr) const
+{
+    return addr / (_config.rowBytes *
+                   static_cast<Address>(_config.channels));
+}
+
+Cycles
+HbmModel::access(Address addr, Bytes bytes, bool write, Cycles now)
+{
+    if (bytes == 0)
+        return now;
+    const double bpc = _config.bytesPerCyclePerChannel();
+    Cycles done = now;
+    Address cursor = addr;
+    Bytes remaining = bytes;
+    while (remaining > 0) {
+        const Bytes chunk = std::min<Bytes>(remaining, _config.burstBytes);
+        const auto ch = static_cast<std::size_t>(channelOf(cursor));
+        const std::uint64_t row = rowOf(cursor);
+
+        Cycles latency;
+        if (_rowValid[ch] && _openRow[ch] == row) {
+            latency = _config.rowHitLatency;
+            ++_stats.rowHits;
+        } else {
+            latency = _config.rowMissLatency;
+            ++_stats.rowMisses;
+            _openRow[ch] = row;
+            _rowValid[ch] = true;
+        }
+        const auto service = std::max<Cycles>(
+            1, static_cast<Cycles>(static_cast<double>(chunk) / bpc));
+        const Cycles start = std::max(now, _channelFree[ch]);
+        const Cycles finish = start + latency + service;
+        _channelFree[ch] = start + service;
+        done = std::max(done, finish);
+
+        if (write) {
+            ++_stats.writes;
+            _stats.writeBytes += chunk;
+        } else {
+            ++_stats.reads;
+            _stats.readBytes += chunk;
+        }
+        _stats.energyPj += accessEnergy(chunk);
+
+        cursor += chunk;
+        remaining -= chunk;
+    }
+    return done;
+}
+
+Cycles
+HbmModel::stream(Address addr, Bytes bytes, bool write, Cycles now)
+{
+    return access(addr, bytes, write, now);
+}
+
+Cycles
+HbmModel::idealStreamCycles(Bytes bytes) const
+{
+    const double bytes_per_cycle =
+        _config.peakBandwidthGBps / _config.clockGhz;
+    return static_cast<Cycles>(static_cast<double>(bytes) /
+                               bytes_per_cycle) +
+           _config.rowMissLatency;
+}
+
+PicoJoules
+HbmModel::accessEnergy(Bytes bytes) const
+{
+    return static_cast<double>(bytes) * 8.0 * _config.energyPjPerBit;
+}
+
+} // namespace ad::mem

@@ -1,0 +1,65 @@
+#include "sram_buffer.hh"
+
+namespace ad::mem {
+
+SramBuffer::SramBuffer(Bytes capacity)
+    : _capacity(capacity)
+{
+    if (capacity == 0)
+        fatal("SRAM buffer capacity must be positive");
+}
+
+bool
+SramBuffer::contains(ResidentKey key) const
+{
+    return _entries.count(key) > 0;
+}
+
+Bytes
+SramBuffer::sizeOf(ResidentKey key) const
+{
+    auto it = _entries.find(key);
+    return it == _entries.end() ? 0 : it->second;
+}
+
+bool
+SramBuffer::tryAllocate(ResidentKey key, Bytes bytes)
+{
+    auto it = _entries.find(key);
+    const Bytes current = it == _entries.end() ? 0 : it->second;
+    if (_used - current + bytes > _capacity)
+        return false;
+    _used = _used - current + bytes;
+    _entries[key] = bytes;
+    return true;
+}
+
+void
+SramBuffer::release(ResidentKey key)
+{
+    auto it = _entries.find(key);
+    if (it == _entries.end())
+        return;
+    adAssert(_used >= it->second, "SRAM occupancy underflow");
+    _used -= it->second;
+    _entries.erase(it);
+}
+
+void
+SramBuffer::clear()
+{
+    _entries.clear();
+    _used = 0;
+}
+
+std::vector<ResidentKey>
+SramBuffer::residents() const
+{
+    std::vector<ResidentKey> keys;
+    keys.reserve(_entries.size());
+    for (const auto &[key, bytes] : _entries)
+        keys.push_back(key);
+    return keys;
+}
+
+} // namespace ad::mem

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Per-engine distributed SRAM buffer with named residents.
+ *
+ * Atomic dataflow stores intermediate tensors (ofmap atoms and weight
+ * slices) in the producing engine's buffer so later Rounds can reuse them
+ * over the NoC instead of the HBM (Sec. IV-C). The buffer tracks residents
+ * by a caller-chosen 64-bit key, reports occupancy, and leaves eviction
+ * policy to the BufferPlanner (Algorithm 3).
+ */
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace ad::mem {
+
+/** Caller-defined identity of a resident tensor slice. */
+using ResidentKey = std::uint64_t;
+
+/** Occupancy bookkeeping for one engine's global buffer. */
+class SramBuffer
+{
+  public:
+    /** Create a buffer of @p capacity bytes. */
+    explicit SramBuffer(Bytes capacity);
+
+    /** Capacity in bytes. */
+    Bytes capacity() const { return _capacity; }
+
+    /** Bytes currently allocated. */
+    Bytes used() const { return _used; }
+
+    /** Bytes still free. */
+    Bytes free() const { return _capacity - _used; }
+
+    /** True when @p key is resident. */
+    bool contains(ResidentKey key) const;
+
+    /** Size of resident @p key; 0 when absent. */
+    Bytes sizeOf(ResidentKey key) const;
+
+    /**
+     * Try to allocate @p bytes under @p key.
+     * @return false when it does not fit (caller must evict first).
+     * Re-allocating an existing key with a new size adjusts occupancy.
+     */
+    bool tryAllocate(ResidentKey key, Bytes bytes);
+
+    /** Release @p key; no-op when absent. */
+    void release(ResidentKey key);
+
+    /** Drop every resident. */
+    void clear();
+
+    /** Keys of all residents (unordered). */
+    std::vector<ResidentKey> residents() const;
+
+  private:
+    Bytes _capacity;
+    Bytes _used = 0;
+    std::unordered_map<ResidentKey, Bytes> _entries;
+};
+
+} // namespace ad::mem

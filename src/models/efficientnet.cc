@@ -1,0 +1,67 @@
+#include "models.hh"
+
+namespace ad::models {
+
+using graph::Graph;
+using graph::LayerId;
+using graph::TensorShape;
+
+namespace {
+
+/**
+ * MBConv inverted-bottleneck block: 1x1 expand, depthwise kxk, 1x1
+ * project, residual add when stride is 1 and channels match. The
+ * squeeze-excite gate (a scalar per-channel multiply) is negligible MAC
+ * work and is folded away.
+ */
+LayerId
+mbconv(Graph &g, LayerId src, int out_c, int k, int stride, int expand,
+       const std::string &n)
+{
+    const graph::Layer &in_layer = g.layer(src);
+    const int in_c = in_layer.out.c;
+    LayerId y = src;
+    if (expand != 1)
+        y = g.conv(y, in_c * expand, 1, 1, 0, n + "_exp");
+    y = g.depthwiseConv(y, k, stride, -1, n + "_dw");
+    y = g.conv(y, out_c, 1, 1, 0, n + "_proj");
+    if (stride == 1 && in_c == out_c)
+        y = g.add({y, src}, n + "_add");
+    return y;
+}
+
+} // namespace
+
+graph::Graph
+efficientNet()
+{
+    // EfficientNet-B0 stage layout (Tan & Le, Table 1).
+    Graph g("efficientnet");
+    LayerId x = g.input(TensorShape{224, 224, 3});
+    x = g.conv(x, 32, 3, 2, 1, "stem");
+
+    struct Stage
+    {
+        int expand, out_c, k, stride, repeat;
+    };
+    const Stage stages[] = {
+        {1, 16, 3, 1, 1},  {6, 24, 3, 2, 2},  {6, 40, 5, 2, 2},
+        {6, 80, 3, 2, 3},  {6, 112, 5, 1, 3}, {6, 192, 5, 2, 4},
+        {6, 320, 3, 1, 1},
+    };
+    int idx = 0;
+    for (const Stage &s : stages) {
+        for (int r = 0; r < s.repeat; ++r) {
+            const int stride = (r == 0) ? s.stride : 1;
+            x = mbconv(g, x, s.out_c, s.k, stride, s.expand,
+                       "mb" + std::to_string(idx++));
+        }
+    }
+    x = g.conv(x, 1280, 1, 1, 0, "head");
+    x = g.globalPool(x, "gpool");
+    g.fullyConnected(x, 1000, "fc");
+    g.validate();
+    return g;
+}
+
+} // namespace ad::models

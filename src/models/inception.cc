@@ -1,0 +1,138 @@
+#include "models.hh"
+
+namespace ad::models {
+
+using graph::Graph;
+using graph::LayerId;
+using graph::TensorShape;
+
+namespace {
+
+/** Inception-A cell: 1x1 / 5x5 / double-3x3 / pool branches, concat. */
+LayerId
+inceptionA(Graph &g, LayerId src, int pool_c, const std::string &n)
+{
+    LayerId b1 = g.conv(src, 64, 1, 1, 0, n + "_1x1");
+
+    LayerId b2 = g.conv(src, 48, 1, 1, 0, n + "_5x5r");
+    b2 = g.conv(b2, 64, 5, 1, 2, n + "_5x5");
+
+    LayerId b3 = g.conv(src, 64, 1, 1, 0, n + "_3x3r");
+    b3 = g.conv(b3, 96, 3, 1, 1, n + "_3x3a");
+    b3 = g.conv(b3, 96, 3, 1, 1, n + "_3x3b");
+
+    LayerId b4 = g.pool(src, 3, 1, 1, n + "_pool");
+    b4 = g.conv(b4, pool_c, 1, 1, 0, n + "_poolp");
+
+    return g.concat({b1, b2, b3, b4}, n + "_cat");
+}
+
+/** Inception-B (grid reduction 35->17). */
+LayerId
+inceptionB(Graph &g, LayerId src, const std::string &n)
+{
+    LayerId b1 = g.conv(src, 384, 3, 2, 0, n + "_3x3");
+
+    LayerId b2 = g.conv(src, 64, 1, 1, 0, n + "_dblr");
+    b2 = g.conv(b2, 96, 3, 1, 1, n + "_dbla");
+    b2 = g.conv(b2, 96, 3, 2, 0, n + "_dblb");
+
+    LayerId b3 = g.pool(src, 3, 2, 0, n + "_pool");
+    return g.concat({b1, b2, b3}, n + "_cat");
+}
+
+/** Inception-C cell with factorized 7x7 convolutions. */
+LayerId
+inceptionC(Graph &g, LayerId src, int c7, const std::string &n)
+{
+    LayerId b1 = g.conv(src, 192, 1, 1, 0, n + "_1x1");
+
+    LayerId b2 = g.conv(src, c7, 1, 1, 0, n + "_7r");
+    b2 = g.convRect(b2, c7, 1, 7, 1, -1, n + "_1x7");
+    b2 = g.convRect(b2, 192, 7, 1, 1, -1, n + "_7x1");
+
+    LayerId b3 = g.conv(src, c7, 1, 1, 0, n + "_dblr");
+    b3 = g.convRect(b3, c7, 7, 1, 1, -1, n + "_d7x1a");
+    b3 = g.convRect(b3, c7, 1, 7, 1, -1, n + "_d1x7a");
+    b3 = g.convRect(b3, c7, 7, 1, 1, -1, n + "_d7x1b");
+    b3 = g.convRect(b3, 192, 1, 7, 1, -1, n + "_d1x7b");
+
+    LayerId b4 = g.pool(src, 3, 1, 1, n + "_pool");
+    b4 = g.conv(b4, 192, 1, 1, 0, n + "_poolp");
+
+    return g.concat({b1, b2, b3, b4}, n + "_cat");
+}
+
+/** Inception-D (grid reduction 17->8). */
+LayerId
+inceptionD(Graph &g, LayerId src, const std::string &n)
+{
+    LayerId b1 = g.conv(src, 192, 1, 1, 0, n + "_3r");
+    b1 = g.conv(b1, 320, 3, 2, 0, n + "_3x3");
+
+    LayerId b2 = g.conv(src, 192, 1, 1, 0, n + "_7r");
+    b2 = g.convRect(b2, 192, 1, 7, 1, -1, n + "_1x7");
+    b2 = g.convRect(b2, 192, 7, 1, 1, -1, n + "_7x1");
+    b2 = g.conv(b2, 192, 3, 2, 0, n + "_3x3b");
+
+    LayerId b3 = g.pool(src, 3, 2, 0, n + "_pool");
+    return g.concat({b1, b2, b3}, n + "_cat");
+}
+
+/** Inception-E cell with the expanded-filter-bank split branches. */
+LayerId
+inceptionE(Graph &g, LayerId src, const std::string &n)
+{
+    LayerId b1 = g.conv(src, 320, 1, 1, 0, n + "_1x1");
+
+    LayerId b2 = g.conv(src, 384, 1, 1, 0, n + "_3r");
+    LayerId b2a = g.convRect(b2, 384, 1, 3, 1, -1, n + "_1x3");
+    LayerId b2b = g.convRect(b2, 384, 3, 1, 1, -1, n + "_3x1");
+
+    LayerId b3 = g.conv(src, 448, 1, 1, 0, n + "_dblr");
+    b3 = g.conv(b3, 384, 3, 1, 1, n + "_dbl3");
+    LayerId b3a = g.convRect(b3, 384, 1, 3, 1, -1, n + "_d1x3");
+    LayerId b3b = g.convRect(b3, 384, 3, 1, 1, -1, n + "_d3x1");
+
+    LayerId b4 = g.pool(src, 3, 1, 1, n + "_pool");
+    b4 = g.conv(b4, 192, 1, 1, 0, n + "_poolp");
+
+    return g.concat({b1, b2a, b2b, b3a, b3b, b4}, n + "_cat");
+}
+
+} // namespace
+
+graph::Graph
+inceptionV3()
+{
+    Graph g("inception_v3");
+    LayerId x = g.input(TensorShape{299, 299, 3});
+
+    // Stem.
+    x = g.conv(x, 32, 3, 2, 0, "stem1");
+    x = g.conv(x, 32, 3, 1, 0, "stem2");
+    x = g.conv(x, 64, 3, 1, 1, "stem3");
+    x = g.pool(x, 3, 2, 0, "stem_pool1");
+    x = g.conv(x, 80, 1, 1, 0, "stem4");
+    x = g.conv(x, 192, 3, 1, 0, "stem5");
+    x = g.pool(x, 3, 2, 0, "stem_pool2");
+
+    x = inceptionA(g, x, 32, "mixed0");
+    x = inceptionA(g, x, 64, "mixed1");
+    x = inceptionA(g, x, 64, "mixed2");
+    x = inceptionB(g, x, "mixed3");
+    x = inceptionC(g, x, 128, "mixed4");
+    x = inceptionC(g, x, 160, "mixed5");
+    x = inceptionC(g, x, 160, "mixed6");
+    x = inceptionC(g, x, 192, "mixed7");
+    x = inceptionD(g, x, "mixed8");
+    x = inceptionE(g, x, "mixed9");
+    x = inceptionE(g, x, "mixed10");
+
+    x = g.globalPool(x, "gpool");
+    g.fullyConnected(x, 1000, "fc");
+    g.validate();
+    return g;
+}
+
+} // namespace ad::models

@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * Model zoo: programmatic builders for the eight evaluation workloads of
+ * the paper's Table I, plus small synthetic networks used by the tests.
+ *
+ * This substitutes the paper's ONNX front-end: the scheduler consumes the
+ * ad::graph IR either way, so constructing the same architectures in C++
+ * exercises the identical downstream path. Activation and batch-norm
+ * operators are folded into their producing layers (standard inference
+ * deployment practice), so our vertex counts are lower than the ONNX node
+ * counts of Table I; MAC-layer structure and tensor shapes are faithful.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hh"
+
+namespace ad::models {
+
+/** VGG-19: 16 conv + 5 pool + 3 FC, strictly layer-cascaded. */
+graph::Graph vgg19();
+
+/** ResNet-50 (ImageNet bottleneck, stages 3-4-6-3). */
+graph::Graph resnet50();
+
+/** ResNet-152 (ImageNet bottleneck, stages 3-8-36-3). */
+graph::Graph resnet152();
+
+/** ResNet-1001 (pre-activation bottleneck, 3 stages x 111 blocks). */
+graph::Graph resnet1001();
+
+/** Inception-v3 with the full A/B/C/D/E cell sequence. */
+graph::Graph inceptionV3();
+
+/** NASNet-A (mobile, N=4, F=44): NAS-generated branching cells. */
+graph::Graph nasnet();
+
+/** PNASNet-5 (mobile-scale): progressive-NAS irregular cells. */
+graph::Graph pnasnet();
+
+/** EfficientNet-B0: MBConv inverted-bottleneck stages. */
+graph::Graph efficientNet();
+
+/**
+ * Tiny linear CNN (input-conv-pool-conv-fc) for fast unit tests.
+ * @p channels scales the width.
+ */
+graph::Graph tinyLinear(int channels = 32);
+
+/** Tiny two-branch residual network for dependency-logic tests. */
+graph::Graph tinyResidual();
+
+/** Tiny 3-branch cell followed by concat, exercising irregular wiring. */
+graph::Graph tinyBranchy();
+
+/** Named builder entry for the registry. */
+struct ModelEntry
+{
+    std::string name;                       ///< registry key (e.g. "resnet50")
+    std::string description;                ///< Table I "characteristics"
+    std::function<graph::Graph()> build;    ///< builder function
+};
+
+/** All eight Table-I workloads in the paper's order. */
+const std::vector<ModelEntry> &tableOneModels();
+
+/** Build a Table-I model by registry key; fatals on unknown name. */
+graph::Graph buildByName(const std::string &name);
+
+} // namespace ad::models

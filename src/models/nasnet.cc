@@ -1,0 +1,182 @@
+#include "models.hh"
+
+namespace ad::models {
+
+using graph::Graph;
+using graph::LayerId;
+using graph::TensorShape;
+
+namespace {
+
+/**
+ * Separable convolution: depthwise k x k followed by pointwise 1x1.
+ * NASNet applies each separable conv twice; we keep a single dw+pw pair,
+ * which preserves shapes and branching structure at lower vertex count.
+ */
+LayerId
+sepConv(Graph &g, LayerId src, int out_c, int k, int stride,
+        const std::string &n)
+{
+    LayerId y = g.depthwiseConv(src, k, stride, -1, n + "_dw");
+    return g.conv(y, out_c, 1, 1, 0, n + "_pw");
+}
+
+/** 1x1 projection to @p out_c channels (with optional stride). */
+LayerId
+fit(Graph &g, LayerId src, int out_c, int stride, const std::string &n)
+{
+    return g.conv(src, out_c, 1, stride, 0, n);
+}
+
+/**
+ * NASNet-A normal cell (5 blocks, concatenated). @p h is the current
+ * hidden state, @p h_prev the previous cell's output (already projected
+ * to @p f channels and matching spatial dims).
+ */
+LayerId
+nasnetNormalCell(Graph &g, LayerId h, LayerId h_prev, int f,
+                 const std::string &n)
+{
+    LayerId x = fit(g, h, f, 1, n + "_fit");
+    LayerId xp = fit(g, h_prev, f, 1, n + "_fitp");
+
+    LayerId b1 = g.add({sepConv(g, x, f, 3, 1, n + "_b1s3"), x},
+                       n + "_b1");
+    LayerId b2 = g.add({sepConv(g, xp, f, 3, 1, n + "_b2s3"),
+                        sepConv(g, x, f, 5, 1, n + "_b2s5")},
+                       n + "_b2");
+    LayerId b3 = g.add({g.pool(x, 3, 1, 1, n + "_b3avg"), xp}, n + "_b3");
+    LayerId b4 = g.add({g.pool(xp, 3, 1, 1, n + "_b4avga"),
+                        g.pool(xp, 3, 1, 1, n + "_b4avgb")},
+                       n + "_b4");
+    LayerId b5 = g.add({sepConv(g, xp, f, 5, 1, n + "_b5s5"),
+                        sepConv(g, x, f, 3, 1, n + "_b5s3")},
+                       n + "_b5");
+
+    return g.concat({b1, b2, b3, b4, b5}, n + "_cat");
+}
+
+/** NASNet-A reduction cell (stride-2 blocks, concatenated). */
+LayerId
+nasnetReductionCell(Graph &g, LayerId h, LayerId h_prev, int f,
+                    const std::string &n)
+{
+    LayerId x = fit(g, h, f, 1, n + "_fit");
+    LayerId xp = fit(g, h_prev, f, 1, n + "_fitp");
+
+    LayerId b1 = g.add({sepConv(g, xp, f, 7, 2, n + "_b1s7"),
+                        sepConv(g, x, f, 5, 2, n + "_b1s5")},
+                       n + "_b1");
+    LayerId b2 = g.add({g.pool(x, 3, 2, 1, n + "_b2max"),
+                        sepConv(g, xp, f, 7, 2, n + "_b2s7")},
+                       n + "_b2");
+    LayerId b3 = g.add({g.pool(x, 3, 2, 1, n + "_b3avg"),
+                        sepConv(g, xp, f, 5, 2, n + "_b3s5")},
+                       n + "_b3");
+    // Blocks operating on already-reduced intermediates.
+    LayerId b4 = g.add({g.pool(b1, 3, 1, 1, n + "_b4avg"), b2}, n + "_b4");
+    LayerId b5 = g.add({sepConv(g, b1, f, 3, 1, n + "_b5s3"),
+                        g.pool(b1, 3, 1, 1, n + "_b5max")},
+                       n + "_b5");
+
+    return g.concat({b2, b3, b4, b5}, n + "_cat");
+}
+
+/**
+ * PNASNet-5 cell: the 5-block progressive-NAS cell (Liu et al., Fig. 1),
+ * used by the paper's Fig. 6(a) as the irregular-topology example.
+ */
+LayerId
+pnasnetCell(Graph &g, LayerId h, LayerId h_prev, int f, int stride,
+            const std::string &n)
+{
+    LayerId x = fit(g, h, f, 1, n + "_fit");
+    LayerId xp = fit(g, h_prev, f, 1, n + "_fitp");
+
+    LayerId b1 = g.add({sepConv(g, xp, f, 7, stride, n + "_b1s7"),
+                        g.pool(xp, 3, stride, 1, n + "_b1max")},
+                       n + "_b1");
+    LayerId b2 = g.add({sepConv(g, x, f, 5, stride, n + "_b2s5"),
+                        sepConv(g, xp, f, 7, stride, n + "_b2s7b")},
+                       n + "_b2");
+    LayerId b3 = g.add({sepConv(g, x, f, 5, stride, n + "_b3s5"),
+                        sepConv(g, x, f, 3, stride, n + "_b3s3")},
+                       n + "_b3");
+    LayerId b4 = g.add({sepConv(g, b3, f, 3, 1, n + "_b4s3"),
+                        g.pool(x, 3, stride, 1, n + "_b4max")},
+                       n + "_b4");
+    LayerId b5 = g.add({sepConv(g, x, f, 3, stride, n + "_b5s3"),
+                        fit(g, x, f, stride, n + "_b5fit")},
+                       n + "_b5");
+
+    return g.concat({b1, b2, b4, b5}, n + "_cat");
+}
+
+} // namespace
+
+graph::Graph
+nasnet()
+{
+    // NASNet-A (mobile): stem, then 3 stages of N=4 normal cells with a
+    // reduction cell between stages. Filters 44 -> 88 -> 176.
+    Graph g("nasnet");
+    LayerId x = g.input(TensorShape{224, 224, 3});
+    x = g.conv(x, 32, 3, 2, 1, "stem");
+    LayerId prev = x;
+
+    const int stage_filters[3] = {44, 88, 176};
+    const int cells_per_stage = 4;
+    for (int s = 0; s < 3; ++s) {
+        const int f = stage_filters[s];
+        if (s > 0) {
+            LayerId reduced = nasnetReductionCell(
+                g, x, prev, f, "r" + std::to_string(s));
+            // After reduction the previous state's spatial dims no longer
+            // match; carry the reduced tensor as both states.
+            prev = reduced;
+            x = reduced;
+        }
+        for (int c = 0; c < cells_per_stage; ++c) {
+            LayerId y = nasnetNormalCell(
+                g, x, prev, f,
+                "s" + std::to_string(s) + "c" + std::to_string(c));
+            prev = x;
+            x = y;
+        }
+    }
+    x = g.globalPool(x, "gpool");
+    g.fullyConnected(x, 1000, "fc");
+    g.validate();
+    return g;
+}
+
+graph::Graph
+pnasnet()
+{
+    // PNASNet-5 (mobile-scale): 3 stages of 3 cells, reduction via
+    // stride-2 first cell of each later stage. Filters 54 -> 108 -> 216.
+    Graph g("pnasnet");
+    LayerId x = g.input(TensorShape{224, 224, 3});
+    x = g.conv(x, 32, 3, 2, 1, "stem");
+    LayerId prev = x;
+
+    const int stage_filters[3] = {54, 108, 216};
+    const int cells_per_stage = 3;
+    for (int s = 0; s < 3; ++s) {
+        const int f = stage_filters[s];
+        for (int c = 0; c < cells_per_stage; ++c) {
+            const int stride = (s > 0 && c == 0) ? 2 : 1;
+            LayerId y = pnasnetCell(
+                g, x, prev, f, stride,
+                "s" + std::to_string(s) + "c" + std::to_string(c));
+            prev = (stride == 2) ? y : x;
+            x = y;
+        }
+    }
+    x = g.globalPool(x, "gpool");
+    g.fullyConnected(x, 1000, "fc");
+    g.validate();
+    return g;
+}
+
+} // namespace ad::models

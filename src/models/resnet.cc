@@ -1,0 +1,97 @@
+#include "models.hh"
+
+namespace ad::models {
+
+using graph::Graph;
+using graph::LayerId;
+using graph::TensorShape;
+
+namespace {
+
+/**
+ * Standard ImageNet bottleneck residual block: 1x1 reduce, 3x3, 1x1
+ * expand, optional projection shortcut when shape changes.
+ */
+LayerId
+bottleneck(Graph &g, LayerId src, int mid_c, int out_c, int stride,
+           const std::string &name)
+{
+    LayerId y = g.conv(src, mid_c, 1, 1, 0, name + "_a");
+    y = g.conv(y, mid_c, 3, stride, 1, name + "_b");
+    y = g.conv(y, out_c, 1, 1, 0, name + "_c");
+
+    LayerId shortcut = src;
+    const graph::Layer &in_layer = g.layer(src);
+    if (stride != 1 || in_layer.out.c != out_c)
+        shortcut = g.conv(src, out_c, 1, stride, 0, name + "_proj");
+    return g.add({y, shortcut}, name + "_add");
+}
+
+Graph
+imagenetResnet(const std::string &name, const std::vector<int> &stages)
+{
+    Graph g(name);
+    LayerId x = g.input(TensorShape{224, 224, 3});
+    x = g.conv(x, 64, 7, 2, 3, "conv1");
+    x = g.pool(x, 3, 2, 1, "pool1");
+
+    const int mids[4] = {64, 128, 256, 512};
+    for (std::size_t s = 0; s < stages.size(); ++s) {
+        const int mid = mids[s];
+        const int out = mid * 4;
+        for (int b = 0; b < stages[s]; ++b) {
+            const int stride = (b == 0 && s > 0) ? 2 : 1;
+            x = bottleneck(g, x, mid, out, stride,
+                           "s" + std::to_string(s + 2) + "b" +
+                               std::to_string(b + 1));
+        }
+    }
+    x = g.globalPool(x, "gpool");
+    g.fullyConnected(x, 1000, "fc");
+    g.validate();
+    return g;
+}
+
+} // namespace
+
+graph::Graph
+resnet50()
+{
+    return imagenetResnet("resnet50", {3, 4, 6, 3});
+}
+
+graph::Graph
+resnet152()
+{
+    return imagenetResnet("resnet152", {3, 8, 36, 3});
+}
+
+graph::Graph
+resnet1001()
+{
+    // Pre-activation ResNet-1001: 3 stages of 111 bottleneck blocks on
+    // 32x32 inputs (He et al., "Identity Mappings in Deep Residual
+    // Networks"). 9 * 111 + 2 = 1001 weighted layers.
+    Graph g("resnet1001");
+    LayerId x = g.input(TensorShape{32, 32, 3});
+    x = g.conv(x, 16, 3, 1, 1, "conv1");
+
+    const int blocks = 111;
+    const int mids[3] = {16, 32, 64};
+    for (int s = 0; s < 3; ++s) {
+        const int mid = mids[s];
+        const int out = mid * 4;
+        for (int b = 0; b < blocks; ++b) {
+            const int stride = (b == 0 && s > 0) ? 2 : 1;
+            x = bottleneck(g, x, mid, out, stride,
+                           "s" + std::to_string(s + 1) + "b" +
+                               std::to_string(b + 1));
+        }
+    }
+    x = g.globalPool(x, "gpool");
+    g.fullyConnected(x, 10, "fc");
+    g.validate();
+    return g;
+}
+
+} // namespace ad::models

@@ -1,0 +1,38 @@
+#include "models.hh"
+
+namespace ad::models {
+
+using graph::Graph;
+using graph::LayerId;
+using graph::TensorShape;
+
+graph::Graph
+vgg19()
+{
+    Graph g("vgg19");
+    LayerId x = g.input(TensorShape{224, 224, 3});
+
+    auto block = [&g](LayerId src, int channels, int convs,
+                      const std::string &stage) {
+        LayerId y = src;
+        for (int i = 0; i < convs; ++i) {
+            y = g.conv(y, channels, 3, 1, 1,
+                       stage + "_conv" + std::to_string(i + 1));
+        }
+        return g.pool(y, 2, 2, 0, stage + "_pool");
+    };
+
+    x = block(x, 64, 2, "s1");
+    x = block(x, 128, 2, "s2");
+    x = block(x, 256, 4, "s3");
+    x = block(x, 512, 4, "s4");
+    x = block(x, 512, 4, "s5");
+
+    x = g.fullyConnected(x, 4096, "fc6");
+    x = g.fullyConnected(x, 4096, "fc7");
+    g.fullyConnected(x, 1000, "fc8");
+    g.validate();
+    return g;
+}
+
+} // namespace ad::models

@@ -1,0 +1,81 @@
+#include "models.hh"
+
+#include "util/common.hh"
+
+namespace ad::models {
+
+using graph::Graph;
+using graph::LayerId;
+using graph::TensorShape;
+
+graph::Graph
+tinyLinear(int channels)
+{
+    Graph g("tiny_linear");
+    LayerId x = g.input(TensorShape{32, 32, 3});
+    x = g.conv(x, channels, 3, 1, 1, "conv1");
+    x = g.pool(x, 2, 2, 0, "pool1");
+    x = g.conv(x, channels * 2, 3, 1, 1, "conv2");
+    x = g.globalPool(x, "gpool");
+    g.fullyConnected(x, 10, "fc");
+    g.validate();
+    return g;
+}
+
+graph::Graph
+tinyResidual()
+{
+    Graph g("tiny_residual");
+    LayerId x = g.input(TensorShape{16, 16, 16});
+    LayerId a = g.conv(x, 16, 3, 1, 1, "conv_a");
+    LayerId b = g.conv(a, 16, 3, 1, 1, "conv_b");
+    LayerId s = g.add({b, x}, "add1");
+    LayerId c = g.conv(s, 32, 3, 2, 1, "conv_c");
+    LayerId p = g.conv(s, 32, 1, 2, 0, "proj");
+    g.add({c, p}, "add2");
+    g.validate();
+    return g;
+}
+
+graph::Graph
+tinyBranchy()
+{
+    Graph g("tiny_branchy");
+    LayerId x = g.input(TensorShape{16, 16, 32});
+    LayerId b1 = g.conv(x, 16, 1, 1, 0, "b1");
+    LayerId b2 = g.conv(x, 16, 3, 1, 1, "b2");
+    LayerId b3 = g.pool(x, 3, 1, 1, "b3_pool");
+    b3 = g.conv(b3, 16, 1, 1, 0, "b3");
+    LayerId cat = g.concat({b1, b2, b3}, "cat");
+    g.conv(cat, 64, 3, 1, 1, "tail");
+    g.validate();
+    return g;
+}
+
+const std::vector<ModelEntry> &
+tableOneModels()
+{
+    static const std::vector<ModelEntry> entries = {
+        {"vgg19", "layer cascaded", vgg19},
+        {"resnet50", "residual bypass", resnet50},
+        {"resnet152", "residual bypass", resnet152},
+        {"resnet1001", "residual bypass", resnet1001},
+        {"inception_v3", "branching cells", inceptionV3},
+        {"nasnet", "NAS-generated", nasnet},
+        {"pnasnet", "NAS-generated", pnasnet},
+        {"efficientnet", "NAS-generated", efficientNet},
+    };
+    return entries;
+}
+
+graph::Graph
+buildByName(const std::string &name)
+{
+    for (const ModelEntry &entry : tableOneModels()) {
+        if (entry.name == name)
+            return entry.build();
+    }
+    fatal("unknown model '", name, "'");
+}
+
+} // namespace ad::models

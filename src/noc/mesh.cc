@@ -1,0 +1,87 @@
+#include "mesh.hh"
+
+#include <cstdlib>
+
+namespace ad::noc {
+
+MeshTopology::MeshTopology(int xdim, int ydim)
+    : _xdim(xdim), _ydim(ydim)
+{
+    if (xdim <= 0 || ydim <= 0)
+        fatal("mesh dimensions must be positive: ", xdim, "x", ydim);
+}
+
+Coord
+MeshTopology::coordOf(NodeId id) const
+{
+    adAssert(id >= 0 && id < nodes(), "node id out of range: ", id);
+    return Coord{id % _xdim, id / _xdim};
+}
+
+NodeId
+MeshTopology::idOf(Coord c) const
+{
+    adAssert(c.x >= 0 && c.x < _xdim && c.y >= 0 && c.y < _ydim,
+             "coord out of range: (", c.x, ",", c.y, ")");
+    return c.y * _xdim + c.x;
+}
+
+int
+MeshTopology::hops(NodeId a, NodeId b) const
+{
+    const Coord ca = coordOf(a);
+    const Coord cb = coordOf(b);
+    return std::abs(ca.x - cb.x) + std::abs(ca.y - cb.y);
+}
+
+LinkId
+MeshTopology::linkBetween(NodeId from, NodeId to) const
+{
+    const Coord cf = coordOf(from);
+    const Coord ct = coordOf(to);
+    const int dx = ct.x - cf.x;
+    const int dy = ct.y - cf.y;
+    adAssert(std::abs(dx) + std::abs(dy) == 1,
+             "linkBetween requires adjacent nodes");
+    // Encode as 4 directed link slots per node: 0=+x, 1=-x, 2=+y, 3=-y.
+    int dir = 0;
+    if (dx == 1)
+        dir = 0;
+    else if (dx == -1)
+        dir = 1;
+    else if (dy == 1)
+        dir = 2;
+    else
+        dir = 3;
+    return from * 4 + dir;
+}
+
+int
+MeshTopology::linkCount() const
+{
+    return nodes() * 4;
+}
+
+std::vector<LinkId>
+MeshTopology::route(NodeId a, NodeId b) const
+{
+    std::vector<LinkId> links;
+    Coord cur = coordOf(a);
+    const Coord dst = coordOf(b);
+    // X direction first, then Y (dimension-ordered, deadlock-free).
+    while (cur.x != dst.x) {
+        const int step = dst.x > cur.x ? 1 : -1;
+        const NodeId from = idOf(cur);
+        cur.x += step;
+        links.push_back(linkBetween(from, idOf(cur)));
+    }
+    while (cur.y != dst.y) {
+        const int step = dst.y > cur.y ? 1 : -1;
+        const NodeId from = idOf(cur);
+        cur.y += step;
+        links.push_back(linkBetween(from, idOf(cur)));
+    }
+    return links;
+}
+
+} // namespace ad::noc

@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * 2D-mesh topology with dimension-ordered (XY) routing, modeled after the
+ * TILE64 static network the paper adopts (Sec. IV-C): single-cycle hop
+ * latency between adjacent engines, full-crossbar switches, credit-based
+ * flow control.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace ad::noc {
+
+/** Engine index within the mesh (row-major). */
+using NodeId = std::int32_t;
+
+/** Directed link identifier (see MeshTopology::linkBetween). */
+using LinkId = std::int32_t;
+
+/** Grid coordinate. */
+struct Coord
+{
+    int x = 0; ///< column
+    int y = 0; ///< row
+
+    bool operator==(const Coord &) const = default;
+};
+
+/** Rectangular mesh of engines with XY dimension-ordered routing. */
+class MeshTopology
+{
+  public:
+    /** Create an @p xdim x @p ydim mesh. */
+    MeshTopology(int xdim, int ydim);
+
+    /** Mesh width (columns). */
+    int xdim() const { return _xdim; }
+
+    /** Mesh height (rows). */
+    int ydim() const { return _ydim; }
+
+    /** Total node count. */
+    int nodes() const { return _xdim * _ydim; }
+
+    /** Coordinate of node @p id. */
+    Coord coordOf(NodeId id) const;
+
+    /** Node at coordinate @p c. */
+    NodeId idOf(Coord c) const;
+
+    /** Manhattan hop distance between @p a and @p b. */
+    int hops(NodeId a, NodeId b) const;
+
+    /**
+     * Directed links on the XY route from @p a to @p b: all X-direction
+     * hops first, then Y-direction hops (the paper's routing policy).
+     * Empty when a == b.
+     */
+    std::vector<LinkId> route(NodeId a, NodeId b) const;
+
+    /** Total directed links in the mesh (4 per node, edge-clipped). */
+    int linkCount() const;
+
+    /** Directed link from @p from to adjacent node @p to; fatals if not
+     * adjacent. */
+    LinkId linkBetween(NodeId from, NodeId to) const;
+
+  private:
+    int _xdim;
+    int _ydim;
+};
+
+} // namespace ad::noc

@@ -1,0 +1,178 @@
+#include "noc_model.hh"
+
+#include <algorithm>
+
+namespace ad::noc {
+
+void
+NocConfig::validate() const
+{
+    if (linkBits <= 0)
+        fatal("NoC link width must be positive");
+    if (creditDepth <= 0)
+        fatal("NoC credit depth must be positive");
+}
+
+NocModel::NocModel(MeshTopology topo, NocConfig config)
+    : _topo(topo), _config(config)
+{
+    _config.validate();
+}
+
+Cycles
+NocModel::serializationCycles(Bytes bytes) const
+{
+    return ceilDiv<Cycles>(bytes * 8, static_cast<Cycles>(_config.linkBits));
+}
+
+Cycles
+NocModel::transferLatency(const Transfer &t) const
+{
+    if (t.src == t.dst || t.bytes == 0)
+        return 0;
+    const auto hops = static_cast<Cycles>(_topo.hops(t.src, t.dst));
+    return hops * _config.hopLatency + serializationCycles(t.bytes);
+}
+
+PicoJoules
+NocModel::transferEnergy(const Transfer &t) const
+{
+    if (t.src == t.dst)
+        return 0.0;
+    const double bits = static_cast<double>(t.bytes) * 8.0;
+    return bits * _topo.hops(t.src, t.dst) * _config.energyPjPerBitPerHop;
+}
+
+BatchResult
+NocModel::batch(const std::vector<Transfer> &transfers) const
+{
+    BatchResult result;
+    std::vector<Cycles> link_load(
+        static_cast<std::size_t>(_topo.linkCount()), 0);
+
+    // First pass: accumulate per-link occupancy.
+    for (const Transfer &t : transfers) {
+        if (t.src == t.dst || t.bytes == 0)
+            continue;
+        const Cycles ser = serializationCycles(t.bytes);
+        for (LinkId link : _topo.route(t.src, t.dst))
+            link_load[static_cast<std::size_t>(link)] += ser;
+        result.totalBytes += t.bytes;
+        result.totalHopBytes +=
+            t.bytes * static_cast<std::uint64_t>(_topo.hops(t.src, t.dst));
+        result.energyPj += transferEnergy(t);
+    }
+
+    // Second pass: a transfer finishes after its route latency plus the
+    // full occupancy of its most congested link (wormhole flits from
+    // competing transfers interleave; credits bound the in-flight depth so
+    // the bottleneck link serializes everyone crossing it).
+    for (const Transfer &t : transfers) {
+        if (t.src == t.dst || t.bytes == 0)
+            continue;
+        Cycles worst = serializationCycles(t.bytes);
+        for (LinkId link : _topo.route(t.src, t.dst)) {
+            worst = std::max(worst,
+                             link_load[static_cast<std::size_t>(link)]);
+        }
+        const auto hops = static_cast<Cycles>(_topo.hops(t.src, t.dst));
+        result.makespan =
+            std::max(result.makespan, hops * _config.hopLatency + worst);
+    }
+    return result;
+}
+
+BatchResult
+NocModel::multicastBatch(
+    const std::vector<Multicast> &groups,
+    std::vector<std::vector<Cycles>> *completions_out) const
+{
+    BatchResult result;
+    std::vector<Cycles> link_load(
+        static_cast<std::size_t>(_topo.linkCount()), 0);
+
+    // Route unions: each link of a group's tree carries the payload once.
+    std::vector<std::vector<LinkId>> tree_links(groups.size());
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const Multicast &mc = groups[g];
+        if (mc.bytes == 0)
+            continue;
+        auto &links = tree_links[g];
+        for (NodeId dst : mc.dsts) {
+            if (dst == mc.src)
+                continue;
+            for (LinkId link : _topo.route(mc.src, dst))
+                links.push_back(link);
+        }
+        std::sort(links.begin(), links.end());
+        links.erase(std::unique(links.begin(), links.end()),
+                    links.end());
+
+        const Cycles ser = serializationCycles(mc.bytes);
+        for (LinkId link : links)
+            link_load[static_cast<std::size_t>(link)] += ser;
+
+        result.totalBytes += mc.bytes;
+        result.totalHopBytes +=
+            mc.bytes * static_cast<std::uint64_t>(links.size());
+        result.energyPj += static_cast<double>(mc.bytes) * 8.0 *
+                           static_cast<double>(links.size()) *
+                           _config.energyPjPerBitPerHop;
+    }
+
+    if (completions_out)
+        completions_out->assign(groups.size(), {});
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+        const Multicast &mc = groups[g];
+        std::vector<Cycles> dst_done(mc.dsts.size(), 0);
+        for (std::size_t d = 0; d < mc.dsts.size(); ++d) {
+            const NodeId dst = mc.dsts[d];
+            if (dst == mc.src || mc.bytes == 0)
+                continue;
+            Cycles worst = serializationCycles(mc.bytes);
+            for (LinkId link : _topo.route(mc.src, dst)) {
+                worst = std::max(
+                    worst, link_load[static_cast<std::size_t>(link)]);
+            }
+            dst_done[d] = static_cast<Cycles>(_topo.hops(mc.src, dst)) *
+                              _config.hopLatency +
+                          worst;
+            result.makespan = std::max(result.makespan, dst_done[d]);
+        }
+        if (completions_out)
+            (*completions_out)[g] = std::move(dst_done);
+    }
+    return result;
+}
+
+std::vector<Cycles>
+NocModel::completions(const std::vector<Transfer> &transfers) const
+{
+    std::vector<Cycles> link_load(
+        static_cast<std::size_t>(_topo.linkCount()), 0);
+    for (const Transfer &t : transfers) {
+        if (t.src == t.dst || t.bytes == 0)
+            continue;
+        const Cycles ser = serializationCycles(t.bytes);
+        for (LinkId link : _topo.route(t.src, t.dst))
+            link_load[static_cast<std::size_t>(link)] += ser;
+    }
+
+    std::vector<Cycles> done(transfers.size(), 0);
+    for (std::size_t i = 0; i < transfers.size(); ++i) {
+        const Transfer &t = transfers[i];
+        if (t.src == t.dst || t.bytes == 0)
+            continue;
+        Cycles worst = serializationCycles(t.bytes);
+        for (LinkId link : _topo.route(t.src, t.dst)) {
+            worst = std::max(worst,
+                             link_load[static_cast<std::size_t>(link)]);
+        }
+        done[i] = static_cast<Cycles>(_topo.hops(t.src, t.dst)) *
+                      _config.hopLatency +
+                  worst;
+    }
+    return done;
+}
+
+} // namespace ad::noc

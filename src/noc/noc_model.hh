@@ -1,0 +1,110 @@
+#pragma once
+
+/**
+ * @file
+ * Cycle and energy cost model for inter-engine transfers over the mesh.
+ *
+ * Transfers in one scheduling Round are modeled together: each transfer is
+ * serialized onto the links of its XY route, link occupancies accumulate,
+ * and a transfer's completion time adds the worst queueing delay it
+ * observes along its route (credit-based wormhole behaves this way when a
+ * bottleneck link backs flits up). This captures the contention that makes
+ * the mapping permutation of Sec. IV-C matter, without flit-level detail.
+ */
+
+#include <vector>
+
+#include "noc/mesh.hh"
+
+namespace ad::noc {
+
+/** Static NoC parameters (TILE64-style defaults from the paper). */
+struct NocConfig
+{
+    int linkBits = 256;               ///< flit width per link per cycle
+    Cycles hopLatency = 1;            ///< router+link delay per hop
+    double energyPjPerBitPerHop = 0.61; ///< Tangram's published constant
+    int creditDepth = 4;              ///< per-link credit buffer (flits)
+
+    /** Validate parameters; fatals on nonsense values. */
+    void validate() const;
+};
+
+/** One engine-to-engine payload. */
+struct Transfer
+{
+    NodeId src = 0;
+    NodeId dst = 0;
+    Bytes bytes = 0;
+};
+
+/** One payload replicated from @c src to several destinations along a
+ * multicast tree (the union of the XY routes; each link carries the
+ * payload once). */
+struct Multicast
+{
+    NodeId src = 0;
+    std::vector<NodeId> dsts;
+    Bytes bytes = 0;
+};
+
+/** Result of scheduling one batch of concurrent transfers. */
+struct BatchResult
+{
+    Cycles makespan = 0;         ///< cycles until the last transfer lands
+    PicoJoules energyPj = 0.0;   ///< total hop energy of the batch
+    Bytes totalBytes = 0;        ///< payload bytes moved
+    std::uint64_t totalHopBytes = 0; ///< sum over transfers of bytes*hops
+};
+
+/** Cost model for a fixed mesh and NocConfig. */
+class NocModel
+{
+  public:
+    /** Build a model over @p topo with parameters @p config. */
+    NocModel(MeshTopology topo, NocConfig config = {});
+
+    /** Serialization cycles of @p bytes on one link. */
+    Cycles serializationCycles(Bytes bytes) const;
+
+    /** Latency of a single transfer on an idle network. */
+    Cycles transferLatency(const Transfer &t) const;
+
+    /** Hop energy of a single transfer. */
+    PicoJoules transferEnergy(const Transfer &t) const;
+
+    /**
+     * Makespan and energy of @p transfers issued simultaneously,
+     * accounting for link contention along XY routes.
+     */
+    BatchResult batch(const std::vector<Transfer> &transfers) const;
+
+    /**
+     * Per-transfer completion cycles for @p transfers issued
+     * simultaneously (same contention model as batch()).
+     */
+    std::vector<Cycles> completions(
+        const std::vector<Transfer> &transfers) const;
+
+    /**
+     * Contention model for concurrent multicasts: each group's payload
+     * occupies every link of its route union once. @p completions_out
+     * (if non-null) receives per-group, per-destination completion
+     * cycles aligned with Multicast::dsts.
+     */
+    BatchResult multicastBatch(
+        const std::vector<Multicast> &groups,
+        std::vector<std::vector<Cycles>> *completions_out) const;
+
+    /** Topology in use. */
+    const MeshTopology &topology() const { return _topo; }
+
+    /** Configuration in use. */
+    const NocConfig &config() const { return _config; }
+
+  private:
+    MeshTopology _topo;
+    NocConfig _config;
+};
+
+} // namespace ad::noc

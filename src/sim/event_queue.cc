@@ -1,0 +1,44 @@
+#include "event_queue.hh"
+
+namespace ad::sim {
+
+void
+EventQueue::schedule(Tick when, Handler handler)
+{
+    adAssert(when >= _now, "cannot schedule event in the past: ", when,
+             " < ", _now);
+    _queue.push(Event{when, _nextSeq++, std::move(handler)});
+}
+
+void
+EventQueue::run()
+{
+    while (!_queue.empty()) {
+        Event e = _queue.top();
+        _queue.pop();
+        _now = e.when;
+        e.handler(_now);
+    }
+}
+
+void
+EventQueue::runUntil(Tick until)
+{
+    while (!_queue.empty() && _queue.top().when <= until) {
+        Event e = _queue.top();
+        _queue.pop();
+        _now = e.when;
+        e.handler(_now);
+    }
+    _now = std::max(_now, until);
+}
+
+void
+EventQueue::reset()
+{
+    _queue = {};
+    _now = 0;
+    _nextSeq = 0;
+}
+
+} // namespace ad::sim

@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal discrete-event simulation kernel.
+ *
+ * Events are (time, callback) pairs processed in non-decreasing time
+ * order; ties break by insertion order, which keeps runs deterministic.
+ * The system simulator uses this kernel to retire engine-completion,
+ * transfer-completion, and DMA events within each scheduling Round.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace ad::sim {
+
+/** Simulated time in accelerator cycles. */
+using Tick = Cycles;
+
+/** Deterministic priority-queue event kernel. */
+class EventQueue
+{
+  public:
+    /** Callback type; receives the firing tick. */
+    using Handler = std::function<void(Tick)>;
+
+    /** Schedule @p handler at absolute time @p when (>= now()). */
+    void schedule(Tick when, Handler handler);
+
+    /** Process events until the queue is empty. */
+    void run();
+
+    /** Process events with time <= @p until (inclusive). */
+    void runUntil(Tick until);
+
+    /** Current simulated time (last retired event's tick). */
+    Tick now() const { return _now; }
+
+    /** Pending event count. */
+    std::size_t pending() const { return _queue.size(); }
+
+    /** Drop all pending events and reset time to zero. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Handler handler;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> _queue;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+};
+
+} // namespace ad::sim

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Execution report shared by the atomic-dataflow simulator and every
+ * baseline executor: the quantities the paper's evaluation section
+ * reports (latency, throughput, utilization, NoC overhead, on-chip reuse
+ * ratio, energy breakdown).
+ */
+
+#include <cstdint>
+
+#include "util/common.hh"
+
+namespace ad::sim {
+
+/** Outcome of executing one workload under one strategy. */
+struct ExecutionReport
+{
+    Cycles totalCycles = 0;      ///< end-to-end makespan
+    std::uint64_t rounds = 0;    ///< synchronized Rounds executed
+    int batch = 1;               ///< samples processed
+
+    // Utilization.
+    double peUtilization = 0.0;      ///< MACs/(cycles*PEs), memory included
+    double computeUtilization = 0.0; ///< w/o memory delay (Table II)
+    double nocOverhead = 0.0;        ///< fraction of time blocked on NoC
+    double memOverhead = 0.0;        ///< fraction of time blocked on HBM
+    double onChipReuseRatio = 0.0;   ///< fmap bytes reused on-chip
+
+    // Traffic.
+    Bytes hbmReadBytes = 0;
+    Bytes hbmWriteBytes = 0;
+    Bytes nocBytes = 0;
+    std::uint64_t nocHopBytes = 0; ///< sum of bytes x hops
+    Bytes localReuseBytes = 0;     ///< consumer on producer engine
+    Bytes weightHbmBytes = 0;      ///< HBM reads that were weights
+    Bytes spillWriteBytes = 0;     ///< live tiles evicted to HBM
+    Bytes finalWriteBytes = 0;     ///< graph outputs / dead tiles
+    std::uint64_t storedAtoms = 0;   ///< produce() kept the tile on-chip
+    std::uint64_t unstoredAtoms = 0; ///< produce() spilled immediately
+
+    // Energy.
+    PicoJoules computeEnergyPj = 0.0; ///< MAC + local SRAM
+    PicoJoules nocEnergyPj = 0.0;
+    PicoJoules hbmEnergyPj = 0.0;
+    PicoJoules staticEnergyPj = 0.0;
+
+    /** Total energy in picojoules. */
+    PicoJoules
+    totalEnergyPj() const
+    {
+        return computeEnergyPj + nocEnergyPj + hbmEnergyPj +
+               staticEnergyPj;
+    }
+
+    /** Total energy in millijoules. */
+    double totalEnergyMj() const { return totalEnergyPj() * 1e-9; }
+
+    /** Wall-clock latency in milliseconds at @p freq_ghz. */
+    double
+    latencyMs(double freq_ghz) const
+    {
+        return static_cast<double>(totalCycles) / (freq_ghz * 1e6);
+    }
+
+    /** Throughput in inferences per second at @p freq_ghz. */
+    double
+    throughputFps(double freq_ghz) const
+    {
+        const double ms = latencyMs(freq_ghz);
+        return ms > 0 ? 1000.0 * batch / ms : 0.0;
+    }
+};
+
+} // namespace ad::sim

@@ -1,0 +1,430 @@
+#include "system.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace ad::sim {
+
+using core::AtomicDag;
+using core::AtomId;
+using core::Eviction;
+using core::Location;
+using core::Placement;
+using core::ResidencyTracker;
+using core::Schedule;
+using core::SourceInfo;
+
+void
+SystemConfig::validate() const
+{
+    engine.validate();
+    noc.validate();
+    hbm.validate();
+    if (meshX <= 0 || meshY <= 0)
+        fatal("mesh dimensions must be positive");
+}
+
+SystemSimulator::SystemSimulator(const SystemConfig &config)
+    : _config(config)
+{
+    _config.validate();
+}
+
+namespace {
+
+/** Backing-store address of an atom's ofmap (channel-interleaving
+ * friendly spread across the stack). */
+mem::Address
+atomAddress(AtomId atom, const mem::HbmConfig &hbm)
+{
+    const auto spread =
+        (static_cast<mem::Address>(atom) * 0x9E3779B97F4A7C15ULL);
+    return spread % (hbm.capacityBytes / 2);
+}
+
+/** Address of a layer's weights (upper half of the stack). */
+mem::Address
+weightAddress(graph::LayerId layer, const mem::HbmConfig &hbm)
+{
+    const auto spread =
+        (static_cast<mem::Address>(layer) * 0xC2B2AE3D27D4EB4FULL);
+    return hbm.capacityBytes / 2 + spread % (hbm.capacityBytes / 2);
+}
+
+} // namespace
+
+ExecutionReport
+SystemSimulator::execute(const AtomicDag &dag,
+                         const Schedule &schedule) const
+{
+    const int num_engines = _config.engines();
+    const engine::CostModel cost(_config.engine, _config.dataflow);
+    const noc::MeshTopology topo(_config.meshX, _config.meshY);
+    const noc::NocModel noc_model(topo, _config.noc);
+    mem::HbmModel hbm(_config.hbm);
+
+    // Rebuild the Round atom lists for residency next-use indexing.
+    std::vector<std::vector<AtomId>> round_atoms;
+    round_atoms.reserve(schedule.rounds.size());
+    for (const core::Round &r : schedule.rounds) {
+        round_atoms.emplace_back();
+        for (const Placement &p : r.placements)
+            round_atoms.back().push_back(p.atom);
+    }
+    const core::ScheduleIndex index(schedule, dag.size());
+    ResidencyTracker residency(dag, num_engines,
+                               _config.engine.bufferBytes);
+    residency.attachSchedule(round_atoms);
+
+    ExecutionReport report;
+    report.batch = dag.batch();
+    report.rounds = schedule.rounds.size();
+
+    MacCount total_macs = 0;
+    Cycles compute_only_total = 0; ///< sum of per-round compute makespans
+    Cycles noc_overhead_cycles = 0;
+    Cycles mem_overhead_cycles = 0;
+    Bytes fmap_onchip_bytes = 0;
+    Bytes fmap_offchip_bytes = 0;
+
+    EventQueue events;
+    Tick now = 0;
+    Tick prev_round_start = 0;
+    std::vector<Tick> round_start_history;
+    round_start_history.reserve(schedule.rounds.size());
+
+    for (std::size_t t = 0; t < schedule.rounds.size(); ++t) {
+        const core::Round &round = schedule.rounds[t];
+        if (round.placements.empty())
+            continue;
+        residency.beginRound(static_cast<int>(t));
+        round_start_history.push_back(now);
+
+        const int horizon = std::max(1, _config.prefetchRounds);
+        const std::size_t issue_round =
+            round_start_history.size() > static_cast<std::size_t>(horizon)
+                ? round_start_history.size() - 1 -
+                      static_cast<std::size_t>(horizon)
+                : 0;
+        const Tick fetch_issue = _config.doubleBuffer
+                                     ? round_start_history[issue_round]
+                                     : now;
+
+        // Phase 1: locate inputs, issue HBM fetches, gather transfers.
+        struct EngineNeed
+        {
+            Tick hbmReady = 0;        ///< absolute completion of fetches
+            Cycles nocReady = 0;      ///< relative completion of moves
+            Cycles compute = 0;
+        };
+        std::vector<EngineNeed> needs(round.placements.size());
+        // Producer tiles replicate to their consumers as NoC multicasts.
+        // Two batches: payloads whose producer finished two or more
+        // Rounds ago can prefetch during the previous Round's compute;
+        // data produced in Round t-1 can only move now.
+        struct McGroup
+        {
+            noc::Multicast mc;
+            std::vector<std::size_t> owners; ///< placement index per dst
+        };
+        std::vector<McGroup> fresh_groups;
+        std::vector<McGroup> early_groups;
+        std::unordered_map<AtomId, std::size_t> fresh_index;
+        std::unordered_map<AtomId, std::size_t> early_index;
+        auto add_member = [](std::vector<McGroup> &groups,
+                             std::unordered_map<AtomId, std::size_t>
+                                 &index,
+                             AtomId dep, int src, int dst, Bytes bytes,
+                             std::size_t owner) {
+            auto [it, inserted] = index.emplace(dep, groups.size());
+            if (inserted) {
+                groups.emplace_back();
+                groups.back().mc.src = src;
+            }
+            McGroup &g = groups[it->second];
+            g.mc.dsts.push_back(dst);
+            g.mc.bytes = std::max(g.mc.bytes, bytes);
+            g.owners.push_back(owner);
+        };
+        std::unordered_map<std::int64_t, int> weight_fetches;
+        std::unordered_map<std::int64_t, std::size_t> weight_groups;
+        std::unordered_map<AtomId, Tick> hbm_fetches;
+        const Cycles prev_duration =
+            now > prev_round_start ? now - prev_round_start : 0;
+
+        for (std::size_t pi = 0; pi < round.placements.size(); ++pi) {
+            const Placement &p = round.placements[pi];
+            EngineNeed &need = needs[pi];
+            need.hbmReady = fetch_issue;
+
+            const auto dep_ids = dag.depsSpan(p.atom);
+            const auto dep_bytes = dag.depBytesSpan(p.atom);
+            for (std::size_t di = 0; di < dep_ids.size(); ++di) {
+                const AtomId dep = dep_ids[di];
+                const Bytes bytes = dep_bytes[di];
+                SourceInfo src = residency.locate(dep);
+                if (!_config.onChipReuse)
+                    src.location = Location::OffChip;
+                if (src.location == Location::OnChip) {
+                    fmap_onchip_bytes += bytes;
+                    if (src.engine == p.engine) {
+                        report.localReuseBytes += bytes;
+                    } else {
+                        const int produced = index.roundOf(dep);
+                        if (produced >= 0 &&
+                            produced + 1 < static_cast<int>(t)) {
+                            add_member(early_groups, early_index, dep,
+                                       src.engine, p.engine, bytes, pi);
+                        } else {
+                            add_member(fresh_groups, fresh_index, dep,
+                                       src.engine, p.engine, bytes, pi);
+                        }
+                    }
+                } else {
+                    fmap_offchip_bytes += bytes;
+                    // One HBM fetch per spilled tile per Round; the DMA
+                    // broadcasts the fill to every consumer engine.
+                    auto [hit, inserted] =
+                        hbm_fetches.try_emplace(dep, Tick{0});
+                    if (inserted) {
+                        report.hbmReadBytes += bytes;
+                        hit->second =
+                            hbm.access(atomAddress(dep, _config.hbm),
+                                       bytes, false, fetch_issue);
+                    }
+                    need.hbmReady =
+                        std::max(need.hbmReady, hit->second);
+                }
+            }
+
+            if (dag.readsExternalInput(p.atom)) {
+                const Bytes bytes = dag.workload(p.atom).ifmapBytes(
+                    _config.engine.bytesPerElem);
+                report.hbmReadBytes += bytes;
+                need.hbmReady = std::max(
+                    need.hbmReady,
+                    hbm.access(atomAddress(p.atom, _config.hbm) +
+                                   _config.hbm.capacityBytes / 4,
+                               bytes, false, fetch_issue));
+            }
+
+            // Weight slice sourcing: engines already holding the
+            // (layer, slice) serve NoC copies (multicast-tree
+            // replication); otherwise the first toucher this Round
+            // fetches it from HBM and later touchers copy from it.
+            const graph::LayerId layer = dag.atom(p.atom).layer;
+            const int slice = dag.atom(p.atom).cs;
+            const Bytes wbytes = dag.weightBytes(p.atom);
+            if (wbytes > 0 &&
+                (!_config.onChipReuse ||
+                 !residency.weightsResident(layer, slice, p.engine))) {
+                const std::int64_t slice_key =
+                    (static_cast<std::int64_t>(layer) << 24) | slice;
+                const int holder =
+                    _config.onChipReuse
+                        ? residency.weightHolder(layer, slice)
+                        : -1;
+                auto it = weight_fetches.find(slice_key);
+                int copy_src = -1;
+                if (holder >= 0 && holder != p.engine) {
+                    copy_src = holder;
+                } else if (it != weight_fetches.end() &&
+                           it->second != p.engine) {
+                    copy_src = it->second;
+                }
+                if (copy_src >= 0) {
+                    // Same-slice receivers this Round share one
+                    // multicast tree from the holder/fetcher. Weight
+                    // needs are known statically, so the replication
+                    // overlaps the previous Round's compute.
+                    auto [wit, winserted] = weight_groups.emplace(
+                        slice_key, early_groups.size());
+                    if (winserted) {
+                        early_groups.emplace_back();
+                        early_groups.back().mc.src = copy_src;
+                        early_groups.back().mc.bytes = wbytes;
+                    }
+                    McGroup &wg = early_groups[wit->second];
+                    wg.mc.dsts.push_back(p.engine);
+                    wg.owners.push_back(pi);
+                } else if (holder != p.engine) {
+                    report.hbmReadBytes += wbytes;
+                    report.weightHbmBytes += wbytes;
+                    need.hbmReady = std::max(
+                        need.hbmReady,
+                        hbm.access(weightAddress(layer, _config.hbm),
+                                   wbytes, false, fetch_issue));
+                    weight_fetches.emplace(slice_key, p.engine);
+                }
+                if (_config.onChipReuse) {
+                    const auto evictions = residency.installWeights(
+                        layer, slice, p.engine, wbytes,
+                        static_cast<int>(t));
+                    for (const Eviction &e : evictions) {
+                        if (e.writeBack) {
+                            report.hbmWriteBytes += e.bytes;
+                            hbm.access(atomAddress(e.atom, _config.hbm),
+                                       e.bytes, true, now);
+                        }
+                    }
+                }
+            }
+
+            const auto result = cost.evaluate(dag.workload(p.atom));
+            need.compute = result.cycles;
+            report.computeEnergyPj += result.energyPj;
+            total_macs += result.macs;
+        }
+
+        // Phase 2: NoC contention. Early multicasts overlap the previous
+        // Round's compute; only the part exceeding it stalls this Round.
+        auto retire_groups = [&](const std::vector<McGroup> &groups,
+                                 bool overlap_prev) {
+            std::vector<noc::Multicast> mcs;
+            mcs.reserve(groups.size());
+            for (const McGroup &g : groups)
+                mcs.push_back(g.mc);
+            std::vector<std::vector<Cycles>> done;
+            const auto noc_batch =
+                noc_model.multicastBatch(mcs, &done);
+            for (std::size_t g = 0; g < groups.size(); ++g) {
+                for (std::size_t d = 0; d < groups[g].owners.size();
+                     ++d) {
+                    Cycles ready = done[g][d];
+                    if (overlap_prev) {
+                        ready = ready > prev_duration
+                                    ? ready - prev_duration
+                                    : 0;
+                    }
+                    auto &need = needs[groups[g].owners[d]];
+                    need.nocReady = std::max(need.nocReady, ready);
+                }
+            }
+            report.nocBytes += noc_batch.totalBytes;
+            report.nocEnergyPj += noc_batch.energyPj;
+            report.nocHopBytes += noc_batch.totalHopBytes;
+            // SRAM traffic of the replication itself (producer read,
+            // consumer writes) is not in the consumer's compute energy.
+            report.computeEnergyPj +=
+                static_cast<double>(noc_batch.totalBytes) * 8.0 *
+                (_config.engine.sramReadPjPerBit +
+                 _config.engine.sramWritePjPerBit);
+        };
+        retire_groups(fresh_groups, false);
+        retire_groups(early_groups, true);
+
+        // Phase 3: engines start when inputs land; Round synchronizes on
+        // the last finisher (event-driven retirement).
+        Cycles round_compute_makespan = 0;
+        Cycles max_noc_stall = 0;
+        Cycles max_total_stall = 0;
+        Tick round_end = now + 1;
+
+        for (std::size_t pi = 0; pi < round.placements.size(); ++pi) {
+            const Placement &p = round.placements[pi];
+            const EngineNeed &need = needs[pi];
+
+            const Cycles hbm_stall =
+                need.hbmReady > now ? need.hbmReady - now : 0;
+            // Inbound NoC data streams into the consumer while it
+            // computes (wormhole + double-buffered operand staging), so
+            // the engine finishes when both its compute and its slowest
+            // inbound transfer are done.
+            const Cycles busy =
+                std::max(hbm_stall + need.compute, need.nocReady);
+            const Cycles noc_stall =
+                busy > hbm_stall + need.compute
+                    ? busy - (hbm_stall + need.compute)
+                    : 0;
+            max_noc_stall = std::max(max_noc_stall, noc_stall);
+            max_total_stall =
+                std::max(max_total_stall, noc_stall + hbm_stall);
+            round_compute_makespan =
+                std::max(round_compute_makespan, need.compute);
+
+            const Tick finish = now + busy;
+            round_end = std::max(round_end, finish);
+
+            events.schedule(finish, [&, p, t](Tick when) {
+                if (!_config.onChipReuse) {
+                    const Bytes bytes = dag.ofmapBytes(p.atom);
+                    report.hbmWriteBytes += bytes;
+                    hbm.access(atomAddress(p.atom, _config.hbm), bytes,
+                               true, when);
+                    return;
+                }
+                const auto evictions = residency.produce(
+                    p.atom, p.engine, static_cast<int>(t));
+                bool stored = true;
+                for (const Eviction &e : evictions) {
+                    if (!e.writeBack)
+                        continue;
+                    report.hbmWriteBytes += e.bytes;
+                    if (e.atom == p.atom) {
+                        stored = false;
+                        if (residency.nextUseAfter(
+                                p.atom, static_cast<int>(t)) < 0) {
+                            report.finalWriteBytes += e.bytes;
+                        } else {
+                            report.spillWriteBytes += e.bytes;
+                        }
+                    } else {
+                        report.spillWriteBytes += e.bytes;
+                    }
+                    hbm.access(atomAddress(e.atom, _config.hbm),
+                               e.bytes, true, when);
+                }
+                if (stored)
+                    ++report.storedAtoms;
+                else
+                    ++report.unstoredAtoms;
+            });
+        }
+        events.run();
+
+        compute_only_total += round_compute_makespan;
+        noc_overhead_cycles += max_noc_stall;
+        mem_overhead_cycles +=
+            max_total_stall > max_noc_stall
+                ? max_total_stall - max_noc_stall
+                : 0;
+
+        prev_round_start = now;
+        now = round_end;
+    }
+
+    report.totalCycles = now;
+    const double total_pes = static_cast<double>(_config.totalPes());
+    if (now > 0) {
+        report.peUtilization = static_cast<double>(total_macs) /
+                               (static_cast<double>(now) * total_pes);
+        report.nocOverhead =
+            static_cast<double>(noc_overhead_cycles) /
+            static_cast<double>(now);
+        report.memOverhead =
+            static_cast<double>(mem_overhead_cycles) /
+            static_cast<double>(now);
+    }
+    if (compute_only_total > 0) {
+        report.computeUtilization =
+            static_cast<double>(total_macs) /
+            (static_cast<double>(compute_only_total) * total_pes);
+    }
+    const Bytes fmap_total = fmap_onchip_bytes + fmap_offchip_bytes;
+    if (fmap_total > 0) {
+        report.onChipReuseRatio =
+            static_cast<double>(fmap_onchip_bytes) /
+            static_cast<double>(fmap_total);
+    }
+
+    report.hbmEnergyPj = hbm.stats().energyPj;
+    // Static energy: leakage + clock tree of every engine over the run.
+    const double seconds = static_cast<double>(now) /
+                           (_config.engine.freqGhz * 1e9);
+    report.staticEnergyPj = _config.engine.staticPowerMw * 1e-3 *
+                            seconds * 1e12 * num_engines;
+    return report;
+}
+
+} // namespace ad::sim

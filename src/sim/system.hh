@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * The scalable-accelerator system model (Fig. 1(c)): a mesh of tensor
+ * engines with distributed SRAM buffers, connected by the NoC and backed
+ * by an HBM stack. Executes mapped atomic-dataflow schedules Round by
+ * Round with an event-driven kernel and produces an ExecutionReport.
+ */
+
+#include "core/atomic_dag.hh"
+#include "core/residency.hh"
+#include "core/schedule.hh"
+#include "engine/cost_model.hh"
+#include "mem/hbm_model.hh"
+#include "noc/noc_model.hh"
+#include "sim/event_queue.hh"
+#include "sim/report.hh"
+
+namespace ad::sim {
+
+/** Full-system configuration (defaults are the paper's Sec. V-A). */
+struct SystemConfig
+{
+    engine::EngineConfig engine;
+    engine::DataflowKind dataflow = engine::DataflowKind::KcPartition;
+    int meshX = 8;
+    int meshY = 8;
+    noc::NocConfig noc;
+    mem::HbmConfig hbm;
+    /** Overlap next-Round HBM fetches with current-Round compute. */
+    bool doubleBuffer = true;
+
+    /** How many Rounds ahead the DMA may issue HBM fetches (the
+     * schedule is static, so prefetch depth is a buffer trade-off). */
+    int prefetchRounds = 4;
+
+    /** Keep intermediates in the distributed buffers for reuse; when
+     * false every intermediate goes through HBM (Fig. 10 ablation). */
+    bool onChipReuse = true;
+
+    /** Engine count. */
+    int engines() const { return meshX * meshY; }
+
+    /** Total PEs on chip. */
+    int totalPes() const { return engines() * engine.pes(); }
+
+    /** Validate all sub-configs. */
+    void validate() const;
+};
+
+/**
+ * Executes a mapped Schedule over an AtomicDag.
+ *
+ * Timing semantics per Round: input tensors are fetched from the HBM
+ * (with double-buffered prefetch issued one Round ahead) or moved over
+ * the NoC from producer engines; each engine starts when its inputs have
+ * landed and runs its atom's compute; the Round is synchronized by the
+ * last engine to finish (Sec. III). Buffer occupancy follows the
+ * ResidencyTracker with Algorithm 3 evictions; live spills are written
+ * back to HBM as posted writes.
+ */
+class SystemSimulator
+{
+  public:
+    /** Create a simulator for @p config. */
+    explicit SystemSimulator(const SystemConfig &config);
+
+    /** Execute @p schedule over @p dag and report. */
+    ExecutionReport execute(const core::AtomicDag &dag,
+                            const core::Schedule &schedule) const;
+
+    /** Configuration in use. */
+    const SystemConfig &config() const { return _config; }
+
+  private:
+    SystemConfig _config;
+};
+
+} // namespace ad::sim

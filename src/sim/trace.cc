@@ -1,0 +1,78 @@
+#include "trace.hh"
+
+#include <sstream>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace ad::sim {
+
+std::string
+renderScheduleText(const core::AtomicDag &dag,
+                   const core::Schedule &schedule,
+                   const TraceOptions &options)
+{
+    std::ostringstream os;
+    const std::size_t limit = options.maxRounds == 0
+                                  ? schedule.rounds.size()
+                                  : options.maxRounds;
+    for (std::size_t t = 0; t < schedule.rounds.size(); ++t) {
+        if (t >= limit) {
+            os << "... (" << schedule.rounds.size() - t
+               << " more rounds)\n";
+            break;
+        }
+        os << "round " << t << ":\n";
+        for (const core::Placement &p : schedule.rounds[t].placements) {
+            const core::Atom &a = dag.atom(p.atom);
+            const auto &layer = dag.graph().layer(a.layer);
+            os << "  engine " << p.engine << "  " << layer.name << "["
+               << a.index << "] b" << a.batch << "  h" << a.hs << ".."
+               << a.he << " w" << a.ws << ".." << a.we << " c" << a.cs
+               << ".." << a.ce << "\n";
+        }
+    }
+    return os.str();
+}
+
+std::string
+renderScheduleCsv(const core::AtomicDag &dag,
+                  const core::Schedule &schedule)
+{
+    std::ostringstream os;
+    os << "round,engine,atom,layer,sample,h0,h1,w0,w1,c0,c1\n";
+    for (std::size_t t = 0; t < schedule.rounds.size(); ++t) {
+        for (const core::Placement &p : schedule.rounds[t].placements) {
+            const core::Atom &a = dag.atom(p.atom);
+            os << t << ',' << p.engine << ',' << p.atom << ','
+               << dag.graph().layer(a.layer).name << ',' << a.batch
+               << ',' << a.hs << ',' << a.he << ',' << a.ws << ','
+               << a.we << ',' << a.cs << ',' << a.ce << '\n';
+        }
+    }
+    return os.str();
+}
+
+std::string
+renderEngineOccupancy(const core::Schedule &schedule, int engines)
+{
+    std::vector<std::size_t> counts(static_cast<std::size_t>(engines),
+                                    0);
+    for (const core::Round &round : schedule.rounds) {
+        for (const core::Placement &p : round.placements) {
+            adAssert(p.engine >= 0 && p.engine < engines,
+                     "engine out of range in schedule");
+            ++counts[static_cast<std::size_t>(p.engine)];
+        }
+    }
+    std::ostringstream os;
+    os << "engine occupancy (atoms per engine over "
+       << schedule.rounds.size() << " rounds):\n";
+    for (int e = 0; e < engines; ++e) {
+        os << "  engine " << e << ": "
+           << counts[static_cast<std::size_t>(e)] << "\n";
+    }
+    return os.str();
+}
+
+} // namespace ad::sim

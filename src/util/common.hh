@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * Common type aliases and error-handling primitives shared by every
+ * atomic-dataflow module.
+ *
+ * Follows the gem5 convention of separating @c panic (internal invariant
+ * violation, i.e. a bug in this library) from @c fatal (a condition caused
+ * by user input such as an inconsistent configuration).
+ */
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ad {
+
+/** Cycle count at the accelerator clock. */
+using Cycles = std::uint64_t;
+
+/** Data size in bytes. */
+using Bytes = std::uint64_t;
+
+/** Energy in picojoules. */
+using PicoJoules = double;
+
+/** Number of multiply-accumulate operations. */
+using MacCount = std::uint64_t;
+
+/** Thrown by @c panic — an internal invariant of the library was violated. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &what)
+        : std::logic_error(what)
+    {}
+};
+
+/** Thrown by @c fatal — the user supplied an invalid configuration. */
+class ConfigError : public std::runtime_error
+{
+  public:
+    explicit ConfigError(const std::string &what)
+        : std::runtime_error(what)
+    {}
+};
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &value, const Rest &...rest)
+{
+    os << value;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/**
+ * Abort with an InternalError. Call when something happens that should
+ * never happen regardless of what the user does.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::ostringstream os;
+    os << "panic: ";
+    detail::formatInto(os, args...);
+    throw InternalError(os.str());
+}
+
+/**
+ * Abort with a ConfigError. Call when the run cannot continue due to a
+ * condition that is the user's fault (bad configuration, invalid model).
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::ostringstream os;
+    os << "fatal: ";
+    detail::formatInto(os, args...);
+    throw ConfigError(os.str());
+}
+
+/** Assert an internal invariant; panics with @p args on failure. */
+template <typename... Args>
+void
+adAssert(bool condition, const Args &...args)
+{
+    if (!condition)
+        panic(args...);
+}
+
+/** Integer ceiling division. */
+template <typename T>
+constexpr T
+ceilDiv(T numerator, T denominator)
+{
+    return (numerator + denominator - 1) / denominator;
+}
+
+/** Round @p value up to the next multiple of @p multiple. */
+template <typename T>
+constexpr T
+roundUp(T value, T multiple)
+{
+    return ceilDiv(value, multiple) * multiple;
+}
+
+} // namespace ad

@@ -1,0 +1,33 @@
+#include "logging.hh"
+
+namespace ad {
+
+Logger &
+Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void
+Logger::log(LogLevel level, const std::string &message)
+{
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Error:
+        tag = "error: ";
+        break;
+      case LogLevel::Warn:
+        tag = "warn: ";
+        break;
+      case LogLevel::Info:
+        tag = "info: ";
+        break;
+      case LogLevel::Debug:
+        tag = "debug: ";
+        break;
+    }
+    std::cerr << tag << message << '\n';
+}
+
+} // namespace ad

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal leveled logger. Messages are informational only and never stop a
+ * run (see @c panic / @c fatal in common.hh for errors).
+ */
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ad {
+
+/** Verbosity levels, lowest is most severe. */
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
+
+/** Global logging facility with a process-wide verbosity threshold. */
+class Logger
+{
+  public:
+    /** Return the process-wide logger. */
+    static Logger &instance();
+
+    /** Set the verbosity threshold; messages above it are dropped. */
+    void setLevel(LogLevel level) { _level = level; }
+
+    /** Current verbosity threshold. */
+    LogLevel level() const { return _level; }
+
+    /** Emit @p message if @p level passes the threshold. */
+    void log(LogLevel level, const std::string &message);
+
+  private:
+    Logger() = default;
+
+    LogLevel _level = LogLevel::Warn;
+};
+
+namespace detail {
+
+template <typename... Args>
+void
+logAt(LogLevel level, const Args &...args)
+{
+    auto &logger = Logger::instance();
+    if (level > logger.level())
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    logger.log(level, os.str());
+}
+
+} // namespace detail
+
+/** Informative message the user should know but not worry about. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    detail::logAt(LogLevel::Info, args...);
+}
+
+/** Something might not work as well as it could; worth investigating. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    detail::logAt(LogLevel::Warn, args...);
+}
+
+/** Debug-level trace message. */
+template <typename... Args>
+void
+trace(const Args &...args)
+{
+    detail::logAt(LogLevel::Debug, args...);
+}
+
+} // namespace ad

@@ -1,0 +1,137 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common.hh"
+
+namespace ad {
+
+void
+RunningStats::add(double x)
+{
+    if (_count == 0) {
+        _min = x;
+        _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_count;
+    _sum += x;
+    const double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+}
+
+double
+RunningStats::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(_count);
+    const double nb = static_cast<double>(other._count);
+    const double delta = other._mean - _mean;
+    const double n = na + nb;
+    _mean += delta * nb / n;
+    _m2 += other._m2 + delta * delta * na * nb / n;
+    _count += other._count;
+    _sum += other._sum;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : _lo(lo), _hi(hi), _counts(bins, 0)
+{
+    if (bins == 0)
+        fatal("Histogram requires at least one bin");
+    if (!(hi > lo))
+        fatal("Histogram range must be non-empty: [", lo, ", ", hi, ")");
+    _binWidth = (hi - lo) / static_cast<double>(bins);
+}
+
+void
+Histogram::add(double x)
+{
+    double idx = (x - _lo) / _binWidth;
+    auto i = static_cast<std::int64_t>(std::floor(idx));
+    i = std::clamp<std::int64_t>(i, 0,
+                                 static_cast<std::int64_t>(bins()) - 1);
+    ++_counts[static_cast<std::size_t>(i)];
+    ++_total;
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t i) const
+{
+    adAssert(i < _counts.size(), "histogram bin out of range");
+    return _counts[i];
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    adAssert(i < _counts.size(), "histogram bin out of range");
+    return _lo + _binWidth * static_cast<double>(i);
+}
+
+double
+Histogram::topWindowFraction(std::size_t k) const
+{
+    if (_total == 0 || k == 0)
+        return 0.0;
+    k = std::min(k, bins());
+    std::uint64_t window = 0;
+    for (std::size_t i = 0; i < k; ++i)
+        window += _counts[i];
+    std::uint64_t best = window;
+    for (std::size_t i = k; i < bins(); ++i) {
+        window += _counts[i] - _counts[i - k];
+        best = std::max(best, window);
+    }
+    return static_cast<double>(best) / static_cast<double>(_total);
+}
+
+std::string
+Histogram::render(std::size_t width) const
+{
+    std::uint64_t peak = 1;
+    for (auto c : _counts)
+        peak = std::max(peak, c);
+    std::ostringstream os;
+    for (std::size_t i = 0; i < bins(); ++i) {
+        const auto bar =
+            static_cast<std::size_t>(width * _counts[i] / peak);
+        os << binLow(i) << "\t" << _counts[i] << "\t"
+           << std::string(bar, '#') << '\n';
+    }
+    return os.str();
+}
+
+} // namespace ad

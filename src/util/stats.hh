@@ -1,0 +1,103 @@
+#pragma once
+
+/**
+ * @file
+ * Streaming statistics and histogram helpers used by the evaluation
+ * harness (utilization averages, cycle-variance for Algorithm 1, and the
+ * atom-cycle histograms of Fig. 5a).
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ad {
+
+/** Welford-style streaming mean/variance accumulator. */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples observed. */
+    std::size_t count() const { return _count; }
+
+    /** Mean of the observed samples (0 when empty). */
+    double mean() const { return _mean; }
+
+    /** Population variance of the observed samples (0 when n < 2). */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Smallest observed sample (0 when empty). */
+    double min() const { return _count ? _min : 0.0; }
+
+    /** Largest observed sample (0 when empty). */
+    double max() const { return _count ? _max : 0.0; }
+
+    /** Sum of all samples. */
+    double sum() const { return _sum; }
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _sum = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+/** Fixed-width-bin histogram over [lo, hi). */
+class Histogram
+{
+  public:
+    /**
+     * Create a histogram of @p bins equal-width buckets spanning
+     * [@p lo, @p hi). Values outside the range clamp to the edge buckets.
+     */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Add one sample. */
+    void add(double x);
+
+    /** Count in bucket @p i. */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Left edge of bucket @p i. */
+    double binLow(std::size_t i) const;
+
+    /** Number of buckets. */
+    std::size_t bins() const { return _counts.size(); }
+
+    /** Total samples added. */
+    std::uint64_t total() const { return _total; }
+
+    /**
+     * Fraction of samples falling in the @p k consecutive buckets with the
+     * highest combined population — the "concentration" metric used to
+     * quantify Fig. 5(a)'s claim that atom cycles cluster in one region.
+     */
+    double topWindowFraction(std::size_t k) const;
+
+    /** Render an ASCII bar chart, @p width columns wide. */
+    std::string render(std::size_t width = 50) const;
+
+  private:
+    double _lo;
+    double _hi;
+    double _binWidth;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _total = 0;
+};
+
+} // namespace ad

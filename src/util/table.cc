@@ -1,0 +1,96 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace ad {
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    _rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths;
+    auto account = [&widths](const std::vector<std::string> &row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    account(_header);
+    for (const auto &row : _rows)
+        account(row);
+
+    std::ostringstream os;
+    auto emit = [&os, &widths](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]))
+               << row[i];
+            if (i + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i)
+            total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto &row : _rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    std::ostringstream os;
+    auto emit = [&os](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << row[i];
+            if (i + 1 < row.size())
+                os << ',';
+        }
+        os << '\n';
+    };
+    if (!_header.empty())
+        emit(_header);
+    for (const auto &row : _rows)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmtDouble(double value, int digits)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(digits) << value;
+    return os.str();
+}
+
+std::string
+fmtPercent(double value, int digits)
+{
+    return fmtDouble(value * 100.0, digits) + "%";
+}
+
+std::string
+fmtSpeedup(double value, int digits)
+{
+    return fmtDouble(value, digits) + "x";
+}
+
+} // namespace ad

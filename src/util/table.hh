@@ -1,0 +1,47 @@
+#pragma once
+
+/**
+ * @file
+ * ASCII table and CSV emitters used by the benchmark harness to print the
+ * rows/series the paper's tables and figures report.
+ */
+
+#include <string>
+#include <vector>
+
+namespace ad {
+
+/** Column-aligned plain-text table builder. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append one data row; width need not match the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Number of data rows (header excluded). */
+    std::size_t rows() const { return _rows.size(); }
+
+    /** Render with aligned columns separated by two spaces. */
+    std::string render() const;
+
+    /** Render as CSV (no quoting of embedded commas — keep cells simple). */
+    std::string renderCsv() const;
+
+  private:
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format @p value with @p digits decimal places. */
+std::string fmtDouble(double value, int digits = 2);
+
+/** Format @p value as a percentage ("12.3%") with @p digits decimals. */
+std::string fmtPercent(double value, int digits = 1);
+
+/** Format a speedup factor ("1.45x"). */
+std::string fmtSpeedup(double value, int digits = 2);
+
+} // namespace ad

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for atomic DAG construction: tile coverage, receptive-field
+ * dependency derivation, Concat elision, batch replication, and the
+ * per-edge overlap byte accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/atomic_dag.hh"
+#include "models/models.hh"
+
+namespace ad::core {
+namespace {
+
+using graph::Graph;
+using graph::LayerId;
+
+std::vector<TileShape>
+uniformShapes(const Graph &g, TileShape shape)
+{
+    return std::vector<TileShape>(g.size(), shape);
+}
+
+TEST(AtomicDag, TilesPartitionOutputExactly)
+{
+    Graph g;
+    const LayerId in = g.input({10, 10, 8});
+    const LayerId c = g.conv(in, 8, 3, 1, 1);
+    AtomicDag dag(g, uniformShapes(g, {4, 4, 8}));
+
+    const auto [lo, hi] = dag.layerAtoms(c, 0);
+    ASSERT_NE(lo, kNoAtom);
+    EXPECT_EQ(hi - lo, 9); // ceil(10/4)^2 = 9 tiles
+
+    // Property: tiles cover every output element exactly once.
+    std::map<std::tuple<int, int, int>, int> covered;
+    for (AtomId a = lo; a < hi; ++a) {
+        const Atom &atom = dag.atom(a);
+        for (int h = atom.hs; h < atom.he; ++h) {
+            for (int w = atom.ws; w < atom.we; ++w) {
+                for (int ch = atom.cs; ch < atom.ce; ++ch)
+                    ++covered[{h, w, ch}];
+            }
+        }
+    }
+    EXPECT_EQ(covered.size(), 10u * 10 * 8);
+    for (const auto &[pos, count] : covered)
+        EXPECT_EQ(count, 1);
+}
+
+TEST(AtomicDag, ShapesClampToLayerDims)
+{
+    Graph g;
+    const LayerId in = g.input({4, 4, 4});
+    const LayerId c = g.conv(in, 4, 1);
+    AtomicDag dag(g, uniformShapes(g, {100, 100, 100}));
+    const auto [lo, hi] = dag.layerAtoms(c, 0);
+    EXPECT_EQ(hi - lo, 1);
+    EXPECT_EQ(dag.shapeOf(c), (TileShape{4, 4, 4}));
+}
+
+TEST(AtomicDag, FirstLayerReadsExternalInput)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 3});
+    const LayerId c = g.conv(in, 8, 3, 1, 1);
+    AtomicDag dag(g, uniformShapes(g, {8, 8, 8}));
+    const auto [lo, hi] = dag.layerAtoms(c, 0);
+    for (AtomId a = lo; a < hi; ++a) {
+        EXPECT_TRUE(dag.readsExternalInput(a));
+        EXPECT_EQ(dag.depCount(a), 0);
+    }
+}
+
+TEST(AtomicDag, ConvReceptiveFieldSelectsProducers)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 4, 1, 1, 0, "a"); // 8x8x4
+    const LayerId b = g.conv(a, 4, 3, 1, 1, "b");  // 3x3 consumer
+    std::vector<TileShape> shapes(g.size(), TileShape{4, 4, 4});
+    AtomicDag dag(g, shapes);
+
+    // Producer tiled 2x2 spatially. Consumer tile (0,0)-(3,3) reads rows
+    // -1..4 -> producer rows 0..4 -> overlaps producer tiles (0,0),
+    // (0,1), (1,0), (1,1): all four.
+    const auto [blo, bhi] = dag.layerAtoms(b, 0);
+    ASSERT_EQ(bhi - blo, 4);
+    EXPECT_EQ(dag.depCount(blo), 4);
+
+    // A 1x1 consumer at the same tiling would need exactly one producer.
+    Graph g2;
+    const LayerId in2 = g2.input({8, 8, 4});
+    const LayerId a2 = g2.conv(in2, 4, 1, 1, 0);
+    const LayerId b2 = g2.conv(a2, 4, 1, 1, 0);
+    AtomicDag dag2(g2, uniformShapes(g2, {4, 4, 4}));
+    const auto [b2lo, b2hi] = dag2.layerAtoms(b2, 0);
+    ASSERT_EQ(b2hi - b2lo, 4);
+    for (AtomId atom = b2lo; atom < b2hi; ++atom)
+        EXPECT_EQ(dag2.depCount(atom), 1);
+}
+
+TEST(AtomicDag, ConvConsumesAllProducerChannels)
+{
+    Graph g;
+    const LayerId in = g.input({4, 4, 16});
+    const LayerId a = g.conv(in, 16, 1);
+    const LayerId b = g.conv(a, 16, 1);
+    (void)b;
+    // Producer split into 4 channel tiles; conv consumer needs them all.
+    AtomicDag dag(g, uniformShapes(g, {4, 4, 4}));
+    const auto [blo, bhi] = dag.layerAtoms(b, 0);
+    for (AtomId atom = blo; atom < bhi; ++atom)
+        EXPECT_EQ(dag.depCount(atom), 4);
+}
+
+TEST(AtomicDag, PoolConsumesOnlyItsChannels)
+{
+    Graph g;
+    const LayerId in = g.input({4, 4, 16});
+    const LayerId a = g.conv(in, 16, 1);
+    const LayerId p = g.pool(a, 2);
+    AtomicDag dag(g, uniformShapes(g, {4, 4, 4}));
+    const auto [plo, phi] = dag.layerAtoms(p, 0);
+    ASSERT_EQ(phi - plo, 4); // channel tiles only
+    for (AtomId atom = plo; atom < phi; ++atom) {
+        EXPECT_EQ(dag.depCount(atom), 1); // aligned channel tile
+        const Atom &pa = dag.atom(atom);
+        const Atom &dep = dag.atom(dag.deps(atom)[0]);
+        EXPECT_EQ(pa.cs, dep.cs);
+    }
+}
+
+TEST(AtomicDag, EltwiseDependsOnBothBranches)
+{
+    const Graph g = models::tinyResidual();
+    AtomicDag dag(g, uniformShapes(g, {16, 16, 16}));
+    // add1 consumes conv_b and the graph input... input is elided, so
+    // only conv_b remains plus the external-input flag.
+    LayerId add1 = graph::kNoLayer;
+    for (const auto &l : g.layers()) {
+        if (l.name == "add1")
+            add1 = l.id;
+    }
+    ASSERT_NE(add1, graph::kNoLayer);
+    const auto [lo, hi] = dag.layerAtoms(add1, 0);
+    ASSERT_EQ(hi - lo, 1);
+    EXPECT_EQ(dag.depCount(lo), 1); // conv_b tile
+    EXPECT_TRUE(dag.readsExternalInput(lo));
+}
+
+TEST(AtomicDag, ConcatIsElided)
+{
+    const Graph g = models::tinyBranchy();
+    AtomicDag dag(g, uniformShapes(g, {16, 16, 64}));
+    LayerId cat = graph::kNoLayer, tail = graph::kNoLayer;
+    for (const auto &l : g.layers()) {
+        if (l.type == graph::OpType::Concat)
+            cat = l.id;
+        if (l.name == "tail")
+            tail = l.id;
+    }
+    ASSERT_NE(cat, graph::kNoLayer);
+    // Concat has no atoms.
+    EXPECT_EQ(dag.layerAtoms(cat, 0).first, kNoAtom);
+    EXPECT_EQ(dag.atomsPerSample(cat), 0);
+    // The tail conv depends directly on the three branch outputs.
+    const auto [tlo, thi] = dag.layerAtoms(tail, 0);
+    ASSERT_EQ(thi - tlo, 1);
+    std::set<LayerId> producers;
+    for (AtomId dep : dag.deps(tlo))
+        producers.insert(dag.atom(dep).layer);
+    EXPECT_EQ(producers.size(), 3u);
+}
+
+TEST(AtomicDag, FullyConnectedDependsOnAll)
+{
+    Graph g;
+    const LayerId in = g.input({4, 4, 8});
+    const LayerId c = g.conv(in, 8, 1);
+    const LayerId f = g.fullyConnected(c, 10);
+    AtomicDag dag(g, uniformShapes(g, {2, 2, 4}));
+    const auto [clo, chi] = dag.layerAtoms(c, 0);
+    const auto [flo, fhi] = dag.layerAtoms(f, 0);
+    ASSERT_EQ(fhi - flo, 3); // 10 outputs in channel tiles of 4
+    for (AtomId atom = flo; atom < fhi; ++atom)
+        EXPECT_EQ(dag.depCount(atom), chi - clo); // every producer tile
+}
+
+TEST(AtomicDag, BatchReplicatesWithoutCrossEdges)
+{
+    const Graph g = models::tinyResidual();
+    AtomicDagOptions opts;
+    opts.batch = 3;
+    AtomicDag dag(g, uniformShapes(g, {8, 8, 8}), opts);
+
+    AtomicDag single(g, uniformShapes(g, {8, 8, 8}));
+    EXPECT_EQ(dag.size(), 3 * single.size());
+
+    for (const Atom &a : dag.atoms()) {
+        for (AtomId dep : dag.depsSpan(a.id))
+            EXPECT_EQ(dag.atom(dep).batch, a.batch);
+    }
+}
+
+TEST(AtomicDag, ConsumersInvertDeps)
+{
+    const Graph g = models::tinyBranchy();
+    AtomicDag dag(g, uniformShapes(g, {8, 8, 16}));
+    for (const Atom &a : dag.atoms()) {
+        for (AtomId dep : dag.depsSpan(a.id)) {
+            const auto consumers = dag.consumers(dep);
+            EXPECT_NE(std::find(consumers.begin(), consumers.end(),
+                                a.id),
+                      consumers.end());
+        }
+    }
+}
+
+TEST(AtomicDag, DepBytesBoundedByProducerTiles)
+{
+    const Graph g = models::tinyResidual();
+    AtomicDag dag(g, uniformShapes(g, {8, 8, 8}));
+    for (const Atom &a : dag.atoms()) {
+        const auto ids = dag.depsSpan(a.id);
+        const auto bytes = dag.depBytesSpan(a.id);
+        ASSERT_EQ(ids.size(), bytes.size());
+        for (std::size_t i = 0; i < ids.size(); ++i) {
+            EXPECT_GT(bytes[i], 0u);
+            EXPECT_LE(bytes[i], dag.ofmapBytes(ids[i]));
+        }
+    }
+}
+
+TEST(AtomicDag, AlignedOneToOneEdgesMoveWholeTiles)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 8});
+    const LayerId a = g.conv(in, 8, 1);
+    const LayerId b = g.conv(a, 8, 1); // 1x1: perfectly aligned tiles
+    (void)b;
+    AtomicDag dag(g, uniformShapes(g, {4, 4, 8}));
+    const auto [blo, bhi] = dag.layerAtoms(b, 0);
+    for (AtomId atom = blo; atom < bhi; ++atom) {
+        const auto ids = dag.depsSpan(atom);
+        const auto bytes = dag.depBytesSpan(atom);
+        ASSERT_EQ(ids.size(), 1u);
+        EXPECT_EQ(bytes[0], dag.ofmapBytes(ids[0]));
+    }
+}
+
+TEST(AtomicDag, WorkloadMatchesAtomTile)
+{
+    Graph g;
+    const LayerId in = g.input({10, 10, 8});
+    const LayerId c = g.conv(in, 8, 3, 1, 1);
+    AtomicDag dag(g, uniformShapes(g, {4, 4, 8}));
+    const auto [lo, hi] = dag.layerAtoms(c, 0);
+    MacCount total = 0;
+    for (AtomId a = lo; a < hi; ++a) {
+        const auto w = dag.workload(a);
+        EXPECT_EQ(w.h, dag.atom(a).tileH());
+        EXPECT_EQ(w.co, dag.atom(a).tileC());
+        EXPECT_EQ(w.ci, 8);
+        total += w.macs();
+    }
+    EXPECT_EQ(total, g.layer(c).macs());
+}
+
+TEST(AtomicDag, OfmapAndWeightBytes)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 8});
+    const LayerId c = g.conv(in, 16, 3, 1, 1);
+    AtomicDag dag(g, uniformShapes(g, {4, 4, 8}));
+    const auto [lo, hi] = dag.layerAtoms(c, 0);
+    (void)hi;
+    EXPECT_EQ(dag.ofmapBytes(lo), 4u * 4 * 8);
+    EXPECT_EQ(dag.weightBytes(lo), 9u * 8 * 8);
+}
+
+TEST(AtomicDag, LayerDepthForwarded)
+{
+    const Graph g = models::tinyResidual();
+    AtomicDag dag(g, uniformShapes(g, {8, 8, 8}));
+    const auto depths = g.depths();
+    for (const Atom &a : dag.atoms()) {
+        EXPECT_EQ(dag.layerDepth(a.layer),
+                  depths[static_cast<std::size_t>(a.layer)]);
+    }
+}
+
+TEST(AtomicDag, MacAtomCount)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 8});
+    const LayerId c = g.conv(in, 8, 1);
+    g.pool(c, 2);
+    AtomicDag dag(g, uniformShapes(g, {8, 8, 8}));
+    EXPECT_EQ(dag.macAtomCount(), 1u);
+    EXPECT_EQ(dag.size(), 2u);
+}
+
+TEST(AtomicDag, RejectsBadArguments)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 8});
+    g.conv(in, 8, 1);
+    AtomicDagOptions opts;
+    opts.batch = 0;
+    EXPECT_THROW(AtomicDag(g, uniformShapes(g, {4, 4, 4}), opts),
+                 ConfigError);
+    EXPECT_THROW(AtomicDag(g, {}, AtomicDagOptions{}), ConfigError);
+}
+
+TEST(AtomicDag, StridedConvDependencies)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 4, 1);
+    const LayerId b = g.conv(a, 4, 3, 2, 1); // stride 2 -> 4x4 output
+    AtomicDag dag(g, uniformShapes(g, {4, 4, 4}));
+    const auto [blo, bhi] = dag.layerAtoms(b, 0);
+    ASSERT_EQ(bhi - blo, 1);
+    // Output rows 0..3 need input rows -1..7 -> all producer tiles.
+    EXPECT_EQ(dag.depCount(blo), 4);
+}
+
+} // namespace
+} // namespace ad::core

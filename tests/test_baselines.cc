@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the baseline executors (LS, CNN-P, IL-Pipe, Rammer-like):
+ * report sanity, structural behaviours (CLP selection, segmentation),
+ * and the Fig. 2 layer-utilization helper.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/cnn_partition.hh"
+#include "baselines/il_pipe.hh"
+#include "baselines/layer_sequential.hh"
+#include "baselines/rammer.hh"
+#include "models/models.hh"
+
+namespace ad::baselines {
+namespace {
+
+sim::SystemConfig
+smallSystem()
+{
+    sim::SystemConfig sys;
+    sys.meshX = 4;
+    sys.meshY = 4;
+    return sys;
+}
+
+void
+expectSane(const sim::ExecutionReport &r)
+{
+    EXPECT_GT(r.totalCycles, 0u);
+    EXPECT_GE(r.peUtilization, 0.0);
+    EXPECT_LE(r.peUtilization, 1.0);
+    EXPECT_GE(r.computeUtilization, 0.0);
+    EXPECT_LE(r.computeUtilization, 1.0);
+    EXPECT_GE(r.onChipReuseRatio, 0.0);
+    EXPECT_LE(r.onChipReuseRatio, 1.0);
+    EXPECT_GT(r.totalEnergyPj(), 0.0);
+}
+
+TEST(LayerSequential, RunsOnTinyModels)
+{
+    LsOptions opts;
+    const LayerSequential ls(smallSystem(), opts);
+    expectSane(ls.run(models::tinyResidual()));
+    expectSane(ls.run(models::tinyBranchy()));
+}
+
+TEST(LayerSequential, BatchGroupingImprovesThroughput)
+{
+    LsOptions one;
+    one.batch = 4;
+    one.samplesInFlight = 1;
+    LsOptions four;
+    four.batch = 4;
+    four.samplesInFlight = 4;
+    const graph::Graph g = models::tinyLinear(64);
+    const auto r1 = LayerSequential(smallSystem(), one).run(g);
+    const auto r4 = LayerSequential(smallSystem(), four).run(g);
+    // Mapping several samples at once raises utilization (Sec. V-A).
+    EXPECT_GE(r4.computeUtilization, r1.computeUtilization * 0.9);
+}
+
+TEST(LayerSequential, LayerUtilizationsInUnitRange)
+{
+    const LayerSequential ls(smallSystem(), LsOptions{});
+    const graph::Graph g = models::tinyBranchy();
+    const auto utils = ls.layerUtilizations(g);
+    ASSERT_EQ(utils.size(), g.size());
+    for (const auto &l : g.layers()) {
+        const double u = utils[static_cast<std::size_t>(l.id)];
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+        if (!l.onPeArray())
+            EXPECT_DOUBLE_EQ(u, 0.0);
+    }
+}
+
+TEST(LayerSequential, ChannelSplitCausesMismatch)
+{
+    // Fig. 2's claim: naive even partitioning across the full 8x8 mesh
+    // leaves most PEs idle.
+    const LayerSequential ls(sim::SystemConfig{}, LsOptions{});
+    const graph::Graph g = models::resnet50();
+    const auto utils = ls.layerUtilizations(g);
+    double sum = 0;
+    int n = 0;
+    for (const auto &l : g.layers()) {
+        if (l.onPeArray()) {
+            sum += utils[static_cast<std::size_t>(l.id)];
+            ++n;
+        }
+    }
+    EXPECT_LT(sum / n, 0.5); // far from full utilization
+}
+
+TEST(LayerSequential, RejectsBadOptions)
+{
+    LsOptions opts;
+    opts.batch = 0;
+    EXPECT_THROW(LayerSequential(smallSystem(), opts), ConfigError);
+}
+
+TEST(CnnPartition, RunsAndSelectsClps)
+{
+    CnnPOptions opts;
+    opts.batch = 8;
+    CnnPartition cnnp(smallSystem(), opts);
+    const auto r = cnnp.run(models::tinyLinear(64));
+    expectSane(r);
+    EXPECT_GE(cnnp.selectedClps(), 1);
+    EXPECT_LE(cnnp.selectedClps(), opts.maxClps);
+}
+
+TEST(CnnPartition, AllTrafficGoesThroughDram)
+{
+    CnnPOptions opts;
+    opts.batch = 2;
+    const auto r =
+        CnnPartition(smallSystem(), opts).run(models::tinyResidual());
+    EXPECT_DOUBLE_EQ(r.onChipReuseRatio, 0.0);
+    EXPECT_GT(r.hbmReadBytes, 0u);
+    EXPECT_GT(r.hbmWriteBytes, 0u);
+}
+
+TEST(CnnPartition, BatchOnePreventsPipelining)
+{
+    CnnPOptions opts;
+    opts.batch = 1;
+    CnnPartition cnnp(smallSystem(), opts);
+    cnnp.run(models::tinyLinear(64));
+    EXPECT_EQ(cnnp.selectedClps(), 1); // no pipelining possible
+}
+
+TEST(CnnPartition, ThroughputScalesWithBatch)
+{
+    const graph::Graph g = models::tinyLinear(64);
+    CnnPOptions b2;
+    b2.batch = 2;
+    CnnPOptions b8;
+    b8.batch = 8;
+    const auto r2 = CnnPartition(smallSystem(), b2).run(g);
+    const auto r8 = CnnPartition(smallSystem(), b8).run(g);
+    EXPECT_GT(r8.throughputFps(0.5), r2.throughputFps(0.5));
+}
+
+TEST(IlPipe, RunsAndSegments)
+{
+    IlPipeOptions opts;
+    opts.batch = 4;
+    IlPipe pipe(smallSystem(), opts);
+    const auto r = pipe.run(models::tinyLinear(64));
+    expectSane(r);
+    EXPECT_GE(pipe.segmentCount(), 1);
+}
+
+TEST(IlPipe, AlloHalvesFillDrain)
+{
+    const graph::Graph g = models::tinyLinear(64);
+    IlPipeOptions allo;
+    allo.batch = 1;
+    allo.allo = true;
+    IlPipeOptions coarse = allo;
+    coarse.allo = false;
+    const auto fine = IlPipe(smallSystem(), allo).run(g);
+    const auto slow = IlPipe(smallSystem(), coarse).run(g);
+    EXPECT_LE(fine.totalCycles, slow.totalCycles);
+}
+
+TEST(IlPipe, BatchAmortizesFillDrain)
+{
+    const graph::Graph g = models::tinyLinear(64);
+    IlPipeOptions opts;
+    opts.batch = 1;
+    const auto one = IlPipe(smallSystem(), opts).run(g);
+    opts.batch = 16;
+    const auto many = IlPipe(smallSystem(), opts).run(g);
+    EXPECT_GT(many.throughputFps(0.5), one.throughputFps(0.5) * 2);
+}
+
+TEST(IlPipe, HighOnChipReuse)
+{
+    IlPipeOptions opts;
+    opts.batch = 4;
+    const auto r =
+        IlPipe(smallSystem(), opts).run(models::tinyLinear(64));
+    EXPECT_GT(r.onChipReuseRatio, 0.3);
+}
+
+TEST(Rammer, RunsOnTinyModels)
+{
+    const RammerScheduler rammer(smallSystem(), 2);
+    expectSane(rammer.run(models::tinyBranchy()));
+}
+
+TEST(Rammer, RejectsBadBatch)
+{
+    EXPECT_THROW(RammerScheduler(smallSystem(), 0), ConfigError);
+}
+
+} // namespace
+} // namespace ad::baselines

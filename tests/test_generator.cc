@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Tests for the atom generators: the simulated-annealing search of
+ * Algorithm 1 and the genetic-algorithm comparator of Fig. 5(b).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/atom_generator.hh"
+#include "models/models.hh"
+
+namespace ad::core {
+namespace {
+
+using engine::CostModel;
+using engine::DataflowKind;
+using engine::EngineConfig;
+
+const ShapeCatalog &
+branchyCatalog()
+{
+    static const auto graph = models::tinyBranchy();
+    static const CostModel model(EngineConfig{},
+                                 DataflowKind::KcPartition);
+    static const ShapeCatalog catalog(graph, model);
+    return catalog;
+}
+
+TEST(ShapeEnergy, SingleLayerIsZeroVariance)
+{
+    graph::Graph g;
+    const auto in = g.input({16, 16, 16});
+    g.conv(in, 16, 3, 1, 1);
+    const CostModel model(EngineConfig{}, DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    std::vector<std::size_t> indices(g.size(), 0);
+    double mean = 0;
+    EXPECT_DOUBLE_EQ(shapeEnergy(catalog, indices, &mean), 0.0);
+    EXPECT_GT(mean, 0.0);
+}
+
+TEST(ShapeEnergy, NormalizedByMean)
+{
+    // Energy is Var/mean^2, so it is scale-free and bounded sensibly.
+    const auto &catalog = branchyCatalog();
+    std::vector<std::size_t> indices(catalog.graph().size(), 0);
+    const double e = shapeEnergy(catalog, indices, nullptr);
+    EXPECT_GE(e, 0.0);
+}
+
+TEST(Sa, ReducesVariance)
+{
+    SaOptions opts;
+    opts.maxIterations = 300;
+    const SaAtomGenerator sa(opts);
+    const GenerationResult r = sa.generate(branchyCatalog());
+    ASSERT_FALSE(r.varianceTrace.empty());
+    EXPECT_LE(r.finalVariance, r.varianceTrace.front() + 1e-12);
+    EXPECT_GT(r.meanCycles, 0.0);
+}
+
+TEST(Sa, DeterministicBySeed)
+{
+    SaOptions opts;
+    opts.maxIterations = 100;
+    opts.seed = 42;
+    const GenerationResult a = SaAtomGenerator(opts).generate(
+        branchyCatalog());
+    const GenerationResult b = SaAtomGenerator(opts).generate(
+        branchyCatalog());
+    EXPECT_EQ(a.shapes.size(), b.shapes.size());
+    for (std::size_t i = 0; i < a.shapes.size(); ++i)
+        EXPECT_EQ(a.shapes[i], b.shapes[i]);
+    EXPECT_DOUBLE_EQ(a.finalVariance, b.finalVariance);
+}
+
+TEST(Sa, ShapesComeFromCatalog)
+{
+    SaOptions opts;
+    opts.maxIterations = 100;
+    const GenerationResult r =
+        SaAtomGenerator(opts).generate(branchyCatalog());
+    const auto &catalog = branchyCatalog();
+    for (const auto &l : catalog.graph().layers()) {
+        const auto &cands = catalog.candidatesFor(l.id);
+        if (cands.empty())
+            continue;
+        bool found = false;
+        for (const auto &cand : cands) {
+            if (cand.shape == r.shapes[static_cast<std::size_t>(l.id)])
+                found = true;
+        }
+        EXPECT_TRUE(found) << l.name;
+    }
+}
+
+TEST(Sa, ConvergenceStopsEarlyWhenEpsilonMet)
+{
+    SaOptions opts;
+    opts.maxIterations = 5000;
+    opts.epsilon = 1e9; // trivially satisfied at once
+    const GenerationResult r =
+        SaAtomGenerator(opts).generate(branchyCatalog());
+    EXPECT_LE(r.iterations, 2);
+}
+
+TEST(Sa, TraceLengthMatchesIterations)
+{
+    SaOptions opts;
+    opts.maxIterations = 64;
+    opts.epsilon = 0.0; // never converges early (variance > 0 likely)
+    const GenerationResult r =
+        SaAtomGenerator(opts).generate(branchyCatalog());
+    EXPECT_EQ(r.varianceTrace.size(),
+              static_cast<std::size_t>(r.iterations));
+}
+
+TEST(Ga, ReducesVariance)
+{
+    GaOptions opts;
+    opts.generations = 60;
+    opts.population = 12;
+    const GenerationResult r =
+        GaAtomGenerator(opts).generate(branchyCatalog());
+    ASSERT_FALSE(r.varianceTrace.empty());
+    EXPECT_LE(r.finalVariance, r.varianceTrace.front() + 1e-12);
+}
+
+TEST(Ga, DeterministicBySeed)
+{
+    GaOptions opts;
+    opts.generations = 30;
+    opts.population = 8;
+    opts.seed = 7;
+    const GenerationResult a =
+        GaAtomGenerator(opts).generate(branchyCatalog());
+    const GenerationResult b =
+        GaAtomGenerator(opts).generate(branchyCatalog());
+    EXPECT_DOUBLE_EQ(a.finalVariance, b.finalVariance);
+}
+
+TEST(SaVsGa, SaConvergesAtLeastAsLow)
+{
+    // The paper's Fig. 5(b) observation: SA stops at lower Var. Allow a
+    // small tolerance since both are stochastic.
+    SaOptions sa_opts;
+    sa_opts.maxIterations = 400;
+    GaOptions ga_opts;
+    ga_opts.generations = 400;
+    ga_opts.population = 16;
+    const double sa_var =
+        SaAtomGenerator(sa_opts).generate(branchyCatalog())
+            .finalVariance;
+    const double ga_var =
+        GaAtomGenerator(ga_opts).generate(branchyCatalog())
+            .finalVariance;
+    EXPECT_LE(sa_var, ga_var * 1.5 + 1e-9);
+}
+
+TEST(Generators, UtilizationReported)
+{
+    SaOptions opts;
+    opts.maxIterations = 200;
+    const GenerationResult r =
+        SaAtomGenerator(opts).generate(branchyCatalog());
+    EXPECT_GT(r.meanUtilization, 0.0);
+    EXPECT_LE(r.meanUtilization, 1.0);
+}
+
+} // namespace
+} // namespace ad::core

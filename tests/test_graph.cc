@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the layer-level graph IR: builder shape inference,
+ * MAC/parameter counting, topology queries, and validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.hh"
+#include "util/common.hh"
+
+namespace ad::graph {
+namespace {
+
+TEST(Layer, ConvMacsAndParams)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 3});
+    const LayerId c = g.conv(in, 16, 3, 1, 1, "c");
+    const Layer &layer = g.layer(c);
+    EXPECT_EQ(layer.out.h, 8);
+    EXPECT_EQ(layer.out.w, 8);
+    EXPECT_EQ(layer.out.c, 16);
+    EXPECT_EQ(layer.macs(), 8ull * 8 * 16 * 3 * 3 * 3);
+    EXPECT_EQ(layer.paramCount(), 16ll * 3 * 3 * 3);
+    EXPECT_TRUE(layer.onPeArray());
+}
+
+TEST(Layer, DepthwiseMacsAndParams)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 32});
+    const LayerId d = g.depthwiseConv(in, 3, 1, 1, "dw");
+    const Layer &layer = g.layer(d);
+    EXPECT_EQ(layer.out.c, 32);
+    EXPECT_EQ(layer.macs(), 8ull * 8 * 32 * 9);
+    EXPECT_EQ(layer.paramCount(), 32ll * 9);
+}
+
+TEST(Layer, FullyConnectedIsConvWithUnitDims)
+{
+    Graph g;
+    const LayerId in = g.input({4, 4, 8});
+    const LayerId f = g.fullyConnected(in, 10, "fc");
+    const Layer &layer = g.layer(f);
+    EXPECT_EQ(layer.in.h, 1);
+    EXPECT_EQ(layer.in.w, 1);
+    EXPECT_EQ(layer.in.c, 4 * 4 * 8);
+    EXPECT_EQ(layer.out.c, 10);
+    EXPECT_EQ(layer.macs(), 128ull * 10);
+    EXPECT_EQ(layer.paramCount(), 128ll * 10);
+}
+
+TEST(Layer, VectorOpsHaveNoMacs)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId p = g.pool(in, 2);
+    const LayerId a = g.add({p, p}, "a");
+    const LayerId gp = g.globalPool(a);
+    EXPECT_EQ(g.layer(p).macs(), 0u);
+    EXPECT_EQ(g.layer(a).macs(), 0u);
+    EXPECT_EQ(g.layer(gp).macs(), 0u);
+    EXPECT_FALSE(g.layer(p).onPeArray());
+}
+
+TEST(Graph, TensorShapeHelpers)
+{
+    const TensorShape s{4, 5, 6};
+    EXPECT_EQ(s.elems(), 120);
+    EXPECT_EQ(s.bytes(2), 240u);
+}
+
+struct ConvCase
+{
+    int in, k, stride, pad, expected;
+};
+
+class ConvShapeTest : public ::testing::TestWithParam<ConvCase>
+{
+};
+
+TEST_P(ConvShapeTest, OutputDims)
+{
+    const ConvCase c = GetParam();
+    Graph g;
+    const LayerId in = g.input({c.in, c.in, 3});
+    const LayerId conv = g.conv(in, 8, c.k, c.stride, c.pad);
+    EXPECT_EQ(g.layer(conv).out.h, c.expected);
+    EXPECT_EQ(g.layer(conv).out.w, c.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StandardConvs, ConvShapeTest,
+    ::testing::Values(ConvCase{224, 7, 2, 3, 112},
+                      ConvCase{224, 3, 1, 1, 224},
+                      ConvCase{56, 1, 1, 0, 56},
+                      ConvCase{56, 3, 2, 1, 28},
+                      ConvCase{32, 3, 1, 0, 30},
+                      ConvCase{299, 3, 2, 0, 149},
+                      ConvCase{8, 3, 1, 1, 8},
+                      ConvCase{7, 7, 1, 3, 7}));
+
+TEST(Graph, RectangularConvSamePadding)
+{
+    Graph g;
+    const LayerId in = g.input({17, 17, 8});
+    // 1x7 with "same" padding must preserve spatial dims.
+    const LayerId c = g.convRect(in, 8, 1, 7, 1, -1, "r");
+    EXPECT_EQ(g.layer(c).out.h, 17);
+    EXPECT_EQ(g.layer(c).out.w, 17);
+    EXPECT_EQ(g.layer(c).window.padH, 0);
+    EXPECT_EQ(g.layer(c).window.padW, 3);
+}
+
+TEST(Graph, PoolDefaultsStrideToKernel)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId p = g.pool(in, 2);
+    EXPECT_EQ(g.layer(p).out.h, 4);
+    EXPECT_EQ(g.layer(p).window.strideH, 2);
+}
+
+TEST(Graph, GlobalPoolCollapsesSpatial)
+{
+    Graph g;
+    const LayerId in = g.input({7, 7, 2048});
+    const LayerId p = g.globalPool(in);
+    EXPECT_EQ(g.layer(p).out.h, 1);
+    EXPECT_EQ(g.layer(p).out.w, 1);
+    EXPECT_EQ(g.layer(p).out.c, 2048);
+}
+
+TEST(Graph, ConcatSumsChannels)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 3, 1);
+    const LayerId b = g.conv(in, 5, 1);
+    const LayerId cat = g.concat({a, b});
+    EXPECT_EQ(g.layer(cat).out.c, 8);
+    EXPECT_EQ(g.layer(cat).out.h, 8);
+}
+
+TEST(Graph, ConcatRejectsSpatialMismatch)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 3, 1);
+    const LayerId b = g.conv(in, 3, 3, 2, 1); // stride 2: 4x4
+    EXPECT_THROW(g.concat({a, b}), ConfigError);
+}
+
+TEST(Graph, EltwiseRejectsShapeMismatch)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 4, 1);
+    const LayerId b = g.conv(in, 8, 1);
+    EXPECT_THROW(g.add({a, b}), ConfigError);
+}
+
+TEST(Graph, EltwiseRequiresTwoInputs)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 4, 1);
+    EXPECT_THROW(g.add({a}), ConfigError);
+}
+
+TEST(Graph, SuccessorsTrackConsumers)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 4, 1);
+    const LayerId b = g.conv(in, 4, 1);
+    g.add({a, b});
+    EXPECT_EQ(g.successors(in).size(), 2u);
+    EXPECT_EQ(g.successors(a).size(), 1u);
+}
+
+TEST(Graph, SinksAreOutputLayers)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 4, 1);
+    const LayerId b = g.conv(a, 4, 1);
+    const auto sinks = g.sinks();
+    ASSERT_EQ(sinks.size(), 1u);
+    EXPECT_EQ(sinks[0], b);
+}
+
+TEST(Graph, DepthsAreLongestPaths)
+{
+    // Diamond: input -> a -> c ; input -> b -> b2 -> c
+    Graph g;
+    const LayerId in = g.input({8, 8, 4});
+    const LayerId a = g.conv(in, 4, 1, 1, 0, "a");
+    const LayerId b = g.conv(in, 4, 1, 1, 0, "b");
+    const LayerId b2 = g.conv(b, 4, 1, 1, 0, "b2");
+    const LayerId c = g.add({a, b2}, "c");
+    const auto depths = g.depths();
+    EXPECT_EQ(depths[static_cast<std::size_t>(in)], 0);
+    EXPECT_EQ(depths[static_cast<std::size_t>(a)], 1);
+    EXPECT_EQ(depths[static_cast<std::size_t>(b2)], 2);
+    EXPECT_EQ(depths[static_cast<std::size_t>(c)], 3); // longest path
+}
+
+TEST(Graph, TotalsAggregate)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 3});
+    const LayerId a = g.conv(in, 4, 3, 1, 1);
+    const LayerId b = g.conv(a, 8, 3, 1, 1);
+    (void)b;
+    EXPECT_EQ(g.totalMacs(),
+              g.layer(a).macs() + g.layer(b).macs());
+    EXPECT_EQ(g.totalParams(),
+              g.layer(a).paramCount() + g.layer(b).paramCount());
+    EXPECT_EQ(g.layerCount(), 2u);
+    EXPECT_EQ(g.macLayerCount(), 2u);
+}
+
+TEST(Graph, ValidatePassesOnWellFormed)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 3});
+    g.conv(in, 4, 3);
+    EXPECT_NO_THROW(g.validate());
+}
+
+TEST(Graph, ValidateRejectsEmpty)
+{
+    Graph g;
+    EXPECT_THROW(g.validate(), ConfigError);
+}
+
+TEST(Graph, ConvOnEmptyOutputFatals)
+{
+    Graph g;
+    const LayerId in = g.input({2, 2, 3});
+    EXPECT_THROW(g.conv(in, 4, 5, 1, 0), ConfigError);
+}
+
+TEST(Graph, OpNames)
+{
+    EXPECT_STREQ(opName(OpType::Conv), "Conv");
+    EXPECT_STREQ(opName(OpType::Concat), "Concat");
+    EXPECT_STREQ(opName(OpType::FullyConnected), "FC");
+}
+
+TEST(Graph, AutoNamesAreUnique)
+{
+    Graph g;
+    const LayerId in = g.input({8, 8, 3});
+    const LayerId a = g.conv(in, 4, 3);
+    const LayerId b = g.conv(a, 4, 3);
+    EXPECT_NE(g.layer(a).name, g.layer(b).name);
+}
+
+} // namespace
+} // namespace ad::graph

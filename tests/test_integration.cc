@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Integration tests: the full orchestrator pipeline (atom generation ->
+ * DAG -> scheduling -> mapping -> simulation) across dataflows, batch
+ * sizes, and ablation modes, plus strategy-ordering checks on a real
+ * (small-mesh) workload.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "baselines/layer_sequential.hh"
+#include "core/orchestrator.hh"
+#include "models/models.hh"
+
+namespace ad {
+namespace {
+
+using core::AtomGenMode;
+using core::Orchestrator;
+using core::OrchestratorOptions;
+using core::SchedMode;
+
+sim::SystemConfig
+system4x4(engine::DataflowKind dataflow =
+              engine::DataflowKind::KcPartition)
+{
+    sim::SystemConfig sys;
+    sys.meshX = 4;
+    sys.meshY = 4;
+    sys.dataflow = dataflow;
+    return sys;
+}
+
+struct PipelineCase
+{
+    const char *model;
+    engine::DataflowKind dataflow;
+    int batch;
+};
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase>
+{
+  protected:
+    graph::Graph
+    build() const
+    {
+        const std::string name = GetParam().model;
+        if (name == "linear")
+            return models::tinyLinear(64);
+        if (name == "residual")
+            return models::tinyResidual();
+        return models::tinyBranchy();
+    }
+};
+
+TEST_P(PipelineTest, EndToEnd)
+{
+    const PipelineCase p = GetParam();
+    const graph::Graph g = build();
+    OrchestratorOptions opts;
+    opts.batch = p.batch;
+    opts.sa.maxIterations = 60;
+    const Orchestrator orch(system4x4(p.dataflow), opts);
+    const auto result = orch.run(g);
+
+    // The schedule covers the whole DAG, each atom once.
+    EXPECT_EQ(result.schedule.atomCount(), result.dag->size());
+    EXPECT_GT(result.report.totalCycles, 0u);
+    EXPECT_GT(result.report.rounds, 0u);
+    EXPECT_EQ(result.report.batch, p.batch);
+    EXPECT_GT(result.generation.meanCycles, 0.0);
+    EXPECT_GE(result.searchSeconds, 0.0);
+
+    // Mapped engines are within range and unique per round.
+    for (const auto &round : result.schedule.rounds) {
+        std::set<int> engines;
+        for (const auto &placement : round.placements) {
+            EXPECT_GE(placement.engine, 0);
+            EXPECT_LT(placement.engine, 16);
+            EXPECT_TRUE(engines.insert(placement.engine).second);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PipelineTest,
+    ::testing::Values(
+        PipelineCase{"linear", engine::DataflowKind::KcPartition, 1},
+        PipelineCase{"linear", engine::DataflowKind::KcPartition, 4},
+        PipelineCase{"linear", engine::DataflowKind::YxPartition, 2},
+        PipelineCase{"residual", engine::DataflowKind::KcPartition, 1},
+        PipelineCase{"residual", engine::DataflowKind::YxPartition, 1},
+        PipelineCase{"branchy", engine::DataflowKind::KcPartition, 2},
+        PipelineCase{"branchy", engine::DataflowKind::YxPartition, 4}));
+
+TEST(Orchestrator, DeterministicEndToEnd)
+{
+    const graph::Graph g = models::tinyBranchy();
+    OrchestratorOptions opts;
+    opts.sa.maxIterations = 60;
+    const Orchestrator orch(system4x4(), opts);
+    const auto a = orch.run(g);
+    const auto b = orch.run(g);
+    EXPECT_EQ(a.report.totalCycles, b.report.totalCycles);
+}
+
+TEST(Orchestrator, FullSearchBeatsPinnedAblations)
+{
+    // The Fig. 4(b) candidate search must never lose to any single
+    // pinned configuration it includes.
+    const graph::Graph g = models::tinyResidual();
+    OrchestratorOptions full;
+    full.batch = 2;
+    full.sa.maxIterations = 60;
+    const auto best = Orchestrator(system4x4(), full).run(g);
+
+    for (SchedMode mode :
+         {SchedMode::LayerOrder, SchedMode::Greedy}) {
+        OrchestratorOptions pinned = full;
+        pinned.scheduler.mode = mode;
+        const auto r = Orchestrator(system4x4(), pinned).run(g);
+        EXPECT_LE(best.report.totalCycles,
+                  r.report.totalCycles * 105 / 100);
+    }
+}
+
+TEST(Orchestrator, ReuseAblationIncreasesDramTraffic)
+{
+    const graph::Graph g = models::tinyResidual();
+    OrchestratorOptions on;
+    on.batch = 2;
+    on.sa.maxIterations = 60;
+    OrchestratorOptions off = on;
+    off.onChipReuse = false;
+    const auto with = Orchestrator(system4x4(), on).run(g);
+    const auto without = Orchestrator(system4x4(), off).run(g);
+    EXPECT_GT(without.report.hbmReadBytes, with.report.hbmReadBytes);
+    EXPECT_EQ(without.report.onChipReuseRatio, 0.0);
+}
+
+TEST(Orchestrator, EvenPartitionAblationRuns)
+{
+    const graph::Graph g = models::tinyBranchy();
+    OrchestratorOptions opts;
+    opts.atomGen = AtomGenMode::EvenPartition;
+    const auto r = Orchestrator(system4x4(), opts).run(g);
+    EXPECT_GT(r.report.totalCycles, 0u);
+    // EvenPartition skips the SA stage.
+    EXPECT_TRUE(r.generation.varianceTrace.empty());
+}
+
+TEST(Integration, AdBeatsLayerSequentialOnResnetSlice)
+{
+    // Medium-size check on the default 8x8 system: AD must outperform
+    // the naive LS baseline on a real network (the paper's headline).
+    sim::SystemConfig sys; // 8x8 engines
+    const graph::Graph g = models::resnet50();
+
+    OrchestratorOptions opts;
+    opts.batch = 1;
+    opts.sa.maxIterations = 150;
+    const auto ad = Orchestrator(sys, opts).run(g);
+
+    baselines::LsOptions ls_opts;
+    ls_opts.batch = 1;
+    const auto ls = baselines::LayerSequential(sys, ls_opts).run(g);
+
+    EXPECT_LT(ad.report.totalCycles, ls.totalCycles);
+    EXPECT_GT(ad.report.computeUtilization, ls.computeUtilization);
+}
+
+TEST(Integration, SearchTimeIsReported)
+{
+    const graph::Graph g = models::tinyLinear(32);
+    OrchestratorOptions opts;
+    opts.sa.maxIterations = 60;
+    const auto r = Orchestrator(system4x4(), opts).run(g);
+    EXPECT_GT(r.searchSeconds, 0.0);
+    EXPECT_LT(r.searchSeconds, 60.0);
+}
+
+} // namespace
+} // namespace ad

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for atom-engine mapping (Sec. IV-C): zig-zag enumeration,
+ * TransferCost accounting, permutation search, and the refinement pass.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/mapper.hh"
+#include "core/partition.hh"
+#include "models/models.hh"
+
+namespace ad::core {
+namespace {
+
+TEST(Mapper, ZigzagVisitsEveryEngineOnceAdjacently)
+{
+    const graph::Graph g = models::tinyLinear(16);
+    const AtomicDag dag(g, evenPartitionShapes(g, 2));
+    const noc::MeshTopology topo(4, 4);
+    const AtomEngineMapper mapper(dag, topo);
+
+    const auto &order = mapper.zigzagOrder();
+    ASSERT_EQ(order.size(), 16u);
+    std::set<int> unique(order.begin(), order.end());
+    EXPECT_EQ(unique.size(), 16u);
+    for (std::size_t i = 1; i < order.size(); ++i)
+        EXPECT_EQ(topo.hops(order[i - 1], order[i]), 1);
+}
+
+TEST(Mapper, PlacementsUseDistinctEngines)
+{
+    const graph::Graph g = models::tinyBranchy();
+    const AtomicDag dag(g, evenPartitionShapes(g, 4));
+    const noc::MeshTopology topo(4, 4);
+    const AtomEngineMapper mapper(dag, topo);
+    ResidencyTracker residency(dag, 16, 128 * 1024);
+
+    std::vector<AtomId> round;
+    for (AtomId a = 0; a < static_cast<AtomId>(std::min<std::size_t>(
+                               12, dag.size()));
+         ++a) {
+        if (dag.depCount(a) == 0)
+            round.push_back(a);
+    }
+    const auto placements = mapper.mapRound(round, residency);
+    ASSERT_EQ(placements.size(), round.size());
+    std::set<int> engines;
+    for (const Placement &p : placements) {
+        EXPECT_GE(p.engine, 0);
+        EXPECT_LT(p.engine, 16);
+        EXPECT_TRUE(engines.insert(p.engine).second);
+    }
+}
+
+TEST(Mapper, TransferCostZeroWhenNothingOnChip)
+{
+    const graph::Graph g = models::tinyLinear(32);
+    const AtomicDag dag(g, evenPartitionShapes(g, 4));
+    const noc::MeshTopology topo(2, 2);
+    const AtomEngineMapper mapper(dag, topo);
+    ResidencyTracker residency(dag, 4, 128 * 1024);
+    std::vector<Placement> placements{{0, 0}, {1, 1}};
+    EXPECT_EQ(mapper.transferCost(placements, residency), 0u);
+}
+
+TEST(Mapper, TransferCostCountsHopsTimesBytes)
+{
+    // Two-layer chain: producer atoms parked on known engines, then the
+    // consumer's placement cost must equal hops * overlap bytes.
+    graph::Graph g;
+    const auto in = g.input({4, 4, 8});
+    const auto a = g.conv(in, 8, 1);
+    const auto b = g.conv(a, 8, 1);
+    (void)b;
+    const AtomicDag dag(g, std::vector<TileShape>(g.size(),
+                                                  TileShape{4, 4, 8}));
+    const noc::MeshTopology topo(2, 2);
+    const AtomEngineMapper mapper(dag, topo);
+    ResidencyTracker residency(dag, 4, 128 * 1024);
+    residency.attachSchedule({{0}, {1}});
+    residency.produce(0, 0, 0); // producer tile lives on engine 0
+
+    // Consumer on engine 0: local, cost 0.
+    EXPECT_EQ(mapper.transferCost({{1, 0}}, residency), 0u);
+    // Consumer on engine 3 (2 hops on a 2x2 mesh): cost = 2 * bytes.
+    const Bytes bytes = dag.depBytesSpan(1)[0];
+    EXPECT_EQ(mapper.transferCost({{1, 3}}, residency), 2 * bytes);
+}
+
+TEST(Mapper, OptimizedMappingNeverWorseThanNaive)
+{
+    const graph::Graph g = models::tinyBranchy();
+    const AtomicDag dag(g, evenPartitionShapes(g, 2));
+    const noc::MeshTopology topo(4, 4);
+    MapperOptions naive_opts;
+    naive_opts.optimize = false;
+    const AtomEngineMapper optimizer(dag, topo);
+    const AtomEngineMapper naive(dag, topo, naive_opts);
+
+    ResidencyTracker residency(dag, 16, 128 * 1024);
+    // Park the branch outputs somewhere specific.
+    std::vector<std::vector<AtomId>> rounds(2);
+    std::vector<AtomId> consumers;
+    for (const Atom &atom : dag.atoms()) {
+        if (dag.depCount(atom.id) == 0) {
+            rounds[0].push_back(atom.id);
+        } else {
+            rounds[1].push_back(atom.id);
+            consumers.push_back(atom.id);
+        }
+    }
+    residency.attachSchedule(rounds);
+    int e = 15;
+    for (AtomId a : rounds[0])
+        residency.produce(a, e--, 0);
+
+    if (consumers.size() > topo.nodes() || consumers.empty())
+        GTEST_SKIP();
+    const auto opt = optimizer.mapRound(consumers, residency);
+    const auto base = naive.mapRound(consumers, residency);
+    EXPECT_LE(optimizer.transferCost(opt, residency),
+              optimizer.transferCost(base, residency));
+}
+
+TEST(Mapper, RefinePullsConsumerToProducer)
+{
+    graph::Graph g;
+    const auto in = g.input({4, 4, 8});
+    const auto a = g.conv(in, 8, 1);
+    const auto b = g.conv(a, 8, 1);
+    (void)b;
+    const AtomicDag dag(g, std::vector<TileShape>(g.size(),
+                                                  TileShape{4, 4, 8}));
+    const noc::MeshTopology topo(4, 4);
+    const AtomEngineMapper mapper(dag, topo);
+    ResidencyTracker residency(dag, 16, 128 * 1024);
+    residency.attachSchedule({{0}, {1}});
+    residency.produce(0, 9, 0); // producer parked mid-mesh
+
+    const auto placements = mapper.mapRound({1}, residency);
+    ASSERT_EQ(placements.size(), 1u);
+    EXPECT_EQ(placements[0].engine, 9); // local reuse wins
+}
+
+TEST(Mapper, RejectsOversizedRounds)
+{
+    const graph::Graph g = models::tinyLinear(64);
+    const AtomicDag dag(g, evenPartitionShapes(g, 16));
+    const noc::MeshTopology topo(2, 2);
+    const AtomEngineMapper mapper(dag, topo);
+    ResidencyTracker residency(dag, 4, 128 * 1024);
+    std::vector<AtomId> too_many;
+    for (AtomId a = 0; a < 5; ++a)
+        too_many.push_back(a);
+    EXPECT_THROW(mapper.mapRound(too_many, residency), InternalError);
+}
+
+TEST(Mapper, StableOrderWithinLayerGroups)
+{
+    // Atoms of the same layer are placed in tile-index order regardless
+    // of arrival order, so recurring layers land on recurring slots.
+    const graph::Graph g = models::tinyLinear(64);
+    const AtomicDag dag(g, evenPartitionShapes(g, 4));
+    const noc::MeshTopology topo(2, 2);
+    MapperOptions opts;
+    opts.optimize = false;
+    const AtomEngineMapper mapper(dag, topo, opts);
+    ResidencyTracker residency(dag, 4, 128 * 1024);
+
+    const auto [lo, hi] = dag.layerAtoms(1, 0); // first conv
+    ASSERT_GE(hi - lo, 2);
+    std::vector<AtomId> forward, reversed;
+    for (AtomId a = lo; a < hi && a < lo + 4; ++a)
+        forward.push_back(a);
+    reversed.assign(forward.rbegin(), forward.rend());
+
+    const auto pf = mapper.mapRound(forward, residency);
+    const auto pr = mapper.mapRound(reversed, residency);
+    for (const Placement &p : pf) {
+        for (const Placement &q : pr) {
+            if (p.atom == q.atom)
+                EXPECT_EQ(p.engine, q.engine);
+        }
+    }
+}
+
+} // namespace
+} // namespace ad::core

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the memory substrate: the channelized HBM timing model and
+ * the per-engine SRAM buffer bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hbm_model.hh"
+#include "mem/sram_buffer.hh"
+#include "util/common.hh"
+
+namespace ad::mem {
+namespace {
+
+HbmConfig
+testConfig()
+{
+    HbmConfig cfg;
+    cfg.channels = 8;
+    cfg.peakBandwidthGBps = 128.0;
+    cfg.clockGhz = 0.5;
+    cfg.rowMissLatency = 80;
+    cfg.rowHitLatency = 30;
+    return cfg;
+}
+
+TEST(HbmConfig, BytesPerCyclePerChannel)
+{
+    // 128 GB/s over 8 channels at 0.5 GHz = 32 B/cycle/channel.
+    EXPECT_DOUBLE_EQ(testConfig().bytesPerCyclePerChannel(), 32.0);
+}
+
+TEST(HbmConfig, ValidateCatchesNonsense)
+{
+    HbmConfig cfg = testConfig();
+    cfg.channels = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+    cfg = testConfig();
+    cfg.peakBandwidthGBps = -1;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+TEST(Hbm, SingleAccessLatency)
+{
+    HbmModel hbm(testConfig());
+    // 64-byte burst: row miss (80) + 2 service cycles.
+    const Cycles done = hbm.access(0, 64, false, 0);
+    EXPECT_EQ(done, 82u);
+    EXPECT_EQ(hbm.stats().rowMisses, 1u);
+}
+
+TEST(Hbm, RowHitIsFaster)
+{
+    HbmModel hbm(testConfig());
+    hbm.access(0, 64, false, 0);
+    // Same row, same channel: hit latency applies.
+    const Cycles second = hbm.access(0, 64, false, 1000);
+    EXPECT_EQ(second, 1000u + 30 + 2);
+    EXPECT_EQ(hbm.stats().rowHits, 1u);
+}
+
+TEST(Hbm, ChannelsServeInParallel)
+{
+    // Two large streams in different halves of the address space finish
+    // no later together than back-to-back on the same region.
+    HbmModel parallel(testConfig());
+    const Cycles a = parallel.access(0, 1 << 16, false, 0);
+    HbmModel serial(testConfig());
+    serial.access(0, 1 << 16, false, 0);
+    const Cycles b = serial.access(0, 1 << 16, false, 0);
+    EXPECT_GT(b, a); // queueing behind the first stream costs time
+}
+
+TEST(Hbm, BandwidthBoundsStreaming)
+{
+    HbmModel hbm(testConfig());
+    const Bytes bytes = 1 << 20; // 1 MiB
+    const Cycles done = hbm.access(0, bytes, false, 0);
+    // Peak is 256 B/cycle: the stream can never beat bytes/peak.
+    EXPECT_GE(done, bytes / 256);
+    // ...and the channel model should be within 3x of ideal.
+    EXPECT_LE(done, 3 * (bytes / 256) + 1000);
+}
+
+TEST(Hbm, StatsAccumulate)
+{
+    HbmModel hbm(testConfig());
+    hbm.access(0, 128, false, 0);
+    hbm.access(4096, 64, true, 0);
+    EXPECT_EQ(hbm.stats().readBytes, 128u);
+    EXPECT_EQ(hbm.stats().writeBytes, 64u);
+    EXPECT_EQ(hbm.stats().reads, 2u); // two 64B bursts
+    EXPECT_EQ(hbm.stats().writes, 1u);
+    EXPECT_GT(hbm.stats().energyPj, 0.0);
+}
+
+TEST(Hbm, AccessEnergySevenPjPerBit)
+{
+    HbmModel hbm(testConfig());
+    EXPECT_DOUBLE_EQ(hbm.accessEnergy(1), 8.0 * 7.0);
+    EXPECT_DOUBLE_EQ(hbm.accessEnergy(1000), 8000.0 * 7.0);
+}
+
+TEST(Hbm, ZeroByteAccessFree)
+{
+    HbmModel hbm(testConfig());
+    EXPECT_EQ(hbm.access(0, 0, false, 123), 123u);
+    EXPECT_EQ(hbm.stats().reads, 0u);
+}
+
+TEST(Hbm, ResetClearsState)
+{
+    HbmModel hbm(testConfig());
+    hbm.access(0, 4096, false, 0);
+    hbm.reset();
+    EXPECT_EQ(hbm.stats().readBytes, 0u);
+    EXPECT_EQ(hbm.access(0, 64, false, 0), 82u); // fresh row miss
+}
+
+TEST(Hbm, IdealStreamCycles)
+{
+    HbmModel hbm(testConfig());
+    // 256 B/cycle peak + one row-miss latency.
+    EXPECT_EQ(hbm.idealStreamCycles(256 * 100), 100u + 80u);
+}
+
+TEST(Hbm, LaterIssueTimeDelaysCompletion)
+{
+    HbmModel hbm(testConfig());
+    const Cycles early = hbm.access(0, 64, false, 0);
+    HbmModel hbm2(testConfig());
+    const Cycles late = hbm2.access(0, 64, false, 500);
+    EXPECT_EQ(late, early + 500);
+}
+
+TEST(Sram, AllocateTracksOccupancy)
+{
+    SramBuffer buf(1024);
+    EXPECT_TRUE(buf.tryAllocate(1, 512));
+    EXPECT_EQ(buf.used(), 512u);
+    EXPECT_EQ(buf.free(), 512u);
+    EXPECT_TRUE(buf.contains(1));
+    EXPECT_EQ(buf.sizeOf(1), 512u);
+}
+
+TEST(Sram, RejectsOverflow)
+{
+    SramBuffer buf(1024);
+    EXPECT_TRUE(buf.tryAllocate(1, 1000));
+    EXPECT_FALSE(buf.tryAllocate(2, 100));
+    EXPECT_EQ(buf.used(), 1000u);
+    EXPECT_FALSE(buf.contains(2));
+}
+
+TEST(Sram, ReallocationAdjustsSize)
+{
+    SramBuffer buf(1024);
+    EXPECT_TRUE(buf.tryAllocate(1, 800));
+    EXPECT_TRUE(buf.tryAllocate(1, 100)); // shrink in place
+    EXPECT_EQ(buf.used(), 100u);
+    EXPECT_TRUE(buf.tryAllocate(1, 1024)); // grow to full capacity
+    EXPECT_EQ(buf.free(), 0u);
+}
+
+TEST(Sram, ReleaseFreesSpace)
+{
+    SramBuffer buf(256);
+    buf.tryAllocate(7, 200);
+    buf.release(7);
+    EXPECT_EQ(buf.used(), 0u);
+    EXPECT_FALSE(buf.contains(7));
+    buf.release(7); // double release is a no-op
+    EXPECT_EQ(buf.used(), 0u);
+}
+
+TEST(Sram, ResidentsEnumerates)
+{
+    SramBuffer buf(1024);
+    buf.tryAllocate(1, 10);
+    buf.tryAllocate(2, 20);
+    buf.tryAllocate(3, 30);
+    const auto keys = buf.residents();
+    EXPECT_EQ(keys.size(), 3u);
+}
+
+TEST(Sram, ClearEmptiesEverything)
+{
+    SramBuffer buf(1024);
+    buf.tryAllocate(1, 10);
+    buf.tryAllocate(2, 20);
+    buf.clear();
+    EXPECT_EQ(buf.used(), 0u);
+    EXPECT_TRUE(buf.residents().empty());
+}
+
+TEST(Sram, ZeroCapacityRejected)
+{
+    EXPECT_THROW(SramBuffer(0), ConfigError);
+}
+
+TEST(Sram, ExactFitAllowed)
+{
+    SramBuffer buf(128);
+    EXPECT_TRUE(buf.tryAllocate(1, 128));
+    EXPECT_EQ(buf.free(), 0u);
+}
+
+} // namespace
+} // namespace ad::mem

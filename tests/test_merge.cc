@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for multi-network graph merging (the multi-tenancy feature).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/orchestrator.hh"
+#include "core/validation.hh"
+#include "graph/merge.hh"
+#include "models/models.hh"
+
+namespace ad::graph {
+namespace {
+
+TEST(Merge, PreservesStructureOfBothTenants)
+{
+    const Graph a = models::tinyResidual();
+    const Graph b = models::tinyBranchy();
+    const Graph merged = mergeGraphs({&a, &b});
+    EXPECT_EQ(merged.size(), a.size() + b.size());
+    EXPECT_EQ(merged.totalMacs(), a.totalMacs() + b.totalMacs());
+    EXPECT_EQ(merged.totalParams(), a.totalParams() + b.totalParams());
+    EXPECT_EQ(merged.sinks().size(),
+              a.sinks().size() + b.sinks().size());
+    EXPECT_NO_THROW(merged.validate());
+}
+
+TEST(Merge, PrefixesKeepNamesUnique)
+{
+    const Graph a = models::tinyLinear(16);
+    const Graph merged = mergeGraphs({&a, &a});
+    std::set<std::string> names;
+    for (const Layer &l : merged.layers())
+        EXPECT_TRUE(names.insert(l.name).second) << l.name;
+    EXPECT_EQ(merged.layer(0).name.rfind("t0.", 0), 0u);
+}
+
+TEST(Merge, TenantsStayIndependent)
+{
+    const Graph a = models::tinyLinear(16);
+    const Graph b = models::tinyResidual();
+    const Graph merged = mergeGraphs({&a, &b});
+    // No edge crosses the tenant boundary.
+    const auto boundary = static_cast<LayerId>(a.size());
+    for (const Layer &l : merged.layers()) {
+        for (LayerId src : l.inputs) {
+            EXPECT_EQ(src >= boundary, l.id >= boundary)
+                << l.name;
+        }
+    }
+}
+
+TEST(Merge, SingleGraphRoundTrips)
+{
+    const Graph a = models::tinyBranchy();
+    const Graph merged = mergeGraphs({&a}, "solo");
+    EXPECT_EQ(merged.size(), a.size());
+    EXPECT_EQ(merged.totalMacs(), a.totalMacs());
+    EXPECT_EQ(merged.name(), "solo");
+}
+
+TEST(Merge, EmptyListRejected)
+{
+    EXPECT_THROW(mergeGraphs({}), ConfigError);
+}
+
+TEST(Merge, MergedGraphSchedulesEndToEnd)
+{
+    const Graph a = models::tinyLinear(32);
+    const Graph b = models::tinyResidual();
+    const Graph merged = mergeGraphs({&a, &b});
+
+    sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    core::OrchestratorOptions options;
+    options.sa.maxIterations = 60;
+    const auto result = core::Orchestrator(system, options).run(merged);
+    EXPECT_TRUE(core::scheduleIsValid(*result.dag, result.schedule, 4));
+    EXPECT_GT(result.report.totalCycles, 0u);
+}
+
+TEST(Merge, CoSchedulingNeverSlowerThanBackToBack)
+{
+    const Graph a = models::tinyLinear(48);
+    const Graph b = models::tinyBranchy();
+    sim::SystemConfig system;
+    system.meshX = 4;
+    system.meshY = 4;
+    core::OrchestratorOptions options;
+    options.sa.maxIterations = 80;
+    const core::Orchestrator orch(system, options);
+
+    const auto ra = orch.run(a).report.totalCycles;
+    const auto rb = orch.run(b).report.totalCycles;
+    const auto merged = mergeGraphs({&a, &b});
+    const auto rm = orch.run(merged).report.totalCycles;
+    // Co-scheduling may pad idle engines with the other tenant's atoms;
+    // it must not be meaningfully worse than strict serialization.
+    EXPECT_LE(rm, (ra + rb) * 11 / 10);
+}
+
+} // namespace
+} // namespace ad::graph

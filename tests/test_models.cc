@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Tests for the model zoo: every Table-I workload must build, validate,
+ * and match the published structural characteristics (parameter counts,
+ * depth/branching properties).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/models.hh"
+
+namespace ad::models {
+namespace {
+
+using graph::Graph;
+using graph::OpType;
+
+class TableOneModelTest
+    : public ::testing::TestWithParam<ModelEntry>
+{
+};
+
+TEST_P(TableOneModelTest, BuildsAndValidates)
+{
+    const Graph g = GetParam().build();
+    EXPECT_NO_THROW(g.validate());
+    EXPECT_GT(g.layerCount(), 0u);
+}
+
+TEST_P(TableOneModelTest, InsertionOrderIsTopological)
+{
+    const Graph g = GetParam().build();
+    for (const graph::Layer &l : g.layers()) {
+        for (graph::LayerId src : l.inputs)
+            EXPECT_LT(src, l.id);
+    }
+}
+
+TEST_P(TableOneModelTest, SingleSinkClassifier)
+{
+    const Graph g = GetParam().build();
+    EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST_P(TableOneModelTest, EveryNonInputHasProducers)
+{
+    const Graph g = GetParam().build();
+    for (const graph::Layer &l : g.layers()) {
+        if (l.type != OpType::Input)
+            EXPECT_FALSE(l.inputs.empty()) << l.name;
+    }
+}
+
+TEST_P(TableOneModelTest, PositiveComputeAndParams)
+{
+    const Graph g = GetParam().build();
+    EXPECT_GT(g.totalMacs(), 0u);
+    EXPECT_GT(g.totalParams(), 0);
+}
+
+TEST_P(TableOneModelTest, DepthsReachableAndBounded)
+{
+    const Graph g = GetParam().build();
+    const auto depths = g.depths();
+    int max_depth = 0;
+    for (int d : depths) {
+        EXPECT_GE(d, 0);
+        max_depth = std::max(max_depth, d);
+    }
+    EXPECT_GT(max_depth, 3);
+    EXPECT_LT(static_cast<std::size_t>(max_depth), g.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, TableOneModelTest, ::testing::ValuesIn(tableOneModels()),
+    [](const ::testing::TestParamInfo<ModelEntry> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Vgg19, MatchesPublishedShape)
+{
+    const Graph g = vgg19();
+    // 16 conv + 3 FC weighted layers, ~138-144M params.
+    std::size_t convs = 0, fcs = 0;
+    for (const auto &l : g.layers()) {
+        convs += l.type == OpType::Conv;
+        fcs += l.type == OpType::FullyConnected;
+    }
+    EXPECT_EQ(convs, 16u);
+    EXPECT_EQ(fcs, 3u);
+    EXPECT_NEAR(static_cast<double>(g.totalParams()), 143.7e6, 2e6);
+    // Strictly layer-cascaded: every layer has exactly one input.
+    for (const auto &l : g.layers()) {
+        if (l.type != OpType::Input)
+            EXPECT_EQ(l.inputs.size(), 1u);
+    }
+}
+
+TEST(Resnet50, MatchesPublishedShape)
+{
+    const Graph g = resnet50();
+    EXPECT_NEAR(static_cast<double>(g.totalParams()), 25.5e6, 1e6);
+    // Residual bypass: contains eltwise adds.
+    std::size_t adds = 0;
+    for (const auto &l : g.layers())
+        adds += l.type == OpType::Eltwise;
+    EXPECT_EQ(adds, 16u); // 3 + 4 + 6 + 3 bottleneck blocks
+    EXPECT_NEAR(static_cast<double>(g.totalMacs()), 4.1e9, 0.3e9);
+}
+
+TEST(Resnet152, MatchesPublishedShape)
+{
+    const Graph g = resnet152();
+    EXPECT_NEAR(static_cast<double>(g.totalParams()), 60.0e6, 2e6);
+    std::size_t adds = 0;
+    for (const auto &l : g.layers())
+        adds += l.type == OpType::Eltwise;
+    EXPECT_EQ(adds, 50u); // 3 + 8 + 36 + 3
+}
+
+TEST(Resnet1001, IsVeryDeep)
+{
+    const Graph g = resnet1001();
+    // 9 weighted layers per 3 blocks -> 1001 weighted layers total.
+    std::size_t convs = 0, fcs = 0;
+    for (const auto &l : g.layers()) {
+        convs += l.type == OpType::Conv;
+        fcs += l.type == OpType::FullyConnected;
+    }
+    EXPECT_EQ(convs + fcs, 1001u + 3u); // +3 projection shortcuts
+    EXPECT_GT(g.size(), 1300u);
+}
+
+TEST(InceptionV3, HasBranchingCells)
+{
+    const Graph g = inceptionV3();
+    std::size_t concats = 0;
+    for (const auto &l : g.layers())
+        concats += l.type == OpType::Concat;
+    EXPECT_EQ(concats, 11u); // mixed0..mixed10
+    EXPECT_NEAR(static_cast<double>(g.totalParams()), 23.8e6, 2e6);
+}
+
+TEST(Nasnet, IrregularTopology)
+{
+    const Graph g = nasnet();
+    // NAS cells: many eltwise combiners and concats.
+    std::size_t adds = 0, concats = 0, dws = 0;
+    for (const auto &l : g.layers()) {
+        adds += l.type == OpType::Eltwise;
+        concats += l.type == OpType::Concat;
+        dws += l.type == OpType::DepthwiseConv;
+    }
+    EXPECT_GT(adds, 30u);
+    EXPECT_GT(concats, 10u);
+    EXPECT_GT(dws, 30u);
+}
+
+TEST(Pnasnet, IrregularTopology)
+{
+    const Graph g = pnasnet();
+    std::size_t adds = 0;
+    for (const auto &l : g.layers())
+        adds += l.type == OpType::Eltwise;
+    EXPECT_GT(adds, 20u);
+}
+
+TEST(EfficientNet, DepthwiseHeavy)
+{
+    const Graph g = efficientNet();
+    std::size_t dws = 0;
+    for (const auto &l : g.layers())
+        dws += l.type == OpType::DepthwiseConv;
+    EXPECT_EQ(dws, 16u); // one per MBConv block
+    EXPECT_LT(g.totalParams(), 10'000'000);
+}
+
+TEST(Zoo, BuildByNameMatchesEntries)
+{
+    for (const ModelEntry &e : tableOneModels()) {
+        const Graph g = buildByName(e.name);
+        EXPECT_EQ(g.name(), e.build().name());
+    }
+}
+
+TEST(Zoo, BuildByNameRejectsUnknown)
+{
+    EXPECT_THROW(buildByName("alexnet"), ConfigError);
+}
+
+TEST(Zoo, EightModels)
+{
+    EXPECT_EQ(tableOneModels().size(), 8u);
+    std::set<std::string> names;
+    for (const auto &e : tableOneModels())
+        names.insert(e.name);
+    EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(TinyModels, BuildAndValidate)
+{
+    EXPECT_NO_THROW(tinyLinear().validate());
+    EXPECT_NO_THROW(tinyResidual().validate());
+    EXPECT_NO_THROW(tinyBranchy().validate());
+}
+
+TEST(TinyModels, LinearWidthScales)
+{
+    EXPECT_GT(tinyLinear(64).totalMacs(), tinyLinear(16).totalMacs());
+}
+
+} // namespace
+} // namespace ad::models

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the 2D-mesh NoC model: topology/routing invariants,
+ * serialization and latency formulas, contention behaviour, and the
+ * multicast-tree batch model.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "noc/noc_model.hh"
+#include "util/common.hh"
+
+namespace ad::noc {
+namespace {
+
+TEST(Mesh, CoordinateRoundTrip)
+{
+    const MeshTopology mesh(8, 8);
+    for (NodeId id = 0; id < mesh.nodes(); ++id)
+        EXPECT_EQ(mesh.idOf(mesh.coordOf(id)), id);
+}
+
+TEST(Mesh, RejectsBadDims)
+{
+    EXPECT_THROW(MeshTopology(0, 4), ConfigError);
+    EXPECT_THROW(MeshTopology(4, -1), ConfigError);
+}
+
+TEST(Mesh, HopsManhattan)
+{
+    const MeshTopology mesh(8, 8);
+    EXPECT_EQ(mesh.hops(0, 0), 0);
+    EXPECT_EQ(mesh.hops(0, 7), 7);
+    EXPECT_EQ(mesh.hops(0, 63), 14);
+    EXPECT_EQ(mesh.hops(mesh.idOf({3, 4}), mesh.idOf({5, 1})), 5);
+}
+
+TEST(Mesh, HopsSymmetric)
+{
+    const MeshTopology mesh(4, 4);
+    for (NodeId a = 0; a < mesh.nodes(); ++a) {
+        for (NodeId b = 0; b < mesh.nodes(); ++b)
+            EXPECT_EQ(mesh.hops(a, b), mesh.hops(b, a));
+    }
+}
+
+TEST(Mesh, RouteLengthEqualsHops)
+{
+    const MeshTopology mesh(5, 3);
+    for (NodeId a = 0; a < mesh.nodes(); ++a) {
+        for (NodeId b = 0; b < mesh.nodes(); ++b) {
+            EXPECT_EQ(static_cast<int>(mesh.route(a, b).size()),
+                      mesh.hops(a, b));
+        }
+    }
+}
+
+TEST(Mesh, RouteIsDimensionOrdered)
+{
+    // XY routing: X-direction hops come before Y-direction hops, so the
+    // route from (0,0) to (2,2) first visits (1,0), (2,0).
+    const MeshTopology mesh(4, 4);
+    const auto route = mesh.route(mesh.idOf({0, 0}), mesh.idOf({2, 2}));
+    ASSERT_EQ(route.size(), 4u);
+    // First two links start at nodes (0,0) and (1,0): link id = node*4.
+    EXPECT_EQ(route[0] / 4, mesh.idOf({0, 0}));
+    EXPECT_EQ(route[1] / 4, mesh.idOf({1, 0}));
+    EXPECT_EQ(route[2] / 4, mesh.idOf({2, 0}));
+    EXPECT_EQ(route[3] / 4, mesh.idOf({2, 1}));
+}
+
+TEST(Mesh, SelfRouteEmpty)
+{
+    const MeshTopology mesh(4, 4);
+    EXPECT_TRUE(mesh.route(5, 5).empty());
+}
+
+TEST(Mesh, LinkBetweenRequiresAdjacency)
+{
+    const MeshTopology mesh(4, 4);
+    EXPECT_THROW(mesh.linkBetween(0, 2), InternalError);
+    EXPECT_NO_THROW(mesh.linkBetween(0, 1));
+}
+
+TEST(Mesh, DistinctLinksForDistinctDirections)
+{
+    const MeshTopology mesh(4, 4);
+    const NodeId center = mesh.idOf({1, 1});
+    std::set<LinkId> links;
+    links.insert(mesh.linkBetween(center, mesh.idOf({2, 1})));
+    links.insert(mesh.linkBetween(center, mesh.idOf({0, 1})));
+    links.insert(mesh.linkBetween(center, mesh.idOf({1, 2})));
+    links.insert(mesh.linkBetween(center, mesh.idOf({1, 0})));
+    EXPECT_EQ(links.size(), 4u);
+}
+
+NocModel
+makeModel(int x = 4, int y = 4)
+{
+    NocConfig cfg;
+    cfg.linkBits = 256; // 32 bytes/cycle
+    return NocModel(MeshTopology(x, y), cfg);
+}
+
+TEST(NocModel, SerializationCycles)
+{
+    const NocModel model = makeModel();
+    EXPECT_EQ(model.serializationCycles(32), 1u);
+    EXPECT_EQ(model.serializationCycles(33), 2u);
+    EXPECT_EQ(model.serializationCycles(3200), 100u);
+}
+
+TEST(NocModel, TransferLatencyFormula)
+{
+    const NocModel model = makeModel();
+    const Transfer t{0, 3, 320}; // 3 hops, 10 serialization cycles
+    EXPECT_EQ(model.transferLatency(t), 3u + 10u);
+}
+
+TEST(NocModel, ZeroForLocalOrEmpty)
+{
+    const NocModel model = makeModel();
+    EXPECT_EQ(model.transferLatency({2, 2, 1000}), 0u);
+    EXPECT_EQ(model.transferLatency({0, 1, 0}), 0u);
+    EXPECT_DOUBLE_EQ(model.transferEnergy({2, 2, 1000}), 0.0);
+}
+
+TEST(NocModel, EnergyScalesWithBitsAndHops)
+{
+    const NocModel model = makeModel();
+    const double one_hop = model.transferEnergy({0, 1, 100});
+    const double two_hops = model.transferEnergy({0, 2, 100});
+    EXPECT_NEAR(one_hop, 100 * 8 * 0.61, 1e-9);
+    EXPECT_NEAR(two_hops, 2.0 * one_hop, 1e-9);
+}
+
+TEST(NocModel, BatchMakespanAtLeastWorstTransfer)
+{
+    const NocModel model = makeModel();
+    const std::vector<Transfer> batch{{0, 3, 3200}, {4, 7, 320}};
+    const BatchResult r = model.batch(batch);
+    EXPECT_GE(r.makespan, model.transferLatency(batch[0]));
+    EXPECT_EQ(r.totalBytes, 3520u);
+}
+
+TEST(NocModel, SharedLinkSerializes)
+{
+    const NocModel model = makeModel();
+    // Two transfers crossing the same 0->1 link.
+    const std::vector<Transfer> shared{{0, 3, 3200}, {0, 2, 3200}};
+    const std::vector<Transfer> disjoint{{0, 3, 3200}, {12, 15, 3200}};
+    EXPECT_GT(model.batch(shared).makespan,
+              model.batch(disjoint).makespan);
+}
+
+TEST(NocModel, CompletionsMatchBatchMakespan)
+{
+    const NocModel model = makeModel();
+    const std::vector<Transfer> batch{{0, 3, 3200}, {0, 2, 320},
+                                      {5, 6, 64}};
+    const auto done = model.completions(batch);
+    Cycles worst = 0;
+    for (Cycles c : done)
+        worst = std::max(worst, c);
+    EXPECT_EQ(worst, model.batch(batch).makespan);
+}
+
+TEST(NocModel, HopBytesAccumulate)
+{
+    const NocModel model = makeModel();
+    const BatchResult r = model.batch({{0, 3, 100}});
+    EXPECT_EQ(r.totalHopBytes, 300u);
+}
+
+TEST(Multicast, PayloadCountedOncePerTree)
+{
+    const NocModel model = makeModel();
+    Multicast mc;
+    mc.src = 0;
+    mc.dsts = {1, 2, 3};
+    mc.bytes = 3200;
+    const BatchResult r = model.multicastBatch({mc}, nullptr);
+    // Tree along row 0 has exactly 3 links; energy = bytes*8*3*0.61.
+    EXPECT_EQ(r.totalBytes, 3200u);
+    EXPECT_EQ(r.totalHopBytes, 3 * 3200u);
+    EXPECT_NEAR(r.energyPj, 3200.0 * 8 * 3 * 0.61, 1e-6);
+}
+
+TEST(Multicast, CheaperThanUnicasts)
+{
+    const NocModel model = makeModel();
+    Multicast mc;
+    mc.src = 0;
+    mc.dsts = {1, 2, 3};
+    mc.bytes = 3200;
+    std::vector<Transfer> unicasts;
+    for (NodeId d : mc.dsts)
+        unicasts.push_back({0, d, mc.bytes});
+    EXPECT_LT(model.multicastBatch({mc}, nullptr).energyPj,
+              model.batch(unicasts).energyPj);
+    EXPECT_LE(model.multicastBatch({mc}, nullptr).makespan,
+              model.batch(unicasts).makespan);
+}
+
+TEST(Multicast, PerDestinationCompletions)
+{
+    const NocModel model = makeModel();
+    Multicast mc;
+    mc.src = 0;
+    mc.dsts = {1, 3};
+    mc.bytes = 320;
+    std::vector<std::vector<Cycles>> done;
+    model.multicastBatch({mc}, &done);
+    ASSERT_EQ(done.size(), 1u);
+    ASSERT_EQ(done[0].size(), 2u);
+    EXPECT_LT(done[0][0], done[0][1]); // nearer node finishes earlier
+}
+
+TEST(Multicast, SelfDestinationFree)
+{
+    const NocModel model = makeModel();
+    Multicast mc;
+    mc.src = 2;
+    mc.dsts = {2};
+    mc.bytes = 999;
+    std::vector<std::vector<Cycles>> done;
+    const BatchResult r = model.multicastBatch({mc}, &done);
+    EXPECT_EQ(r.makespan, 0u);
+    EXPECT_EQ(done[0][0], 0u);
+}
+
+TEST(NocConfig, ValidateCatchesNonsense)
+{
+    NocConfig cfg;
+    cfg.linkBits = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+    cfg = NocConfig{};
+    cfg.creditDepth = 0;
+    EXPECT_THROW(cfg.validate(), ConfigError);
+}
+
+} // namespace
+} // namespace ad::noc

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the naive even-partition policies used by the LS baseline
+ * and the Fig. 10 atom-generation ablation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/partition.hh"
+#include "models/models.hh"
+
+namespace ad::core {
+namespace {
+
+TEST(Partition, ProducesEnoughTiles)
+{
+    const auto g = models::resnet50();
+    for (auto policy :
+         {PartitionPolicy::ChannelFirst, PartitionPolicy::Balanced}) {
+        const auto shapes = evenPartitionShapes(g, 16, policy);
+        for (const auto &l : g.layers()) {
+            if (!l.onPeArray())
+                continue;
+            const auto &s = shapes[static_cast<std::size_t>(l.id)];
+            const int tiles = ceilDiv(l.out.h, s.h) *
+                              ceilDiv(l.out.w, s.w) *
+                              ceilDiv(l.out.c, s.c);
+            const int capacity =
+                l.out.h * l.out.w * std::max(l.out.c / 4, 1);
+            EXPECT_GE(tiles, std::min(16, capacity)) << l.name;
+        }
+    }
+}
+
+TEST(Partition, ChannelFirstSplitsChannels)
+{
+    graph::Graph g;
+    const auto in = g.input({56, 56, 64});
+    const auto c = g.conv(in, 64, 3, 1, 1);
+    const auto shapes =
+        evenPartitionShapes(g, 16, PartitionPolicy::ChannelFirst);
+    const auto &s = shapes[static_cast<std::size_t>(c)];
+    EXPECT_EQ(s.c, 4);   // 64 channels / 16 tiles
+    EXPECT_EQ(s.h, 56);  // spatial untouched
+    EXPECT_EQ(s.w, 56);
+}
+
+TEST(Partition, ChannelFirstFloorsAtFourChannels)
+{
+    graph::Graph g;
+    const auto in = g.input({56, 56, 16});
+    const auto c = g.conv(in, 16, 3, 1, 1);
+    const auto shapes =
+        evenPartitionShapes(g, 64, PartitionPolicy::ChannelFirst);
+    const auto &s = shapes[static_cast<std::size_t>(c)];
+    EXPECT_EQ(s.c, 4); // not split below a 4-channel filter group
+    EXPECT_LT(s.h, 56); // remainder comes from the spatial dims
+}
+
+TEST(Partition, BalancedPrefersLargestDims)
+{
+    graph::Graph g;
+    const auto in = g.input({56, 56, 8});
+    const auto c = g.conv(in, 8, 3, 1, 1);
+    const auto shapes =
+        evenPartitionShapes(g, 16, PartitionPolicy::Balanced);
+    const auto &s = shapes[static_cast<std::size_t>(c)];
+    // 16 tiles out of 56x56x8: spatial dims carry the split.
+    EXPECT_EQ(s.c, 8);
+    EXPECT_LE(s.h * s.w, 56 * 56 / 15);
+}
+
+TEST(Partition, SingleTileKeepsWholeLayer)
+{
+    const auto g = models::tinyLinear(32);
+    const auto shapes = evenPartitionShapes(g, 1);
+    for (const auto &l : g.layers()) {
+        if (!l.onPeArray())
+            continue;
+        const auto &s = shapes[static_cast<std::size_t>(l.id)];
+        EXPECT_GE(s.h, l.out.h);
+        EXPECT_GE(s.c, std::max(l.out.c / 4, 1));
+    }
+}
+
+TEST(Partition, TinyLayersNeverProduceZeroTiles)
+{
+    graph::Graph g;
+    const auto in = g.input({1, 1, 2});
+    g.conv(in, 2, 1, 1, 0);
+    for (auto policy :
+         {PartitionPolicy::ChannelFirst, PartitionPolicy::Balanced}) {
+        const auto shapes = evenPartitionShapes(g, 64, policy);
+        for (const auto &s : shapes) {
+            EXPECT_GE(s.h, 1);
+            EXPECT_GE(s.w, 1);
+            EXPECT_GE(s.c, 1);
+        }
+    }
+}
+
+TEST(Partition, RejectsNonPositiveTileCount)
+{
+    const auto g = models::tinyLinear(16);
+    EXPECT_THROW(evenPartitionShapes(g, 0), ConfigError);
+}
+
+} // namespace
+} // namespace ad::core

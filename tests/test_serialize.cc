@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Tests for the adgraph text serialization: round-trips of every layer
+ * type and the whole model zoo, plus parse-error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include "graph/serialize.hh"
+#include "models/models.hh"
+
+namespace ad::graph {
+namespace {
+
+void
+expectEquivalent(const Graph &a, const Graph &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.name(), b.name());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const Layer &la = a.layer(static_cast<LayerId>(i));
+        const Layer &lb = b.layer(static_cast<LayerId>(i));
+        EXPECT_EQ(la.type, lb.type) << la.name;
+        EXPECT_EQ(la.name, lb.name);
+        EXPECT_EQ(la.out, lb.out) << la.name;
+        EXPECT_EQ(la.in, lb.in) << la.name;
+        EXPECT_EQ(la.window, lb.window) << la.name;
+        EXPECT_EQ(la.inputs, lb.inputs) << la.name;
+    }
+    EXPECT_EQ(a.totalMacs(), b.totalMacs());
+    EXPECT_EQ(a.totalParams(), b.totalParams());
+}
+
+TEST(Serialize, RoundTripTinyModels)
+{
+    for (const Graph &g : {models::tinyLinear(32), models::tinyResidual(),
+                           models::tinyBranchy()}) {
+        expectEquivalent(g, fromText(toText(g)));
+    }
+}
+
+class ZooRoundTrip
+    : public ::testing::TestWithParam<models::ModelEntry>
+{
+};
+
+TEST_P(ZooRoundTrip, SurvivesSerialization)
+{
+    const Graph original = GetParam().build();
+    const Graph reloaded = fromText(toText(original));
+    expectEquivalent(original, reloaded);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, ZooRoundTrip, ::testing::ValuesIn(models::tableOneModels()),
+    [](const ::testing::TestParamInfo<models::ModelEntry> &info) {
+        std::string name = info.param.name;
+        for (char &c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+TEST(Serialize, HeaderCarriesModelName)
+{
+    const Graph g = models::tinyResidual();
+    const std::string text = toText(g);
+    EXPECT_EQ(text.rfind("adgraph v1 tiny_residual", 0), 0u);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored)
+{
+    const std::string text = "adgraph v1 t\n"
+                             "# a comment\n"
+                             "\n"
+                             "input in 8 8 3\n"
+                             "conv c1 in 16 3 3 1 1 1\n";
+    const Graph g = fromText(text);
+    EXPECT_EQ(g.size(), 2u);
+    EXPECT_EQ(g.layer(1).out.c, 16);
+}
+
+TEST(Serialize, RejectsBadHeader)
+{
+    EXPECT_THROW(fromText("nonsense v1 x\n"), ConfigError);
+    EXPECT_THROW(fromText(""), ConfigError);
+}
+
+TEST(Serialize, RejectsUnknownOp)
+{
+    EXPECT_THROW(fromText("adgraph v1 t\nwarp w 1 2 3\n"), ConfigError);
+}
+
+TEST(Serialize, RejectsUnknownSource)
+{
+    EXPECT_THROW(
+        fromText("adgraph v1 t\ninput in 8 8 3\n"
+                 "conv c ghost 4 3 3 1 1 1\n"),
+        ConfigError);
+}
+
+TEST(Serialize, RejectsDuplicateNames)
+{
+    EXPECT_THROW(fromText("adgraph v1 t\ninput a 8 8 3\ninput a 8 8 3\n"),
+                 ConfigError);
+}
+
+TEST(Serialize, FileRoundTrip)
+{
+    const Graph g = models::tinyBranchy();
+    const std::string path = "/tmp/ad_serialize_test.adgraph";
+    saveText(g, path);
+    expectEquivalent(g, loadText(path));
+}
+
+TEST(Serialize, LoadMissingFileFatals)
+{
+    EXPECT_THROW(loadText("/nonexistent/path.adgraph"), ConfigError);
+}
+
+} // namespace
+} // namespace ad::graph

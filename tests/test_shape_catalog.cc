@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests for the shape catalog: candidate enumeration, PE-quantum
+ * constraints, buffer-fit filtering, and nearest-cycle queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/shape_catalog.hh"
+#include "models/models.hh"
+
+namespace ad::core {
+namespace {
+
+using engine::CostModel;
+using engine::DataflowKind;
+using engine::EngineConfig;
+
+EngineConfig
+cfg16()
+{
+    EngineConfig cfg;
+    cfg.peRows = 16;
+    cfg.peCols = 16;
+    return cfg;
+}
+
+TEST(ShapeCatalog, EveryComputeLayerHasCandidates)
+{
+    const auto g = models::tinyBranchy();
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    for (const auto &l : g.layers()) {
+        if (l.type == graph::OpType::Input ||
+            l.type == graph::OpType::Concat) {
+            EXPECT_TRUE(catalog.candidatesFor(l.id).empty());
+        } else {
+            EXPECT_FALSE(catalog.candidatesFor(l.id).empty())
+                << l.name;
+        }
+    }
+}
+
+TEST(ShapeCatalog, CandidatesSortedByCycles)
+{
+    const auto g = models::tinyLinear(64);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    for (const auto &l : g.layers()) {
+        const auto &cands = catalog.candidatesFor(l.id);
+        for (std::size_t i = 1; i < cands.size(); ++i)
+            EXPECT_LE(cands[i - 1].cycles, cands[i].cycles);
+    }
+}
+
+TEST(ShapeCatalog, KcQuantizesOutputChannels)
+{
+    graph::Graph g;
+    const auto in = g.input({16, 16, 64});
+    const auto c = g.conv(in, 64, 3, 1, 1);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    for (const auto &cand : catalog.candidatesFor(c)) {
+        // c3 * PEy or the whole dimension (Sec. IV-A).
+        EXPECT_TRUE(cand.shape.c % 16 == 0 || cand.shape.c == 64)
+            << cand.shape.c;
+    }
+}
+
+TEST(ShapeCatalog, YxQuantizesSpatialDims)
+{
+    graph::Graph g;
+    const auto in = g.input({64, 64, 16});
+    const auto c = g.conv(in, 16, 3, 1, 1);
+    const CostModel model(cfg16(), DataflowKind::YxPartition);
+    const ShapeCatalog catalog(g, model);
+    for (const auto &cand : catalog.candidatesFor(c)) {
+        EXPECT_TRUE(cand.shape.h % 16 == 0 || cand.shape.h == 64);
+        EXPECT_TRUE(cand.shape.w % 16 == 0 || cand.shape.w == 64);
+    }
+}
+
+TEST(ShapeCatalog, CandidatesFitBuffer)
+{
+    const auto g = models::tinyLinear(128);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    ShapeCatalogOptions opts;
+    const ShapeCatalog catalog(g, model, opts);
+    for (const auto &l : g.layers()) {
+        const auto &cands = catalog.candidatesFor(l.id);
+        if (cands.size() > 1) {
+            for (const auto &cand : cands)
+                EXPECT_LE(cand.footprint, cfg16().bufferBytes);
+        }
+    }
+}
+
+TEST(ShapeCatalog, NearestWithinTiebreakWindow)
+{
+    const auto g = models::tinyLinear(64);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    for (const auto &l : g.layers()) {
+        const auto &cands = catalog.candidatesFor(l.id);
+        if (cands.empty())
+            continue;
+        for (const auto &cand : cands) {
+            const auto &best =
+                catalog.nearest(l.id, static_cast<double>(cand.cycles));
+            EXPECT_LE(static_cast<double>(best.cycles),
+                      static_cast<double>(cand.cycles) * 1.1 + 1);
+            EXPECT_GE(static_cast<double>(best.cycles),
+                      static_cast<double>(cand.cycles) * 0.9 - 1);
+        }
+    }
+}
+
+TEST(ShapeCatalog, NearestClampsAtExtremes)
+{
+    const auto g = models::tinyLinear(64);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    for (const auto &l : g.layers()) {
+        const auto &cands = catalog.candidatesFor(l.id);
+        if (cands.empty())
+            continue;
+        const auto &tiny = catalog.nearest(l.id, 0.0);
+        EXPECT_LE(tiny.cycles, cands.back().cycles);
+        const auto &huge = catalog.nearest(l.id, 1e18);
+        EXPECT_GE(huge.cycles, cands.front().cycles);
+    }
+}
+
+TEST(ShapeCatalog, ShapesFromIndicesRoundTrip)
+{
+    const auto g = models::tinyLinear(32);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    std::vector<std::size_t> indices(g.size(), 0);
+    const auto shapes = catalog.shapesFromIndices(indices);
+    ASSERT_EQ(shapes.size(), g.size());
+    for (const auto &l : g.layers()) {
+        const auto &cands = catalog.candidatesFor(l.id);
+        if (!cands.empty()) {
+            EXPECT_EQ(shapes[static_cast<std::size_t>(l.id)],
+                      cands[0].shape);
+        }
+    }
+}
+
+TEST(ShapeCatalog, DefaultShapesPickHighUtilization)
+{
+    const auto g = models::tinyLinear(64);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    const auto shapes = catalog.defaultShapes();
+    for (const auto &l : g.layers()) {
+        const auto &cands = catalog.candidatesFor(l.id);
+        if (cands.empty())
+            continue;
+        double best = 0;
+        for (const auto &cand : cands)
+            best = std::max(best, cand.utilization);
+        for (const auto &cand : cands) {
+            if (cand.shape == shapes[static_cast<std::size_t>(l.id)])
+                EXPECT_DOUBLE_EQ(cand.utilization, best);
+        }
+    }
+}
+
+TEST(ShapeCatalog, WeightTrafficPenalizesNonResidentSlices)
+{
+    graph::Graph g;
+    const auto in = g.input({7, 7, 512});
+    const auto c = g.conv(in, 512, 3, 1, 1);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    for (const auto &cand : catalog.candidatesFor(c)) {
+        const Bytes slice =
+            9ull * 512 * static_cast<Bytes>(cand.shape.c);
+        if (slice > 96 * 1024) {
+            EXPECT_GT(cand.weightTraffic, cand.weightReplBytes);
+        } else {
+            EXPECT_EQ(cand.weightTraffic, cand.weightReplBytes);
+        }
+    }
+}
+
+TEST(ShapeCatalog, FullSpatialTileHasNoReplication)
+{
+    graph::Graph g;
+    const auto in = g.input({8, 8, 64});
+    const auto c = g.conv(in, 64, 3, 1, 1);
+    const CostModel model(cfg16(), DataflowKind::KcPartition);
+    const ShapeCatalog catalog(g, model);
+    for (const auto &cand : catalog.candidatesFor(c)) {
+        if (cand.shape.h == 8 && cand.shape.w == 8)
+            EXPECT_EQ(cand.weightReplBytes, 0u);
+    }
+}
+
+} // namespace
+} // namespace ad::core

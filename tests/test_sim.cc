@@ -1,0 +1,212 @@
+/**
+ * @file
+ * Tests for the simulation substrate: the discrete-event kernel and the
+ * round-synchronized system simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/orchestrator.hh"
+#include "core/partition.hh"
+#include "models/models.hh"
+#include "sim/event_queue.hh"
+#include "sim/system.hh"
+
+namespace ad::sim {
+namespace {
+
+TEST(EventQueue, ProcessesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&](Tick) { order.push_back(3); });
+    q.schedule(10, [&](Tick) { order.push_back(1); });
+    q.schedule(20, [&](Tick) { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&](Tick) { order.push_back(1); });
+    q.schedule(5, [&](Tick) { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, HandlersMayScheduleMore)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    q.schedule(1, [&](Tick t) {
+        fired.push_back(t);
+        q.schedule(t + 5, [&](Tick t2) { fired.push_back(t2); });
+    });
+    q.run();
+    EXPECT_EQ(fired, (std::vector<Tick>{1, 6}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue q;
+    int count = 0;
+    q.schedule(10, [&](Tick) { ++count; });
+    q.schedule(20, [&](Tick) { ++count; });
+    q.runUntil(15);
+    EXPECT_EQ(count, 1);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.now(), 15u);
+    q.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(EventQueue, RejectsPastEvents)
+{
+    EventQueue q;
+    q.schedule(10, [](Tick) {});
+    q.run();
+    EXPECT_THROW(q.schedule(5, [](Tick) {}), InternalError);
+}
+
+TEST(EventQueue, ResetClears)
+{
+    EventQueue q;
+    q.schedule(10, [](Tick) {});
+    q.reset();
+    EXPECT_EQ(q.pending(), 0u);
+    EXPECT_EQ(q.now(), 0u);
+}
+
+SystemConfig
+tinySystem()
+{
+    SystemConfig sys;
+    sys.meshX = 2;
+    sys.meshY = 2;
+    return sys;
+}
+
+/** Build a mapped schedule for a graph via the orchestrator pipeline. */
+core::OrchestratorResult
+runTiny(const graph::Graph &g, const SystemConfig &sys, int batch = 1,
+        bool reuse = true)
+{
+    core::OrchestratorOptions opts;
+    opts.batch = batch;
+    opts.sa.maxIterations = 50;
+    opts.onChipReuse = reuse;
+    const core::Orchestrator orch(sys, opts);
+    return orch.run(g);
+}
+
+TEST(SystemConfig, Validate)
+{
+    SystemConfig sys = tinySystem();
+    EXPECT_NO_THROW(sys.validate());
+    sys.meshX = 0;
+    EXPECT_THROW(sys.validate(), ConfigError);
+    EXPECT_EQ(tinySystem().engines(), 4);
+    EXPECT_EQ(tinySystem().totalPes(), 4 * 256);
+}
+
+TEST(SystemSimulator, ReportFieldsAreSane)
+{
+    const graph::Graph g = models::tinyResidual();
+    const auto result = runTiny(g, tinySystem());
+    const ExecutionReport &r = result.report;
+    EXPECT_GT(r.totalCycles, 0u);
+    EXPECT_GT(r.rounds, 0u);
+    EXPECT_GE(r.peUtilization, 0.0);
+    EXPECT_LE(r.peUtilization, 1.0);
+    EXPECT_GE(r.computeUtilization, r.peUtilization - 1e-9);
+    EXPECT_GE(r.onChipReuseRatio, 0.0);
+    EXPECT_LE(r.onChipReuseRatio, 1.0);
+    EXPECT_GE(r.nocOverhead, 0.0);
+    EXPECT_LE(r.nocOverhead + r.memOverhead, 1.0 + 1e-9);
+    EXPECT_GT(r.totalEnergyPj(), 0.0);
+    EXPECT_GT(r.hbmReadBytes, 0u); // weights + external input
+}
+
+TEST(SystemSimulator, LatencyAndThroughputHelpers)
+{
+    ExecutionReport r;
+    r.totalCycles = 500'000;
+    r.batch = 2;
+    EXPECT_DOUBLE_EQ(r.latencyMs(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(r.throughputFps(0.5), 2000.0);
+}
+
+TEST(SystemSimulator, EnergyBreakdownSumsToTotal)
+{
+    const graph::Graph g = models::tinyBranchy();
+    const ExecutionReport r = runTiny(g, tinySystem()).report;
+    EXPECT_NEAR(r.totalEnergyPj(),
+                r.computeEnergyPj + r.nocEnergyPj + r.hbmEnergyPj +
+                    r.staticEnergyPj,
+                1e-6);
+    EXPECT_GT(r.computeEnergyPj, 0.0);
+    EXPECT_GT(r.staticEnergyPj, 0.0);
+}
+
+TEST(SystemSimulator, DisablingReuseForcesDram)
+{
+    const graph::Graph g = models::tinyResidual();
+    const ExecutionReport with = runTiny(g, tinySystem(), 1, true).report;
+    const ExecutionReport without =
+        runTiny(g, tinySystem(), 1, false).report;
+    EXPECT_EQ(without.onChipReuseRatio, 0.0);
+    EXPECT_GT(without.hbmReadBytes, with.hbmReadBytes);
+    EXPECT_GE(without.totalCycles, with.totalCycles);
+}
+
+TEST(SystemSimulator, BatchRaisesThroughput)
+{
+    const graph::Graph g = models::tinyLinear(64);
+    const ExecutionReport one = runTiny(g, tinySystem(), 1).report;
+    const ExecutionReport four = runTiny(g, tinySystem(), 4).report;
+    EXPECT_GT(four.throughputFps(0.5), one.throughputFps(0.5));
+    EXPECT_GT(four.totalCycles, one.totalCycles);
+}
+
+TEST(SystemSimulator, DoubleBufferNeverHurts)
+{
+    const graph::Graph g = models::tinyLinear(64);
+    SystemConfig on = tinySystem();
+    SystemConfig off = tinySystem();
+    off.doubleBuffer = false;
+
+    core::OrchestratorOptions opts;
+    opts.sa.maxIterations = 50;
+    const auto result = core::Orchestrator(on, opts).run(g);
+
+    const SystemSimulator sim_on(on);
+    const SystemSimulator sim_off(off);
+    const auto r_on = sim_on.execute(*result.dag, result.schedule);
+    const auto r_off = sim_off.execute(*result.dag, result.schedule);
+    EXPECT_LE(r_on.totalCycles, r_off.totalCycles);
+}
+
+TEST(SystemSimulator, DeterministicExecution)
+{
+    const graph::Graph g = models::tinyBranchy();
+    const auto result = runTiny(g, tinySystem());
+    const SystemSimulator sim(tinySystem());
+    const auto a = sim.execute(*result.dag, result.schedule);
+    const auto b = sim.execute(*result.dag, result.schedule);
+    EXPECT_EQ(a.totalCycles, b.totalCycles);
+    EXPECT_DOUBLE_EQ(a.totalEnergyPj(), b.totalEnergyPj());
+}
+
+TEST(SystemSimulator, AtomsAllRetire)
+{
+    const graph::Graph g = models::tinyResidual();
+    const auto result = runTiny(g, tinySystem(), 2);
+    const ExecutionReport &r = result.report;
+    EXPECT_EQ(r.storedAtoms + r.unstoredAtoms, result.dag->size());
+}
+
+} // namespace
+} // namespace ad::sim

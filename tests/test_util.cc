@@ -1,0 +1,303 @@
+/**
+ * @file
+ * Unit tests for the utility substrate: statistics, histograms, table
+ * rendering, error handling, integer helpers, and deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/common.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+namespace ad {
+namespace {
+
+TEST(Common, CeilDivExact)
+{
+    EXPECT_EQ(ceilDiv(10, 5), 2);
+    EXPECT_EQ(ceilDiv(10, 10), 1);
+}
+
+TEST(Common, CeilDivRoundsUp)
+{
+    EXPECT_EQ(ceilDiv(11, 5), 3);
+    EXPECT_EQ(ceilDiv(1, 5), 1);
+}
+
+TEST(Common, RoundUpMultiples)
+{
+    EXPECT_EQ(roundUp(10, 16), 16);
+    EXPECT_EQ(roundUp(16, 16), 16);
+    EXPECT_EQ(roundUp(17, 16), 32);
+}
+
+TEST(Common, PanicThrowsInternalError)
+{
+    EXPECT_THROW(panic("boom ", 42), InternalError);
+}
+
+TEST(Common, FatalThrowsConfigError)
+{
+    EXPECT_THROW(fatal("bad config ", "x"), ConfigError);
+}
+
+TEST(Common, FatalMessageContainsArgs)
+{
+    try {
+        fatal("value=", 7, " name=", "abc");
+        FAIL() << "fatal did not throw";
+    } catch (const ConfigError &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("name=abc"),
+                  std::string::npos);
+    }
+}
+
+TEST(Common, AdAssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(adAssert(true, "never"));
+}
+
+TEST(Common, AdAssertPanicsOnFalse)
+{
+    EXPECT_THROW(adAssert(false, "always"), InternalError);
+}
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownVariance)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // classic textbook data set
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_NEAR(a.min(), all.min(), 1e-12);
+    EXPECT_NEAR(a.max(), all.max(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    const double mean = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), mean);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(42.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(Histogram, CountsFallInCorrectBins)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    h.add(9.9);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 2u);
+    EXPECT_EQ(h.binCount(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+}
+
+TEST(Histogram, BinLowEdges)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLow(4), 18.0);
+}
+
+TEST(Histogram, TopWindowFractionConcentrated)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 90; ++i)
+        h.add(5.5);
+    for (int i = 0; i < 10; ++i)
+        h.add(static_cast<double>(i));
+    EXPECT_GE(h.topWindowFraction(2), 0.9);
+}
+
+TEST(Histogram, TopWindowFractionUniform)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.topWindowFraction(5), 0.5, 1e-9);
+}
+
+TEST(Histogram, InvalidConstructionFatals)
+{
+    EXPECT_THROW(Histogram(0.0, 10.0, 0), ConfigError);
+    EXPECT_THROW(Histogram(5.0, 5.0, 4), ConfigError);
+}
+
+TEST(Histogram, RenderContainsBars)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(0.6);
+    const std::string out = h.render(10);
+    EXPECT_NE(out.find('#'), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns)
+{
+    TextTable t;
+    t.setHeader({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    const std::string out = t.render();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("longer"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    EXPECT_EQ(t.renderCsv(), "a,b\n1,2\n");
+}
+
+TEST(Format, Double)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(1.0, 0), "1");
+}
+
+TEST(Format, Percent)
+{
+    EXPECT_EQ(fmtPercent(0.269, 1), "26.9%");
+}
+
+TEST(Format, Speedup)
+{
+    EXPECT_EQ(fmtSpeedup(1.4512), "1.45x");
+}
+
+TEST(Rng, DeterministicBySeed)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+    }
+}
+
+TEST(Rng, UniformRangeRespected)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = rng.uniform(-1.0, 1.0);
+        EXPECT_GE(v, -1.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Logger, LevelFiltering)
+{
+    auto &logger = Logger::instance();
+    const LogLevel before = logger.level();
+    logger.setLevel(LogLevel::Error);
+    EXPECT_EQ(logger.level(), LogLevel::Error);
+    // Filtered messages must not crash.
+    inform("hidden");
+    warn("hidden");
+    trace("hidden");
+    logger.setLevel(before);
+}
+
+} // namespace
+} // namespace ad

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * adctl — command-line front-end for the atomic-dataflow framework.
+ *
+ * Subcommands:
+ *   models                              list the zoo workloads (Table I)
+ *   run     --model M [options]        optimize + simulate one workload
+ *   compare --model M [options]        LS / CNN-P / IL-Pipe / AD side by side
+ *   trace   --model M --out F [opts]   dump the mapped schedule as CSV
+ *   export  --model M --out F          write the model as adgraph text
+ *
+ * Common options:
+ *   --graph FILE     load an adgraph text file instead of a zoo model
+ *   --batch N        samples per DAG (default 1)
+ *   --mesh XxY       engine grid (default 8x8)
+ *   --pe RxC         PE array per engine (default 16x16)
+ *   --buffer KIB     per-engine buffer (default 128)
+ *   --dataflow D     kc | yx | flex (default kc)
+ *   --sched S        dp | greedy | layer | batched (default dp)
+ *   --no-reuse       disable distributed-buffer reuse
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "baselines/cnn_partition.hh"
+#include "baselines/il_pipe.hh"
+#include "baselines/layer_sequential.hh"
+#include "core/orchestrator.hh"
+#include "graph/serialize.hh"
+#include "models/models.hh"
+#include "sim/trace.hh"
+#include "util/table.hh"
+
+namespace {
+
+struct Args
+{
+    std::string command;
+    std::map<std::string, std::string> options;
+    bool noReuse = false;
+};
+
+Args
+parse(int argc, char **argv)
+{
+    Args args;
+    if (argc < 2)
+        ad::fatal("usage: adctl <models|run|compare|trace|export> "
+                  "[options]");
+    args.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string flag = argv[i];
+        if (flag == "--no-reuse") {
+            args.noReuse = true;
+        } else if (flag.rfind("--", 0) == 0 && i + 1 < argc) {
+            args.options[flag.substr(2)] = argv[++i];
+        } else {
+            ad::fatal("unexpected argument '", flag, "'");
+        }
+    }
+    return args;
+}
+
+std::string
+option(const Args &args, const std::string &key,
+       const std::string &fallback)
+{
+    auto it = args.options.find(key);
+    return it == args.options.end() ? fallback : it->second;
+}
+
+std::pair<int, int>
+parsePair(const std::string &text, char sep)
+{
+    const auto pos = text.find(sep);
+    if (pos == std::string::npos)
+        ad::fatal("expected <a>", std::string(1, sep), "<b>, got '",
+                  text, "'");
+    return {std::atoi(text.substr(0, pos).c_str()),
+            std::atoi(text.substr(pos + 1).c_str())};
+}
+
+ad::graph::Graph
+loadWorkload(const Args &args)
+{
+    const std::string file = option(args, "graph", "");
+    if (!file.empty())
+        return ad::graph::loadText(file);
+    return ad::models::buildByName(option(args, "model", "resnet50"));
+}
+
+ad::sim::SystemConfig
+systemFrom(const Args &args)
+{
+    ad::sim::SystemConfig system;
+    const auto [mx, my] = parsePair(option(args, "mesh", "8x8"), 'x');
+    system.meshX = mx;
+    system.meshY = my;
+    const auto [pr, pc] = parsePair(option(args, "pe", "16x16"), 'x');
+    system.engine.peRows = pr;
+    system.engine.peCols = pc;
+    system.engine.bufferBytes =
+        static_cast<ad::Bytes>(
+            std::atoi(option(args, "buffer", "128").c_str())) *
+        1024;
+    system.dataflow =
+        ad::engine::dataflowFromString(option(args, "dataflow", "kc"));
+    return system;
+}
+
+ad::core::OrchestratorOptions
+orchestratorFrom(const Args &args)
+{
+    ad::core::OrchestratorOptions options;
+    options.batch = std::atoi(option(args, "batch", "1").c_str());
+    const std::string sched = option(args, "sched", "dp");
+    if (sched == "dp")
+        options.scheduler.mode = ad::core::SchedMode::Dp;
+    else if (sched == "greedy")
+        options.scheduler.mode = ad::core::SchedMode::Greedy;
+    else if (sched == "layer")
+        options.scheduler.mode = ad::core::SchedMode::LayerOrder;
+    else if (sched == "batched")
+        options.scheduler.mode = ad::core::SchedMode::LayerBatched;
+    else
+        ad::fatal("unknown --sched '", sched, "'");
+    options.onChipReuse = !args.noReuse;
+    return options;
+}
+
+void
+printReport(const ad::sim::ExecutionReport &r, double freq_ghz)
+{
+    ad::TextTable table;
+    table.setHeader({"metric", "value"});
+    table.addRow({"cycles", std::to_string(r.totalCycles)});
+    table.addRow({"rounds", std::to_string(r.rounds)});
+    table.addRow({"latency", ad::fmtDouble(r.latencyMs(freq_ghz), 3) + " ms"});
+    table.addRow({"throughput",
+                  ad::fmtDouble(r.throughputFps(freq_ghz), 1) + " fps"});
+    table.addRow({"PE utilization", ad::fmtPercent(r.peUtilization)});
+    table.addRow({"compute utilization",
+                  ad::fmtPercent(r.computeUtilization)});
+    table.addRow({"NoC overhead", ad::fmtPercent(r.nocOverhead)});
+    table.addRow({"memory overhead", ad::fmtPercent(r.memOverhead)});
+    table.addRow({"on-chip reuse", ad::fmtPercent(r.onChipReuseRatio)});
+    table.addRow({"HBM read", ad::fmtDouble(r.hbmReadBytes / 1e6, 1) + " MB"});
+    table.addRow({"HBM write",
+                  ad::fmtDouble(r.hbmWriteBytes / 1e6, 1) + " MB"});
+    table.addRow({"NoC traffic", ad::fmtDouble(r.nocBytes / 1e6, 1) + " MB"});
+    table.addRow({"energy", ad::fmtDouble(r.totalEnergyMj(), 2) + " mJ"});
+    std::cout << table.render();
+}
+
+int
+cmdModels()
+{
+    ad::TextTable table;
+    table.setHeader({"name", "layers", "params", "GMACs",
+                     "characteristics"});
+    for (const auto &entry : ad::models::tableOneModels()) {
+        const auto g = entry.build();
+        table.addRow({entry.name, std::to_string(g.layerCount()),
+                      ad::fmtDouble(g.totalParams() / 1e6, 1) + "M",
+                      ad::fmtDouble(g.totalMacs() / 1e9, 2),
+                      entry.description});
+    }
+    std::cout << table.render();
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const auto graph = loadWorkload(args);
+    const auto system = systemFrom(args);
+    const auto result =
+        ad::core::Orchestrator(system, orchestratorFrom(args)).run(graph);
+    std::cout << "workload: " << graph.name() << ", system: "
+              << system.meshX << "x" << system.meshY << " engines, "
+              << ad::engine::dataflowName(system.dataflow) << "\n";
+    std::cout << "atoms: " << result.dag->size() << ", search: "
+              << ad::fmtDouble(result.searchSeconds, 1) << " s\n";
+    printReport(result.report, system.engine.freqGhz);
+    return 0;
+}
+
+int
+cmdCompare(const Args &args)
+{
+    const auto graph = loadWorkload(args);
+    const auto system = systemFrom(args);
+    const int batch = std::atoi(option(args, "batch", "1").c_str());
+    const double freq = system.engine.freqGhz;
+
+    ad::TextTable table;
+    table.setHeader({"strategy", "cycles", "fps", "PE util", "reuse",
+                     "energy(mJ)"});
+    auto row = [&](const char *name, const ad::sim::ExecutionReport &r) {
+        table.addRow({name, std::to_string(r.totalCycles),
+                      ad::fmtDouble(r.throughputFps(freq), 1),
+                      ad::fmtPercent(r.peUtilization),
+                      ad::fmtPercent(r.onChipReuseRatio),
+                      ad::fmtDouble(r.totalEnergyMj(), 1)});
+    };
+    ad::baselines::LsOptions ls;
+    ls.batch = batch;
+    row("LS", ad::baselines::LayerSequential(system, ls).run(graph));
+    ad::baselines::CnnPOptions cnnp;
+    cnnp.batch = batch;
+    row("CNN-P", ad::baselines::CnnPartition(system, cnnp).run(graph));
+    ad::baselines::IlPipeOptions pipe;
+    pipe.batch = batch;
+    row("IL-Pipe", ad::baselines::IlPipe(system, pipe).run(graph));
+    row("AD", ad::core::Orchestrator(system, orchestratorFrom(args))
+                  .run(graph)
+                  .report);
+    std::cout << table.render();
+    return 0;
+}
+
+int
+cmdTrace(const Args &args)
+{
+    const auto graph = loadWorkload(args);
+    const auto system = systemFrom(args);
+    const auto result =
+        ad::core::Orchestrator(system, orchestratorFrom(args)).run(graph);
+    const std::string out = option(args, "out", "");
+    const std::string csv =
+        ad::sim::renderScheduleCsv(*result.dag, result.schedule);
+    if (out.empty()) {
+        std::cout << csv;
+    } else {
+        std::ofstream file(out);
+        if (!file)
+            ad::fatal("cannot open '", out, "'");
+        file << csv;
+        std::cout << "wrote " << result.schedule.atomCount()
+                  << " placements to " << out << "\n";
+    }
+    return 0;
+}
+
+int
+cmdExport(const Args &args)
+{
+    const auto graph = loadWorkload(args);
+    const std::string out = option(args, "out", "");
+    if (out.empty()) {
+        std::cout << ad::graph::toText(graph);
+    } else {
+        ad::graph::saveText(graph, out);
+        std::cout << "wrote " << graph.size() << " layers to " << out
+                  << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const Args args = parse(argc, argv);
+        if (args.command == "models")
+            return cmdModels();
+        if (args.command == "run")
+            return cmdRun(args);
+        if (args.command == "compare")
+            return cmdCompare(args);
+        if (args.command == "trace")
+            return cmdTrace(args);
+        if (args.command == "export")
+            return cmdExport(args);
+        ad::fatal("unknown command '", args.command, "'");
+    } catch (const std::exception &e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+    }
+}
