@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "../lib/libad_bench_common.a"
+)

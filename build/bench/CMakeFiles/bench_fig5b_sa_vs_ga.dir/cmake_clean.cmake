@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5b_sa_vs_ga.dir/bench_fig5b_sa_vs_ga.cc.o"
+  "CMakeFiles/bench_fig5b_sa_vs_ga.dir/bench_fig5b_sa_vs_ga.cc.o.d"
+  "bench_fig5b_sa_vs_ga"
+  "bench_fig5b_sa_vs_ga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_sa_vs_ga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

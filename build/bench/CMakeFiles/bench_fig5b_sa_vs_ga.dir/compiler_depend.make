@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5b_sa_vs_ga.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fpga_prototype.dir/bench_fpga_prototype.cc.o"
+  "CMakeFiles/bench_fpga_prototype.dir/bench_fpga_prototype.cc.o.d"
+  "bench_fpga_prototype"
+  "bench_fpga_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fpga_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

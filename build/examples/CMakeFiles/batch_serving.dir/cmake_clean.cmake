@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_serving.dir/batch_serving.cpp.o"
+  "CMakeFiles/batch_serving.dir/batch_serving.cpp.o.d"
+  "batch_serving"
+  "batch_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_baselines.dir/cnn_partition.cc.o"
+  "CMakeFiles/ad_baselines.dir/cnn_partition.cc.o.d"
+  "CMakeFiles/ad_baselines.dir/il_pipe.cc.o"
+  "CMakeFiles/ad_baselines.dir/il_pipe.cc.o.d"
+  "CMakeFiles/ad_baselines.dir/layer_sequential.cc.o"
+  "CMakeFiles/ad_baselines.dir/layer_sequential.cc.o.d"
+  "CMakeFiles/ad_baselines.dir/rammer.cc.o"
+  "CMakeFiles/ad_baselines.dir/rammer.cc.o.d"
+  "libad_baselines.a"
+  "libad_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

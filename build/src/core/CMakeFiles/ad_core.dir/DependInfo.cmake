@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/atom_generator.cc" "src/core/CMakeFiles/ad_core.dir/atom_generator.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/atom_generator.cc.o.d"
+  "/root/repo/src/core/atomic_dag.cc" "src/core/CMakeFiles/ad_core.dir/atomic_dag.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/atomic_dag.cc.o.d"
+  "/root/repo/src/core/mapper.cc" "src/core/CMakeFiles/ad_core.dir/mapper.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/mapper.cc.o.d"
+  "/root/repo/src/core/partition.cc" "src/core/CMakeFiles/ad_core.dir/partition.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/partition.cc.o.d"
+  "/root/repo/src/core/residency.cc" "src/core/CMakeFiles/ad_core.dir/residency.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/residency.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/ad_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/ad_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/shape_catalog.cc" "src/core/CMakeFiles/ad_core.dir/shape_catalog.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/shape_catalog.cc.o.d"
+  "/root/repo/src/core/validation.cc" "src/core/CMakeFiles/ad_core.dir/validation.cc.o" "gcc" "src/core/CMakeFiles/ad_core.dir/validation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ad_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ad_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ad_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ad_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

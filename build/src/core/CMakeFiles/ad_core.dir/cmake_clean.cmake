@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_core.dir/atom_generator.cc.o"
+  "CMakeFiles/ad_core.dir/atom_generator.cc.o.d"
+  "CMakeFiles/ad_core.dir/atomic_dag.cc.o"
+  "CMakeFiles/ad_core.dir/atomic_dag.cc.o.d"
+  "CMakeFiles/ad_core.dir/mapper.cc.o"
+  "CMakeFiles/ad_core.dir/mapper.cc.o.d"
+  "CMakeFiles/ad_core.dir/partition.cc.o"
+  "CMakeFiles/ad_core.dir/partition.cc.o.d"
+  "CMakeFiles/ad_core.dir/residency.cc.o"
+  "CMakeFiles/ad_core.dir/residency.cc.o.d"
+  "CMakeFiles/ad_core.dir/schedule.cc.o"
+  "CMakeFiles/ad_core.dir/schedule.cc.o.d"
+  "CMakeFiles/ad_core.dir/scheduler.cc.o"
+  "CMakeFiles/ad_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/ad_core.dir/shape_catalog.cc.o"
+  "CMakeFiles/ad_core.dir/shape_catalog.cc.o.d"
+  "CMakeFiles/ad_core.dir/validation.cc.o"
+  "CMakeFiles/ad_core.dir/validation.cc.o.d"
+  "libad_core.a"
+  "libad_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_framework.dir/orchestrator.cc.o"
+  "CMakeFiles/ad_framework.dir/orchestrator.cc.o.d"
+  "libad_framework.a"
+  "libad_framework.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

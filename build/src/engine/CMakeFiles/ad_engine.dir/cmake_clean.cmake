@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_engine.dir/cost_model.cc.o"
+  "CMakeFiles/ad_engine.dir/cost_model.cc.o.d"
+  "CMakeFiles/ad_engine.dir/engine_config.cc.o"
+  "CMakeFiles/ad_engine.dir/engine_config.cc.o.d"
+  "libad_engine.a"
+  "libad_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

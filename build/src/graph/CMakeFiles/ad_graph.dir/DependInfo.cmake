@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/ad_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/ad_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/layer.cc" "src/graph/CMakeFiles/ad_graph.dir/layer.cc.o" "gcc" "src/graph/CMakeFiles/ad_graph.dir/layer.cc.o.d"
+  "/root/repo/src/graph/merge.cc" "src/graph/CMakeFiles/ad_graph.dir/merge.cc.o" "gcc" "src/graph/CMakeFiles/ad_graph.dir/merge.cc.o.d"
+  "/root/repo/src/graph/serialize.cc" "src/graph/CMakeFiles/ad_graph.dir/serialize.cc.o" "gcc" "src/graph/CMakeFiles/ad_graph.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

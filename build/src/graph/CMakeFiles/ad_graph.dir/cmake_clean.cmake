@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_graph.dir/graph.cc.o"
+  "CMakeFiles/ad_graph.dir/graph.cc.o.d"
+  "CMakeFiles/ad_graph.dir/layer.cc.o"
+  "CMakeFiles/ad_graph.dir/layer.cc.o.d"
+  "CMakeFiles/ad_graph.dir/merge.cc.o"
+  "CMakeFiles/ad_graph.dir/merge.cc.o.d"
+  "CMakeFiles/ad_graph.dir/serialize.cc.o"
+  "CMakeFiles/ad_graph.dir/serialize.cc.o.d"
+  "libad_graph.a"
+  "libad_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

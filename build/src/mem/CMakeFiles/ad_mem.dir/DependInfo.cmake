@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/hbm_model.cc" "src/mem/CMakeFiles/ad_mem.dir/hbm_model.cc.o" "gcc" "src/mem/CMakeFiles/ad_mem.dir/hbm_model.cc.o.d"
+  "/root/repo/src/mem/sram_buffer.cc" "src/mem/CMakeFiles/ad_mem.dir/sram_buffer.cc.o" "gcc" "src/mem/CMakeFiles/ad_mem.dir/sram_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_mem.dir/hbm_model.cc.o"
+  "CMakeFiles/ad_mem.dir/hbm_model.cc.o.d"
+  "CMakeFiles/ad_mem.dir/sram_buffer.cc.o"
+  "CMakeFiles/ad_mem.dir/sram_buffer.cc.o.d"
+  "libad_mem.a"
+  "libad_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

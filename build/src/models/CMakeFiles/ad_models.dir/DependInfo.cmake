@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/efficientnet.cc" "src/models/CMakeFiles/ad_models.dir/efficientnet.cc.o" "gcc" "src/models/CMakeFiles/ad_models.dir/efficientnet.cc.o.d"
+  "/root/repo/src/models/inception.cc" "src/models/CMakeFiles/ad_models.dir/inception.cc.o" "gcc" "src/models/CMakeFiles/ad_models.dir/inception.cc.o.d"
+  "/root/repo/src/models/nasnet.cc" "src/models/CMakeFiles/ad_models.dir/nasnet.cc.o" "gcc" "src/models/CMakeFiles/ad_models.dir/nasnet.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/models/CMakeFiles/ad_models.dir/resnet.cc.o" "gcc" "src/models/CMakeFiles/ad_models.dir/resnet.cc.o.d"
+  "/root/repo/src/models/vgg.cc" "src/models/CMakeFiles/ad_models.dir/vgg.cc.o" "gcc" "src/models/CMakeFiles/ad_models.dir/vgg.cc.o.d"
+  "/root/repo/src/models/zoo.cc" "src/models/CMakeFiles/ad_models.dir/zoo.cc.o" "gcc" "src/models/CMakeFiles/ad_models.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ad_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

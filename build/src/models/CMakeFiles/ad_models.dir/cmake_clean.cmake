@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_models.dir/efficientnet.cc.o"
+  "CMakeFiles/ad_models.dir/efficientnet.cc.o.d"
+  "CMakeFiles/ad_models.dir/inception.cc.o"
+  "CMakeFiles/ad_models.dir/inception.cc.o.d"
+  "CMakeFiles/ad_models.dir/nasnet.cc.o"
+  "CMakeFiles/ad_models.dir/nasnet.cc.o.d"
+  "CMakeFiles/ad_models.dir/resnet.cc.o"
+  "CMakeFiles/ad_models.dir/resnet.cc.o.d"
+  "CMakeFiles/ad_models.dir/vgg.cc.o"
+  "CMakeFiles/ad_models.dir/vgg.cc.o.d"
+  "CMakeFiles/ad_models.dir/zoo.cc.o"
+  "CMakeFiles/ad_models.dir/zoo.cc.o.d"
+  "libad_models.a"
+  "libad_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

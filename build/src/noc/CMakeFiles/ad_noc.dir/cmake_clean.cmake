@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_noc.dir/mesh.cc.o"
+  "CMakeFiles/ad_noc.dir/mesh.cc.o.d"
+  "CMakeFiles/ad_noc.dir/noc_model.cc.o"
+  "CMakeFiles/ad_noc.dir/noc_model.cc.o.d"
+  "libad_noc.a"
+  "libad_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/event_queue.cc" "src/sim/CMakeFiles/ad_sim.dir/event_queue.cc.o" "gcc" "src/sim/CMakeFiles/ad_sim.dir/event_queue.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/sim/CMakeFiles/ad_sim.dir/system.cc.o" "gcc" "src/sim/CMakeFiles/ad_sim.dir/system.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/ad_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/ad_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ad_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ad_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ad_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ad_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ad_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

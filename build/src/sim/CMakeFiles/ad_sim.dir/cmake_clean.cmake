@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_sim.dir/event_queue.cc.o"
+  "CMakeFiles/ad_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/ad_sim.dir/system.cc.o"
+  "CMakeFiles/ad_sim.dir/system.cc.o.d"
+  "CMakeFiles/ad_sim.dir/trace.cc.o"
+  "CMakeFiles/ad_sim.dir/trace.cc.o.d"
+  "libad_sim.a"
+  "libad_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

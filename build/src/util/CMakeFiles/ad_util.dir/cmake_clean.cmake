@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_util.dir/logging.cc.o"
+  "CMakeFiles/ad_util.dir/logging.cc.o.d"
+  "CMakeFiles/ad_util.dir/stats.cc.o"
+  "CMakeFiles/ad_util.dir/stats.cc.o.d"
+  "CMakeFiles/ad_util.dir/table.cc.o"
+  "CMakeFiles/ad_util.dir/table.cc.o.d"
+  "libad_util.a"
+  "libad_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

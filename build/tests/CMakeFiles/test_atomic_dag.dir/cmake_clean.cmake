@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_dag.dir/test_atomic_dag.cc.o"
+  "CMakeFiles/test_atomic_dag.dir/test_atomic_dag.cc.o.d"
+  "test_atomic_dag"
+  "test_atomic_dag.pdb"
+  "test_atomic_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

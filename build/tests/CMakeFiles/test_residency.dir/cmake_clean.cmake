@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_residency.dir/test_residency.cc.o"
+  "CMakeFiles/test_residency.dir/test_residency.cc.o.d"
+  "test_residency"
+  "test_residency.pdb"
+  "test_residency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_residency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

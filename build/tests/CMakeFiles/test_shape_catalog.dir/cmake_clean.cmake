@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shape_catalog.dir/test_shape_catalog.cc.o"
+  "CMakeFiles/test_shape_catalog.dir/test_shape_catalog.cc.o.d"
+  "test_shape_catalog"
+  "test_shape_catalog.pdb"
+  "test_shape_catalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shape_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adctl.dir/adctl.cc.o"
+  "CMakeFiles/adctl.dir/adctl.cc.o.d"
+  "adctl"
+  "adctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
