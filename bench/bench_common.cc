@@ -1,9 +1,31 @@
 #include "bench_common.hh"
 
 #include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <memory>
 #include <sstream>
 
+#include "util/thread_pool.hh"
+
 namespace ad::bench {
+
+void
+applyBenchArgs(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            util::ThreadPool::setGlobalThreads(std::atoi(argv[++i]));
+        } else {
+            // Bench mains have no try/catch; exit cleanly rather than
+            // letting a ConfigError reach std::terminate.
+            std::cerr << "usage: " << argv[0]
+                      << " [--threads N]  (env knobs: AD_BENCH_MODELS, "
+                         "AD_BENCH_BATCH, AD_BENCH_FULL, AD_THREADS)\n";
+            std::exit(2);
+        }
+    }
+}
 
 std::vector<models::ModelEntry>
 selectedModels()
@@ -51,30 +73,58 @@ defaultSystem(engine::DataflowKind dataflow)
     return system;
 }
 
+namespace {
+
+/** The strategy order every table reports. */
+const std::vector<std::string> &
+strategyNames()
+{
+    static const std::vector<std::string> names{"LS", "CNN-P",
+                                                "IL-Pipe", "AD"};
+    return names;
+}
+
+/** Run one named strategy; each call builds independent state, so calls
+ * are safe to fan out over a shared read-only graph. */
+sim::ExecutionReport
+runStrategy(const std::string &name, const graph::Graph &graph,
+            const sim::SystemConfig &system, int batch)
+{
+    if (name == "LS") {
+        baselines::LsOptions options;
+        options.batch = batch;
+        return baselines::LayerSequential(system, options).run(graph);
+    }
+    if (name == "CNN-P") {
+        baselines::CnnPOptions options;
+        options.batch = batch;
+        return baselines::CnnPartition(system, options).run(graph);
+    }
+    if (name == "IL-Pipe") {
+        baselines::IlPipeOptions options;
+        options.batch = batch;
+        return baselines::IlPipe(system, options).run(graph);
+    }
+    adAssert(name == "AD", "unknown strategy ", name);
+    return runAd(graph, system, batch);
+}
+
+} // namespace
+
 std::vector<StrategyResult>
 runAllStrategies(const graph::Graph &graph,
                  const sim::SystemConfig &system, int batch)
 {
+    const auto &names = strategyNames();
+    const auto reports =
+        util::ThreadPool::global().parallelMap<sim::ExecutionReport>(
+            names.size(), [&](std::size_t i) {
+                return runStrategy(names[i], graph, system, batch);
+            });
     std::vector<StrategyResult> results;
-
-    baselines::LsOptions ls_options;
-    ls_options.batch = batch;
-    results.push_back(
-        {"LS",
-         baselines::LayerSequential(system, ls_options).run(graph)});
-
-    baselines::CnnPOptions cnnp_options;
-    cnnp_options.batch = batch;
-    results.push_back(
-        {"CNN-P",
-         baselines::CnnPartition(system, cnnp_options).run(graph)});
-
-    baselines::IlPipeOptions pipe_options;
-    pipe_options.batch = batch;
-    results.push_back(
-        {"IL-Pipe", baselines::IlPipe(system, pipe_options).run(graph)});
-
-    results.push_back({"AD", runAd(graph, system, batch)});
+    results.reserve(names.size());
+    for (std::size_t i = 0; i < names.size(); ++i)
+        results.push_back({names[i], reports[i]});
     return results;
 }
 
@@ -95,7 +145,10 @@ namespace ad::bench {
 
 namespace {
 
-constexpr int kCacheVersion = 3;
+// v4: comboCost charges a combo's weight first-touch once per
+// (layer, sample) key, changing DP/greedy schedules; older rows are
+// stale.
+constexpr int kCacheVersion = 4;
 
 } // namespace
 
@@ -175,41 +228,64 @@ runAllStrategiesCached(const models::ModelEntry &entry,
                        const sim::SystemConfig &system, int batch,
                        ResultCache &cache)
 {
-    const std::vector<std::string> names{"LS", "CNN-P", "IL-Pipe", "AD"};
-    std::vector<StrategyResult> results;
-    graph::Graph graph("unbuilt");
-    bool built = false;
+    return runZooSweepCached({entry}, system, batch, cache).front();
+}
 
-    for (const std::string &name : names) {
-        const std::string key =
-            ResultCache::key(entry.name, name, system.dataflow, batch);
-        sim::ExecutionReport report;
-        if (!cache.get(key, report)) {
-            if (!built) {
-                graph = entry.build();
-                built = true;
-            }
-            if (name == "LS") {
-                baselines::LsOptions options;
-                options.batch = batch;
-                report =
-                    baselines::LayerSequential(system, options)
-                        .run(graph);
-            } else if (name == "CNN-P") {
-                baselines::CnnPOptions options;
-                options.batch = batch;
-                report = baselines::CnnPartition(system, options)
-                             .run(graph);
-            } else if (name == "IL-Pipe") {
-                baselines::IlPipeOptions options;
-                options.batch = batch;
-                report = baselines::IlPipe(system, options).run(graph);
-            } else {
-                report = runAd(graph, system, batch);
-            }
-            cache.put(key, report);
+std::vector<std::vector<StrategyResult>>
+runZooSweepCached(const std::vector<models::ModelEntry> &entries,
+                  const sim::SystemConfig &system, int batch,
+                  ResultCache &cache)
+{
+    const auto &names = strategyNames();
+
+    struct Task
+    {
+        std::size_t entry;
+        std::size_t strategy;
+        std::string key;
+    };
+
+    // Probe the cache up front; only misses become parallel work.
+    std::vector<std::vector<StrategyResult>> results(entries.size());
+    std::vector<Task> tasks;
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+        results[e].resize(names.size());
+        for (std::size_t s = 0; s < names.size(); ++s) {
+            results[e][s].name = names[s];
+            std::string key = ResultCache::key(
+                entries[e].name, names[s], system.dataflow, batch);
+            if (!cache.get(key, results[e][s].report))
+                tasks.push_back({e, s, std::move(key)});
         }
-        results.push_back({name, report});
+    }
+    if (tasks.empty())
+        return results;
+
+    // Build each missing model's graph once, serially (cheap, and keeps
+    // the parallel region read-only on shared state).
+    std::vector<std::unique_ptr<graph::Graph>> graphs(entries.size());
+    for (const Task &t : tasks) {
+        if (!graphs[t.entry]) {
+            graphs[t.entry] = std::make_unique<graph::Graph>(
+                entries[t.entry].build());
+        }
+    }
+
+    // The (network x strategy) sweep is embarrassingly parallel: every
+    // run constructs its own orchestrator/baseline state. Reports land
+    // in per-task slots, and the cache is written sequentially below in
+    // the same order as the serial sweep.
+    const auto reports =
+        util::ThreadPool::global().parallelMap<sim::ExecutionReport>(
+            tasks.size(), [&](std::size_t i) {
+                const Task &t = tasks[i];
+                return runStrategy(names[t.strategy], *graphs[t.entry],
+                                   system, batch);
+            });
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const Task &t = tasks[i];
+        results[t.entry][t.strategy].report = reports[i];
+        cache.put(t.key, reports[i]);
     }
     return results;
 }

@@ -10,6 +10,9 @@
  *   AD_BENCH_MODELS  comma-separated zoo names (default: all eight)
  *   AD_BENCH_BATCH   batch size for throughput benches (default: 20)
  *   AD_BENCH_FULL    set to 1 to also run the YX-Partition dataflow
+ *   AD_THREADS       worker threads for the sweep/orchestration
+ *                    (default: hardware concurrency; results are
+ *                    bit-identical for any value)
  */
 
 #include <map>
@@ -25,6 +28,13 @@
 #include "util/table.hh"
 
 namespace ad::bench {
+
+/**
+ * Handle the common bench CLI: `--threads N` sizes the worker pool
+ * (default: AD_THREADS, else hardware concurrency). Call first in main.
+ * Unknown flags fatal with a usage message.
+ */
+void applyBenchArgs(int argc, char **argv);
 
 /** Zoo entries selected by AD_BENCH_MODELS (default: all). */
 std::vector<models::ModelEntry> selectedModels();
@@ -90,5 +100,16 @@ class ResultCache
 std::vector<StrategyResult> runAllStrategiesCached(
     const models::ModelEntry &entry, const sim::SystemConfig &system,
     int batch, ResultCache &cache);
+
+/**
+ * The full (network x strategy) sweep for one system/batch, computed in
+ * parallel across every cache miss of every model and returned in
+ * @p entries order (LS / CNN-P / IL-Pipe / AD per model). Results are
+ * bit-identical for any thread count; cache writes happen in the same
+ * deterministic order as the serial sweep.
+ */
+std::vector<std::vector<StrategyResult>> runZooSweepCached(
+    const std::vector<models::ModelEntry> &entries,
+    const sim::SystemConfig &system, int batch, ResultCache &cache);
 
 } // namespace ad::bench

@@ -12,8 +12,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    ad::bench::applyBenchArgs(argc, argv);
     ad::bench::ResultCache cache;
     for (const auto dataflow : ad::bench::benchDataflows()) {
         const auto system = ad::bench::defaultSystem(dataflow);
@@ -22,9 +23,12 @@ main()
         ad::TextTable table;
         table.setHeader({"model", "LS(ms)", "IL-Pipe(ms)", "AD(ms)",
                          "AD vs LS", "AD vs IL-Pipe"});
-        for (const auto &entry : ad::bench::selectedModels()) {
-            const auto rows = ad::bench::runAllStrategiesCached(
-                entry, system, 1, cache);
+        const auto entries = ad::bench::selectedModels();
+        const auto sweep = ad::bench::runZooSweepCached(
+            entries, system, 1, cache);
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const auto &entry = entries[e];
+            const auto &rows = sweep[e];
             const double freq = system.engine.freqGhz;
             const double ls = rows[0].report.latencyMs(freq);
             const double pipe = rows[2].report.latencyMs(freq);

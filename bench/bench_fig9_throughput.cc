@@ -11,8 +11,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    ad::bench::applyBenchArgs(argc, argv);
     ad::bench::ResultCache cache;
     const int batch = ad::bench::benchBatch();
     for (const auto dataflow : ad::bench::benchDataflows()) {
@@ -23,9 +24,12 @@ main()
         ad::TextTable table;
         table.setHeader({"model", "LS", "CNN-P", "IL-Pipe", "AD",
                          "AD vs CNN-P"});
-        for (const auto &entry : ad::bench::selectedModels()) {
-            const auto rows = ad::bench::runAllStrategiesCached(
-                entry, system, batch, cache);
+        const auto entries = ad::bench::selectedModels();
+        const auto sweep = ad::bench::runZooSweepCached(
+            entries, system, batch, cache);
+        for (std::size_t e = 0; e < entries.size(); ++e) {
+            const auto &entry = entries[e];
+            const auto &rows = sweep[e];
             const double freq = system.engine.freqGhz;
             std::vector<std::string> cells{entry.name};
             for (const auto &row : rows)

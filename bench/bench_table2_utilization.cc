@@ -11,8 +11,9 @@
 #include "bench_common.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    ad::bench::applyBenchArgs(argc, argv);
     ad::bench::ResultCache cache;
     const int batch = ad::bench::benchBatch();
     const auto system = ad::bench::defaultSystem();
@@ -30,10 +31,12 @@ main()
     rows[5] = {"On-chip reuse (AD)"};
 
     std::vector<std::string> header{"method"};
-    for (const auto &entry : ad::bench::selectedModels()) {
-        header.push_back(entry.name);
-        const auto results = ad::bench::runAllStrategiesCached(
-            entry, system, batch, cache);
+    const auto entries = ad::bench::selectedModels();
+    const auto sweep =
+        ad::bench::runZooSweepCached(entries, system, batch, cache);
+    for (std::size_t e = 0; e < entries.size(); ++e) {
+        header.push_back(entries[e].name);
+        const auto &results = sweep[e];
         for (int s = 0; s < 4; ++s)
             rows[static_cast<std::size_t>(s)].push_back(ad::fmtPercent(
                 results[static_cast<std::size_t>(s)]

@@ -207,9 +207,10 @@ bench/CMakeFiles/bench_micro.dir/bench_micro.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/graph/layer.hh \
  /root/repo/src/graph/graph.hh /root/repo/src/core/scheduler.hh \
  /root/repo/src/core/atomic_dag.hh /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/core/shape_catalog.hh \
- /root/repo/src/mem/hbm_model.hh /root/repo/src/models/models.hh \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/array /root/repo/src/core/schedule.hh \
+ /root/repo/src/core/shape_catalog.hh /root/repo/src/mem/hbm_model.hh \
+ /root/repo/src/models/models.hh /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \

@@ -256,4 +256,5 @@ src/baselines/CMakeFiles/ad_baselines.dir/layer_sequential.cc.o: \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/sim/report.hh \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/engine/cached_cost_model.hh

@@ -258,4 +258,5 @@ src/core/CMakeFiles/ad_framework.dir/orchestrator.cc.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/engine/cached_cost_model.hh

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/cached_cost_model.cc" "src/engine/CMakeFiles/ad_engine.dir/cached_cost_model.cc.o" "gcc" "src/engine/CMakeFiles/ad_engine.dir/cached_cost_model.cc.o.d"
   "/root/repo/src/engine/cost_model.cc" "src/engine/CMakeFiles/ad_engine.dir/cost_model.cc.o" "gcc" "src/engine/CMakeFiles/ad_engine.dir/cost_model.cc.o.d"
   "/root/repo/src/engine/engine_config.cc" "src/engine/CMakeFiles/ad_engine.dir/engine_config.cc.o" "gcc" "src/engine/CMakeFiles/ad_engine.dir/engine_config.cc.o.d"
   )

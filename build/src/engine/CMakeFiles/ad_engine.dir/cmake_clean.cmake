@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/ad_engine.dir/cached_cost_model.cc.o"
+  "CMakeFiles/ad_engine.dir/cached_cost_model.cc.o.d"
   "CMakeFiles/ad_engine.dir/cost_model.cc.o"
   "CMakeFiles/ad_engine.dir/cost_model.cc.o.d"
   "CMakeFiles/ad_engine.dir/engine_config.cc.o"

@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/util/logging.cc" "src/util/CMakeFiles/ad_util.dir/logging.cc.o" "gcc" "src/util/CMakeFiles/ad_util.dir/logging.cc.o.d"
   "/root/repo/src/util/stats.cc" "src/util/CMakeFiles/ad_util.dir/stats.cc.o" "gcc" "src/util/CMakeFiles/ad_util.dir/stats.cc.o.d"
   "/root/repo/src/util/table.cc" "src/util/CMakeFiles/ad_util.dir/table.cc.o" "gcc" "src/util/CMakeFiles/ad_util.dir/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/util/CMakeFiles/ad_util.dir/thread_pool.cc.o" "gcc" "src/util/CMakeFiles/ad_util.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

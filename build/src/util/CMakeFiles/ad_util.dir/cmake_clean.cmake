@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/ad_util.dir/stats.cc.o.d"
   "CMakeFiles/ad_util.dir/table.cc.o"
   "CMakeFiles/ad_util.dir/table.cc.o.d"
+  "CMakeFiles/ad_util.dir/thread_pool.cc.o"
+  "CMakeFiles/ad_util.dir/thread_pool.cc.o.d"
   "libad_util.a"
   "libad_util.pdb"
 )

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel.cc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cc.o" "gcc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/ad_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ad_framework.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ad_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ad_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/ad_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/ad_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/ad_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ad_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ad_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ad_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -23,3 +23,4 @@ include("/root/repo/build/tests/test_extensions[1]_include.cmake")
 include("/root/repo/build/tests/test_serialize[1]_include.cmake")
 include("/root/repo/build/tests/test_partition[1]_include.cmake")
 include("/root/repo/build/tests/test_merge[1]_include.cmake")
+include("/root/repo/build/tests/test_parallel[1]_include.cmake")

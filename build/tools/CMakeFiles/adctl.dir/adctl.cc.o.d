@@ -265,4 +265,15 @@ tools/CMakeFiles/adctl.dir/adctl.cc.o: /root/repo/tools/adctl.cc \
  /root/repo/src/core/mapper.hh /root/repo/src/core/partition.hh \
  /root/repo/src/core/scheduler.hh /root/repo/src/graph/serialize.hh \
  /root/repo/src/models/models.hh /root/repo/src/sim/trace.hh \
- /root/repo/src/util/table.hh
+ /root/repo/src/util/table.hh /root/repo/src/util/thread_pool.hh \
+ /usr/include/c++/12/atomic /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread

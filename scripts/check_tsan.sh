@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build the test suite with ThreadSanitizer and run the concurrency-
+# sensitive tests. Any data race in the thread pool, the shared cost-model
+# stores, or a parallel region aborts the run.
+#
+# Usage: scripts/check_tsan.sh [build-dir] [ctest-regex]
+#   build-dir    defaults to build-tsan
+#   ctest-regex  defaults to the concurrency + scheduler + integration
+#                tests (pass '.' to run everything; slower under TSan)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-tsan}"
+FILTER="${2:-ThreadPool|CachedCostModel|Determinism|Scheduler|Orchestrator}"
+
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAD_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+# halt_on_error: a race is a hard failure, not a warning to scroll past.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "$FILTER"
+
+echo "check_tsan: no data races detected"

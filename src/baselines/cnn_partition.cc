@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/partition.hh"
+#include "engine/cached_cost_model.hh"
 
 namespace ad::baselines {
 
@@ -89,7 +90,8 @@ CnnPartition::CnnPartition(const sim::SystemConfig &system,
 sim::ExecutionReport
 CnnPartition::run(const graph::Graph &graph) const
 {
-    const engine::CostModel model(_system.engine, _system.dataflow);
+    const engine::CachedCostModel model(_system.engine,
+                                        _system.dataflow);
     const int engines = _system.engines();
     const int B = _options.batch;
     const double bw_bytes_per_cycle =

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "engine/cached_cost_model.hh"
+
 namespace ad::baselines {
 
 namespace {
@@ -62,7 +64,8 @@ IlPipe::IlPipe(const sim::SystemConfig &system, IlPipeOptions options)
 sim::ExecutionReport
 IlPipe::run(const graph::Graph &graph) const
 {
-    const engine::CostModel model(_system.engine, _system.dataflow);
+    const engine::CachedCostModel model(_system.engine,
+                                        _system.dataflow);
     const int engines = _system.engines();
     const int B = _options.batch;
     const int bpe = _system.engine.bytesPerElem;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/partition.hh"
+#include "engine/cached_cost_model.hh"
 #include "noc/mesh.hh"
 
 namespace ad::baselines {
@@ -93,7 +94,8 @@ LayerSequential::run(const graph::Graph &graph) const
 std::vector<double>
 LayerSequential::layerUtilizations(const graph::Graph &graph) const
 {
-    const engine::CostModel model(_system.engine, _system.dataflow);
+    const engine::CachedCostModel model(_system.engine,
+                                        _system.dataflow);
     const int engines = _system.engines();
     const auto shapes = core::evenPartitionShapes(
         graph, engines,

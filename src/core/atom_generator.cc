@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/stats.hh"
+#include "util/thread_pool.hh"
 
 namespace ad::core {
 
@@ -107,11 +108,15 @@ SaAtomGenerator::generate(const ShapeCatalog &catalog) const
             std::max(1.0, state + rng.uniform(-1.0, 1.0) * len);
 
         // Line 11-14: snap every layer to the candidate nearest S_move.
+        // The snap is a pure per-layer lookup (no RNG draws), so it fans
+        // out across the pool without disturbing the annealing sequence;
+        // each index writes only its own `moved` slot.
         moved = indices;
-        for (graph::LayerId l : layers) {
-            moved[static_cast<std::size_t>(l)] =
-                catalog.nearestIndex(l, state_move);
-        }
+        util::ThreadPool::global().parallelFor(
+            layers.size(), [&](std::size_t i) {
+                moved[static_cast<std::size_t>(layers[i])] =
+                    catalog.nearestIndex(layers[i], state_move);
+            });
         const double energy_move = shapeEnergy(catalog, moved, nullptr);
 
         // Line 16-21: Metropolis acceptance with decaying temperature.
@@ -162,12 +167,14 @@ GaAtomGenerator::generate(const ShapeCatalog &catalog) const
     };
 
     std::vector<std::vector<std::size_t>> pop;
-    std::vector<double> fitness;
     pop.reserve(static_cast<std::size_t>(_options.population));
-    for (int i = 0; i < _options.population; ++i) {
+    for (int i = 0; i < _options.population; ++i)
         pop.push_back(random_genome());
-        fitness.push_back(shapeEnergy(catalog, pop.back(), nullptr));
-    }
+    std::vector<double> fitness =
+        util::ThreadPool::global().parallelMap<double>(
+            pop.size(), [&](std::size_t i) {
+                return shapeEnergy(catalog, pop[i], nullptr);
+            });
 
     auto tournament = [&]() -> std::size_t {
         std::size_t winner = static_cast<std::size_t>(
@@ -195,8 +202,10 @@ GaAtomGenerator::generate(const ShapeCatalog &catalog) const
         result.varianceTrace.push_back(fitness[best_idx]);
         result.iterations = gen + 1;
 
+        // Breed sequentially (every RNG draw stays in the serial order),
+        // then fan the fitness evaluations out: shapeEnergy draws no
+        // randomness, so the split is behaviour-identical.
         std::vector<std::vector<std::size_t>> next;
-        std::vector<double> next_fitness;
         next.reserve(pop.size());
 
         while (next.size() < pop.size()) {
@@ -219,9 +228,13 @@ GaAtomGenerator::generate(const ShapeCatalog &catalog) const
                             static_cast<std::int64_t>(cands.size()) - 1));
                 }
             }
-            next_fitness.push_back(shapeEnergy(catalog, child, nullptr));
             next.push_back(std::move(child));
         }
+        std::vector<double> next_fitness =
+            util::ThreadPool::global().parallelMap<double>(
+                next.size(), [&](std::size_t i) {
+                    return shapeEnergy(catalog, next[i], nullptr);
+                });
         pop = std::move(next);
         fitness = std::move(next_fitness);
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "engine/cached_cost_model.hh"
 #include "noc/mesh.hh"
 
 namespace ad::core {
@@ -22,7 +23,11 @@ Orchestrator::Orchestrator(const sim::SystemConfig &system,
 Schedule
 Orchestrator::buildSchedule(const AtomicDag &dag) const
 {
-    const engine::CostModel model(_system.engine, _system.dataflow);
+    // Cached model: per-atom cycles computed for one scheduling trial
+    // are shared with every other trial, the SA stage, and the
+    // simulator (the store is process-wide per engine configuration).
+    const engine::CachedCostModel model(_system.engine,
+                                        _system.dataflow);
     DpScheduler scheduler(dag, model, _options.scheduler);
     const RoundList rounds = scheduler.schedule();
 
@@ -36,6 +41,7 @@ Orchestrator::buildSchedule(const AtomicDag &dag) const
     residency.attachSchedule(rounds);
 
     Schedule schedule;
+    schedule.mode = scheduler.effectiveMode();
     schedule.rounds.reserve(rounds.size());
     for (std::size_t t = 0; t < rounds.size(); ++t) {
         residency.beginRound(static_cast<int>(t));
@@ -67,7 +73,8 @@ Orchestrator::run(const graph::Graph &graph) const
 {
     const auto start = std::chrono::steady_clock::now();
 
-    const engine::CostModel model(_system.engine, _system.dataflow);
+    const engine::CachedCostModel model(_system.engine,
+                                        _system.dataflow);
     OrchestratorResult result;
 
     // Stage 1: atomic tensor generation (Sec. IV-A). The iterative

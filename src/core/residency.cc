@@ -9,6 +9,10 @@ namespace {
 /// Key bit marking a weight resident (vs an atom ofmap).
 constexpr mem::ResidentKey kWeightTag = 1ULL << 62;
 
+/// Bits reserved for the slice (low) field of a weight key.
+constexpr int kSliceBits = 24;
+constexpr mem::ResidentKey kSliceMask = (1ULL << kSliceBits) - 1;
+
 } // namespace
 
 mem::ResidentKey
@@ -20,15 +24,22 @@ ResidencyTracker::atomKey(AtomId atom)
 mem::ResidentKey
 ResidencyTracker::weightKey(graph::LayerId layer, int slice)
 {
+    // The slice occupies the low kSliceBits; an out-of-range or negative
+    // slice OR-ed in unmasked would silently corrupt the layer field.
+    adAssert(layer >= 0, "weight key layer negative: ", layer);
+    adAssert(slice >= 0 &&
+                 static_cast<mem::ResidentKey>(slice) <= kSliceMask,
+             "weight key slice out of range: ", slice);
     return kWeightTag |
-           (static_cast<mem::ResidentKey>(layer) << 24) |
-           static_cast<mem::ResidentKey>(slice);
+           (static_cast<mem::ResidentKey>(layer) << kSliceBits) |
+           (static_cast<mem::ResidentKey>(slice) & kSliceMask);
 }
 
 graph::LayerId
 ResidencyTracker::layerOfWeightKey(mem::ResidentKey key)
 {
-    return static_cast<graph::LayerId>((key & ~kWeightTag) >> 24);
+    return static_cast<graph::LayerId>((key & ~kWeightTag) >>
+                                       kSliceBits);
 }
 
 ResidencyTracker::ResidencyTracker(const AtomicDag &dag, int engines,

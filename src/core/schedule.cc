@@ -4,6 +4,22 @@
 
 namespace ad::core {
 
+const char *
+schedModeName(SchedMode mode)
+{
+    switch (mode) {
+      case SchedMode::LayerOrder:
+        return "layer-order";
+      case SchedMode::LayerBatched:
+        return "layer-batched";
+      case SchedMode::Greedy:
+        return "greedy";
+      case SchedMode::Dp:
+        return "dp";
+    }
+    return "unknown";
+}
+
 ScheduleIndex::ScheduleIndex(const Schedule &schedule,
                              std::size_t atom_count)
     : _round(atom_count, -1), _engine(atom_count, -1)

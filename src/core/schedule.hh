@@ -12,6 +12,18 @@
 
 namespace ad::core {
 
+/** Scheduling algorithm selector (Fig. 10 ablation points). */
+enum class SchedMode {
+    LayerOrder,   ///< atoms in strict (sample, layer) order — no rules
+    LayerBatched, ///< (layer, sample) order: all samples share a layer's
+                  ///< weights before moving on (throughput-oriented)
+    Greedy,       ///< priority rules, no lookahead
+    Dp,           ///< priority rules + bounded DP lookahead (the paper's)
+};
+
+/** Short printable name of a scheduler mode. */
+const char *schedModeName(SchedMode mode);
+
 /** One atom bound to one engine within a Round. */
 struct Placement
 {
@@ -29,6 +41,14 @@ struct Round
 struct Schedule
 {
     std::vector<Round> rounds;
+
+    /**
+     * The mode that actually produced the rounds. May differ from the
+     * requested SchedulerOptions::mode: DpScheduler downgrades Dp to
+     * Greedy above dpAtomLimit, and benchmarks must report the scheduler
+     * that really ran.
+     */
+    SchedMode mode = SchedMode::Dp;
 
     /** Total placements across rounds. */
     std::size_t

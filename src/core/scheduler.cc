@@ -4,6 +4,9 @@
 #include <limits>
 #include <set>
 
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
 namespace ad::core {
 
 namespace {
@@ -77,6 +80,10 @@ class SchedState
         Cycles makespan = 0;
         double hbm_bytes = 0.0;
         double noc_bytes = 0.0;
+        // (layer, sample) keys whose weight fetch this combo already
+        // pays: a combo starting N atoms of one key fetches the layer's
+        // weights once, not N times.
+        std::vector<std::int64_t> started;
         for (AtomId a : combo) {
             makespan = std::max(
                 makespan, (*_cycles)[static_cast<std::size_t>(a)]);
@@ -93,11 +100,17 @@ class SchedState
                     hbm_bytes += bytes;
                 }
             }
-            // Weight first-touch for a layer not yet started this sample.
+            // Weight first-touch for a layer not yet started this
+            // sample, charged once per key within the combo.
             const Atom &atom = _dag->atom(a);
-            if (_scheduledPerKey[keyOf(atom)] == 0)
+            const std::int64_t key = keyOf(atom);
+            if (_scheduledPerKey[static_cast<std::size_t>(key)] == 0 &&
+                std::find(started.begin(), started.end(), key) ==
+                    started.end()) {
+                started.push_back(key);
                 hbm_bytes +=
                     static_cast<double>(_dag->weightBytes(a));
+            }
             if (_dag->readsExternalInput(a)) {
                 hbm_bytes += static_cast<double>(
                     _dag->workload(a).ifmapBytes());
@@ -444,15 +457,26 @@ dpSearch(SchedState &state, int depth, int engines,
 DpScheduler::DpScheduler(const AtomicDag &dag,
                          const engine::CostModel &model,
                          SchedulerOptions options)
-    : _dag(&dag), _options(options)
+    : _dag(&dag), _options(options), _effectiveMode(options.mode)
 {
     if (_options.engines <= 0)
         fatal("scheduler requires a positive engine count");
-    _cycles.resize(dag.size());
-    for (const Atom &a : dag.atoms()) {
-        _cycles[static_cast<std::size_t>(a.id)] =
-            model.cycles(dag.workload(a.id));
+    if (_options.mode == SchedMode::Dp &&
+        dag.size() > _options.dpAtomLimit) {
+        // The lookahead recursion cost dominates any gain at this size.
+        _effectiveMode = SchedMode::Greedy;
+        warn("DpScheduler: DAG of ", dag.size(),
+             " atoms exceeds dpAtomLimit=", _options.dpAtomLimit,
+             "; falling back to greedy priority rules");
     }
+    // Atom costing is independent per atom (the cost model is pure), so
+    // the precompute fans out; each index writes only its own slot.
+    _cycles.resize(dag.size());
+    util::ThreadPool::global().parallelFor(
+        dag.size(), [&](std::size_t i) {
+            _cycles[i] = model.cycles(
+                dag.workload(static_cast<AtomId>(i)));
+        });
 }
 
 Cycles
@@ -469,9 +493,7 @@ DpScheduler::schedule() const
     SchedState state(*_dag, _cycles, _options);
     RoundList rounds;
 
-    SchedMode mode = _options.mode;
-    if (mode == SchedMode::Dp && _dag->size() > _options.dpAtomLimit)
-        mode = SchedMode::Greedy; // lookahead cost dominates at this size
+    const SchedMode mode = _effectiveMode;
 
     while (!state.done()) {
         std::vector<AtomId> combo;

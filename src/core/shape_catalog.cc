@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hh"
+
 namespace ad::core {
 
 using engine::DataflowKind;
@@ -14,11 +16,17 @@ ShapeCatalog::ShapeCatalog(const graph::Graph &graph,
     : _graph(&graph), _model(&model), _options(options)
 {
     _catalog.resize(graph.size());
+    // Candidate enumeration is independent per layer: buildLayer only
+    // reads the (pure) cost model and writes its own _catalog slot.
+    std::vector<const graph::Layer *> todo;
+    todo.reserve(graph.size());
     for (const graph::Layer &layer : graph.layers()) {
         if (layer.type == OpType::Input || layer.type == OpType::Concat)
             continue;
-        buildLayer(layer);
+        todo.push_back(&layer);
     }
+    util::ThreadPool::global().parallelFor(
+        todo.size(), [&](std::size_t i) { buildLayer(*todo[i]); });
 }
 
 std::vector<int>

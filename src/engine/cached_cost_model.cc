@@ -1,0 +1,179 @@
+#include "cached_cost_model.hh"
+
+#include <array>
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace ad::engine {
+
+namespace {
+
+/** FNV-1a over the integer fields of a workload. */
+inline std::uint64_t
+mix(std::uint64_t h, std::uint64_t v)
+{
+    h ^= v;
+    return h * 1099511628211ULL;
+}
+
+/**
+ * Exact textual identity of an engine configuration + dataflow. Two
+ * models with the same key produce identical CostResults for every
+ * workload, so they may share one memo store.
+ */
+std::string
+storeKey(const EngineConfig &c, DataflowKind kind)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << c.peRows << '/' << c.peCols << '/' << c.freqGhz << '/'
+       << c.bufferBytes << '/' << c.bufferPortBits << '/'
+       << c.bytesPerElem << '/' << c.vectorLanes << '/'
+       << c.configCycles << '/' << c.reconfigCycles << '/'
+       << c.macEnergyPj << '/' << c.sramReadPjPerBit << '/'
+       << c.sramWritePjPerBit << '/' << c.staticPowerMw << '/'
+       << static_cast<int>(kind);
+    return os.str();
+}
+
+} // namespace
+
+std::size_t
+AtomWorkloadHash::operator()(const AtomWorkload &atom) const
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    h = mix(h, static_cast<std::uint64_t>(atom.type));
+    h = mix(h, static_cast<std::uint64_t>(atom.h));
+    h = mix(h, static_cast<std::uint64_t>(atom.w));
+    h = mix(h, static_cast<std::uint64_t>(atom.ci));
+    h = mix(h, static_cast<std::uint64_t>(atom.co));
+    h = mix(h, static_cast<std::uint64_t>(atom.window.kh));
+    h = mix(h, static_cast<std::uint64_t>(atom.window.kw));
+    h = mix(h, static_cast<std::uint64_t>(atom.window.strideH));
+    h = mix(h, static_cast<std::uint64_t>(atom.window.strideW));
+    h = mix(h, static_cast<std::uint64_t>(atom.window.padH));
+    h = mix(h, static_cast<std::uint64_t>(atom.window.padW));
+    return static_cast<std::size_t>(h);
+}
+
+/**
+ * Sharded memo table. Shard count trades lock contention against
+ * footprint; lookups hash once and reuse the hash for both shard choice
+ * and the unordered_map probe.
+ */
+struct CachedCostModel::Store
+{
+    static constexpr std::size_t kShards = 64;
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<AtomWorkload, CostResult, AtomWorkloadHash>
+            map;
+    };
+
+    std::array<Shard, kShards> shards;
+    mutable std::atomic<std::uint64_t> hits{0};
+    mutable std::atomic<std::uint64_t> misses{0};
+};
+
+namespace {
+
+std::mutex gStoresMu;
+std::map<std::string, std::shared_ptr<CachedCostModel::Store>> *gStores;
+
+std::shared_ptr<CachedCostModel::Store>
+sharedStore(const EngineConfig &config, DataflowKind kind)
+{
+    std::lock_guard<std::mutex> lk(gStoresMu);
+    if (!gStores) {
+        gStores = new std::map<
+            std::string, std::shared_ptr<CachedCostModel::Store>>();
+    }
+    auto &slot = (*gStores)[storeKey(config, kind)];
+    if (!slot)
+        slot = std::make_shared<CachedCostModel::Store>();
+    return slot;
+}
+
+} // namespace
+
+CachedCostModel::CachedCostModel(const EngineConfig &config,
+                                 DataflowKind kind)
+    : CostModel(config, kind), _store(sharedStore(this->config(), kind))
+{
+    // Note: this->config() (the validated copy) keys the store, so two
+    // models built from configs that validate to the same state share.
+}
+
+CostResult
+CachedCostModel::evaluate(const AtomWorkload &atom) const
+{
+    const std::size_t h = AtomWorkloadHash{}(atom);
+    auto &shard = _store->shards[h % Store::kShards];
+    {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        auto it = shard.map.find(atom);
+        if (it != shard.map.end()) {
+            _store->hits.fetch_add(1, std::memory_order_relaxed);
+            return it->second;
+        }
+    }
+    // Compute outside the lock: evaluation is pure, so a racing
+    // duplicate miss produces the identical value.
+    const CostResult r = CostModel::evaluate(atom);
+    {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        shard.map.emplace(atom, r);
+    }
+    _store->misses.fetch_add(1, std::memory_order_relaxed);
+    return r;
+}
+
+Cycles
+CachedCostModel::cycles(const AtomWorkload &atom) const
+{
+    return evaluate(atom).cycles;
+}
+
+double
+CachedCostModel::utilization(const AtomWorkload &atom) const
+{
+    return evaluate(atom).utilization;
+}
+
+std::uint64_t
+CachedCostModel::hits() const
+{
+    return _store->hits.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+CachedCostModel::misses() const
+{
+    return _store->misses.load(std::memory_order_relaxed);
+}
+
+std::size_t
+CachedCostModel::size() const
+{
+    std::size_t n = 0;
+    for (const auto &shard : _store->shards) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        n += shard.map.size();
+    }
+    return n;
+}
+
+void
+CachedCostModel::clearSharedStores()
+{
+    std::lock_guard<std::mutex> lk(gStoresMu);
+    if (gStores)
+        gStores->clear();
+}
+
+} // namespace ad::engine

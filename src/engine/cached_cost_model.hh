@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Thread-safe memoization wrapper around the analytical cost model.
+ *
+ * The paper treats `Cycle(Atom)` as a pure black-box oracle, which makes
+ * it trivially cacheable: two AtomWorkloads with equal tile dimensions and
+ * operator parameters cost exactly the same on a given (engine config,
+ * dataflow). The cache stores the full CostResult keyed on a canonical
+ * hash of the workload, and every CachedCostModel built for the same
+ * configuration shares one process-wide store — so hits accumulate across
+ * SA candidates, scheduler construction, the mapping pass, the simulator,
+ * and the baselines.
+ *
+ * Because the wrapped evaluation is pure, a concurrent duplicate miss
+ * computes the identical value; results are bit-identical to the uncached
+ * model for any thread count.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "engine/cost_model.hh"
+
+namespace ad::engine {
+
+/** Canonical hash over every field that determines a workload's cost. */
+struct AtomWorkloadHash
+{
+    std::size_t operator()(const AtomWorkload &atom) const;
+};
+
+/** Memoizing CostModel; safe for concurrent lookups. */
+class CachedCostModel : public CostModel
+{
+  public:
+    /**
+     * Build a cached model for @p config / @p kind. Instances with an
+     * identical configuration attach to the same shared store.
+     */
+    CachedCostModel(const EngineConfig &config, DataflowKind kind);
+
+    CostResult evaluate(const AtomWorkload &atom) const override;
+    Cycles cycles(const AtomWorkload &atom) const override;
+    double utilization(const AtomWorkload &atom) const override;
+
+    /** Cache hits observed through this store (all attached models). */
+    std::uint64_t hits() const;
+
+    /** Cache misses (= distinct workloads evaluated, up to races). */
+    std::uint64_t misses() const;
+
+    /** Workloads currently memoized in this store. */
+    std::size_t size() const;
+
+    /** Drop every shared store (test isolation / memory hygiene). */
+    static void clearSharedStores();
+
+    /** Opaque shared memo store (defined in the implementation). */
+    struct Store;
+
+  private:
+    std::shared_ptr<Store> _store;
+};
+
+} // namespace ad::engine

@@ -48,6 +48,9 @@ struct AtomWorkload
 
     /** Weight bytes this slice needs resident. */
     Bytes weightBytes(int bytes_per_elem = 1) const;
+
+    /** Structural equality — the cache key identity of a workload. */
+    bool operator==(const AtomWorkload &) const = default;
 };
 
 /** Cost-model output for one atom on one engine. */
@@ -83,14 +86,16 @@ class CostModel
     /** Build a model for @p config executing with dataflow @p kind. */
     CostModel(const EngineConfig &config, DataflowKind kind);
 
+    virtual ~CostModel() = default;
+
     /** Full evaluation of @p atom. */
-    CostResult evaluate(const AtomWorkload &atom) const;
+    virtual CostResult evaluate(const AtomWorkload &atom) const;
 
     /** Execution cycles only (the paper's `Cycle()`; cached-friendly). */
-    Cycles cycles(const AtomWorkload &atom) const;
+    virtual Cycles cycles(const AtomWorkload &atom) const;
 
     /** PE utilization of @p atom in [0, 1]; 0 for non-MAC ops. */
-    double utilization(const AtomWorkload &atom) const;
+    virtual double utilization(const AtomWorkload &atom) const;
 
     /** Engine configuration this model describes. */
     const EngineConfig &config() const { return _config; }

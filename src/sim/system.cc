@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "engine/cached_cost_model.hh"
+
 namespace ad::sim {
 
 using core::AtomicDag;
@@ -59,7 +61,8 @@ SystemSimulator::execute(const AtomicDag &dag,
                          const Schedule &schedule) const
 {
     const int num_engines = _config.engines();
-    const engine::CostModel cost(_config.engine, _config.dataflow);
+    const engine::CachedCostModel cost(_config.engine,
+                                       _config.dataflow);
     const noc::MeshTopology topo(_config.meshX, _config.meshY);
     const noc::NocModel noc_model(topo, _config.noc);
     mem::HbmModel hbm(_config.hbm);

@@ -1,0 +1,166 @@
+#include "thread_pool.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "util/common.hh"
+
+namespace ad::util {
+
+namespace {
+
+/** True on threads currently executing pool work (workers, or the
+ * submitting thread while it runs its share): nested parallelFor calls
+ * from such threads execute inline. */
+thread_local bool tlsInPool = false;
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("AD_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+std::mutex gGlobalMu;
+int gGlobalThreads = 0; ///< 0 = derive from environment/hardware
+std::unique_ptr<ThreadPool> gGlobalPool;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads)
+    : _threads(threads > 1 ? threads : 1)
+{
+    _workers.reserve(static_cast<std::size_t>(_threads - 1));
+    for (int i = 1; i < _threads; ++i)
+        _workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        _stop = true;
+    }
+    _wake.notify_all();
+    for (std::thread &t : _workers)
+        t.join();
+}
+
+void
+ThreadPool::runShare(Job &job)
+{
+    for (;;) {
+        const std::size_t i =
+            job.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= job.n)
+            return;
+        try {
+            (*job.fn)(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lk(_mu);
+            if (!job.error)
+                job.error = std::current_exception();
+            // Abandon remaining indices; in-flight ones finish.
+            job.next.store(job.n, std::memory_order_relaxed);
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsInPool = true;
+    std::uint64_t last_job = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(_mu);
+            _wake.wait(lk, [&] {
+                return _stop || (_job != nullptr && _job->id != last_job);
+            });
+            if (_stop)
+                return;
+            job = _job;
+            last_job = job->id;
+        }
+        runShare(*job);
+        {
+            std::lock_guard<std::mutex> lk(_mu);
+            adAssert(job->active > 0, "thread pool join underflow");
+            if (--job->active == 0)
+                _done.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::parallelFor(std::size_t n,
+                        const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (_threads <= 1 || n == 1 || tlsInPool) {
+        // Inline execution: single-threaded pool, trivial region, or a
+        // nested call from inside a parallel region.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::lock_guard<std::mutex> submit(_submitMu);
+    Job job;
+    job.fn = &fn;
+    job.n = n;
+    {
+        std::lock_guard<std::mutex> lk(_mu);
+        job.active = _workers.size();
+        job.id = ++_jobCounter;
+        _job = &job;
+    }
+    _wake.notify_all();
+
+    tlsInPool = true;
+    runShare(job);
+    tlsInPool = false;
+
+    {
+        std::unique_lock<std::mutex> lk(_mu);
+        _done.wait(lk, [&] { return job.active == 0; });
+        _job = nullptr;
+    }
+    if (job.error)
+        std::rethrow_exception(job.error);
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(gGlobalMu);
+    if (!gGlobalPool) {
+        const int n =
+            gGlobalThreads > 0 ? gGlobalThreads : defaultThreadCount();
+        gGlobalPool = std::make_unique<ThreadPool>(n);
+    }
+    return *gGlobalPool;
+}
+
+void
+ThreadPool::setGlobalThreads(int n)
+{
+    std::lock_guard<std::mutex> lk(gGlobalMu);
+    gGlobalThreads = n > 0 ? n : 0;
+    gGlobalPool.reset(); // lazily rebuilt at the requested size
+}
+
+int
+ThreadPool::globalThreads()
+{
+    return global().threads();
+}
+
+} // namespace ad::util

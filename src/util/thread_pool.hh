@@ -1,0 +1,107 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal deterministic fork-join thread pool for the compile-time
+ * search stages.
+ *
+ * The orchestration search is side-effect-free per work item (atom
+ * costing, per-layer catalog enumeration, independent strategy runs), so
+ * the pool only offers a fork-join @c parallelFor / @c parallelMap: each
+ * index writes its own result slot and every reduction happens
+ * sequentially in index order afterwards. Results are therefore
+ * bit-identical for any thread count, including 1.
+ *
+ * Nested calls (a pool worker invoking parallelFor again) execute inline
+ * on the calling thread — no deadlock, same results.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ad::util {
+
+/** Fork-join worker pool; one process-wide instance via global(). */
+class ThreadPool
+{
+  public:
+    /** Create a pool running work on @p threads threads (including the
+     * calling thread); @p threads <= 1 means fully inline execution. */
+    explicit ThreadPool(int threads);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of threads that execute work (>= 1). */
+    int threads() const { return _threads; }
+
+    /**
+     * Run @p fn(i) for every i in [0, n), blocking until all complete.
+     * Indices are claimed dynamically, so @p fn must only write state
+     * owned by its index. The first exception thrown by any index is
+     * rethrown here after the join.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /** parallelFor collecting fn(i) into a result vector (index order —
+     * deterministic for any thread count). */
+    template <typename T, typename Fn>
+    std::vector<T>
+    parallelMap(std::size_t n, Fn &&fn)
+    {
+        std::vector<T> out(n);
+        parallelFor(n,
+                    [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+    /** The process-wide pool. Sized by setGlobalThreads() when called
+     * first, else by the AD_THREADS environment variable, else by
+     * std::thread::hardware_concurrency(). */
+    static ThreadPool &global();
+
+    /** Size the global pool to @p n threads (<= 0 restores the
+     * environment/hardware default). Recreates the pool; call before or
+     * between parallel regions, not during one. */
+    static void setGlobalThreads(int n);
+
+    /** Thread count of the global pool. */
+    static int globalThreads();
+
+  private:
+    /** One fork-join region in flight. */
+    struct Job
+    {
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::size_t n = 0;
+        std::atomic<std::size_t> next{0};
+        std::size_t active = 0;     ///< workers not yet done (under _mu)
+        std::exception_ptr error;   ///< first failure (under _mu)
+        std::uint64_t id = 0;
+    };
+
+    void workerLoop();
+    void runShare(Job &job);
+
+    int _threads;
+    std::vector<std::thread> _workers;
+
+    std::mutex _submitMu; ///< serializes top-level parallelFor calls
+    std::mutex _mu;
+    std::condition_variable _wake;
+    std::condition_variable _done;
+    Job *_job = nullptr;
+    std::uint64_t _jobCounter = 0;
+    bool _stop = false;
+};
+
+} // namespace ad::util

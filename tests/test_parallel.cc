@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Concurrency tests: the fork-join thread pool, the memoized cost model,
+ * and end-to-end determinism of the parallel orchestration — results
+ * must be bit-identical for any thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "baselines/il_pipe.hh"
+#include "core/orchestrator.hh"
+#include "core/partition.hh"
+#include "engine/cached_cost_model.hh"
+#include "models/models.hh"
+#include "util/thread_pool.hh"
+
+namespace ad {
+namespace {
+
+using engine::CachedCostModel;
+using engine::CostModel;
+using engine::CostResult;
+using engine::DataflowKind;
+using engine::EngineConfig;
+using util::ThreadPool;
+
+/** Restores the global pool to its default size on scope exit. */
+struct GlobalThreadsGuard
+{
+    ~GlobalThreadsGuard() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST(ThreadPool, MapMatchesSerialForAnyThreadCount)
+{
+    const std::size_t n = 1000;
+    std::vector<std::uint64_t> expected(n);
+    for (std::size_t i = 0; i < n; ++i)
+        expected[i] = i * i + 7;
+    for (int threads : {1, 2, 4, 16}) {
+        ThreadPool pool(threads);
+        const auto got = pool.parallelMap<std::uint64_t>(
+            n, [](std::size_t i) { return i * i + 7; });
+        EXPECT_EQ(got, expected) << "threads=" << threads;
+    }
+}
+
+TEST(ThreadPool, ForVisitsEveryIndexExactlyOnce)
+{
+    const std::size_t n = 4096;
+    std::vector<std::atomic<int>> visits(n);
+    ThreadPool pool(8);
+    pool.parallelFor(n, [&](std::size_t i) { visits[i]++; });
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPool, EmptyAndSingleItemRegions)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(0, [](std::size_t) { FAIL() << "called on n=0"; });
+    const auto one =
+        pool.parallelMap<int>(1, [](std::size_t) { return 42; });
+    EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(pool.parallelFor(100,
+                                  [](std::size_t i) {
+                                      if (i == 37)
+                                          panic("index ", i);
+                                  }),
+                 InternalError);
+    // The pool survives a failed region and accepts new work.
+    const auto after =
+        pool.parallelMap<std::size_t>(8, [](std::size_t i) { return i; });
+    EXPECT_EQ(after.size(), 8u);
+}
+
+TEST(ThreadPool, NestedRegionsRunInline)
+{
+    // A worker calling parallelFor again must not deadlock waiting for
+    // the pool it occupies; nested regions execute inline.
+    ThreadPool pool(4);
+    std::vector<std::uint64_t> sums(16, 0);
+    pool.parallelFor(16, [&](std::size_t i) {
+        std::vector<std::uint64_t> inner(32);
+        ThreadPool::global().parallelFor(
+            32, [&](std::size_t j) { inner[j] = i * 100 + j; });
+        sums[i] = std::accumulate(inner.begin(), inner.end(),
+                                  std::uint64_t{0});
+    });
+    for (std::size_t i = 0; i < 16; ++i)
+        EXPECT_EQ(sums[i], i * 100 * 32 + 31 * 32 / 2);
+}
+
+TEST(ThreadPool, GlobalPoolResizes)
+{
+    GlobalThreadsGuard guard;
+    ThreadPool::setGlobalThreads(3);
+    EXPECT_EQ(ThreadPool::globalThreads(), 3);
+    EXPECT_EQ(ThreadPool::global().threads(), 3);
+    ThreadPool::setGlobalThreads(0); // restore the default
+    EXPECT_GE(ThreadPool::globalThreads(), 1);
+}
+
+TEST(CachedCostModel, BitIdenticalToUncachedModel)
+{
+    CachedCostModel::clearSharedStores();
+    const EngineConfig config;
+    for (DataflowKind kind :
+         {DataflowKind::KcPartition, DataflowKind::YxPartition}) {
+        const CostModel plain(config, kind);
+        const CachedCostModel cached(config, kind);
+        const graph::Graph g = models::tinyBranchy();
+        const core::AtomicDag dag(g, core::evenPartitionShapes(g, 4));
+        for (const core::Atom &a : dag.atoms()) {
+            const auto w = dag.workload(a.id);
+            const CostResult expect = plain.evaluate(w);
+            for (int round = 0; round < 2; ++round) { // miss, then hit
+                const CostResult got = cached.evaluate(w);
+                EXPECT_EQ(got.cycles, expect.cycles);
+                EXPECT_EQ(got.computeCycles, expect.computeCycles);
+                EXPECT_EQ(got.utilization, expect.utilization);
+                EXPECT_EQ(got.macs, expect.macs);
+                EXPECT_EQ(got.ifmapBytes, expect.ifmapBytes);
+                EXPECT_EQ(got.weightBytes, expect.weightBytes);
+                EXPECT_EQ(got.ofmapBytes, expect.ofmapBytes);
+                EXPECT_EQ(got.sramReadBytes, expect.sramReadBytes);
+                EXPECT_EQ(got.sramWriteBytes, expect.sramWriteBytes);
+                EXPECT_EQ(got.energyPj, expect.energyPj);
+            }
+            EXPECT_EQ(cached.cycles(w), plain.cycles(w));
+            EXPECT_EQ(cached.utilization(w), plain.utilization(w));
+        }
+    }
+}
+
+TEST(CachedCostModel, SharesStoreAcrossInstances)
+{
+    CachedCostModel::clearSharedStores();
+    const EngineConfig config;
+    const CachedCostModel first(config, DataflowKind::KcPartition);
+    engine::AtomWorkload w;
+    w.h = 14;
+    w.w = 14;
+    w.ci = 64;
+    w.co = 32;
+
+    first.evaluate(w);
+    EXPECT_EQ(first.misses(), 1u);
+    EXPECT_EQ(first.hits(), 0u);
+    first.evaluate(w);
+    EXPECT_EQ(first.hits(), 1u);
+    EXPECT_EQ(first.size(), 1u);
+
+    // A second model with the identical configuration attaches to the
+    // same store: its first lookup is already a hit.
+    const CachedCostModel second(config, DataflowKind::KcPartition);
+    second.evaluate(w);
+    EXPECT_EQ(second.hits(), 2u);
+    EXPECT_EQ(second.misses(), 1u);
+
+    // A different dataflow costs differently and must not share.
+    const CachedCostModel other(config, DataflowKind::YxPartition);
+    other.evaluate(w);
+    EXPECT_EQ(other.misses(), 1u);
+    EXPECT_EQ(other.hits(), 0u);
+}
+
+TEST(CachedCostModel, UsableThroughBaseReference)
+{
+    CachedCostModel::clearSharedStores();
+    const EngineConfig config;
+    const CachedCostModel cached(config, DataflowKind::KcPartition);
+    const CostModel &base = cached; // how every call site consumes it
+    engine::AtomWorkload w;
+    w.h = 7;
+    w.w = 7;
+    w.ci = 16;
+    w.co = 16;
+    EXPECT_EQ(base.cycles(w),
+              CostModel(config, DataflowKind::KcPartition).cycles(w));
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 0u);
+    // Virtual dispatch reaches the memo again: the second call hits.
+    EXPECT_GT(base.utilization(w), 0.0);
+    EXPECT_EQ(cached.misses(), 1u);
+    EXPECT_EQ(cached.hits(), 1u);
+}
+
+/** Flatten a schedule to comparable (round, atom, engine) triples. */
+std::vector<std::tuple<int, core::AtomId, int>>
+flatten(const core::Schedule &schedule)
+{
+    std::vector<std::tuple<int, core::AtomId, int>> out;
+    for (std::size_t t = 0; t < schedule.rounds.size(); ++t)
+        for (const auto &p : schedule.rounds[t].placements)
+            out.emplace_back(static_cast<int>(t), p.atom, p.engine);
+    return out;
+}
+
+TEST(Determinism, ThreadCountInvariantOnResNet50)
+{
+    // The headline guarantee: --threads N is bit-identical to
+    // --threads 1 on a real network, end to end.
+    GlobalThreadsGuard guard;
+    const graph::Graph g = models::resnet50();
+    sim::SystemConfig sys; // default 8x8 mesh
+    core::OrchestratorOptions opts;
+    opts.batch = 1;
+    opts.sa.maxIterations = 80;
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial = core::Orchestrator(sys, opts).run(g);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel = core::Orchestrator(sys, opts).run(g);
+
+    EXPECT_EQ(serial.report.totalCycles, parallel.report.totalCycles);
+    EXPECT_EQ(serial.report.rounds, parallel.report.rounds);
+    EXPECT_EQ(serial.report.hbmReadBytes, parallel.report.hbmReadBytes);
+    EXPECT_EQ(serial.report.nocBytes, parallel.report.nocBytes);
+    EXPECT_EQ(serial.schedule.mode, parallel.schedule.mode);
+    EXPECT_EQ(flatten(serial.schedule), flatten(parallel.schedule));
+}
+
+TEST(Determinism, ThreadCountInvariantInBaselines)
+{
+    GlobalThreadsGuard guard;
+    const graph::Graph g = models::tinyResidual();
+    sim::SystemConfig sys;
+    sys.meshX = 4;
+    sys.meshY = 4;
+    baselines::IlPipeOptions opts;
+    opts.batch = 4;
+
+    ThreadPool::setGlobalThreads(1);
+    const auto serial = baselines::IlPipe(sys, opts).run(g);
+    ThreadPool::setGlobalThreads(4);
+    const auto parallel = baselines::IlPipe(sys, opts).run(g);
+    EXPECT_EQ(serial.totalCycles, parallel.totalCycles);
+    EXPECT_EQ(serial.hbmReadBytes, parallel.hbmReadBytes);
+}
+
+} // namespace
+} // namespace ad

@@ -181,6 +181,25 @@ TEST(Residency, WeightFallbackParksOnRoomiestEngine)
     EXPECT_EQ(res.weightHolder(layer, 0), 1);
 }
 
+TEST(Residency, WeightKeyRangeChecked)
+{
+    // A slice outside the low 24 bits (or negative) would corrupt the
+    // layer field of the packed key; the tracker must panic instead.
+    Chain chain(3);
+    ResidencyTracker res(*chain.dag, 4, 4096);
+    res.attachSchedule({{0}, {1}, {2}});
+    const auto layer = chain.dag->atom(1).layer;
+    EXPECT_THROW(res.installWeights(layer, -1, 0, 64, 0),
+                 InternalError);
+    EXPECT_THROW(res.installWeights(layer, 1 << 24, 0, 64, 0),
+                 InternalError);
+    EXPECT_THROW(res.weightsResident(layer, 1 << 24, 0), InternalError);
+    // The largest representable slice round-trips to its layer.
+    res.installWeights(layer, (1 << 24) - 1, 2, 64, 0);
+    EXPECT_EQ(res.weightHolder(layer, (1 << 24) - 1), 2);
+    EXPECT_TRUE(res.weightsResident(layer, (1 << 24) - 1, 2));
+}
+
 TEST(Residency, EngineCountExposed)
 {
     Chain chain;

@@ -11,6 +11,7 @@
 #include "core/scheduler.hh"
 #include "core/partition.hh"
 #include "models/models.hh"
+#include "util/random.hh"
 
 namespace ad::core {
 namespace {
@@ -168,6 +169,97 @@ TEST(Scheduler, RejectsZeroEngines)
     SchedulerOptions opts;
     opts.engines = 0;
     EXPECT_THROW(DpScheduler(dag, model, opts), ConfigError);
+}
+
+namespace {
+
+/** Assert @p rounds covers @p dag exactly once in dependency order. */
+void
+expectValidSchedule(const AtomicDag &dag, const RoundList &rounds)
+{
+    std::set<AtomId> seen;
+    std::vector<int> round_of(dag.size(), -1);
+    for (std::size_t t = 0; t < rounds.size(); ++t) {
+        for (AtomId a : rounds[t]) {
+            EXPECT_TRUE(seen.insert(a).second) << "atom twice: " << a;
+            round_of[static_cast<std::size_t>(a)] = static_cast<int>(t);
+        }
+    }
+    EXPECT_EQ(seen.size(), dag.size());
+    for (const Atom &a : dag.atoms()) {
+        for (AtomId dep : dag.depsSpan(a.id)) {
+            EXPECT_LT(round_of[static_cast<std::size_t>(dep)],
+                      round_of[static_cast<std::size_t>(a.id)]);
+        }
+    }
+}
+
+} // namespace
+
+TEST(Scheduler, RandomizedRoundTripInvariant)
+{
+    // The DP search applies and undoes candidate combos on its mutable
+    // state; any missed undo would leak into later decisions. Exercise
+    // the public surface under randomized configurations: scheduling
+    // twice through the same instance and through a fresh instance must
+    // agree (the search left no state behind), and every result must
+    // satisfy the coverage/dependency invariants.
+    const std::vector<SchedMode> modes{
+        SchedMode::LayerOrder, SchedMode::LayerBatched, SchedMode::Greedy,
+        SchedMode::Dp};
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+        Rng rng(seed * 977);
+        const graph::Graph g = (seed % 2) != 0 ? models::tinyBranchy()
+                                               : models::tinyResidual();
+        AtomicDagOptions dopts;
+        dopts.batch = static_cast<int>(rng.uniformInt(1, 3));
+        const int parts = static_cast<int>(rng.uniformInt(1, 8));
+        const AtomicDag dag(g, evenPartitionShapes(g, parts), dopts);
+        const CostModel model(EngineConfig{}, DataflowKind::KcPartition);
+
+        SchedulerOptions opts;
+        opts.engines = static_cast<int>(rng.uniformInt(2, 16));
+        opts.mode =
+            modes[static_cast<std::size_t>(rng.uniformInt(0, 3))];
+        opts.lookaheadDepth = static_cast<int>(rng.uniformInt(1, 3));
+
+        const DpScheduler sched(dag, model, opts);
+        const RoundList first = sched.schedule();
+        const RoundList second = sched.schedule();
+        EXPECT_EQ(first, second) << "state leaked across runs, seed "
+                                 << seed;
+        EXPECT_EQ(first, DpScheduler(dag, model, opts).schedule())
+            << "fresh instance diverged, seed " << seed;
+        expectValidSchedule(dag, first);
+    }
+}
+
+TEST(Scheduler, DpDowngradeRecordsEffectiveMode)
+{
+    const graph::Graph g = models::tinyBranchy();
+    const CostModel model(EngineConfig{}, DataflowKind::KcPartition);
+    const AtomicDag dag(g, evenPartitionShapes(g, 8));
+    SchedulerOptions opts;
+    opts.engines = 4;
+    opts.mode = SchedMode::Dp;
+    opts.dpAtomLimit = 1; // force the fallback
+    const DpScheduler sched(dag, model, opts);
+    EXPECT_EQ(sched.effectiveMode(), SchedMode::Greedy);
+
+    // The downgraded result is exactly the greedy schedule, and valid.
+    SchedulerOptions greedy = opts;
+    greedy.mode = SchedMode::Greedy;
+    const RoundList rounds = sched.schedule();
+    EXPECT_EQ(rounds, DpScheduler(dag, model, greedy).schedule());
+    expectValidSchedule(dag, rounds);
+
+    // Within the limit the request sticks.
+    SchedulerOptions within = opts;
+    within.dpAtomLimit = 150'000;
+    EXPECT_EQ(DpScheduler(dag, model, within).effectiveMode(),
+              SchedMode::Dp);
+    EXPECT_STREQ(schedModeName(SchedMode::Greedy), "greedy");
+    EXPECT_STREQ(schedModeName(SchedMode::Dp), "dp");
 }
 
 TEST(Scheduler, LayerBatchedGroupsSamplesPerLayer)

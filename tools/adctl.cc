@@ -17,6 +17,8 @@
  *   --buffer KIB     per-engine buffer (default 128)
  *   --dataflow D     kc | yx | flex (default kc)
  *   --sched S        dp | greedy | layer | batched (default dp)
+ *   --threads N      worker threads (default: AD_THREADS, else cores;
+ *                    results are identical for any value)
  *   --no-reuse       disable distributed-buffer reuse
  */
 
@@ -34,6 +36,7 @@
 #include "models/models.hh"
 #include "sim/trace.hh"
 #include "util/table.hh"
+#include "util/thread_pool.hh"
 
 namespace {
 
@@ -71,6 +74,14 @@ option(const Args &args, const std::string &key,
 {
     auto it = args.options.find(key);
     return it == args.options.end() ? fallback : it->second;
+}
+
+void
+applyThreads(const Args &args)
+{
+    const std::string threads = option(args, "threads", "");
+    if (!threads.empty())
+        ad::util::ThreadPool::setGlobalThreads(std::atoi(threads.c_str()));
 }
 
 std::pair<int, int>
@@ -200,25 +211,48 @@ cmdCompare(const Args &args)
     ad::TextTable table;
     table.setHeader({"strategy", "cycles", "fps", "PE util", "reuse",
                      "energy(mJ)"});
-    auto row = [&](const char *name, const ad::sim::ExecutionReport &r) {
-        table.addRow({name, std::to_string(r.totalCycles),
+
+    // Each strategy builds independent state over the shared read-only
+    // graph, so the four runs fan out across the pool.
+    const std::vector<const char *> names{"LS", "CNN-P", "IL-Pipe", "AD"};
+    const auto reports =
+        ad::util::ThreadPool::global()
+            .parallelMap<ad::sim::ExecutionReport>(
+                names.size(), [&](std::size_t i) {
+                    switch (i) {
+                    case 0: {
+                        ad::baselines::LsOptions ls;
+                        ls.batch = batch;
+                        return ad::baselines::LayerSequential(system, ls)
+                            .run(graph);
+                    }
+                    case 1: {
+                        ad::baselines::CnnPOptions cnnp;
+                        cnnp.batch = batch;
+                        return ad::baselines::CnnPartition(system, cnnp)
+                            .run(graph);
+                    }
+                    case 2: {
+                        ad::baselines::IlPipeOptions pipe;
+                        pipe.batch = batch;
+                        return ad::baselines::IlPipe(system, pipe)
+                            .run(graph);
+                    }
+                    default:
+                        return ad::core::Orchestrator(
+                                   system, orchestratorFrom(args))
+                            .run(graph)
+                            .report;
+                    }
+                });
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &r = reports[i];
+        table.addRow({names[i], std::to_string(r.totalCycles),
                       ad::fmtDouble(r.throughputFps(freq), 1),
                       ad::fmtPercent(r.peUtilization),
                       ad::fmtPercent(r.onChipReuseRatio),
                       ad::fmtDouble(r.totalEnergyMj(), 1)});
-    };
-    ad::baselines::LsOptions ls;
-    ls.batch = batch;
-    row("LS", ad::baselines::LayerSequential(system, ls).run(graph));
-    ad::baselines::CnnPOptions cnnp;
-    cnnp.batch = batch;
-    row("CNN-P", ad::baselines::CnnPartition(system, cnnp).run(graph));
-    ad::baselines::IlPipeOptions pipe;
-    pipe.batch = batch;
-    row("IL-Pipe", ad::baselines::IlPipe(system, pipe).run(graph));
-    row("AD", ad::core::Orchestrator(system, orchestratorFrom(args))
-                  .run(graph)
-                  .report);
+    }
     std::cout << table.render();
     return 0;
 }
@@ -268,6 +302,7 @@ main(int argc, char **argv)
 {
     try {
         const Args args = parse(argc, argv);
+        applyThreads(args);
         if (args.command == "models")
             return cmdModels();
         if (args.command == "run")
