@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# The full validation gate (DESIGN.md Sec. 9):
+#   1. tier-1: Release build + the complete ctest suite;
+#   2. adctl validate over every Table-I zoo model;
+#   3. the differential-oracle and fuzz suites rebuilt and re-run under
+#      AddressSanitizer and UndefinedBehaviorSanitizer.
+#
+# Usage: scripts/check_all.sh [jobs]
+#   jobs  parallel build jobs, defaults to nproc
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="${1:-$(nproc)}"
+
+echo "== tier 1: Release build + full test suite =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure
+
+echo "== adctl validate: all Table-I zoo models =="
+for model in vgg19 resnet50 resnet152 resnet1001 inception_v3 \
+             nasnet pnasnet efficientnet; do
+    ./build/tools/adctl validate --network "$model"
+done
+./build/tools/adctl validate --network random --seed 1
+
+# The check/fuzz suites exercise the new-code surface; sanitizers catch
+# what asserts cannot (OOB in the counting loops, UB in the bitmask
+# enumeration, leaks in the report plumbing).
+SAN_FILTER="Reference|BruteForce|Conservation|Validation|Fuzz|TableOne"
+for san in address undefined; do
+    echo "== check/fuzz suites under -fsanitize=$san =="
+    cmake -B "build-$san" -S . \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DAD_SANITIZE="$san" \
+        -DAD_BUILD_BENCH=OFF -DAD_BUILD_EXAMPLES=OFF
+    cmake --build "build-$san" -j"$JOBS" \
+        --target test_check test_validation test_table1_golden test_fuzz
+    ctest --test-dir "build-$san" --output-on-failure -R "$SAN_FILTER"
+done
+
+echo "check_all: every gate passed"

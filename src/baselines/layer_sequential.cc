@@ -24,8 +24,8 @@ LayerSequential::LayerSequential(const sim::SystemConfig &system,
         std::clamp(_options.samplesInFlight, 1, _options.batch);
 }
 
-sim::ExecutionReport
-LayerSequential::run(const graph::Graph &graph) const
+LsPlan
+LayerSequential::plan(const graph::Graph &graph) const
 {
     const int engines = _system.engines();
     const int group = _options.samplesInFlight;
@@ -44,7 +44,7 @@ LayerSequential::run(const graph::Graph &graph) const
     core::AtomicDagOptions dag_options;
     dag_options.batch = _options.batch;
     dag_options.bytesPerElem = _system.engine.bytesPerElem;
-    AtomicDag dag(graph, shapes, dag_options);
+    auto dag = std::make_unique<AtomicDag>(graph, shapes, dag_options);
 
     // Zig-zag engine enumeration (naive placement, no optimization).
     const noc::MeshTopology topo(_system.meshX, _system.meshY);
@@ -68,7 +68,7 @@ LayerSequential::run(const graph::Graph &graph) const
         for (const graph::Layer &layer : graph.layers()) {
             std::vector<AtomId> pending;
             for (int s = g0; s < g1; ++s) {
-                const auto [lo, hi] = dag.layerAtoms(layer.id, s);
+                const auto [lo, hi] = dag->layerAtoms(layer.id, s);
                 for (AtomId a = lo; a != hi && lo != core::kNoAtom; ++a)
                     pending.push_back(a);
             }
@@ -87,8 +87,15 @@ LayerSequential::run(const graph::Graph &graph) const
         }
     }
 
+    return {std::move(dag), std::move(schedule)};
+}
+
+sim::ExecutionReport
+LayerSequential::run(const graph::Graph &graph) const
+{
+    const LsPlan p = plan(graph);
     const sim::SystemSimulator simulator(_system);
-    return simulator.execute(dag, schedule);
+    return simulator.execute(*p.dag, p.schedule);
 }
 
 std::vector<double>

@@ -23,12 +23,24 @@ struct LsOptions
     int samplesInFlight = 4;
 };
 
+/** The compile-time artifacts LS produces: the evenly-partitioned DAG
+ * and the strict layer-order schedule (exposed so validation tooling
+ * can audit them without re-deriving the LS conventions). */
+struct LsPlan
+{
+    std::unique_ptr<core::AtomicDag> dag;
+    core::Schedule schedule;
+};
+
 /** Layer-Sequential executor over the shared system simulator. */
 class LayerSequential
 {
   public:
     /** Create an executor for @p system. */
     LayerSequential(const sim::SystemConfig &system, LsOptions options);
+
+    /** Build the LS partition and schedule for @p graph. */
+    LsPlan plan(const graph::Graph &graph) const;
 
     /** Execute @p graph under LS scheduling. */
     sim::ExecutionReport run(const graph::Graph &graph) const;

@@ -11,8 +11,8 @@ RammerScheduler::RammerScheduler(const sim::SystemConfig &system,
         fatal("Rammer batch must be at least 1");
 }
 
-sim::ExecutionReport
-RammerScheduler::run(const graph::Graph &graph) const
+core::OrchestratorResult
+RammerScheduler::plan(const graph::Graph &graph) const
 {
     core::OrchestratorOptions options;
     options.batch = _batch;
@@ -28,7 +28,13 @@ RammerScheduler::run(const graph::Graph &graph) const
     options.mapper.stableOrder = false;
     options.onChipReuse = false;
     const core::Orchestrator orchestrator(_system, options);
-    return orchestrator.run(graph).report;
+    return orchestrator.run(graph);
+}
+
+sim::ExecutionReport
+RammerScheduler::run(const graph::Graph &graph) const
+{
+    return plan(graph).report;
 }
 
 } // namespace ad::baselines

@@ -24,6 +24,12 @@ class RammerScheduler
     /** Create an executor for @p system processing @p batch samples. */
     RammerScheduler(const sim::SystemConfig &system, int batch = 1);
 
+    /**
+     * Full orchestration result (DAG + schedule + report) so validation
+     * tooling can audit the rTask schedule, not just read the report.
+     */
+    core::OrchestratorResult plan(const graph::Graph &graph) const;
+
     /** Execute @p graph under rTask co-location scheduling. */
     sim::ExecutionReport run(const graph::Graph &graph) const;
 

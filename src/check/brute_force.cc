@@ -1,0 +1,136 @@
+#include "brute_force.hh"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+namespace ad::check {
+
+using core::AtomicDag;
+using core::AtomId;
+
+namespace {
+
+constexpr Cycles kInfCycles = std::numeric_limits<Cycles>::max();
+
+/** Memoized exhaustive search over the scheduled-set bitmask. */
+class Enumerator
+{
+  public:
+    Enumerator(const AtomicDag &dag, const std::vector<Cycles> &cycles,
+               int engines)
+        : _dag(&dag), _cycles(&cycles), _engines(engines),
+          _n(dag.size())
+    {
+        _bestCycles.assign(std::size_t{1} << _n, kInfCycles);
+        _bestRounds.assign(std::size_t{1} << _n, -1);
+    }
+
+    /** Min remaining (makespan, rounds) with @p mask already executed. */
+    std::pair<Cycles, int>
+    solve(std::uint32_t mask)
+    {
+        const std::uint32_t full =
+            (_n == 32) ? 0xFFFFFFFFu
+                       : ((std::uint32_t{1} << _n) - 1);
+        if (mask == full)
+            return {0, 0};
+        if (_bestCycles[mask] != kInfCycles)
+            return {_bestCycles[mask], _bestRounds[mask]};
+
+        // Ready set: unscheduled atoms whose producers all executed.
+        std::vector<AtomId> ready;
+        for (std::size_t a = 0; a < _n; ++a) {
+            if (mask & (std::uint32_t{1} << a))
+                continue;
+            bool ok = true;
+            for (AtomId dep :
+                 _dag->depsSpan(static_cast<AtomId>(a))) {
+                if (!(mask & (std::uint32_t{1}
+                              << static_cast<std::uint32_t>(dep)))) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                ready.push_back(static_cast<AtomId>(a));
+        }
+        adAssert(!ready.empty(), "brute force deadlock: cyclic DAG");
+
+        Cycles best_cycles = kInfCycles;
+        int best_rounds = std::numeric_limits<int>::max();
+        const std::uint32_t subsets = std::uint32_t{1}
+                                      << ready.size();
+        for (std::uint32_t pick = 1; pick < subsets; ++pick) {
+            if (std::popcount(pick) > _engines)
+                continue;
+            Cycles round_cost = 0;
+            std::uint32_t next = mask;
+            for (std::size_t i = 0; i < ready.size(); ++i) {
+                if (!(pick & (std::uint32_t{1} << i)))
+                    continue;
+                const auto a =
+                    static_cast<std::size_t>(ready[i]);
+                round_cost = std::max(round_cost, (*_cycles)[a]);
+                next |= std::uint32_t{1} << a;
+            }
+            const auto [rest_cycles, rest_rounds] = solve(next);
+            best_cycles =
+                std::min(best_cycles, round_cost + rest_cycles);
+            best_rounds = std::min(best_rounds, 1 + rest_rounds);
+        }
+        _bestCycles[mask] = best_cycles;
+        _bestRounds[mask] = best_rounds;
+        return {best_cycles, best_rounds};
+    }
+
+  private:
+    const AtomicDag *_dag;
+    const std::vector<Cycles> *_cycles;
+    int _engines;
+    std::size_t _n;
+    std::vector<Cycles> _bestCycles;
+    std::vector<int> _bestRounds;
+};
+
+} // namespace
+
+BruteForceResult
+bruteForceSchedule(const AtomicDag &dag,
+                   const std::vector<Cycles> &atom_cycles, int engines,
+                   std::size_t max_atoms)
+{
+    if (dag.size() > max_atoms || dag.size() > 20)
+        fatal("bruteForceSchedule: DAG of ", dag.size(),
+              " atoms exceeds the exhaustive-search limit of ",
+              std::min<std::size_t>(max_atoms, 20));
+    if (engines <= 0)
+        fatal("bruteForceSchedule requires a positive engine count");
+    adAssert(atom_cycles.size() == dag.size(),
+             "atom cycle vector does not cover the DAG");
+
+    Enumerator enumerator(dag, atom_cycles, engines);
+    const auto [cycles, rounds] = enumerator.solve(0);
+    BruteForceResult result;
+    result.optimalMakespan = cycles;
+    result.minRounds = rounds;
+    return result;
+}
+
+Cycles
+roundComputeMakespan(const core::RoundList &rounds,
+                     const std::vector<Cycles> &atom_cycles)
+{
+    Cycles total = 0;
+    for (const auto &round : rounds) {
+        Cycles slowest = 0;
+        for (AtomId a : round) {
+            slowest = std::max(
+                slowest, atom_cycles[static_cast<std::size_t>(a)]);
+        }
+        total += slowest;
+    }
+    return total;
+}
+
+} // namespace ad::check

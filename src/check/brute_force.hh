@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Exhaustive round-assignment oracle for tiny atomic DAGs.
+ *
+ * The production schedulers (DP lookahead, greedy priority rules, the
+ * layer-order ablations) prune the combination space; this oracle does
+ * not. For DAGs of at most ~10 atoms it enumerates every feasible
+ * sequence of synchronized Rounds — all subsets of the ready set, every
+ * Round — and returns the provably optimal compute makespan (sum over
+ * Rounds of the slowest member) and the minimum feasible Round count.
+ *
+ * These two numbers bound what any correct scheduler can do on the same
+ * DAG: no schedule may beat the optimal makespan or finish in fewer
+ * Rounds, and tests additionally pin how far above the optimum each
+ * production mode is allowed to land.
+ */
+
+#include <vector>
+
+#include "core/atomic_dag.hh"
+#include "core/scheduler.hh"
+
+namespace ad::check {
+
+/** Outcome of the exhaustive enumeration. */
+struct BruteForceResult
+{
+    Cycles optimalMakespan = 0; ///< min sum of per-Round max atom cycles
+    int minRounds = 0;          ///< fewest feasible synchronized Rounds
+};
+
+/**
+ * Enumerate all feasible Round assignments of @p dag on @p engines
+ * engines with per-atom costs @p atom_cycles (indexed by AtomId).
+ * Fatals when the DAG exceeds @p max_atoms (the state space is 2^atoms).
+ */
+BruteForceResult bruteForceSchedule(
+    const core::AtomicDag &dag, const std::vector<Cycles> &atom_cycles,
+    int engines, std::size_t max_atoms = 12);
+
+/**
+ * Compute makespan of a Round sequence under the synchronized-Round
+ * timing rule: each Round costs its slowest member, communication
+ * ignored. This is the quantity bruteForceSchedule() minimizes.
+ */
+Cycles roundComputeMakespan(const core::RoundList &rounds,
+                            const std::vector<Cycles> &atom_cycles);
+
+} // namespace ad::check

@@ -1,0 +1,130 @@
+#include "conservation.hh"
+
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace ad::check {
+
+using core::AtomicDag;
+using core::Placement;
+using core::Schedule;
+
+const char *
+auditKindName(AuditKind kind)
+{
+    switch (kind) {
+      case AuditKind::LaunchRetire:
+        return "launch/retire";
+      case AuditKind::StoreAccounting:
+        return "store accounting";
+      case AuditKind::DramCompulsory:
+        return "DRAM compulsory";
+      case AuditKind::NocConservation:
+        return "NoC conservation";
+      case AuditKind::EngineOverrun:
+        return "engine overrun";
+    }
+    return "unknown";
+}
+
+Bytes
+compulsoryHbmReadBytes(const AtomicDag &dag, const Schedule &schedule,
+                       const sim::SystemConfig &config)
+{
+    Bytes input_bytes = 0;
+    Bytes weight_bytes = 0;
+    std::set<std::pair<graph::LayerId, int>> slices;
+    for (const core::Round &round : schedule.rounds) {
+        for (const Placement &p : round.placements) {
+            if (p.atom < 0 ||
+                static_cast<std::size_t>(p.atom) >= dag.size()) {
+                continue; // validateSchedule reports this separately
+            }
+            if (dag.readsExternalInput(p.atom)) {
+                input_bytes += dag.workload(p.atom).ifmapBytes(
+                    config.engine.bytesPerElem);
+            }
+            const Bytes wbytes = dag.weightBytes(p.atom);
+            if (wbytes > 0 &&
+                slices
+                    .emplace(dag.atom(p.atom).layer,
+                             dag.atom(p.atom).cs)
+                    .second) {
+                weight_bytes += wbytes;
+            }
+        }
+    }
+    return input_bytes + weight_bytes;
+}
+
+std::vector<AuditViolation>
+auditExecution(const AtomicDag &dag, const Schedule &schedule,
+               const sim::SystemConfig &config,
+               const sim::ExecutionReport &report)
+{
+    std::vector<AuditViolation> violations;
+    auto complain = [&violations](AuditKind kind, auto &&...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        violations.push_back({kind, os.str()});
+    };
+
+    // Launch/retire conservation: the event kernel must execute exactly
+    // one retirement per placement it launched, and it must launch
+    // exactly the schedule's placements.
+    const std::uint64_t placements = schedule.atomCount();
+    if (report.launchedAtoms != placements)
+        complain(AuditKind::LaunchRetire, "schedule holds ", placements,
+                 " placements but ", report.launchedAtoms,
+                 " atoms were launched");
+    if (report.retiredAtoms != report.launchedAtoms)
+        complain(AuditKind::LaunchRetire, report.launchedAtoms,
+                 " atoms launched but ", report.retiredAtoms,
+                 " retired");
+
+    // With on-chip reuse every retirement is classified as stored or
+    // spilled, exactly once.
+    if (config.onChipReuse &&
+        report.storedAtoms + report.unstoredAtoms !=
+            report.retiredAtoms) {
+        complain(AuditKind::StoreAccounting, report.storedAtoms,
+                 " stored + ", report.unstoredAtoms, " unstored != ",
+                 report.retiredAtoms, " retired");
+    }
+
+    // HBM reads can exceed the compulsory minimum (spill refills,
+    // per-Round weight refetches) but never undercut it.
+    const Bytes compulsory =
+        compulsoryHbmReadBytes(dag, schedule, config);
+    if (report.hbmReadBytes < compulsory)
+        complain(AuditKind::DramCompulsory, "HBM read bytes ",
+                 report.hbmReadBytes, " below compulsory traffic ",
+                 compulsory);
+
+    // Every payload byte entering the mesh leaves it at a consumer.
+    if (report.nocInjectedBytes != report.nocEjectedBytes)
+        complain(AuditKind::NocConservation, "NoC injected ",
+                 report.nocInjectedBytes, " bytes but delivered ",
+                 report.nocEjectedBytes);
+
+    // Rounds execute back to back, so one engine's total busy time is
+    // bounded by the end-to-end makespan.
+    for (std::size_t e = 0; e < report.engineBusyCycles.size(); ++e) {
+        if (report.engineBusyCycles[e] > report.totalCycles)
+            complain(AuditKind::EngineOverrun, "engine ", e, " busy ",
+                     report.engineBusyCycles[e], " of ",
+                     report.totalCycles, " total cycles");
+    }
+    return violations;
+}
+
+bool
+executionIsClean(const AtomicDag &dag, const Schedule &schedule,
+                 const sim::SystemConfig &config,
+                 const sim::ExecutionReport &report)
+{
+    return auditExecution(dag, schedule, config, report).empty();
+}
+
+} // namespace ad::check

@@ -1,0 +1,77 @@
+#pragma once
+
+/**
+ * @file
+ * Post-run conservation audits over ad::sim::SystemSimulator executions.
+ *
+ * The simulator reports aggregate quantities; these audits check that
+ * the aggregates obey conservation laws no correct execution can break:
+ *
+ *  - every launched atom retires exactly once, and exactly the
+ *    schedule's placements are launched;
+ *  - HBM read bytes cover the compulsory traffic (external inputs plus
+ *    one fetch of every distinct weight slice touched);
+ *  - NoC payload bytes injected equal payload bytes delivered;
+ *  - no engine is busy for longer than the whole run (per-engine busy
+ *    cycles never exceed the makespan).
+ *
+ * validateSchedule() guards the schedule artifact; these audits guard
+ * the execution of it. `adctl validate` runs both, and the fuzz suite
+ * applies them to every baseline and the atomic-dataflow pipeline.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/atomic_dag.hh"
+#include "core/schedule.hh"
+#include "sim/report.hh"
+#include "sim/system.hh"
+
+namespace ad::check {
+
+/** Conservation law an execution broke. */
+enum class AuditKind {
+    LaunchRetire,    ///< launched != retired != scheduled placements
+    StoreAccounting, ///< stored + spilled retirement counts diverge
+    DramCompulsory,  ///< HBM reads below the compulsory minimum
+    NocConservation, ///< injected payload bytes != delivered bytes
+    EngineOverrun,   ///< an engine busy longer than the makespan
+};
+
+/** Short stable name of an audit kind (for tables and test output). */
+const char *auditKindName(AuditKind kind);
+
+/** One violated conservation law. */
+struct AuditViolation
+{
+    AuditKind kind;
+    std::string what; ///< human-readable description with the numbers
+};
+
+/**
+ * Audit @p report, produced by executing @p schedule over @p dag on a
+ * simulator configured with @p config. Returns all violations found
+ * (empty means the execution conserved everything it must).
+ */
+std::vector<AuditViolation> auditExecution(
+    const core::AtomicDag &dag, const core::Schedule &schedule,
+    const sim::SystemConfig &config, const sim::ExecutionReport &report);
+
+/** Convenience: true when auditExecution() finds nothing. */
+bool executionIsClean(const core::AtomicDag &dag,
+                      const core::Schedule &schedule,
+                      const sim::SystemConfig &config,
+                      const sim::ExecutionReport &report);
+
+/**
+ * The compulsory HBM read traffic of @p schedule over @p dag: bytes of
+ * every external-input fetch plus one fetch of each distinct weight
+ * slice. A correct execution can read more (spill refills, re-fetches),
+ * never less. Exposed for tests and the adctl validate table.
+ */
+Bytes compulsoryHbmReadBytes(const core::AtomicDag &dag,
+                             const core::Schedule &schedule,
+                             const sim::SystemConfig &config);
+
+} // namespace ad::check

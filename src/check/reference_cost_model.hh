@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * Slow-but-obviously-correct reference for ad::engine::CostModel.
+ *
+ * The analytical model derives cycles, traffic, and energy with
+ * closed-form arithmetic (ceilDiv products). This reference re-derives
+ * every quantity by direct iteration-space counting: it walks the
+ * temporal loop nest of the configured dataflow one step at a time and
+ * counts cycles, walks the operand footprints one element at a time and
+ * counts bytes, then applies the same energy constants. Any divergence
+ * between the two is a bug in one of them — the differential tests in
+ * tests/test_check.cc assert exact equality (cycles, energy, and buffer
+ * footprint) over a swept shape grid for both dataflows.
+ *
+ * Nothing here is shared with the analytical implementation except the
+ * EngineConfig constants and the final energy expression (which must be
+ * textually identical so double rounding agrees bit-for-bit).
+ */
+
+#include "engine/cost_model.hh"
+#include "engine/engine_config.hh"
+
+namespace ad::check {
+
+/**
+ * Loop-nest reference evaluator for one engine configuration and
+ * dataflow. Mirrors the CostModel interface shape without inheriting
+ * from it — the point is an independent derivation.
+ */
+class ReferenceCostModel
+{
+  public:
+    /** Build a reference for @p config executing with dataflow @p kind. */
+    ReferenceCostModel(const engine::EngineConfig &config,
+                       engine::DataflowKind kind);
+
+    /** Full evaluation of @p atom by direct counting. */
+    engine::CostResult evaluate(const engine::AtomWorkload &atom) const;
+
+    /** Execution cycles only. */
+    Cycles cycles(const engine::AtomWorkload &atom) const;
+
+    /** Engine configuration this reference describes. */
+    const engine::EngineConfig &config() const { return _config; }
+
+    /** Dataflow this reference describes. */
+    engine::DataflowKind dataflow() const { return _kind; }
+
+  private:
+    Cycles macSteadyCycles(const engine::AtomWorkload &atom,
+                           engine::DataflowKind kind) const;
+    Cycles vectorSteadyCycles(const engine::AtomWorkload &atom) const;
+    MacCount countMacs(const engine::AtomWorkload &atom) const;
+    Bytes countIfmapBytes(const engine::AtomWorkload &atom) const;
+    Bytes countWeightBytes(const engine::AtomWorkload &atom) const;
+    Bytes countOfmapBytes(const engine::AtomWorkload &atom) const;
+
+    engine::EngineConfig _config;
+    engine::DataflowKind _kind;
+};
+
+} // namespace ad::check

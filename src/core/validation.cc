@@ -5,41 +5,69 @@
 
 namespace ad::core {
 
+const char *
+violationKindName(ViolationKind kind)
+{
+    switch (kind) {
+      case ViolationKind::EmptyRound:
+        return "empty round";
+      case ViolationKind::RoundOverCapacity:
+        return "round over capacity";
+      case ViolationKind::InvalidEngine:
+        return "invalid engine";
+      case ViolationKind::EngineDoubleBooked:
+        return "engine double-booked";
+      case ViolationKind::UnknownAtom:
+        return "unknown atom";
+      case ViolationKind::AtomScheduledTwice:
+        return "atom scheduled twice";
+      case ViolationKind::AtomNeverScheduled:
+        return "atom never scheduled";
+      case ViolationKind::DependencyOrder:
+        return "dependency order";
+    }
+    return "unknown";
+}
+
 std::vector<ScheduleViolation>
 validateSchedule(const AtomicDag &dag, const Schedule &schedule,
                  int engines)
 {
     std::vector<ScheduleViolation> violations;
-    auto complain = [&violations](auto &&...parts) {
+    auto complain = [&violations](ViolationKind kind, auto &&...parts) {
         std::ostringstream os;
         (os << ... << parts);
-        violations.push_back({os.str()});
+        violations.push_back({kind, os.str()});
     };
 
     std::vector<int> round_of(dag.size(), -1);
     for (std::size_t t = 0; t < schedule.rounds.size(); ++t) {
         const Round &round = schedule.rounds[t];
         if (round.placements.empty())
-            complain("round ", t, " is empty");
+            complain(ViolationKind::EmptyRound, "round ", t,
+                     " is empty");
         if (round.placements.size() > static_cast<std::size_t>(engines))
-            complain("round ", t, " holds ", round.placements.size(),
-                     " atoms on ", engines, " engines");
+            complain(ViolationKind::RoundOverCapacity, "round ", t,
+                     " holds ", round.placements.size(), " atoms on ",
+                     engines, " engines");
         std::set<int> used;
         for (const Placement &p : round.placements) {
             if (p.engine < 0 || p.engine >= engines)
-                complain("round ", t, " atom ", p.atom,
-                         " mapped to invalid engine ", p.engine);
+                complain(ViolationKind::InvalidEngine, "round ", t,
+                         " atom ", p.atom, " mapped to invalid engine ",
+                         p.engine);
             else if (!used.insert(p.engine).second)
-                complain("round ", t, " engine ", p.engine,
-                         " double-booked");
+                complain(ViolationKind::EngineDoubleBooked, "round ", t,
+                         " engine ", p.engine, " double-booked");
             if (p.atom < 0 ||
                 static_cast<std::size_t>(p.atom) >= dag.size()) {
-                complain("round ", t, " references unknown atom ",
-                         p.atom);
+                complain(ViolationKind::UnknownAtom, "round ", t,
+                         " references unknown atom ", p.atom);
                 continue;
             }
             if (round_of[static_cast<std::size_t>(p.atom)] != -1)
-                complain("atom ", p.atom, " scheduled twice");
+                complain(ViolationKind::AtomScheduledTwice, "atom ",
+                         p.atom, " scheduled twice");
             round_of[static_cast<std::size_t>(p.atom)] =
                 static_cast<int>(t);
         }
@@ -48,15 +76,16 @@ validateSchedule(const AtomicDag &dag, const Schedule &schedule,
     for (const Atom &a : dag.atoms()) {
         const int mine = round_of[static_cast<std::size_t>(a.id)];
         if (mine == -1) {
-            complain("atom ", a.id, " never scheduled");
+            complain(ViolationKind::AtomNeverScheduled, "atom ", a.id,
+                     " never scheduled");
             continue;
         }
         for (AtomId dep : dag.depsSpan(a.id)) {
             const int theirs = round_of[static_cast<std::size_t>(dep)];
             if (theirs == -1 || theirs >= mine)
-                complain("atom ", a.id, " (round ", mine,
-                         ") depends on atom ", dep, " (round ", theirs,
-                         ")");
+                complain(ViolationKind::DependencyOrder, "atom ", a.id,
+                         " (round ", mine, ") depends on atom ", dep,
+                         " (round ", theirs, ")");
         }
     }
     return violations;

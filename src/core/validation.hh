@@ -15,10 +15,27 @@
 
 namespace ad::core {
 
+/** Invariant class a schedule broke (one per checkable rule, so tests
+ * can assert that a specific corruption produces a specific report). */
+enum class ViolationKind {
+    EmptyRound,         ///< a Round with no placements
+    RoundOverCapacity,  ///< more atoms in a Round than engines
+    InvalidEngine,      ///< engine id outside [0, engines)
+    EngineDoubleBooked, ///< two atoms on one engine in one Round
+    UnknownAtom,        ///< atom id outside the DAG
+    AtomScheduledTwice, ///< one atom placed in two Rounds
+    AtomNeverScheduled, ///< a DAG atom missing from the schedule
+    DependencyOrder,    ///< a dependency not retired in an earlier Round
+};
+
+/** Short stable name of a violation kind. */
+const char *violationKindName(ViolationKind kind);
+
 /** One violated invariant. */
 struct ScheduleViolation
 {
-    std::string what; ///< human-readable description
+    ViolationKind kind; ///< which rule was broken
+    std::string what;   ///< human-readable description
 };
 
 /**

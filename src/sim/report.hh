@@ -9,6 +9,7 @@
  */
 
 #include <cstdint>
+#include <vector>
 
 #include "util/common.hh"
 
@@ -45,6 +46,19 @@ struct ExecutionReport
     PicoJoules nocEnergyPj = 0.0;
     PicoJoules hbmEnergyPj = 0.0;
     PicoJoules staticEnergyPj = 0.0;
+
+    // Conservation-audit counters (ad::check::auditExecution). Filled by
+    // the event-driven simulator; analytic baselines leave them empty.
+    std::uint64_t launchedAtoms = 0; ///< placements issued to engines
+    std::uint64_t retiredAtoms = 0;  ///< retirement events executed
+    Bytes nocInjectedBytes = 0; ///< payload bytes sent into the NoC,
+                                ///< one count per destination
+    Bytes nocEjectedBytes = 0;  ///< payload bytes delivered at engines
+    std::vector<Cycles> engineBusyCycles; ///< busy time per engine id
+
+    /** Field-wise equality (doubles exact) — the bit-identical-results
+     * contract of the deterministic thread pool. */
+    bool operator==(const ExecutionReport &) const = default;
 
     /** Total energy in picojoules. */
     PicoJoules

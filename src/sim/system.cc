@@ -83,6 +83,8 @@ SystemSimulator::execute(const AtomicDag &dag,
     ExecutionReport report;
     report.batch = dag.batch();
     report.rounds = schedule.rounds.size();
+    report.engineBusyCycles.assign(
+        static_cast<std::size_t>(num_engines), 0);
 
     MacCount total_macs = 0;
     Cycles compute_only_total = 0; ///< sum of per-round compute makespans
@@ -292,8 +294,11 @@ SystemSimulator::execute(const AtomicDag &dag,
             const auto noc_batch =
                 noc_model.multicastBatch(mcs, &done);
             for (std::size_t g = 0; g < groups.size(); ++g) {
+                report.nocInjectedBytes +=
+                    groups[g].mc.bytes * groups[g].mc.dsts.size();
                 for (std::size_t d = 0; d < groups[g].owners.size();
                      ++d) {
+                    report.nocEjectedBytes += groups[g].mc.bytes;
                     Cycles ready = done[g][d];
                     if (overlap_prev) {
                         ready = ready > prev_duration
@@ -346,10 +351,17 @@ SystemSimulator::execute(const AtomicDag &dag,
             round_compute_makespan =
                 std::max(round_compute_makespan, need.compute);
 
+            ++report.launchedAtoms;
+            if (p.engine >= 0 && p.engine < num_engines) {
+                report.engineBusyCycles[static_cast<std::size_t>(
+                    p.engine)] += busy;
+            }
+
             const Tick finish = now + busy;
             round_end = std::max(round_end, finish);
 
             events.schedule(finish, [&, p, t](Tick when) {
+                ++report.retiredAtoms;
                 if (!_config.onChipReuse) {
                     const Bytes bytes = dag.ofmapBytes(p.atom);
                     report.hbmWriteBytes += bytes;

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Differential-oracle tests: the loop-nest reference cost model against
+ * the analytical ad::engine::CostModel (exact equality over a swept
+ * shape grid), the exhaustive brute-force scheduling oracle against the
+ * production schedulers (invariants over seeded tiny DAGs), and the
+ * simulator conservation audits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/brute_force.hh"
+#include "check/conservation.hh"
+#include "check/reference_cost_model.hh"
+#include "core/orchestrator.hh"
+#include "core/partition.hh"
+#include "core/scheduler.hh"
+#include "core/validation.hh"
+#include "engine/cost_model.hh"
+#include "testing_support/random_graph.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ad::Cycles;
+using ad::check::bruteForceSchedule;
+using ad::check::ReferenceCostModel;
+using ad::check::roundComputeMakespan;
+using ad::engine::AtomWorkload;
+using ad::engine::CostModel;
+using ad::engine::CostResult;
+using ad::engine::DataflowKind;
+using ad::engine::EngineConfig;
+using ad::graph::OpType;
+
+AtomWorkload
+workload(OpType type, int h, int w, int ci, int co, int k, int stride)
+{
+    AtomWorkload atom;
+    atom.type = type;
+    atom.h = h;
+    atom.w = w;
+    atom.ci = ci;
+    atom.co = co;
+    atom.window.kh = k;
+    atom.window.kw = k;
+    atom.window.strideH = stride;
+    atom.window.strideW = stride;
+    return atom;
+}
+
+/** Exact-equality comparison of every CostResult field. */
+void
+expectExactlyEqual(const CostResult &a, const CostResult &r,
+                   const AtomWorkload &atom, DataflowKind kind)
+{
+    SCOPED_TRACE(testing::Message()
+                 << ad::graph::opName(atom.type) << " h=" << atom.h
+                 << " w=" << atom.w << " ci=" << atom.ci
+                 << " co=" << atom.co << " k=" << atom.window.kh
+                 << " s=" << atom.window.strideH << " dataflow="
+                 << ad::engine::dataflowName(kind));
+    EXPECT_EQ(a.cycles, r.cycles);
+    EXPECT_EQ(a.computeCycles, r.computeCycles);
+    EXPECT_EQ(a.utilization, r.utilization); // bit-exact, same expression
+    EXPECT_EQ(a.macs, r.macs);
+    EXPECT_EQ(a.ifmapBytes, r.ifmapBytes);
+    EXPECT_EQ(a.weightBytes, r.weightBytes);
+    EXPECT_EQ(a.ofmapBytes, r.ofmapBytes);
+    EXPECT_EQ(a.sramReadBytes, r.sramReadBytes);
+    EXPECT_EQ(a.sramWriteBytes, r.sramWriteBytes);
+    EXPECT_EQ(a.energyPj, r.energyPj); // bit-exact, same expression
+    EXPECT_EQ(a.bufferBytes(), r.bufferBytes());
+}
+
+/** Sweep every op-type grid under one (config, dataflow); returns the
+ * number of points compared. */
+std::size_t
+sweepDataflow(const EngineConfig &config, DataflowKind kind)
+{
+    const CostModel analytical(config, kind);
+    const ReferenceCostModel reference(config, kind);
+    std::size_t points = 0;
+    const auto compare = [&](const AtomWorkload &atom) {
+        expectExactlyEqual(analytical.evaluate(atom),
+                           reference.evaluate(atom), atom, kind);
+        // The narrower entry points must agree with the full evaluation.
+        EXPECT_EQ(analytical.cycles(atom), reference.cycles(atom));
+        ++points;
+    };
+
+    for (int h : {1, 2, 5})
+        for (int w : {1, 3})
+            for (int ci : {1, 3, 16, 20})
+                for (int co : {1, 8, 17})
+                    for (int k : {1, 3})
+                        for (int stride : {1, 2})
+                            compare(workload(OpType::Conv, h, w, ci, co,
+                                             k, stride));
+
+    for (int h : {1, 4})
+        for (int co : {1, 8, 17})
+            for (int stride : {1, 2})
+                compare(workload(OpType::DepthwiseConv, h, 2, co, co, 3,
+                                 stride));
+
+    for (int ci : {10, 256, 500})
+        for (int co : {10, 100, 300})
+            compare(workload(OpType::FullyConnected, 1, 1, ci, co, 1, 1));
+
+    for (int h : {2, 5})
+        for (int co : {4, 16})
+            for (int k : {2, 3})
+                compare(workload(OpType::Pool, h, 3, co, co, k, k));
+    compare(workload(OpType::GlobalPool, 1, 1, 16, 16, 7, 1));
+    for (int h : {2, 7})
+        for (int co : {5, 16})
+            compare(workload(OpType::Eltwise, h, 3, co, co, 1, 1));
+
+    return points;
+}
+
+TEST(ReferenceCostModel, MatchesAnalyticalExactlyOnSweptGrid)
+{
+    const EngineConfig config; // the paper's 16x16 engine
+    std::size_t points = 0;
+    points += sweepDataflow(config, DataflowKind::KcPartition);
+    points += sweepDataflow(config, DataflowKind::YxPartition);
+    // The acceptance bar for the differential sweep: at least 500
+    // points across the two primary dataflows.
+    EXPECT_GE(points, 500u);
+    // Flexible composes the two; sweep it too (reconfig overhead path).
+    sweepDataflow(config, DataflowKind::Flexible);
+}
+
+TEST(ReferenceCostModel, MatchesAnalyticalOnAsymmetricArray)
+{
+    EngineConfig config;
+    config.peRows = 8;
+    config.peCols = 32;
+    config.vectorLanes = 8;
+    config.configCycles = 5;
+    config.reconfigCycles = 3;
+    for (DataflowKind kind :
+         {DataflowKind::KcPartition, DataflowKind::YxPartition,
+          DataflowKind::Flexible})
+        sweepDataflow(config, kind);
+}
+
+// ---------------------------------------------------------------------
+// Brute-force scheduling oracle.
+// ---------------------------------------------------------------------
+
+/** Atom cycles of every atom in @p dag under the default KC model. */
+std::vector<Cycles>
+atomCosts(const ad::core::AtomicDag &dag)
+{
+    const CostModel model(EngineConfig{}, DataflowKind::KcPartition);
+    std::vector<Cycles> cycles(dag.size());
+    for (std::size_t i = 0; i < dag.size(); ++i)
+        cycles[i] =
+            model.cycles(dag.workload(static_cast<ad::core::AtomId>(i)));
+    return cycles;
+}
+
+TEST(BruteForce, IndependentAtomsPackPerfectly)
+{
+    // One conv layer split four ways: four equal, independent atoms.
+    ad::graph::Graph g("indep");
+    const auto in = g.input({4, 4, 8});
+    g.conv(in, 8, 1);
+    const auto shapes = ad::core::evenPartitionShapes(g, 4);
+    const ad::core::AtomicDag dag(g, shapes);
+    ASSERT_EQ(dag.size(), 4u);
+
+    const auto cycles = atomCosts(dag);
+    EXPECT_EQ(cycles[0], cycles[1]);
+
+    const auto two = bruteForceSchedule(dag, cycles, 2);
+    EXPECT_EQ(two.minRounds, 2);
+    EXPECT_EQ(two.optimalMakespan, 2 * cycles[0]);
+
+    const auto four = bruteForceSchedule(dag, cycles, 4);
+    EXPECT_EQ(four.minRounds, 1);
+    EXPECT_EQ(four.optimalMakespan, cycles[0]);
+}
+
+TEST(BruteForce, ChainSerializesCompletely)
+{
+    ad::graph::Graph g("chain");
+    auto x = g.input({4, 4, 4});
+    x = g.conv(x, 4, 3);
+    x = g.conv(x, 8, 1);
+    x = g.conv(x, 4, 3);
+    const auto shapes = ad::core::evenPartitionShapes(g, 1);
+    const ad::core::AtomicDag dag(g, shapes);
+    ASSERT_EQ(dag.size(), 3u);
+
+    const auto cycles = atomCosts(dag);
+    const auto oracle = bruteForceSchedule(dag, cycles, 4);
+    EXPECT_EQ(oracle.minRounds, 3);
+    EXPECT_EQ(oracle.optimalMakespan,
+              cycles[0] + cycles[1] + cycles[2]);
+}
+
+TEST(BruteForce, RejectsOversizedDags)
+{
+    const auto big = ad::testing::randomAtomicDag(3);
+    if (big.dag->size() > 10) {
+        const auto cycles = atomCosts(*big.dag);
+        EXPECT_THROW(bruteForceSchedule(*big.dag, cycles, 4, 10),
+                     ad::ConfigError);
+    }
+}
+
+/** Build a tiny DAG (<= 10 atoms) for @p seed, or nullptr. */
+std::unique_ptr<ad::core::AtomicDag>
+tinyDag(std::uint64_t seed)
+{
+    ad::Rng rng(seed);
+    ad::testing::RandomGraphOptions options;
+    options.seed = seed;
+    options.minBlocks = 1;
+    options.maxBlocks = 2;
+    const auto graph = ad::testing::randomGraph(options);
+    const int tiles = static_cast<int>(rng.uniformInt(1, 2));
+    auto dag = std::make_unique<ad::core::AtomicDag>(
+        graph, ad::core::evenPartitionShapes(graph, tiles));
+    if (dag->size() > 10 || dag->size() < 2)
+        return nullptr;
+    return dag;
+}
+
+TEST(BruteForce, ProductionSchedulersRespectOracleInvariants)
+{
+    // Over >= 100 seeded tiny DAGs, every production scheduling mode
+    // must (a) produce a valid schedule, (b) never use fewer Rounds than
+    // feasible, (c) never beat the optimal compute makespan, and (d) for
+    // the quality modes (DP, greedy) stay within a fixed factor of it.
+    const CostModel model(EngineConfig{}, DataflowKind::KcPartition);
+    int checked = 0;
+    double worst_ratio = 1.0;
+    for (std::uint64_t seed = 0; seed < 400 && checked < 120; ++seed) {
+        const auto dag = tinyDag(seed);
+        if (!dag)
+            continue;
+        ++checked;
+
+        const auto cycles = atomCosts(*dag);
+        ad::Rng rng(seed ^ 0xabcdULL);
+        const int engines = static_cast<int>(rng.uniformInt(2, 4));
+        const auto oracle = bruteForceSchedule(*dag, cycles, engines);
+        ASSERT_GT(oracle.optimalMakespan, 0);
+        ASSERT_GE(oracle.minRounds, 1);
+
+        for (ad::core::SchedMode mode :
+             {ad::core::SchedMode::Dp, ad::core::SchedMode::Greedy,
+              ad::core::SchedMode::LayerOrder,
+              ad::core::SchedMode::LayerBatched}) {
+            SCOPED_TRACE(testing::Message()
+                         << "seed=" << seed << " engines=" << engines
+                         << " mode=" << ad::core::schedModeName(mode));
+            ad::core::SchedulerOptions options;
+            options.engines = engines;
+            options.mode = mode;
+            const ad::core::DpScheduler scheduler(*dag, model, options);
+            const auto rounds = scheduler.schedule();
+
+            const auto schedule = ad::testing::trivialPlacement(rounds);
+            EXPECT_TRUE(
+                ad::core::scheduleIsValid(*dag, schedule, engines));
+
+            EXPECT_GE(static_cast<int>(rounds.size()),
+                      oracle.minRounds);
+            const Cycles makespan =
+                roundComputeMakespan(rounds, cycles);
+            EXPECT_GE(makespan, oracle.optimalMakespan);
+            if (mode == ad::core::SchedMode::Dp ||
+                mode == ad::core::SchedMode::Greedy) {
+                const double ratio =
+                    static_cast<double>(makespan) /
+                    static_cast<double>(oracle.optimalMakespan);
+                worst_ratio = std::max(worst_ratio, ratio);
+                // The quality modes optimize a communication-aware
+                // surrogate, not pure compute makespan, so they are
+                // allowed slack — but bounded slack.
+                EXPECT_LE(ratio, 2.0);
+            }
+        }
+    }
+    ASSERT_GE(checked, 100) << "tiny-DAG generator starved the sweep";
+    RecordProperty("worst_dp_greedy_ratio", std::to_string(worst_ratio));
+}
+
+// ---------------------------------------------------------------------
+// Conservation audits.
+// ---------------------------------------------------------------------
+
+TEST(Conservation, CleanExecutionPassesAudit)
+{
+    const auto graph = ad::testing::randomGraph(11);
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    const auto result =
+        ad::core::Orchestrator(system, options).run(graph);
+    const auto violations = ad::check::auditExecution(
+        *result.dag, result.schedule, system, result.report);
+    for (const auto &v : violations)
+        ADD_FAILURE() << ad::check::auditKindName(v.kind) << ": "
+                      << v.what;
+    EXPECT_TRUE(ad::check::executionIsClean(*result.dag, result.schedule,
+                                            system, result.report));
+}
+
+TEST(Conservation, DetectsCorruptedReports)
+{
+    const auto graph = ad::testing::randomGraph(12);
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    const auto result =
+        ad::core::Orchestrator(system, options).run(graph);
+
+    const auto firstKind = [&](const ad::sim::ExecutionReport &broken) {
+        const auto violations = ad::check::auditExecution(
+            *result.dag, result.schedule, system, broken);
+        EXPECT_FALSE(violations.empty());
+        return violations.empty() ? ad::check::AuditKind::LaunchRetire
+                                  : violations.front().kind;
+    };
+
+    auto lost = result.report;
+    lost.retiredAtoms -= 1; // an atom launched but never retired
+    EXPECT_EQ(firstKind(lost), ad::check::AuditKind::LaunchRetire);
+
+    auto starved = result.report;
+    starved.hbmReadBytes = 0; // reads below the compulsory minimum
+    EXPECT_EQ(firstKind(starved), ad::check::AuditKind::DramCompulsory);
+
+    auto leaky = result.report;
+    leaky.nocEjectedBytes += 64; // flits ejected that nobody injected
+    EXPECT_EQ(firstKind(leaky), ad::check::AuditKind::NocConservation);
+
+    auto overrun = result.report;
+    ASSERT_FALSE(overrun.engineBusyCycles.empty());
+    overrun.engineBusyCycles[0] = overrun.totalCycles + 1;
+    EXPECT_EQ(firstKind(overrun), ad::check::AuditKind::EngineOverrun);
+}
+
+TEST(Conservation, CompulsoryTrafficIsPositiveForRealModels)
+{
+    const auto graph = ad::testing::randomGraph(13);
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    const auto result =
+        ad::core::Orchestrator(system, options).run(graph);
+    const ad::Bytes compulsory = ad::check::compulsoryHbmReadBytes(
+        *result.dag, result.schedule, system);
+    EXPECT_GT(compulsory, 0);
+    EXPECT_LE(compulsory, result.report.hbmReadBytes);
+}
+
+} // namespace

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Golden regression test over the Table-I model zoo: layer counts and
+ * parameter counts of all eight workloads pinned exactly. Any edit to a
+ * zoo builder (or to the shape/param derivation under it) that changes
+ * these values must update this table consciously.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "models/models.hh"
+
+namespace {
+
+struct Golden
+{
+    std::size_t layers;       ///< graph.layerCount(): layers sans inputs
+    std::int64_t params;      ///< graph.totalParams(): exact weight count
+    std::size_t macLayers;    ///< graph.macLayerCount(): PE-array layers
+};
+
+/** Exact goldens, computed from the zoo builders at the time this test
+ * was written and pinned forever after. */
+const std::map<std::string, Golden> kGolden = {
+    {"vgg19", {24, 143652544, 19}},
+    {"resnet50", {72, 25502912, 54}},
+    {"resnet152", {208, 60040384, 156}},
+    {"resnet1001", {1338, 10178480, 1004}},
+    {"inception_v3", {120, 23799136, 95}},
+    {"nasnet", {299, 3702760, 170}},
+    {"pnasnet", {228, 3739554, 155}},
+    {"efficientnet", {60, 4608992, 50}},
+};
+
+TEST(TableOneGolden, EveryModelMatchesExactly)
+{
+    const auto &entries = ad::models::tableOneModels();
+    ASSERT_EQ(entries.size(), kGolden.size());
+    for (const auto &entry : entries) {
+        SCOPED_TRACE(entry.name);
+        const auto it = kGolden.find(entry.name);
+        ASSERT_NE(it, kGolden.end())
+            << "zoo model missing from the golden table";
+        const auto graph = entry.build();
+        EXPECT_EQ(graph.layerCount(), it->second.layers);
+        EXPECT_EQ(graph.totalParams(), it->second.params);
+        EXPECT_EQ(graph.macLayerCount(), it->second.macLayers);
+    }
+}
+
+TEST(TableOneGolden, RegistryIsConsistent)
+{
+    for (const auto &entry : ad::models::tableOneModels()) {
+        const auto graph = ad::models::buildByName(entry.name);
+        EXPECT_EQ(graph.layerCount(),
+                  kGolden.at(entry.name).layers);
+    }
+}
+
+} // namespace

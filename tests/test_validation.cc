@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Adversarial tests for ad::core::validateSchedule(): deliberately
+ * corrupted schedules, each asserting that the validator reports the
+ * specific ViolationKind the corruption introduces (not merely "some
+ * violation").
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/atomic_dag.hh"
+#include "core/partition.hh"
+#include "core/schedule.hh"
+#include "core/scheduler.hh"
+#include "core/validation.hh"
+#include "engine/cost_model.hh"
+#include "testing_support/random_graph.hh"
+
+namespace {
+
+using ad::core::AtomicDag;
+using ad::core::Schedule;
+using ad::core::ScheduleViolation;
+using ad::core::ViolationKind;
+
+constexpr int kEngines = 4;
+
+/** Shared fixture: a small two-conv chain split two ways (4 atoms, two
+ * dependent layers) plus a known-valid schedule for it. */
+class ValidationTest : public testing::Test
+{
+  protected:
+    ValidationTest()
+        : _graph(buildGraph()),
+          _dag(_graph, ad::core::evenPartitionShapes(_graph, 2)),
+          _schedule(validSchedule(_dag))
+    {}
+
+    static ad::graph::Graph
+    buildGraph()
+    {
+        ad::graph::Graph g("chain2");
+        auto x = g.input({8, 8, 8});
+        x = g.conv(x, 8, 3);
+        g.conv(x, 8, 1);
+        return g;
+    }
+
+    static Schedule
+    validSchedule(const AtomicDag &dag)
+    {
+        const ad::engine::CostModel model(
+            ad::engine::EngineConfig{},
+            ad::engine::DataflowKind::KcPartition);
+        ad::core::SchedulerOptions options;
+        options.engines = kEngines;
+        options.mode = ad::core::SchedMode::LayerOrder;
+        const ad::core::DpScheduler scheduler(dag, model, options);
+        return ad::testing::trivialPlacement(scheduler.schedule());
+    }
+
+    static bool
+    hasKind(const std::vector<ScheduleViolation> &violations,
+            ViolationKind kind)
+    {
+        for (const ScheduleViolation &v : violations)
+            if (v.kind == kind)
+                return true;
+        return false;
+    }
+
+    std::vector<ScheduleViolation>
+    validate(const Schedule &schedule) const
+    {
+        return ad::core::validateSchedule(_dag, schedule, kEngines);
+    }
+
+    ad::graph::Graph _graph;
+    AtomicDag _dag;
+    Schedule _schedule;
+};
+
+TEST_F(ValidationTest, ValidScheduleIsClean)
+{
+    ASSERT_GE(_schedule.rounds.size(), 2u);
+    const auto violations = validate(_schedule);
+    for (const ScheduleViolation &v : violations)
+        ADD_FAILURE() << ad::core::violationKindName(v.kind) << ": "
+                      << v.what;
+}
+
+TEST_F(ValidationTest, DoubleScheduledAtomIsReported)
+{
+    Schedule corrupt = _schedule;
+    // Replay round 0's first atom in a fresh trailing round, on a free
+    // engine, so the only broken rule is single-scheduling.
+    const ad::core::Placement dup =
+        corrupt.rounds.front().placements.front();
+    corrupt.rounds.push_back({{dup}});
+    const auto violations = validate(corrupt);
+    EXPECT_TRUE(hasKind(violations, ViolationKind::AtomScheduledTwice));
+    EXPECT_FALSE(ad::core::scheduleIsValid(_dag, corrupt, kEngines));
+}
+
+TEST_F(ValidationTest, DependencyInSameRoundIsReported)
+{
+    // Find an atom with a dependency and collapse it into the round of
+    // its producer: synchronized Rounds cannot forward within a round.
+    ad::core::AtomId consumer = ad::core::kNoAtom;
+    for (const ad::core::Atom &a : _dag.atoms()) {
+        if (_dag.depCount(a.id) > 0) {
+            consumer = a.id;
+            break;
+        }
+    }
+    ASSERT_NE(consumer, ad::core::kNoAtom);
+
+    Schedule corrupt;
+    corrupt.rounds.resize(1);
+    int engine = 0;
+    for (ad::core::AtomId dep : _dag.depsSpan(consumer))
+        corrupt.rounds[0].placements.push_back({dep, engine++});
+    corrupt.rounds[0].placements.push_back({consumer, engine++});
+    // Keep the rest of the DAG scheduled so the only order violation is
+    // the collapsed pair.
+    for (const ad::core::Atom &a : _dag.atoms()) {
+        bool placed = false;
+        for (const auto &p : corrupt.rounds[0].placements)
+            placed = placed || p.atom == a.id;
+        if (!placed)
+            corrupt.rounds.push_back({{{a.id, 0}}});
+    }
+    const auto violations = validate(corrupt);
+    EXPECT_TRUE(hasKind(violations, ViolationKind::DependencyOrder));
+}
+
+TEST_F(ValidationTest, OutOfRangeEngineIsReported)
+{
+    Schedule corrupt = _schedule;
+    corrupt.rounds.front().placements.front().engine = kEngines;
+    EXPECT_TRUE(
+        hasKind(validate(corrupt), ViolationKind::InvalidEngine));
+
+    corrupt.rounds.front().placements.front().engine = -1;
+    EXPECT_TRUE(
+        hasKind(validate(corrupt), ViolationKind::InvalidEngine));
+}
+
+TEST_F(ValidationTest, EmptyRoundIsReported)
+{
+    Schedule corrupt = _schedule;
+    corrupt.rounds.insert(corrupt.rounds.begin() + 1, ad::core::Round{});
+    const auto violations = validate(corrupt);
+    EXPECT_TRUE(hasKind(violations, ViolationKind::EmptyRound));
+    // The surrounding rounds are untouched, so nothing else fires.
+    EXPECT_FALSE(hasKind(violations, ViolationKind::DependencyOrder));
+    EXPECT_FALSE(
+        hasKind(violations, ViolationKind::AtomNeverScheduled));
+}
+
+TEST_F(ValidationTest, DroppedAtomIsReported)
+{
+    Schedule corrupt = _schedule;
+    corrupt.rounds.back().placements.pop_back();
+    EXPECT_TRUE(
+        hasKind(validate(corrupt), ViolationKind::AtomNeverScheduled));
+}
+
+TEST_F(ValidationTest, UnknownAtomIsReported)
+{
+    Schedule corrupt = _schedule;
+    corrupt.rounds.front().placements.front().atom =
+        static_cast<ad::core::AtomId>(_dag.size());
+    EXPECT_TRUE(hasKind(validate(corrupt), ViolationKind::UnknownAtom));
+}
+
+TEST_F(ValidationTest, EngineDoubleBookingIsReported)
+{
+    Schedule corrupt = _schedule;
+    ASSERT_GE(corrupt.rounds.front().placements.size(), 2u);
+    corrupt.rounds.front().placements[1].engine =
+        corrupt.rounds.front().placements[0].engine;
+    EXPECT_TRUE(
+        hasKind(validate(corrupt), ViolationKind::EngineDoubleBooked));
+}
+
+TEST_F(ValidationTest, OverCapacityRoundIsReported)
+{
+    // The same schedule validated against a single-engine system: every
+    // multi-atom round is now over capacity.
+    const auto violations =
+        ad::core::validateSchedule(_dag, _schedule, 1);
+    EXPECT_TRUE(hasKind(violations, ViolationKind::RoundOverCapacity));
+}
+
+TEST_F(ValidationTest, KindNamesAreStable)
+{
+    EXPECT_STREQ(ad::core::violationKindName(ViolationKind::EmptyRound),
+                 "empty round");
+    EXPECT_STREQ(
+        ad::core::violationKindName(ViolationKind::DependencyOrder),
+        "dependency order");
+}
+
+} // namespace

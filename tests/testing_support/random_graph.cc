@@ -1,0 +1,135 @@
+#include "random_graph.hh"
+
+#include <initializer_list>
+#include <string>
+
+#include "core/partition.hh"
+#include "util/random.hh"
+
+namespace ad::testing {
+
+namespace {
+
+/** Uniform pick from a tiny inline list. */
+int
+pick(Rng &rng, std::initializer_list<int> options)
+{
+    const auto index = static_cast<std::size_t>(rng.uniformInt(
+        0, static_cast<std::int64_t>(options.size()) - 1));
+    return options.begin()[index];
+}
+
+} // namespace
+
+graph::Graph
+randomGraph(const RandomGraphOptions &options)
+{
+    Rng rng(options.seed);
+    graph::Graph g("random_" + std::to_string(options.seed));
+
+    const int spatial = pick(rng, {8, 12, 16});
+    const int in_c = pick(rng, {3, 8, 16});
+    graph::LayerId x = g.input({spatial, spatial, in_c});
+    int h = spatial;
+    int c = in_c;
+
+    const int blocks = static_cast<int>(
+        rng.uniformInt(options.minBlocks, options.maxBlocks));
+    for (int b = 0; b < blocks; ++b) {
+        switch (rng.uniformInt(0, 4)) {
+          case 0: { // plain conv, occasionally strided
+            const int out_c = pick(rng, {8, 12, 16});
+            const int k = pick(rng, {1, 3});
+            const int stride = (h >= 8 && rng.chance(0.3)) ? 2 : 1;
+            x = g.conv(x, out_c, k, stride);
+            c = out_c;
+            if (stride == 2)
+                h = (h + 1) / 2;
+            break;
+          }
+          case 1: { // residual: two same-padded convs back onto the trunk
+            const graph::LayerId a = g.conv(x, c, 3, 1);
+            const graph::LayerId b2 = g.conv(a, c, 1, 1);
+            x = g.add({b2, x});
+            break;
+          }
+          case 2: { // branching concat (Inception-style cell)
+            const int c1 = pick(rng, {4, 8});
+            const int c2 = pick(rng, {4, 8});
+            const graph::LayerId b1 = g.conv(x, c1, 1, 1);
+            const graph::LayerId b2 = g.conv(x, c2, 3, 1);
+            x = g.concat({b1, b2});
+            c = c1 + c2;
+            break;
+          }
+          case 3: { // downsampling pool (skipped once the map is tiny)
+            if (h >= 4) {
+                x = g.pool(x, 2, 2);
+                h /= 2;
+            } else {
+                x = g.conv(x, c, 1, 1);
+            }
+            break;
+          }
+          case 4: // depthwise conv (channel count preserved)
+            x = g.depthwiseConv(x, 3, 1);
+            break;
+        }
+    }
+
+    if (rng.chance(0.5)) { // classifier tail
+        x = g.globalPool(x);
+        x = g.fullyConnected(
+            x, static_cast<int>(rng.uniformInt(4, 16)));
+    }
+
+    g.validate();
+    return g;
+}
+
+graph::Graph
+randomGraph(std::uint64_t seed)
+{
+    RandomGraphOptions options;
+    options.seed = seed;
+    return randomGraph(options);
+}
+
+RandomDag
+randomAtomicDag(std::uint64_t seed)
+{
+    RandomDag result;
+    result.graph = randomGraph(seed);
+
+    // Independent stream (seed XOR'd) so partition choices don't replay
+    // the topology draws.
+    Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+    result.tiles = static_cast<int>(rng.uniformInt(1, 4));
+    result.batch = static_cast<int>(rng.uniformInt(1, 2));
+
+    const std::vector<core::TileShape> shapes =
+        core::evenPartitionShapes(result.graph, result.tiles);
+    core::AtomicDagOptions dag_options;
+    dag_options.batch = result.batch;
+    result.dag = std::make_unique<core::AtomicDag>(result.graph, shapes,
+                                                   dag_options);
+    return result;
+}
+
+core::Schedule
+trivialPlacement(const core::RoundList &rounds)
+{
+    core::Schedule schedule;
+    schedule.rounds.reserve(rounds.size());
+    for (const std::vector<core::AtomId> &round : rounds) {
+        core::Round mapped;
+        mapped.placements.reserve(round.size());
+        int engine = 0;
+        for (core::AtomId atom : round)
+            mapped.placements.push_back({atom, engine++});
+        schedule.rounds.push_back(std::move(mapped));
+    }
+    return schedule;
+}
+
+} // namespace ad::testing

@@ -1,0 +1,66 @@
+#pragma once
+
+/**
+ * @file
+ * Seeded random-workload generators for the differential-oracle and
+ * fuzz suites (and for `adctl validate --network random`).
+ *
+ * The generators are fully deterministic per seed: the same seed always
+ * produces the same graph, tile shapes, and atomic DAG, so a failing
+ * fuzz case is reproducible from its seed alone. Generated networks are
+ * deliberately small (a few layers, small feature maps) — the point is
+ * topological and operator diversity per unit of test time, not
+ * realistic compute.
+ */
+
+#include <memory>
+
+#include "core/atomic_dag.hh"
+#include "core/schedule.hh"
+#include "core/scheduler.hh"
+#include "graph/graph.hh"
+
+namespace ad::testing {
+
+/** Knobs for randomGraph(); defaults keep tests fast. */
+struct RandomGraphOptions
+{
+    std::uint64_t seed = 1;
+    int minBlocks = 2; ///< fewest randomly chosen blocks appended
+    int maxBlocks = 5; ///< most randomly chosen blocks appended
+};
+
+/**
+ * Build a random, valid DNN graph: a trunk of randomly chosen blocks
+ * (plain/strided conv, depthwise conv, pooling, residual add, branching
+ * concat) with an optional classifier tail. Always single-sink and
+ * validate()-clean.
+ */
+graph::Graph randomGraph(const RandomGraphOptions &options);
+
+/** Shorthand: randomGraph with only the seed set. */
+graph::Graph randomGraph(std::uint64_t seed);
+
+/** Result of randomAtomicDag(): the graph plus the derived DAG. */
+struct RandomDag
+{
+    graph::Graph graph;
+    std::unique_ptr<core::AtomicDag> dag; ///< holds its own graph copy
+    int batch = 1;  ///< batch the DAG was built with
+    int tiles = 1;  ///< even-partition tile count used for the shapes
+};
+
+/**
+ * Build a random atomic DAG: a randomGraph(seed) evenly partitioned
+ * with a seed-derived tile count and batch. Deterministic per seed.
+ */
+RandomDag randomAtomicDag(std::uint64_t seed);
+
+/**
+ * Wrap a scheduler RoundList into a Schedule by assigning engines
+ * 0, 1, 2, ... within each Round — the trivial placement used when a
+ * test needs a Schedule but placement quality is irrelevant.
+ */
+core::Schedule trivialPlacement(const core::RoundList &rounds);
+
+} // namespace ad::testing

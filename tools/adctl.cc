@@ -8,6 +8,12 @@
  *   compare --model M [options]        LS / CNN-P / IL-Pipe / AD side by side
  *   trace   --model M --out F [opts]   dump the mapped schedule as CSV
  *   export  --model M --out F          write the model as adgraph text
+ *   validate --network N [--seed S]    run the differential-oracle checks
+ *                                      (schedule validity, conservation
+ *                                      audits, reference cost model,
+ *                                      brute-force optimality on tiny
+ *                                      DAGs); N is a zoo model or
+ *                                      "random" for a seeded fuzz graph
  *
  * Common options:
  *   --graph FILE     load an adgraph text file instead of a zoo model
@@ -22,6 +28,8 @@
  *   --no-reuse       disable distributed-buffer reuse
  */
 
+#include <algorithm>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -31,10 +39,15 @@
 #include "baselines/cnn_partition.hh"
 #include "baselines/il_pipe.hh"
 #include "baselines/layer_sequential.hh"
+#include "check/brute_force.hh"
+#include "check/conservation.hh"
+#include "check/reference_cost_model.hh"
 #include "core/orchestrator.hh"
+#include "core/validation.hh"
 #include "graph/serialize.hh"
 #include "models/models.hh"
 #include "sim/trace.hh"
+#include "testing_support/random_graph.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 
@@ -52,8 +65,8 @@ parse(int argc, char **argv)
 {
     Args args;
     if (argc < 2)
-        ad::fatal("usage: adctl <models|run|compare|trace|export> "
-                  "[options]");
+        ad::fatal("usage: adctl "
+                  "<models|run|compare|trace|export|validate> [options]");
     args.command = argv[1];
     for (int i = 2; i < argc; ++i) {
         const std::string flag = argv[i];
@@ -280,6 +293,136 @@ cmdTrace(const Args &args)
     return 0;
 }
 
+/**
+ * Differential-oracle validation of one workload end to end:
+ * orchestrate, then run every check layer the repo has — structural
+ * schedule validation, simulator conservation audits, the loop-nest
+ * reference cost model against the analytical one, and (when the DAG is
+ * tiny) the exhaustive brute-force scheduling oracle.
+ */
+int
+cmdValidate(const Args &args)
+{
+    const std::uint64_t seed = std::strtoull(
+        option(args, "seed", "1").c_str(), nullptr, 10);
+    const std::string network =
+        option(args, "network", option(args, "model", "resnet50"));
+
+    ad::graph::Graph graph = [&] {
+        if (network == "random")
+            return ad::testing::randomGraph(seed);
+        Args load = args;
+        load.options["model"] = network;
+        return loadWorkload(load);
+    }();
+
+    const auto system = systemFrom(args);
+    const auto result =
+        ad::core::Orchestrator(system, orchestratorFrom(args)).run(graph);
+    const ad::core::AtomicDag &dag = *result.dag;
+
+    std::cout << "workload: " << graph.name() << " (" << dag.size()
+              << " atoms), system: " << system.meshX << "x"
+              << system.meshY << " engines, "
+              << ad::engine::dataflowName(system.dataflow) << "\n";
+
+    ad::TextTable table;
+    table.setHeader({"check", "status", "detail"});
+    bool all_ok = true;
+    const auto row = [&](const std::string &name, bool ok,
+                         const std::string &detail) {
+        all_ok = all_ok && ok;
+        table.addRow({name, ok ? "ok" : "FAIL", detail});
+    };
+
+    // 1. Structural schedule validation.
+    const auto violations = ad::core::validateSchedule(
+        dag, result.schedule, system.engines());
+    row("schedule validity", violations.empty(),
+        violations.empty()
+            ? std::to_string(result.schedule.rounds.size()) + " rounds"
+            : violations.front().what);
+
+    // 2. Simulator conservation audits.
+    const auto audits = ad::check::auditExecution(dag, result.schedule,
+                                                 system, result.report);
+    row("conservation audits", audits.empty(),
+        audits.empty()
+            ? "HBM >= " +
+                  ad::fmtDouble(ad::check::compulsoryHbmReadBytes(
+                                    dag, result.schedule, system) /
+                                    1e6,
+                                1) +
+                  " MB compulsory"
+            : audits.front().what);
+
+    // 3. Reference cost model vs analytical, on sampled atom workloads.
+    {
+        const ad::engine::CostModel analytical(system.engine,
+                                               system.dataflow);
+        const ad::check::ReferenceCostModel reference(system.engine,
+                                                      system.dataflow);
+        const std::size_t stride = std::max<std::size_t>(
+            1, dag.size() / 64);
+        std::size_t compared = 0;
+        std::size_t mismatched = 0;
+        for (std::size_t i = 0; i < dag.size(); i += stride) {
+            const auto atom = dag.workload(static_cast<ad::core::AtomId>(i));
+            const auto a = analytical.evaluate(atom);
+            const auto r = reference.evaluate(atom);
+            ++compared;
+            if (a.cycles != r.cycles || a.computeCycles != r.computeCycles ||
+                a.utilization != r.utilization || a.macs != r.macs ||
+                a.ifmapBytes != r.ifmapBytes ||
+                a.weightBytes != r.weightBytes ||
+                a.ofmapBytes != r.ofmapBytes ||
+                a.sramReadBytes != r.sramReadBytes ||
+                a.sramWriteBytes != r.sramWriteBytes ||
+                a.energyPj != r.energyPj)
+                ++mismatched;
+        }
+        row("reference cost model", mismatched == 0,
+            std::to_string(compared) + " workloads, " +
+                std::to_string(mismatched) + " mismatched");
+    }
+
+    // 4. Brute-force scheduling oracle (tiny DAGs only).
+    if (dag.size() <= 10) {
+        const ad::engine::CostModel model(system.engine, system.dataflow);
+        std::vector<ad::Cycles> atom_cycles(dag.size());
+        for (std::size_t i = 0; i < dag.size(); ++i)
+            atom_cycles[i] =
+                model.cycles(dag.workload(static_cast<ad::core::AtomId>(i)));
+        const auto oracle = ad::check::bruteForceSchedule(
+            dag, atom_cycles, system.engines());
+
+        ad::core::RoundList rounds;
+        for (const auto &round : result.schedule.rounds) {
+            std::vector<ad::core::AtomId> ids;
+            for (const auto &p : round.placements)
+                ids.push_back(p.atom);
+            rounds.push_back(std::move(ids));
+        }
+        const ad::Cycles makespan =
+            ad::check::roundComputeMakespan(rounds, atom_cycles);
+        const bool ok =
+            makespan >= oracle.optimalMakespan &&
+            static_cast<int>(rounds.size()) >= oracle.minRounds;
+        row("brute-force oracle", ok,
+            "makespan " + std::to_string(makespan) + " vs optimal " +
+                std::to_string(oracle.optimalMakespan) + ", rounds " +
+                std::to_string(rounds.size()) + " vs min " +
+                std::to_string(oracle.minRounds));
+    } else {
+        table.addRow({"brute-force oracle", "skip",
+                      "DAG has " + std::to_string(dag.size()) +
+                          " atoms (limit 10)"});
+    }
+
+    std::cout << table.render();
+    return all_ok ? 0 : 1;
+}
+
 int
 cmdExport(const Args &args)
 {
@@ -313,6 +456,8 @@ main(int argc, char **argv)
             return cmdTrace(args);
         if (args.command == "export")
             return cmdExport(args);
+        if (args.command == "validate")
+            return cmdValidate(args);
         ad::fatal("unknown command '", args.command, "'");
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
