@@ -3,7 +3,10 @@
 #   1. tier-1: Release build + the complete ctest suite;
 #   2. adctl validate over every Table-I zoo model;
 #   3. the differential-oracle and fuzz suites rebuilt and re-run under
-#      AddressSanitizer and UndefinedBehaviorSanitizer.
+#      AddressSanitizer and UndefinedBehaviorSanitizer;
+#   4. the static-analysis gate (DESIGN.md Sec. 10): hardened -Werror
+#      build, the adlint determinism linter, and clang-tidy when
+#      available (scripts/check_static.sh).
 #
 # Usage: scripts/check_all.sh [jobs]
 #   jobs  parallel build jobs, defaults to nproc
@@ -40,5 +43,8 @@ for san in address undefined; do
         --target test_check test_validation test_table1_golden test_fuzz
     ctest --test-dir "build-$san" --output-on-failure -R "$SAN_FILTER"
 done
+
+echo "== static-analysis gate =="
+scripts/check_static.sh build-static "$JOBS"
 
 echo "check_all: every gate passed"

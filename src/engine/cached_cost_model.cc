@@ -3,9 +3,10 @@
 #include <array>
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <sstream>
 #include <unordered_map>
+
+#include "util/thread_annotations.hh"
 
 namespace ad::engine {
 
@@ -70,9 +71,9 @@ struct CachedCostModel::Store
 
     struct Shard
     {
-        mutable std::mutex mu;
+        mutable util::Mutex mu;
         std::unordered_map<AtomWorkload, CostResult, AtomWorkloadHash>
-            map;
+            map AD_GUARDED_BY(mu);
     };
 
     std::array<Shard, kShards> shards;
@@ -82,13 +83,14 @@ struct CachedCostModel::Store
 
 namespace {
 
-std::mutex gStoresMu;
-std::map<std::string, std::shared_ptr<CachedCostModel::Store>> *gStores;
+util::Mutex gStoresMu;
+std::map<std::string, std::shared_ptr<CachedCostModel::Store>>
+    *gStores AD_GUARDED_BY(gStoresMu);
 
 std::shared_ptr<CachedCostModel::Store>
 sharedStore(const EngineConfig &config, DataflowKind kind)
 {
-    std::lock_guard<std::mutex> lk(gStoresMu);
+    util::MutexLock lk(gStoresMu);
     if (!gStores) {
         gStores = new std::map<
             std::string, std::shared_ptr<CachedCostModel::Store>>();
@@ -115,7 +117,7 @@ CachedCostModel::evaluate(const AtomWorkload &atom) const
     const std::size_t h = AtomWorkloadHash{}(atom);
     auto &shard = _store->shards[h % Store::kShards];
     {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        util::MutexLock lk(shard.mu);
         auto it = shard.map.find(atom);
         if (it != shard.map.end()) {
             _store->hits.fetch_add(1, std::memory_order_relaxed);
@@ -126,7 +128,7 @@ CachedCostModel::evaluate(const AtomWorkload &atom) const
     // duplicate miss produces the identical value.
     const CostResult r = CostModel::evaluate(atom);
     {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        util::MutexLock lk(shard.mu);
         shard.map.emplace(atom, r);
     }
     _store->misses.fetch_add(1, std::memory_order_relaxed);
@@ -162,7 +164,7 @@ CachedCostModel::size() const
 {
     std::size_t n = 0;
     for (const auto &shard : _store->shards) {
-        std::lock_guard<std::mutex> lk(shard.mu);
+        util::MutexLock lk(shard.mu);
         n += shard.map.size();
     }
     return n;
@@ -171,7 +173,7 @@ CachedCostModel::size() const
 void
 CachedCostModel::clearSharedStores()
 {
-    std::lock_guard<std::mutex> lk(gStoresMu);
+    util::MutexLock lk(gStoresMu);
     if (gStores)
         gStores->clear();
 }

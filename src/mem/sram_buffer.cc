@@ -1,5 +1,7 @@
 #include "sram_buffer.hh"
 
+#include <algorithm>
+
 namespace ad::mem {
 
 SramBuffer::SramBuffer(Bytes capacity)
@@ -57,8 +59,16 @@ SramBuffer::residents() const
 {
     std::vector<ResidentKey> keys;
     keys.reserve(_entries.size());
+    // adlint: unordered-iter-ok — every key is collected and the result
+    // sorted below, so hash-table order never escapes this function.
     for (const auto &[key, bytes] : _entries)
         keys.push_back(key);
+    // Canonical (ascending) order: callers iterate this list to make
+    // eviction decisions, and Algorithm 3 breaks occupation ties by
+    // scan order. Hash-table order would tie-break by libstdc++
+    // bucketing — deterministic only by accident of insertion history
+    // and standard-library version.
+    std::sort(keys.begin(), keys.end());
     return keys;
 }
 

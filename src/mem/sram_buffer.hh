@@ -57,7 +57,8 @@ class SramBuffer
     /** Drop every resident. */
     void clear();
 
-    /** Keys of all residents (unordered). */
+    /** Keys of all residents, in ascending key order (canonical: the
+     * eviction scan tie-breaks by position in this list). */
     std::vector<ResidentKey> residents() const;
 
   private:

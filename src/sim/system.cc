@@ -139,10 +139,11 @@ SystemSimulator::execute(const AtomicDag &dag,
         std::unordered_map<AtomId, std::size_t> early_index;
         auto add_member = [](std::vector<McGroup> &groups,
                              std::unordered_map<AtomId, std::size_t>
-                                 &index,
+                                 &group_index,
                              AtomId dep, int src, int dst, Bytes bytes,
                              std::size_t owner) {
-            auto [it, inserted] = index.emplace(dep, groups.size());
+            auto [it, inserted] =
+                group_index.emplace(dep, groups.size());
             if (inserted) {
                 groups.emplace_back();
                 groups.back().mc.src = src;

@@ -1,6 +1,16 @@
 #include "logging.hh"
 
+#include "util/thread_annotations.hh"
+
 namespace ad {
+
+namespace {
+
+/// Serializes sink writes so messages from concurrent pool workers
+/// cannot interleave mid-line.
+util::Mutex gSinkMu;
+
+} // namespace
 
 Logger &
 Logger::instance()
@@ -27,6 +37,7 @@ Logger::log(LogLevel level, const std::string &message)
         tag = "debug: ";
         break;
     }
+    util::MutexLock lk(gSinkMu);
     std::cerr << tag << message << '\n';
 }
 

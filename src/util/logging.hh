@@ -6,6 +6,7 @@
  * run (see @c panic / @c fatal in common.hh for errors).
  */
 
+#include <atomic>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -23,10 +24,16 @@ class Logger
     static Logger &instance();
 
     /** Set the verbosity threshold; messages above it are dropped. */
-    void setLevel(LogLevel level) { _level = level; }
+    void setLevel(LogLevel level)
+    {
+        _level.store(level, std::memory_order_relaxed);
+    }
 
     /** Current verbosity threshold. */
-    LogLevel level() const { return _level; }
+    LogLevel level() const
+    {
+        return _level.load(std::memory_order_relaxed);
+    }
 
     /** Emit @p message if @p level passes the threshold. */
     void log(LogLevel level, const std::string &message);
@@ -34,7 +41,9 @@ class Logger
   private:
     Logger() = default;
 
-    LogLevel _level = LogLevel::Warn;
+    /// Atomic: pool workers consult the threshold while the owning
+    /// thread may adjust it between parallel regions.
+    std::atomic<LogLevel> _level{LogLevel::Warn};
 };
 
 namespace detail {

@@ -1,0 +1,116 @@
+#pragma once
+
+/**
+ * @file
+ * Clang thread-safety-analysis annotations and annotated lock types.
+ *
+ * The parallel orchestration stack (ThreadPool, the shared cost-model
+ * memo stores) promises that every shared mutable field is protected by
+ * a named mutex. Under Clang with `-Wthread-safety` (enabled by the
+ * `AD_STATIC_ANALYSIS` CMake option, see scripts/check_static.sh) that
+ * promise is checked at compile time: reading or writing a field marked
+ * `AD_GUARDED_BY(mu)` without holding `mu` is a hard error. Under every
+ * other compiler the macros expand to nothing and the code is unchanged.
+ *
+ * Clang's analysis only understands lock types whose acquire/release
+ * functions carry capability attributes; `std::mutex` from libstdc++ has
+ * none. So this header also provides @ref ad::util::Mutex and
+ * @ref ad::util::MutexLock — thin annotated wrappers over `std::mutex`
+ * that the analysis can follow. All lock-protected state in `src/` uses
+ * these instead of bare `std::mutex` / `std::lock_guard`.
+ *
+ * The macro set mirrors the de-facto standard (Abseil / LLVM)
+ * `thread_annotations.h` vocabulary with an `AD_` prefix.
+ */
+
+#include <mutex>
+
+#if defined(__clang__) && (!defined(SWIG))
+#define AD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define AD_THREAD_ANNOTATION(x) // no-op outside Clang
+#endif
+
+/** Field is protected by capability @p x (a Mutex member or global). */
+#define AD_GUARDED_BY(x) AD_THREAD_ANNOTATION(guarded_by(x))
+
+/** Pointed-to data is protected by capability @p x. */
+#define AD_PT_GUARDED_BY(x) AD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/** Function requires the listed capabilities held on entry. */
+#define AD_REQUIRES(...) \
+    AD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/** Function acquires the listed capabilities (held on return). */
+#define AD_ACQUIRE(...) \
+    AD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/** Function releases the listed capabilities. */
+#define AD_RELEASE(...) \
+    AD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/** Function attempts acquisition; @p ... = success value then caps. */
+#define AD_TRY_ACQUIRE(...) \
+    AD_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/** Caller must NOT hold the listed capabilities (deadlock guard). */
+#define AD_EXCLUDES(...) AD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/** Declares a type to be a capability ("mutex"). */
+#define AD_CAPABILITY(x) AD_THREAD_ANNOTATION(capability(x))
+
+/** Declares an RAII type whose lifetime holds a capability. */
+#define AD_SCOPED_CAPABILITY AD_THREAD_ANNOTATION(scoped_lockable)
+
+/** Return value is a reference to the named capability. */
+#define AD_RETURN_CAPABILITY(x) \
+    AD_THREAD_ANNOTATION(lock_returned(x))
+
+/** Escape hatch: function deliberately opts out of the analysis. */
+#define AD_NO_THREAD_SAFETY_ANALYSIS \
+    AD_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace ad::util {
+
+/**
+ * `std::mutex` wrapper Clang's thread-safety analysis can follow.
+ *
+ * Satisfies *BasicLockable*, so it works directly with
+ * `std::condition_variable_any` (the pool's wait loops hold the Mutex
+ * across `wait()`; the analysis treats the capability as continuously
+ * held through the wait, which matches the caller-visible contract).
+ */
+class AD_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() AD_ACQUIRE() { _mu.lock(); }
+    void unlock() AD_RELEASE() { _mu.unlock(); }
+    bool try_lock() AD_TRY_ACQUIRE(true) { return _mu.try_lock(); }
+
+  private:
+    std::mutex _mu;
+};
+
+/** RAII scoped lock over @ref Mutex (annotated `std::lock_guard`). */
+class AD_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &mu) AD_ACQUIRE(mu)
+        : _mu(mu)
+    {
+        _mu.lock();
+    }
+    ~MutexLock() AD_RELEASE() { _mu.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+  private:
+    Mutex &_mu;
+};
+
+} // namespace ad::util

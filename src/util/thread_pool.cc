@@ -26,9 +26,10 @@ defaultThreadCount()
     return hc > 0 ? static_cast<int>(hc) : 1;
 }
 
-std::mutex gGlobalMu;
-int gGlobalThreads = 0; ///< 0 = derive from environment/hardware
-std::unique_ptr<ThreadPool> gGlobalPool;
+Mutex gGlobalMu;
+/// 0 = derive from environment/hardware
+int gGlobalThreads AD_GUARDED_BY(gGlobalMu) = 0;
+std::unique_ptr<ThreadPool> gGlobalPool AD_GUARDED_BY(gGlobalMu);
 
 } // namespace
 
@@ -42,13 +43,20 @@ ThreadPool::ThreadPool(int threads)
 
 ThreadPool::~ThreadPool()
 {
+    shutdown();
+}
+
+void
+ThreadPool::shutdown()
+{
     {
-        std::lock_guard<std::mutex> lk(_mu);
+        MutexLock lk(_mu);
         _stop = true;
     }
     _wake.notify_all();
     for (std::thread &t : _workers)
         t.join();
+    _workers.clear();
 }
 
 void
@@ -62,7 +70,7 @@ ThreadPool::runShare(Job &job)
         try {
             (*job.fn)(i);
         } catch (...) {
-            std::lock_guard<std::mutex> lk(_mu);
+            MutexLock lk(_mu);
             if (!job.error)
                 job.error = std::current_exception();
             // Abandon remaining indices; in-flight ones finish.
@@ -79,10 +87,9 @@ ThreadPool::workerLoop()
     for (;;) {
         Job *job = nullptr;
         {
-            std::unique_lock<std::mutex> lk(_mu);
-            _wake.wait(lk, [&] {
-                return _stop || (_job != nullptr && _job->id != last_job);
-            });
+            MutexLock lk(_mu);
+            while (!_stop && (_job == nullptr || _job->id == last_job))
+                _wake.wait(_mu);
             if (_stop)
                 return;
             job = _job;
@@ -90,7 +97,7 @@ ThreadPool::workerLoop()
         }
         runShare(*job);
         {
-            std::lock_guard<std::mutex> lk(_mu);
+            MutexLock lk(_mu);
             adAssert(job->active > 0, "thread pool join underflow");
             if (--job->active == 0)
                 _done.notify_all();
@@ -104,20 +111,21 @@ ThreadPool::parallelFor(std::size_t n,
 {
     if (n == 0)
         return;
-    if (_threads <= 1 || n == 1 || tlsInPool) {
-        // Inline execution: single-threaded pool, trivial region, or a
-        // nested call from inside a parallel region.
+    if (_threads <= 1 || n == 1 || tlsInPool || _workers.empty()) {
+        // Inline execution: single-threaded pool, trivial region, a
+        // nested call from inside a parallel region, or a pool whose
+        // workers were already shut down.
         for (std::size_t i = 0; i < n; ++i)
             fn(i);
         return;
     }
 
-    std::lock_guard<std::mutex> submit(_submitMu);
+    MutexLock submit(_submitMu);
     Job job;
     job.fn = &fn;
     job.n = n;
     {
-        std::lock_guard<std::mutex> lk(_mu);
+        MutexLock lk(_mu);
         job.active = _workers.size();
         job.id = ++_jobCounter;
         _job = &job;
@@ -129,8 +137,9 @@ ThreadPool::parallelFor(std::size_t n,
     tlsInPool = false;
 
     {
-        std::unique_lock<std::mutex> lk(_mu);
-        _done.wait(lk, [&] { return job.active == 0; });
+        MutexLock lk(_mu);
+        while (job.active != 0)
+            _done.wait(_mu);
         _job = nullptr;
     }
     if (job.error)
@@ -140,7 +149,7 @@ ThreadPool::parallelFor(std::size_t n,
 ThreadPool &
 ThreadPool::global()
 {
-    std::lock_guard<std::mutex> lk(gGlobalMu);
+    MutexLock lk(gGlobalMu);
     if (!gGlobalPool) {
         const int n =
             gGlobalThreads > 0 ? gGlobalThreads : defaultThreadCount();
@@ -152,7 +161,7 @@ ThreadPool::global()
 void
 ThreadPool::setGlobalThreads(int n)
 {
-    std::lock_guard<std::mutex> lk(gGlobalMu);
+    MutexLock lk(gGlobalMu);
     gGlobalThreads = n > 0 ? n : 0;
     gGlobalPool.reset(); // lazily rebuilt at the requested size
 }

@@ -14,6 +14,12 @@
  *
  * Nested calls (a pool worker invoking parallelFor again) execute inline
  * on the calling thread — no deadlock, same results.
+ *
+ * Locking discipline (checked by Clang thread-safety analysis under
+ * `AD_STATIC_ANALYSIS`): `_mu` guards the job hand-off state (`_job`,
+ * `_jobCounter`, `_stop`) and, by convention, the `active` / `error`
+ * fields of the Job in flight; `_submitMu` serializes top-level
+ * parallelFor calls and is always acquired before `_mu`.
  */
 
 #include <atomic>
@@ -22,9 +28,10 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hh"
 
 namespace ad::util {
 
@@ -50,7 +57,8 @@ class ThreadPool
      * rethrown here after the join.
      */
     void parallelFor(std::size_t n,
-                     const std::function<void(std::size_t)> &fn);
+                     const std::function<void(std::size_t)> &fn)
+        AD_EXCLUDES(_mu);
 
     /** parallelFor collecting fn(i) into a result vector (index order —
      * deterministic for any thread count). */
@@ -63,6 +71,15 @@ class ThreadPool
                     [&](std::size_t i) { out[i] = fn(i); });
         return out;
     }
+
+    /**
+     * Join every worker thread. Idempotent; implied by the destructor.
+     * Must not be called concurrently with parallelFor (the pool is
+     * owned by the orchestrating thread). After shutdown the pool stays
+     * usable: parallelFor degrades to inline execution on the calling
+     * thread, with identical results.
+     */
+    void shutdown() AD_EXCLUDES(_mu);
 
     /** The process-wide pool. Sized by setGlobalThreads() when called
      * first, else by the AD_THREADS environment variable, else by
@@ -89,19 +106,23 @@ class ThreadPool
         std::uint64_t id = 0;
     };
 
-    void workerLoop();
-    void runShare(Job &job);
+    void workerLoop() AD_EXCLUDES(_mu);
+    void runShare(Job &job) AD_EXCLUDES(_mu);
 
     int _threads;
+    /// Worker threads. Mutated only by the constructor and shutdown(),
+    /// both of which run on the owning thread, so unguarded.
     std::vector<std::thread> _workers;
 
-    std::mutex _submitMu; ///< serializes top-level parallelFor calls
-    std::mutex _mu;
-    std::condition_variable _wake;
-    std::condition_variable _done;
-    Job *_job = nullptr;
-    std::uint64_t _jobCounter = 0;
-    bool _stop = false;
+    /// Serializes top-level parallelFor calls; acquired before _mu.
+    Mutex _submitMu;
+    Mutex _mu;
+    /// condition_variable_any: waits directly on the annotated Mutex.
+    std::condition_variable_any _wake;
+    std::condition_variable_any _done;
+    Job *_job AD_GUARDED_BY(_mu) = nullptr;
+    std::uint64_t _jobCounter AD_GUARDED_BY(_mu) = 0;
+    bool _stop AD_GUARDED_BY(_mu) = false;
 };
 
 } // namespace ad::util

@@ -1,0 +1,30 @@
+// adlint fixture: the justified-allowlist convention. Must lint CLEAN.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<std::uint64_t, std::uint64_t> fixture_sizes;
+
+std::uint64_t
+orderInsensitiveSum()
+{
+    std::uint64_t total = 0;
+    // adlint: unordered-iter-ok — integer addition is commutative and
+    // associative; the result is independent of visit order.
+    for (const auto &[key, bytes] : fixture_sizes)
+        total += bytes;
+    return total;
+}
+
+std::vector<std::uint64_t>
+sortedKeys()
+{
+    std::vector<std::uint64_t> keys;
+    // adlint: unordered-iter-ok — keys are sorted by the caller before
+    // any decision is made on them.
+    for (const auto &[key, bytes] : fixture_sizes)
+        keys.push_back(key);
+    return keys;
+}
+
+// Expected findings: none.

@@ -1,0 +1,42 @@
+// adlint fixture: unordered parallel reduction. Never compiled.
+#include <cstddef>
+#include <vector>
+
+struct FakePool
+{
+    template <typename Fn>
+    void
+    parallelFor(std::size_t n, Fn &&fn)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+    }
+};
+
+double
+racyMean(const std::vector<double> &xs)
+{
+    FakePool pool;
+    double total = 0.0;
+    pool.parallelFor(xs.size(), [&](std::size_t i) {
+        total += xs[i]; // BAD: claim-order float reduction (and a race)
+    });
+    return total / static_cast<double>(xs.size());
+}
+
+double
+fixedOrderMean(const std::vector<double> &xs)
+{
+    FakePool pool;
+    std::vector<double> slots(xs.size());
+    pool.parallelFor(xs.size(), [&](std::size_t i) {
+        slots[i] = xs[i] * 2.0; // fine: per-index slot write
+    });
+    double total = 0.0;
+    for (double v : slots) // fine: sequential, fixed-order reduce
+        total += v;
+    return total / static_cast<double>(xs.size());
+}
+
+// Expected findings:
+//   fp-parallel-reduce   (total += in racyMean's lambda, exactly one)

@@ -1,0 +1,36 @@
+// adlint fixture: address-dependent ordering hazards. Never compiled.
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+struct Node
+{
+    int id;
+};
+
+// BAD: map ordered by pointer value — ASLR changes iteration order.
+std::map<Node *, int> fixture_by_ptr;
+
+// BAD: unordered flavor has the same identity problem.
+std::unordered_map<const Node *, int> fixture_by_cptr;
+
+std::uintptr_t
+addressAsKey(Node *n)
+{
+    // BAD: smuggling the address into an integer key/sort value.
+    return reinterpret_cast<std::uintptr_t>(n);
+}
+
+std::size_t
+hashTieBreak(int id)
+{
+    // BAD: implementation-defined value deciding a tie-break.
+    return std::hash<int>{}(id);
+}
+
+// Expected findings:
+//   pointer-key     (std::map<Node *, ...>)
+//   pointer-key     (std::unordered_map<const Node *, ...>)
+//   pointer-key     (reinterpret_cast<std::uintptr_t>)
+//   hash-tiebreak   (std::hash<int>)

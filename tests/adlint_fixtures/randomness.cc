@@ -1,0 +1,32 @@
+// adlint fixture: nondeterministic randomness sources. Never compiled.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+int
+cRand()
+{
+    srand(42);          // BAD: global C PRNG state
+    return rand();      // BAD: unseeded/global randomness
+}
+
+unsigned
+entropySeed()
+{
+    std::random_device rd; // BAD: non-deterministic entropy
+    return rd();
+}
+
+std::uint64_t
+wallClockSeed()
+{
+    // BAD: run-dependent seed — irreproducible schedules.
+    std::mt19937_64 gen(std::chrono::steady_clock::now().time_since_epoch().count());
+    return gen();
+}
+
+// Expected findings:
+//   raw-rand   (srand)
+//   raw-rand   (rand)
+//   raw-rand   (random_device)
+//   raw-rand   (time-seeded mt19937)

@@ -1,0 +1,44 @@
+// adlint fixture: unordered-container iteration hazards. Never compiled.
+#include <cstddef>
+#include <numeric>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, double> fixture_scores;
+std::unordered_set<std::string> fixture_names;
+
+double
+orderLeaks()
+{
+    double first = 0.0;
+    // BAD: hash-table order decides which element is "first".
+    for (const auto &[id, score] : fixture_scores) {
+        first = score;
+        break;
+    }
+    return first;
+}
+
+std::string
+concatLeaks()
+{
+    // BAD: iterator-based traversal is the same hazard.
+    return std::accumulate(fixture_names.begin(), fixture_names.end(),
+                           std::string{});
+}
+
+int
+unjustifiedAllowlist()
+{
+    int n = 0;
+    // adlint: unordered-iter-ok
+    for (const auto &[id, score] : fixture_scores)
+        n += static_cast<int>(id);
+    return n;
+}
+
+// Expected findings:
+//   unordered-iter            (range-for in orderLeaks)
+//   unordered-iter            (fixture_names.begin() in concatLeaks)
+//   allowlist-justification   (marker without a reason)

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Unit tests for the adlint rule engine (tools/adlint/rules.cc): each
+ * determinism rule must fire on its target idiom, stay quiet on the
+ * safe variants, and honor the justified-allowlist convention. The
+ * on-disk twins of these snippets live in tests/adlint_fixtures/ and
+ * are exercised through the CLI by scripts/check_static.sh.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace ad::lint {
+namespace {
+
+/** Lint one snippet, running both passes over it. */
+std::vector<Finding>
+lint(const std::string &code)
+{
+    std::vector<std::string> names;
+    collectUnorderedNames(code, names);
+    return lintContent("snippet.cc", code, names);
+}
+
+/** Findings for @p rule only, as their 1-based line numbers. */
+std::vector<int>
+linesFor(const std::vector<Finding> &findings, const std::string &rule)
+{
+    std::vector<int> lines;
+    for (const Finding &f : findings)
+        if (f.rule == rule)
+            lines.push_back(f.line);
+    return lines;
+}
+
+TEST(AdlintRules, RuleSetIsStable)
+{
+    const auto names = ruleNames();
+    for (const char *expected :
+         {"unordered-iter", "raw-rand", "pointer-key", "hash-tiebreak",
+          "fp-parallel-reduce", "allowlist-justification"}) {
+        EXPECT_NE(std::find(names.begin(), names.end(), expected),
+                  names.end())
+            << "missing rule " << expected;
+    }
+}
+
+TEST(AdlintRules, UnorderedIterationFlagsRangeFor)
+{
+    const auto findings = lint(R"(
+std::unordered_map<int, double> scores;
+double first() {
+    for (const auto &[id, s] : scores)
+        return s;
+    return 0.0;
+}
+)");
+    EXPECT_EQ(linesFor(findings, "unordered-iter"), std::vector<int>{4});
+}
+
+TEST(AdlintRules, UnorderedIterationFlagsBeginCalls)
+{
+    const auto findings = lint(R"(
+std::unordered_set<std::string> names;
+auto it() { return names.begin(); }
+)");
+    EXPECT_EQ(linesFor(findings, "unordered-iter"), std::vector<int>{3});
+}
+
+TEST(AdlintRules, UnorderedNameCollectedFromHeaderText)
+{
+    // The two-pass design: a member declared in one file (the header)
+    // is recognized when iterated in another.
+    std::vector<std::string> names;
+    collectUnorderedNames("std::unordered_map<Key, long> _entries;",
+                          names);
+    const auto findings = lintContent(
+        "user.cc", "void f() { for (auto &e : _entries) use(e); }",
+        names);
+    EXPECT_EQ(linesFor(findings, "unordered-iter"), std::vector<int>{1});
+}
+
+TEST(AdlintRules, OrderedContainerIterationIsClean)
+{
+    const auto findings = lint(R"(
+std::map<int, double> scores;
+double sum() {
+    double t = 0;
+    for (const auto &[id, s] : scores)
+        t += s;
+    return t;
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "unordered-iter").empty());
+}
+
+TEST(AdlintRules, JustifiedAllowlistSuppresses)
+{
+    const auto findings = lint(R"(
+std::unordered_map<int, long> sizes;
+long total() {
+    long t = 0;
+    // adlint: unordered-iter-ok — integer addition is commutative,
+    // so visit order cannot change the sum.
+    for (const auto &[k, v] : sizes)
+        t += v;
+    return t;
+}
+)");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(AdlintRules, BareAllowlistMarkerIsItselfReported)
+{
+    const auto findings = lint(R"(
+std::unordered_map<int, long> sizes;
+long total() {
+    long t = 0;
+    // adlint: unordered-iter-ok
+    for (const auto &[k, v] : sizes)
+        t += v;
+    return t;
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "unordered-iter").empty());
+    EXPECT_EQ(linesFor(findings, "allowlist-justification"),
+              std::vector<int>{6});
+}
+
+TEST(AdlintRules, RawRandFlagsEveryEntropySource)
+{
+    const auto findings = lint(R"(
+int a() { return rand(); }
+void b() { srand(7); }
+unsigned c() { std::random_device rd; return rd(); }
+)");
+    EXPECT_EQ(linesFor(findings, "raw-rand"),
+              (std::vector<int>{2, 3, 4}));
+}
+
+TEST(AdlintRules, TimeSeededRngIsFlagged)
+{
+    const auto findings = lint(R"(
+std::uint64_t seedy() {
+    std::mt19937_64 gen(std::chrono::steady_clock::now().time_since_epoch().count());
+    return gen();
+}
+)");
+    EXPECT_EQ(linesFor(findings, "raw-rand"), std::vector<int>{3});
+}
+
+TEST(AdlintRules, FixedSeedRngIsClean)
+{
+    const auto findings = lint(R"(
+std::uint64_t stable() {
+    std::mt19937_64 gen(12345);
+    return gen();
+}
+int operand() { return operand_count(); } // 'rand' inside a word
+)");
+    EXPECT_TRUE(linesFor(findings, "raw-rand").empty());
+}
+
+TEST(AdlintRules, PointerKeysAndCastsAreFlagged)
+{
+    const auto findings = lint(R"(
+std::map<Node *, int> by_ptr;
+std::unordered_map<const Node *, int> by_cptr;
+std::uintptr_t key(Node *n) {
+    return reinterpret_cast<std::uintptr_t>(n);
+}
+)");
+    EXPECT_EQ(linesFor(findings, "pointer-key"),
+              (std::vector<int>{2, 3, 5}));
+}
+
+TEST(AdlintRules, ValueKeyedMapsAreClean)
+{
+    const auto findings = lint(R"(
+std::map<std::pair<int, int>, Node *> by_id;
+std::unordered_map<std::string, Node *> by_name;
+)");
+    EXPECT_TRUE(linesFor(findings, "pointer-key").empty());
+}
+
+TEST(AdlintRules, StdHashIsFlagged)
+{
+    const auto findings =
+        lint("std::size_t h(int v) { return std::hash<int>{}(v); }");
+    EXPECT_EQ(linesFor(findings, "hash-tiebreak"), std::vector<int>{1});
+}
+
+TEST(AdlintRules, ParallelCompoundAccumulationIsFlagged)
+{
+    const auto findings = lint(R"(
+double mean(const std::vector<double> &xs) {
+    double total = 0.0;
+    pool.parallelFor(xs.size(), [&](std::size_t i) {
+        total += xs[i];
+    });
+    return total / xs.size();
+}
+)");
+    EXPECT_EQ(linesFor(findings, "fp-parallel-reduce"),
+              std::vector<int>{5});
+}
+
+TEST(AdlintRules, PerIndexSlotWritesAreClean)
+{
+    const auto findings = lint(R"(
+void scale(std::vector<double> &xs) {
+    pool.parallelFor(xs.size(), [&](std::size_t i) {
+        xs[i] *= 2.0;
+    });
+    double total = 0.0;
+    for (double v : xs)
+        total += v;
+    use(total);
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "fp-parallel-reduce").empty());
+}
+
+TEST(AdlintRules, CommentsAndStringsAreMasked)
+{
+    const auto findings = lint(R"__(
+// rand() in a comment is fine; so is std::hash<int> here.
+/* for (auto &x : some_unordered_map) {} */
+const char *doc = "call rand() and iterate names.begin()";
+)__");
+    EXPECT_TRUE(findings.empty());
+}
+
+TEST(AdlintRules, FindingsAreSortedByLine)
+{
+    const auto findings = lint(R"(
+unsigned z() { std::random_device rd; return rd(); }
+int a() { return rand(); }
+)");
+    ASSERT_EQ(findings.size(), 2u);
+    EXPECT_LT(findings[0].line, findings[1].line);
+}
+
+} // namespace
+} // namespace ad::lint

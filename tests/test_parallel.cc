@@ -9,6 +9,9 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/il_pipe.hh"
@@ -80,6 +83,89 @@ TEST(ThreadPool, ExceptionsPropagateToCaller)
     const auto after =
         pool.parallelMap<std::size_t>(8, [](std::size_t i) { return i; });
     EXPECT_EQ(after.size(), 8u);
+}
+
+TEST(ThreadPool, ExceptionTypeSurvivesPropagation)
+{
+    // The pool rethrows the captured std::exception_ptr, so the caller
+    // sees the worker's exact exception type and message.
+    ThreadPool pool(4);
+    try {
+        pool.parallelFor(64, [](std::size_t i) {
+            if (i == 13)
+                throw std::out_of_range("index 13 rejected");
+        });
+        FAIL() << "expected std::out_of_range";
+    } catch (const std::out_of_range &e) {
+        EXPECT_STREQ(e.what(), "index 13 rejected");
+    }
+}
+
+TEST(ThreadPool, EveryIndexThrowingSurfacesExactlyOneException)
+{
+    // When many workers throw concurrently, exactly one exception is
+    // kept and rethrown at the join; the rest are swallowed, never
+    // terminate(), and the pool stays usable.
+    ThreadPool pool(8);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.parallelFor(256,
+                                      [](std::size_t i) {
+                                          throw std::runtime_error(
+                                              "worker " +
+                                              std::to_string(i));
+                                      }),
+                     std::runtime_error);
+    }
+    const auto after =
+        pool.parallelMap<std::size_t>(16, [](std::size_t i) { return i; });
+    EXPECT_EQ(after.size(), 16u);
+}
+
+TEST(ThreadPool, WorkAfterShutdownRunsInline)
+{
+    // Submitting after shutdown() is not an error: with no workers left
+    // the region degrades to inline execution on the calling thread.
+    ThreadPool pool(4);
+    pool.shutdown();
+    const auto caller = std::this_thread::get_id();
+    std::vector<std::thread::id> ran(64);
+    pool.parallelFor(64, [&](std::size_t i) {
+        ran[i] = std::this_thread::get_id();
+    });
+    for (std::size_t i = 0; i < ran.size(); ++i)
+        ASSERT_EQ(ran[i], caller) << "index " << i << " left the caller";
+    // parallelMap goes through the same path.
+    const auto got =
+        pool.parallelMap<std::size_t>(8, [](std::size_t i) { return i; });
+    for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], i);
+}
+
+TEST(ThreadPool, ShutdownIsIdempotent)
+{
+    ThreadPool pool(4);
+    pool.parallelFor(32, [](std::size_t) {});
+    pool.shutdown();
+    pool.shutdown(); // second call must be a no-op, not a double-join
+    pool.parallelFor(4, [](std::size_t) {});
+    // The destructor runs shutdown() a third time on scope exit.
+}
+
+TEST(ThreadPool, DestructionImmediatelyAfterWorkIsClean)
+{
+    // Destroying the pool right after a region joins must not race the
+    // workers still returning to their wait loop. Iterate to give a
+    // latent race many chances to fire (deterministically caught by
+    // scripts/check_tsan.sh; here we just assert it does not hang or
+    // crash).
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> hits{0};
+        ThreadPool pool(4);
+        pool.parallelFor(16, [&](std::size_t) { hits++; });
+        EXPECT_EQ(hits.load(), 16);
+    }
+    // An unused pool's destructor must also join cleanly.
+    ThreadPool idle(8);
 }
 
 TEST(ThreadPool, NestedRegionsRunInline)

@@ -172,10 +172,10 @@ printReport(const ad::sim::ExecutionReport &r, double freq_ghz)
     table.addRow({"NoC overhead", ad::fmtPercent(r.nocOverhead)});
     table.addRow({"memory overhead", ad::fmtPercent(r.memOverhead)});
     table.addRow({"on-chip reuse", ad::fmtPercent(r.onChipReuseRatio)});
-    table.addRow({"HBM read", ad::fmtDouble(r.hbmReadBytes / 1e6, 1) + " MB"});
+    table.addRow({"HBM read", ad::fmtDouble(static_cast<double>(r.hbmReadBytes) / 1e6, 1) + " MB"});
     table.addRow({"HBM write",
-                  ad::fmtDouble(r.hbmWriteBytes / 1e6, 1) + " MB"});
-    table.addRow({"NoC traffic", ad::fmtDouble(r.nocBytes / 1e6, 1) + " MB"});
+                  ad::fmtDouble(static_cast<double>(r.hbmWriteBytes) / 1e6, 1) + " MB"});
+    table.addRow({"NoC traffic", ad::fmtDouble(static_cast<double>(r.nocBytes) / 1e6, 1) + " MB"});
     table.addRow({"energy", ad::fmtDouble(r.totalEnergyMj(), 2) + " mJ"});
     std::cout << table.render();
 }
@@ -189,8 +189,8 @@ cmdModels()
     for (const auto &entry : ad::models::tableOneModels()) {
         const auto g = entry.build();
         table.addRow({entry.name, std::to_string(g.layerCount()),
-                      ad::fmtDouble(g.totalParams() / 1e6, 1) + "M",
-                      ad::fmtDouble(g.totalMacs() / 1e9, 2),
+                      ad::fmtDouble(static_cast<double>(g.totalParams()) / 1e6, 1) + "M",
+                      ad::fmtDouble(static_cast<double>(g.totalMacs()) / 1e9, 2),
                       entry.description});
     }
     std::cout << table.render();
@@ -349,8 +349,9 @@ cmdValidate(const Args &args)
     row("conservation audits", audits.empty(),
         audits.empty()
             ? "HBM >= " +
-                  ad::fmtDouble(ad::check::compulsoryHbmReadBytes(
-                                    dag, result.schedule, system) /
+                  ad::fmtDouble(static_cast<double>(
+                                    ad::check::compulsoryHbmReadBytes(
+                                        dag, result.schedule, system)) /
                                     1e6,
                                 1) +
                   " MB compulsory"

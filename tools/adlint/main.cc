@@ -1,0 +1,166 @@
+/**
+ * @file
+ * adlint — project-specific determinism linter (DESIGN.md Sec. 10).
+ *
+ * Scans C++ sources for the determinism hazards the ahead-of-time
+ * orchestration stack must never reintroduce (unordered-container
+ * iteration, raw randomness, pointer keys, std::hash tie-breaks,
+ * parallel floating-point reduction) and prints
+ * `file:line: rule-id: message` diagnostics.
+ *
+ * Usage:
+ *   adlint [--list-rules] [path...]
+ *
+ * Paths may be files or directories (recursed; `build*` and `tests`
+ * directory components are skipped during recursion, but an explicitly
+ * passed path is always scanned — that is how the self-test fixtures
+ * under tests/adlint_fixtures are exercised). With no paths, scans
+ * `src` and `tools` under the current directory.
+ *
+ * Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool
+isSourceFile(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".cxx" ||
+           ext == ".hh" || ext == ".hpp" || ext == ".h";
+}
+
+/** Directory components never descended into during recursion. */
+bool
+skippedDir(const fs::path &p)
+{
+    const std::string name = p.filename().string();
+    return name == "tests" || name == ".git" ||
+           name.rfind("build", 0) == 0;
+}
+
+void
+gather(const fs::path &root, std::vector<fs::path> &files)
+{
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+        if (isSourceFile(root))
+            files.push_back(root);
+        return;
+    }
+    if (!fs::is_directory(root, ec)) {
+        std::cerr << "adlint: cannot read " << root.string() << '\n';
+        std::exit(2);
+    }
+    // Sorted traversal: diagnostics come out in a stable order (the
+    // linter practices what it preaches).
+    std::vector<fs::path> entries;
+    for (const auto &entry : fs::directory_iterator(root))
+        entries.push_back(entry.path());
+    std::sort(entries.begin(), entries.end());
+    for (const fs::path &p : entries) {
+        if (fs::is_directory(p, ec)) {
+            if (!skippedDir(p))
+                gather(p, files);
+        } else if (isSourceFile(p)) {
+            files.push_back(p);
+        }
+    }
+}
+
+std::string
+readFile(const fs::path &p)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in) {
+        std::cerr << "adlint: cannot open " << p.string() << '\n';
+        std::exit(2);
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<fs::path> roots;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--list-rules") {
+            for (const std::string &r : ad::lint::ruleNames())
+                std::cout << r << '\n';
+            return 0;
+        }
+        if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: adlint [--list-rules] [path...]\n";
+            return 0;
+        }
+        if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "adlint: unknown option " << arg << '\n';
+            return 2;
+        }
+        roots.emplace_back(arg);
+    }
+    if (roots.empty()) {
+        roots = {fs::path("src"), fs::path("tools")};
+        for (const fs::path &r : roots) {
+            if (!fs::exists(r)) {
+                std::cerr << "adlint: default root '" << r.string()
+                          << "' not found; run from the repository "
+                             "root or pass paths explicitly\n";
+                return 2;
+            }
+        }
+    }
+
+    std::vector<fs::path> files;
+    for (const fs::path &r : roots)
+        gather(r, files);
+
+    // Pass 1: names of unordered containers declared anywhere in the
+    // scanned set (headers declare, sources iterate).
+    std::vector<std::pair<fs::path, std::string>> contents;
+    contents.reserve(files.size());
+    std::vector<std::string> unordered_names;
+    for (const fs::path &f : files) {
+        contents.emplace_back(f, readFile(f));
+        ad::lint::collectUnorderedNames(contents.back().second,
+                                        unordered_names);
+    }
+
+    // Pass 2: rules.
+    std::size_t count = 0;
+    for (const auto &[path, text] : contents) {
+        const auto findings =
+            ad::lint::lintContent(path.string(), text, unordered_names);
+        for (const auto &f : findings) {
+            std::cout << f.file << ':' << f.line << ": " << f.rule
+                      << ": " << f.message << '\n';
+        }
+        count += findings.size();
+    }
+
+    if (count > 0) {
+        std::cerr << "adlint: " << count << " finding"
+                  << (count == 1 ? "" : "s") << " in " << files.size()
+                  << " files\n";
+        return 1;
+    }
+    std::cout << "adlint: clean (" << files.size() << " files)\n";
+    return 0;
+}

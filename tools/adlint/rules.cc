@@ -1,0 +1,632 @@
+#include "rules.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+
+namespace ad::lint {
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/**
+ * Replace the contents of comments, string literals, and character
+ * literals with spaces (newlines preserved), so the rule matchers never
+ * fire on prose or quoted text. Allowlist markers are read from the raw
+ * text separately.
+ */
+std::string
+maskCommentsAndStrings(const std::string &s)
+{
+    std::string out = s;
+    enum class State { Code, Line, Block, Str, Chr } st = State::Code;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        const char n = i + 1 < s.size() ? s[i + 1] : '\0';
+        switch (st) {
+          case State::Code:
+            if (c == '/' && n == '/') {
+                st = State::Line;
+                out[i] = ' ';
+            } else if (c == '/' && n == '*') {
+                st = State::Block;
+                out[i] = ' ';
+            } else if (c == '"') {
+                st = State::Str;
+            } else if (c == '\'') {
+                st = State::Chr;
+            }
+            break;
+          case State::Line:
+            if (c == '\n')
+                st = State::Code;
+            else
+                out[i] = ' ';
+            break;
+          case State::Block:
+            if (c == '*' && n == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Str:
+            if (c == '\\' && n != '\0') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Chr:
+            if (c == '\\' && n != '\0') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+            } else if (c == '\'') {
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+/** Byte offset of the start of every line, for offset -> line mapping. */
+std::vector<std::size_t>
+lineStarts(const std::string &s)
+{
+    std::vector<std::size_t> starts{0};
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\n')
+            starts.push_back(i + 1);
+    }
+    return starts;
+}
+
+int
+lineOf(const std::vector<std::size_t> &starts, std::size_t pos)
+{
+    const auto it =
+        std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<int>(it - starts.begin());
+}
+
+/** True when s[pos..] starts the whole word @p word. */
+bool
+wordAt(const std::string &s, std::size_t pos, const std::string &word)
+{
+    if (s.compare(pos, word.size(), word) != 0)
+        return false;
+    if (pos > 0 && isIdentChar(s[pos - 1]))
+        return false;
+    const std::size_t end = pos + word.size();
+    return end >= s.size() || !isIdentChar(s[end]);
+}
+
+/** pos at '<': index one past the matching '>', or npos. */
+std::size_t
+matchAngles(const std::string &s, std::size_t pos)
+{
+    int depth = 0;
+    for (std::size_t i = pos; i < s.size(); ++i) {
+        if (s[i] == '<') {
+            ++depth;
+        } else if (s[i] == '>') {
+            if (--depth == 0)
+                return i + 1;
+        } else if (s[i] == ';' || s[i] == '{') {
+            return std::string::npos; // not a template argument list
+        }
+    }
+    return std::string::npos;
+}
+
+/** pos at '(': index one past the matching ')', or npos. */
+std::size_t
+matchParens(const std::string &s, std::size_t pos)
+{
+    int depth = 0;
+    for (std::size_t i = pos; i < s.size(); ++i) {
+        if (s[i] == '(') {
+            ++depth;
+        } else if (s[i] == ')') {
+            if (--depth == 0)
+                return i + 1;
+        }
+    }
+    return std::string::npos;
+}
+
+/** pos at '{': index one past the matching '}', or npos. */
+std::size_t
+matchBraces(const std::string &s, std::size_t pos)
+{
+    int depth = 0;
+    for (std::size_t i = pos; i < s.size(); ++i) {
+        if (s[i] == '{') {
+            ++depth;
+        } else if (s[i] == '}') {
+            if (--depth == 0)
+                return i + 1;
+        }
+    }
+    return std::string::npos;
+}
+
+/** Every identifier token in @p s. */
+std::vector<std::string>
+identifiersIn(const std::string &s)
+{
+    std::vector<std::string> ids;
+    std::size_t i = 0;
+    while (i < s.size()) {
+        if (isIdentChar(s[i]) &&
+            !std::isdigit(static_cast<unsigned char>(s[i]))) {
+            std::size_t j = i;
+            while (j < s.size() && isIdentChar(s[j]))
+                ++j;
+            ids.push_back(s.substr(i, j - i));
+            i = j;
+        } else {
+            ++i;
+        }
+    }
+    return ids;
+}
+
+/** Disposition of an allowlist marker near a finding. */
+enum class Allow { None, Justified, Unjustified };
+
+/**
+ * Look for `adlint: <rule>-ok` on the finding's line or the two lines
+ * above it (raw text, so the marker lives in a comment). A marker must
+ * carry a justification — some non-empty text after the `-ok` token —
+ * to actually suppress.
+ */
+Allow
+allowlistState(const std::string &raw,
+               const std::vector<std::size_t> &starts, int line,
+               const std::string &rule)
+{
+    const std::string marker = "adlint: " + rule + "-ok";
+    for (int l = std::max(1, line - 2); l <= line; ++l) {
+        const std::size_t begin = starts[static_cast<std::size_t>(l - 1)];
+        const std::size_t end = static_cast<std::size_t>(l) < starts.size()
+                                    ? starts[static_cast<std::size_t>(l)]
+                                    : raw.size();
+        const std::string text = raw.substr(begin, end - begin);
+        const std::size_t at = text.find(marker);
+        if (at == std::string::npos)
+            continue;
+        // Justification: anything word-like after the marker (skipping
+        // punctuation/dashes), on this line or continued on the next.
+        std::string rest = text.substr(at + marker.size());
+        if (l < line ||
+            rest.find_first_not_of(" \t\r\n-:,.") != std::string::npos) {
+            bool has_word = false;
+            for (char c : rest) {
+                if (isIdentChar(c)) {
+                    has_word = true;
+                    break;
+                }
+            }
+            if (!has_word && l < static_cast<int>(starts.size())) {
+                // Marker at end of line: justification may continue on
+                // the following comment line.
+                const std::size_t nb =
+                    starts[static_cast<std::size_t>(l)];
+                const std::size_t ne =
+                    static_cast<std::size_t>(l + 1) < starts.size()
+                        ? starts[static_cast<std::size_t>(l + 1)]
+                        : raw.size();
+                const std::string next = raw.substr(nb, ne - nb);
+                if (next.find("//") != std::string::npos)
+                    has_word = true;
+            }
+            if (has_word)
+                return Allow::Justified;
+        }
+        return Allow::Unjustified;
+    }
+    return Allow::None;
+}
+
+/** Context shared by every rule while linting one file. */
+struct FileCtx
+{
+    const std::string &path;
+    const std::string &raw;
+    const std::string &code; ///< comments/strings masked out
+    const std::vector<std::size_t> &starts;
+    const std::vector<std::string> &unorderedNames;
+    std::vector<Finding> &findings;
+
+    void
+    report(std::size_t pos, const std::string &rule,
+           const std::string &message)
+    {
+        const int line = lineOf(starts, pos);
+        switch (allowlistState(raw, starts, line, rule)) {
+          case Allow::Justified:
+            return;
+          case Allow::Unjustified:
+            findings.push_back(
+                {path, line, "allowlist-justification",
+                 "allowlist marker for '" + rule +
+                     "' lacks a justification; say why the exemption "
+                     "is order-insensitive/safe"});
+            return;
+          case Allow::None:
+            findings.push_back({path, line, rule, message});
+            return;
+        }
+    }
+};
+
+bool
+isUnorderedName(const FileCtx &ctx, const std::string &id)
+{
+    return std::find(ctx.unorderedNames.begin(),
+                     ctx.unorderedNames.end(),
+                     id) != ctx.unorderedNames.end();
+}
+
+/**
+ * unordered-iter: range-for whose sequence expression mentions an
+ * unordered container (by declared-name lookup or literally), and
+ * `.begin()` / `.cbegin()` on a known unordered name (iterator loops
+ * and order-sensitive algorithm calls).
+ */
+void
+ruleUnorderedIter(FileCtx &ctx)
+{
+    const std::string &code = ctx.code;
+    for (std::size_t i = 0; i + 3 < code.size(); ++i) {
+        if (!wordAt(code, i, "for"))
+            continue;
+        std::size_t open = code.find_first_not_of(" \t\n", i + 3);
+        if (open == std::string::npos || code[open] != '(')
+            continue;
+        const std::size_t close = matchParens(code, open);
+        if (close == std::string::npos)
+            continue;
+        const std::string header =
+            code.substr(open + 1, close - open - 2);
+        // Top-level ':' (not '::') separates decl from sequence expr.
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        for (std::size_t k = 0; k < header.size(); ++k) {
+            const char c = header[k];
+            if (c == '(' || c == '[' || c == '{') {
+                ++depth;
+            } else if (c == ')' || c == ']' || c == '}') {
+                --depth;
+            } else if (c == ':' && depth == 0) {
+                const bool dbl =
+                    (k + 1 < header.size() && header[k + 1] == ':') ||
+                    (k > 0 && header[k - 1] == ':');
+                if (!dbl) {
+                    colon = k;
+                    break;
+                }
+            } else if (c == ';') {
+                break; // classic three-clause for
+            }
+        }
+        if (colon == std::string::npos)
+            continue;
+        const std::string expr = header.substr(colon + 1);
+        bool hit = expr.find("unordered_") != std::string::npos;
+        if (!hit) {
+            for (const std::string &id : identifiersIn(expr)) {
+                if (isUnorderedName(ctx, id)) {
+                    hit = true;
+                    break;
+                }
+            }
+        }
+        if (hit) {
+            ctx.report(
+                i, "unordered-iter",
+                "iteration over an unordered container: hash-table "
+                "order leaks into the loop's result (sort the keys "
+                "first, or allowlist with a justification)");
+        }
+    }
+
+    for (const std::string &name : ctx.unorderedNames) {
+        for (const char *method : {".begin(", ".cbegin("}) {
+            const std::string pat = name + method;
+            std::size_t at = 0;
+            while ((at = code.find(pat, at)) != std::string::npos) {
+                if (at == 0 || !isIdentChar(code[at - 1])) {
+                    ctx.report(
+                        at, "unordered-iter",
+                        "'" + name +
+                            method +
+                            ")': iterating an unordered container "
+                            "feeds hash-table order into the caller");
+                }
+                at += pat.size();
+            }
+        }
+    }
+}
+
+/** raw-rand: C randomness, random_device, and wall-clock seeding. */
+void
+ruleRawRand(FileCtx &ctx)
+{
+    const std::string &code = ctx.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        if (wordAt(code, i, "rand") || wordAt(code, i, "srand")) {
+            // Only calls: `rand (` — not declarations of other `rand`
+            // members (none exist in-tree, but keep the rule precise).
+            std::size_t j = i + (wordAt(code, i, "srand") ? 5 : 4);
+            j = code.find_first_not_of(" \t", j);
+            if (j != std::string::npos && code[j] == '(' &&
+                (i == 0 || code[i - 1] != '.')) {
+                ctx.report(
+                    i, "raw-rand",
+                    "rand()/srand(): unseeded global randomness; use "
+                    "an explicitly seeded ad::Rng");
+            }
+        }
+        if (wordAt(code, i, "random_device")) {
+            ctx.report(
+                i, "raw-rand",
+                "std::random_device: non-deterministic entropy source; "
+                "use an explicitly seeded ad::Rng");
+        }
+    }
+    // Wall-clock seeding: an RNG constructor/seed and a time source on
+    // the same statement line.
+    for (std::size_t l = 0; l < ctx.starts.size(); ++l) {
+        const std::size_t begin = ctx.starts[l];
+        const std::size_t end = l + 1 < ctx.starts.size()
+                                    ? ctx.starts[l + 1]
+                                    : code.size();
+        const std::string text = code.substr(begin, end - begin);
+        const bool rng = text.find("mt19937") != std::string::npos ||
+                         text.find(".seed(") != std::string::npos ||
+                         text.find("Rng(") != std::string::npos;
+        const bool clock = text.find("time(") != std::string::npos ||
+                           text.find("now()") != std::string::npos;
+        if (rng && clock) {
+            ctx.report(begin, "raw-rand",
+                       "time-seeded RNG: wall-clock seeds make runs "
+                       "irreproducible; seed from configuration");
+        }
+    }
+}
+
+/** pointer-key: pointer-typed map/set keys, and pointer->integer casts
+ * (the usual smuggling route for address-based ordering). */
+void
+rulePointerKey(FileCtx &ctx)
+{
+    const std::string &code = ctx.code;
+    static const char *kContainers[] = {
+        "map", "multimap", "set", "multiset",
+        "unordered_map", "unordered_multimap",
+        "unordered_set", "unordered_multiset"};
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        for (const char *cont : kContainers) {
+            const std::string word(cont);
+            if (!wordAt(code, i, word))
+                continue;
+            const std::size_t lt = i + word.size();
+            if (lt >= code.size() || code[lt] != '<')
+                continue;
+            // First template argument: up to a top-level ',' or '>'.
+            int depth = 1;
+            std::size_t k = lt + 1;
+            std::string arg;
+            for (; k < code.size() && depth > 0; ++k) {
+                const char c = code[k];
+                if (c == '<' || c == '(' || c == '[') {
+                    ++depth;
+                } else if (c == '>' || c == ')' || c == ']') {
+                    --depth;
+                } else if (c == ',' && depth == 1) {
+                    break;
+                }
+                if (depth > 0)
+                    arg += c;
+            }
+            while (!arg.empty() &&
+                   std::isspace(static_cast<unsigned char>(arg.back())))
+                arg.pop_back();
+            if (!arg.empty() && arg.back() == '*') {
+                ctx.report(
+                    i, "pointer-key",
+                    "pointer-typed " + word +
+                        " key: address order varies run to run under "
+                        "ASLR; key on a stable id instead");
+            }
+        }
+    }
+    for (const char *cast :
+         {"reinterpret_cast<std::uintptr_t>", "reinterpret_cast<uintptr_t>",
+          "reinterpret_cast<std::intptr_t>", "reinterpret_cast<intptr_t>"}) {
+        std::size_t at = 0;
+        const std::string pat(cast);
+        while ((at = code.find(pat, at)) != std::string::npos) {
+            ctx.report(at, "pointer-key",
+                       "pointer cast to integer: using addresses as "
+                       "keys or sort values is nondeterministic under "
+                       "ASLR");
+            at += pat.size();
+        }
+    }
+}
+
+/** hash-tiebreak: any direct std::hash use in scheduling-adjacent
+ * code; its value is implementation-defined (and may be salted), so it
+ * must never feed an ordering decision. */
+void
+ruleHashTiebreak(FileCtx &ctx)
+{
+    std::size_t at = 0;
+    while ((at = ctx.code.find("std::hash<", at)) != std::string::npos) {
+        ctx.report(at, "hash-tiebreak",
+                   "std::hash is implementation-defined; derive "
+                   "ordering/tie-breaks from stable ids, or use the "
+                   "project's explicit FNV hash for caching only");
+        at += 10;
+    }
+}
+
+/**
+ * fp-parallel-reduce: compound accumulation inside a parallelFor /
+ * parallelMap lambda. Writes of the form `slot[i] op= ...` own their
+ * index and are fine; anything else accumulates across iterations in
+ * claim order — a data race, and for floating point an
+ * order-dependent sum even with atomics.
+ */
+void
+ruleFpParallelReduce(FileCtx &ctx)
+{
+    const std::string &code = ctx.code;
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const bool pfor = wordAt(code, i, "parallelFor");
+        const bool pmap = wordAt(code, i, "parallelMap");
+        if (!pfor && !pmap)
+            continue;
+        // Find the lambda body: first '{' after the call starts.
+        const std::size_t brace = code.find('{', i);
+        if (brace == std::string::npos)
+            continue;
+        const std::size_t end = matchBraces(code, brace);
+        if (end == std::string::npos)
+            continue;
+        for (std::size_t k = brace; k + 1 < end; ++k) {
+            const char c = code[k];
+            if ((c != '+' && c != '-' && c != '*' && c != '/') ||
+                code[k + 1] != '=' ||
+                (k + 2 < end && code[k + 2] == '=')) {
+                continue;
+            }
+            if (k > 0 && (code[k - 1] == c || code[k - 1] == '<' ||
+                          code[k - 1] == '>')) {
+                continue; // ++/--/<<=/>>= or shift
+            }
+            // LHS: from the previous statement boundary to the op.
+            std::size_t b = k;
+            while (b > brace && code[b - 1] != ';' &&
+                   code[b - 1] != '{' && code[b - 1] != '}' &&
+                   code[b - 1] != '(' && code[b - 1] != ',') {
+                --b;
+            }
+            const std::string lhs = code.substr(b, k - b);
+            if (lhs.find('[') != std::string::npos)
+                continue; // indexed slot: owned by this iteration
+            ctx.report(
+                k, "fp-parallel-reduce",
+                "compound accumulation inside a parallel region: "
+                "claim-order reduction races and (for floating point) "
+                "changes the sum; write per-index slots and reduce "
+                "sequentially after the join");
+        }
+        i = brace;
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+ruleNames()
+{
+    return {"unordered-iter", "raw-rand", "pointer-key",
+            "hash-tiebreak", "fp-parallel-reduce",
+            "allowlist-justification"};
+}
+
+void
+collectUnorderedNames(const std::string &content,
+                      std::vector<std::string> &names)
+{
+    const std::string code = maskCommentsAndStrings(content);
+    for (std::size_t i = 0; i < code.size(); ++i) {
+        const bool m = wordAt(code, i, "unordered_map") ||
+                       wordAt(code, i, "unordered_multimap");
+        const bool s = wordAt(code, i, "unordered_set") ||
+                       wordAt(code, i, "unordered_multiset");
+        if (!m && !s)
+            continue;
+        std::size_t lt = i + (m ? 13 : 13); // both prefixes same length
+        while (lt < code.size() && isIdentChar(code[lt]))
+            ++lt; // cover the multimap/multiset suffix
+        if (lt >= code.size() || code[lt] != '<') {
+            i = lt;
+            continue;
+        }
+        const std::size_t after = matchAngles(code, lt);
+        if (after == std::string::npos) {
+            i = lt;
+            continue;
+        }
+        // Declared name: the next identifier after the template args,
+        // skipping refs/pointers/whitespace. `>::iterator`, `>()` and
+        // `> {` have none.
+        std::size_t k = after;
+        while (k < code.size() &&
+               (code[k] == ' ' || code[k] == '\t' || code[k] == '\n' ||
+                code[k] == '&' || code[k] == '*')) {
+            ++k;
+        }
+        if (k < code.size() && isIdentChar(code[k]) &&
+            !std::isdigit(static_cast<unsigned char>(code[k]))) {
+            std::size_t e = k;
+            while (e < code.size() && isIdentChar(code[e]))
+                ++e;
+            const std::string name = code.substr(k, e - k);
+            if (name != "const" &&
+                std::find(names.begin(), names.end(), name) ==
+                    names.end()) {
+                names.push_back(name);
+            }
+        }
+        i = after;
+    }
+}
+
+std::vector<Finding>
+lintContent(const std::string &path, const std::string &content,
+            const std::vector<std::string> &unordered_names)
+{
+    const std::string code = maskCommentsAndStrings(content);
+    const std::vector<std::size_t> starts = lineStarts(content);
+    std::vector<Finding> findings;
+    FileCtx ctx{path, content, code, starts, unordered_names, findings};
+
+    ruleUnorderedIter(ctx);
+    ruleRawRand(ctx);
+    rulePointerKey(ctx);
+    ruleHashTiebreak(ctx);
+    ruleFpParallelReduce(ctx);
+
+    std::sort(findings.begin(), findings.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.line != b.line)
+                      return a.line < b.line;
+                  return a.rule < b.rule;
+              });
+    return findings;
+}
+
+} // namespace ad::lint

@@ -1,0 +1,78 @@
+#pragma once
+
+/**
+ * @file
+ * Rule engine of `adlint`, the project-specific determinism linter.
+ *
+ * The ahead-of-time orchestration stack is only trustworthy if the
+ * scheduler and cost model are pure deterministic functions of the graph
+ * (DESIGN.md Sec. 10). These rules statically reject the ways C++ code
+ * silently loses that property:
+ *
+ *  - `unordered-iter`      iteration over `std::unordered_map` /
+ *                          `std::unordered_set`: hash-table order leaks
+ *                          into whatever the loop computes.
+ *  - `raw-rand`            `rand()` / `srand()` / `std::random_device` /
+ *                          time-seeded RNGs: unseeded or wall-clock
+ *                          randomness instead of the explicit `ad::Rng`.
+ *  - `pointer-key`         pointer values used as map/set keys: ASLR
+ *                          makes address order differ run to run.
+ *  - `hash-tiebreak`       `std::hash` in scheduling code: its value is
+ *                          implementation-defined and may be salted.
+ *  - `fp-parallel-reduce`  compound accumulation (`+=` on a shared slot)
+ *                          inside a `parallelFor` / `parallelMap`
+ *                          lambda: floating-point addition is not
+ *                          associative, so reduction order changes the
+ *                          result (and non-FP accumulation races).
+ *
+ * A finding is suppressed by an allowlist comment on the same line or
+ * one of the two lines above, naming the rule and justifying the
+ * exemption:
+ *
+ *     // adlint: unordered-iter-ok — keys are sorted before use
+ *
+ * A marker without a justification is itself reported
+ * (`allowlist-justification`), so exemptions stay auditable.
+ *
+ * The engine is deliberately textual (no compiler front-end): it runs in
+ * milliseconds over the whole tree, has zero dependencies, and the rules
+ * target idioms that are reliably recognizable at the token level.
+ * Comments and string literals are masked out before matching.
+ */
+
+#include <string>
+#include <vector>
+
+namespace ad::lint {
+
+/** One diagnostic, printed as `file:line: rule-id: message`. */
+struct Finding
+{
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+};
+
+/** Names of every rule the engine implements (stable, kebab-case). */
+std::vector<std::string> ruleNames();
+
+/**
+ * Pass 1: collect identifiers declared with an
+ * `unordered_map`/`unordered_set` type in @p content. Run over every
+ * file first so pass 2 can recognize iteration over a member declared
+ * in a header (e.g. `_entries` in a `.hh`, iterated in the `.cc`).
+ */
+void collectUnorderedNames(const std::string &content,
+                           std::vector<std::string> &names);
+
+/**
+ * Pass 2: lint @p content (from @p path, used only for diagnostics)
+ * against every rule. @p unordered_names is the union of pass-1 results
+ * across the scanned set.
+ */
+std::vector<Finding>
+lintContent(const std::string &path, const std::string &content,
+            const std::vector<std::string> &unordered_names);
+
+} // namespace ad::lint
