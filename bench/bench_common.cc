@@ -84,29 +84,14 @@ strategyNames()
     return names;
 }
 
-/** Run one named strategy; each call builds independent state, so calls
- * are safe to fan out over a shared read-only graph. */
+/** Run one named strategy through the planner factory; each call
+ * builds independent state, so calls are safe to fan out over a shared
+ * read-only graph. */
 sim::ExecutionReport
 runStrategy(const std::string &name, const graph::Graph &graph,
             const sim::SystemConfig &system, int batch)
 {
-    if (name == "LS") {
-        baselines::LsOptions options;
-        options.batch = batch;
-        return baselines::LayerSequential(system, options).run(graph);
-    }
-    if (name == "CNN-P") {
-        baselines::CnnPOptions options;
-        options.batch = batch;
-        return baselines::CnnPartition(system, options).run(graph);
-    }
-    if (name == "IL-Pipe") {
-        baselines::IlPipeOptions options;
-        options.batch = batch;
-        return baselines::IlPipe(system, options).run(graph);
-    }
-    adAssert(name == "AD", "unknown strategy ", name);
-    return runAd(graph, system, batch);
+    return baselines::makePlanner(name, system, batch)->run(graph);
 }
 
 } // namespace

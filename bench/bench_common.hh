@@ -19,10 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "baselines/cnn_partition.hh"
-#include "baselines/il_pipe.hh"
-#include "baselines/layer_sequential.hh"
-#include "baselines/rammer.hh"
+#include "baselines/planners.hh"
 #include "core/orchestrator.hh"
 #include "models/models.hh"
 #include "util/table.hh"

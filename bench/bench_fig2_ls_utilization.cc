@@ -9,6 +9,7 @@
 
 #include <iostream>
 
+#include "baselines/layer_sequential.hh"
 #include "bench_common.hh"
 #include "util/stats.hh"
 

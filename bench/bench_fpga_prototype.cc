@@ -9,6 +9,8 @@
 
 #include <iostream>
 
+#include "baselines/layer_sequential.hh"
+#include "baselines/rammer.hh"
 #include "bench_common.hh"
 
 int

@@ -2,9 +2,11 @@
 # The full validation gate (DESIGN.md Sec. 9):
 #   1. tier-1: Release build + the complete ctest suite;
 #   2. adctl validate over every Table-I zoo model;
-#   3. the differential-oracle and fuzz suites rebuilt and re-run under
+#   3. adctl trace on resnet50, with the Perfetto export checked to
+#      parse as JSON and to contain metadata + span events;
+#   4. the differential-oracle and fuzz suites rebuilt and re-run under
 #      AddressSanitizer and UndefinedBehaviorSanitizer;
-#   4. the static-analysis gate (DESIGN.md Sec. 10): hardened -Werror
+#   5. the static-analysis gate (DESIGN.md Sec. 10): hardened -Werror
 #      build, the adlint determinism linter, and clang-tidy when
 #      available (scripts/check_static.sh).
 #
@@ -28,6 +30,19 @@ for model in vgg19 resnet50 resnet152 resnet1001 inception_v3 \
     ./build/tools/adctl validate --network "$model"
 done
 ./build/tools/adctl validate --network random --seed 1
+
+echo "== adctl trace: Perfetto export parses as JSON =="
+./build/tools/adctl trace resnet50 --out build/trace_resnet50.json
+python3 - <<'EOF'
+import json
+with open("build/trace_resnet50.json") as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace has no events"
+phases = {e["ph"] for e in events}
+assert {"M", "X"} <= phases, f"missing metadata/span events: {phases}"
+print(f"trace OK: {len(events)} events, phases {sorted(phases)}")
+EOF
 
 # The check/fuzz suites exercise the new-code surface; sanitizers catch
 # what asserts cannot (OOB in the counting loops, UB in the bitmask

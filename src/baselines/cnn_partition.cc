@@ -5,6 +5,8 @@
 
 #include "core/partition.hh"
 #include "engine/cached_cost_model.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
 
 namespace ad::baselines {
 
@@ -87,8 +89,9 @@ CnnPartition::CnnPartition(const sim::SystemConfig &system,
         fatal("CNN-P needs at least one CLP");
 }
 
-sim::ExecutionReport
-CnnPartition::run(const graph::Graph &graph) const
+core::PlanResult
+CnnPartition::plan(const graph::Graph &graph,
+                   obs::Instrumentation *ins) const
 {
     const engine::CachedCostModel model(_system.engine,
                                         _system.dataflow);
@@ -221,7 +224,17 @@ CnnPartition::run(const graph::Graph &graph) const
                            (_system.engine.freqGhz * 1e9);
     report.staticEnergyPj =
         _system.engine.staticPowerMw * 1e-3 * seconds * 1e12 * engines;
-    return report;
+
+    if (ins && ins->metrics) {
+        ins->metrics->counter("cnnp.selected_clps")
+            .add(static_cast<std::uint64_t>(best_k));
+        ins->metrics->counter("cnnp.total_cycles")
+            .add(report.totalCycles);
+    }
+
+    core::PlanResult result;
+    result.report = report;
+    return result;
 }
 
 } // namespace ad::baselines

@@ -10,6 +10,7 @@
  * and a segment is paced by its slowest CLP.
  */
 
+#include "core/planner.hh"
 #include "engine/cost_model.hh"
 #include "graph/graph.hh"
 #include "sim/report.hh"
@@ -30,16 +31,22 @@ struct CnnPOptions
 };
 
 /** Analytic CNN-P executor built on the substrate cost models. */
-class CnnPartition
+class CnnPartition : public core::Planner
 {
   public:
     /** Create an executor for @p system. */
     CnnPartition(const sim::SystemConfig &system, CnnPOptions options);
 
-    /** Execute @p graph under CNN-P scheduling. */
-    sim::ExecutionReport run(const graph::Graph &graph) const;
+    /** Planner interface. */
+    std::string name() const override { return "CNN-P"; }
 
-    /** The CLP count the last run() selected (for diagnostics/tests). */
+    /** Evaluate @p graph under CNN-P scheduling. Analytic: the returned
+     * PlanResult has a null dag and empty schedule. */
+    core::PlanResult plan(const graph::Graph &graph,
+                          obs::Instrumentation *ins = nullptr)
+        const override;
+
+    /** The CLP count the last plan() selected (diagnostics/tests). */
     int selectedClps() const { return _selectedClps; }
 
   private:

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "engine/cached_cost_model.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
 
 namespace ad::baselines {
 
@@ -61,8 +63,9 @@ IlPipe::IlPipe(const sim::SystemConfig &system, IlPipeOptions options)
         fatal("IL-Pipe segments need at least one layer");
 }
 
-sim::ExecutionReport
-IlPipe::run(const graph::Graph &graph) const
+core::PlanResult
+IlPipe::plan(const graph::Graph &graph,
+             obs::Instrumentation *ins) const
 {
     const engine::CachedCostModel model(_system.engine,
                                         _system.dataflow);
@@ -234,7 +237,17 @@ IlPipe::run(const graph::Graph &graph) const
         static_cast<double>(total) / (_system.engine.freqGhz * 1e9);
     report.staticEnergyPj =
         _system.engine.staticPowerMw * 1e-3 * seconds * 1e12 * engines;
-    return report;
+
+    if (ins && ins->metrics) {
+        ins->metrics->counter("ilpipe.segments")
+            .add(static_cast<std::uint64_t>(segments));
+        ins->metrics->counter("ilpipe.total_cycles")
+            .add(report.totalCycles);
+    }
+
+    core::PlanResult result;
+    result.report = report;
+    return result;
 }
 
 } // namespace ad::baselines

@@ -11,6 +11,7 @@
  * Layer Loop Ordering (ALLO) fine-grained pipelining is enabled.
  */
 
+#include "core/planner.hh"
 #include "engine/cost_model.hh"
 #include "graph/graph.hh"
 #include "sim/report.hh"
@@ -29,16 +30,22 @@ struct IlPipeOptions
 };
 
 /** Analytic IL-Pipe executor built on the substrate cost models. */
-class IlPipe
+class IlPipe : public core::Planner
 {
   public:
     /** Create an executor for @p system. */
     IlPipe(const sim::SystemConfig &system, IlPipeOptions options);
 
-    /** Execute @p graph under IL-Pipe scheduling. */
-    sim::ExecutionReport run(const graph::Graph &graph) const;
+    /** Planner interface. */
+    std::string name() const override { return "IL-Pipe"; }
 
-    /** Segments formed during the last run() (for diagnostics/tests). */
+    /** Evaluate @p graph under IL-Pipe scheduling. Analytic: the
+     * returned PlanResult has a null dag and empty schedule. */
+    core::PlanResult plan(const graph::Graph &graph,
+                          obs::Instrumentation *ins = nullptr)
+        const override;
+
+    /** Segments formed during the last plan() (diagnostics/tests). */
     int segmentCount() const { return _segments; }
 
   private:

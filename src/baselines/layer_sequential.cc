@@ -24,8 +24,9 @@ LayerSequential::LayerSequential(const sim::SystemConfig &system,
         std::clamp(_options.samplesInFlight, 1, _options.batch);
 }
 
-LsPlan
-LayerSequential::plan(const graph::Graph &graph) const
+core::PlanResult
+LayerSequential::plan(const graph::Graph &graph,
+                      obs::Instrumentation *ins) const
 {
     const int engines = _system.engines();
     const int group = _options.samplesInFlight;
@@ -87,15 +88,13 @@ LayerSequential::plan(const graph::Graph &graph) const
         }
     }
 
-    return {std::move(dag), std::move(schedule)};
-}
-
-sim::ExecutionReport
-LayerSequential::run(const graph::Graph &graph) const
-{
-    const LsPlan p = plan(graph);
+    core::PlanResult result;
+    result.dag = std::move(dag);
+    result.schedule = std::move(schedule);
     const sim::SystemSimulator simulator(_system);
-    return simulator.execute(*p.dag, p.schedule);
+    result.report =
+        simulator.execute(*result.dag, result.schedule, ins);
+    return result;
 }
 
 std::vector<double>

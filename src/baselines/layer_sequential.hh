@@ -9,6 +9,7 @@
  */
 
 #include "core/orchestrator.hh"
+#include "core/planner.hh"
 #include "graph/graph.hh"
 #include "sim/report.hh"
 #include "sim/system.hh"
@@ -23,27 +24,25 @@ struct LsOptions
     int samplesInFlight = 4;
 };
 
-/** The compile-time artifacts LS produces: the evenly-partitioned DAG
- * and the strict layer-order schedule (exposed so validation tooling
- * can audit them without re-deriving the LS conventions). */
-struct LsPlan
-{
-    std::unique_ptr<core::AtomicDag> dag;
-    core::Schedule schedule;
-};
+/** Deprecated alias (one release): LS plans are ordinary PlanResults
+ * now; the dag/schedule fields audit tooling reads are unchanged. */
+using LsPlan = core::PlanResult;
 
 /** Layer-Sequential executor over the shared system simulator. */
-class LayerSequential
+class LayerSequential : public core::Planner
 {
   public:
     /** Create an executor for @p system. */
     LayerSequential(const sim::SystemConfig &system, LsOptions options);
 
-    /** Build the LS partition and schedule for @p graph. */
-    LsPlan plan(const graph::Graph &graph) const;
+    /** Planner interface. */
+    std::string name() const override { return "LS"; }
 
-    /** Execute @p graph under LS scheduling. */
-    sim::ExecutionReport run(const graph::Graph &graph) const;
+    /** Build the evenly-partitioned DAG + strict layer-order schedule
+     * for @p graph and execute it on the system simulator. */
+    core::PlanResult plan(const graph::Graph &graph,
+                          obs::Instrumentation *ins = nullptr)
+        const override;
 
     /**
      * Per-layer PE utilization of LS without communication delay —

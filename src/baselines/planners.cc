@@ -1,0 +1,49 @@
+#include "planners.hh"
+
+#include "baselines/cnn_partition.hh"
+#include "baselines/il_pipe.hh"
+#include "baselines/layer_sequential.hh"
+#include "baselines/rammer.hh"
+#include "core/orchestrator.hh"
+
+namespace ad::baselines {
+
+const std::vector<std::string> &
+plannerNames()
+{
+    static const std::vector<std::string> names = {
+        "LS", "CNN-P", "IL-Pipe", "Rammer", "AD"};
+    return names;
+}
+
+std::unique_ptr<core::Planner>
+makePlanner(const std::string &name, const sim::SystemConfig &system,
+            int batch)
+{
+    if (name == "LS") {
+        LsOptions options;
+        options.batch = batch;
+        return std::make_unique<LayerSequential>(system, options);
+    }
+    if (name == "CNN-P") {
+        CnnPOptions options;
+        options.batch = batch;
+        return std::make_unique<CnnPartition>(system, options);
+    }
+    if (name == "IL-Pipe") {
+        IlPipeOptions options;
+        options.batch = batch;
+        return std::make_unique<IlPipe>(system, options);
+    }
+    if (name == "Rammer")
+        return std::make_unique<RammerScheduler>(system, batch);
+    if (name == "AD") {
+        core::OrchestratorOptions options;
+        options.batch = batch;
+        return std::make_unique<core::Orchestrator>(system, options);
+    }
+    fatal("unknown planner '", name,
+          "' (expected LS, CNN-P, IL-Pipe, Rammer, or AD)");
+}
+
+} // namespace ad::baselines

@@ -1,0 +1,31 @@
+#pragma once
+
+/**
+ * @file
+ * Name-based planner factory: one place that maps the strategy names
+ * used by adctl, the benches, and the docs ("AD", "LS", "CNN-P",
+ * "IL-Pipe", "Rammer") to configured Planner instances. Keeps every
+ * driver loop strategy-agnostic.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/planner.hh"
+#include "sim/system.hh"
+
+namespace ad::baselines {
+
+/** Strategy names makePlanner accepts, in canonical display order. */
+const std::vector<std::string> &plannerNames();
+
+/**
+ * Build the planner registered under @p name (case-sensitive) for
+ * @p system at @p batch. Throws ConfigError for unknown names.
+ */
+std::unique_ptr<core::Planner>
+makePlanner(const std::string &name, const sim::SystemConfig &system,
+            int batch);
+
+} // namespace ad::baselines

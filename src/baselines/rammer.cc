@@ -11,8 +11,9 @@ RammerScheduler::RammerScheduler(const sim::SystemConfig &system,
         fatal("Rammer batch must be at least 1");
 }
 
-core::OrchestratorResult
-RammerScheduler::plan(const graph::Graph &graph) const
+core::PlanResult
+RammerScheduler::plan(const graph::Graph &graph,
+                      obs::Instrumentation *ins) const
 {
     core::OrchestratorOptions options;
     options.batch = _batch;
@@ -28,13 +29,7 @@ RammerScheduler::plan(const graph::Graph &graph) const
     options.mapper.stableOrder = false;
     options.onChipReuse = false;
     const core::Orchestrator orchestrator(_system, options);
-    return orchestrator.run(graph);
-}
-
-sim::ExecutionReport
-RammerScheduler::run(const graph::Graph &graph) const
-{
-    return plan(graph).report;
+    return orchestrator.plan(graph, ins);
 }
 
 } // namespace ad::baselines

@@ -18,20 +18,22 @@
 namespace ad::baselines {
 
 /** Rammer-like executor. */
-class RammerScheduler
+class RammerScheduler : public core::Planner
 {
   public:
     /** Create an executor for @p system processing @p batch samples. */
     RammerScheduler(const sim::SystemConfig &system, int batch = 1);
 
-    /**
-     * Full orchestration result (DAG + schedule + report) so validation
-     * tooling can audit the rTask schedule, not just read the report.
-     */
-    core::OrchestratorResult plan(const graph::Graph &graph) const;
+    /** Planner interface. */
+    std::string name() const override { return "Rammer"; }
 
-    /** Execute @p graph under rTask co-location scheduling. */
-    sim::ExecutionReport run(const graph::Graph &graph) const;
+    /**
+     * Full plan (DAG + schedule + report) so validation tooling can
+     * audit the rTask schedule, not just read the report.
+     */
+    core::PlanResult plan(const graph::Graph &graph,
+                          obs::Instrumentation *ins = nullptr)
+        const override;
 
   private:
     sim::SystemConfig _system;

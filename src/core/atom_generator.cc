@@ -127,6 +127,7 @@ SaAtomGenerator::generate(const ShapeCatalog &catalog) const
                        : std::exp(delta / (_options.lambda *
                                            std::max(temp, 1e-12)));
         if (rng.uniform() <= p) {
+            ++result.acceptedMoves;
             state = state_move;
             energy = energy_move;
             indices = moved;

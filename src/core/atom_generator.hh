@@ -26,6 +26,7 @@ struct GenerationResult
     double meanUtilization = 0.0;   ///< MAC-layer PE utilization, unweighted
     std::vector<double> varianceTrace; ///< per-iteration energy (Fig. 5b)
     int iterations = 0;             ///< iterations actually executed
+    int acceptedMoves = 0;          ///< moves the Metropolis rule kept
 };
 
 /** Parameters of Algorithm 1. */

@@ -1,10 +1,14 @@
 #include "orchestrator.hh"
 
 #include <algorithm>
-#include <chrono>
+#include <cmath>
 
 #include "engine/cached_cost_model.hh"
 #include "noc/mesh.hh"
+#include "obs/clock.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace ad::core {
 
@@ -68,10 +72,26 @@ Orchestrator::buildSchedule(const AtomicDag &dag) const
     return schedule;
 }
 
-OrchestratorResult
-Orchestrator::run(const graph::Graph &graph) const
+PlanResult
+Orchestrator::plan(const graph::Graph &graph,
+                   obs::Instrumentation *ins) const
 {
-    const auto start = std::chrono::steady_clock::now();
+    OrchestratorResult r = runImpl(graph, ins);
+    PlanResult out;
+    out.dag = std::move(r.dag);
+    out.schedule = std::move(r.schedule);
+    out.report = r.report;
+    out.searchSeconds = r.searchSeconds;
+    return out;
+}
+
+OrchestratorResult
+Orchestrator::runImpl(const graph::Graph &graph,
+                      obs::Instrumentation *ins) const
+{
+    const obs::Stopwatch total_sw;
+    obs::TraceRecorder *const tr = ins ? ins->trace : nullptr;
+    obs::MetricsRegistry *const ms = ins ? ins->metrics : nullptr;
 
     const engine::CachedCostModel model(_system.engine,
                                         _system.dataflow);
@@ -122,9 +142,46 @@ Orchestrator::run(const graph::Graph &graph) const
             evenPartitionShapes(graph, even_tiles, aligned_policy));
         break;
       case AtomGenMode::Sa: {
+        const obs::Stopwatch gen_sw;
         const ShapeCatalog catalog(graph, model);
         const SaAtomGenerator generator(_options.sa);
         result.generation = generator.generate(catalog);
+        if (ms) {
+            ms->gauge("host.generation_seconds").set(gen_sw.seconds());
+            ms->counter("sa.iterations")
+                .add(static_cast<std::uint64_t>(
+                    result.generation.iterations));
+            ms->counter("sa.accepted_moves")
+                .add(static_cast<std::uint64_t>(
+                    result.generation.acceptedMoves));
+            ms->gauge("sa.accept_rate")
+                .set(result.generation.iterations > 0
+                         ? static_cast<double>(
+                               result.generation.acceptedMoves) /
+                               result.generation.iterations
+                         : 0.0);
+            ms->gauge("sa.mean_cycles")
+                .set(result.generation.meanCycles);
+            ms->gauge("sa.final_variance")
+                .set(result.generation.finalVariance);
+            ms->gauge("sa.mean_utilization")
+                .set(result.generation.meanUtilization);
+        }
+        if (tr) {
+            // SA telemetry: energy and temperature curves as counter
+            // series on the search track, one sample per iteration
+            // (trace time = iteration index, not cycles).
+            tr->setTrackName(obs::kTrackSearch, "sa.search");
+            for (std::size_t i = 0;
+                 i < result.generation.varianceTrace.size(); ++i) {
+                tr->counter(obs::kTrackSearch, i, "sa.energy",
+                            result.generation.varianceTrace[i]);
+                tr->counter(obs::kTrackSearch, i, "sa.temperature",
+                            _options.sa.initialTemp *
+                                std::pow(_options.sa.lambda,
+                                         static_cast<double>(i + 1)));
+            }
+        }
         // Coarsen toward larger unified cycles until the DAG fits the
         // atom budget (tiny-layer networks at large batch).
         std::vector<TileShape> shapes = result.generation.shapes;
@@ -219,10 +276,34 @@ Orchestrator::run(const graph::Graph &graph) const
             result.dag = std::move(dag);
     }
 
-    result.searchSeconds =
-        std::chrono::duration<double>(
-            std::chrono::steady_clock::now() - start)
-            .count();
+    // Candidate evaluations above run untraced; re-execute only the
+    // winning schedule with instrumentation so the trace describes
+    // exactly the plan this call returns. Determinism makes the traced
+    // re-run bit-identical to the recorded report.
+    if (ins && result.dag) {
+        const sim::ExecutionReport traced =
+            simulator.execute(*result.dag, result.schedule, ins);
+        adAssert(traced.bitIdentical(result.report),
+                 "instrumented re-execution diverged from the "
+                 "uninstrumented winner");
+    }
+
+    result.searchSeconds = total_sw.seconds();
+    // Everything below is host-side state (wall clocks, the process-wide
+    // cost-model memo store with its racy relaxed counters): metric
+    // names take the reserved "host." prefix so determinism comparisons
+    // can exclude them wholesale — see MetricsRegistry::renderText.
+    if (ms) {
+        ms->gauge("host.search_seconds").set(result.searchSeconds);
+        ms->gauge("host.costmodel.hits")
+            .set(static_cast<double>(model.hits()));
+        ms->gauge("host.costmodel.misses")
+            .set(static_cast<double>(model.misses()));
+        ms->gauge("host.costmodel.size")
+            .set(static_cast<double>(model.size()));
+        ms->gauge("host.costmodel.contended")
+            .set(static_cast<double>(model.contended()));
+    }
     return result;
 }
 

@@ -14,6 +14,7 @@
 #include "core/atomic_dag.hh"
 #include "core/mapper.hh"
 #include "core/partition.hh"
+#include "core/planner.hh"
 #include "core/schedule.hh"
 #include "core/scheduler.hh"
 #include "sim/system.hh"
@@ -62,15 +63,33 @@ struct OrchestratorResult
  * Runs the full workflow on one workload. The input graph must outlive
  * the returned result (the AtomicDag references it).
  */
-class Orchestrator
+class Orchestrator : public Planner
 {
   public:
     /** Create an orchestrator for @p system with @p options. */
     Orchestrator(const sim::SystemConfig &system,
                  OrchestratorOptions options = {});
 
-    /** Optimize and evaluate @p graph end to end. */
-    OrchestratorResult run(const graph::Graph &graph) const;
+    /** Planner interface. */
+    std::string name() const override { return "AD"; }
+
+    /** Optimize and evaluate @p graph end to end. With a non-null
+     * @p ins, SA search telemetry and the winning schedule's execution
+     * trace are recorded (losing candidates are evaluated untraced). */
+    PlanResult plan(const graph::Graph &graph,
+                    obs::Instrumentation *ins = nullptr) const override;
+
+    /**
+     * Deprecated shim (one release): the historic entry point, kept so
+     * existing callers that want the GenerationResult keep compiling.
+     * Intentionally name-hides Planner::run — new code should use
+     * plan()/run() from the Planner interface.
+     */
+    OrchestratorResult
+    run(const graph::Graph &graph) const
+    {
+        return runImpl(graph, nullptr);
+    }
 
     /**
      * Build the mapped schedule for a pre-built @p dag (skips atom
@@ -85,6 +104,9 @@ class Orchestrator
     const OrchestratorOptions &options() const { return _options; }
 
   private:
+    OrchestratorResult runImpl(const graph::Graph &graph,
+                               obs::Instrumentation *ins) const;
+
     sim::SystemConfig _system;
     OrchestratorOptions _options;
 };

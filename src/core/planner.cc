@@ -1,0 +1,13 @@
+#include "planner.hh"
+
+namespace ad::core {
+
+Planner::~Planner() = default;
+
+sim::ExecutionReport
+Planner::run(const graph::Graph &graph, obs::Instrumentation *ins) const
+{
+    return plan(graph, ins).report;
+}
+
+} // namespace ad::core

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * The unified planning interface: a Planner turns a layer graph into a
+ * mapped atomic-dataflow plan (DAG + Round schedule) together with the
+ * execution report of that plan on the configured system. The
+ * atomic-dataflow Orchestrator and all four baseline strategies
+ * implement it, so benches, tools, and tests drive every strategy
+ * through one API (see baselines/planners.hh for the name factory).
+ *
+ * Analytic baselines that never materialize a schedule (CNN-Partition,
+ * IL-Pipe) return a PlanResult with a null `dag` and an empty
+ * `schedule`; the report is always filled.
+ */
+
+#include <memory>
+#include <string>
+
+#include "core/atomic_dag.hh"
+#include "core/schedule.hh"
+#include "graph/graph.hh"
+#include "sim/report.hh"
+
+namespace ad::obs {
+struct Instrumentation;
+} // namespace ad::obs
+
+namespace ad::core {
+
+/** Outcome of planning one workload under one strategy. */
+struct PlanResult
+{
+    /** The atom decomposition, or null for analytic baselines. */
+    std::unique_ptr<AtomicDag> dag;
+
+    /** Mapped Round schedule (empty for analytic baselines). */
+    Schedule schedule;
+
+    /** Execution report of the planned schedule. */
+    sim::ExecutionReport report;
+
+    /** Wall time spent searching (informational; excluded from every
+     * determinism comparison). */
+    double searchSeconds = 0.0;
+};
+
+/** Strategy interface: graph in, plan + report out. */
+class Planner
+{
+  public:
+    virtual ~Planner();
+
+    /** Short stable strategy name ("AD", "LS", "CNN-P", ...). */
+    virtual std::string name() const = 0;
+
+    /** Plan @p graph. When @p ins is non-null, search telemetry and
+     * execution traces are recorded through it; planning results are
+     * bit-identical with and without instrumentation. */
+    virtual PlanResult plan(const graph::Graph &graph,
+                            obs::Instrumentation *ins = nullptr)
+        const = 0;
+
+    /** Convenience: plan and keep only the report. */
+    sim::ExecutionReport run(const graph::Graph &graph,
+                             obs::Instrumentation *ins = nullptr) const;
+};
+
+} // namespace ad::core

@@ -79,7 +79,39 @@ struct CachedCostModel::Store
     std::array<Shard, kShards> shards;
     mutable std::atomic<std::uint64_t> hits{0};
     mutable std::atomic<std::uint64_t> misses{0};
+    mutable std::atomic<std::uint64_t> contended{0};
 };
+
+namespace {
+
+/**
+ * Scoped lock that counts contention: when the uncontended try_lock
+ * fails it bumps @p contended and falls back to a blocking lock. The
+ * counter is observability-only (shard-contention metric) and costs one
+ * extra CAS only on the already-slow contended path.
+ */
+class AD_SCOPED_CAPABILITY ContentionLock
+{
+  public:
+    ContentionLock(util::Mutex &mu,
+                   std::atomic<std::uint64_t> &contended) AD_ACQUIRE(mu)
+        : _mu(mu)
+    {
+        if (!_mu.try_lock()) {
+            contended.fetch_add(1, std::memory_order_relaxed);
+            _mu.lock();
+        }
+    }
+    ~ContentionLock() AD_RELEASE() { _mu.unlock(); }
+
+    ContentionLock(const ContentionLock &) = delete;
+    ContentionLock &operator=(const ContentionLock &) = delete;
+
+  private:
+    util::Mutex &_mu;
+};
+
+} // namespace
 
 namespace {
 
@@ -117,7 +149,7 @@ CachedCostModel::evaluate(const AtomWorkload &atom) const
     const std::size_t h = AtomWorkloadHash{}(atom);
     auto &shard = _store->shards[h % Store::kShards];
     {
-        util::MutexLock lk(shard.mu);
+        ContentionLock lk(shard.mu, _store->contended);
         auto it = shard.map.find(atom);
         if (it != shard.map.end()) {
             _store->hits.fetch_add(1, std::memory_order_relaxed);
@@ -128,7 +160,7 @@ CachedCostModel::evaluate(const AtomWorkload &atom) const
     // duplicate miss produces the identical value.
     const CostResult r = CostModel::evaluate(atom);
     {
-        util::MutexLock lk(shard.mu);
+        ContentionLock lk(shard.mu, _store->contended);
         shard.map.emplace(atom, r);
     }
     _store->misses.fetch_add(1, std::memory_order_relaxed);
@@ -157,6 +189,12 @@ std::uint64_t
 CachedCostModel::misses() const
 {
     return _store->misses.load(std::memory_order_relaxed);
+}
+
+std::uint64_t
+CachedCostModel::contended() const
+{
+    return _store->contended.load(std::memory_order_relaxed);
 }
 
 std::size_t

@@ -52,6 +52,10 @@ class CachedCostModel : public CostModel
     /** Cache misses (= distinct workloads evaluated, up to races). */
     std::uint64_t misses() const;
 
+    /** Times a shard lock was held by another thread on acquisition
+     * (observability: the costmodel.contended metric). */
+    std::uint64_t contended() const;
+
     /** Workloads currently memoized in this store. */
     std::size_t size() const;
 

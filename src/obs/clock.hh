@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * The only sanctioned wall-clock accessor in the tree.
+ *
+ * Simulated time (Cycles) drives every trace timestamp, so traces and
+ * metrics stay byte-identical across runs and thread counts. Wall time
+ * is still useful — search-cost reporting, per-stage profiling — but it
+ * must never leak into schedules, traces, or seeds. The adlint
+ * `wall-clock` rule forbids `std::chrono::steady_clock` (and friends)
+ * outside `src/obs`, so every wall-time read flows through this
+ * Stopwatch and stays auditable.
+ */
+
+#include <chrono>
+
+namespace ad::obs {
+
+/** Monotonic elapsed-seconds timer (the instrumentation clock). */
+class Stopwatch
+{
+  public:
+    /** Starts timing at construction. */
+    Stopwatch() : _start(std::chrono::steady_clock::now()) {}
+
+    /** Seconds elapsed since construction or the last restart(). */
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - _start)
+            .count();
+    }
+
+    /** Returns seconds() and resets the start point to now. */
+    double
+    restart()
+    {
+        const auto now = std::chrono::steady_clock::now();
+        const double s =
+            std::chrono::duration<double>(now - _start).count();
+        _start = now;
+        return s;
+    }
+
+  private:
+    std::chrono::steady_clock::time_point _start;
+};
+
+} // namespace ad::obs

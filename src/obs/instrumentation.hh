@@ -1,0 +1,28 @@
+#pragma once
+
+/**
+ * @file
+ * The uniform instrumentation hook threaded through `ad::core::Planner`
+ * and `ad::sim::Executor`.
+ *
+ * Both sinks are optional and independently nullable; a null sink means
+ * "off" and costs one pointer test at each instrumentation site (no
+ * virtual dispatch, no allocation — the zero-overhead-when-disabled
+ * contract of DESIGN.md Sec. 11). Producers must hoist the sink pointer
+ * once (`obs::TraceRecorder *tr = ins ? ins->trace : nullptr;`) and
+ * guard each record with `if (tr)`.
+ */
+
+namespace ad::obs {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+/** Optional sinks handed to planners and executors. */
+struct Instrumentation
+{
+    TraceRecorder *trace = nullptr;    ///< timeline events, or null
+    MetricsRegistry *metrics = nullptr; ///< counters/gauges, or null
+};
+
+} // namespace ad::obs

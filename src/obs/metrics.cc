@@ -1,0 +1,231 @@
+#include "metrics.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/common.hh"
+
+namespace ad::obs {
+
+HistogramMetric::HistogramMetric(double lo, double hi, std::size_t bins)
+    : _lo(lo), _width((hi - lo) / static_cast<double>(bins)),
+      _bins(bins), _counts(bins, 0)
+{
+    adAssert(bins > 0, "histogram needs at least one bucket");
+    adAssert(hi > lo, "histogram range must be non-empty");
+}
+
+void
+HistogramMetric::observe(double value)
+{
+    std::size_t bin = 0;
+    if (value >= _lo) {
+        const double offset = (value - _lo) / _width;
+        bin = offset >= static_cast<double>(_bins)
+                  ? _bins - 1
+                  : static_cast<std::size_t>(offset);
+        // Guard against FP edge cases right at the upper boundary.
+        if (bin >= _bins)
+            bin = _bins - 1;
+    }
+    util::MutexLock lk(_mu);
+    ++_counts[bin];
+}
+
+std::uint64_t
+HistogramMetric::binCount(std::size_t i) const
+{
+    util::MutexLock lk(_mu);
+    return _counts[i];
+}
+
+std::uint64_t
+HistogramMetric::total() const
+{
+    util::MutexLock lk(_mu);
+    std::uint64_t n = 0;
+    for (std::uint64_t c : _counts)
+        n += c;
+    return n;
+}
+
+std::string
+formatMetricValue(double v)
+{
+    // Shortest precision that round-trips, so dumps are stable and
+    // minimal. %.17g always round-trips for finite doubles.
+    char buf[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+        std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    return buf;
+}
+
+/** One registered metric; exactly one payload is non-null. */
+struct MetricsRegistry::Entry
+{
+    std::string name;
+    int kind = 0; ///< 0 counter, 1 gauge, 2 histogram
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<HistogramMetric> histogram;
+};
+
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Entry &
+MetricsRegistry::find(std::string_view name, int kind)
+{
+    util::MutexLock lk(_mu);
+    for (const auto &entry : _metrics) {
+        if (entry->name == name) {
+            adAssert(entry->kind == kind, "metric '", entry->name,
+                     "' re-registered with a different kind");
+            return *entry;
+        }
+    }
+    auto entry = std::make_unique<Entry>();
+    entry->name = std::string(name);
+    entry->kind = kind;
+    _metrics.push_back(std::move(entry));
+    return *_metrics.back();
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    Entry &entry = find(name, 0);
+    if (!entry.counter)
+        entry.counter = std::make_unique<Counter>();
+    return *entry.counter;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    Entry &entry = find(name, 1);
+    if (!entry.gauge)
+        entry.gauge = std::make_unique<Gauge>();
+    return *entry.gauge;
+}
+
+HistogramMetric &
+MetricsRegistry::histogram(std::string_view name, double lo, double hi,
+                           std::size_t bins)
+{
+    Entry &entry = find(name, 2);
+    if (!entry.histogram) {
+        entry.histogram.reset(new HistogramMetric(lo, hi, bins));
+    } else {
+        adAssert(entry.histogram->bins() == bins &&
+                     entry.histogram->binLow(0) == lo,
+                 "histogram '", entry.name,
+                 "' re-registered with a different shape");
+    }
+    return *entry.histogram;
+}
+
+std::size_t
+MetricsRegistry::size() const
+{
+    util::MutexLock lk(_mu);
+    return _metrics.size();
+}
+
+namespace {
+
+bool
+excluded(const std::string &name, std::string_view prefix)
+{
+    return !prefix.empty() &&
+           name.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace
+
+std::string
+MetricsRegistry::renderText(std::string_view exclude_prefix) const
+{
+    std::ostringstream os;
+    util::MutexLock lk(_mu);
+    for (const auto &entry : _metrics) {
+        if (excluded(entry->name, exclude_prefix))
+            continue;
+        switch (entry->kind) {
+          case 0:
+            os << entry->name << ' ' << entry->counter->value() << '\n';
+            break;
+          case 1:
+            os << entry->name << ' '
+               << formatMetricValue(entry->gauge->value()) << '\n';
+            break;
+          default: {
+            const HistogramMetric &h = *entry->histogram;
+            for (std::size_t i = 0; i < h.bins(); ++i) {
+                const std::uint64_t c = h.binCount(i);
+                if (c == 0)
+                    continue;
+                os << entry->name << '['
+                   << formatMetricValue(h.binLow(i)) << ','
+                   << formatMetricValue(h.binHigh(i)) << ") " << c
+                   << '\n';
+            }
+            os << entry->name << ".total " << h.total() << '\n';
+            break;
+          }
+        }
+    }
+    return os.str();
+}
+
+std::string
+MetricsRegistry::renderJson(std::string_view exclude_prefix) const
+{
+    std::ostringstream os;
+    os << '{';
+    bool first = true;
+    util::MutexLock lk(_mu);
+    for (const auto &entry : _metrics) {
+        if (excluded(entry->name, exclude_prefix))
+            continue;
+        if (!first)
+            os << ',';
+        first = false;
+        os << '"' << entry->name << "\":";
+        switch (entry->kind) {
+          case 0:
+            os << entry->counter->value();
+            break;
+          case 1:
+            os << formatMetricValue(entry->gauge->value());
+            break;
+          default: {
+            const HistogramMetric &h = *entry->histogram;
+            os << "{\"bins\":[";
+            bool first_bin = true;
+            for (std::size_t i = 0; i < h.bins(); ++i) {
+                const std::uint64_t c = h.binCount(i);
+                if (c == 0)
+                    continue;
+                if (!first_bin)
+                    os << ',';
+                first_bin = false;
+                os << '[' << formatMetricValue(h.binLow(i)) << ','
+                   << formatMetricValue(h.binHigh(i)) << ',' << c
+                   << ']';
+            }
+            os << "],\"total\":" << h.total() << '}';
+            break;
+          }
+        }
+    }
+    os << '}';
+    return os.str();
+}
+
+} // namespace ad::obs

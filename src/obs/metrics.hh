@@ -1,0 +1,168 @@
+#pragma once
+
+/**
+ * @file
+ * Metrics registry: named counters, gauges, and fixed-bucket histograms
+ * with stable registration order.
+ *
+ * The registry subsumes the ad-hoc conservation counters that used to
+ * live only in ExecutionReport and adds orchestrator-side telemetry (SA
+ * iterations and accept rate, per-stage wall time, cost-model cache
+ * behaviour). Design constraints:
+ *
+ *  - Registration returns a stable reference: entries are heap-allocated
+ *    and never move, so hot paths update a pre-fetched metric without
+ *    touching the registry lock.
+ *  - Rendering walks entries in registration order (never hash order),
+ *    so two runs that register and update identically produce
+ *    byte-identical dumps — the determinism contract the trace recorder
+ *    also honours. Nondeterministic host-side metrics (wall times,
+ *    process-wide cache statistics) are conventionally named under the
+ *    reserved `host.` prefix so determinism checks can exclude them.
+ *  - Counter/Gauge updates are relaxed atomics; Histogram::observe takes
+ *    a short mutex. None of this is on the simulator hot path unless a
+ *    registry is actually attached.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/thread_annotations.hh"
+
+namespace ad::obs {
+
+/** Monotonically increasing integer metric. */
+class Counter
+{
+  public:
+    /** Add @p delta (relaxed; per-thread order is irrelevant). */
+    void
+    add(std::uint64_t delta = 1)
+    {
+        _value.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    /** Current value. */
+    std::uint64_t
+    value() const
+    {
+        return _value.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> _value{0};
+};
+
+/** Last-write-wins floating-point metric. */
+class Gauge
+{
+  public:
+    /** Set the gauge to @p value. */
+    void set(double value) { _value.store(value, std::memory_order_relaxed); }
+
+    /** Current value. */
+    double value() const { return _value.load(std::memory_order_relaxed); }
+
+  private:
+    std::atomic<double> _value{0.0};
+};
+
+/**
+ * Fixed-width-bucket histogram over [lo, hi). Out-of-range observations
+ * clamp to the edge buckets (bucket 0 below lo, the last bucket at or
+ * above hi), so totals are conserved and dumps stay bounded.
+ */
+class HistogramMetric
+{
+  public:
+    /** Bucket count. */
+    std::size_t bins() const { return _bins; }
+
+    /** Inclusive lower edge of bucket @p i. */
+    double
+    binLow(std::size_t i) const
+    {
+        return _lo + static_cast<double>(i) * _width;
+    }
+
+    /** Exclusive upper edge of bucket @p i. */
+    double binHigh(std::size_t i) const { return binLow(i + 1); }
+
+    /** Record one observation. */
+    void observe(double value);
+
+    /** Observations landed in bucket @p i. */
+    std::uint64_t binCount(std::size_t i) const;
+
+    /** Total observations. */
+    std::uint64_t total() const;
+
+  private:
+    friend class MetricsRegistry;
+    HistogramMetric(double lo, double hi, std::size_t bins);
+
+    double _lo;
+    double _width;
+    std::size_t _bins;
+    mutable util::Mutex _mu;
+    std::vector<std::uint64_t> _counts AD_GUARDED_BY(_mu);
+};
+
+/**
+ * Named-metric registry. Re-registering a name returns the existing
+ * metric (kind and histogram shape must match — a mismatch is a bug and
+ * panics). Thread-safe; references stay valid for the registry's
+ * lifetime.
+ */
+class MetricsRegistry
+{
+  public:
+    MetricsRegistry();
+    ~MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /** Counter named @p name (registered on first use). */
+    Counter &counter(std::string_view name);
+
+    /** Gauge named @p name (registered on first use). */
+    Gauge &gauge(std::string_view name);
+
+    /** Histogram named @p name over [lo, hi) with @p bins buckets. */
+    HistogramMetric &histogram(std::string_view name, double lo,
+                               double hi, std::size_t bins);
+
+    /** Registered metric count. */
+    std::size_t size() const;
+
+    /**
+     * One `name value` line per metric, registration order. Metrics
+     * whose name starts with @p exclude_prefix are skipped (pass
+     * "host." to drop nondeterministic host-side metrics from
+     * determinism comparisons).
+     */
+    std::string renderText(std::string_view exclude_prefix = {}) const;
+
+    /** JSON object keyed by metric name, registration order. */
+    std::string renderJson(std::string_view exclude_prefix = {}) const;
+
+  private:
+    struct Entry;
+    Entry &find(std::string_view name, int kind);
+
+    mutable util::Mutex _mu;
+    std::vector<std::unique_ptr<Entry>> _metrics AD_GUARDED_BY(_mu);
+};
+
+/**
+ * Shortest round-trippable decimal rendering of @p v ("%.17g" pruned):
+ * the fixed formatting every registry dump uses, so equal values always
+ * produce equal bytes.
+ */
+std::string formatMetricValue(double v);
+
+} // namespace ad::obs

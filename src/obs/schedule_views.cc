@@ -1,16 +1,16 @@
-#include "trace.hh"
+#include "schedule_views.hh"
 
 #include <sstream>
 #include <vector>
 
 #include "util/common.hh"
 
-namespace ad::sim {
+namespace ad::obs {
 
 std::string
 renderScheduleText(const core::AtomicDag &dag,
                    const core::Schedule &schedule,
-                   const TraceOptions &options)
+                   const ScheduleViewOptions &options)
 {
     std::ostringstream os;
     const std::size_t limit = options.maxRounds == 0
@@ -75,4 +75,4 @@ renderEngineOccupancy(const core::Schedule &schedule, int engines)
     return os.str();
 }
 
-} // namespace ad::sim
+} // namespace ad::obs

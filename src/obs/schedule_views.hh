@@ -1,0 +1,40 @@
+#pragma once
+
+/**
+ * @file
+ * Untimed schedule views: human-readable and CSV renderings of a mapped
+ * schedule — a Round-by-Round listing (which atom of which layer ran on
+ * which engine) and a per-engine occupancy summary. These are the
+ * static counterparts of the timed TraceRecorder exports; together they
+ * form the `ad::obs` observability namespace. (Moved here from
+ * `sim/trace.hh`, which now forwards.)
+ */
+
+#include <string>
+
+#include "core/atomic_dag.hh"
+#include "core/schedule.hh"
+
+namespace ad::obs {
+
+/** Rendering options. */
+struct ScheduleViewOptions
+{
+    /** Rounds rendered in full before eliding (0 = all). */
+    std::size_t maxRounds = 32;
+};
+
+/** Text listing: one line per placement, grouped by Round. */
+std::string renderScheduleText(const core::AtomicDag &dag,
+                               const core::Schedule &schedule,
+                               const ScheduleViewOptions &options = {});
+
+/** CSV: round,engine,atom,layer,sample,h0,h1,w0,w1,c0,c1. */
+std::string renderScheduleCsv(const core::AtomicDag &dag,
+                              const core::Schedule &schedule);
+
+/** Per-engine placement counts ("occupancy histogram"). */
+std::string renderEngineOccupancy(const core::Schedule &schedule,
+                                  int engines);
+
+} // namespace ad::obs

@@ -1,0 +1,293 @@
+#include "trace.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <tuple>
+
+#include "obs/metrics.hh" // formatMetricValue
+
+namespace ad::obs {
+
+namespace {
+
+/** JSON string escaping (quotes, backslash, control characters). */
+std::string
+escapeJson(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/** CSV field quoting (RFC 4180 double-quote convention). */
+std::string
+csvField(std::string_view s)
+{
+    if (s.find_first_of(",\"\n") == std::string_view::npos)
+        return std::string(s);
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+/** The canonical total order every export uses. */
+bool
+eventLess(const TraceEvent &a, const TraceEvent &b)
+{
+    return std::tie(a.ts, a.track, a.kind, a.dur, a.name, a.args) <
+           std::tie(b.ts, b.track, b.kind, b.dur, b.name, b.args);
+}
+
+const char *
+kindName(TraceEvent::Kind kind)
+{
+    switch (kind) {
+      case TraceEvent::Kind::Span:
+        return "span";
+      case TraceEvent::Kind::Instant:
+        return "instant";
+      case TraceEvent::Kind::Counter:
+        return "counter";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+JsonArgs::prefix(std::string_view key)
+{
+    if (!_body.empty())
+        _body += ',';
+    _body += '"';
+    _body += escapeJson(key);
+    _body += "\":";
+}
+
+JsonArgs &
+JsonArgs::add(std::string_view key, std::uint64_t v)
+{
+    prefix(key);
+    _body += std::to_string(v);
+    return *this;
+}
+
+JsonArgs &
+JsonArgs::add(std::string_view key, std::int64_t v)
+{
+    prefix(key);
+    _body += std::to_string(v);
+    return *this;
+}
+
+JsonArgs &
+JsonArgs::add(std::string_view key, int v)
+{
+    return add(key, static_cast<std::int64_t>(v));
+}
+
+JsonArgs &
+JsonArgs::add(std::string_view key, double v)
+{
+    prefix(key);
+    _body += formatMetricValue(v);
+    return *this;
+}
+
+JsonArgs &
+JsonArgs::add(std::string_view key, std::string_view v)
+{
+    prefix(key);
+    _body += '"';
+    _body += escapeJson(v);
+    _body += '"';
+    return *this;
+}
+
+TraceRecorder::TraceRecorder() = default;
+
+TraceRecorder::Shard &
+TraceRecorder::shardFor(std::int32_t track)
+{
+    return _shards[static_cast<std::uint32_t>(track) % kShards];
+}
+
+void
+TraceRecorder::setProcessName(std::string name)
+{
+    util::MutexLock lk(_metaMu);
+    _processName = std::move(name);
+}
+
+void
+TraceRecorder::setTrackName(std::int32_t track, std::string name)
+{
+    util::MutexLock lk(_metaMu);
+    _trackNames[track] = std::move(name);
+}
+
+void
+TraceRecorder::span(std::int32_t track, Cycles ts, Cycles dur,
+                    std::string_view name, std::string args)
+{
+    Shard &shard = shardFor(track);
+    util::MutexLock lk(shard.mu);
+    shard.events.push_back({TraceEvent::Kind::Span, track, ts, dur,
+                            std::string(name), std::move(args)});
+}
+
+void
+TraceRecorder::instant(std::int32_t track, Cycles ts,
+                       std::string_view name, std::string args)
+{
+    Shard &shard = shardFor(track);
+    util::MutexLock lk(shard.mu);
+    shard.events.push_back({TraceEvent::Kind::Instant, track, ts, 0,
+                            std::string(name), std::move(args)});
+}
+
+void
+TraceRecorder::counter(std::int32_t track, Cycles ts,
+                       std::string_view name, double value)
+{
+    std::string args = JsonArgs().add("value", value).str();
+    Shard &shard = shardFor(track);
+    util::MutexLock lk(shard.mu);
+    shard.events.push_back({TraceEvent::Kind::Counter, track, ts, 0,
+                            std::string(name), std::move(args)});
+}
+
+std::size_t
+TraceRecorder::eventCount() const
+{
+    std::size_t n = 0;
+    for (const Shard &shard : _shards) {
+        util::MutexLock lk(shard.mu);
+        n += shard.events.size();
+    }
+    return n;
+}
+
+std::vector<TraceEvent>
+TraceRecorder::snapshot() const
+{
+    std::vector<TraceEvent> all;
+    all.reserve(eventCount());
+    for (const Shard &shard : _shards) {
+        util::MutexLock lk(shard.mu);
+        all.insert(all.end(), shard.events.begin(), shard.events.end());
+    }
+    std::sort(all.begin(), all.end(), eventLess);
+    return all;
+}
+
+std::string
+TraceRecorder::perfettoJson() const
+{
+    const std::vector<TraceEvent> events = snapshot();
+    std::ostringstream os;
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    const auto sep = [&]() -> std::ostream & {
+        if (!first)
+            os << ",\n";
+        first = false;
+        return os;
+    };
+    {
+        util::MutexLock lk(_metaMu);
+        if (!_processName.empty()) {
+            sep() << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                     "\"name\":\"process_name\",\"args\":{\"name\":\""
+                  << escapeJson(_processName) << "\"}}";
+        }
+        // std::map iteration: track-id order, deterministic.
+        for (const auto &[track, name] : _trackNames) {
+            sep() << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << track
+                  << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+                  << escapeJson(name) << "\"}}";
+        }
+    }
+    for (const TraceEvent &e : events) {
+        sep();
+        switch (e.kind) {
+          case TraceEvent::Kind::Span:
+            os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << e.track
+               << ",\"ts\":" << e.ts << ",\"dur\":" << e.dur;
+            break;
+          case TraceEvent::Kind::Instant:
+            os << "{\"ph\":\"i\",\"pid\":1,\"tid\":" << e.track
+               << ",\"ts\":" << e.ts << ",\"s\":\"t\"";
+            break;
+          case TraceEvent::Kind::Counter:
+            os << "{\"ph\":\"C\",\"pid\":1,\"tid\":" << e.track
+               << ",\"ts\":" << e.ts;
+            break;
+        }
+        os << ",\"name\":\"" << escapeJson(e.name) << '"';
+        if (!e.args.empty())
+            os << ",\"args\":" << e.args;
+        os << '}';
+    }
+    os << "\n]}\n";
+    return os.str();
+}
+
+std::string
+TraceRecorder::trackName(std::int32_t track) const
+{
+    util::MutexLock lk(_metaMu);
+    const auto it = _trackNames.find(track);
+    return it == _trackNames.end() ? std::string() : it->second;
+}
+
+std::string
+TraceRecorder::timelineCsv() const
+{
+    const std::vector<TraceEvent> events = snapshot();
+    std::ostringstream os;
+    os << "track,track_name,kind,ts,dur,name,args\n";
+    for (const TraceEvent &e : events) {
+        os << e.track << ',' << csvField(trackName(e.track)) << ','
+           << kindName(e.kind) << ',' << e.ts << ',' << e.dur << ','
+           << csvField(e.name) << ',' << csvField(e.args) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace ad::obs

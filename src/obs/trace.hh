@@ -1,0 +1,143 @@
+#pragma once
+
+/**
+ * @file
+ * Lock-sharded, deterministic timeline trace recorder.
+ *
+ * Producers (the system simulator, the orchestrator's search loop)
+ * record spans, instants, and counter samples against integer tracks;
+ * timestamps are *simulated* cycles, never wall time, so a trace is a
+ * pure function of the inputs. Events append to one of a small number
+ * of mutex-guarded shards (chosen by track id, so concurrent producers
+ * on different tracks rarely contend), and every export first sorts the
+ * merged event list by a total order — byte-identical output for any
+ * thread count and any interleaving.
+ *
+ * Exports:
+ *  - perfettoJson(): Chrome/Perfetto `trace_event` JSON (open in
+ *    ui.perfetto.dev or chrome://tracing). One cycle renders as one
+ *    microsecond of trace time.
+ *  - timelineCsv(): flat CSV of the same events for scripted analysis.
+ *
+ * Zero overhead when disabled: recording methods are non-virtual, and
+ * instrumented code holds a `TraceRecorder *` that is simply null when
+ * tracing is off (see obs/instrumentation.hh).
+ */
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/common.hh"
+#include "util/thread_annotations.hh"
+
+namespace ad::obs {
+
+// Well-known tracks. Engine tracks are kTrackEngineBase + engine id;
+// ids below the base are reserved for system-level timelines.
+inline constexpr std::int32_t kTrackRounds = 0; ///< round barriers
+inline constexpr std::int32_t kTrackNoc = 1;    ///< NoC multicasts
+inline constexpr std::int32_t kTrackHbm = 2;    ///< HBM transactions
+inline constexpr std::int32_t kTrackSearch = 3; ///< SA search telemetry
+inline constexpr std::int32_t kTrackEngineBase = 16;
+
+/**
+ * Incremental builder for a pre-rendered JSON `args` object. Building
+ * the string at record time keeps TraceEvent trivially sortable and
+ * avoids a second rendering pass at export.
+ */
+class JsonArgs
+{
+  public:
+    JsonArgs &add(std::string_view key, std::uint64_t v);
+    JsonArgs &add(std::string_view key, std::int64_t v);
+    JsonArgs &add(std::string_view key, int v);
+    JsonArgs &add(std::string_view key, double v);
+    JsonArgs &add(std::string_view key, std::string_view v);
+
+    /** The finished object, e.g. `{"atom":3,"bytes":4096}`. */
+    std::string str() const { return "{" + _body + "}"; }
+
+  private:
+    void prefix(std::string_view key);
+    std::string _body;
+};
+
+/** One recorded event. */
+struct TraceEvent
+{
+    enum class Kind : std::uint8_t {
+        Span,    ///< [ts, ts+dur) on a track (`ph:"X"`)
+        Instant, ///< point event at ts (`ph:"i"`)
+        Counter, ///< sampled series value at ts (`ph:"C"`)
+    };
+
+    Kind kind = Kind::Span;
+    std::int32_t track = 0;
+    Cycles ts = 0;
+    Cycles dur = 0;      ///< spans only
+    std::string name;
+    std::string args;    ///< pre-rendered JSON object, or empty
+};
+
+/** Deterministic sharded trace collector. */
+class TraceRecorder
+{
+  public:
+    TraceRecorder();
+    TraceRecorder(const TraceRecorder &) = delete;
+    TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+    /** Display name of the traced process (one per recorder). */
+    void setProcessName(std::string name);
+
+    /** Display name of @p track (e.g. "engine 12"). */
+    void setTrackName(std::int32_t track, std::string name);
+
+    /** Record a [ts, ts+dur) span on @p track. */
+    void span(std::int32_t track, Cycles ts, Cycles dur,
+              std::string_view name, std::string args = {});
+
+    /** Record a point event at @p ts on @p track. */
+    void instant(std::int32_t track, Cycles ts, std::string_view name,
+                 std::string args = {});
+
+    /** Record a counter-series sample at @p ts on @p track. */
+    void counter(std::int32_t track, Cycles ts, std::string_view name,
+                 double value);
+
+    /** Events recorded so far. */
+    std::size_t eventCount() const;
+
+    /** Merged copy of every event, in the canonical sorted order. */
+    std::vector<TraceEvent> snapshot() const;
+
+    /** Chrome/Perfetto `trace_event` JSON document. */
+    std::string perfettoJson() const;
+
+    /** CSV timeline: track,track_name,kind,ts,dur,name,args. */
+    std::string timelineCsv() const;
+
+  private:
+    static constexpr std::size_t kShards = 16;
+
+    struct Shard
+    {
+        mutable util::Mutex mu;
+        std::vector<TraceEvent> events AD_GUARDED_BY(mu);
+    };
+
+    Shard &shardFor(std::int32_t track);
+    std::string trackName(std::int32_t track) const;
+
+    std::array<Shard, kShards> _shards;
+    mutable util::Mutex _metaMu;
+    std::string _processName AD_GUARDED_BY(_metaMu);
+    std::map<std::int32_t, std::string> _trackNames
+        AD_GUARDED_BY(_metaMu);
+};
+
+} // namespace ad::obs

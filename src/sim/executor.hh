@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Abstract executor interface: anything that can run a mapped schedule
+ * over an atomic DAG and produce an ExecutionReport. The event-driven
+ * SystemSimulator is the production implementation; tests substitute
+ * lightweight fakes. The optional obs::Instrumentation handle threads
+ * the observability layer (trace recorder + metrics registry) through
+ * an execution — pass nullptr (the default) for zero overhead.
+ */
+
+#include "core/atomic_dag.hh"
+#include "core/schedule.hh"
+#include "sim/report.hh"
+
+namespace ad::obs {
+struct Instrumentation;
+} // namespace ad::obs
+
+namespace ad::sim {
+
+/** Executes mapped schedules; see SystemSimulator. */
+class Executor
+{
+  public:
+    virtual ~Executor();
+
+    /** Execute @p schedule over @p dag, optionally instrumented. */
+    virtual ExecutionReport
+    execute(const core::AtomicDag &dag, const core::Schedule &schedule,
+            obs::Instrumentation *ins = nullptr) const = 0;
+};
+
+} // namespace ad::sim

@@ -8,6 +8,8 @@
  * ratio, energy breakdown).
  */
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -56,9 +58,82 @@ struct ExecutionReport
     Bytes nocEjectedBytes = 0;  ///< payload bytes delivered at engines
     std::vector<Cycles> engineBusyCycles; ///< busy time per engine id
 
-    /** Field-wise equality (doubles exact) — the bit-identical-results
-     * contract of the deterministic thread pool. */
-    bool operator==(const ExecutionReport &) const = default;
+    /**
+     * Field-wise equality with doubles compared *exactly* — this is the
+     * bit-identical-results contract of the deterministic thread pool,
+     * not a numeric-closeness check. Use it to assert that two runs of
+     * the same workload (different thread counts, different wall-clock
+     * conditions) produced literally the same report. For comparing
+     * reports from different implementations (e.g. an analytic baseline
+     * vs. the event-driven simulator) use approxEqual().
+     */
+    bool
+    bitIdentical(const ExecutionReport &o) const
+    {
+        return totalCycles == o.totalCycles && rounds == o.rounds &&
+               batch == o.batch && peUtilization == o.peUtilization &&
+               computeUtilization == o.computeUtilization &&
+               nocOverhead == o.nocOverhead &&
+               memOverhead == o.memOverhead &&
+               onChipReuseRatio == o.onChipReuseRatio &&
+               hbmReadBytes == o.hbmReadBytes &&
+               hbmWriteBytes == o.hbmWriteBytes &&
+               nocBytes == o.nocBytes && nocHopBytes == o.nocHopBytes &&
+               localReuseBytes == o.localReuseBytes &&
+               weightHbmBytes == o.weightHbmBytes &&
+               spillWriteBytes == o.spillWriteBytes &&
+               finalWriteBytes == o.finalWriteBytes &&
+               storedAtoms == o.storedAtoms &&
+               unstoredAtoms == o.unstoredAtoms &&
+               computeEnergyPj == o.computeEnergyPj &&
+               nocEnergyPj == o.nocEnergyPj &&
+               hbmEnergyPj == o.hbmEnergyPj &&
+               staticEnergyPj == o.staticEnergyPj &&
+               launchedAtoms == o.launchedAtoms &&
+               retiredAtoms == o.retiredAtoms &&
+               nocInjectedBytes == o.nocInjectedBytes &&
+               nocEjectedBytes == o.nocEjectedBytes &&
+               engineBusyCycles == o.engineBusyCycles;
+    }
+
+    /**
+     * Loose comparison for cross-implementation checks: integers that
+     * describe the workload (rounds, batch, atom counts) must match
+     * exactly; cycle counts, utilizations, traffic, and energies must
+     * agree to relative tolerance @p tol. Conservation-audit counters
+     * and engineBusyCycles are ignored — analytic baselines leave them
+     * empty.
+     */
+    bool
+    approxEqual(const ExecutionReport &o, double tol) const
+    {
+        const auto close = [tol](double a, double b) {
+            const double mag = std::max(std::abs(a), std::abs(b));
+            return std::abs(a - b) <= tol * std::max(mag, 1.0);
+        };
+        return rounds == o.rounds && batch == o.batch &&
+               storedAtoms == o.storedAtoms &&
+               unstoredAtoms == o.unstoredAtoms &&
+               close(static_cast<double>(totalCycles),
+                     static_cast<double>(o.totalCycles)) &&
+               close(peUtilization, o.peUtilization) &&
+               close(computeUtilization, o.computeUtilization) &&
+               close(nocOverhead, o.nocOverhead) &&
+               close(memOverhead, o.memOverhead) &&
+               close(onChipReuseRatio, o.onChipReuseRatio) &&
+               close(static_cast<double>(hbmReadBytes),
+                     static_cast<double>(o.hbmReadBytes)) &&
+               close(static_cast<double>(hbmWriteBytes),
+                     static_cast<double>(o.hbmWriteBytes)) &&
+               close(static_cast<double>(nocBytes),
+                     static_cast<double>(o.nocBytes)) &&
+               close(static_cast<double>(nocHopBytes),
+                     static_cast<double>(o.nocHopBytes)) &&
+               close(computeEnergyPj, o.computeEnergyPj) &&
+               close(nocEnergyPj, o.nocEnergyPj) &&
+               close(hbmEnergyPj, o.hbmEnergyPj) &&
+               close(staticEnergyPj, o.staticEnergyPj);
+    }
 
     /** Total energy in picojoules. */
     PicoJoules

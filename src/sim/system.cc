@@ -1,10 +1,14 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "engine/cached_cost_model.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
 
 namespace ad::sim {
 
@@ -56,11 +60,32 @@ weightAddress(graph::LayerId layer, const mem::HbmConfig &hbm)
 
 } // namespace
 
+Executor::~Executor() = default;
+
 ExecutionReport
 SystemSimulator::execute(const AtomicDag &dag,
-                         const Schedule &schedule) const
+                         const Schedule &schedule,
+                         obs::Instrumentation *ins) const
 {
     const int num_engines = _config.engines();
+
+    // Hoisted null-or-recorder pointers: the hot path pays one branch
+    // per site when instrumentation is off, never a virtual call.
+    obs::TraceRecorder *const tr = ins ? ins->trace : nullptr;
+    obs::MetricsRegistry *const ms = ins ? ins->metrics : nullptr;
+    obs::HistogramMetric *const busy_hist =
+        ms ? &ms->histogram("sim.atom_busy_cycles", 0.0, 1048576.0, 64)
+           : nullptr;
+    if (tr) {
+        tr->setProcessName("ad.sim");
+        tr->setTrackName(obs::kTrackRounds, "rounds");
+        tr->setTrackName(obs::kTrackNoc, "noc");
+        tr->setTrackName(obs::kTrackHbm, "hbm");
+        for (int e = 0; e < num_engines; ++e) {
+            tr->setTrackName(obs::kTrackEngineBase + e,
+                             "engine " + std::to_string(e));
+        }
+    }
     const engine::CachedCostModel cost(_config.engine,
                                        _config.dataflow);
     const noc::MeshTopology topo(_config.meshX, _config.meshY);
@@ -198,6 +223,17 @@ SystemSimulator::execute(const AtomicDag &dag,
                         hit->second =
                             hbm.access(atomAddress(dep, _config.hbm),
                                        bytes, false, fetch_issue);
+                        if (tr) {
+                            tr->span(obs::kTrackHbm, fetch_issue,
+                                     hit->second - fetch_issue,
+                                     "hbm.fetch",
+                                     obs::JsonArgs()
+                                         .add("atom",
+                                              static_cast<std::int64_t>(
+                                                  dep))
+                                         .add("bytes", bytes)
+                                         .str());
+                        }
                     }
                     need.hbmReady =
                         std::max(need.hbmReady, hit->second);
@@ -208,11 +244,20 @@ SystemSimulator::execute(const AtomicDag &dag,
                 const Bytes bytes = dag.workload(p.atom).ifmapBytes(
                     _config.engine.bytesPerElem);
                 report.hbmReadBytes += bytes;
-                need.hbmReady = std::max(
-                    need.hbmReady,
+                const Tick input_done =
                     hbm.access(atomAddress(p.atom, _config.hbm) +
                                    _config.hbm.capacityBytes / 4,
-                               bytes, false, fetch_issue));
+                               bytes, false, fetch_issue);
+                if (tr) {
+                    tr->span(obs::kTrackHbm, fetch_issue,
+                             input_done - fetch_issue, "hbm.input",
+                             obs::JsonArgs()
+                                 .add("atom", static_cast<std::int64_t>(
+                                                  p.atom))
+                                 .add("bytes", bytes)
+                                 .str());
+                }
+                need.hbmReady = std::max(need.hbmReady, input_done);
             }
 
             // Weight slice sourcing: engines already holding the
@@ -257,10 +302,22 @@ SystemSimulator::execute(const AtomicDag &dag,
                 } else if (holder != p.engine) {
                     report.hbmReadBytes += wbytes;
                     report.weightHbmBytes += wbytes;
-                    need.hbmReady = std::max(
-                        need.hbmReady,
+                    const Tick weights_done =
                         hbm.access(weightAddress(layer, _config.hbm),
-                                   wbytes, false, fetch_issue));
+                                   wbytes, false, fetch_issue);
+                    if (tr) {
+                        tr->span(
+                            obs::kTrackHbm, fetch_issue,
+                            weights_done - fetch_issue, "hbm.weights",
+                            obs::JsonArgs()
+                                .add("layer",
+                                     dag.graph().layer(layer).name)
+                                .add("slice", slice)
+                                .add("bytes", wbytes)
+                                .str());
+                    }
+                    need.hbmReady =
+                        std::max(need.hbmReady, weights_done);
                     weight_fetches.emplace(slice_key, p.engine);
                 }
                 if (_config.onChipReuse) {
@@ -272,6 +329,17 @@ SystemSimulator::execute(const AtomicDag &dag,
                             report.hbmWriteBytes += e.bytes;
                             hbm.access(atomAddress(e.atom, _config.hbm),
                                        e.bytes, true, now);
+                            if (tr) {
+                                tr->instant(
+                                    obs::kTrackEngineBase + p.engine,
+                                    now, "sram.evict",
+                                    obs::JsonArgs()
+                                        .add("atom",
+                                             static_cast<std::int64_t>(
+                                                 e.atom))
+                                        .add("bytes", e.bytes)
+                                        .str());
+                            }
                         }
                     }
                 }
@@ -297,10 +365,12 @@ SystemSimulator::execute(const AtomicDag &dag,
             for (std::size_t g = 0; g < groups.size(); ++g) {
                 report.nocInjectedBytes +=
                     groups[g].mc.bytes * groups[g].mc.dsts.size();
+                Cycles group_done = 0;
                 for (std::size_t d = 0; d < groups[g].owners.size();
                      ++d) {
                     report.nocEjectedBytes += groups[g].mc.bytes;
                     Cycles ready = done[g][d];
+                    group_done = std::max(group_done, ready);
                     if (overlap_prev) {
                         ready = ready > prev_duration
                                     ? ready - prev_duration
@@ -308,6 +378,29 @@ SystemSimulator::execute(const AtomicDag &dag,
                     }
                     auto &need = needs[groups[g].owners[d]];
                     need.nocReady = std::max(need.nocReady, ready);
+                }
+                if (tr) {
+                    // Early multicasts stream during the previous
+                    // Round's compute; fresh ones start at the Round
+                    // boundary.
+                    const Tick start =
+                        overlap_prev ? prev_round_start : now;
+                    int max_hops = 0;
+                    for (const int dst : groups[g].mc.dsts) {
+                        max_hops = std::max(
+                            max_hops, topo.hops(groups[g].mc.src, dst));
+                    }
+                    tr->span(obs::kTrackNoc, start, group_done,
+                             overlap_prev ? "noc.multicast.early"
+                                          : "noc.multicast",
+                             obs::JsonArgs()
+                                 .add("src", groups[g].mc.src)
+                                 .add("dsts",
+                                      static_cast<std::uint64_t>(
+                                          groups[g].mc.dsts.size()))
+                                 .add("bytes", groups[g].mc.bytes)
+                                 .add("hops", max_hops)
+                                 .str());
                 }
             }
             report.nocBytes += noc_batch.totalBytes;
@@ -356,7 +449,26 @@ SystemSimulator::execute(const AtomicDag &dag,
             if (p.engine >= 0 && p.engine < num_engines) {
                 report.engineBusyCycles[static_cast<std::size_t>(
                     p.engine)] += busy;
+                // Recorded under the same guard as engineBusyCycles so
+                // the per-engine span durations sum exactly to the
+                // report counter (tested in test_obs).
+                if (tr) {
+                    const core::Atom &a = dag.atom(p.atom);
+                    tr->span(
+                        obs::kTrackEngineBase + p.engine, now, busy,
+                        dag.graph().layer(a.layer).name + "[" +
+                            std::to_string(a.index) + "]",
+                        obs::JsonArgs()
+                            .add("atom",
+                                 static_cast<std::int64_t>(p.atom))
+                            .add("compute", need.compute)
+                            .add("hbm_stall", hbm_stall)
+                            .add("noc_stall", noc_stall)
+                            .str());
+                }
             }
+            if (busy_hist)
+                busy_hist->observe(static_cast<double>(busy));
 
             const Tick finish = now + busy;
             round_end = std::max(round_end, finish);
@@ -366,8 +478,19 @@ SystemSimulator::execute(const AtomicDag &dag,
                 if (!_config.onChipReuse) {
                     const Bytes bytes = dag.ofmapBytes(p.atom);
                     report.hbmWriteBytes += bytes;
-                    hbm.access(atomAddress(p.atom, _config.hbm), bytes,
-                               true, when);
+                    const Tick write_done = hbm.access(
+                        atomAddress(p.atom, _config.hbm), bytes, true,
+                        when);
+                    if (tr) {
+                        tr->span(obs::kTrackHbm, when, write_done - when,
+                                 "hbm.write",
+                                 obs::JsonArgs()
+                                     .add("atom",
+                                          static_cast<std::int64_t>(
+                                              p.atom))
+                                     .add("bytes", bytes)
+                                     .str());
+                    }
                     return;
                 }
                 const auto evictions = residency.produce(
@@ -377,19 +500,34 @@ SystemSimulator::execute(const AtomicDag &dag,
                     if (!e.writeBack)
                         continue;
                     report.hbmWriteBytes += e.bytes;
+                    const char *write_kind = "sram.spill";
                     if (e.atom == p.atom) {
                         stored = false;
                         if (residency.nextUseAfter(
                                 p.atom, static_cast<int>(t)) < 0) {
                             report.finalWriteBytes += e.bytes;
+                            write_kind = "sram.final";
                         } else {
                             report.spillWriteBytes += e.bytes;
                         }
                     } else {
                         report.spillWriteBytes += e.bytes;
                     }
-                    hbm.access(atomAddress(e.atom, _config.hbm),
-                               e.bytes, true, when);
+                    const Tick write_done =
+                        hbm.access(atomAddress(e.atom, _config.hbm),
+                                   e.bytes, true, when);
+                    if (tr) {
+                        const std::string args =
+                            obs::JsonArgs()
+                                .add("atom", static_cast<std::int64_t>(
+                                                 e.atom))
+                                .add("bytes", e.bytes)
+                                .str();
+                        tr->instant(obs::kTrackEngineBase + p.engine,
+                                    when, write_kind, args);
+                        tr->span(obs::kTrackHbm, when, write_done - when,
+                                 "hbm.write", args);
+                    }
                 }
                 if (stored)
                     ++report.storedAtoms;
@@ -398,6 +536,16 @@ SystemSimulator::execute(const AtomicDag &dag,
             });
         }
         events.run();
+
+        if (tr) {
+            tr->span(obs::kTrackRounds, now, round_end - now, "round",
+                     obs::JsonArgs()
+                         .add("round", static_cast<std::uint64_t>(t))
+                         .add("placements",
+                              static_cast<std::uint64_t>(
+                                  round.placements.size()))
+                         .str());
+        }
 
         compute_only_total += round_compute_makespan;
         noc_overhead_cycles += max_noc_stall;
@@ -440,6 +588,30 @@ SystemSimulator::execute(const AtomicDag &dag,
                            (_config.engine.freqGhz * 1e9);
     report.staticEnergyPj = _config.engine.staticPowerMw * 1e-3 *
                             seconds * 1e12 * num_engines;
+
+    if (ms) {
+        ms->counter("sim.launched_atoms").add(report.launchedAtoms);
+        ms->counter("sim.retired_atoms").add(report.retiredAtoms);
+        ms->counter("sim.rounds").add(report.rounds);
+        ms->counter("sim.hbm_read_bytes").add(report.hbmReadBytes);
+        ms->counter("sim.hbm_write_bytes").add(report.hbmWriteBytes);
+        ms->counter("sim.noc_injected_bytes")
+            .add(report.nocInjectedBytes);
+        ms->counter("sim.noc_ejected_bytes")
+            .add(report.nocEjectedBytes);
+        ms->counter("sim.stored_atoms").add(report.storedAtoms);
+        ms->counter("sim.unstored_atoms").add(report.unstoredAtoms);
+        ms->gauge("sim.total_cycles")
+            .set(static_cast<double>(report.totalCycles));
+        ms->gauge("sim.pe_utilization").set(report.peUtilization);
+        ms->gauge("sim.compute_utilization")
+            .set(report.computeUtilization);
+        ms->gauge("sim.noc_overhead").set(report.nocOverhead);
+        ms->gauge("sim.mem_overhead").set(report.memOverhead);
+        ms->gauge("sim.on_chip_reuse_ratio")
+            .set(report.onChipReuseRatio);
+        ms->gauge("sim.total_energy_pj").set(report.totalEnergyPj());
+    }
     return report;
 }
 

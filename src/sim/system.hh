@@ -15,6 +15,7 @@
 #include "mem/hbm_model.hh"
 #include "noc/noc_model.hh"
 #include "sim/event_queue.hh"
+#include "sim/executor.hh"
 #include "sim/report.hh"
 
 namespace ad::sim {
@@ -60,15 +61,21 @@ struct SystemConfig
  * ResidencyTracker with Algorithm 3 evictions; live spills are written
  * back to HBM as posted writes.
  */
-class SystemSimulator
+class SystemSimulator : public Executor
 {
   public:
     /** Create a simulator for @p config. */
     explicit SystemSimulator(const SystemConfig &config);
 
-    /** Execute @p schedule over @p dag and report. */
+    /** Execute @p schedule over @p dag and report. When @p ins carries
+     * a TraceRecorder, every atom launch/retire, NoC multicast, HBM
+     * transaction, spill, and Round barrier is recorded against
+     * simulated time; a MetricsRegistry receives the conservation
+     * counters. Null members (or a null @p ins) cost nothing. */
     ExecutionReport execute(const core::AtomicDag &dag,
-                            const core::Schedule &schedule) const;
+                            const core::Schedule &schedule,
+                            obs::Instrumentation *ins = nullptr)
+        const override;
 
     /** Configuration in use. */
     const SystemConfig &config() const { return _config; }

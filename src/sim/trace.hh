@@ -2,37 +2,20 @@
 
 /**
  * @file
- * Human-readable and CSV renderings of a mapped schedule: a Round-by-
- * Round listing (which atom of which layer ran on which engine) and a
- * per-engine occupancy summary. Useful for debugging schedules and for
- * post-processing in external plotting tools.
+ * Deprecated forwarding header. The schedule renderers moved to
+ * `ad::obs` (obs/schedule_views.hh) so there is one observability
+ * namespace; include that header and use the `ad::obs` names in new
+ * code. The aliases below keep existing `ad::sim` call sites compiling
+ * for one release and will then be removed.
  */
 
-#include <string>
-
-#include "core/atomic_dag.hh"
-#include "core/schedule.hh"
+#include "obs/schedule_views.hh"
 
 namespace ad::sim {
 
-/** Rendering options. */
-struct TraceOptions
-{
-    /** Rounds rendered in full before eliding (0 = all). */
-    std::size_t maxRounds = 32;
-};
-
-/** Text listing: one line per placement, grouped by Round. */
-std::string renderScheduleText(const core::AtomicDag &dag,
-                               const core::Schedule &schedule,
-                               const TraceOptions &options = {});
-
-/** CSV: round,engine,atom,layer,sample,h0,h1,w0,w1,c0,c1. */
-std::string renderScheduleCsv(const core::AtomicDag &dag,
-                              const core::Schedule &schedule);
-
-/** Per-engine placement counts ("occupancy histogram"). */
-std::string renderEngineOccupancy(const core::Schedule &schedule,
-                                  int engines);
+using TraceOptions = obs::ScheduleViewOptions;
+using obs::renderEngineOccupancy;
+using obs::renderScheduleCsv;
+using obs::renderScheduleText;
 
 } // namespace ad::sim

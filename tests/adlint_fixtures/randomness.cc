@@ -30,3 +30,4 @@ wallClockSeed()
 //   raw-rand   (rand)
 //   raw-rand   (random_device)
 //   raw-rand   (time-seeded mt19937)
+//   wall-clock (steady_clock read in the seed expression)

@@ -1,0 +1,34 @@
+// adlint fixture: wall-clock reads outside src/obs. Never compiled.
+#include <chrono>
+#include <cstdint>
+
+std::uint64_t
+timestamp()
+{
+    // BAD: wall time in scheduling-adjacent code — nondeterministic.
+    return static_cast<std::uint64_t>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}
+
+double
+wallSeconds()
+{
+    // BAD: same problem through a different clock.
+    const auto a = std::chrono::high_resolution_clock::now();
+    const auto b = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration<double>(b - a).count();
+}
+
+std::int64_t
+epochMillis()
+{
+    // BAD: calendar time is even less reproducible.
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+// Expected findings:
+//   wall-clock (steady_clock)
+//   wall-clock (high_resolution_clock, twice)
+//   wall-clock (system_clock)

@@ -43,7 +43,8 @@ TEST(AdlintRules, RuleSetIsStable)
     const auto names = ruleNames();
     for (const char *expected :
          {"unordered-iter", "raw-rand", "pointer-key", "hash-tiebreak",
-          "fp-parallel-reduce", "allowlist-justification"}) {
+          "fp-parallel-reduce", "wall-clock",
+          "allowlist-justification"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
             << "missing rule " << expected;
@@ -224,6 +225,37 @@ void scale(std::vector<double> &xs) {
 }
 )");
     EXPECT_TRUE(linesFor(findings, "fp-parallel-reduce").empty());
+}
+
+TEST(AdlintRules, WallClockReadsAreFlagged)
+{
+    const auto findings = lint(R"(
+#include <chrono>
+double seconds() {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto t1 = std::chrono::high_resolution_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+auto stamp() { return std::chrono::system_clock::now(); }
+)");
+    EXPECT_EQ(linesFor(findings, "wall-clock"),
+              (std::vector<int>{4, 5, 8}));
+}
+
+TEST(AdlintRules, ObsQuarantineIsExemptFromWallClock)
+{
+    const std::string code =
+        "auto now() { return std::chrono::steady_clock::now(); }";
+    const std::vector<std::string> names;
+    EXPECT_TRUE(linesFor(lintContent("src/obs/clock.hh", code, names),
+                         "wall-clock")
+                    .empty());
+    EXPECT_TRUE(linesFor(lintContent("obs/clock.hh", code, names),
+                         "wall-clock")
+                    .empty());
+    EXPECT_EQ(linesFor(lintContent("src/sim/system.cc", code, names),
+                       "wall-clock"),
+              std::vector<int>{1});
 }
 
 TEST(AdlintRules, CommentsAndStringsAreMasked)

@@ -77,7 +77,8 @@ TEST(Fuzz, LayerSequentialIsValidAuditedAndDeterministic)
 
         const auto one = withThreads(1, [&] { return ls.run(graph); });
         const auto four = withThreads(4, [&] { return ls.run(graph); });
-        EXPECT_TRUE(one == four) << "LS report differs across threads";
+        EXPECT_TRUE(one.bitIdentical(four))
+            << "LS report differs across threads";
 
         const auto plan = ls.plan(graph);
         expectCleanExecution(*plan.dag, plan.schedule, system, one);
@@ -98,7 +99,7 @@ TEST(Fuzz, AnalyticBaselinesAreDeterministic)
             withThreads(1, [&] { return cnn.run(graph); });
         const auto cnn_four =
             withThreads(4, [&] { return cnn.run(graph); });
-        EXPECT_TRUE(cnn_one == cnn_four)
+        EXPECT_TRUE(cnn_one.bitIdentical(cnn_four))
             << "CNN-Partition report differs across threads";
 
         ad::baselines::IlPipeOptions pipe;
@@ -108,7 +109,7 @@ TEST(Fuzz, AnalyticBaselinesAreDeterministic)
             withThreads(1, [&] { return il.run(graph); });
         const auto il_four =
             withThreads(4, [&] { return il.run(graph); });
-        EXPECT_TRUE(il_one == il_four)
+        EXPECT_TRUE(il_one.bitIdentical(il_four))
             << "IL-Pipe report differs across threads";
     }
 }
@@ -129,7 +130,7 @@ TEST(Fuzz, RammerIsValidAuditedAndDeterministic)
             withThreads(1, [&] { return rammer.plan(graph); });
         const auto four =
             withThreads(4, [&] { return rammer.run(graph); });
-        EXPECT_TRUE(one.report == four)
+        EXPECT_TRUE(one.report.bitIdentical(four))
             << "Rammer report differs across threads";
 
         expectCleanExecution(*one.dag, one.schedule, audited,
@@ -157,7 +158,7 @@ TEST(Fuzz, AtomicDataflowIsValidAuditedAndDeterministic)
             withThreads(1, [&] { return orchestrator.run(graph); });
         const auto four =
             withThreads(4, [&] { return orchestrator.run(graph); });
-        EXPECT_TRUE(one.report == four.report)
+        EXPECT_TRUE(one.report.bitIdentical(four.report))
             << "AD report differs across threads";
 
         expectCleanExecution(*one.dag, one.schedule, system,

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Tests for the ad::obs observability layer and the unified
+ * Planner/Executor API it hangs off: metric primitives, trace-recorder
+ * exports, and the determinism contract — instrumented runs produce
+ * byte-identical traces and metrics for any thread count, and tracing
+ * never perturbs the simulated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/planners.hh"
+#include "core/orchestrator.hh"
+#include "models/models.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "sim/system.hh"
+#include "testing_support/random_graph.hh"
+#include "util/thread_pool.hh"
+
+namespace ad {
+namespace {
+
+/** Restores the global pool to its default size on scope exit. */
+struct GlobalThreadsGuard
+{
+    ~GlobalThreadsGuard() { util::ThreadPool::setGlobalThreads(0); }
+};
+
+// ---------------------------------------------------------------------
+// Metric primitives.
+
+TEST(Metrics, HistogramBucketingAndEdgeClamping)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric &h = reg.histogram("h", 0.0, 100.0, 10);
+    EXPECT_EQ(h.bins(), 10u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLow(9), 90.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(9), 100.0);
+
+    h.observe(0.0);    // inclusive lower edge -> bucket 0
+    h.observe(9.9);    // interior of bucket 0
+    h.observe(10.0);   // bucket boundary belongs to bucket 1
+    h.observe(-5.0);   // below lo clamps to bucket 0
+    h.observe(100.0);  // hi itself clamps to the last bucket
+    h.observe(1e12);   // far above hi clamps too
+    EXPECT_EQ(h.binCount(0), 3u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(9), 2u);
+    EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(Metrics, RegistrationOrderIsStableAndRefsAreReused)
+{
+    obs::MetricsRegistry reg;
+    obs::Counter &b = reg.counter("b");
+    obs::Counter &a = reg.counter("a");
+    reg.gauge("g");
+    b.add(2);
+    a.add();
+    EXPECT_EQ(&reg.counter("b"), &b); // re-registration: same metric
+    EXPECT_EQ(reg.size(), 3u);
+    // renderText walks registration order, never name order.
+    EXPECT_EQ(reg.renderText(), "b 2\na 1\ng 0\n");
+    EXPECT_EQ(reg.renderJson(), "{\"b\":2,\"a\":1,\"g\":0}");
+}
+
+TEST(Metrics, ExcludePrefixDropsHostMetrics)
+{
+    obs::MetricsRegistry reg;
+    reg.counter("sim.rounds").add(4);
+    reg.gauge("host.search_seconds").set(1.5);
+    reg.counter("host.costmodel.hits").add(9);
+    EXPECT_EQ(reg.renderText("host."), "sim.rounds 4\n");
+    EXPECT_EQ(reg.renderJson("host."), "{\"sim.rounds\":4}");
+}
+
+TEST(Metrics, HistogramTextRenderingSkipsEmptyBuckets)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric &h = reg.histogram("lat", 0.0, 4.0, 4);
+    h.observe(0.5);
+    h.observe(3.5);
+    h.observe(3.6);
+    EXPECT_EQ(reg.renderText(),
+              "lat[0,1) 1\nlat[3,4) 2\nlat.total 3\n");
+}
+
+TEST(Metrics, FormatMetricValueRoundTrips)
+{
+    EXPECT_EQ(obs::formatMetricValue(0.0), "0");
+    EXPECT_EQ(obs::formatMetricValue(1.5), "1.5");
+    EXPECT_EQ(obs::formatMetricValue(1e6), "1e+06");
+    // Shortest representation that parses back to the same double.
+    EXPECT_EQ(obs::formatMetricValue(0.1), "0.1");
+}
+
+// ---------------------------------------------------------------------
+// Trace recorder.
+
+TEST(Trace, JsonArgsEscapesStrings)
+{
+    const std::string args = obs::JsonArgs()
+                                 .add("name", "a\"b\\c\nd")
+                                 .add("bytes", std::uint64_t{42})
+                                 .str();
+    EXPECT_EQ(args, "{\"name\":\"a\\\"b\\\\c\\nd\",\"bytes\":42}");
+}
+
+TEST(Trace, SnapshotIsCanonicallySorted)
+{
+    obs::TraceRecorder tr;
+    tr.span(5, 100, 10, "later");
+    tr.span(3, 100, 10, "lower-track");
+    tr.instant(1, 50, "first");
+    tr.counter(1, 75, "series", 2.0);
+    const auto events = tr.snapshot();
+    ASSERT_EQ(events.size(), 4u);
+    EXPECT_EQ(events[0].name, "first");
+    EXPECT_EQ(events[1].name, "series");
+    EXPECT_EQ(events[2].name, "lower-track");
+    EXPECT_EQ(events[3].name, "later");
+    EXPECT_EQ(tr.eventCount(), 4u);
+}
+
+TEST(Trace, PerfettoJsonSchema)
+{
+    obs::TraceRecorder tr;
+    tr.setProcessName("ad.test");
+    tr.setTrackName(0, "rounds");
+    tr.span(0, 10, 5, "round",
+            obs::JsonArgs().add("round", 0).str());
+    tr.instant(0, 12, "mark");
+    tr.counter(0, 14, "energy", 3.5);
+    const std::string json = tr.perfettoJson();
+
+    EXPECT_EQ(json.rfind("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[",
+                         0),
+              0u);
+    EXPECT_NE(json.find("{\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+                        "\"name\":\"process_name\","
+                        "\"args\":{\"name\":\"ad.test\"}}"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"name\":\"thread_name\","
+                        "\"args\":{\"name\":\"rounds\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":10,"
+                        "\"dur\":5,\"name\":\"round\","
+                        "\"args\":{\"round\":0}}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":12,"
+                        "\"s\":\"t\",\"name\":\"mark\"}"),
+              std::string::npos);
+    EXPECT_NE(json.find("{\"ph\":\"C\",\"pid\":1,\"tid\":0,\"ts\":14,"
+                        "\"name\":\"energy\","
+                        "\"args\":{\"value\":3.5}}"),
+              std::string::npos);
+    EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+}
+
+TEST(Trace, TimelineCsvQuotesFields)
+{
+    obs::TraceRecorder tr;
+    tr.setTrackName(2, "hbm");
+    tr.span(2, 1, 2, "a,b", obs::JsonArgs().add("k", 1).str());
+    EXPECT_EQ(tr.timelineCsv(),
+              "track,track_name,kind,ts,dur,name,args\n"
+              "2,hbm,span,1,2,\"a,b\",\"{\"\"k\"\":1}\"\n");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end determinism and accounting through the Planner API.
+
+struct InstrumentedRun
+{
+    std::string traceJson;
+    std::string metricsText;
+    sim::ExecutionReport report;
+    std::map<int, Cycles> engineSpanCycles; ///< engine id -> sum of durs
+};
+
+InstrumentedRun
+runInstrumented(const graph::Graph &graph, const std::string &strategy,
+                int threads)
+{
+    util::ThreadPool::setGlobalThreads(threads);
+    sim::SystemConfig system;
+    const auto planner =
+        baselines::makePlanner(strategy, system, /*batch=*/1);
+    obs::TraceRecorder trace;
+    obs::MetricsRegistry metrics;
+    obs::Instrumentation ins{&trace, &metrics};
+    InstrumentedRun run;
+    run.report = planner->plan(graph, &ins).report;
+    run.traceJson = trace.perfettoJson();
+    // The reserved host.* prefix holds every nondeterministic metric
+    // (wall times, process-wide cache statistics); everything else must
+    // be byte-identical across runs and thread counts.
+    run.metricsText = metrics.renderText("host.");
+    for (const obs::TraceEvent &e : trace.snapshot()) {
+        if (e.kind == obs::TraceEvent::Kind::Span &&
+            e.track >= obs::kTrackEngineBase) {
+            run.engineSpanCycles[e.track - obs::kTrackEngineBase] +=
+                e.dur;
+        }
+    }
+    return run;
+}
+
+TEST(ObsDeterminism, TraceAndMetricsAreByteIdenticalAcrossThreads)
+{
+    GlobalThreadsGuard guard;
+    const auto graph = testing::randomGraph(7);
+    const auto one = runInstrumented(graph, "AD", 1);
+    const auto four = runInstrumented(graph, "AD", 4);
+    EXPECT_TRUE(one.report.bitIdentical(four.report));
+    EXPECT_EQ(one.traceJson, four.traceJson);
+    EXPECT_EQ(one.metricsText, four.metricsText);
+}
+
+TEST(ObsDeterminism, RepeatedRunsAreByteIdentical)
+{
+    GlobalThreadsGuard guard;
+    const auto graph = testing::randomGraph(11);
+    const auto first = runInstrumented(graph, "AD", 2);
+    const auto second = runInstrumented(graph, "AD", 2);
+    EXPECT_EQ(first.traceJson, second.traceJson);
+    EXPECT_EQ(first.metricsText, second.metricsText);
+}
+
+TEST(ObsDeterminism, EngineSpansSumToEngineBusyCycles)
+{
+    GlobalThreadsGuard guard;
+    const auto graph = testing::randomGraph(3);
+    const auto run = runInstrumented(graph, "LS", 2);
+    ASSERT_FALSE(run.report.engineBusyCycles.empty());
+    Cycles traced_total = 0;
+    for (std::size_t e = 0; e < run.report.engineBusyCycles.size();
+         ++e) {
+        const auto it =
+            run.engineSpanCycles.find(static_cast<int>(e));
+        const Cycles traced =
+            it == run.engineSpanCycles.end() ? 0 : it->second;
+        EXPECT_EQ(traced, run.report.engineBusyCycles[e])
+            << "engine " << e;
+        traced_total += traced;
+    }
+    EXPECT_GT(traced_total, 0u);
+}
+
+TEST(ObsDeterminism, InstrumentationDoesNotPerturbResults)
+{
+    GlobalThreadsGuard guard;
+    const auto graph = testing::randomGraph(5);
+    sim::SystemConfig system;
+    const auto planner = baselines::makePlanner("AD", system, 1);
+    const auto bare = planner->run(graph);
+    const auto traced = runInstrumented(graph, "AD", 2);
+    EXPECT_TRUE(bare.bitIdentical(traced.report));
+}
+
+// ---------------------------------------------------------------------
+// Planner API surface.
+
+TEST(PlannerApi, FactoryCoversEveryStrategy)
+{
+    sim::SystemConfig system;
+    for (const std::string &name : baselines::plannerNames()) {
+        const auto planner = baselines::makePlanner(name, system, 1);
+        EXPECT_EQ(planner->name(), name);
+    }
+    EXPECT_THROW(baselines::makePlanner("nope", system, 1),
+                 ConfigError);
+}
+
+TEST(PlannerApi, AnalyticBaselinesReportWithoutDag)
+{
+    GlobalThreadsGuard guard;
+    const auto graph = testing::randomGraph(9);
+    sim::SystemConfig system;
+    // CNN-P and IL-Pipe are analytic: a report but no DAG/schedule.
+    const auto plan =
+        baselines::makePlanner("CNN-P", system, 1)->plan(graph);
+    EXPECT_EQ(plan.dag, nullptr);
+    EXPECT_GT(plan.report.totalCycles, 0u);
+    // Simulated planners carry the full artefacts.
+    const auto full =
+        baselines::makePlanner("LS", system, 1)->plan(graph);
+    ASSERT_NE(full.dag, nullptr);
+    EXPECT_FALSE(full.schedule.rounds.empty());
+}
+
+TEST(PlannerApi, BitIdenticalAndApproxEqualDisagreeOnPurpose)
+{
+    sim::ExecutionReport a;
+    a.totalCycles = 1000000;
+    a.rounds = 10;
+    a.peUtilization = 0.5;
+    sim::ExecutionReport b = a;
+    b.totalCycles = 1000001; // 1 ppm off
+    EXPECT_FALSE(a.bitIdentical(b));
+    EXPECT_TRUE(a.approxEqual(b, 1e-3));
+    b.rounds = 11; // structural fields must match exactly
+    EXPECT_FALSE(a.approxEqual(b, 1e-3));
+}
+
+} // namespace
+} // namespace ad

@@ -2,30 +2,15 @@
  * @file
  * adctl — command-line front-end for the atomic-dataflow framework.
  *
- * Subcommands:
- *   models                              list the zoo workloads (Table I)
- *   run     --model M [options]        optimize + simulate one workload
- *   compare --model M [options]        LS / CNN-P / IL-Pipe / AD side by side
- *   trace   --model M --out F [opts]   dump the mapped schedule as CSV
- *   export  --model M --out F          write the model as adgraph text
- *   validate --network N [--seed S]    run the differential-oracle checks
- *                                      (schedule validity, conservation
- *                                      audits, reference cost model,
- *                                      brute-force optimality on tiny
- *                                      DAGs); N is a zoo model or
- *                                      "random" for a seeded fuzz graph
+ * Every subcommand shares one option parser and one usage table (see
+ * kCommands below — the help text renders from it, so the two cannot
+ * drift). Strategies run behind the unified ad::core::Planner API and
+ * observability rides the ad::obs Instrumentation handle.
  *
- * Common options:
- *   --graph FILE     load an adgraph text file instead of a zoo model
- *   --batch N        samples per DAG (default 1)
- *   --mesh XxY       engine grid (default 8x8)
- *   --pe RxC         PE array per engine (default 16x16)
- *   --buffer KIB     per-engine buffer (default 128)
- *   --dataflow D     kc | yx | flex (default kc)
- *   --sched S        dp | greedy | layer | batched (default dp)
- *   --threads N      worker threads (default: AD_THREADS, else cores;
- *                    results are identical for any value)
- *   --no-reuse       disable distributed-buffer reuse
+ * Exit codes (documented in README.md):
+ *   0  success (for `validate`: every check passed)
+ *   1  runtime or configuration error, or a failed validation check
+ *   2  usage error (unknown command/strategy, malformed invocation)
  */
 
 #include <algorithm>
@@ -34,24 +19,95 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
+#include <stdexcept>
 #include <string>
 
-#include "baselines/cnn_partition.hh"
-#include "baselines/il_pipe.hh"
-#include "baselines/layer_sequential.hh"
+#include "baselines/planners.hh"
 #include "check/brute_force.hh"
 #include "check/conservation.hh"
 #include "check/reference_cost_model.hh"
 #include "core/orchestrator.hh"
+#include "core/planner.hh"
 #include "core/validation.hh"
 #include "graph/serialize.hh"
 #include "models/models.hh"
-#include "sim/trace.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+#include "obs/schedule_views.hh"
+#include "obs/trace.hh"
 #include "testing_support/random_graph.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
 
 namespace {
+
+/** Malformed invocation: main() prints the message and exits 2. */
+struct UsageError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+/** One row of the command table; the usage text renders from these. */
+struct CommandSpec
+{
+    const char *name;
+    const char *operands;
+    const char *summary;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"models", "", "list the zoo workloads (Table I)"},
+    {"run", "[net]", "optimize + simulate one workload"},
+    {"compare", "[net]", "LS / CNN-P / IL-Pipe / AD side by side"},
+    {"trace", "[net]",
+     "instrumented run; Perfetto trace JSON to --out (or stdout)"},
+    {"profile", "[net]",
+     "instrumented run; metrics dump as text (or JSON to --out)"},
+    {"export", "[net]", "write the model as adgraph text"},
+    {"validate", "[net|random]",
+     "differential-oracle checks (validity, conservation, reference "
+     "cost model, brute-force oracle)"},
+};
+
+std::string
+usageText()
+{
+    std::ostringstream os;
+    os << "usage: adctl <command> [net] [options]\n\ncommands:\n";
+    for (const CommandSpec &c : kCommands) {
+        os << "  " << c.name;
+        for (std::size_t i = std::strlen(c.name); i < 9; ++i)
+            os << ' ';
+        os << c.operands;
+        for (std::size_t i = std::strlen(c.operands); i < 13; ++i)
+            os << ' ';
+        os << c.summary << "\n";
+    }
+    os << "\ncommon options:\n"
+          "  --net NAME       zoo model (alias: --model; or positional; "
+          "default resnet50)\n"
+          "  --graph FILE     load an adgraph text file instead\n"
+          "  --strategy S     ls | cnn-p | il-pipe | rammer | ad "
+          "(trace/profile; default ad)\n"
+          "  --batch N        samples per DAG (default 1)\n"
+          "  --engines XxY    engine grid (alias: --mesh; default 8x8)\n"
+          "  --pe RxC         PE array per engine (default 16x16)\n"
+          "  --buffer KIB     per-engine buffer (default 128)\n"
+          "  --dataflow D     kc | yx | flex (default kc)\n"
+          "  --sched S        dp | greedy | layer | batched (default "
+          "dp)\n"
+          "  --threads N      worker threads (default: AD_THREADS, else "
+          "cores; results are identical for any value)\n"
+          "  --out FILE       output file (default stdout)\n"
+          "  --csv FILE       trace: also write the CSV timeline\n"
+          "  --schedule FILE  trace: also write the schedule CSV\n"
+          "  --seed S         validate: seed for the random network\n"
+          "  --no-reuse       disable distributed-buffer reuse\n"
+          "\nexit codes: 0 success, 1 runtime/config error or failed "
+          "validation, 2 usage error\n";
+    return os.str();
+}
 
 struct Args
 {
@@ -65,17 +121,41 @@ parse(int argc, char **argv)
 {
     Args args;
     if (argc < 2)
-        ad::fatal("usage: adctl "
-                  "<models|run|compare|trace|export|validate> [options]");
+        throw UsageError(usageText());
     args.command = argv[1];
+    const bool known =
+        std::any_of(std::begin(kCommands), std::end(kCommands),
+                    [&](const CommandSpec &c) {
+                        return args.command == c.name;
+                    });
+    if (!known) {
+        throw UsageError("unknown command '" + args.command + "'\n\n" +
+                         usageText());
+    }
+    bool saw_positional = false;
     for (int i = 2; i < argc; ++i) {
-        const std::string flag = argv[i];
+        std::string flag = argv[i];
         if (flag == "--no-reuse") {
             args.noReuse = true;
-        } else if (flag.rfind("--", 0) == 0 && i + 1 < argc) {
-            args.options[flag.substr(2)] = argv[++i];
+        } else if (flag.rfind("--", 0) == 0) {
+            if (i + 1 >= argc) {
+                throw UsageError("option '" + flag +
+                                 "' expects a value\n\n" + usageText());
+            }
+            std::string key = flag.substr(2);
+            // Aliases: one canonical key per concept.
+            if (key == "net")
+                key = "model";
+            else if (key == "engines")
+                key = "mesh";
+            args.options[key] = argv[++i];
+        } else if (!saw_positional) {
+            // Bare operand right after the command: the network name.
+            saw_positional = true;
+            args.options["model"] = flag;
         } else {
-            ad::fatal("unexpected argument '", flag, "'");
+            throw UsageError("unexpected argument '" + flag +
+                             "'\n\n" + usageText());
         }
     }
     return args;
@@ -156,6 +236,51 @@ orchestratorFrom(const Args &args)
     return options;
 }
 
+/** Canonical factory name of the --strategy option value. */
+std::string
+canonicalStrategy(const Args &args)
+{
+    std::string s = option(args, "strategy", "ad");
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    if (s == "ls")
+        return "LS";
+    if (s == "cnn-p" || s == "cnnp")
+        return "CNN-P";
+    if (s == "il-pipe" || s == "ilpipe")
+        return "IL-Pipe";
+    if (s == "rammer")
+        return "Rammer";
+    if (s == "ad")
+        return "AD";
+    throw UsageError("unknown --strategy '" +
+                     option(args, "strategy", "ad") +
+                     "' (expected ls, cnn-p, il-pipe, rammer, or ad)");
+}
+
+/** Configured planner for @p name; AD honours the full option set. */
+std::unique_ptr<ad::core::Planner>
+plannerFor(const std::string &name, const Args &args,
+           const ad::sim::SystemConfig &system)
+{
+    if (name == "AD") {
+        return std::make_unique<ad::core::Orchestrator>(
+            system, orchestratorFrom(args));
+    }
+    return ad::baselines::makePlanner(
+        name, system, std::atoi(option(args, "batch", "1").c_str()));
+}
+
+void
+writeFileOrFatal(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path);
+    if (!file)
+        ad::fatal("cannot open '", path, "'");
+    file << content;
+}
+
 void
 printReport(const ad::sim::ExecutionReport &r, double freq_ghz)
 {
@@ -218,7 +343,6 @@ cmdCompare(const Args &args)
 {
     const auto graph = loadWorkload(args);
     const auto system = systemFrom(args);
-    const int batch = std::atoi(option(args, "batch", "1").c_str());
     const double freq = system.engine.freqGhz;
 
     ad::TextTable table;
@@ -227,36 +351,12 @@ cmdCompare(const Args &args)
 
     // Each strategy builds independent state over the shared read-only
     // graph, so the four runs fan out across the pool.
-    const std::vector<const char *> names{"LS", "CNN-P", "IL-Pipe", "AD"};
+    const std::vector<std::string> names{"LS", "CNN-P", "IL-Pipe", "AD"};
     const auto reports =
         ad::util::ThreadPool::global()
             .parallelMap<ad::sim::ExecutionReport>(
                 names.size(), [&](std::size_t i) {
-                    switch (i) {
-                    case 0: {
-                        ad::baselines::LsOptions ls;
-                        ls.batch = batch;
-                        return ad::baselines::LayerSequential(system, ls)
-                            .run(graph);
-                    }
-                    case 1: {
-                        ad::baselines::CnnPOptions cnnp;
-                        cnnp.batch = batch;
-                        return ad::baselines::CnnPartition(system, cnnp)
-                            .run(graph);
-                    }
-                    case 2: {
-                        ad::baselines::IlPipeOptions pipe;
-                        pipe.batch = batch;
-                        return ad::baselines::IlPipe(system, pipe)
-                            .run(graph);
-                    }
-                    default:
-                        return ad::core::Orchestrator(
-                                   system, orchestratorFrom(args))
-                            .run(graph)
-                            .report;
-                    }
+                    return plannerFor(names[i], args, system)->run(graph);
                 });
     for (std::size_t i = 0; i < names.size(); ++i) {
         const auto &r = reports[i];
@@ -270,25 +370,76 @@ cmdCompare(const Args &args)
     return 0;
 }
 
+/**
+ * Instrumented run: records the full execution timeline (atom spans per
+ * engine, NoC multicasts, HBM transactions, Round barriers, SA search
+ * telemetry) and exports Chrome/Perfetto trace_event JSON. Deterministic:
+ * the same invocation produces byte-identical output for any --threads.
+ */
 int
 cmdTrace(const Args &args)
 {
+    const std::string strategy = canonicalStrategy(args);
     const auto graph = loadWorkload(args);
     const auto system = systemFrom(args);
-    const auto result =
-        ad::core::Orchestrator(system, orchestratorFrom(args)).run(graph);
+    const auto planner = plannerFor(strategy, args, system);
+
+    ad::obs::TraceRecorder trace;
+    ad::obs::MetricsRegistry metrics;
+    ad::obs::Instrumentation ins{&trace, &metrics};
+    const auto result = planner->plan(graph, &ins);
+
+    const std::string schedule_out = option(args, "schedule", "");
+    if (!schedule_out.empty()) {
+        if (!result.dag)
+            ad::fatal("strategy ", planner->name(),
+                      " is analytic and has no schedule to render");
+        writeFileOrFatal(schedule_out, ad::obs::renderScheduleCsv(
+                                           *result.dag, result.schedule));
+    }
+    const std::string csv_out = option(args, "csv", "");
+    if (!csv_out.empty())
+        writeFileOrFatal(csv_out, trace.timelineCsv());
+
     const std::string out = option(args, "out", "");
-    const std::string csv =
-        ad::sim::renderScheduleCsv(*result.dag, result.schedule);
     if (out.empty()) {
-        std::cout << csv;
+        std::cout << trace.perfettoJson();
     } else {
-        std::ofstream file(out);
-        if (!file)
-            ad::fatal("cannot open '", out, "'");
-        file << csv;
-        std::cout << "wrote " << result.schedule.atomCount()
-                  << " placements to " << out << "\n";
+        writeFileOrFatal(out, trace.perfettoJson());
+        std::cout << "wrote " << trace.eventCount() << " events ("
+                  << planner->name() << ", " << graph.name() << ") to "
+                  << out << "\n";
+    }
+    return 0;
+}
+
+/**
+ * Instrumented run, metrics only: dumps the registry as stable-order
+ * `name value` text on stdout, or as a JSON object with --out.
+ */
+int
+cmdProfile(const Args &args)
+{
+    const std::string strategy = canonicalStrategy(args);
+    const auto graph = loadWorkload(args);
+    const auto system = systemFrom(args);
+    const auto planner = plannerFor(strategy, args, system);
+
+    ad::obs::MetricsRegistry metrics;
+    ad::obs::Instrumentation ins{nullptr, &metrics};
+    const auto result = planner->plan(graph, &ins);
+
+    const std::string out = option(args, "out", "");
+    if (out.empty()) {
+        std::cout << "strategy: " << planner->name() << ", workload: "
+                  << graph.name() << ", cycles: "
+                  << result.report.totalCycles << "\n";
+        std::cout << metrics.renderText();
+    } else {
+        writeFileOrFatal(out, metrics.renderJson());
+        std::cout << "wrote " << metrics.size() << " metrics ("
+                  << planner->name() << ", " << graph.name() << ") to "
+                  << out << "\n";
     }
     return 0;
 }
@@ -444,6 +595,12 @@ cmdExport(const Args &args)
 int
 main(int argc, char **argv)
 {
+    if (argc >= 2 && (std::strcmp(argv[1], "--help") == 0 ||
+                      std::strcmp(argv[1], "-h") == 0 ||
+                      std::strcmp(argv[1], "help") == 0)) {
+        std::cout << usageText();
+        return 0;
+    }
     try {
         const Args args = parse(argc, argv);
         applyThreads(args);
@@ -455,11 +612,17 @@ main(int argc, char **argv)
             return cmdCompare(args);
         if (args.command == "trace")
             return cmdTrace(args);
+        if (args.command == "profile")
+            return cmdProfile(args);
         if (args.command == "export")
             return cmdExport(args);
-        if (args.command == "validate")
-            return cmdValidate(args);
-        ad::fatal("unknown command '", args.command, "'");
+        return cmdValidate(args);
+    } catch (const UsageError &e) {
+        const std::string what = e.what();
+        std::cerr << what;
+        if (what.empty() || what.back() != '\n')
+            std::cerr << '\n';
+        return 2;
     } catch (const std::exception &e) {
         std::cerr << e.what() << "\n";
         return 1;

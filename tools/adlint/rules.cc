@@ -546,13 +546,50 @@ ruleFpParallelReduce(FileCtx &ctx)
     }
 }
 
+/**
+ * wall-clock: direct std::chrono clock reads outside src/obs. Wall time
+ * is inherently nondeterministic, so it must flow through the
+ * quarantined obs::Stopwatch and land only in `host.*` metrics — never
+ * in trace timestamps or anything a schedule depends on.
+ */
+void
+ruleWallClock(FileCtx &ctx)
+{
+    const std::string &code = ctx.code;
+    for (const char *clock :
+         {"steady_clock", "system_clock", "high_resolution_clock"}) {
+        const std::string word(clock);
+        std::size_t at = 0;
+        while ((at = code.find(word, at)) != std::string::npos) {
+            if (wordAt(code, at, word)) {
+                ctx.report(
+                    at, "wall-clock",
+                    "std::chrono::" + word +
+                        " outside src/obs: wall time is "
+                        "nondeterministic; measure through "
+                        "obs::Stopwatch and report it as a host.* "
+                        "metric");
+            }
+            at += word.size();
+        }
+    }
+}
+
+/** True when @p path lives in the wall-clock quarantine (src/obs). */
+bool
+inObsQuarantine(const std::string &path)
+{
+    return path.find("src/obs/") != std::string::npos ||
+           path.rfind("obs/", 0) == 0;
+}
+
 } // namespace
 
 std::vector<std::string>
 ruleNames()
 {
     return {"unordered-iter", "raw-rand", "pointer-key",
-            "hash-tiebreak", "fp-parallel-reduce",
+            "hash-tiebreak", "fp-parallel-reduce", "wall-clock",
             "allowlist-justification"};
 }
 
@@ -619,6 +656,8 @@ lintContent(const std::string &path, const std::string &content,
     rulePointerKey(ctx);
     ruleHashTiebreak(ctx);
     ruleFpParallelReduce(ctx);
+    if (!inObsQuarantine(path))
+        ruleWallClock(ctx);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {

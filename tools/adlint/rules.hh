@@ -24,6 +24,12 @@
  *                          lambda: floating-point addition is not
  *                          associative, so reduction order changes the
  *                          result (and non-FP accumulation races).
+ *  - `wall-clock`          direct `std::chrono::steady_clock` /
+ *                          `system_clock` / `high_resolution_clock`
+ *                          reads outside `src/obs`: wall time must flow
+ *                          through the quarantined `obs::Stopwatch` and
+ *                          surface only as `host.*` metrics, never in
+ *                          trace timestamps or scheduling decisions.
  *
  * A finding is suppressed by an allowlist comment on the same line or
  * one of the two lines above, naming the rule and justifying the
