@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Serving-layer bench: drives seeded Poisson and bursty zoo-mix traces
+ * through the ServeLoop and reports tail latency, throughput, cache
+ * behaviour, and degradation counts per arrival rate — the
+ * production-serving story on top of the paper's planner. The second
+ * pass of each trace runs against the warm plan cache; its wall-clock
+ * planning time (host-side, not part of the deterministic results)
+ * shows the cache absorbing the SA search cost.
+ *
+ * AD_BENCH_SERVE_REQUESTS overrides the trace length (default 64).
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "serve/request_stream.hh"
+#include "serve/serve_loop.hh"
+
+namespace {
+
+int
+traceRequests()
+{
+    const char *env = std::getenv("AD_BENCH_SERVE_REQUESTS");
+    return env ? std::max(1, std::atoi(env)) : 64;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ad::bench::applyBenchArgs(argc, argv);
+    const auto system = ad::bench::defaultSystem();
+
+    for (const auto kind :
+         {ad::serve::ArrivalKind::Poisson, ad::serve::ArrivalKind::Bursty}) {
+        std::cout << "== Serving: zoo mix, "
+                  << ad::serve::arrivalKindName(kind) << " arrivals, "
+                  << traceRequests() << " requests ==\n";
+        ad::TextTable table;
+        table.setHeader({"rate(r/s)", "p50(ms)", "p99(ms)", "rps",
+                         "miss", "degraded", "cache", "cold wall(s)",
+                         "warm wall(s)"});
+        for (const double rate : {50.0, 200.0, 800.0}) {
+            ad::serve::StreamOptions stream;
+            stream.kind = kind;
+            stream.ratePerSec = rate;
+            stream.requests = traceRequests();
+            stream.seed = 7;
+            stream.freqGhz = system.engine.freqGhz;
+            stream.mix = ad::serve::resolveMix("mix");
+            const auto trace = ad::serve::generateArrivals(stream);
+
+            ad::serve::ServeLoop loop(system, ad::serve::ServeOptions{});
+            const auto cold = loop.run(trace, stream.mix);
+            const auto warm = loop.run(trace, stream.mix);
+
+            table.addRow(
+                {ad::fmtDouble(rate, 0),
+                 ad::fmtDouble(warm.p50LatencyMs, 2),
+                 ad::fmtDouble(warm.p99LatencyMs, 2),
+                 ad::fmtDouble(warm.throughputRps, 1),
+                 std::to_string(warm.deadlineMisses),
+                 std::to_string(cold.downgradedCached +
+                                cold.downgradedFresh),
+                 std::to_string(warm.cacheHits) + "/" +
+                     std::to_string(warm.cacheHits + warm.cacheMisses),
+                 ad::fmtDouble(cold.planWallSeconds, 2),
+                 ad::fmtDouble(warm.planWallSeconds, 2)});
+        }
+        std::cout << table.render() << "\n";
+    }
+    return 0;
+}

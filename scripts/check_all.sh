@@ -4,11 +4,16 @@
 #   2. adctl validate over every Table-I zoo model;
 #   3. adctl trace on resnet50, with the Perfetto export checked to
 #      parse as JSON and to contain metadata + span events;
-#   4. the differential-oracle and fuzz suites rebuilt and re-run under
+#   4. adctl serve on the zoo mix, with stdout checked byte-identical
+#      between --threads 1 and --threads 4 (the serving determinism
+#      contract, DESIGN.md Sec. 12);
+#   5. the differential-oracle and fuzz suites rebuilt and re-run under
 #      AddressSanitizer and UndefinedBehaviorSanitizer;
-#   5. the static-analysis gate (DESIGN.md Sec. 10): hardened -Werror
+#   6. the static-analysis gate (DESIGN.md Sec. 10): hardened -Werror
 #      build, the adlint determinism linter, and clang-tidy when
-#      available (scripts/check_static.sh).
+#      available (scripts/check_static.sh);
+#   7. the coverage gate (scripts/check_coverage.sh): line-coverage
+#      floors on src/core and src/serve.
 #
 # Usage: scripts/check_all.sh [jobs]
 #   jobs  parallel build jobs, defaults to nproc
@@ -44,6 +49,14 @@ assert {"M", "X"} <= phases, f"missing metadata/span events: {phases}"
 print(f"trace OK: {len(events)} events, phases {sorted(phases)}")
 EOF
 
+echo "== adctl serve: stdout byte-identical across thread counts =="
+./build/tools/adctl serve tinymix --arrivals 400 --requests 16 \
+    --seed 7 --repeat 2 --threads 1 2>/dev/null > build/serve_t1.txt
+./build/tools/adctl serve tinymix --arrivals 400 --requests 16 \
+    --seed 7 --repeat 2 --threads 4 2>/dev/null > build/serve_t4.txt
+diff build/serve_t1.txt build/serve_t4.txt
+echo "serve determinism OK"
+
 # The check/fuzz suites exercise the new-code surface; sanitizers catch
 # what asserts cannot (OOB in the counting loops, UB in the bitmask
 # enumeration, leaks in the report plumbing).
@@ -61,5 +74,8 @@ done
 
 echo "== static-analysis gate =="
 scripts/check_static.sh build-static "$JOBS"
+
+echo "== coverage gate =="
+scripts/check_coverage.sh build-coverage "$JOBS"
 
 echo "check_all: every gate passed"

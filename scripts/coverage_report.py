@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""gcov-based line-coverage report with per-directory floors.
+
+Fallback for environments without gcovr (scripts/check_coverage.sh
+prefers gcovr when installed): walks a -DAD_COVERAGE=ON build tree for
+.gcda counter files, asks gcov for JSON intermediate records, merges
+line hits per source file, and enforces minimum line-coverage
+percentages per source directory.
+
+Usage: coverage_report.py BUILD_DIR DIR=FLOOR [DIR=FLOOR ...]
+Exits nonzero when a directory's aggregate line coverage is below its
+floor (or when no counters are found at all).
+"""
+
+import collections
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def gcov_json(gcda, build_dir):
+    """JSON intermediate records for one .gcda, [] on gcov failure."""
+    result = subprocess.run(
+        ["gcov", "--json-format", "--stdout", os.path.abspath(gcda)],
+        capture_output=True,
+        text=True,
+        cwd=build_dir,
+    )
+    docs = []
+    for line in result.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError:
+            pass
+    return docs
+
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    build_dir = sys.argv[1]
+    floors = []
+    for spec in sys.argv[2:]:
+        directory, _, floor = spec.partition("=")
+        floors.append((directory.rstrip("/"), float(floor)))
+
+    gcdas = glob.glob(
+        os.path.join(build_dir, "**", "*.gcda"), recursive=True
+    )
+    if not gcdas:
+        sys.exit(f"no .gcda files under {build_dir}; run the tests first")
+
+    root = os.getcwd()
+    # source path -> {line -> max hit count across translation units}
+    hits = collections.defaultdict(dict)
+    for gcda in gcdas:
+        for doc in gcov_json(gcda, build_dir):
+            for record in doc.get("files", []):
+                path = record["file"]
+                if os.path.isabs(path):
+                    if not path.startswith(root + os.sep):
+                        continue
+                    path = os.path.relpath(path, root)
+                lines = hits[path]
+                for line in record.get("lines", []):
+                    number = line["line_number"]
+                    lines[number] = max(
+                        lines.get(number, 0), line["count"]
+                    )
+
+    failed = False
+    for directory, floor in floors:
+        covered = total = 0
+        files = []
+        for path in sorted(hits):
+            if not path.startswith(directory + "/"):
+                continue
+            file_lines = hits[path]
+            if not file_lines:
+                continue
+            file_covered = sum(1 for c in file_lines.values() if c > 0)
+            covered += file_covered
+            total += len(file_lines)
+            files.append((path, file_covered, len(file_lines)))
+        if total == 0:
+            print(f"{directory}: no instrumented lines found")
+            failed = True
+            continue
+        pct = 100.0 * covered / total
+        status = "ok" if pct >= floor else "BELOW FLOOR"
+        print(
+            f"{directory}: {pct:.1f}% line coverage "
+            f"({covered}/{total} lines, floor {floor:.0f}%) {status}"
+        )
+        for path, file_covered, file_total in files:
+            file_pct = 100.0 * file_covered / file_total
+            print(f"  {path}: {file_pct:.1f}% ({file_covered}/{file_total})")
+        failed = failed or pct < floor
+
+    sys.exit(1 if failed else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerate the golden observability artifacts under tests/golden/.
+#
+# Run after an *intentional* change to the trace format or to the
+# planner/simulator event sequence; commit the resulting diff so review
+# sees exactly what changed. Usage: scripts/regen_golden.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+cmake --build "$BUILD_DIR" --target test_golden_trace -j"$(nproc)"
+AD_REGEN_GOLDEN=1 "$BUILD_DIR"/tests/test_golden_trace \
+    --gtest_filter='GoldenTrace.PerfettoJsonAndTimelineCsvMatchGoldenFiles'
+git -C . status --short tests/golden/

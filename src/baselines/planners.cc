@@ -46,4 +46,13 @@ makePlanner(const std::string &name, const sim::SystemConfig &system,
           "' (expected LS, CNN-P, IL-Pipe, Rammer, or AD)");
 }
 
+std::unique_ptr<core::Planner>
+makePlanner(const std::string &name, const sim::SystemConfig &system,
+            const core::OrchestratorOptions &options)
+{
+    if (name == "AD")
+        return std::make_unique<core::Orchestrator>(system, options);
+    return makePlanner(name, system, options.batch);
+}
+
 } // namespace ad::baselines

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/orchestrator.hh"
 #include "core/planner.hh"
 #include "sim/system.hh"
 
@@ -27,5 +28,15 @@ const std::vector<std::string> &plannerNames();
 std::unique_ptr<core::Planner>
 makePlanner(const std::string &name, const sim::SystemConfig &system,
             int batch);
+
+/**
+ * Like the batch-only overload, but "AD" honours the full orchestrator
+ * option set (@p options.batch feeds every strategy). adctl and the
+ * serving layer build all their planners through this one entry, so a
+ * strategy name means the same configuration everywhere.
+ */
+std::unique_ptr<core::Planner>
+makePlanner(const std::string &name, const sim::SystemConfig &system,
+            const core::OrchestratorOptions &options);
 
 } // namespace ad::baselines

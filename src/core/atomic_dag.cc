@@ -433,4 +433,26 @@ AtomicDag::macAtomCount() const
     return n;
 }
 
+Bytes
+AtomicDag::memoryBytes() const
+{
+    // Element counts only: sizes are a pure function of the graph and
+    // shapes, unlike vector capacities, which depend on growth history.
+    Bytes bytes = sizeof(AtomicDag);
+    bytes += _atoms.size() * sizeof(Atom);
+    bytes += _shapes.size() * sizeof(TileShape);
+    bytes += _depths.size() * sizeof(int);
+    for (const auto &base : _layerBase)
+        bytes += base.size() * sizeof(AtomId);
+    bytes += _atomsPerSample.size() * sizeof(int);
+    bytes += _depOffsets.size() * sizeof(std::int64_t);
+    bytes += _depEdges.size() * sizeof(AtomId);
+    bytes += _depEdgeBytes.size() * sizeof(Bytes);
+    bytes += _consOffsets.size() * sizeof(std::int64_t);
+    bytes += _consEdges.size() * sizeof(AtomId);
+    bytes += _readsInput.size() / 8;
+    bytes += _graph.size() * sizeof(graph::Layer);
+    return bytes;
+}
+
 } // namespace ad::core

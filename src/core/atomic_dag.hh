@@ -106,6 +106,15 @@ class AtomicDag
     /** Total atoms whose layer runs on the PE array. */
     std::size_t macAtomCount() const;
 
+    /**
+     * Deterministic estimate of the heap footprint of this DAG (atoms,
+     * CSR edge arrays, per-layer tables). Computed from element counts,
+     * never from allocator state, so two identical DAGs always report
+     * the same size — the accounting unit of serve::PlanCache's byte
+     * budget.
+     */
+    Bytes memoryBytes() const;
+
   private:
     struct SourceSlice
     {

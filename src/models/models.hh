@@ -68,7 +68,8 @@ struct ModelEntry
 /** All eight Table-I workloads in the paper's order. */
 const std::vector<ModelEntry> &tableOneModels();
 
-/** Build a Table-I model by registry key; fatals on unknown name. */
+/** Build a Table-I model (or one of the tiny test networks) by name;
+ * fatals on unknown name. */
 graph::Graph buildByName(const std::string &name);
 
 } // namespace ad::models

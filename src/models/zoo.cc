@@ -75,6 +75,12 @@ buildByName(const std::string &name)
         if (entry.name == name)
             return entry.build();
     }
+    if (name == "tiny_linear")
+        return tinyLinear();
+    if (name == "tiny_residual")
+        return tinyResidual();
+    if (name == "tiny_branchy")
+        return tinyBranchy();
     fatal("unknown model '", name, "'");
 }
 

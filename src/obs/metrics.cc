@@ -1,5 +1,6 @@
 #include "metrics.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +50,28 @@ HistogramMetric::total() const
     for (std::uint64_t c : _counts)
         n += c;
     return n;
+}
+
+double
+HistogramMetric::quantile(double q) const
+{
+    q = std::min(1.0, std::max(0.0, q));
+    util::MutexLock lk(_mu);
+    std::uint64_t n = 0;
+    for (std::uint64_t c : _counts)
+        n += c;
+    if (n == 0)
+        return _lo;
+    const std::uint64_t target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(n))));
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < _bins; ++i) {
+        cumulative += _counts[i];
+        if (cumulative >= target)
+            return binHigh(i);
+    }
+    return binHigh(_bins - 1);
 }
 
 std::string

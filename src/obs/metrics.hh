@@ -101,6 +101,15 @@ class HistogramMetric
     /** Total observations. */
     std::uint64_t total() const;
 
+    /**
+     * Bucket-resolution quantile: the exclusive upper edge of the first
+     * bucket at which the cumulative count reaches ceil(q * total).
+     * @p q is clamped to [0, 1]; an empty histogram returns binLow(0).
+     * Deterministic (a pure function of the recorded counts), so serving
+     * dashboards can report p50/p99 without breaking byte-identity.
+     */
+    double quantile(double q) const;
+
   private:
     friend class MetricsRegistry;
     HistogramMetric(double lo, double hi, std::size_t bins);

@@ -42,6 +42,7 @@ inline constexpr std::int32_t kTrackRounds = 0; ///< round barriers
 inline constexpr std::int32_t kTrackNoc = 1;    ///< NoC multicasts
 inline constexpr std::int32_t kTrackHbm = 2;    ///< HBM transactions
 inline constexpr std::int32_t kTrackSearch = 3; ///< SA search telemetry
+inline constexpr std::int32_t kTrackServe = 4;  ///< request-stream serving
 inline constexpr std::int32_t kTrackEngineBase = 16;
 
 /**

@@ -1,0 +1,116 @@
+#include "plan_cache.hh"
+
+#include <sstream>
+#include <utility>
+
+#include "core/scheduler.hh"
+#include "graph/serialize.hh"
+
+namespace ad::serve {
+
+PlanKey
+makePlanKey(const std::string &strategy, const graph::Graph &graph,
+            const sim::SystemConfig &system,
+            const core::OrchestratorOptions &options)
+{
+    std::ostringstream os;
+    os << "strategy " << strategy << '\n';
+    os << "system " << system.fingerprint() << '\n';
+    os << "options batch=" << options.batch << " atom_gen="
+       << (options.atomGen == core::AtomGenMode::Sa ? "sa" : "even")
+       << " sa=" << options.sa.maxIterations << '/'
+       << options.sa.moveLength << '/' << options.sa.epsilon << '/'
+       << options.sa.initialTemp << '/' << options.sa.lambda << '/'
+       << options.sa.seed
+       << " sched=" << core::schedModeName(options.scheduler.mode) << '/'
+       << options.scheduler.lookaheadDepth << '/'
+       << options.scheduler.residencyWindow << '/'
+       << options.scheduler.hbmBytesPerCycle << '/'
+       << options.scheduler.dpAtomLimit << '/'
+       << options.scheduler.nocBytesPerCycle
+       << " mapper=" << options.mapper.maxPermutationLayers << '/'
+       << options.mapper.optimize << '/' << options.mapper.stableOrder
+       << " reuse=" << options.onChipReuse
+       << " max_atoms=" << options.maxAtoms << '\n';
+    os << "graph\n" << graph::toText(graph);
+    return PlanKey{os.str()};
+}
+
+PlanCache::PlanCache(Bytes budget_bytes) : _budget(budget_bytes) {}
+
+Bytes
+PlanCache::planBytes(const PlanKey &key, const core::PlanResult &plan)
+{
+    Bytes bytes = sizeof(core::PlanResult) + key.text.size();
+    if (plan.dag)
+        bytes += plan.dag->memoryBytes();
+    bytes += plan.schedule.rounds.size() * sizeof(core::Round);
+    bytes += plan.schedule.atomCount() * sizeof(core::Placement);
+    bytes += plan.report.engineBusyCycles.size() * sizeof(Cycles);
+    return bytes;
+}
+
+std::shared_ptr<const core::PlanResult>
+PlanCache::lookup(const PlanKey &key)
+{
+    util::MutexLock lk(_mu);
+    const auto it = _entries.find(key);
+    if (it == _entries.end()) {
+        ++_stats.misses;
+        return nullptr;
+    }
+    ++_stats.hits;
+    it->second.lastUse = ++_tick;
+    return it->second.plan;
+}
+
+std::shared_ptr<const core::PlanResult>
+PlanCache::insert(const PlanKey &key, core::PlanResult &&plan)
+{
+    const Bytes bytes = planBytes(key, plan);
+    auto shared = std::make_shared<const core::PlanResult>(
+        std::move(plan));
+    util::MutexLock lk(_mu);
+    if (bytes > _budget) {
+        ++_stats.oversize;
+        return shared;
+    }
+    auto &entry = _entries[key];
+    if (entry.plan)
+        _stats.bytes -= entry.bytes;
+    entry.plan = shared;
+    entry.bytes = bytes;
+    entry.lastUse = ++_tick;
+    _stats.bytes += bytes;
+    evictToBudget();
+    _stats.entries = _entries.size();
+    return shared;
+}
+
+void
+PlanCache::evictToBudget()
+{
+    while (_stats.bytes > _budget && _entries.size() > 1) {
+        // Victim: the minimal lastUse tick. Ticks are unique, and the
+        // scan walks the ordered map, so the choice is deterministic.
+        auto victim = _entries.begin();
+        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
+            if (it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        _stats.bytes -= victim->second.bytes;
+        _entries.erase(victim);
+        ++_stats.evictions;
+    }
+}
+
+PlanCacheStats
+PlanCache::stats() const
+{
+    util::MutexLock lk(_mu);
+    PlanCacheStats snapshot = _stats;
+    snapshot.entries = _entries.size();
+    return snapshot;
+}
+
+} // namespace ad::serve

@@ -1,0 +1,126 @@
+#pragma once
+
+/**
+ * @file
+ * Content-addressed plan cache for the serving layer.
+ *
+ * Planning is the expensive step of the serving loop (the SA search runs
+ * for seconds on the large zoo networks, while a cached dispatch costs
+ * microseconds), and plans are pure functions of their inputs — the PR 1
+ * determinism contract. The cache therefore keys whole PlanResults on
+ * the *content* of everything that influences planning: the strategy
+ * name, the adgraph text of the workload, the batch, the
+ * SystemConfig fingerprint, and the orchestrator options. Two requests
+ * with byte-equal keys are guaranteed byte-equal plans, so a cache hit
+ * replays bit-identically to a fresh plan (asserted by the property
+ * tests in tests/test_serve.cc).
+ *
+ * Eviction is least-recently-used under a byte budget, with the logical
+ * access tick — never wall time — as the recency clock, so the eviction
+ * sequence is a deterministic function of the lookup/insert sequence.
+ * An entry larger than the whole budget is never admitted (it would
+ * evict everything and still violate the budget); such oversize plans
+ * are counted and simply re-planned each time.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "core/orchestrator.hh"
+#include "core/planner.hh"
+#include "graph/graph.hh"
+#include "sim/system.hh"
+#include "util/thread_annotations.hh"
+
+namespace ad::serve {
+
+/**
+ * Canonical cache key. The wrapped text is the full canonical rendering
+ * (not a hash), so distinct configurations can never collide.
+ */
+struct PlanKey
+{
+    std::string text;
+
+    bool operator<(const PlanKey &o) const { return text < o.text; }
+    bool operator==(const PlanKey &o) const { return text == o.text; }
+};
+
+/**
+ * Build the canonical key for planning @p graph with strategy
+ * @p strategy under @p system and @p options. The graph enters via its
+ * adgraph serialization, so renamed-but-identical models share plans and
+ * structurally different models never do.
+ */
+PlanKey makePlanKey(const std::string &strategy,
+                    const graph::Graph &graph,
+                    const sim::SystemConfig &system,
+                    const core::OrchestratorOptions &options);
+
+/** Cache observability snapshot. */
+struct PlanCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t oversize = 0; ///< inserts rejected as > whole budget
+    std::size_t entries = 0;
+    Bytes bytes = 0; ///< current accounted footprint
+};
+
+/** Concurrency-safe byte-budgeted LRU cache of whole PlanResults. */
+class PlanCache
+{
+  public:
+    /** Create a cache holding at most @p budget_bytes of plans. */
+    explicit PlanCache(Bytes budget_bytes);
+
+    PlanCache(const PlanCache &) = delete;
+    PlanCache &operator=(const PlanCache &) = delete;
+
+    /**
+     * The cached plan for @p key, or null on a miss. A hit refreshes
+     * the entry's recency and counts toward stats().hits.
+     */
+    std::shared_ptr<const core::PlanResult> lookup(const PlanKey &key);
+
+    /**
+     * Insert @p plan under @p key and return the shared entry (or the
+     * plan itself, unshared, when it exceeds the whole budget). Evicts
+     * least-recently-used entries until the accounted footprint fits
+     * the budget again. Re-inserting an existing key refreshes the
+     * stored plan.
+     */
+    std::shared_ptr<const core::PlanResult> insert(const PlanKey &key,
+                                                   core::PlanResult &&plan);
+
+    /** Accounted footprint of one plan plus its key text. */
+    static Bytes planBytes(const PlanKey &key,
+                           const core::PlanResult &plan);
+
+    /** Byte budget this cache was created with. */
+    Bytes budgetBytes() const { return _budget; }
+
+    /** Counters and current footprint. */
+    PlanCacheStats stats() const;
+
+  private:
+    struct Entry
+    {
+        std::shared_ptr<const core::PlanResult> plan;
+        Bytes bytes = 0;
+        std::uint64_t lastUse = 0;
+    };
+
+    /** Drop LRU entries until the footprint fits the budget. */
+    void evictToBudget() AD_REQUIRES(_mu);
+
+    const Bytes _budget;
+    mutable util::Mutex _mu;
+    std::map<PlanKey, Entry> _entries AD_GUARDED_BY(_mu);
+    std::uint64_t _tick AD_GUARDED_BY(_mu) = 0;
+    PlanCacheStats _stats AD_GUARDED_BY(_mu);
+};
+
+} // namespace ad::serve

@@ -1,0 +1,112 @@
+#include "request_stream.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "models/models.hh"
+#include "util/random.hh"
+
+namespace ad::serve {
+
+ArrivalKind
+arrivalKindFromString(const std::string &s)
+{
+    if (s == "poisson")
+        return ArrivalKind::Poisson;
+    if (s == "bursty")
+        return ArrivalKind::Bursty;
+    fatal("unknown arrival kind '", s, "' (expected poisson or bursty)");
+}
+
+const char *
+arrivalKindName(ArrivalKind kind)
+{
+    return kind == ArrivalKind::Poisson ? "poisson" : "bursty";
+}
+
+namespace {
+
+/** Exponential draw with @p mean (in seconds), strictly positive. */
+double
+exponential(Rng &rng, double mean)
+{
+    // 1 - uniform() is in (0, 1], so the log argument never hits zero.
+    return -mean * std::log(1.0 - rng.uniform());
+}
+
+} // namespace
+
+std::vector<Request>
+generateArrivals(const StreamOptions &options)
+{
+    if (options.mix.empty())
+        fatal("arrival trace needs a non-empty workload mix");
+    if (options.ratePerSec <= 0.0)
+        fatal("arrival rate must be positive, got ", options.ratePerSec);
+    if (options.requests <= 0)
+        fatal("request count must be positive, got ", options.requests);
+    if (options.freqGhz <= 0.0)
+        fatal("clock frequency must be positive, got ", options.freqGhz);
+
+    Rng rng(options.seed);
+    const double cycles_per_sec = options.freqGhz * 1e9;
+    const double deadline_cycles =
+        options.deadlineMs * 1e-3 * cycles_per_sec;
+
+    // Two-state modulated Poisson: the quiet rate is scaled so the
+    // long-run mean stays at ratePerSec given the phase-length means.
+    const double burst_weight =
+        options.burstLengthMean /
+        (options.burstLengthMean + options.quietLengthMean);
+    const double quiet_rate =
+        options.ratePerSec * (1.0 - burst_weight * options.burstFactor) /
+        std::max(1e-9, 1.0 - burst_weight);
+
+    bool in_burst = false;
+    int phase_left = 0;
+    double now_sec = 0.0;
+    std::vector<Request> trace;
+    trace.reserve(static_cast<std::size_t>(options.requests));
+    for (int i = 0; i < options.requests; ++i) {
+        double rate = options.ratePerSec;
+        if (options.kind == ArrivalKind::Bursty) {
+            if (phase_left == 0) {
+                in_burst = !in_burst;
+                const double mean = in_burst ? options.burstLengthMean
+                                             : options.quietLengthMean;
+                phase_left = 1 + static_cast<int>(exponential(rng, mean));
+            }
+            --phase_left;
+            rate = in_burst ? options.ratePerSec * options.burstFactor
+                            : std::max(1e-3, quiet_rate);
+        }
+        now_sec += exponential(rng, 1.0 / rate);
+
+        Request r;
+        r.id = i;
+        r.net = static_cast<int>(rng.uniformInt(
+            0, static_cast<std::int64_t>(options.mix.size()) - 1));
+        r.arrival = static_cast<Cycles>(now_sec * cycles_per_sec);
+        r.deadline =
+            r.arrival + static_cast<Cycles>(deadline_cycles);
+        r.batch = options.batch;
+        trace.push_back(r);
+    }
+    return trace;
+}
+
+std::vector<std::string>
+resolveMix(const std::string &name)
+{
+    if (name == "mix" || name == "zoo") {
+        std::vector<std::string> names;
+        for (const auto &entry : models::tableOneModels())
+            names.push_back(entry.name);
+        return names;
+    }
+    if (name == "tinymix")
+        return {"tiny_linear", "tiny_residual", "tiny_branchy"};
+    return {name};
+}
+
+} // namespace ad::serve

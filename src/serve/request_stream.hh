@@ -1,0 +1,84 @@
+#pragma once
+
+/**
+ * @file
+ * Seeded synthetic request-arrival traces for the serving loop.
+ *
+ * Arrivals live entirely in *simulated* accelerator cycles: a trace is a
+ * pure function of its StreamOptions (seed included), so serving runs
+ * are replayable and byte-identical across hosts and thread counts —
+ * the same determinism contract the planner and simulator honour.
+ *
+ * Two arrival processes are modelled:
+ *  - Poisson: exponential inter-arrival times at ratePerSec.
+ *  - Bursty: a two-state modulated Poisson process (burst / quiet),
+ *    with geometric phase lengths; the burst state arrives burstFactor
+ *    times faster and the quiet state proportionally slower, preserving
+ *    the configured mean rate.
+ *
+ * Each request draws its workload uniformly from the configured mix, so
+ * "zoo-mix" traffic interleaves plans for all eight Table-I networks.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace ad::serve {
+
+/** Arrival process shape. */
+enum class ArrivalKind { Poisson, Bursty };
+
+/** Parse "poisson" / "bursty"; fatals otherwise. */
+ArrivalKind arrivalKindFromString(const std::string &s);
+
+/** Short printable name of an arrival kind. */
+const char *arrivalKindName(ArrivalKind kind);
+
+/** Trace-generation parameters. */
+struct StreamOptions
+{
+    ArrivalKind kind = ArrivalKind::Poisson;
+    double ratePerSec = 100.0; ///< mean arrival rate
+    int requests = 32;         ///< trace length
+    std::uint64_t seed = 1;
+    double deadlineMs = 50.0;  ///< per-request deadline after arrival
+    int batch = 1;             ///< samples per request
+    double freqGhz = 0.5;      ///< cycles-per-second conversion
+
+    // Bursty-process shape (ignored for Poisson).
+    double burstFactor = 8.0;    ///< rate multiplier inside a burst
+    double burstLengthMean = 6.0; ///< mean arrivals per burst phase
+    double quietLengthMean = 12.0; ///< mean arrivals per quiet phase
+
+    /** Workload names, drawn uniformly per request. */
+    std::vector<std::string> mix{"resnet50"};
+};
+
+/** One inference request of the trace. */
+struct Request
+{
+    int id = 0;           ///< position in the trace (0-based)
+    int net = 0;          ///< index into StreamOptions::mix
+    Cycles arrival = 0;   ///< arrival time in simulated cycles
+    Cycles deadline = 0;  ///< absolute completion deadline
+    int batch = 1;        ///< samples in this request
+};
+
+/**
+ * Generate the arrival trace for @p options: requests sorted by
+ * arrival, ids in arrival order. Fatals on nonsense parameters (empty
+ * mix, non-positive rate or request count).
+ */
+std::vector<Request> generateArrivals(const StreamOptions &options);
+
+/**
+ * Expand a `--net` operand into a workload mix: "mix"/"zoo" is all
+ * eight Table-I networks, "tinymix" is the three tiny test networks,
+ * anything else is a single-model mix of that name.
+ */
+std::vector<std::string> resolveMix(const std::string &name);
+
+} // namespace ad::serve

@@ -1,0 +1,342 @@
+#include "serve_loop.hh"
+
+#include <algorithm>
+#include <deque>
+#include <utility>
+
+#include "baselines/planners.hh"
+#include "models/models.hh"
+#include "obs/clock.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace ad::serve {
+
+const char *
+downgradeName(Downgrade d)
+{
+    switch (d) {
+      case Downgrade::None:
+        return "none";
+      case Downgrade::CachedFallback:
+        return "cached-fallback";
+      default:
+        return "fresh-fallback";
+    }
+}
+
+bool
+RequestOutcome::bitIdentical(const RequestOutcome &o) const
+{
+    if (static_cast<bool>(plan) != static_cast<bool>(o.plan))
+        return false;
+    if (plan && !plan->report.bitIdentical(o.plan->report))
+        return false;
+    return id == o.id && net == o.net && batch == o.batch &&
+           admitted == o.admitted && arrival == o.arrival &&
+           start == o.start && finish == o.finish &&
+           deadline == o.deadline && planCycles == o.planCycles &&
+           execCycles == o.execCycles && downgrade == o.downgrade &&
+           cacheHit == o.cacheHit && deadlineMiss == o.deadlineMiss;
+}
+
+bool
+ServeReport::bitIdentical(const ServeReport &o) const
+{
+    if (outcomes.size() != o.outcomes.size())
+        return false;
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        if (!outcomes[i].bitIdentical(o.outcomes[i]))
+            return false;
+    }
+    return admitted == o.admitted && rejected == o.rejected &&
+           completed == o.completed &&
+           deadlineMisses == o.deadlineMisses &&
+           downgradedCached == o.downgradedCached &&
+           downgradedFresh == o.downgradedFresh &&
+           cacheHits == o.cacheHits && cacheMisses == o.cacheMisses &&
+           peakQueueDepth == o.peakQueueDepth &&
+           makespan == o.makespan && p50LatencyMs == o.p50LatencyMs &&
+           p99LatencyMs == o.p99LatencyMs &&
+           throughputRps == o.throughputRps;
+}
+
+ServeLoop::ServeLoop(const sim::SystemConfig &system, ServeOptions options)
+    : _system(system), _options(std::move(options)),
+      _cache(_options.cacheBudgetBytes)
+{
+    _system.validate();
+    if (_options.queueCapacity == 0)
+        fatal("serve queue capacity must be positive");
+}
+
+const graph::Graph &
+ServeLoop::workload(const std::string &name)
+{
+    const auto it = _workloads.find(name);
+    if (it != _workloads.end())
+        return it->second;
+    return _workloads.emplace(name, models::buildByName(name))
+        .first->second;
+}
+
+core::PlanResult
+ServeLoop::planNow(const std::string &strategy,
+                   const graph::Graph &graph, int batch,
+                   double &wall_seconds)
+{
+    auto opts = _options.orchestrator;
+    opts.batch = batch;
+    const auto planner = baselines::makePlanner(strategy, _system, opts);
+    const obs::Stopwatch sw;
+    // Uninstrumented on purpose: search telemetry from cold plans would
+    // make warm-cache runs render different (though still deterministic)
+    // metrics; the serving layer records serve.* series only.
+    auto result = planner->plan(graph);
+    wall_seconds += sw.seconds();
+    return result;
+}
+
+/** Exact q-quantile of @p sorted (ascending); empty returns 0. */
+namespace {
+
+double
+exactQuantile(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const auto n = static_cast<double>(sorted.size());
+    auto rank = static_cast<std::size_t>(std::ceil(q * n));
+    rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+    return sorted[rank - 1];
+}
+
+} // namespace
+
+ServeReport
+ServeLoop::run(const std::vector<Request> &trace,
+               const std::vector<std::string> &mix,
+               obs::Instrumentation *ins)
+{
+    obs::MetricsRegistry *ms = ins ? ins->metrics : nullptr;
+    obs::TraceRecorder *tr = ins ? ins->trace : nullptr;
+
+    // Fixed registration order (the renderText determinism contract).
+    obs::HistogramMetric *latency_hist = nullptr;
+    if (ms) {
+        ms->counter("serve.requests");
+        ms->counter("serve.admitted");
+        ms->counter("serve.rejected");
+        ms->counter("serve.completed");
+        ms->counter("serve.deadline_miss");
+        ms->counter("serve.downgrade.cached");
+        ms->counter("serve.downgrade.fresh");
+        ms->counter("serve.cache.hits");
+        ms->counter("serve.cache.misses");
+        ms->gauge("serve.cache.entries");
+        ms->gauge("serve.cache.bytes");
+        ms->gauge("serve.cache.evictions");
+        ms->gauge("serve.queue.peak_depth");
+        ms->gauge("serve.makespan_cycles");
+        ms->gauge("serve.throughput_rps");
+        latency_hist = &ms->histogram("serve.latency_ms", 0.0, 1000.0,
+                                      200);
+        ms->gauge("serve.latency.p50_ms");
+        ms->gauge("serve.latency.p99_ms");
+    }
+    if (tr)
+        tr->setTrackName(obs::kTrackServe, "serve");
+
+    ServeReport report;
+    report.outcomes.reserve(trace.size());
+    std::deque<Cycles> pending; // finish times of in-flight requests
+    Cycles server_free = 0;
+
+    for (const Request &r : trace) {
+        if (r.net < 0 ||
+            static_cast<std::size_t>(r.net) >= mix.size())
+            fatal("request ", r.id, " names mix entry ", r.net,
+                  " of a ", mix.size(), "-entry mix");
+
+        RequestOutcome out;
+        out.id = r.id;
+        out.net = mix[static_cast<std::size_t>(r.net)];
+        out.batch = r.batch;
+        out.arrival = r.arrival;
+        out.deadline = r.deadline;
+
+        // Requests finished by this arrival have left the system.
+        while (!pending.empty() && pending.front() <= r.arrival)
+            pending.pop_front();
+        const std::size_t depth = pending.size();
+        if (tr) {
+            tr->counter(obs::kTrackServe, r.arrival,
+                        "serve.queue_depth",
+                        static_cast<double>(depth));
+        }
+
+        if (depth >= _options.queueCapacity) {
+            ++report.rejected;
+            if (tr) {
+                obs::JsonArgs args;
+                args.add("id", r.id).add("net", out.net);
+                tr->instant(obs::kTrackServe, r.arrival, "rejected",
+                            args.str());
+            }
+            report.outcomes.push_back(std::move(out));
+            continue;
+        }
+
+        out.admitted = true;
+        ++report.admitted;
+        out.start = std::max(r.arrival, server_free);
+        report.peakQueueDepth =
+            std::max(report.peakQueueDepth, depth + 1);
+
+        // Background compiles finished by pickup become visible now.
+        for (auto it = _pending.begin(); it != _pending.end();) {
+            if (it->second.readyAt <= out.start) {
+                _cache.insert(it->first, std::move(it->second.plan));
+                it = _pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        const graph::Graph &g = workload(out.net);
+        auto key_opts = _options.orchestrator;
+        key_opts.batch = r.batch;
+        const PlanKey key =
+            makePlanKey(_options.strategy, g, _system, key_opts);
+
+        std::shared_ptr<const core::PlanResult> plan =
+            _cache.lookup(key);
+        if (plan) {
+            out.cacheHit = true;
+            out.planCycles = _options.cachedPlanCycles;
+            ++report.cacheHits;
+        } else {
+            ++report.cacheMisses;
+            const bool fits = out.start + _options.coldPlanCycles <=
+                              r.deadline;
+            if (!_options.allowDegrade || fits) {
+                plan = _cache.insert(
+                    key, planNow(_options.strategy, g, r.batch,
+                                 report.planWallSeconds));
+                out.planCycles = _options.coldPlanCycles;
+            } else {
+                // The search budget would blow the deadline: serve the
+                // fallback and compile the full plan in the background.
+                const PlanKey fb_key = makePlanKey(
+                    _options.fallbackStrategy, g, _system, key_opts);
+                plan = _cache.lookup(fb_key);
+                if (plan) {
+                    out.downgrade = Downgrade::CachedFallback;
+                    out.planCycles = _options.cachedPlanCycles;
+                    ++report.downgradedCached;
+                } else {
+                    plan = _cache.insert(
+                        fb_key,
+                        planNow(_options.fallbackStrategy, g, r.batch,
+                                report.planWallSeconds));
+                    out.downgrade = Downgrade::FreshFallback;
+                    out.planCycles = _options.fallbackPlanCycles;
+                    ++report.downgradedFresh;
+                }
+                if (_pending.find(key) == _pending.end()) {
+                    PendingPlan bg;
+                    bg.plan = planNow(_options.strategy, g, r.batch,
+                                      report.planWallSeconds);
+                    bg.readyAt = out.start + _options.coldPlanCycles;
+                    _pending.emplace(key, std::move(bg));
+                }
+            }
+        }
+
+        out.plan = plan;
+        out.execCycles = plan->report.totalCycles;
+        out.finish = out.start + out.planCycles + out.execCycles;
+        out.deadlineMiss = out.finish > r.deadline;
+        if (out.deadlineMiss)
+            ++report.deadlineMisses;
+        ++report.completed;
+        server_free = out.finish;
+        pending.push_back(out.finish);
+        report.makespan = std::max(report.makespan, out.finish);
+
+        if (tr) {
+            obs::JsonArgs args;
+            args.add("id", r.id)
+                .add("net", out.net)
+                .add("wait", out.start - r.arrival)
+                .add("plan", out.planCycles)
+                .add("exec", out.execCycles)
+                .add("downgrade", downgradeName(out.downgrade))
+                .add("deadline_miss", out.deadlineMiss ? 1 : 0);
+            tr->span(obs::kTrackServe, r.arrival,
+                     out.finish - r.arrival, out.net, args.str());
+        }
+        report.outcomes.push_back(std::move(out));
+    }
+
+    // Latency aggregates over completed requests, in simulated
+    // milliseconds at the system clock.
+    const double freq = _system.engine.freqGhz;
+    std::vector<double> latencies;
+    latencies.reserve(report.outcomes.size());
+    for (const RequestOutcome &out : report.outcomes) {
+        if (out.admitted) {
+            latencies.push_back(
+                static_cast<double>(out.finish - out.arrival) /
+                (freq * 1e6));
+        }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    report.p50LatencyMs = exactQuantile(latencies, 0.5);
+    report.p99LatencyMs = exactQuantile(latencies, 0.99);
+    if (report.makespan > 0) {
+        report.throughputRps =
+            static_cast<double>(report.completed) /
+            (static_cast<double>(report.makespan) / (freq * 1e9));
+    }
+
+    if (ms) {
+        const PlanCacheStats cs = _cache.stats();
+        ms->counter("serve.requests").add(trace.size());
+        ms->counter("serve.admitted").add(report.admitted);
+        ms->counter("serve.rejected").add(report.rejected);
+        ms->counter("serve.completed").add(report.completed);
+        ms->counter("serve.deadline_miss").add(report.deadlineMisses);
+        ms->counter("serve.downgrade.cached")
+            .add(report.downgradedCached);
+        ms->counter("serve.downgrade.fresh")
+            .add(report.downgradedFresh);
+        ms->counter("serve.cache.hits").add(report.cacheHits);
+        ms->counter("serve.cache.misses").add(report.cacheMisses);
+        ms->gauge("serve.cache.entries")
+            .set(static_cast<double>(cs.entries));
+        ms->gauge("serve.cache.bytes")
+            .set(static_cast<double>(cs.bytes));
+        ms->gauge("serve.cache.evictions")
+            .set(static_cast<double>(cs.evictions));
+        ms->gauge("serve.queue.peak_depth")
+            .set(static_cast<double>(report.peakQueueDepth));
+        ms->gauge("serve.makespan_cycles")
+            .set(static_cast<double>(report.makespan));
+        ms->gauge("serve.throughput_rps").set(report.throughputRps);
+        for (const double ms_latency : latencies)
+            latency_hist->observe(ms_latency);
+        ms->gauge("serve.latency.p50_ms")
+            .set(latency_hist->quantile(0.5));
+        ms->gauge("serve.latency.p99_ms")
+            .set(latency_hist->quantile(0.99));
+        // Reserved host.* prefix: wall time, excluded from determinism
+        // comparisons and from bitIdentical().
+        ms->gauge("host.serve.plan_seconds")
+            .set(report.planWallSeconds);
+    }
+    return report;
+}
+
+} // namespace ad::serve

@@ -1,0 +1,202 @@
+#pragma once
+
+/**
+ * @file
+ * The multi-tenant serving loop: admits a seeded arrival trace into a
+ * bounded queue and drives planned executions back-to-back over
+ * simulated time, with the PlanCache absorbing repeat work and a
+ * deadline-aware degradation policy absorbing cold-plan latency.
+ *
+ * Determinism contract (DESIGN.md Sec. 12): every admission, planning,
+ * degradation, and completion decision is a function of simulated time
+ * and the request trace only. Wall time is measured (through the
+ * quarantined obs::Stopwatch) purely for the `host.*` metrics and the
+ * ServeReport::planWallSeconds field, both of which are excluded from
+ * bitIdentical(). A ServeReport is therefore byte-identical for any
+ * `--threads` value and across repeat runs of the same trace — while a
+ * warm cache makes the repeat run wall-clock faster.
+ *
+ * Degradation policy: planning latency is modelled in simulated cycles
+ * (coldPlanCycles for a full SA search, fallbackPlanCycles for the
+ * Layer-Sequential fallback, cachedPlanCycles for a dispatch from
+ * cache). When a request reaches the server and `start + coldPlanCycles`
+ * would already overrun its deadline, the loop serves it from the
+ * fallback plan instead (cached if available, freshly planned
+ * otherwise), records the downgrade, and kicks off a *background*
+ * compile of the full plan that becomes visible at
+ * `start + coldPlanCycles` — later requests for the same workload
+ * upgrade to the full plan once it is ready, exactly as an online
+ * serving system warms up.
+ */
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/orchestrator.hh"
+#include "core/planner.hh"
+#include "graph/graph.hh"
+#include "serve/plan_cache.hh"
+#include "serve/request_stream.hh"
+#include "sim/system.hh"
+
+namespace ad::obs {
+struct Instrumentation;
+} // namespace ad::obs
+
+namespace ad::serve {
+
+/** How a request's plan was degraded, if at all. */
+enum class Downgrade {
+    None,           ///< full-strategy plan (fresh or cached)
+    CachedFallback, ///< deadline pressure; served from cached fallback
+    FreshFallback,  ///< deadline pressure; fallback planned on the spot
+};
+
+/** Short stable name of a downgrade kind. */
+const char *downgradeName(Downgrade d);
+
+/** Serving-loop parameters. */
+struct ServeOptions
+{
+    /** Primary planning strategy for admitted requests. */
+    std::string strategy = "AD";
+
+    /** Cheap strategy used when the primary would blow a deadline. */
+    std::string fallbackStrategy = "LS";
+
+    /** Admission bound: arrivals beyond this many pending requests
+     * (queued + in service) are rejected. */
+    std::size_t queueCapacity = 32;
+
+    /** PlanCache byte budget. */
+    Bytes cacheBudgetBytes = Bytes{512} << 20;
+
+    /** Modelled planning latency, in simulated cycles, of a cold
+     * primary-strategy plan (the SA search budget of the degradation
+     * policy). Default: 20 ms at the paper's 0.5 GHz clock. */
+    Cycles coldPlanCycles = 10'000'000;
+
+    /** Modelled dispatch latency of a cache hit. */
+    Cycles cachedPlanCycles = 5'000;
+
+    /** Modelled planning latency of a cold fallback plan. */
+    Cycles fallbackPlanCycles = 50'000;
+
+    /** Disable to always plan inline, deadlines notwithstanding. */
+    bool allowDegrade = true;
+
+    /** Orchestrator configuration (batch is overwritten per request). */
+    core::OrchestratorOptions orchestrator;
+};
+
+/** Outcome of one request of the trace. */
+struct RequestOutcome
+{
+    int id = 0;
+    std::string net;     ///< workload name
+    int batch = 1;
+    bool admitted = false;
+    Cycles arrival = 0;
+    Cycles start = 0;    ///< server pickup time (admitted only)
+    Cycles finish = 0;   ///< completion time (admitted only)
+    Cycles deadline = 0;
+    Cycles planCycles = 0; ///< modelled planning latency charged
+    Cycles execCycles = 0; ///< executed plan's makespan
+    Downgrade downgrade = Downgrade::None;
+    bool cacheHit = false;
+    bool deadlineMiss = false;
+
+    /** Executed plan (shared with the cache); null when rejected. */
+    std::shared_ptr<const core::PlanResult> plan;
+
+    /** Field-wise equality, plan reports compared bitIdentical(). */
+    bool bitIdentical(const RequestOutcome &o) const;
+};
+
+/** Aggregate results of serving one trace. */
+struct ServeReport
+{
+    std::vector<RequestOutcome> outcomes; ///< trace order
+
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t deadlineMisses = 0;
+    std::uint64_t downgradedCached = 0;
+    std::uint64_t downgradedFresh = 0;
+    std::uint64_t cacheHits = 0;   ///< primary-plan hits
+    std::uint64_t cacheMisses = 0; ///< primary-plan misses
+    std::size_t peakQueueDepth = 0;
+    Cycles makespan = 0; ///< completion time of the last request
+
+    // Exact latency percentiles over completed requests (simulated
+    // milliseconds at the system clock); deterministic doubles.
+    double p50LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+    double throughputRps = 0.0; ///< completed / simulated makespan
+
+    /** Wall time spent inside Planner::plan() — host-side, excluded
+     * from bitIdentical(); the warm-cache speedup metric. */
+    double planWallSeconds = 0.0;
+
+    /** Byte-identity over everything except planWallSeconds. */
+    bool bitIdentical(const ServeReport &o) const;
+};
+
+/**
+ * The serving loop. One instance owns the plan cache and the workload
+ * library, so repeat run() calls serve from a warm cache.
+ */
+class ServeLoop
+{
+  public:
+    /** Create a loop for @p system with @p options. */
+    ServeLoop(const sim::SystemConfig &system, ServeOptions options);
+
+    /**
+     * Serve @p trace (sorted by arrival; ids in trace order index
+     * StreamOptions::mix through @p mix). With a non-null @p ins,
+     * serve.* metrics, the request-latency histogram, and per-request
+     * spans on obs::kTrackServe are recorded; `host.serve.*` metrics
+     * carry the wall-clock planning cost.
+     */
+    ServeReport run(const std::vector<Request> &trace,
+                    const std::vector<std::string> &mix,
+                    obs::Instrumentation *ins = nullptr);
+
+    /** The shared plan cache (warm across run() calls). */
+    const PlanCache &cache() const { return _cache; }
+
+    /** System configuration in use. */
+    const sim::SystemConfig &system() const { return _system; }
+
+    /** Options in use. */
+    const ServeOptions &options() const { return _options; }
+
+  private:
+    /** Workload by name (zoo or tiny test networks), built once. */
+    const graph::Graph &workload(const std::string &name);
+
+    /** Plan @p name at @p batch with @p strategy, wall time accrued
+     * into @p wall_seconds. */
+    core::PlanResult planNow(const std::string &strategy,
+                             const graph::Graph &graph, int batch,
+                             double &wall_seconds);
+
+    sim::SystemConfig _system;
+    ServeOptions _options;
+    PlanCache _cache;
+    std::map<std::string, graph::Graph> _workloads;
+
+    /** Background compiles not yet visible: key -> (plan, readyAt). */
+    struct PendingPlan
+    {
+        core::PlanResult plan;
+        Cycles readyAt = 0;
+    };
+    std::map<PlanKey, PendingPlan> _pending;
+};
+
+} // namespace ad::serve

@@ -1,6 +1,7 @@
 #include "system.hh"
 
 #include <algorithm>
+#include <sstream>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,39 @@ SystemConfig::validate() const
     hbm.validate();
     if (meshX <= 0 || meshY <= 0)
         fatal("mesh dimensions must be positive");
+}
+
+std::string
+SystemConfig::fingerprint() const
+{
+    std::ostringstream os;
+    os << "mesh=" << meshX << 'x' << meshY
+       << " dataflow=" << engine::dataflowName(dataflow)
+       << " pe=" << engine.peRows << 'x' << engine.peCols
+       << " freq=" << engine.freqGhz
+       << " buffer=" << engine.bufferBytes
+       << " port=" << engine.bufferPortBits
+       << " elem=" << engine.bytesPerElem
+       << " lanes=" << engine.vectorLanes
+       << " config_cyc=" << engine.configCycles
+       << " reconfig_cyc=" << engine.reconfigCycles
+       << " mac_pj=" << engine.macEnergyPj
+       << " sram_rd_pj=" << engine.sramReadPjPerBit
+       << " sram_wr_pj=" << engine.sramWritePjPerBit
+       << " static_mw=" << engine.staticPowerMw
+       << " noc_link=" << noc.linkBits << " noc_hop=" << noc.hopLatency
+       << " noc_pj=" << noc.energyPjPerBitPerHop
+       << " noc_credit=" << noc.creditDepth
+       << " hbm_ch=" << hbm.channels << " hbm_cap=" << hbm.capacityBytes
+       << " hbm_bw=" << hbm.peakBandwidthGBps
+       << " hbm_clk=" << hbm.clockGhz
+       << " hbm_miss=" << hbm.rowMissLatency
+       << " hbm_hit=" << hbm.rowHitLatency
+       << " hbm_burst=" << hbm.burstBytes << " hbm_row=" << hbm.rowBytes
+       << " hbm_pj=" << hbm.energyPjPerBit
+       << " double_buffer=" << doubleBuffer
+       << " prefetch=" << prefetchRounds << " reuse=" << onChipReuse;
+    return os.str();
 }
 
 SystemSimulator::SystemSimulator(const SystemConfig &config)

@@ -8,6 +8,8 @@
  * Round with an event-driven kernel and produces an ExecutionReport.
  */
 
+#include <string>
+
 #include "core/atomic_dag.hh"
 #include "core/residency.hh"
 #include "core/schedule.hh"
@@ -48,6 +50,14 @@ struct SystemConfig
 
     /** Validate all sub-configs. */
     void validate() const;
+
+    /**
+     * Canonical one-line rendering of every field (engine, dataflow,
+     * mesh, NoC, HBM, simulator knobs). Two configs produce the same
+     * fingerprint iff they simulate identically, so content-addressed
+     * caches (serve::PlanCache) can key plans on it.
+     */
+    std::string fingerprint() const;
 };
 
 /**

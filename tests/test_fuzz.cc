@@ -7,6 +7,11 @@
  *    strategy that produces a schedule, and
  *  - bit-identical ExecutionReports asserted between 1-thread and
  *    4-thread runs (the deterministic thread-pool contract).
+ *
+ * The serving layer rides the same harness: 50 seeded arrival traces
+ * (Poisson and bursty, varying rates, deadlines, and queue bounds) are
+ * served end to end, with queue/deadline invariants checked per request
+ * and every executed plan passing the conservation audits.
  */
 
 #include <gtest/gtest.h>
@@ -18,6 +23,8 @@
 #include "check/conservation.hh"
 #include "core/orchestrator.hh"
 #include "core/validation.hh"
+#include "serve/request_stream.hh"
+#include "serve/serve_loop.hh"
 #include "sim/system.hh"
 #include "testing_support/random_graph.hh"
 #include "util/thread_pool.hh"
@@ -163,6 +170,67 @@ TEST(Fuzz, AtomicDataflowIsValidAuditedAndDeterministic)
 
         expectCleanExecution(*one.dag, one.schedule, system,
                              one.report);
+    }
+}
+
+TEST(Fuzz, ServedTracesHoldInvariantsAndAuditClean)
+{
+    const auto system = smallSystem();
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed);
+
+        ad::serve::StreamOptions stream;
+        stream.kind = seed % 2 == 0 ? ad::serve::ArrivalKind::Poisson
+                                    : ad::serve::ArrivalKind::Bursty;
+        stream.ratePerSec = 20.0 + static_cast<double>(seed % 7) * 140.0;
+        stream.requests = 8 + static_cast<int>(seed % 5);
+        stream.seed = seed;
+        // Every third seed runs with deadlines tighter than a cold
+        // plan, forcing the degradation path.
+        stream.deadlineMs = seed % 3 == 0 ? 5.0 : 80.0;
+        stream.freqGhz = system.engine.freqGhz;
+        stream.mix = ad::serve::resolveMix("tinymix");
+        const auto trace = ad::serve::generateArrivals(stream);
+
+        ad::serve::ServeOptions options;
+        options.queueCapacity = 2 + seed % 4;
+        options.orchestrator.atomGen =
+            ad::core::AtomGenMode::EvenPartition;
+        const auto serveAll = [&](int threads) {
+            return withThreads(threads, [&] {
+                ad::serve::ServeLoop loop(system, options);
+                return loop.run(trace, stream.mix);
+            });
+        };
+        const auto report = serveAll(1);
+
+        EXPECT_EQ(report.admitted + report.rejected, trace.size());
+        EXPECT_EQ(report.completed, report.admitted);
+        EXPECT_LE(report.peakQueueDepth, options.queueCapacity);
+        ASSERT_EQ(report.outcomes.size(), trace.size());
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            SCOPED_TRACE(testing::Message() << "request=" << i);
+            const auto &out = report.outcomes[i];
+            EXPECT_EQ(out.arrival, trace[i].arrival);
+            if (!out.admitted) {
+                EXPECT_FALSE(out.plan);
+                continue;
+            }
+            EXPECT_GE(out.start, out.arrival);
+            EXPECT_GE(out.finish, out.start);
+            EXPECT_EQ(out.deadlineMiss, out.finish > out.deadline);
+            ASSERT_TRUE(out.plan);
+            if (out.plan->dag != nullptr) {
+                expectCleanExecution(*out.plan->dag,
+                                     out.plan->schedule, system,
+                                     out.plan->report);
+            }
+        }
+
+        if (seed % 10 == 0) {
+            EXPECT_TRUE(report.bitIdentical(serveAll(4)))
+                << "serve report differs across threads";
+        }
     }
 }
 

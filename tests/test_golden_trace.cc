@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Golden-file regression test for the observability exports: the
+ * Perfetto trace JSON and the CSV timeline of a fixed tiny two-layer
+ * network must match tests/golden/ byte for byte. Any intentional
+ * change to the trace format (or to the planner/simulator event
+ * sequence) regenerates them with scripts/regen_golden.sh, which runs
+ * this binary with AD_REGEN_GOLDEN=1; the diff then documents the
+ * change in review.
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/orchestrator.hh"
+#include "graph/graph.hh"
+#include "obs/instrumentation.hh"
+#include "obs/trace.hh"
+#include "sim/system.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+std::string
+readFileOrEmpty(const std::string &path)
+{
+    std::ifstream file(path, std::ios::binary);
+    std::ostringstream os;
+    os << file.rdbuf();
+    return os.str();
+}
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    std::ofstream file(path, std::ios::binary);
+    ASSERT_TRUE(file) << "cannot open " << path;
+    file << content;
+}
+
+/** The fixed golden workload: input + two 3x3 convolutions. */
+ad::graph::Graph
+tinyTwoLayer()
+{
+    ad::graph::Graph g("golden_tiny2");
+    auto x = g.input(ad::graph::TensorShape{8, 8, 3});
+    x = g.conv(x, 8, 3, 1, 1, "conv1");
+    g.conv(x, 8, 3, 1, 1, "conv2");
+    g.validate();
+    return g;
+}
+
+struct Artifacts
+{
+    std::string json;
+    std::string csv;
+};
+
+/** The exact pipeline of `adctl trace` on the golden workload. */
+Artifacts
+renderArtifacts()
+{
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+
+    ad::obs::TraceRecorder trace;
+    ad::obs::Instrumentation ins{&trace, nullptr};
+    ad::core::Orchestrator(system, options).plan(tinyTwoLayer(), &ins);
+    return {trace.perfettoJson(), trace.timelineCsv()};
+}
+
+const char *kJsonGolden = AD_GOLDEN_DIR "/tiny2_trace.json";
+const char *kCsvGolden = AD_GOLDEN_DIR "/tiny2_timeline.csv";
+
+TEST(GoldenTrace, PerfettoJsonAndTimelineCsvMatchGoldenFiles)
+{
+    const Artifacts got = renderArtifacts();
+    ASSERT_FALSE(got.json.empty());
+    ASSERT_FALSE(got.csv.empty());
+
+    if (std::getenv("AD_REGEN_GOLDEN") != nullptr) {
+        writeFile(kJsonGolden, got.json);
+        writeFile(kCsvGolden, got.csv);
+        GTEST_SKIP() << "regenerated golden files under " AD_GOLDEN_DIR;
+    }
+
+    EXPECT_EQ(got.json, readFileOrEmpty(kJsonGolden))
+        << "Perfetto JSON drifted from " << kJsonGolden
+        << "; regenerate with scripts/regen_golden.sh if intentional";
+    EXPECT_EQ(got.csv, readFileOrEmpty(kCsvGolden))
+        << "CSV timeline drifted from " << kCsvGolden
+        << "; regenerate with scripts/regen_golden.sh if intentional";
+}
+
+TEST(GoldenTrace, ArtifactsAreByteIdenticalAcrossThreadCounts)
+{
+    ad::util::ThreadPool::setGlobalThreads(1);
+    const Artifacts one = renderArtifacts();
+    ad::util::ThreadPool::setGlobalThreads(4);
+    const Artifacts four = renderArtifacts();
+    EXPECT_EQ(one.json, four.json);
+    EXPECT_EQ(one.csv, four.csv);
+}
+
+} // namespace

@@ -59,6 +59,28 @@ TEST(Metrics, HistogramBucketingAndEdgeClamping)
     EXPECT_EQ(h.total(), 6u);
 }
 
+TEST(Metrics, HistogramQuantileIsBucketResolved)
+{
+    obs::MetricsRegistry reg;
+    obs::HistogramMetric &h = reg.histogram("q", 0.0, 100.0, 10);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0) << "empty -> lower bound";
+
+    // 10 observations in bucket 0, 80 in bucket 4, 10 in bucket 9.
+    for (int i = 0; i < 10; ++i)
+        h.observe(5.0);
+    for (int i = 0; i < 80; ++i)
+        h.observe(45.0);
+    for (int i = 0; i < 10; ++i)
+        h.observe(95.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.05), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 50.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 100.0);
+    // q is clamped; 0 still needs the first observation's bucket.
+    EXPECT_DOUBLE_EQ(h.quantile(-1.0), 10.0);
+    EXPECT_DOUBLE_EQ(h.quantile(2.0), 100.0);
+}
+
 TEST(Metrics, RegistrationOrderIsStableAndRefsAreReused)
 {
     obs::MetricsRegistry reg;

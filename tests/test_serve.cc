@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Serving-subsystem tests: PlanCache content addressing, byte-budget
+ * eviction, and hit/miss determinism; arrival-stream replayability; and
+ * the ServeLoop's degradation, queue-bound, warm-cache, and
+ * thread-invariance contracts.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/planners.hh"
+#include "models/models.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+#include "serve/plan_cache.hh"
+#include "serve/request_stream.hh"
+#include "serve/serve_loop.hh"
+#include "sim/system.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+using ad::serve::PlanCache;
+using ad::serve::PlanKey;
+using ad::serve::Request;
+using ad::util::ThreadPool;
+
+ad::sim::SystemConfig
+smallSystem()
+{
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    return system;
+}
+
+/** Fast orchestrator configuration for cache/loop tests. */
+ad::core::OrchestratorOptions
+fastOptions()
+{
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    return options;
+}
+
+ad::core::PlanResult
+planFresh(const std::string &strategy, const std::string &net,
+          const ad::sim::SystemConfig &system,
+          const ad::core::OrchestratorOptions &options)
+{
+    const auto graph = ad::models::buildByName(net);
+    return ad::baselines::makePlanner(strategy, system, options)
+        ->plan(graph);
+}
+
+template <typename Fn>
+auto
+withThreads(int threads, Fn &&body)
+{
+    ThreadPool::setGlobalThreads(threads);
+    return body();
+}
+
+// ---------------------------------------------------------------------
+// PlanKey
+
+TEST(PlanKey, DistinguishesStrategySystemOptionsAndGraph)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const auto linear = ad::models::tinyLinear();
+    const auto residual = ad::models::tinyResidual();
+
+    const PlanKey base =
+        ad::serve::makePlanKey("AD", linear, system, options);
+    EXPECT_EQ(base,
+              ad::serve::makePlanKey("AD", linear, system, options));
+    EXPECT_NE(base,
+              ad::serve::makePlanKey("LS", linear, system, options));
+    EXPECT_NE(base,
+              ad::serve::makePlanKey("AD", residual, system, options));
+
+    auto other_system = system;
+    other_system.meshX = 4;
+    EXPECT_NE(base, ad::serve::makePlanKey("AD", linear, other_system,
+                                           options));
+
+    auto other_options = options;
+    other_options.batch = 2;
+    EXPECT_NE(base, ad::serve::makePlanKey("AD", linear, system,
+                                           other_options));
+    other_options = options;
+    other_options.sa.seed = 99;
+    EXPECT_NE(base, ad::serve::makePlanKey("AD", linear, system,
+                                           other_options));
+}
+
+// ---------------------------------------------------------------------
+// PlanCache
+
+TEST(PlanCache, HitReturnsPlanBitIdenticalToFreshPlan)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const auto graph = ad::models::tinyLinear();
+    const PlanKey key =
+        ad::serve::makePlanKey("AD", graph, system, options);
+
+    PlanCache cache(ad::Bytes{64} << 20);
+    EXPECT_EQ(cache.lookup(key), nullptr);
+
+    auto inserted = cache.insert(
+        key, planFresh("AD", "tiny_linear", system, options));
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit);
+    EXPECT_EQ(hit.get(), inserted.get()) << "hit must share the entry";
+
+    const auto fresh = planFresh("AD", "tiny_linear", system, options);
+    EXPECT_TRUE(hit->report.bitIdentical(fresh.report))
+        << "cached plan must replay bit-identically to a fresh plan";
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(PlanCache, EvictionKeepsBytesWithinBudgetAndPrefersLru)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const std::vector<std::string> nets{"tiny_linear", "tiny_residual",
+                                        "tiny_branchy"};
+
+    // Size the budget to roughly two entries so the third insert evicts.
+    const auto probe =
+        planFresh("AD", nets[0], system, options);
+    const ad::Bytes one = PlanCache::planBytes(
+        ad::serve::makePlanKey(
+            "AD", ad::models::buildByName(nets[0]), system, options),
+        probe);
+    PlanCache cache(one * 5 / 2);
+
+    std::vector<PlanKey> keys;
+    for (const auto &net : nets) {
+        const auto graph = ad::models::buildByName(net);
+        keys.push_back(
+            ad::serve::makePlanKey("AD", graph, system, options));
+        cache.insert(keys.back(),
+                     planFresh("AD", net, system, options));
+        EXPECT_LE(cache.stats().bytes, cache.budgetBytes())
+            << "cache bytes must never exceed the budget";
+    }
+    const auto stats = cache.stats();
+    EXPECT_GT(stats.evictions, 0u);
+    EXPECT_LT(stats.entries, nets.size());
+    // LRU: the oldest entry went first; the newest is still resident.
+    EXPECT_TRUE(cache.lookup(keys.back()));
+    EXPECT_FALSE(cache.lookup(keys.front()));
+}
+
+TEST(PlanCache, OversizePlanIsNeverAdmitted)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const auto graph = ad::models::tinyLinear();
+    const PlanKey key =
+        ad::serve::makePlanKey("AD", graph, system, options);
+
+    PlanCache cache(ad::Bytes{1024}); // smaller than any real plan
+    const auto shared = cache.insert(
+        key, planFresh("AD", "tiny_linear", system, options));
+    ASSERT_TRUE(shared) << "caller still gets the plan back";
+    EXPECT_EQ(cache.lookup(key), nullptr);
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.oversize, 1u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(PlanCache, HitMissSequenceIsIdenticalAcrossThreadsAndRuns)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const auto mix = ad::serve::resolveMix("tinymix");
+
+    ad::serve::StreamOptions stream;
+    stream.requests = 16;
+    stream.seed = 11;
+    stream.ratePerSec = 400.0;
+    stream.freqGhz = system.engine.freqGhz;
+    stream.mix = mix;
+    const auto trace = ad::serve::generateArrivals(stream);
+
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = options;
+    const auto serveStats = [&](int threads) {
+        return withThreads(threads, [&] {
+            ad::serve::ServeLoop loop(system, serve_options);
+            loop.run(trace, mix);
+            return loop.cache().stats();
+        });
+    };
+    const auto one = serveStats(1);
+    const auto four = serveStats(4);
+    const auto again = serveStats(1);
+    EXPECT_EQ(one.hits, four.hits);
+    EXPECT_EQ(one.misses, four.misses);
+    EXPECT_EQ(one.bytes, four.bytes);
+    EXPECT_EQ(one.hits, again.hits);
+    EXPECT_EQ(one.misses, again.misses);
+    EXPECT_EQ(one.bytes, again.bytes);
+}
+
+// ---------------------------------------------------------------------
+// Request stream
+
+TEST(RequestStream, SameSeedReplaysByteForByte)
+{
+    ad::serve::StreamOptions stream;
+    stream.kind = ad::serve::ArrivalKind::Bursty;
+    stream.requests = 64;
+    stream.seed = 42;
+    stream.mix = ad::serve::resolveMix("tinymix");
+
+    const auto a = ad::serve::generateArrivals(stream);
+    const auto b = ad::serve::generateArrivals(stream);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival, b[i].arrival);
+        EXPECT_EQ(a[i].net, b[i].net);
+        EXPECT_EQ(a[i].deadline, b[i].deadline);
+    }
+
+    stream.seed = 43;
+    const auto c = ad::serve::generateArrivals(stream);
+    bool differs = false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        differs = differs || a[i].arrival != c[i].arrival;
+    EXPECT_TRUE(differs) << "different seeds must give different traces";
+}
+
+TEST(RequestStream, ArrivalsAreSortedWithDeadlinesAttached)
+{
+    for (const auto kind : {ad::serve::ArrivalKind::Poisson,
+                            ad::serve::ArrivalKind::Bursty}) {
+        ad::serve::StreamOptions stream;
+        stream.kind = kind;
+        stream.requests = 48;
+        stream.deadlineMs = 25.0;
+        stream.mix = ad::serve::resolveMix("mix");
+        const auto trace = ad::serve::generateArrivals(stream);
+        ASSERT_EQ(trace.size(), 48u);
+        const auto deadline_cycles = static_cast<ad::Cycles>(
+            stream.deadlineMs * 1e-3 * stream.freqGhz * 1e9);
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            EXPECT_EQ(trace[i].id, static_cast<int>(i));
+            EXPECT_GE(trace[i].net, 0);
+            EXPECT_LT(trace[i].net,
+                      static_cast<int>(stream.mix.size()));
+            EXPECT_EQ(trace[i].deadline,
+                      trace[i].arrival + deadline_cycles);
+            if (i > 0)
+                EXPECT_GE(trace[i].arrival, trace[i - 1].arrival);
+        }
+    }
+}
+
+TEST(RequestStream, RejectsNonsenseParameters)
+{
+    ad::serve::StreamOptions stream;
+    stream.mix.clear();
+    EXPECT_THROW(ad::serve::generateArrivals(stream), ad::ConfigError);
+    stream = {};
+    stream.ratePerSec = 0.0;
+    EXPECT_THROW(ad::serve::generateArrivals(stream), ad::ConfigError);
+    stream = {};
+    stream.requests = -1;
+    EXPECT_THROW(ad::serve::generateArrivals(stream), ad::ConfigError);
+    stream = {};
+    stream.freqGhz = 0.0;
+    EXPECT_THROW(ad::serve::generateArrivals(stream), ad::ConfigError);
+}
+
+TEST(RequestStream, ArrivalKindNamesRoundTrip)
+{
+    EXPECT_EQ(ad::serve::arrivalKindFromString("poisson"),
+              ad::serve::ArrivalKind::Poisson);
+    EXPECT_EQ(ad::serve::arrivalKindFromString("bursty"),
+              ad::serve::ArrivalKind::Bursty);
+    EXPECT_THROW(ad::serve::arrivalKindFromString("constant"),
+                 ad::ConfigError);
+    EXPECT_STREQ(
+        ad::serve::arrivalKindName(ad::serve::ArrivalKind::Poisson),
+        "poisson");
+    EXPECT_STREQ(
+        ad::serve::arrivalKindName(ad::serve::ArrivalKind::Bursty),
+        "bursty");
+}
+
+TEST(RequestStream, MixAliasesExpand)
+{
+    EXPECT_EQ(ad::serve::resolveMix("zoo").size(), 8u);
+    EXPECT_EQ(ad::serve::resolveMix("mix").size(), 8u);
+    EXPECT_EQ(ad::serve::resolveMix("tinymix").size(), 3u);
+    EXPECT_EQ(ad::serve::resolveMix("vgg19"),
+              std::vector<std::string>{"vgg19"});
+}
+
+// ---------------------------------------------------------------------
+// ServeLoop
+
+TEST(ServeLoop, WarmCacheReplaysBitIdenticallyAndPlansFaster)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    // Real SA search so the cold pass has measurable planning wall time.
+    serve_options.orchestrator.sa.maxIterations = 300;
+
+    ad::serve::StreamOptions stream;
+    stream.requests = 8;
+    stream.seed = 3;
+    stream.ratePerSec = 200.0;
+    stream.freqGhz = system.engine.freqGhz;
+    stream.mix = {"tiny_linear"};
+    const auto trace = ad::serve::generateArrivals(stream);
+
+    ad::serve::ServeLoop loop(system, serve_options);
+    const auto cold = loop.run(trace, stream.mix);
+    const auto warm = loop.run(trace, stream.mix);
+
+    EXPECT_GT(cold.planWallSeconds, 0.0);
+    EXPECT_LE(warm.planWallSeconds * 10.0, cold.planWallSeconds)
+        << "warm-cache pass must plan at least 10x faster";
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_EQ(warm.cacheHits, warm.admitted);
+
+    // Every warm outcome replays the cold pass's plan bit-identically.
+    ASSERT_EQ(cold.outcomes.size(), warm.outcomes.size());
+    for (std::size_t i = 0; i < cold.outcomes.size(); ++i) {
+        if (!cold.outcomes[i].plan)
+            continue;
+        ASSERT_TRUE(warm.outcomes[i].plan);
+        EXPECT_TRUE(cold.outcomes[i].plan->report.bitIdentical(
+            warm.outcomes[i].plan->report));
+    }
+
+    // A second loop reproduces both passes byte-for-byte.
+    ad::serve::ServeLoop replay(system, serve_options);
+    EXPECT_TRUE(replay.run(trace, stream.mix).bitIdentical(cold));
+    EXPECT_TRUE(replay.run(trace, stream.mix).bitIdentical(warm));
+}
+
+TEST(ServeLoop, ReportIsBitIdenticalAcrossThreadCounts)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = fastOptions();
+
+    ad::serve::StreamOptions stream;
+    stream.kind = ad::serve::ArrivalKind::Bursty;
+    stream.requests = 12;
+    stream.seed = 9;
+    stream.ratePerSec = 300.0;
+    stream.freqGhz = system.engine.freqGhz;
+    stream.mix = ad::serve::resolveMix("tinymix");
+    const auto trace = ad::serve::generateArrivals(stream);
+
+    const auto serveAll = [&](int threads) {
+        return withThreads(threads, [&] {
+            ad::serve::ServeLoop loop(system, serve_options);
+            return loop.run(trace, stream.mix);
+        });
+    };
+    const auto one = serveAll(1);
+    const auto four = serveAll(4);
+    EXPECT_TRUE(one.bitIdentical(four))
+        << "serve report differs across thread counts";
+}
+
+TEST(ServeLoop, DeadlinePressureDegradesThenUpgrades)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = fastOptions();
+    serve_options.coldPlanCycles = 1'000'000;
+
+    // Hand-built trace: the first request's deadline cannot absorb a
+    // cold plan, so it must be served from a freshly planned fallback;
+    // the second arrives after the background compile finishes and must
+    // hit the upgraded primary plan.
+    std::vector<Request> trace(2);
+    trace[0].id = 0;
+    trace[0].arrival = 0;
+    trace[0].deadline = 500'000;
+    trace[1].id = 1;
+    trace[1].arrival = 5'000'000;
+    trace[1].deadline = 90'000'000;
+    const std::vector<std::string> mix{"tiny_linear"};
+
+    ad::serve::ServeLoop loop(system, serve_options);
+    const auto report = loop.run(trace, mix);
+    ASSERT_EQ(report.outcomes.size(), 2u);
+
+    const auto &first = report.outcomes[0];
+    EXPECT_EQ(first.downgrade, ad::serve::Downgrade::FreshFallback);
+    EXPECT_EQ(first.planCycles, serve_options.fallbackPlanCycles);
+    EXPECT_FALSE(first.cacheHit);
+
+    const auto &second = report.outcomes[1];
+    EXPECT_EQ(second.downgrade, ad::serve::Downgrade::None);
+    EXPECT_TRUE(second.cacheHit)
+        << "background compile must upgrade later requests";
+    EXPECT_EQ(report.downgradedFresh, 1u);
+
+    // With degradation disabled the same trace plans inline instead.
+    serve_options.allowDegrade = false;
+    ad::serve::ServeLoop strict(system, serve_options);
+    const auto inline_report = strict.run(trace, mix);
+    EXPECT_EQ(inline_report.downgradedFresh +
+                  inline_report.downgradedCached,
+              0u);
+    EXPECT_EQ(inline_report.outcomes[0].planCycles,
+              serve_options.coldPlanCycles);
+}
+
+TEST(ServeLoop, QueueBoundRejectsOverflowDeterministically)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = fastOptions();
+    serve_options.queueCapacity = 2;
+
+    // Six simultaneous arrivals against capacity 2: the first fills the
+    // server, the second queues, the rest bounce.
+    std::vector<Request> trace(6);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        trace[i].id = static_cast<int>(i);
+        trace[i].arrival = 0;
+        trace[i].deadline = 1'000'000'000;
+    }
+    const std::vector<std::string> mix{"tiny_linear"};
+
+    ad::serve::ServeLoop loop(system, serve_options);
+    const auto report = loop.run(trace, mix);
+    EXPECT_EQ(report.admitted, 2u);
+    EXPECT_EQ(report.rejected, 4u);
+    EXPECT_LE(report.peakQueueDepth, serve_options.queueCapacity);
+    for (const auto &out : report.outcomes) {
+        if (!out.admitted)
+            EXPECT_FALSE(out.plan);
+    }
+}
+
+TEST(ServeLoop, InstrumentedRunsRenderByteIdenticalExports)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = fastOptions();
+    // Tight queue and deadlines so rejections, downgrades, and the
+    // queue-depth counter all land in the exports.
+    serve_options.queueCapacity = 3;
+
+    ad::serve::StreamOptions stream;
+    stream.kind = ad::serve::ArrivalKind::Bursty;
+    stream.requests = 16;
+    stream.seed = 21;
+    stream.ratePerSec = 2000.0;
+    stream.deadlineMs = 8.0;
+    stream.freqGhz = system.engine.freqGhz;
+    stream.mix = ad::serve::resolveMix("tinymix");
+    const auto trace = ad::serve::generateArrivals(stream);
+
+    const auto render = [&](int threads) {
+        return withThreads(threads, [&] {
+            ad::obs::TraceRecorder recorder;
+            ad::obs::MetricsRegistry metrics;
+            ad::obs::Instrumentation ins{&recorder, &metrics};
+            ad::serve::ServeLoop loop(system, serve_options);
+            loop.run(trace, stream.mix, &ins);
+            return std::make_pair(metrics.renderText("host."),
+                                  recorder.perfettoJson());
+        });
+    };
+    const auto one = render(1);
+    const auto four = render(4);
+    EXPECT_EQ(one.first, four.first)
+        << "serve metrics differ across thread counts";
+    EXPECT_EQ(one.second, four.second)
+        << "serve trace differs across thread counts";
+    EXPECT_NE(one.first.find("serve.latency.p99_ms"),
+              std::string::npos);
+    EXPECT_NE(one.second.find("serve.queue_depth"), std::string::npos);
+}
+
+TEST(ServeLoop, RejectsBrokenConfigurations)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.queueCapacity = 0;
+    EXPECT_THROW(ad::serve::ServeLoop(system, serve_options),
+                 ad::ConfigError);
+
+    serve_options.queueCapacity = 4;
+    ad::serve::ServeLoop loop(system, serve_options);
+    std::vector<Request> trace(1);
+    trace[0].net = 5; // out of range for a one-entry mix
+    EXPECT_THROW(loop.run(trace, {"tiny_linear"}), ad::ConfigError);
+}
+
+TEST(ServeLoop, DowngradeNamesAreStable)
+{
+    EXPECT_STREQ(ad::serve::downgradeName(ad::serve::Downgrade::None),
+                 "none");
+    EXPECT_STREQ(ad::serve::downgradeName(
+                     ad::serve::Downgrade::CachedFallback),
+                 "cached-fallback");
+    EXPECT_STREQ(ad::serve::downgradeName(
+                     ad::serve::Downgrade::FreshFallback),
+                 "fresh-fallback");
+}
+
+} // namespace

@@ -36,6 +36,8 @@
 #include "obs/metrics.hh"
 #include "obs/schedule_views.hh"
 #include "obs/trace.hh"
+#include "serve/request_stream.hh"
+#include "serve/serve_loop.hh"
 #include "testing_support/random_graph.hh"
 #include "util/table.hh"
 #include "util/thread_pool.hh"
@@ -68,6 +70,9 @@ constexpr CommandSpec kCommands[] = {
     {"validate", "[net|random]",
      "differential-oracle checks (validity, conservation, reference "
      "cost model, brute-force oracle)"},
+    {"serve", "[net|mix]",
+     "multi-tenant serving of a seeded arrival trace (plan cache, "
+     "deadlines, degradation)"},
 };
 
 std::string
@@ -102,8 +107,19 @@ usageText()
           "  --out FILE       output file (default stdout)\n"
           "  --csv FILE       trace: also write the CSV timeline\n"
           "  --schedule FILE  trace: also write the schedule CSV\n"
-          "  --seed S         validate: seed for the random network\n"
+          "  --seed S         validate/serve: trace seed\n"
           "  --no-reuse       disable distributed-buffer reuse\n"
+          "\nserve options:\n"
+          "  --arrivals R     mean arrival rate, requests/s (default "
+          "100)\n"
+          "  --requests N     trace length (default 32)\n"
+          "  --kind K         poisson | bursty (default poisson)\n"
+          "  --deadline MS    per-request deadline (default 50)\n"
+          "  --queue N        admission queue capacity (default 32)\n"
+          "  --repeat N       serve the trace N times; later passes hit "
+          "the warm plan cache (default 1)\n"
+          "  net may be a mix: 'mix'/'zoo' (all eight Table-I models) "
+          "or 'tinymix'\n"
           "\nexit codes: 0 success, 1 runtime/config error or failed "
           "validation, 2 usage error\n";
     return os.str();
@@ -590,6 +606,80 @@ cmdExport(const Args &args)
     return 0;
 }
 
+/**
+ * Multi-tenant serving: generate a seeded arrival trace over the
+ * requested workload mix and drive it through the ServeLoop (plan
+ * cache, bounded admission queue, deadline-aware degradation). Stdout —
+ * the per-pass summary and the serve.* metrics — is deterministic:
+ * byte-identical for any --threads and across repeat invocations. Wall
+ * time (the warm-cache speedup signal) goes to stderr and the host.*
+ * metrics only.
+ */
+int
+cmdServe(const Args &args)
+{
+    const std::string strategy = canonicalStrategy(args);
+    const auto system = systemFrom(args);
+
+    ad::serve::StreamOptions stream;
+    stream.kind = ad::serve::arrivalKindFromString(
+        option(args, "kind", "poisson"));
+    stream.ratePerSec = std::atof(option(args, "arrivals", "100").c_str());
+    stream.requests = std::atoi(option(args, "requests", "32").c_str());
+    stream.seed = std::strtoull(option(args, "seed", "1").c_str(),
+                                nullptr, 10);
+    stream.deadlineMs = std::atof(option(args, "deadline", "50").c_str());
+    stream.batch = std::atoi(option(args, "batch", "1").c_str());
+    stream.freqGhz = system.engine.freqGhz;
+    const std::string mix_name = option(args, "model", "resnet50");
+    stream.mix = ad::serve::resolveMix(mix_name);
+    const auto trace = ad::serve::generateArrivals(stream);
+
+    ad::serve::ServeOptions serve_options;
+    serve_options.strategy = strategy;
+    serve_options.queueCapacity = static_cast<std::size_t>(
+        std::atoi(option(args, "queue", "32").c_str()));
+    serve_options.orchestrator = orchestratorFrom(args);
+    ad::serve::ServeLoop loop(system, serve_options);
+
+    ad::obs::TraceRecorder recorder;
+    ad::obs::MetricsRegistry metrics;
+    const std::string out = option(args, "out", "");
+    ad::obs::Instrumentation ins{out.empty() ? nullptr : &recorder,
+                                 &metrics};
+
+    std::cout << "serving " << mix_name << " (" << stream.mix.size()
+              << " workloads): " << trace.size() << " requests, "
+              << ad::serve::arrivalKindName(stream.kind) << " @ "
+              << ad::fmtDouble(stream.ratePerSec, 1) << "/s, seed "
+              << stream.seed << ", strategy " << strategy << "\n";
+
+    const int repeat =
+        std::max(1, std::atoi(option(args, "repeat", "1").c_str()));
+    for (int pass = 1; pass <= repeat; ++pass) {
+        const auto report = loop.run(trace, stream.mix, &ins);
+        std::cout << "pass " << pass << ": admitted " << report.admitted
+                  << ", rejected " << report.rejected
+                  << ", deadline-miss " << report.deadlineMisses
+                  << ", downgraded "
+                  << report.downgradedCached + report.downgradedFresh
+                  << ", cache " << report.cacheHits << "/"
+                  << report.cacheHits + report.cacheMisses << ", p50 "
+                  << ad::fmtDouble(report.p50LatencyMs, 3) << " ms, p99 "
+                  << ad::fmtDouble(report.p99LatencyMs, 3) << " ms, "
+                  << ad::fmtDouble(report.throughputRps, 1) << " rps\n";
+        std::cerr << "pass " << pass << " planning wall: "
+                  << ad::fmtDouble(report.planWallSeconds, 3) << " s\n";
+    }
+    std::cout << metrics.renderText("host.");
+    if (!out.empty()) {
+        writeFileOrFatal(out, recorder.perfettoJson());
+        std::cerr << "wrote " << recorder.eventCount()
+                  << " trace events to " << out << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -616,6 +706,8 @@ main(int argc, char **argv)
             return cmdProfile(args);
         if (args.command == "export")
             return cmdExport(args);
+        if (args.command == "serve")
+            return cmdServe(args);
         return cmdValidate(args);
     } catch (const UsageError &e) {
         const std::string what = e.what();
