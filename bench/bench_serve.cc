@@ -6,12 +6,16 @@
  * production-serving story on top of the paper's planner. The second
  * pass of each trace runs against the warm plan cache; its wall-clock
  * planning time (host-side, not part of the deterministic results)
- * shows the cache absorbing the SA search cost.
+ * shows the cache absorbing the SA search cost. A third pass runs in a
+ * *fresh* ServeLoop hydrating from the persistent plan store
+ * (DESIGN.md Sec. 13) — the warm-restart column: the planning wall
+ * time a restarted replica pays instead of recompiling.
  *
  * AD_BENCH_SERVE_REQUESTS overrides the trace length (default 64).
  */
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -35,6 +39,10 @@ main(int argc, char **argv)
     ad::bench::applyBenchArgs(argc, argv);
     const auto system = ad::bench::defaultSystem();
 
+    const std::filesystem::path store_root =
+        std::filesystem::temp_directory_path() / "ad_bench_serve_store";
+    std::filesystem::remove_all(store_root);
+
     for (const auto kind :
          {ad::serve::ArrivalKind::Poisson, ad::serve::ArrivalKind::Bursty}) {
         std::cout << "== Serving: zoo mix, "
@@ -43,7 +51,7 @@ main(int argc, char **argv)
         ad::TextTable table;
         table.setHeader({"rate(r/s)", "p50(ms)", "p99(ms)", "rps",
                          "miss", "degraded", "cache", "cold wall(s)",
-                         "warm wall(s)"});
+                         "warm wall(s)", "restart wall(s)"});
         for (const double rate : {50.0, 200.0, 800.0}) {
             ad::serve::StreamOptions stream;
             stream.kind = kind;
@@ -54,9 +62,29 @@ main(int argc, char **argv)
             stream.mix = ad::serve::resolveMix("mix");
             const auto trace = ad::serve::generateArrivals(stream);
 
-            ad::serve::ServeLoop loop(system, ad::serve::ServeOptions{});
+            // One store directory per (kind, rate) cell so each
+            // restart pass hydrates exactly what its cold pass wrote.
+            ad::serve::ServeOptions options;
+            options.storeDir =
+                (store_root /
+                 (std::string(ad::serve::arrivalKindName(kind)) + "_" +
+                  ad::fmtDouble(rate, 0)))
+                    .string();
+
+            ad::serve::ServeLoop loop(system, options);
             const auto cold = loop.run(trace, stream.mix);
             const auto warm = loop.run(trace, stream.mix);
+
+            // The warm-restart pass: a brand-new loop (empty memory
+            // tier) pointed at the store the first loop populated —
+            // the "process restarted" scenario.
+            ad::serve::ServeLoop restarted(system, options);
+            const auto restart = restarted.run(trace, stream.mix);
+            if (!restart.bitIdentical(warm)) {
+                std::cerr << "FATAL: store-hydrated pass diverged from "
+                             "the warm in-memory pass\n";
+                return 1;
+            }
 
             table.addRow(
                 {ad::fmtDouble(rate, 0),
@@ -69,9 +97,11 @@ main(int argc, char **argv)
                  std::to_string(warm.cacheHits) + "/" +
                      std::to_string(warm.cacheHits + warm.cacheMisses),
                  ad::fmtDouble(cold.planWallSeconds, 2),
-                 ad::fmtDouble(warm.planWallSeconds, 2)});
+                 ad::fmtDouble(warm.planWallSeconds, 2),
+                 ad::fmtDouble(restart.planWallSeconds, 2)});
         }
         std::cout << table.render() << "\n";
     }
+    std::filesystem::remove_all(store_root);
     return 0;
 }

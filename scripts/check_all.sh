@@ -57,6 +57,48 @@ echo "== adctl serve: stdout byte-identical across thread counts =="
 diff build/serve_t1.txt build/serve_t4.txt
 echo "serve determinism OK"
 
+echo "== adctl: malformed invocations exit 2 (usage contract) =="
+expect_rc() {
+    local want="$1"; shift
+    local rc=0
+    "$@" >/dev/null 2>&1 || rc=$?
+    if [ "$rc" -ne "$want" ]; then
+        echo "FAIL: expected exit $want, got $rc: $*" >&2
+        exit 1
+    fi
+}
+expect_rc 2 ./build/tools/adctl serve tinymix --kind sometimes
+expect_rc 2 ./build/tools/adctl serve tinymix --requests abc
+expect_rc 2 ./build/tools/adctl serve tinymix --requests -3
+expect_rc 2 ./build/tools/adctl serve tinymix --deadline -5
+expect_rc 2 ./build/tools/adctl serve tinymix --repeat 1x
+expect_rc 2 ./build/tools/adctl serve tinymix --seed -1
+expect_rc 2 ./build/tools/adctl trace resnet50 --strategy bogus
+expect_rc 2 ./build/tools/adctl run resnet50 --mesh 8y8
+expect_rc 2 ./build/tools/adctl nonsense
+echo "usage exit codes OK"
+
+echo "== adctl serve: warm restart from the plan store =="
+# Cold process populates the store; two restarted processes (different
+# thread counts) must serve with zero cold compiles and byte-identical
+# stdout — the persistence layer's determinism contract.
+rm -rf build/serve_store
+./build/tools/adctl serve tinymix --arrivals 400 --requests 16 \
+    --seed 7 --store build/serve_store --threads 2 2>/dev/null \
+    > build/serve_cold.txt
+grep -q "^serve.store.writes [1-9]" build/serve_cold.txt
+./build/tools/adctl serve tinymix --arrivals 400 --requests 16 \
+    --seed 7 --store build/serve_store --threads 1 2>/dev/null \
+    > build/serve_warm_t1.txt
+./build/tools/adctl serve tinymix --arrivals 400 --requests 16 \
+    --seed 7 --store build/serve_store --threads 4 2>/dev/null \
+    > build/serve_warm_t4.txt
+diff build/serve_warm_t1.txt build/serve_warm_t4.txt
+grep -q "^serve.cache.misses 0$" build/serve_warm_t1.txt
+grep -q "^serve.store.corrupt 0$" build/serve_warm_t1.txt
+grep -q "^serve.store.hits [1-9]" build/serve_warm_t1.txt
+echo "warm restart OK"
+
 # The check/fuzz suites exercise the new-code surface; sanitizers catch
 # what asserts cannot (OOB in the counting loops, UB in the bitmask
 # enumeration, leaks in the report plumbing).

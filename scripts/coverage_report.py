@@ -7,12 +7,19 @@ prefers gcovr when installed): walks a -DAD_COVERAGE=ON build tree for
 line hits per source file, and enforces minimum line-coverage
 percentages per source directory.
 
+The merge and floor logic is factored into pure functions
+(parse_floors / merge_records / check_floors) so
+tests/test_coverage_report.py can exercise the malformed-record and
+zero-line edge cases without a compiler in the loop. gcov output is
+treated as untrusted: records missing "file", lines missing
+"line_number" or "count", and non-dict entries are skipped, never a
+KeyError.
+
 Usage: coverage_report.py BUILD_DIR DIR=FLOOR [DIR=FLOOR ...]
 Exits nonzero when a directory's aggregate line coverage is below its
 floor (or when no counters are found at all).
 """
 
-import collections
 import glob
 import json
 import os
@@ -40,39 +47,72 @@ def gcov_json(gcda, build_dir):
     return docs
 
 
-def main():
-    if len(sys.argv) < 3:
-        sys.exit(__doc__)
-    build_dir = sys.argv[1]
+def parse_floors(specs):
+    """[(directory, floor)] from DIR=FLOOR specs; None on a bad spec."""
     floors = []
-    for spec in sys.argv[2:]:
-        directory, _, floor = spec.partition("=")
-        floors.append((directory.rstrip("/"), float(floor)))
+    for spec in specs:
+        directory, sep, floor = spec.partition("=")
+        if not sep or not directory:
+            return None
+        try:
+            floors.append((directory.rstrip("/"), float(floor)))
+        except ValueError:
+            return None
+    return floors
 
-    gcdas = glob.glob(
-        os.path.join(build_dir, "**", "*.gcda"), recursive=True
-    )
-    if not gcdas:
-        sys.exit(f"no .gcda files under {build_dir}; run the tests first")
 
-    root = os.getcwd()
-    # source path -> {line -> max hit count across translation units}
-    hits = collections.defaultdict(dict)
-    for gcda in gcdas:
-        for doc in gcov_json(gcda, build_dir):
-            for record in doc.get("files", []):
-                path = record["file"]
-                if os.path.isabs(path):
-                    if not path.startswith(root + os.sep):
-                        continue
-                    path = os.path.relpath(path, root)
-                lines = hits[path]
-                for line in record.get("lines", []):
-                    number = line["line_number"]
-                    lines[number] = max(
-                        lines.get(number, 0), line["count"]
-                    )
+def merge_records(docs, root):
+    """Merge gcov JSON docs into {path: {line: max hit count}}.
 
+    Paths are normalized relative to `root`; absolute paths outside it
+    (system headers) are dropped. Malformed records — not a dict, no
+    "file", lines without "line_number"/"count" — are skipped. A file
+    whose lines are all malformed (or that has none, e.g. a
+    header-only file with no executable lines) gets NO entry rather
+    than an empty one, so it cannot distort the per-file report.
+    """
+    hits = {}
+    for doc in docs:
+        if not isinstance(doc, dict):
+            continue
+        records = doc.get("files", [])
+        if not isinstance(records, list):
+            continue
+        for record in records:
+            if not isinstance(record, dict):
+                continue
+            path = record.get("file")
+            if not isinstance(path, str) or not path:
+                continue
+            if os.path.isabs(path):
+                if not path.startswith(root + os.sep):
+                    continue
+                path = os.path.relpath(path, root)
+            lines = record.get("lines", [])
+            if not isinstance(lines, list):
+                continue
+            merged = {}
+            for line in lines:
+                if not isinstance(line, dict):
+                    continue
+                number = line.get("line_number")
+                count = line.get("count")
+                if not isinstance(number, int):
+                    continue
+                if not isinstance(count, (int, float)) or count < 0:
+                    count = 0
+                merged[number] = count
+            if not merged:
+                continue
+            existing = hits.setdefault(path, {})
+            for number, count in merged.items():
+                existing[number] = max(existing.get(number, 0), count)
+    return hits
+
+
+def check_floors(hits, floors):
+    """(report lines, failed) for `hits` against the floor specs."""
+    out = []
     failed = False
     for directory, floor in floors:
         covered = total = 0
@@ -88,20 +128,46 @@ def main():
             total += len(file_lines)
             files.append((path, file_covered, len(file_lines)))
         if total == 0:
-            print(f"{directory}: no instrumented lines found")
+            out.append(f"{directory}: no instrumented lines found")
             failed = True
             continue
         pct = 100.0 * covered / total
         status = "ok" if pct >= floor else "BELOW FLOOR"
-        print(
+        out.append(
             f"{directory}: {pct:.1f}% line coverage "
             f"({covered}/{total} lines, floor {floor:.0f}%) {status}"
         )
         for path, file_covered, file_total in files:
             file_pct = 100.0 * file_covered / file_total
-            print(f"  {path}: {file_pct:.1f}% ({file_covered}/{file_total})")
+            out.append(
+                f"  {path}: {file_pct:.1f}% ({file_covered}/{file_total})"
+            )
         failed = failed or pct < floor
+    return out, failed
 
+
+def main():
+    if len(sys.argv) < 3:
+        sys.exit(__doc__)
+    build_dir = sys.argv[1]
+    floors = parse_floors(sys.argv[2:])
+    if floors is None:
+        sys.exit(f"malformed DIR=FLOOR spec in: {sys.argv[2:]}")
+
+    gcdas = glob.glob(
+        os.path.join(build_dir, "**", "*.gcda"), recursive=True
+    )
+    if not gcdas:
+        sys.exit(f"no .gcda files under {build_dir}; run the tests first")
+
+    docs = []
+    for gcda in gcdas:
+        docs.extend(gcov_json(gcda, build_dir))
+    hits = merge_records(docs, os.getcwd())
+
+    report, failed = check_floors(hits, floors)
+    for line in report:
+        print(line)
     sys.exit(1 if failed else 0)
 
 

@@ -90,6 +90,10 @@ class AtomicDag
     /** Batch size this DAG was built with. */
     int batch() const { return _options.batch; }
 
+    /** Element width this DAG was built with (core::planIo needs the
+     * full constructor inputs to re-create the DAG on hydration). */
+    int bytesPerElem() const { return _options.bytesPerElem; }
+
     /** Atoms of @p layer in @p sample (contiguous id range). */
     std::pair<AtomId, AtomId> layerAtoms(graph::LayerId layer,
                                          int sample) const;

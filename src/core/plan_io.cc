@@ -1,0 +1,346 @@
+#include "plan_io.hh"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "core/atomic_dag.hh"
+#include "graph/serialize.hh"
+
+namespace ad::core {
+
+std::uint64_t
+fnv1a64(std::string_view bytes)
+{
+    std::uint64_t h = 14695981039346656037ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+namespace {
+
+/** Little-endian append-only byte sink. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        _out.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            _out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            _out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+
+    void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+
+    void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+    void
+    str(std::string_view s)
+    {
+        u64(s.size());
+        _out.append(s);
+    }
+
+    std::string take() { return std::move(_out); }
+
+  private:
+    std::string _out;
+};
+
+/**
+ * Bounds-checked little-endian cursor. Every read past the end sets the
+ * fail flag and returns zero; callers check ok() once at the end (or at
+ * count-validation points), so malformed input degrades to a clean
+ * decode failure instead of UB.
+ */
+class Reader
+{
+  public:
+    explicit Reader(std::string_view in) : _in(in) {}
+
+    std::uint8_t
+    u8()
+    {
+        if (!require(1))
+            return 0;
+        return static_cast<std::uint8_t>(_in[_pos++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        if (!require(4))
+            return 0;
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) {
+            v |= static_cast<std::uint32_t>(
+                     static_cast<unsigned char>(_in[_pos + i]))
+                 << (8 * i);
+        }
+        _pos += 4;
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        if (!require(8))
+            return 0;
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) {
+            v |= static_cast<std::uint64_t>(
+                     static_cast<unsigned char>(_in[_pos + i]))
+                 << (8 * i);
+        }
+        _pos += 8;
+        return v;
+    }
+
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+
+    double f64() { return std::bit_cast<double>(u64()); }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = u64();
+        if (!require(n))
+            return {};
+        std::string s(_in.substr(_pos, n));
+        _pos += n;
+        return s;
+    }
+
+    /** True when @p count elements of @p elem_bytes each could still
+     * fit in the remaining input — rejects hostile counts before any
+     * allocation sized by them. */
+    bool
+    fits(std::uint64_t count, std::uint64_t elem_bytes)
+    {
+        if (count <= remaining() / elem_bytes)
+            return true;
+        _fail = true;
+        return false;
+    }
+
+    std::uint64_t remaining() const { return _in.size() - _pos; }
+
+    bool ok() const { return !_fail; }
+
+    bool exhausted() const { return _pos == _in.size(); }
+
+  private:
+    bool
+    require(std::uint64_t n)
+    {
+        if (remaining() >= n)
+            return true;
+        _fail = true;
+        _pos = _in.size();
+        return false;
+    }
+
+    std::string_view _in;
+    std::size_t _pos = 0;
+    bool _fail = false;
+};
+
+void
+encodeReport(Writer &w, const sim::ExecutionReport &r)
+{
+    w.u64(r.totalCycles);
+    w.u64(r.rounds);
+    w.i32(r.batch);
+    w.f64(r.peUtilization);
+    w.f64(r.computeUtilization);
+    w.f64(r.nocOverhead);
+    w.f64(r.memOverhead);
+    w.f64(r.onChipReuseRatio);
+    w.u64(r.hbmReadBytes);
+    w.u64(r.hbmWriteBytes);
+    w.u64(r.nocBytes);
+    w.u64(r.nocHopBytes);
+    w.u64(r.localReuseBytes);
+    w.u64(r.weightHbmBytes);
+    w.u64(r.spillWriteBytes);
+    w.u64(r.finalWriteBytes);
+    w.u64(r.storedAtoms);
+    w.u64(r.unstoredAtoms);
+    w.f64(r.computeEnergyPj);
+    w.f64(r.nocEnergyPj);
+    w.f64(r.hbmEnergyPj);
+    w.f64(r.staticEnergyPj);
+    w.u64(r.launchedAtoms);
+    w.u64(r.retiredAtoms);
+    w.u64(r.nocInjectedBytes);
+    w.u64(r.nocEjectedBytes);
+    w.u64(r.engineBusyCycles.size());
+    for (const Cycles c : r.engineBusyCycles)
+        w.u64(c);
+}
+
+sim::ExecutionReport
+decodeReport(Reader &rd)
+{
+    sim::ExecutionReport r;
+    r.totalCycles = rd.u64();
+    r.rounds = rd.u64();
+    r.batch = rd.i32();
+    r.peUtilization = rd.f64();
+    r.computeUtilization = rd.f64();
+    r.nocOverhead = rd.f64();
+    r.memOverhead = rd.f64();
+    r.onChipReuseRatio = rd.f64();
+    r.hbmReadBytes = rd.u64();
+    r.hbmWriteBytes = rd.u64();
+    r.nocBytes = rd.u64();
+    r.nocHopBytes = rd.u64();
+    r.localReuseBytes = rd.u64();
+    r.weightHbmBytes = rd.u64();
+    r.spillWriteBytes = rd.u64();
+    r.finalWriteBytes = rd.u64();
+    r.storedAtoms = rd.u64();
+    r.unstoredAtoms = rd.u64();
+    r.computeEnergyPj = rd.f64();
+    r.nocEnergyPj = rd.f64();
+    r.hbmEnergyPj = rd.f64();
+    r.staticEnergyPj = rd.f64();
+    r.launchedAtoms = rd.u64();
+    r.retiredAtoms = rd.u64();
+    r.nocInjectedBytes = rd.u64();
+    r.nocEjectedBytes = rd.u64();
+    const std::uint64_t engines = rd.u64();
+    if (!rd.fits(engines, 8))
+        return r;
+    r.engineBusyCycles.reserve(engines);
+    for (std::uint64_t i = 0; i < engines; ++i)
+        r.engineBusyCycles.push_back(rd.u64());
+    return r;
+}
+
+} // namespace
+
+std::string
+encodePlanResult(const PlanResult &plan)
+{
+    Writer w;
+    w.u8(plan.dag ? 1 : 0);
+    if (plan.dag) {
+        const AtomicDag &dag = *plan.dag;
+        w.str(graph::toText(dag.graph()));
+        w.i32(dag.batch());
+        w.i32(dag.bytesPerElem());
+        const std::size_t layers = dag.graph().size();
+        w.u64(layers);
+        for (std::size_t l = 0; l < layers; ++l) {
+            const TileShape &s =
+                dag.shapeOf(static_cast<graph::LayerId>(l));
+            w.i32(s.h);
+            w.i32(s.w);
+            w.i32(s.c);
+        }
+    }
+
+    w.u8(static_cast<std::uint8_t>(plan.schedule.mode));
+    w.u64(plan.schedule.rounds.size());
+    for (const Round &round : plan.schedule.rounds) {
+        w.u64(round.placements.size());
+        for (const Placement &p : round.placements) {
+            w.i32(p.atom);
+            w.i32(p.engine);
+        }
+    }
+
+    encodeReport(w, plan.report);
+    return w.take();
+}
+
+std::optional<PlanResult>
+decodePlanResult(std::string_view payload)
+{
+    Reader rd(payload);
+    PlanResult plan;
+
+    const std::uint8_t has_dag = rd.u8();
+    if (has_dag > 1)
+        return std::nullopt;
+    if (has_dag) {
+        const std::string graph_text = rd.str();
+        AtomicDagOptions options;
+        options.batch = rd.i32();
+        options.bytesPerElem = rd.i32();
+        const std::uint64_t layers = rd.u64();
+        if (!rd.fits(layers, 12))
+            return std::nullopt;
+        std::vector<TileShape> shapes;
+        shapes.reserve(layers);
+        for (std::uint64_t l = 0; l < layers; ++l) {
+            TileShape s;
+            s.h = rd.i32();
+            s.w = rd.i32();
+            s.c = rd.i32();
+            shapes.push_back(s);
+        }
+        if (!rd.ok())
+            return std::nullopt;
+        // fromText and the AtomicDag constructor fatal (throw) on
+        // semantic nonsense a structurally valid payload can still
+        // carry; a stored plan must never crash its loader.
+        try {
+            graph::Graph graph = graph::fromText(graph_text);
+            if (shapes.size() != graph.size())
+                return std::nullopt;
+            plan.dag = std::make_unique<AtomicDag>(std::move(graph),
+                                                   shapes, options);
+        } catch (const std::exception &) {
+            return std::nullopt;
+        }
+    }
+
+    const std::uint8_t mode = rd.u8();
+    if (mode > static_cast<std::uint8_t>(SchedMode::Dp))
+        return std::nullopt;
+    plan.schedule.mode = static_cast<SchedMode>(mode);
+    const std::uint64_t rounds = rd.u64();
+    if (!rd.fits(rounds, 8))
+        return std::nullopt;
+    plan.schedule.rounds.reserve(rounds);
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+        Round round;
+        const std::uint64_t placements = rd.u64();
+        if (!rd.fits(placements, 8))
+            return std::nullopt;
+        round.placements.reserve(placements);
+        for (std::uint64_t j = 0; j < placements; ++j) {
+            Placement p;
+            p.atom = rd.i32();
+            p.engine = rd.i32();
+            round.placements.push_back(p);
+        }
+        plan.schedule.rounds.push_back(std::move(round));
+    }
+
+    plan.report = decodeReport(rd);
+    if (!rd.ok() || !rd.exhausted())
+        return std::nullopt;
+    return plan;
+}
+
+} // namespace ad::core

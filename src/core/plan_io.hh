@@ -1,0 +1,61 @@
+#pragma once
+
+/**
+ * @file
+ * Versioned binary serialization of PlanResult — the payload format of
+ * the serving layer's persistent plan store (serve::PlanStore).
+ *
+ * A PlanResult is a pure function of its planning inputs (the PR 1
+ * determinism contract), and the AtomicDag itself is a pure function of
+ * (graph, tile shapes, batch, bytesPerElem). The encoding therefore
+ * stores the DAG *constructively* — the adgraph text plus the per-layer
+ * shapes and construction options — and decodePlanResult() rebuilds it
+ * through the regular AtomicDag constructor, so a decoded plan is not
+ * merely equal to the original: it is the same deterministic object a
+ * fresh compile would have produced. Schedule and ExecutionReport are
+ * stored field by field, doubles as IEEE-754 bit patterns, so reports
+ * survive the round trip bitIdentical().
+ *
+ * The format is little-endian, length-prefixed, and versioned by
+ * kPlanFormatVersion; decodePlanResult() treats *any* malformed input —
+ * truncation, trailing garbage, impossible counts, an unparseable
+ * graph — as a clean failure (nullopt), never a crash. Integrity
+ * against bit flips is the caller's job (PlanStore checksums the whole
+ * payload with fnv1a64 before attempting a decode).
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/planner.hh"
+
+namespace ad::core {
+
+/** Bump on any change to the encodePlanResult() byte layout. */
+constexpr std::uint32_t kPlanFormatVersion = 1;
+
+/**
+ * FNV-1a 64-bit over @p bytes: the project's explicit, portable content
+ * hash (never std::hash, whose value is implementation-defined). Used
+ * for plan-store filenames and payload checksums.
+ */
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/**
+ * Serialize @p plan to the version-kPlanFormatVersion binary payload.
+ * searchSeconds is deliberately dropped: it is host wall time, excluded
+ * from every determinism comparison, and a hydrated plan reports 0.
+ */
+std::string encodePlanResult(const PlanResult &plan);
+
+/**
+ * Decode a payload produced by encodePlanResult(). Returns nullopt on
+ * any structural problem (truncation, bad counts, trailing bytes, a
+ * graph that fails to parse or a DAG that fails to rebuild); never
+ * throws and never aborts.
+ */
+std::optional<PlanResult> decodePlanResult(std::string_view payload);
+
+} // namespace ad::core

@@ -55,13 +55,19 @@ HistogramMetric::total() const
 double
 HistogramMetric::quantile(double q) const
 {
-    q = std::min(1.0, std::max(0.0, q));
+    // Degenerate q values clamp rather than fault: NaN and anything
+    // below 0 ask for the minimum, anything above 1 for the maximum.
+    // (The negated comparison is what routes NaN to the first branch.)
+    if (!(q >= 0.0))
+        q = 0.0;
+    else if (q > 1.0)
+        q = 1.0;
     util::MutexLock lk(_mu);
     std::uint64_t n = 0;
     for (std::uint64_t c : _counts)
         n += c;
     if (n == 0)
-        return _lo;
+        return _lo; // no observations: report the range floor
     const std::uint64_t target = std::max<std::uint64_t>(
         1, static_cast<std::uint64_t>(
                std::ceil(q * static_cast<double>(n))));
@@ -71,6 +77,9 @@ HistogramMetric::quantile(double q) const
         if (cumulative >= target)
             return binHigh(i);
     }
+    // Unreachable when the counts are consistent (target <= n), but
+    // observe() clamps out-of-range values into the edge buckets, so
+    // keep the overflow bucket's edge as the defensive answer.
     return binHigh(_bins - 1);
 }
 

@@ -104,7 +104,9 @@ class HistogramMetric
     /**
      * Bucket-resolution quantile: the exclusive upper edge of the first
      * bucket at which the cumulative count reaches ceil(q * total).
-     * @p q is clamped to [0, 1]; an empty histogram returns binLow(0).
+     * @p q is clamped to [0, 1] (NaN counts as 0); an empty histogram
+     * returns binLow(0), and values observe() clamped into the edge
+     * buckets resolve to those buckets' edges.
      * Deterministic (a pure function of the recorded counts), so serving
      * dashboards can report p50/p99 without breaking byte-identity.
      */

@@ -1,0 +1,56 @@
+#include "eviction_policy.hh"
+
+#include "util/common.hh"
+
+namespace ad::serve {
+
+EvictionPolicy::~EvictionPolicy() = default;
+
+void
+LruPolicy::admitted(const std::string &key)
+{
+    adAssert(_lastUse.find(key) == _lastUse.end(),
+             "admitted() on a key the policy already tracks");
+    const std::uint64_t tick = ++_tick;
+    _lastUse.emplace(key, tick);
+    _byTick.emplace(tick, key);
+}
+
+void
+LruPolicy::touched(const std::string &key)
+{
+    const auto it = _lastUse.find(key);
+    adAssert(it != _lastUse.end(),
+             "touched() on a key the policy does not track");
+    _byTick.erase(it->second);
+    const std::uint64_t tick = ++_tick;
+    it->second = tick;
+    _byTick.emplace(tick, key);
+}
+
+void
+LruPolicy::evicted(const std::string &key)
+{
+    const auto it = _lastUse.find(key);
+    adAssert(it != _lastUse.end(),
+             "evicted() on a key the policy does not track");
+    _byTick.erase(it->second);
+    _lastUse.erase(it);
+}
+
+std::string
+LruPolicy::victim() const
+{
+    // Oldest tick first; ticks are unique, so the choice is total.
+    return _byTick.empty() ? std::string{} : _byTick.begin()->second;
+}
+
+std::unique_ptr<EvictionPolicy>
+makeEvictionPolicy(const std::string &name)
+{
+    if (name == "lru")
+        return std::make_unique<LruPolicy>();
+    fatal("unknown eviction policy '", name, "' (expected: lru)");
+}
+
+} // namespace ad::serve

@@ -1,0 +1,80 @@
+#pragma once
+
+/**
+ * @file
+ * Pluggable eviction policy for serve::PlanCache.
+ *
+ * The cache's residency bookkeeping (what is resident, how many bytes)
+ * stays in PlanCache; the policy only answers "who goes next?". Every
+ * policy must be a deterministic function of the admit/touch/evict call
+ * sequence — logical ticks, never wall time or hash order — so the
+ * eviction sequence (and therefore every cache hit/miss sequence and
+ * every serve report built on it) is replayable across runs, hosts, and
+ * thread counts.
+ *
+ * LRU is the shipping policy; the interface is the seam for LFU and
+ * cost-aware variants (ROADMAP item 5) without another cache rewrite.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace ad::serve {
+
+/** Victim-selection strategy over the cache's resident key set. */
+class EvictionPolicy
+{
+  public:
+    virtual ~EvictionPolicy();
+
+    /** Short stable policy name ("lru"). */
+    virtual const char *name() const = 0;
+
+    /** @p key became resident (was not tracked before). */
+    virtual void admitted(const std::string &key) = 0;
+
+    /** Resident @p key was accessed (hit or refreshing re-insert). */
+    virtual void touched(const std::string &key) = 0;
+
+    /** @p key left the cache (evicted or erased). */
+    virtual void evicted(const std::string &key) = 0;
+
+    /** Next key to evict; empty string when nothing is tracked. The
+     * choice must be deterministic given the call history. */
+    virtual std::string victim() const = 0;
+
+    /** Tracked key count (must equal the cache's entry count). */
+    virtual std::size_t size() const = 0;
+};
+
+/**
+ * Least-recently-used: victim is the key with the oldest logical access
+ * tick. Ticks increment per admitted()/touched() call, so recency is a
+ * pure function of the access sequence.
+ */
+class LruPolicy final : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "lru"; }
+    void admitted(const std::string &key) override;
+    void touched(const std::string &key) override;
+    void evicted(const std::string &key) override;
+    std::string victim() const override;
+    std::size_t size() const override { return _lastUse.size(); }
+
+  private:
+    std::uint64_t _tick = 0;
+    std::map<std::string, std::uint64_t> _lastUse;
+    std::map<std::uint64_t, std::string> _byTick; ///< inverse index
+};
+
+/**
+ * Policy by name; "lru" is the only shipping policy. Fatals on an
+ * unknown name (the adctl layer turns that into a usage error).
+ */
+std::unique_ptr<EvictionPolicy> makeEvictionPolicy(
+    const std::string &name);
+
+} // namespace ad::serve

@@ -5,6 +5,7 @@
 
 #include "core/scheduler.hh"
 #include "graph/serialize.hh"
+#include "serve/plan_store.hh"
 
 namespace ad::serve {
 
@@ -36,7 +37,19 @@ makePlanKey(const std::string &strategy, const graph::Graph &graph,
     return PlanKey{os.str()};
 }
 
-PlanCache::PlanCache(Bytes budget_bytes) : _budget(budget_bytes) {}
+PlanCache::PlanCache(Bytes budget_bytes,
+                     std::unique_ptr<EvictionPolicy> policy)
+    : _budget(budget_bytes),
+      _policy(policy ? std::move(policy)
+                     : std::make_unique<LruPolicy>())
+{}
+
+const char *
+PlanCache::policyName() const
+{
+    util::MutexLock lk(_mu);
+    return _policy->name();
+}
 
 Bytes
 PlanCache::planBytes(const PlanKey &key, const core::PlanResult &plan)
@@ -53,15 +66,34 @@ PlanCache::planBytes(const PlanKey &key, const core::PlanResult &plan)
 std::shared_ptr<const core::PlanResult>
 PlanCache::lookup(const PlanKey &key)
 {
-    util::MutexLock lk(_mu);
-    const auto it = _entries.find(key);
-    if (it == _entries.end()) {
-        ++_stats.misses;
-        return nullptr;
+    {
+        util::MutexLock lk(_mu);
+        const auto it = _entries.find(key);
+        if (it != _entries.end()) {
+            ++_stats.hits;
+            _policy->touched(key.text);
+            return it->second.plan;
+        }
     }
-    ++_stats.hits;
-    it->second.lastUse = ++_tick;
-    return it->second.plan;
+
+    // Memory miss: consult the persistent tier (I/O outside the lock),
+    // hydrating a hit back into memory so repeats stay cheap.
+    if (_store) {
+        if (auto plan = _store->load(key)) {
+            auto shared = std::make_shared<const core::PlanResult>(
+                std::move(*plan));
+            const Bytes bytes = planBytes(key, *shared);
+            util::MutexLock lk(_mu);
+            ++_stats.hits;
+            ++_stats.storeHits;
+            admitLocked(key, shared, bytes);
+            return shared;
+        }
+    }
+
+    util::MutexLock lk(_mu);
+    ++_stats.misses;
+    return nullptr;
 }
 
 std::shared_ptr<const core::PlanResult>
@@ -70,36 +102,50 @@ PlanCache::insert(const PlanKey &key, core::PlanResult &&plan)
     const Bytes bytes = planBytes(key, plan);
     auto shared = std::make_shared<const core::PlanResult>(
         std::move(plan));
+    // Write-through before admission, outside the cache lock: the store
+    // serializes its own I/O, and even a memory-oversize plan is worth
+    // persisting — the next process hydrates it instead of recompiling.
+    if (_store)
+        _store->put(key, *shared);
     util::MutexLock lk(_mu);
+    admitLocked(key, shared, bytes);
+    return shared;
+}
+
+void
+PlanCache::admitLocked(const PlanKey &key,
+                       const std::shared_ptr<const core::PlanResult> &shared,
+                       Bytes bytes)
+{
     if (bytes > _budget) {
         ++_stats.oversize;
-        return shared;
+        return;
     }
     auto &entry = _entries[key];
-    if (entry.plan)
+    if (entry.plan) {
         _stats.bytes -= entry.bytes;
+        _policy->touched(key.text);
+    } else {
+        _policy->admitted(key.text);
+    }
     entry.plan = shared;
     entry.bytes = bytes;
-    entry.lastUse = ++_tick;
     _stats.bytes += bytes;
     evictToBudget();
     _stats.entries = _entries.size();
-    return shared;
 }
 
 void
 PlanCache::evictToBudget()
 {
     while (_stats.bytes > _budget && _entries.size() > 1) {
-        // Victim: the minimal lastUse tick. Ticks are unique, and the
-        // scan walks the ordered map, so the choice is deterministic.
-        auto victim = _entries.begin();
-        for (auto it = _entries.begin(); it != _entries.end(); ++it) {
-            if (it->second.lastUse < victim->second.lastUse)
-                victim = it;
-        }
-        _stats.bytes -= victim->second.bytes;
-        _entries.erase(victim);
+        const std::string victim_key = _policy->victim();
+        const auto it = _entries.find(PlanKey{victim_key});
+        adAssert(it != _entries.end(),
+                 "eviction policy chose a key the cache does not hold");
+        _stats.bytes -= it->second.bytes;
+        _entries.erase(it);
+        _policy->evicted(victim_key);
         ++_stats.evictions;
     }
 }

@@ -15,12 +15,21 @@
  * replays bit-identically to a fresh plan (asserted by the property
  * tests in tests/test_serve.cc).
  *
- * Eviction is least-recently-used under a byte budget, with the logical
- * access tick — never wall time — as the recency clock, so the eviction
- * sequence is a deterministic function of the lookup/insert sequence.
- * An entry larger than the whole budget is never admitted (it would
- * evict everything and still violate the budget); such oversize plans
- * are counted and simply re-planned each time.
+ * Eviction is delegated to a pluggable EvictionPolicy (LRU by default)
+ * under a byte budget, with logical access ticks — never wall time — as
+ * the recency clock, so the eviction sequence is a deterministic
+ * function of the lookup/insert sequence. An entry larger than the
+ * whole budget is never admitted (it would evict everything and still
+ * violate the budget); such oversize plans are counted and simply
+ * re-planned each time.
+ *
+ * A PlanStore can be attached as a write-through second tier
+ * (DESIGN.md Sec. 13): every insert also persists to disk, and a
+ * memory miss consults the store before giving up — a hit there
+ * hydrates the plan back into the memory tier, so warm plans survive
+ * process restarts. Oversize plans still write through (the store has
+ * no byte budget), which is exactly what lets a restarted replica skip
+ * even the plans the memory tier cannot hold.
  */
 
 #include <map>
@@ -30,10 +39,13 @@
 #include "core/orchestrator.hh"
 #include "core/planner.hh"
 #include "graph/graph.hh"
+#include "serve/eviction_policy.hh"
 #include "sim/system.hh"
 #include "util/thread_annotations.hh"
 
 namespace ad::serve {
+
+class PlanStore;
 
 /**
  * Canonical cache key. The wrapped text is the full canonical rendering
@@ -61,36 +73,51 @@ PlanKey makePlanKey(const std::string &strategy,
 /** Cache observability snapshot. */
 struct PlanCacheStats
 {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
+    std::uint64_t hits = 0;   ///< lookups served (memory or store)
+    std::uint64_t misses = 0; ///< lookups served by neither tier
     std::uint64_t evictions = 0;
-    std::uint64_t oversize = 0; ///< inserts rejected as > whole budget
+    std::uint64_t oversize = 0; ///< admissions rejected as > whole budget
+    std::uint64_t storeHits = 0; ///< hits hydrated from the store tier
     std::size_t entries = 0;
     Bytes bytes = 0; ///< current accounted footprint
 };
 
-/** Concurrency-safe byte-budgeted LRU cache of whole PlanResults. */
+/** Concurrency-safe byte-budgeted cache of whole PlanResults. */
 class PlanCache
 {
   public:
-    /** Create a cache holding at most @p budget_bytes of plans. */
-    explicit PlanCache(Bytes budget_bytes);
+    /**
+     * Create a cache holding at most @p budget_bytes of plans, with
+     * @p policy choosing eviction victims (LRU when null).
+     */
+    explicit PlanCache(Bytes budget_bytes,
+                       std::unique_ptr<EvictionPolicy> policy = nullptr);
 
     PlanCache(const PlanCache &) = delete;
     PlanCache &operator=(const PlanCache &) = delete;
 
     /**
-     * The cached plan for @p key, or null on a miss. A hit refreshes
-     * the entry's recency and counts toward stats().hits.
+     * Attach @p store as the write-through second tier (null detaches).
+     * Not synchronized against in-flight operations: wire the store up
+     * before the cache is shared across threads (ServeLoop does this in
+     * its constructor).
+     */
+    void attachStore(PlanStore *store) { _store = store; }
+
+    /**
+     * The cached plan for @p key, or null on a miss in both tiers. A
+     * memory hit refreshes the entry's recency; a store hit hydrates
+     * the plan into the memory tier. Either counts toward
+     * stats().hits (store hits additionally toward stats().storeHits).
      */
     std::shared_ptr<const core::PlanResult> lookup(const PlanKey &key);
 
     /**
      * Insert @p plan under @p key and return the shared entry (or the
-     * plan itself, unshared, when it exceeds the whole budget). Evicts
-     * least-recently-used entries until the accounted footprint fits
-     * the budget again. Re-inserting an existing key refreshes the
-     * stored plan.
+     * plan itself, unshared, when it exceeds the whole budget). Writes
+     * through to the attached store, then evicts per the policy until
+     * the accounted footprint fits the budget again. Re-inserting an
+     * existing key refreshes the stored plan.
      */
     std::shared_ptr<const core::PlanResult> insert(const PlanKey &key,
                                                    core::PlanResult &&plan);
@@ -102,6 +129,9 @@ class PlanCache
     /** Byte budget this cache was created with. */
     Bytes budgetBytes() const { return _budget; }
 
+    /** Eviction policy name ("lru"). */
+    const char *policyName() const;
+
     /** Counters and current footprint. */
     PlanCacheStats stats() const;
 
@@ -110,16 +140,21 @@ class PlanCache
     {
         std::shared_ptr<const core::PlanResult> plan;
         Bytes bytes = 0;
-        std::uint64_t lastUse = 0;
     };
 
-    /** Drop LRU entries until the footprint fits the budget. */
+    /** Admit @p shared (@p bytes accounted) into the memory tier. */
+    void admitLocked(const PlanKey &key,
+                     const std::shared_ptr<const core::PlanResult> &shared,
+                     Bytes bytes) AD_REQUIRES(_mu);
+
+    /** Drop policy-chosen victims until the footprint fits the budget. */
     void evictToBudget() AD_REQUIRES(_mu);
 
     const Bytes _budget;
+    PlanStore *_store = nullptr; ///< set before concurrent use
     mutable util::Mutex _mu;
     std::map<PlanKey, Entry> _entries AD_GUARDED_BY(_mu);
-    std::uint64_t _tick AD_GUARDED_BY(_mu) = 0;
+    std::unique_ptr<EvictionPolicy> _policy AD_GUARDED_BY(_mu);
     PlanCacheStats _stats AD_GUARDED_BY(_mu);
 };
 

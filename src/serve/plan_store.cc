@@ -1,0 +1,199 @@
+#include "plan_store.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/plan_io.hh"
+
+namespace ad::serve {
+
+namespace {
+
+/** File magic: 8 bytes, never reinterpreted across versions. */
+constexpr char kMagic[8] = {'A', 'D', 'P', 'S', 'T', 'O', 'R', 'E'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8;
+
+void
+appendU32(std::string &out, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+appendU64(std::string &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t
+readU32(const char *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+std::uint64_t
+readU64(const char *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+/** Payload: length-prefixed key text, then the plan encoding. */
+std::string
+buildPayload(const PlanKey &key, const core::PlanResult &plan)
+{
+    std::string payload;
+    appendU64(payload, key.text.size());
+    payload += key.text;
+    payload += core::encodePlanResult(plan);
+    return payload;
+}
+
+} // namespace
+
+PlanStore::PlanStore(std::string directory) : _dir(std::move(directory))
+{
+    if (_dir.empty())
+        fatal("plan store directory must be non-empty");
+    std::error_code ec;
+    std::filesystem::create_directories(_dir, ec);
+    if (ec) {
+        fatal("cannot create plan store directory '", _dir,
+              "': ", ec.message());
+    }
+}
+
+std::string
+PlanStore::path(const PlanKey &key) const
+{
+    // Content-addressed name: 16 hex digits of FNV-1a over the full
+    // canonical key text. Collisions are resolved at load time by
+    // comparing the stored key, so the hash only has to spread names.
+    static const char kHex[] = "0123456789abcdef";
+    const std::uint64_t h = core::fnv1a64(key.text);
+    std::string name(16, '0');
+    for (int i = 0; i < 16; ++i)
+        name[15 - i] = kHex[(h >> (4 * i)) & 0xf];
+    return _dir + "/" + name + ".plan";
+}
+
+bool
+PlanStore::put(const PlanKey &key, const core::PlanResult &plan)
+{
+    const std::string payload = buildPayload(key, plan);
+    std::string file;
+    file.reserve(kHeaderBytes + payload.size());
+    file.append(kMagic, sizeof(kMagic));
+    appendU32(file, core::kPlanFormatVersion);
+    appendU64(file, payload.size());
+    appendU64(file, core::fnv1a64(payload));
+    file += payload;
+
+    const std::string final_path = path(key);
+    const std::string tmp_path = final_path + ".tmp";
+
+    // The lock serializes writers on the same store, so the shared tmp
+    // name is single-writer and the final rename publishes a complete
+    // file or nothing.
+    util::MutexLock lk(_mu);
+    {
+        std::ofstream out(tmp_path,
+                          std::ios::binary | std::ios::trunc);
+        out.write(file.data(),
+                  static_cast<std::streamsize>(file.size()));
+        out.flush();
+        if (!out) {
+            ++_stats.writeErrors;
+            std::remove(tmp_path.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) {
+        ++_stats.writeErrors;
+        std::remove(tmp_path.c_str());
+        return false;
+    }
+    ++_stats.writes;
+    return true;
+}
+
+std::optional<core::PlanResult>
+PlanStore::load(const PlanKey &key)
+{
+    std::string file;
+    {
+        std::ifstream in(path(key), std::ios::binary);
+        if (!in) {
+            util::MutexLock lk(_mu);
+            ++_stats.misses;
+            return std::nullopt;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        file = std::move(buf).str();
+    }
+
+    const auto reject = [this]() -> std::optional<core::PlanResult> {
+        util::MutexLock lk(_mu);
+        ++_stats.corrupt;
+        return std::nullopt;
+    };
+
+    if (file.size() < kHeaderBytes)
+        return reject(); // truncated before the header completed
+    if (std::string_view(file.data(), 8) !=
+        std::string_view(kMagic, 8))
+        return reject();
+    if (readU32(file.data() + 8) != core::kPlanFormatVersion)
+        return reject(); // older/newer format: recompile, don't guess
+    const std::uint64_t payload_len = readU64(file.data() + 12);
+    if (file.size() - kHeaderBytes != payload_len)
+        return reject(); // truncated payload or trailing garbage
+    const std::string_view payload(file.data() + kHeaderBytes,
+                                   payload_len);
+    if (readU64(file.data() + 20) != core::fnv1a64(payload))
+        return reject(); // bit flip anywhere in the payload
+
+    if (payload.size() < 8)
+        return reject();
+    const std::uint64_t key_len = readU64(payload.data());
+    if (key_len > payload.size() - 8)
+        return reject();
+    if (payload.substr(8, key_len) != key.text)
+        return reject(); // filename hash collision: not our plan
+
+    auto plan = core::decodePlanResult(payload.substr(8 + key_len));
+    if (!plan)
+        return reject();
+
+    util::MutexLock lk(_mu);
+    ++_stats.hits;
+    return plan;
+}
+
+PlanStoreStats
+PlanStore::stats() const
+{
+    util::MutexLock lk(_mu);
+    return _stats;
+}
+
+} // namespace ad::serve

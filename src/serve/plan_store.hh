@@ -1,0 +1,95 @@
+#pragma once
+
+/**
+ * @file
+ * Persistent, content-addressed on-disk plan store — the second tier
+ * under serve::PlanCache (DESIGN.md Sec. 13).
+ *
+ * Each stored plan is one file named by the FNV-1a hash of the full
+ * canonical PlanKey text, holding a fixed header (magic, format
+ * version, payload length, payload checksum) followed by the payload:
+ * the key text plus the core::encodePlanResult() serialization. Storing
+ * the whole key — not just its hash — makes hash collisions harmless
+ * (a mismatched key is a miss, never a wrong plan).
+ *
+ * Crash safety: put() writes the complete file to `<name>.tmp` in the
+ * same directory and atomically rename(2)s it into place, so a reader
+ * never observes a half-written plan under the final name and a crash
+ * mid-write leaves at most a stale .tmp. Corruption safety: load()
+ * verifies magic, version, length, and checksum before decoding, and
+ * treats every mismatch — truncation, bit flips, a future format
+ * version, a colliding key — as a clean miss counted in stats(), never
+ * a crash. Plans survive process restarts and can be shipped between
+ * replicas by copying the directory.
+ *
+ * Determinism: nothing in the store depends on wall time or hash-table
+ * order. Filenames are content hashes, loads are point lookups (the
+ * directory is never iterated), and the hit/miss sequence is a pure
+ * function of the lookup/put sequence — the same contract as PlanCache.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/planner.hh"
+#include "serve/plan_cache.hh"
+#include "util/thread_annotations.hh"
+
+namespace ad::serve {
+
+/** Store observability snapshot. */
+struct PlanStoreStats
+{
+    std::uint64_t hits = 0;    ///< loads that hydrated a plan
+    std::uint64_t misses = 0;  ///< loads with no file on disk
+    std::uint64_t corrupt = 0; ///< loads rejected: truncated, bad
+                               ///< checksum, version or key mismatch
+    std::uint64_t writes = 0;  ///< successful put()s
+    std::uint64_t writeErrors = 0; ///< put()s that failed on I/O
+};
+
+/** Crash-safe, checksummed, fingerprint-keyed plan files under one
+ * directory. Concurrency-safe; one instance per directory per process. */
+class PlanStore
+{
+  public:
+    /** Open (creating if needed) the store at @p directory. Fatals when
+     * the directory cannot be created. */
+    explicit PlanStore(std::string directory);
+
+    PlanStore(const PlanStore &) = delete;
+    PlanStore &operator=(const PlanStore &) = delete;
+
+    /**
+     * Persist @p plan under @p key (write-to-temp + atomic rename).
+     * Returns false — and counts a writeError — when any I/O step
+     * fails; a failed put never leaves a partial file under the final
+     * name.
+     */
+    bool put(const PlanKey &key, const core::PlanResult &plan);
+
+    /**
+     * Load the plan stored under @p key, or nullopt on a miss. A file
+     * that exists but fails any integrity check (magic, version,
+     * length, checksum, stored-key equality, payload decode) is a
+     * corrupt-counted miss.
+     */
+    std::optional<core::PlanResult> load(const PlanKey &key);
+
+    /** On-disk path a plan for @p key lives at (exists or not). */
+    std::string path(const PlanKey &key) const;
+
+    /** Directory this store persists into. */
+    const std::string &directory() const { return _dir; }
+
+    /** Counters since construction. */
+    PlanStoreStats stats() const;
+
+  private:
+    const std::string _dir;
+    mutable util::Mutex _mu;
+    PlanStoreStats _stats AD_GUARDED_BY(_mu);
+};
+
+} // namespace ad::serve

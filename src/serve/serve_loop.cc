@@ -64,11 +64,17 @@ ServeReport::bitIdentical(const ServeReport &o) const
 
 ServeLoop::ServeLoop(const sim::SystemConfig &system, ServeOptions options)
     : _system(system), _options(std::move(options)),
-      _cache(_options.cacheBudgetBytes)
+      _store(_options.storeDir.empty()
+                 ? nullptr
+                 : std::make_unique<PlanStore>(_options.storeDir)),
+      _cache(_options.cacheBudgetBytes,
+             makeEvictionPolicy(_options.evictionPolicy))
 {
     _system.validate();
     if (_options.queueCapacity == 0)
         fatal("serve queue capacity must be positive");
+    if (_store)
+        _cache.attachStore(_store.get());
 }
 
 const graph::Graph &
@@ -137,6 +143,10 @@ ServeLoop::run(const std::vector<Request> &trace,
         ms->gauge("serve.cache.entries");
         ms->gauge("serve.cache.bytes");
         ms->gauge("serve.cache.evictions");
+        ms->gauge("serve.store.hits");
+        ms->gauge("serve.store.misses");
+        ms->gauge("serve.store.corrupt");
+        ms->gauge("serve.store.writes");
         ms->gauge("serve.queue.peak_depth");
         ms->gauge("serve.makespan_cycles");
         ms->gauge("serve.throughput_rps");
@@ -218,8 +228,11 @@ ServeLoop::run(const std::vector<Request> &trace,
             ++report.cacheHits;
         } else {
             ++report.cacheMisses;
-            const bool fits = out.start + _options.coldPlanCycles <=
-                              r.deadline;
+            // Admission-time estimate under the same boundary rule as
+            // the completion check: compiling until exactly the
+            // deadline still "fits" (deadlineMissed is exclusive).
+            const bool fits = !deadlineMissed(
+                out.start + _options.coldPlanCycles, r.deadline);
             if (!_options.allowDegrade || fits) {
                 plan = _cache.insert(
                     key, planNow(_options.strategy, g, r.batch,
@@ -257,7 +270,7 @@ ServeLoop::run(const std::vector<Request> &trace,
         out.plan = plan;
         out.execCycles = plan->report.totalCycles;
         out.finish = out.start + out.planCycles + out.execCycles;
-        out.deadlineMiss = out.finish > r.deadline;
+        out.deadlineMiss = deadlineMissed(out.finish, r.deadline);
         if (out.deadlineMiss)
             ++report.deadlineMisses;
         ++report.completed;
@@ -279,6 +292,16 @@ ServeLoop::run(const std::vector<Request> &trace,
         }
         report.outcomes.push_back(std::move(out));
     }
+
+    // The trace has drained: outstanding background compiles finish
+    // while the server idles, so they become visible to the next run
+    // — and, through the write-through store tier, to the next
+    // process. Leaving them pending would carry readyAt times from
+    // this run's timeline into the next one, where they are
+    // meaningless. (std::map order: deterministic.)
+    for (auto &bg : _pending)
+        _cache.insert(bg.first, std::move(bg.second.plan));
+    _pending.clear();
 
     // Latency aggregates over completed requests, in simulated
     // milliseconds at the system clock.
@@ -320,6 +343,18 @@ ServeLoop::run(const std::vector<Request> &trace,
             .set(static_cast<double>(cs.bytes));
         ms->gauge("serve.cache.evictions")
             .set(static_cast<double>(cs.evictions));
+        // Zeroes when no store is attached, so the render shape (and
+        // the thread-count diff in check_all.sh) is store-independent.
+        const PlanStoreStats ss =
+            _store ? _store->stats() : PlanStoreStats{};
+        ms->gauge("serve.store.hits")
+            .set(static_cast<double>(ss.hits));
+        ms->gauge("serve.store.misses")
+            .set(static_cast<double>(ss.misses));
+        ms->gauge("serve.store.corrupt")
+            .set(static_cast<double>(ss.corrupt));
+        ms->gauge("serve.store.writes")
+            .set(static_cast<double>(ss.writes));
         ms->gauge("serve.queue.peak_depth")
             .set(static_cast<double>(report.peakQueueDepth));
         ms->gauge("serve.makespan_cycles")

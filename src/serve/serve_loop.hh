@@ -38,6 +38,7 @@
 #include "core/planner.hh"
 #include "graph/graph.hh"
 #include "serve/plan_cache.hh"
+#include "serve/plan_store.hh"
 #include "serve/request_stream.hh"
 #include "sim/system.hh"
 
@@ -46,6 +47,18 @@ struct Instrumentation;
 } // namespace ad::obs
 
 namespace ad::serve {
+
+/**
+ * The single deadline boundary rule, shared by the admission-time
+ * estimate, the completion check, the metrics, and the trace args: an
+ * event at exactly the deadline *meets* it; a deadline is missed only
+ * strictly after. Pinned by ServeLoop.DeadlineBoundaryIsInclusive.
+ */
+constexpr bool
+deadlineMissed(Cycles time, Cycles deadline)
+{
+    return time > deadline;
+}
 
 /** How a request's plan was degraded, if at all. */
 enum class Downgrade {
@@ -72,6 +85,17 @@ struct ServeOptions
 
     /** PlanCache byte budget. */
     Bytes cacheBudgetBytes = Bytes{512} << 20;
+
+    /** PlanCache eviction policy (see serve/eviction_policy.hh). */
+    std::string evictionPolicy = "lru";
+
+    /**
+     * Directory of the persistent plan store (DESIGN.md Sec. 13);
+     * empty disables the store tier. When set, every compiled plan is
+     * written through to disk and a restarted loop pointed at the same
+     * directory hydrates warm plans instead of recompiling them.
+     */
+    std::string storeDir;
 
     /** Modelled planning latency, in simulated cycles, of a cold
      * primary-strategy plan (the SA search budget of the degradation
@@ -169,6 +193,9 @@ class ServeLoop
     /** The shared plan cache (warm across run() calls). */
     const PlanCache &cache() const { return _cache; }
 
+    /** The persistent store tier, or null when disabled. */
+    const PlanStore *store() const { return _store.get(); }
+
     /** System configuration in use. */
     const sim::SystemConfig &system() const { return _system; }
 
@@ -187,6 +214,7 @@ class ServeLoop
 
     sim::SystemConfig _system;
     ServeOptions _options;
+    std::unique_ptr<PlanStore> _store; ///< outlives _cache's pointer
     PlanCache _cache;
     std::map<std::string, graph::Graph> _workloads;
 

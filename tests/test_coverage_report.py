@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Fixture tests for the pure logic of scripts/coverage_report.py.
+
+Feeds hand-built gcov-style JSON documents (including every malformed
+shape the gcov fallback must survive: records without "file", lines
+without "line_number"/"count", zero-executable-line files, non-dict
+entries) through merge_records/check_floors and checks the floors and
+report lines, with no compiler or .gcda files in the loop.
+"""
+
+import importlib.util
+import os
+import sys
+import unittest
+
+_SCRIPT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "scripts",
+    "coverage_report.py",
+)
+_spec = importlib.util.spec_from_file_location("coverage_report", _SCRIPT)
+coverage_report = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(coverage_report)
+
+
+def doc(files):
+    return {"files": files}
+
+
+def rec(path, lines):
+    return {
+        "file": path,
+        "lines": [
+            {"line_number": n, "count": c} for n, c in lines
+        ],
+    }
+
+
+class ParseFloorsTest(unittest.TestCase):
+    def test_parses_valid_specs(self):
+        self.assertEqual(
+            coverage_report.parse_floors(["src/core=85", "src/serve/=70.5"]),
+            [("src/core", 85.0), ("src/serve", 70.5)],
+        )
+
+    def test_rejects_malformed_specs(self):
+        for bad in (["src/core"], ["=85"], ["src/core=abc"], ["src=1", "x"]):
+            self.assertIsNone(coverage_report.parse_floors(bad), bad)
+
+
+class MergeRecordsTest(unittest.TestCase):
+    def test_merges_max_hits_across_translation_units(self):
+        docs = [
+            doc([rec("src/core/a.cc", [(1, 0), (2, 3)])]),
+            doc([rec("src/core/a.cc", [(1, 5), (3, 0)])]),
+        ]
+        hits = coverage_report.merge_records(docs, "/repo")
+        self.assertEqual(hits, {"src/core/a.cc": {1: 5, 2: 3, 3: 0}})
+
+    def test_normalizes_absolute_paths_and_drops_foreign_ones(self):
+        docs = [
+            doc([
+                rec("/repo/src/core/a.cc", [(1, 1)]),
+                rec("/usr/include/vector", [(9, 9)]),
+            ])
+        ]
+        hits = coverage_report.merge_records(docs, "/repo")
+        self.assertEqual(list(hits), ["src/core/a.cc"])
+
+    def test_survives_malformed_records(self):
+        docs = [
+            "not a dict",
+            {"files": "not a list"},
+            doc([
+                42,
+                {},  # no "file"
+                {"file": None},
+                {"file": ""},
+                {"file": "src/core/bad_lines.cc", "lines": "nope"},
+                {
+                    "file": "src/core/partial.cc",
+                    "lines": [
+                        "junk",
+                        {},  # no line_number/count
+                        {"line_number": "seven", "count": 1},
+                        {"line_number": 7, "count": None},
+                        {"line_number": 8, "count": -2},
+                        {"line_number": 9, "count": 4},
+                    ],
+                },
+            ]),
+        ]
+        hits = coverage_report.merge_records(docs, "/repo")
+        # Negative/absent counts degrade to 0; junk lines are dropped.
+        self.assertEqual(
+            hits, {"src/core/partial.cc": {7: 0, 8: 0, 9: 4}}
+        )
+
+    def test_zero_executable_line_file_gets_no_entry(self):
+        docs = [doc([rec("src/core/header_only.hh", [])])]
+        self.assertEqual(coverage_report.merge_records(docs, "/repo"), {})
+
+
+class CheckFloorsTest(unittest.TestCase):
+    def test_floor_pass_and_fail(self):
+        hits = {
+            "src/core/a.cc": {1: 1, 2: 1, 3: 0, 4: 1},  # 75%
+            "src/serve/b.cc": {1: 0, 2: 0},  # 0%
+        }
+        report, failed = coverage_report.check_floors(
+            hits, [("src/core", 70.0)]
+        )
+        self.assertFalse(failed)
+        self.assertIn("src/core: 75.0% line coverage", report[0])
+        self.assertIn("ok", report[0])
+
+        report, failed = coverage_report.check_floors(
+            hits, [("src/core", 80.0), ("src/serve", 10.0)]
+        )
+        self.assertTrue(failed)
+        self.assertIn("BELOW FLOOR", report[0])
+
+    def test_directory_without_lines_fails_loudly(self):
+        report, failed = coverage_report.check_floors(
+            {}, [("src/core", 85.0)]
+        )
+        self.assertTrue(failed)
+        self.assertEqual(report, ["src/core: no instrumented lines found"])
+
+    def test_prefix_matching_is_per_directory_not_substring(self):
+        hits = {"src/core_extras/x.cc": {1: 1}}
+        report, failed = coverage_report.check_floors(
+            hits, [("src/core", 50.0)]
+        )
+        self.assertTrue(failed)
+        self.assertIn("no instrumented lines", report[0])
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -79,6 +80,42 @@ TEST(Metrics, HistogramQuantileIsBucketResolved)
     // q is clamped; 0 still needs the first observation's bucket.
     EXPECT_DOUBLE_EQ(h.quantile(-1.0), 10.0);
     EXPECT_DOUBLE_EQ(h.quantile(2.0), 100.0);
+}
+
+TEST(Metrics, HistogramQuantileEdgeCases)
+{
+    obs::MetricsRegistry reg;
+
+    // Empty histogram: every q resolves to the range floor, including
+    // the degenerate ones.
+    obs::HistogramMetric &empty = reg.histogram("qe", 10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(empty.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(1.0), 10.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(-3.0), 10.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(7.0), 10.0);
+    EXPECT_DOUBLE_EQ(empty.quantile(std::nan("")), 10.0);
+
+    // NaN q asks for the minimum, exactly like q = 0.
+    obs::HistogramMetric &h = reg.histogram("qn", 0.0, 100.0, 10);
+    h.observe(25.0);
+    h.observe(75.0);
+    EXPECT_DOUBLE_EQ(h.quantile(std::nan("")), h.quantile(0.0));
+    EXPECT_DOUBLE_EQ(h.quantile(std::nan("")), 30.0);
+
+    // All mass clamped into the overflow bucket: every quantile is
+    // that bucket's upper edge, and none of them walks off the end.
+    obs::HistogramMetric &over = reg.histogram("qo", 0.0, 10.0, 4);
+    for (int i = 0; i < 5; ++i)
+        over.observe(1e9);
+    EXPECT_DOUBLE_EQ(over.quantile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(over.quantile(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(over.quantile(1.0), 10.0);
+
+    // Same at the other edge: underflow clamps into bucket 0.
+    obs::HistogramMetric &under = reg.histogram("qu", 0.0, 10.0, 4);
+    for (int i = 0; i < 5; ++i)
+        under.observe(-1e9);
+    EXPECT_DOUBLE_EQ(under.quantile(1.0), 2.5);
 }
 
 TEST(Metrics, RegistrationOrderIsStableAndRefsAreReused)

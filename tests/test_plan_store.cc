@@ -1,0 +1,509 @@
+/**
+ * @file
+ * Persistent plan-store tests: plan_io round-trips (the serialized plan
+ * replays bit-identically), PlanStore crash/corruption safety (any
+ * damaged file is a clean counted miss, never a crash), cross-process
+ * warm-restart hydration through the PlanCache store tier, and the
+ * LruPolicy / cache-stats invariants the serving layer relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "baselines/planners.hh"
+#include "core/plan_io.hh"
+#include "graph/serialize.hh"
+#include "models/models.hh"
+#include "serve/eviction_policy.hh"
+#include "serve/plan_cache.hh"
+#include "serve/plan_store.hh"
+#include "serve/request_stream.hh"
+#include "serve/serve_loop.hh"
+#include "sim/system.hh"
+
+namespace {
+
+using ad::serve::LruPolicy;
+using ad::serve::PlanCache;
+using ad::serve::PlanKey;
+using ad::serve::PlanStore;
+
+ad::sim::SystemConfig
+smallSystem()
+{
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    return system;
+}
+
+/** Fast orchestrator configuration for store/cache tests. */
+ad::core::OrchestratorOptions
+fastOptions()
+{
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    return options;
+}
+
+ad::core::PlanResult
+planFresh(const std::string &strategy, const std::string &net,
+          const ad::sim::SystemConfig &system,
+          const ad::core::OrchestratorOptions &options)
+{
+    const auto graph = ad::models::buildByName(net);
+    return ad::baselines::makePlanner(strategy, system, options)
+        ->plan(graph);
+}
+
+PlanKey
+keyFor(const std::string &strategy, const std::string &net,
+       const ad::sim::SystemConfig &system,
+       const ad::core::OrchestratorOptions &options)
+{
+    return ad::serve::makePlanKey(
+        strategy, ad::models::buildByName(net), system, options);
+}
+
+/** Fresh per-test store directory under gtest's temp root. */
+std::string
+storeDir(const std::string &name)
+{
+    const auto dir =
+        std::filesystem::path(::testing::TempDir()) / "ad_plan_store" /
+        name;
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << path;
+    return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+    ASSERT_TRUE(out) << path;
+}
+
+void
+expectPlansEqual(const ad::core::PlanResult &a,
+                 const ad::core::PlanResult &b)
+{
+    EXPECT_TRUE(a.report.bitIdentical(b.report));
+    EXPECT_EQ(a.schedule.mode, b.schedule.mode);
+    ASSERT_EQ(a.schedule.rounds.size(), b.schedule.rounds.size());
+    for (std::size_t i = 0; i < a.schedule.rounds.size(); ++i) {
+        const auto &ra = a.schedule.rounds[i].placements;
+        const auto &rb = b.schedule.rounds[i].placements;
+        ASSERT_EQ(ra.size(), rb.size());
+        for (std::size_t j = 0; j < ra.size(); ++j) {
+            EXPECT_EQ(ra[j].atom, rb[j].atom);
+            EXPECT_EQ(ra[j].engine, rb[j].engine);
+        }
+    }
+    ASSERT_EQ(a.dag != nullptr, b.dag != nullptr);
+    if (a.dag) {
+        EXPECT_EQ(ad::graph::toText(a.dag->graph()),
+                  ad::graph::toText(b.dag->graph()));
+        EXPECT_EQ(a.dag->batch(), b.dag->batch());
+        EXPECT_EQ(a.dag->bytesPerElem(), b.dag->bytesPerElem());
+        EXPECT_EQ(a.dag->size(), b.dag->size());
+        for (std::size_t l = 0; l < a.dag->graph().size(); ++l) {
+            const auto id = static_cast<ad::graph::LayerId>(l);
+            const auto &sa = a.dag->shapeOf(id);
+            const auto &sb = b.dag->shapeOf(id);
+            EXPECT_EQ(sa.h, sb.h);
+            EXPECT_EQ(sa.w, sb.w);
+            EXPECT_EQ(sa.c, sb.c);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// plan_io: versioned plan serialization
+
+TEST(PlanIo, RoundTripsAFullPlanBitIdentically)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const auto plan =
+        planFresh("AD", "tiny_linear", system, options);
+    ASSERT_TRUE(plan.dag) << "AD plans carry the atom DAG";
+
+    const std::string bytes = ad::core::encodePlanResult(plan);
+    const auto decoded = ad::core::decodePlanResult(bytes);
+    ASSERT_TRUE(decoded);
+    expectPlansEqual(plan, *decoded);
+}
+
+TEST(PlanIo, RoundTripsAnAnalyticPlanWithoutDag)
+{
+    const auto system = smallSystem();
+    auto plan = planFresh("CNN-P", "tiny_linear", system, fastOptions());
+    ASSERT_FALSE(plan.dag) << "analytic baselines have no DAG";
+
+    const auto decoded =
+        ad::core::decodePlanResult(ad::core::encodePlanResult(plan));
+    ASSERT_TRUE(decoded);
+    expectPlansEqual(plan, *decoded);
+}
+
+TEST(PlanIo, RejectsTruncationTrailingGarbageAndEmptyInput)
+{
+    const auto plan =
+        planFresh("AD", "tiny_linear", smallSystem(), fastOptions());
+    const std::string bytes = ad::core::encodePlanResult(plan);
+
+    EXPECT_FALSE(ad::core::decodePlanResult(""));
+    for (const std::size_t keep :
+         {std::size_t{1}, bytes.size() / 2, bytes.size() - 1}) {
+        EXPECT_FALSE(ad::core::decodePlanResult(
+            std::string_view(bytes).substr(0, keep)))
+            << "truncated to " << keep << " of " << bytes.size();
+    }
+    EXPECT_FALSE(ad::core::decodePlanResult(bytes + "x"))
+        << "trailing garbage must not decode";
+}
+
+TEST(PlanIo, FnvHashMatchesReferenceVectors)
+{
+    // Published FNV-1a 64-bit test vectors; pins the on-disk format.
+    EXPECT_EQ(ad::core::fnv1a64(""), 14695981039346656037ull);
+    EXPECT_EQ(ad::core::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(ad::core::fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+// ---------------------------------------------------------------------
+// PlanStore: persistence, restart, corruption
+
+TEST(PlanStore, RoundTripsAcrossInstancesLikeAProcessRestart)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const PlanKey key = keyFor("AD", "tiny_linear", system, options);
+    const auto plan = planFresh("AD", "tiny_linear", system, options);
+    const std::string dir = storeDir("restart");
+
+    {
+        PlanStore store(dir);
+        EXPECT_TRUE(store.put(key, plan));
+        EXPECT_EQ(store.stats().writes, 1u);
+        EXPECT_TRUE(std::filesystem::exists(store.path(key)));
+    }
+
+    // A second instance on the same directory — the restart scenario.
+    PlanStore reopened(dir);
+    const auto loaded = reopened.load(key);
+    ASSERT_TRUE(loaded);
+    expectPlansEqual(plan, *loaded);
+    EXPECT_EQ(reopened.stats().hits, 1u);
+    EXPECT_EQ(reopened.stats().misses, 0u);
+    EXPECT_EQ(reopened.stats().corrupt, 0u);
+}
+
+TEST(PlanStore, MissingPlanIsACountedMiss)
+{
+    PlanStore store(storeDir("miss"));
+    const PlanKey key =
+        keyFor("AD", "tiny_linear", smallSystem(), fastOptions());
+    EXPECT_FALSE(store.load(key));
+    EXPECT_EQ(store.stats().misses, 1u);
+    EXPECT_EQ(store.stats().corrupt, 0u);
+}
+
+TEST(PlanStore, NoTmpFileSurvivesAPut)
+{
+    PlanStore store(storeDir("tmp"));
+    const PlanKey key =
+        keyFor("AD", "tiny_linear", smallSystem(), fastOptions());
+    ASSERT_TRUE(store.put(
+        key, planFresh("AD", "tiny_linear", smallSystem(),
+                       fastOptions())));
+    EXPECT_TRUE(std::filesystem::exists(store.path(key)));
+    EXPECT_FALSE(std::filesystem::exists(store.path(key) + ".tmp"))
+        << "atomic publish must not leave the temp file behind";
+}
+
+/** Each corruption flavour must be a clean counted miss, not a crash. */
+class PlanStoreCorruption : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        _system = smallSystem();
+        _options = fastOptions();
+        _key = keyFor("AD", "tiny_linear", _system, _options);
+        // ctest runs each TEST_F as its own process, concurrently:
+        // the directory must be unique per test, not per fixture.
+        _dir = storeDir(std::string("corruption_") +
+                        ::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name());
+        PlanStore store(_dir);
+        ASSERT_TRUE(store.put(
+            _key, planFresh("AD", "tiny_linear", _system, _options)));
+        _path = store.path(_key);
+        _bytes = readFile(_path);
+        ASSERT_GT(_bytes.size(), 28u);
+    }
+
+    /** Overwrite the stored file and expect a corrupt-counted miss. */
+    void
+    expectCorrupt(const std::string &bytes, const char *what)
+    {
+        writeFile(_path, bytes);
+        PlanStore store(_dir);
+        EXPECT_FALSE(store.load(_key)) << what;
+        EXPECT_EQ(store.stats().corrupt, 1u) << what;
+        EXPECT_EQ(store.stats().hits, 0u) << what;
+    }
+
+    ad::sim::SystemConfig _system;
+    ad::core::OrchestratorOptions _options;
+    PlanKey _key;
+    std::string _dir;
+    std::string _path;
+    std::string _bytes;
+};
+
+TEST_F(PlanStoreCorruption, TruncatedHeader)
+{
+    expectCorrupt(_bytes.substr(0, 10), "header cut short");
+}
+
+TEST_F(PlanStoreCorruption, TruncatedPayload)
+{
+    expectCorrupt(_bytes.substr(0, _bytes.size() - 5),
+                  "payload cut short");
+}
+
+TEST_F(PlanStoreCorruption, TrailingGarbage)
+{
+    expectCorrupt(_bytes + "junk", "bytes appended past the payload");
+}
+
+TEST_F(PlanStoreCorruption, BitFlipInPayload)
+{
+    std::string flipped = _bytes;
+    flipped[flipped.size() / 2] =
+        static_cast<char>(flipped[flipped.size() / 2] ^ 0x40);
+    expectCorrupt(flipped, "single bit flip mid-payload");
+}
+
+TEST_F(PlanStoreCorruption, BitFlipInStoredChecksum)
+{
+    std::string flipped = _bytes;
+    flipped[20] = static_cast<char>(flipped[20] ^ 0x01);
+    expectCorrupt(flipped, "checksum field damaged");
+}
+
+TEST_F(PlanStoreCorruption, WrongMagic)
+{
+    std::string wrong = _bytes;
+    wrong[0] = 'X';
+    expectCorrupt(wrong, "foreign file magic");
+}
+
+TEST_F(PlanStoreCorruption, FormatVersionMismatch)
+{
+    // A future format bump must read as "recompile", not as data.
+    std::string newer = _bytes;
+    newer[8] = static_cast<char>(newer[8] + 1);
+    expectCorrupt(newer, "format version from the future");
+}
+
+TEST_F(PlanStoreCorruption, FilenameCollisionWithDifferentKey)
+{
+    // A file whose content is a valid plan for a *different* key
+    // placed at our key's path (hash collision in the filename): the
+    // stored key text mismatches, so it must miss, never cross-serve.
+    auto other_options = _options;
+    other_options.batch = 2;
+    const PlanKey other =
+        keyFor("AD", "tiny_linear", _system, other_options);
+    PlanStore writer(_dir);
+    ASSERT_TRUE(writer.put(
+        other, planFresh("AD", "tiny_linear", _system, other_options)));
+    std::filesystem::copy_file(
+        writer.path(other), _path,
+        std::filesystem::copy_options::overwrite_existing);
+
+    PlanStore store(_dir);
+    EXPECT_FALSE(store.load(_key));
+    EXPECT_EQ(store.stats().corrupt, 1u);
+    EXPECT_TRUE(store.load(other)) << "the other key still loads";
+}
+
+// ---------------------------------------------------------------------
+// LruPolicy
+
+TEST(LruPolicy, VictimIsTheLeastRecentlyTouchedKey)
+{
+    LruPolicy lru;
+    EXPECT_STREQ(lru.name(), "lru");
+    lru.admitted("a");
+    lru.admitted("b");
+    lru.admitted("c");
+    EXPECT_EQ(lru.victim(), "a");
+    lru.touched("a"); // now b is the oldest
+    EXPECT_EQ(lru.victim(), "b");
+    lru.evicted("b");
+    EXPECT_EQ(lru.size(), 2u);
+    EXPECT_EQ(lru.victim(), "c");
+}
+
+TEST(LruPolicy, FactoryBuildsLruAndCacheReportsIt)
+{
+    const auto policy = ad::serve::makeEvictionPolicy("lru");
+    ASSERT_TRUE(policy);
+    EXPECT_STREQ(policy->name(), "lru");
+    PlanCache cache(ad::Bytes{1} << 20);
+    EXPECT_STREQ(cache.policyName(), "lru");
+}
+
+// ---------------------------------------------------------------------
+// PlanCache stats invariants and the store tier
+
+TEST(PlanCache, OversizePlansAreCountedAndNeverAdmitted)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const PlanKey key = keyFor("AD", "tiny_linear", system, options);
+
+    PlanCache cache(ad::Bytes{16}); // nothing real fits
+    auto shared = cache.insert(
+        key, planFresh("AD", "tiny_linear", system, options));
+    ASSERT_TRUE(shared) << "insert still returns the plan";
+    EXPECT_EQ(cache.lookup(key), nullptr);
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.oversize, 1u);
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.bytes, 0u);
+    EXPECT_EQ(stats.evictions, 0u) << "oversize is not an eviction";
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 1u) << "only lookups count misses";
+}
+
+TEST(PlanCache, StatsStayConsistentAcrossEvictionChurn)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const char *nets[] = {"tiny_linear", "tiny_residual",
+                          "tiny_branchy"};
+
+    // Budget sized to one plan: every insert past the first evicts.
+    const ad::Bytes one = PlanCache::planBytes(
+        keyFor("AD", "tiny_linear", system, options),
+        planFresh("AD", "tiny_linear", system, options));
+    PlanCache cache(one + (one / 2));
+    for (const char *net : nets)
+        cache.insert(keyFor("AD", net, system, options),
+                     planFresh("AD", net, system, options));
+
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_EQ(stats.evictions, 2u);
+    EXPECT_LE(stats.bytes, cache.budgetBytes());
+    EXPECT_EQ(stats.oversize, 0u);
+    // Only the last insert survives; older keys re-miss.
+    EXPECT_TRUE(cache.lookup(keyFor("AD", "tiny_branchy", system,
+                                    options)));
+    EXPECT_FALSE(cache.lookup(keyFor("AD", "tiny_linear", system,
+                                     options)));
+    const auto after = cache.stats();
+    EXPECT_EQ(after.hits, 1u);
+    EXPECT_EQ(after.misses, 1u); // inserts never count as misses
+}
+
+TEST(PlanCache, HydratesFromStoreAndCountsStoreHits)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const PlanKey key = keyFor("AD", "tiny_linear", system, options);
+    const std::string dir = storeDir("cache_tier");
+
+    PlanStore store(dir);
+    {
+        // First process: compile once, write through.
+        PlanCache cache(ad::Bytes{64} << 20);
+        cache.attachStore(&store);
+        cache.insert(key,
+                     planFresh("AD", "tiny_linear", system, options));
+        EXPECT_EQ(store.stats().writes, 1u);
+    }
+
+    // Second process: empty memory tier, same store directory.
+    PlanStore reopened(dir);
+    PlanCache cache(ad::Bytes{64} << 20);
+    cache.attachStore(&reopened);
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit) << "store tier must satisfy the memory miss";
+    const auto fresh = planFresh("AD", "tiny_linear", system, options);
+    EXPECT_TRUE(hit->report.bitIdentical(fresh.report));
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.storeHits, 1u);
+    EXPECT_EQ(stats.misses, 0u);
+    EXPECT_EQ(stats.entries, 1u) << "hydrated into the memory tier";
+
+    // The next lookup is a pure memory hit: no further store traffic.
+    EXPECT_TRUE(cache.lookup(key));
+    stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.storeHits, 1u);
+    EXPECT_EQ(reopened.stats().hits, 1u);
+}
+
+// ---------------------------------------------------------------------
+// ServeLoop warm restart
+
+TEST(ServeLoop, WarmRestartFromStoreReplaysBitIdentically)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions options;
+    options.orchestrator = fastOptions();
+    options.storeDir = storeDir("serve_restart");
+
+    ad::serve::StreamOptions stream;
+    stream.requests = 6;
+    stream.seed = 11;
+    stream.freqGhz = system.engine.freqGhz;
+    stream.mix = ad::serve::resolveMix("tinymix");
+    const auto trace = ad::serve::generateArrivals(stream);
+
+    ad::serve::ServeLoop first(system, options);
+    const auto cold = first.run(trace, stream.mix);
+    const auto warm = first.run(trace, stream.mix);
+    ASSERT_TRUE(first.store());
+    EXPECT_GT(first.store()->stats().writes, 0u);
+
+    // The restarted loop: empty memory tier, hydrates everything.
+    ad::serve::ServeLoop second(system, options);
+    const auto restarted = second.run(trace, stream.mix);
+    EXPECT_TRUE(restarted.bitIdentical(warm))
+        << "store-hydrated pass must replay the warm pass exactly";
+    EXPECT_EQ(restarted.cacheMisses, 0u) << "zero cold compiles";
+    EXPECT_GT(second.cache().stats().storeHits, 0u);
+    EXPECT_EQ(second.store()->stats().corrupt, 0u);
+
+    // And the cold pass agrees wherever determinism demands it.
+    EXPECT_EQ(cold.admitted, restarted.admitted);
+    EXPECT_EQ(cold.deadlineMisses, restarted.deadlineMisses);
+}
+
+} // namespace

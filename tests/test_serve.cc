@@ -510,6 +510,53 @@ TEST(ServeLoop, RejectsBrokenConfigurations)
     EXPECT_THROW(loop.run(trace, {"tiny_linear"}), ad::ConfigError);
 }
 
+TEST(ServeLoop, DeadlineBoundaryIsInclusive)
+{
+    // The one boundary rule (serve_loop.hh deadlineMissed()): an event
+    // at exactly the deadline meets it. Probe with a huge deadline to
+    // learn the deterministic finish time, then pin deadlines exactly
+    // at and one cycle before it.
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = fastOptions();
+    serve_options.allowDegrade = false; // isolate the completion check
+
+    std::vector<Request> trace(1);
+    trace[0].deadline = ad::Cycles{1} << 60;
+    const std::vector<std::string> mix{"tiny_linear"};
+
+    ad::serve::ServeLoop probe(system, serve_options);
+    const auto probed = probe.run(trace, mix).outcomes[0];
+    ASSERT_TRUE(probed.admitted);
+    ASSERT_GT(probed.finish, 0u);
+
+    trace[0].deadline = probed.finish; // exactly on time
+    ad::serve::ServeLoop exact(system, serve_options);
+    EXPECT_FALSE(exact.run(trace, mix).outcomes[0].deadlineMiss)
+        << "finishing exactly at the deadline meets it";
+
+    trace[0].deadline = probed.finish - 1; // one cycle late
+    ad::serve::ServeLoop late(system, serve_options);
+    const auto missed = late.run(trace, mix);
+    EXPECT_TRUE(missed.outcomes[0].deadlineMiss);
+    EXPECT_EQ(missed.deadlineMisses, 1u);
+
+    // Admission uses the same rule: a deadline exactly absorbing
+    // start + coldPlanCycles plans inline; one cycle less degrades.
+    serve_options.allowDegrade = true;
+    trace[0].deadline = probed.start + serve_options.coldPlanCycles;
+    ad::serve::ServeLoop inline_fit(system, serve_options);
+    EXPECT_EQ(inline_fit.run(trace, mix).outcomes[0].downgrade,
+              ad::serve::Downgrade::None)
+        << "an exactly-fitting cold plan is not deadline pressure";
+
+    trace[0].deadline =
+        probed.start + serve_options.coldPlanCycles - 1;
+    ad::serve::ServeLoop degraded(system, serve_options);
+    EXPECT_NE(degraded.run(trace, mix).outcomes[0].downgrade,
+              ad::serve::Downgrade::None);
+}
+
 TEST(ServeLoop, DowngradeNamesAreStable)
 {
     EXPECT_STREQ(ad::serve::downgradeName(ad::serve::Downgrade::None),

@@ -14,6 +14,8 @@
  */
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -118,6 +120,9 @@ usageText()
           "  --queue N        admission queue capacity (default 32)\n"
           "  --repeat N       serve the trace N times; later passes hit "
           "the warm plan cache (default 1)\n"
+          "  --store DIR      persistent plan store; compiled plans are "
+          "written through and a restarted server re-serves them "
+          "without recompiling\n"
           "  net may be a mix: 'mix'/'zoo' (all eight Table-I models) "
           "or 'tinymix'\n"
           "\nexit codes: 0 success, 1 runtime/config error or failed "
@@ -185,23 +190,123 @@ option(const Args &args, const std::string &key,
     return it == args.options.end() ? fallback : it->second;
 }
 
+/**
+ * Strict integer option: the whole value must parse as a base-10
+ * integer in [lo, hi]. Anything else — empty, trailing junk, out of
+ * range — is a usage error (exit 2), never a silent atoi() zero.
+ */
+long long
+intOption(const Args &args, const std::string &key, long long fallback,
+          long long lo, long long hi)
+{
+    const auto it = args.options.find(key);
+    if (it == args.options.end())
+        return fallback;
+    const std::string &text = it->second;
+    long long value = 0;
+    std::size_t used = 0;
+    try {
+        value = std::stoll(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (text.empty() || used != text.size()) {
+        throw UsageError("option '--" + key +
+                         "' expects an integer, got '" + text + "'");
+    }
+    if (value < lo || value > hi) {
+        throw UsageError("option '--" + key + "' must be between " +
+                         std::to_string(lo) + " and " +
+                         std::to_string(hi) + ", got '" + text + "'");
+    }
+    return value;
+}
+
+/** Strict non-negative 64-bit option (seeds). */
+std::uint64_t
+u64Option(const Args &args, const std::string &key,
+          std::uint64_t fallback)
+{
+    const auto it = args.options.find(key);
+    if (it == args.options.end())
+        return fallback;
+    const std::string &text = it->second;
+    std::uint64_t value = 0;
+    std::size_t used = 0;
+    try {
+        value = std::stoull(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    // stoull silently wraps an explicit minus sign; reject it.
+    if (text.empty() || used != text.size() || text[0] == '-') {
+        throw UsageError("option '--" + key +
+                         "' expects a non-negative integer, got '" +
+                         text + "'");
+    }
+    return value;
+}
+
+/** Strict finite-double option with a lower bound. */
+double
+numOption(const Args &args, const std::string &key, double fallback,
+          double lo)
+{
+    const auto it = args.options.find(key);
+    if (it == args.options.end())
+        return fallback;
+    const std::string &text = it->second;
+    double value = 0.0;
+    std::size_t used = 0;
+    try {
+        value = std::stod(text, &used);
+    } catch (const std::exception &) {
+        used = 0;
+    }
+    if (text.empty() || used != text.size() || !std::isfinite(value)) {
+        throw UsageError("option '--" + key +
+                         "' expects a number, got '" + text + "'");
+    }
+    if (value < lo) {
+        throw UsageError("option '--" + key + "' must be at least " +
+                         ad::fmtDouble(lo, 3) + ", got '" + text + "'");
+    }
+    return value;
+}
+
 void
 applyThreads(const Args &args)
 {
-    const std::string threads = option(args, "threads", "");
-    if (!threads.empty())
-        ad::util::ThreadPool::setGlobalThreads(std::atoi(threads.c_str()));
+    // 0 = auto-size to the hardware (ThreadPool's convention).
+    ad::util::ThreadPool::setGlobalThreads(static_cast<int>(
+        intOption(args, "threads", 0, 0, 4096)));
 }
 
 std::pair<int, int>
 parsePair(const std::string &text, char sep)
 {
+    const auto parseSide = [&](const std::string &side) {
+        int value = 0;
+        std::size_t used = 0;
+        try {
+            value = std::stoi(side, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (side.empty() || used != side.size() || value < 1) {
+            throw UsageError("expected <a>" + std::string(1, sep) +
+                             "<b> with positive integers, got '" +
+                             text + "'");
+        }
+        return value;
+    };
     const auto pos = text.find(sep);
-    if (pos == std::string::npos)
-        ad::fatal("expected <a>", std::string(1, sep), "<b>, got '",
-                  text, "'");
-    return {std::atoi(text.substr(0, pos).c_str()),
-            std::atoi(text.substr(pos + 1).c_str())};
+    if (pos == std::string::npos) {
+        throw UsageError("expected <a>" + std::string(1, sep) +
+                         "<b>, got '" + text + "'");
+    }
+    return {parseSide(text.substr(0, pos)),
+            parseSide(text.substr(pos + 1))};
 }
 
 ad::graph::Graph
@@ -225,7 +330,7 @@ systemFrom(const Args &args)
     system.engine.peCols = pc;
     system.engine.bufferBytes =
         static_cast<ad::Bytes>(
-            std::atoi(option(args, "buffer", "128").c_str())) *
+            intOption(args, "buffer", 128, 1, 1 << 20)) *
         1024;
     system.dataflow =
         ad::engine::dataflowFromString(option(args, "dataflow", "kc"));
@@ -236,7 +341,8 @@ ad::core::OrchestratorOptions
 orchestratorFrom(const Args &args)
 {
     ad::core::OrchestratorOptions options;
-    options.batch = std::atoi(option(args, "batch", "1").c_str());
+    options.batch =
+        static_cast<int>(intOption(args, "batch", 1, 1, 4096));
     const std::string sched = option(args, "sched", "dp");
     if (sched == "dp")
         options.scheduler.mode = ad::core::SchedMode::Dp;
@@ -285,7 +391,8 @@ plannerFor(const std::string &name, const Args &args,
             system, orchestratorFrom(args));
     }
     return ad::baselines::makePlanner(
-        name, system, std::atoi(option(args, "batch", "1").c_str()));
+        name, system,
+        static_cast<int>(intOption(args, "batch", 1, 1, 4096)));
 }
 
 void
@@ -470,8 +577,7 @@ cmdProfile(const Args &args)
 int
 cmdValidate(const Args &args)
 {
-    const std::uint64_t seed = std::strtoull(
-        option(args, "seed", "1").c_str(), nullptr, 10);
+    const std::uint64_t seed = u64Option(args, "seed", 1);
     const std::string network =
         option(args, "network", option(args, "model", "resnet50"));
 
@@ -621,15 +727,20 @@ cmdServe(const Args &args)
     const std::string strategy = canonicalStrategy(args);
     const auto system = systemFrom(args);
 
+    const std::string kind = option(args, "kind", "poisson");
+    if (kind != "poisson" && kind != "bursty") {
+        throw UsageError("unknown --kind '" + kind +
+                         "' (expected poisson or bursty)");
+    }
+
     ad::serve::StreamOptions stream;
-    stream.kind = ad::serve::arrivalKindFromString(
-        option(args, "kind", "poisson"));
-    stream.ratePerSec = std::atof(option(args, "arrivals", "100").c_str());
-    stream.requests = std::atoi(option(args, "requests", "32").c_str());
-    stream.seed = std::strtoull(option(args, "seed", "1").c_str(),
-                                nullptr, 10);
-    stream.deadlineMs = std::atof(option(args, "deadline", "50").c_str());
-    stream.batch = std::atoi(option(args, "batch", "1").c_str());
+    stream.kind = ad::serve::arrivalKindFromString(kind);
+    stream.ratePerSec = numOption(args, "arrivals", 100.0, 0.001);
+    stream.requests = static_cast<int>(
+        intOption(args, "requests", 32, 1, 1'000'000));
+    stream.seed = u64Option(args, "seed", 1);
+    stream.deadlineMs = numOption(args, "deadline", 50.0, 0.0);
+    stream.batch = static_cast<int>(intOption(args, "batch", 1, 1, 4096));
     stream.freqGhz = system.engine.freqGhz;
     const std::string mix_name = option(args, "model", "resnet50");
     stream.mix = ad::serve::resolveMix(mix_name);
@@ -638,7 +749,8 @@ cmdServe(const Args &args)
     ad::serve::ServeOptions serve_options;
     serve_options.strategy = strategy;
     serve_options.queueCapacity = static_cast<std::size_t>(
-        std::atoi(option(args, "queue", "32").c_str()));
+        intOption(args, "queue", 32, 1, 1'000'000));
+    serve_options.storeDir = option(args, "store", "");
     serve_options.orchestrator = orchestratorFrom(args);
     ad::serve::ServeLoop loop(system, serve_options);
 
@@ -655,7 +767,7 @@ cmdServe(const Args &args)
               << stream.seed << ", strategy " << strategy << "\n";
 
     const int repeat =
-        std::max(1, std::atoi(option(args, "repeat", "1").c_str()));
+        static_cast<int>(intOption(args, "repeat", 1, 1, 1'000'000));
     for (int pass = 1; pass <= repeat; ++pass) {
         const auto report = loop.run(trace, stream.mix, &ins);
         std::cout << "pass " << pass << ": admitted " << report.admitted
@@ -670,6 +782,14 @@ cmdServe(const Args &args)
                   << ad::fmtDouble(report.throughputRps, 1) << " rps\n";
         std::cerr << "pass " << pass << " planning wall: "
                   << ad::fmtDouble(report.planWallSeconds, 3) << " s\n";
+    }
+    if (const ad::serve::PlanStore *store = loop.store()) {
+        // Counters only — deterministic, so this line is safe to diff
+        // across --threads values and process restarts.
+        const auto ss = store->stats();
+        std::cout << "store " << store->directory() << ": hydrated "
+                  << ss.hits << ", missed " << ss.misses << ", corrupt "
+                  << ss.corrupt << ", wrote " << ss.writes << "\n";
     }
     std::cout << metrics.renderText("host.");
     if (!out.empty()) {
