@@ -1,0 +1,119 @@
+/**
+ * @file
+ * SA-vs-DTT planner comparison (ROADMAP item 3, DESIGN.md Sec. 14):
+ * on every tiny_* zoo net — small enough for the Dijkstra-Through-Time
+ * search to stay tractable on a 2x2 mesh — plan with the heuristic AD
+ * orchestrator and with the optimal DTT planner, then report the
+ * Round-compute makespan gap (the objective DTT provably minimizes),
+ * the simulated end-to-end cycles, the search wall time, and the DTT
+ * state-graph size.
+ *
+ * Both planners share the identical SA front half, so they schedule
+ * the same winning DAG with the same per-atom costs; DTT's model
+ * makespan can therefore never exceed AD's, and the bench fatals if it
+ * ever does — this is a regression gate as much as a table.
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "baselines/dtt.hh"
+#include "bench_common.hh"
+#include "check/brute_force.hh"
+#include "engine/cached_cost_model.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+
+namespace {
+
+/** Round-compute makespan of a mapped plan (communication ignored —
+ * the brute-force oracle's objective). */
+ad::Cycles
+modelMakespan(const ad::core::PlanResult &plan,
+              const ad::sim::SystemConfig &system)
+{
+    const ad::engine::CachedCostModel model(system.engine,
+                                            system.dataflow);
+    std::vector<ad::Cycles> cycles(plan.dag->size());
+    for (std::size_t i = 0; i < plan.dag->size(); ++i) {
+        cycles[i] = model.cycles(
+            plan.dag->workload(static_cast<ad::core::AtomId>(i)));
+    }
+    ad::core::RoundList rounds;
+    for (const auto &round : plan.schedule.rounds) {
+        std::vector<ad::core::AtomId> ids;
+        for (const auto &p : round.placements)
+            ids.push_back(p.atom);
+        rounds.push_back(std::move(ids));
+    }
+    return ad::check::roundComputeMakespan(rounds, cycles);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ad::bench::applyBenchArgs(argc, argv);
+
+    // 2x2 mesh: small enough that the tiny nets' DAGs stay inside the
+    // DTT tractability gates, so every row below is an exact search.
+    ad::sim::SystemConfig system = ad::bench::defaultSystem();
+    system.meshX = 2;
+    system.meshY = 2;
+
+    const std::vector<std::string> nets{"tiny_linear", "tiny_residual",
+                                        "tiny_branchy"};
+
+    std::cout << "== SA (AD) vs Dijkstra-Through-Time (DTT), 2x2 mesh, "
+                 "batch=1 ==\n";
+    ad::TextTable table;
+    table.setHeader({"net", "atoms", "AD makespan", "DTT makespan",
+                     "gap", "AD cycles", "DTT cycles", "states",
+                     "AD wall(s)", "DTT wall(s)"});
+
+    for (const std::string &name : nets) {
+        const auto graph = ad::models::buildByName(name);
+
+        const ad::core::Orchestrator ad_planner(system);
+        const auto ad_plan = ad_planner.plan(graph);
+
+        const ad::baselines::DttPlanner dtt_planner(system);
+        ad::obs::MetricsRegistry metrics;
+        ad::obs::Instrumentation ins{nullptr, &metrics};
+        const auto dtt_plan = dtt_planner.plan(graph, &ins);
+
+        if (metrics.gauge("dtt.exact").value() != 1.0)
+            ad::fatal("bench_dtt: the DTT search fell back on ", name,
+                      " — the tiny nets must stay tractable");
+
+        const ad::Cycles ad_makespan = modelMakespan(ad_plan, system);
+        const ad::Cycles dtt_makespan = modelMakespan(dtt_plan, system);
+        if (dtt_makespan > ad_makespan)
+            ad::fatal("bench_dtt: DTT makespan ", dtt_makespan,
+                      " exceeds AD's ", ad_makespan, " on ", name,
+                      " — optimality regression");
+
+        const double gap =
+            ad_makespan > 0
+                ? 100.0 *
+                      static_cast<double>(ad_makespan - dtt_makespan) /
+                      static_cast<double>(ad_makespan)
+                : 0.0;
+        table.addRow(
+            {name, std::to_string(dtt_plan.dag->size()),
+             std::to_string(ad_makespan), std::to_string(dtt_makespan),
+             ad::fmtDouble(gap, 2) + "%",
+             std::to_string(ad_plan.report.totalCycles),
+             std::to_string(dtt_plan.report.totalCycles),
+             std::to_string(static_cast<std::uint64_t>(
+                 metrics.counter("dtt.discovered_states").value())),
+             ad::fmtDouble(ad_plan.searchSeconds, 3),
+             ad::fmtDouble(dtt_plan.searchSeconds, 3)});
+    }
+
+    std::cout << table.render()
+              << "expectation: DTT never worse on the model makespan "
+                 "(gap >= 0 is asserted, not just printed)\n";
+    return 0;
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # The full validation gate (DESIGN.md Sec. 9):
 #   1. tier-1: Release build + the complete ctest suite;
-#   2. adctl validate over every Table-I zoo model;
+#   2. adctl validate over every Table-I zoo model, plus the DTT
+#      optimality gate: the exact planner validated on the tractable
+#      tiny_* nets (2x2 mesh), held to brute-force equality where the
+#      oracle reaches, and diffed byte-identical across thread counts;
 #   3. adctl trace on resnet50, with the Perfetto export checked to
 #      parse as JSON and to contain metadata + span events;
 #   4. adctl serve on the zoo mix, with stdout checked byte-identical
@@ -35,6 +38,26 @@ for model in vgg19 resnet50 resnet152 resnet1001 inception_v3 \
     ./build/tools/adctl validate --network "$model"
 done
 ./build/tools/adctl validate --network random --seed 1
+
+echo "== adctl validate: DTT optimality on the tractable zoo =="
+# On the 2x2 mesh every tiny_* net stays inside the DTT tractability
+# gates, so validate runs the exact planner end to end; seed 5's random
+# DAG is small enough for the brute-force oracle row, which holds DTT
+# to *equality* with the optimum (DESIGN.md Sec. 14).
+for net in tiny_linear tiny_residual tiny_branchy; do
+    ./build/tools/adctl validate "$net" --strategy dtt --engines 2x2
+done
+./build/tools/adctl validate random --seed 5 --strategy dtt \
+    --engines 2x2 > build/validate_dtt_seed5.txt
+grep -q "equality required" build/validate_dtt_seed5.txt
+# The exact search must be bit-identical across thread counts: validate
+# prints no wall clock, so its stdout diffs cleanly.
+./build/tools/adctl validate tiny_branchy --strategy dtt --engines 2x2 \
+    --threads 1 > build/validate_dtt_t1.txt
+./build/tools/adctl validate tiny_branchy --strategy dtt --engines 2x2 \
+    --threads 4 > build/validate_dtt_t4.txt
+diff build/validate_dtt_t1.txt build/validate_dtt_t4.txt
+echo "dtt validate OK"
 
 echo "== adctl trace: Perfetto export parses as JSON =="
 ./build/tools/adctl trace resnet50 --out build/trace_resnet50.json

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Line-coverage gate (DESIGN.md Sec. 12): build with -DAD_COVERAGE=ON,
 # run the non-fuzz test suite, and enforce per-directory line-coverage
-# floors on src/core and src/serve. Uses gcovr when installed (CI);
-# falls back to gcov + scripts/coverage_report.py otherwise.
+# floors on src/core, src/serve, and src/baselines. Uses gcovr when
+# installed (CI); falls back to gcov + scripts/coverage_report.py.
 #
 # Usage: scripts/check_coverage.sh [build-dir] [jobs]
-# Floors (percent) override via AD_COV_FLOOR_CORE / AD_COV_FLOOR_SERVE.
+# Floors (percent) override via AD_COV_FLOOR_CORE / AD_COV_FLOOR_SERVE
+# / AD_COV_FLOOR_BASELINES.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -13,6 +14,7 @@ BUILD_DIR="${1:-build-coverage}"
 JOBS="${2:-$(nproc)}"
 CORE_FLOOR="${AD_COV_FLOOR_CORE:-85}"
 SERVE_FLOOR="${AD_COV_FLOOR_SERVE:-85}"
+BASELINES_FLOOR="${AD_COV_FLOOR_BASELINES:-80}"
 
 cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Debug \
@@ -27,14 +29,17 @@ find "$BUILD_DIR" -name '*.gcda' -delete
 # runtime without touching lines the faster suites miss.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -LE fuzz
 
-echo "== coverage floors: src/core >= ${CORE_FLOOR}%, src/serve >= ${SERVE_FLOOR}% =="
+echo "== coverage floors: src/core >= ${CORE_FLOOR}%, src/serve >= ${SERVE_FLOOR}%, src/baselines >= ${BASELINES_FLOOR}% =="
 if command -v gcovr >/dev/null 2>&1; then
     gcovr --root . "$BUILD_DIR" --filter 'src/core/' \
         --print-summary --fail-under-line "$CORE_FLOOR"
     gcovr --root . "$BUILD_DIR" --filter 'src/serve/' \
         --print-summary --fail-under-line "$SERVE_FLOOR"
+    gcovr --root . "$BUILD_DIR" --filter 'src/baselines/' \
+        --print-summary --fail-under-line "$BASELINES_FLOOR"
 else
     python3 scripts/coverage_report.py "$BUILD_DIR" \
-        "src/core=$CORE_FLOOR" "src/serve=$SERVE_FLOOR"
+        "src/core=$CORE_FLOOR" "src/serve=$SERVE_FLOOR" \
+        "src/baselines=$BASELINES_FLOOR"
 fi
 echo "check_coverage: floors hold"

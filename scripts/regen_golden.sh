@@ -10,5 +10,5 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 cmake --build "$BUILD_DIR" --target test_golden_trace -j"$(nproc)"
 AD_REGEN_GOLDEN=1 "$BUILD_DIR"/tests/test_golden_trace \
-    --gtest_filter='GoldenTrace.PerfettoJsonAndTimelineCsvMatchGoldenFiles'
+    --gtest_filter='GoldenTrace.PerfettoJsonAndTimelineCsvMatchGoldenFiles:GoldenTrace.DttPerfettoJsonAndTimelineCsvMatchGoldenFiles'
 git -C . status --short tests/golden/

@@ -1,0 +1,98 @@
+#include "dtt.hh"
+
+#include <vector>
+
+#include "engine/cached_cost_model.hh"
+#include "obs/clock.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+#include "sim/system.hh"
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace ad::baselines {
+
+DttPlanner::DttPlanner(const sim::SystemConfig &system,
+                       core::OrchestratorOptions options,
+                       core::DttOptions search)
+    : _system(system), _options(options), _search(search)
+{
+    _system.validate();
+    _search.engines = _system.engines();
+}
+
+core::PlanResult
+DttPlanner::plan(const graph::Graph &graph,
+                 obs::Instrumentation *ins) const
+{
+    const obs::Stopwatch sw;
+
+    // Front half: the full AD candidate sweep, untraced — the losing
+    // candidates and the SA telemetry belong to the search, not to the
+    // plan this call returns.
+    const core::Orchestrator base(_system, _options);
+    core::PlanResult result = base.plan(graph, nullptr);
+
+    bool exact = false;
+    core::DttResult search;
+    if (result.dag) {
+        // Per-atom costs from the same memoized model every other
+        // stage shares; each index writes only its own slot.
+        const engine::CachedCostModel model(_system.engine,
+                                            _system.dataflow);
+        std::vector<Cycles> cycles(result.dag->size());
+        util::ThreadPool::global().parallelFor(
+            result.dag->size(), [&](std::size_t i) {
+                cycles[i] = model.cycles(result.dag->workload(
+                    static_cast<core::AtomId>(i)));
+            });
+
+        const auto found =
+            core::dttSearch(*result.dag, cycles, _search);
+        if (found) {
+            search = *found;
+            core::Schedule schedule = base.mapRounds(
+                *result.dag, search.rounds, core::SchedMode::Dtt);
+            const sim::SystemSimulator simulator(_system);
+            const sim::ExecutionReport report =
+                simulator.execute(*result.dag, schedule);
+            result.schedule = std::move(schedule);
+            result.report = report;
+            exact = true;
+        } else {
+            warn("DttPlanner: search gates tripped on a DAG of ",
+                 result.dag->size(),
+                 " atoms; serving the AD plan unchanged");
+        }
+    }
+
+    if (ins) {
+        if (obs::MetricsRegistry *const ms = ins->metrics) {
+            ms->gauge("dtt.exact").set(exact ? 1.0 : 0.0);
+            ms->counter("dtt.expanded_states")
+                .add(search.expandedStates);
+            ms->counter("dtt.discovered_states")
+                .add(search.discoveredStates);
+            ms->gauge("dtt.model_makespan")
+                .set(static_cast<double>(search.makespan));
+            ms->gauge("dtt.model_cost")
+                .set(static_cast<double>(search.cost));
+        }
+        // Candidate evaluations and the search ran untraced;
+        // re-execute only the returned plan with instrumentation.
+        // Determinism makes the traced re-run bit-identical.
+        if (result.dag) {
+            const sim::SystemSimulator simulator(_system);
+            const sim::ExecutionReport traced = simulator.execute(
+                *result.dag, result.schedule, ins);
+            adAssert(traced.bitIdentical(result.report),
+                     "instrumented re-execution diverged from the "
+                     "uninstrumented DTT plan");
+        }
+    }
+
+    result.searchSeconds = sw.seconds();
+    return result;
+}
+
+} // namespace ad::baselines

@@ -1,0 +1,69 @@
+#pragma once
+
+/**
+ * @file
+ * Dijkstra-Through-Time planner (ROADMAP item 3): the fifth strategy
+ * behind baselines::makePlanner. It reuses the atomic-dataflow
+ * pipeline's front half — the same SA atom generation and candidate
+ * sweep as the "AD" Orchestrator, so both strategies plan over the
+ * identical winning DAG and per-atom costs — then replaces the
+ * heuristic DP Round search with the provably-optimal A* of
+ * core::dttSearch() and maps the optimal Rounds through
+ * Orchestrator::mapRounds().
+ *
+ * Because both strategies schedule the same DAG, DTT's Round-compute
+ * makespan is never worse than AD's by construction, and it equals
+ * check::bruteForceSchedule()'s optimum wherever that oracle is
+ * tractable — the yardstick bench_dtt and the optimality tests pin.
+ *
+ * When a tractability gate trips (big DAGs), the planner keeps the AD
+ * plan it already holds and reports dtt.exact = 0 — mirroring the
+ * DpScheduler Dp -> Greedy downgrade idiom, a warn() plus a recorded
+ * effective mode, never a failure.
+ */
+
+#include "core/dtt_search.hh"
+#include "core/orchestrator.hh"
+#include "graph/graph.hh"
+#include "sim/system.hh"
+
+namespace ad::baselines {
+
+/** Dijkstra-Through-Time planner. */
+class DttPlanner : public core::Planner
+{
+  public:
+    /**
+     * Create a planner for @p system; @p options configures the shared
+     * atom-generation front half (as for the Orchestrator) and
+     * @p search the DTT state-graph search (engines is overwritten
+     * from the system).
+     */
+    DttPlanner(const sim::SystemConfig &system,
+               core::OrchestratorOptions options = {},
+               core::DttOptions search = {});
+
+    /** Planner interface. */
+    std::string name() const override { return "DTT"; }
+
+    /**
+     * Full plan (DAG + optimal Round schedule + report). With a
+     * non-null @p ins, dtt.* search metrics and the winning schedule's
+     * execution trace are recorded; results are bit-identical with and
+     * without instrumentation, across thread counts, and across
+     * processes.
+     */
+    core::PlanResult plan(const graph::Graph &graph,
+                          obs::Instrumentation *ins = nullptr)
+        const override;
+
+    /** Search options in use (engines already pinned to the system). */
+    const core::DttOptions &searchOptions() const { return _search; }
+
+  private:
+    sim::SystemConfig _system;
+    core::OrchestratorOptions _options;
+    core::DttOptions _search;
+};
+
+} // namespace ad::baselines

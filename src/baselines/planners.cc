@@ -1,6 +1,7 @@
 #include "planners.hh"
 
 #include "baselines/cnn_partition.hh"
+#include "baselines/dtt.hh"
 #include "baselines/il_pipe.hh"
 #include "baselines/layer_sequential.hh"
 #include "baselines/rammer.hh"
@@ -12,7 +13,7 @@ const std::vector<std::string> &
 plannerNames()
 {
     static const std::vector<std::string> names = {
-        "LS", "CNN-P", "IL-Pipe", "Rammer", "AD"};
+        "LS", "CNN-P", "IL-Pipe", "Rammer", "AD", "DTT"};
     return names;
 }
 
@@ -42,8 +43,13 @@ makePlanner(const std::string &name, const sim::SystemConfig &system,
         options.batch = batch;
         return std::make_unique<core::Orchestrator>(system, options);
     }
+    if (name == "DTT") {
+        core::OrchestratorOptions options;
+        options.batch = batch;
+        return std::make_unique<DttPlanner>(system, options);
+    }
     fatal("unknown planner '", name,
-          "' (expected LS, CNN-P, IL-Pipe, Rammer, or AD)");
+          "' (expected LS, CNN-P, IL-Pipe, Rammer, AD, or DTT)");
 }
 
 std::unique_ptr<core::Planner>
@@ -52,6 +58,8 @@ makePlanner(const std::string &name, const sim::SystemConfig &system,
 {
     if (name == "AD")
         return std::make_unique<core::Orchestrator>(system, options);
+    if (name == "DTT")
+        return std::make_unique<DttPlanner>(system, options);
     return makePlanner(name, system, options.batch);
 }
 

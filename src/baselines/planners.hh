@@ -4,8 +4,8 @@
  * @file
  * Name-based planner factory: one place that maps the strategy names
  * used by adctl, the benches, and the docs ("AD", "LS", "CNN-P",
- * "IL-Pipe", "Rammer") to configured Planner instances. Keeps every
- * driver loop strategy-agnostic.
+ * "IL-Pipe", "Rammer", "DTT") to configured Planner instances. Keeps
+ * every driver loop strategy-agnostic.
  */
 
 #include <memory>
@@ -30,8 +30,9 @@ makePlanner(const std::string &name, const sim::SystemConfig &system,
             int batch);
 
 /**
- * Like the batch-only overload, but "AD" honours the full orchestrator
- * option set (@p options.batch feeds every strategy). adctl and the
+ * Like the batch-only overload, but "AD" and "DTT" honour the full
+ * orchestrator option set (@p options.batch feeds every strategy;
+ * DTT shares the AD front half, see baselines/dtt.hh). adctl and the
  * serving layer build all their planners through this one entry, so a
  * strategy name means the same configuration everywhere.
  */

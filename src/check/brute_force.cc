@@ -117,6 +117,52 @@ bruteForceSchedule(const AtomicDag &dag,
     return result;
 }
 
+BruteForceComparison
+assertNotWorseThanBruteForce(const AtomicDag &dag,
+                             const std::vector<Cycles> &atom_cycles,
+                             int engines,
+                             const core::RoundList &rounds,
+                             std::size_t max_atoms)
+{
+    std::size_t scheduled = 0;
+    for (const auto &round : rounds)
+        scheduled += round.size();
+    adAssert(scheduled == dag.size(),
+             "rounds cover ", scheduled, " atoms but the DAG has ",
+             dag.size());
+
+    BruteForceComparison cmp;
+    cmp.makespan = roundComputeMakespan(rounds, atom_cycles);
+    cmp.optimalMakespan =
+        bruteForceSchedule(dag, atom_cycles, engines, max_atoms)
+            .optimalMakespan;
+    adAssert(cmp.makespan >= cmp.optimalMakespan,
+             "schedule makespan ", cmp.makespan,
+             " beats the exhaustive optimum ", cmp.optimalMakespan,
+             " — the oracle and the scheduler disagree");
+    return cmp;
+}
+
+BruteForceComparison
+assertNotWorseThanBruteForce(const AtomicDag &dag,
+                             const std::vector<Cycles> &atom_cycles,
+                             int engines,
+                             const core::Schedule &schedule,
+                             std::size_t max_atoms)
+{
+    core::RoundList rounds;
+    rounds.reserve(schedule.rounds.size());
+    for (const core::Round &round : schedule.rounds) {
+        std::vector<AtomId> atoms;
+        atoms.reserve(round.placements.size());
+        for (const core::Placement &p : round.placements)
+            atoms.push_back(p.atom);
+        rounds.push_back(std::move(atoms));
+    }
+    return assertNotWorseThanBruteForce(dag, atom_cycles, engines,
+                                        rounds, max_atoms);
+}
+
 Cycles
 roundComputeMakespan(const core::RoundList &rounds,
                      const std::vector<Cycles> &atom_cycles)

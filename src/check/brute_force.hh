@@ -48,4 +48,39 @@ BruteForceResult bruteForceSchedule(
 Cycles roundComputeMakespan(const core::RoundList &rounds,
                             const std::vector<Cycles> &atom_cycles);
 
+/** Outcome of one schedule-vs-oracle comparison. */
+struct BruteForceComparison
+{
+    Cycles makespan = 0;        ///< compute makespan of the checked rounds
+    Cycles optimalMakespan = 0; ///< exhaustive optimum on the same DAG
+
+    /** True when the checked schedule attains the optimum — the DTT
+     * planner's contract on every oracle-tractable DAG. */
+    bool isOptimal() const { return makespan == optimalMakespan; }
+
+    /** How far above the optimum the schedule landed. */
+    Cycles slackCycles() const { return makespan - optimalMakespan; }
+};
+
+/**
+ * Differential-oracle guard: computes the compute makespan of
+ * @p rounds and the exhaustive optimum of @p dag, and fatals if the
+ * schedule somehow *beats* the optimum — which can only mean the
+ * oracle and the scheduler disagree about costs or dependencies.
+ * Returns both numbers so callers assert their own tightness bound
+ * (equality for DTT, bounded slack for the heuristics). Inherits
+ * bruteForceSchedule()'s @p max_atoms tractability gate.
+ */
+BruteForceComparison assertNotWorseThanBruteForce(
+    const core::AtomicDag &dag, const std::vector<Cycles> &atom_cycles,
+    int engines, const core::RoundList &rounds,
+    std::size_t max_atoms = 12);
+
+/** Overload over a mapped Schedule: placements collapse to Round
+ * membership (engine assignment does not move compute makespan). */
+BruteForceComparison assertNotWorseThanBruteForce(
+    const core::AtomicDag &dag, const std::vector<Cycles> &atom_cycles,
+    int engines, const core::Schedule &schedule,
+    std::size_t max_atoms = 12);
+
 } // namespace ad::check

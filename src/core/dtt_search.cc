@@ -1,0 +1,388 @@
+#include "dtt_search.hh"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <map>
+#include <queue>
+#include <string_view>
+#include <utility>
+
+#include "core/plan_io.hh"
+
+namespace ad::core {
+
+namespace {
+
+constexpr std::uint32_t kNoParent =
+    std::numeric_limits<std::uint32_t>::max();
+
+/** Hard deterministic backstop on total edge relaxations: a state
+ * whose combination fan-out explodes trips this and falls back rather
+ * than crawling (checked between expansions, so overshoot is bounded
+ * by one state's fan-out). */
+constexpr std::uint64_t kMaxRelaxes = 8'000'000;
+
+/** One discovered state with its best-known path. */
+struct Node
+{
+    std::uint64_t executed = 0;
+    std::uint64_t frontier = 0;
+    Cycles g = 0;               ///< best path cost found so far
+    std::uint32_t parent = kNoParent;
+    std::uint64_t roundMask = 0; ///< Round taken from parent to here
+};
+
+/**
+ * Open-list entry. The comparator is a total order over value fields
+ * only — (f, executed, frontier, g, node) — so the pop sequence is
+ * unique and bit-identical everywhere; no hash, pointer, or insertion
+ * order ever breaks a tie.
+ */
+struct OpenEntry
+{
+    Cycles f = 0;
+    std::uint64_t executed = 0;
+    std::uint64_t frontier = 0;
+    Cycles g = 0;
+    std::uint32_t node = 0;
+};
+
+struct OpenGreater
+{
+    bool
+    operator()(const OpenEntry &a, const OpenEntry &b) const
+    {
+        if (a.f != b.f)
+            return a.f > b.f;
+        if (a.executed != b.executed)
+            return a.executed > b.executed;
+        if (a.frontier != b.frontier)
+            return a.frontier > b.frontier;
+        if (a.g != b.g)
+            return a.g > b.g;
+        return a.node > b.node;
+    }
+};
+
+/** The search, bundling precomputed bounds and the node store. */
+class DttSearcher
+{
+  public:
+    DttSearcher(const AtomicDag &dag,
+                const std::vector<Cycles> &cycles,
+                const DttOptions &options)
+        : _dag(&dag), _cycles(&cycles), _options(options),
+          _n(dag.size())
+    {
+        // down[a]: critical-path cycles of a's descendant chain,
+        // a included — the serialization lower bound. Memoized DFS;
+        // depth is bounded by _n <= 63.
+        _down.assign(_n, 0);
+        _downDone.assign(_n, false);
+        for (std::size_t a = 0; a < _n; ++a)
+            computeDown(static_cast<AtomId>(a));
+        _totalCycles = 0;
+        for (std::size_t a = 0; a < _n; ++a)
+            _totalCycles += (*_cycles)[a];
+    }
+
+    std::optional<DttResult> run();
+
+  private:
+    Cycles
+    computeDown(AtomId a)
+    {
+        const auto i = static_cast<std::size_t>(a);
+        if (_downDone[i])
+            return _down[i];
+        Cycles best = 0;
+        for (AtomId c : _dag->consumersSpan(a))
+            best = std::max(best, computeDown(c));
+        _down[i] = (*_cycles)[i] + best;
+        _downDone[i] = true;
+        return _down[i];
+    }
+
+    /** Admissible remaining-cost bound for @p executed. */
+    Cycles
+    lowerBound(std::uint64_t executed, Cycles executed_sum) const
+    {
+        Cycles chain = 0;
+        for (std::size_t a = 0; a < _n; ++a) {
+            if (!(executed & (std::uint64_t{1} << a)))
+                chain = std::max(chain, _down[a]);
+        }
+        const Cycles remaining = _totalCycles - executed_sum;
+        const Cycles width = ceilDiv(
+            remaining, static_cast<Cycles>(_options.engines));
+        return std::max(chain, width);
+    }
+
+    /** Integer communication surcharge of Round @p round_mask taken
+     * from a state whose previous Round was @p frontier. */
+    Cycles
+    commCycles(std::uint64_t round_mask, std::uint64_t frontier) const
+    {
+        Bytes hbm = 0;
+        Bytes noc = 0;
+        for (std::size_t a = 0; a < _n; ++a) {
+            if (!(round_mask & (std::uint64_t{1} << a)))
+                continue;
+            const auto deps = _dag->depsSpan(static_cast<AtomId>(a));
+            const auto bytes =
+                _dag->depBytesSpan(static_cast<AtomId>(a));
+            for (std::size_t d = 0; d < deps.size(); ++d) {
+                const auto p = static_cast<std::size_t>(deps[d]);
+                if (frontier & (std::uint64_t{1} << p))
+                    noc += bytes[d];
+                else
+                    hbm += bytes[d];
+            }
+        }
+        return ceilDiv(hbm, _options.hbmBytesPerCycle) +
+               ceilDiv(noc, _options.nocBytesPerCycle);
+    }
+
+    /** Find-or-create the node for (executed, frontier). */
+    std::uint32_t
+    internNode(std::uint64_t executed, std::uint64_t frontier)
+    {
+        const auto key = std::make_pair(executed, frontier);
+        const auto it = _index.find(key);
+        if (it != _index.end())
+            return it->second;
+        const auto id = static_cast<std::uint32_t>(_nodes.size());
+        Node node;
+        node.executed = executed;
+        node.frontier = frontier;
+        node.g = std::numeric_limits<Cycles>::max();
+        _nodes.push_back(node);
+        _index.emplace(key, id);
+        return id;
+    }
+
+    const AtomicDag *_dag;
+    const std::vector<Cycles> *_cycles;
+    DttOptions _options;
+    std::size_t _n;
+    std::vector<Cycles> _down;
+    std::vector<char> _downDone;
+    Cycles _totalCycles = 0;
+
+    std::vector<Node> _nodes;
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t>
+        _index;
+    std::uint64_t _relaxes = 0;
+};
+
+std::optional<DttResult>
+DttSearcher::run()
+{
+    const std::uint64_t full =
+        (_n == 64) ? ~std::uint64_t{0}
+                   : ((std::uint64_t{1} << _n) - 1);
+    const std::uint32_t root = internNode(0, 0);
+    _nodes[root].g = 0;
+
+    std::priority_queue<OpenEntry, std::vector<OpenEntry>, OpenGreater>
+        open;
+    open.push({lowerBound(0, 0), 0, 0, 0, root});
+
+    DttResult result;
+    std::vector<std::size_t> ready;
+    ready.reserve(_n);
+
+    while (!open.empty()) {
+        const OpenEntry top = open.top();
+        open.pop();
+        if (top.g != _nodes[top.node].g)
+            continue; // stale entry; a cheaper path superseded it
+        const std::uint64_t executed = top.executed;
+        const std::uint64_t frontier = top.frontier;
+
+        if (executed == full) {
+            // Consistent heuristic: the first goal pop is optimal.
+            result.cost = top.g;
+            result.goalStateKey = dttStateKey(executed, frontier);
+            RoundList rounds;
+            for (std::uint32_t at = top.node;
+                 _nodes[at].parent != kNoParent;
+                 at = _nodes[at].parent) {
+                std::vector<AtomId> round;
+                const std::uint64_t mask = _nodes[at].roundMask;
+                for (std::size_t a = 0; a < _n; ++a) {
+                    if (mask & (std::uint64_t{1} << a))
+                        round.push_back(static_cast<AtomId>(a));
+                }
+                rounds.push_back(std::move(round));
+            }
+            std::reverse(rounds.begin(), rounds.end());
+            for (const auto &round : rounds) {
+                Cycles slowest = 0;
+                for (AtomId a : round) {
+                    slowest = std::max(
+                        slowest,
+                        (*_cycles)[static_cast<std::size_t>(a)]);
+                }
+                result.makespan += slowest;
+            }
+            result.rounds = std::move(rounds);
+            result.expandedStates += 1;
+            result.discoveredStates = _nodes.size();
+            return result;
+        }
+
+        result.expandedStates += 1;
+        if (result.expandedStates > _options.maxExpandedStates)
+            return std::nullopt;
+
+        // Ready set (ids ascending) and executed work, in one scan.
+        Cycles executed_sum = 0;
+        ready.clear();
+        for (std::size_t a = 0; a < _n; ++a) {
+            if (executed & (std::uint64_t{1} << a)) {
+                executed_sum += (*_cycles)[a];
+                continue;
+            }
+            bool ok = true;
+            for (AtomId dep : _dag->depsSpan(static_cast<AtomId>(a))) {
+                if (!(executed &
+                      (std::uint64_t{1}
+                       << static_cast<std::size_t>(dep)))) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                ready.push_back(a);
+        }
+        adAssert(!ready.empty(), "DTT deadlock: cyclic atomic DAG");
+        if (ready.size() > _options.maxReady)
+            return std::nullopt;
+
+        // Sort by (cycles desc, id asc): each Round's peak is then the
+        // smallest included index, so enumerating per-peak suffixes and
+        // combinations covers every saturated Round exactly once.
+        std::sort(ready.begin(), ready.end(),
+                  [this](std::size_t a, std::size_t b) {
+                      if ((*_cycles)[a] != (*_cycles)[b])
+                          return (*_cycles)[a] > (*_cycles)[b];
+                      return a < b;
+                  });
+
+        const auto engines =
+            static_cast<std::size_t>(_options.engines);
+        const auto relax = [&](std::uint64_t round_mask,
+                               Cycles peak_cycles,
+                               std::uint32_t from) {
+            ++_relaxes;
+            Cycles edge = peak_cycles;
+            std::uint64_t next_frontier = 0;
+            if (_options.commAware) {
+                edge += commCycles(round_mask, frontier);
+                next_frontier = round_mask;
+            }
+            const std::uint64_t next_executed =
+                executed | round_mask;
+            const std::uint32_t to =
+                internNode(next_executed, next_frontier);
+            const Cycles g = _nodes[from].g + edge;
+            if (g < _nodes[to].g) {
+                _nodes[to].g = g;
+                _nodes[to].parent = from;
+                _nodes[to].roundMask = round_mask;
+                Cycles next_sum = executed_sum;
+                for (std::size_t a = 0; a < _n; ++a) {
+                    if (round_mask & (std::uint64_t{1} << a))
+                        next_sum += (*_cycles)[a];
+                }
+                open.push({g + lowerBound(next_executed, next_sum),
+                           next_executed, next_frontier, g, to});
+            }
+        };
+
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+            const Cycles peak = (*_cycles)[ready[i]];
+            const std::size_t tail = ready.size() - i;
+            if (tail <= engines) {
+                // The whole suffix fits in one Round. If it leaves
+                // engines idle while an equal-cost atom sits excluded
+                // before the peak, the Round is dominated (swap the
+                // equal atom in for free) — skip it.
+                const bool equal_before =
+                    i > 0 && (*_cycles)[ready[i - 1]] == peak;
+                if (tail < engines && equal_before)
+                    continue;
+                std::uint64_t mask = 0;
+                for (std::size_t j = i; j < ready.size(); ++j)
+                    mask |= std::uint64_t{1} << ready[j];
+                relax(mask, peak, top.node);
+                continue;
+            }
+            // Saturated Rounds of exactly `engines` atoms: the peak
+            // plus engines-1 chosen from the cheaper suffix, in
+            // lexicographic order over sorted indices.
+            std::vector<std::size_t> choose(engines - 1);
+            for (std::size_t k = 0; k < choose.size(); ++k)
+                choose[k] = i + 1 + k;
+            while (true) {
+                std::uint64_t mask = std::uint64_t{1} << ready[i];
+                for (const std::size_t c : choose)
+                    mask |= std::uint64_t{1} << ready[c];
+                relax(mask, peak, top.node);
+                // Advance the combination (rightmost incrementable).
+                std::size_t k = choose.size();
+                while (k > 0 &&
+                       choose[k - 1] ==
+                           ready.size() - (choose.size() - (k - 1)))
+                    --k;
+                if (k == 0)
+                    break;
+                ++choose[k - 1];
+                for (std::size_t j = k; j < choose.size(); ++j)
+                    choose[j] = choose[j - 1] + 1;
+            }
+        }
+        if (_nodes.size() > _options.maxStates ||
+            _relaxes > kMaxRelaxes)
+            return std::nullopt;
+    }
+    fatal("DTT search exhausted the open list without reaching the "
+          "goal — the atomic DAG is malformed");
+}
+
+} // namespace
+
+std::uint64_t
+dttStateKey(std::uint64_t executed, std::uint64_t frontier)
+{
+    char buf[16];
+    for (int i = 0; i < 8; ++i) {
+        buf[i] = static_cast<char>((executed >> (8 * i)) & 0xFF);
+        buf[8 + i] = static_cast<char>((frontier >> (8 * i)) & 0xFF);
+    }
+    return fnv1a64(std::string_view(buf, sizeof(buf)));
+}
+
+std::optional<DttResult>
+dttSearch(const AtomicDag &dag, const std::vector<Cycles> &atom_cycles,
+          const DttOptions &options)
+{
+    if (options.engines <= 0)
+        fatal("dttSearch requires a positive engine count");
+    adAssert(atom_cycles.size() == dag.size(),
+             "atom cycle vector does not cover the DAG");
+    if (dag.size() == 0) {
+        DttResult empty;
+        empty.goalStateKey = dttStateKey(0, 0);
+        return empty;
+    }
+    if (dag.size() > options.maxAtoms || dag.size() > 63)
+        return std::nullopt;
+
+    DttSearcher searcher(dag, atom_cycles, options);
+    return searcher.run();
+}
+
+} // namespace ad::core

@@ -1,0 +1,132 @@
+#pragma once
+
+/**
+ * @file
+ * Dijkstra-Through-Time (DTT) optimal Round search (ROADMAP item 3,
+ * after the Nokia Bell Labs "Dijkstra-Through-Time" formulation):
+ * shortest-path search over a time-indexed resource-state graph whose
+ * vertices are (executed-atom set, previous-Round frontier) pairs and
+ * whose edges are synchronized Rounds. Under the compute objective the
+ * path cost is exactly the quantity check::bruteForceSchedule()
+ * minimizes — the sum over Rounds of the slowest member — so on any DAG
+ * where both are tractable the two must agree bit-for-bit, which is the
+ * differential-oracle contract the test suite pins.
+ *
+ * The search is A* (Dijkstra + admissible lower bound): the heuristic is
+ * the max of the remaining critical path (every dependency chain must
+ * serialize across Rounds) and ceil(remaining-work / engines) (no Round
+ * retires more than `engines` atoms). Both bounds are consistent, so the
+ * first goal expansion is provably optimal and no state is re-expanded.
+ *
+ * Successor enumeration is pruned to *saturated* Rounds: a Round with
+ * peak cost c either uses all engines or contains every ready atom of
+ * cost <= c. An exchange argument shows some optimal solution uses only
+ * saturated Rounds under the compute objective (adding a ready atom no
+ * slower than the peak to a non-full Round never raises the Round cost
+ * and only shrinks the remaining problem), so the pruning preserves
+ * optimality while collapsing the 2^ready successor fan-out.
+ *
+ * Determinism contract: the search is single-threaded and every
+ * container is ordered — the open list is a priority queue with a total
+ * order on (f, executed, frontier, g, node id) value fields (never
+ * hashes, never pointers), and the closed set is a std::map keyed by the
+ * state pair. Results are therefore bit-identical across runs, across
+ * `--threads` values, and across processes. dttStateKey() is the
+ * canonical FNV-1a state fingerprint exposed for tests and provenance;
+ * search order never depends on it.
+ *
+ * With `commAware` set, edge costs additionally charge an integer
+ * surrogate for data movement (producer in the previous Round's
+ * frontier -> NoC bytes, older producer -> HBM bytes, mirroring the
+ * SRAM-residency x NoC-reservation state of the DTT paper). The
+ * saturation pruning is not exchange-safe under that objective, so
+ * commAware results are "optimal within the saturated-Round family" and
+ * are never compared against the brute-force oracle.
+ */
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/atomic_dag.hh"
+#include "core/scheduler.hh"
+
+namespace ad::core {
+
+/** DTT search parameters. */
+struct DttOptions
+{
+    /** Engines per Round (overwritten from the system by DttPlanner). */
+    int engines = 64;
+
+    /** Tractability gate: DAGs with more atoms than this (or more than
+     * 63, the state-bitmask width) make dttSearch() return nullopt. */
+    std::size_t maxAtoms = 28;
+
+    /** Tractability gate on the per-state ready-set width (the
+     * combination fan-out is C(ready-1, engines-1) per peak). */
+    std::size_t maxReady = 18;
+
+    /** Tractability gate on expanded (popped) states. */
+    std::size_t maxExpandedStates = 250'000;
+
+    /** Tractability gate on discovered (stored) states. */
+    std::size_t maxStates = 1'000'000;
+
+    /** Charge the communication surrogate into edge costs and keep the
+     * previous Round's frontier in the state (see file comment). */
+    bool commAware = false;
+
+    /** HBM bytes deliverable per cycle (integer surrogate; only read
+     * when commAware). */
+    Bytes hbmBytesPerCycle = 256;
+
+    /** NoC bytes deliverable per cycle chip-wide (integer surrogate;
+     * only read when commAware). */
+    Bytes nocBytesPerCycle = 512;
+};
+
+/** Outcome of one tractable DTT search. */
+struct DttResult
+{
+    /** Optimal Round sequence; atom ids ascending within each Round. */
+    RoundList rounds;
+
+    /** Compute makespan of `rounds` (sum of per-Round max cycles) —
+     * equals check::bruteForceSchedule().optimalMakespan whenever the
+     * oracle is tractable and commAware is off. */
+    Cycles makespan = 0;
+
+    /** Objective actually minimized; equals `makespan` unless commAware
+     * added communication surcharges. */
+    Cycles cost = 0;
+
+    /** States popped from the open list. */
+    std::size_t expandedStates = 0;
+
+    /** Distinct states discovered. */
+    std::size_t discoveredStates = 0;
+
+    /** Canonical dttStateKey() of the goal state (provenance). */
+    std::uint64_t goalStateKey = 0;
+};
+
+/**
+ * Canonical FNV-1a fingerprint of a search state: the executed-atom
+ * bitmask and the previous-Round frontier bitmask, serialized
+ * little-endian so the key is identical across hosts. Non-commAware
+ * searches canonicalize the frontier to 0 before hashing.
+ */
+std::uint64_t dttStateKey(std::uint64_t executed, std::uint64_t frontier);
+
+/**
+ * Run the DTT search over @p dag with per-atom costs @p atom_cycles
+ * (indexed by AtomId). Returns nullopt when any tractability gate in
+ * @p options trips — callers fall back to a heuristic plan. Fatals on
+ * malformed input (cycle vector mismatch, non-positive engine count).
+ */
+std::optional<DttResult> dttSearch(const AtomicDag &dag,
+                                   const std::vector<Cycles> &atom_cycles,
+                                   const DttOptions &options);
+
+} // namespace ad::core

@@ -34,7 +34,13 @@ Orchestrator::buildSchedule(const AtomicDag &dag) const
                                         _system.dataflow);
     DpScheduler scheduler(dag, model, _options.scheduler);
     const RoundList rounds = scheduler.schedule();
+    return mapRounds(dag, rounds, scheduler.effectiveMode());
+}
 
+Schedule
+Orchestrator::mapRounds(const AtomicDag &dag, const RoundList &rounds,
+                        SchedMode mode) const
+{
     // Mapping pass (Sec. IV-C): walk the rounds with the same residency
     // model the simulator uses, so placement decisions see exactly what
     // will be on-chip at execution time.
@@ -45,7 +51,7 @@ Orchestrator::buildSchedule(const AtomicDag &dag) const
     residency.attachSchedule(rounds);
 
     Schedule schedule;
-    schedule.mode = scheduler.effectiveMode();
+    schedule.mode = mode;
     schedule.rounds.reserve(rounds.size());
     for (std::size_t t = 0; t < rounds.size(); ++t) {
         residency.beginRound(static_cast<int>(t));

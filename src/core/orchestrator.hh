@@ -97,6 +97,18 @@ class Orchestrator : public Planner
      */
     Schedule buildSchedule(const AtomicDag &dag) const;
 
+    /**
+     * Run only the mapping pass (Sec. IV-C) over externally-produced
+     * @p rounds: engines assigned by AtomEngineMapper against the same
+     * residency model the simulator replays, weights and outputs
+     * installed round-by-round. The Round structure is preserved
+     * verbatim; @p mode records the scheduler that produced it.
+     * Baselines with their own Round search (DttPlanner) reuse the
+     * mapper this way instead of duplicating it.
+     */
+    Schedule mapRounds(const AtomicDag &dag, const RoundList &rounds,
+                       SchedMode mode) const;
+
     /** System configuration in use. */
     const sim::SystemConfig &system() const { return _system; }
 

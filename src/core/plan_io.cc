@@ -315,7 +315,7 @@ decodePlanResult(std::string_view payload)
     }
 
     const std::uint8_t mode = rd.u8();
-    if (mode > static_cast<std::uint8_t>(SchedMode::Dp))
+    if (mode > static_cast<std::uint8_t>(SchedMode::Dtt))
         return std::nullopt;
     plan.schedule.mode = static_cast<SchedMode>(mode);
     const std::uint64_t rounds = rd.u64();

@@ -33,8 +33,10 @@
 
 namespace ad::core {
 
-/** Bump on any change to the encodePlanResult() byte layout. */
-constexpr std::uint32_t kPlanFormatVersion = 1;
+/** Bump on any change to the encodePlanResult() byte layout (version 2
+ * widened the valid SchedMode range with SchedMode::Dtt, so a v1 reader
+ * would reject v2 plans as corrupt — the intended failure mode). */
+constexpr std::uint32_t kPlanFormatVersion = 2;
 
 /**
  * FNV-1a 64-bit over @p bytes: the project's explicit, portable content

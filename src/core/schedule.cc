@@ -16,6 +16,8 @@ schedModeName(SchedMode mode)
         return "greedy";
       case SchedMode::Dp:
         return "dp";
+      case SchedMode::Dtt:
+        return "dtt";
     }
     return "unknown";
 }

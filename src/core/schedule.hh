@@ -19,6 +19,8 @@ enum class SchedMode {
                   ///< weights before moving on (throughput-oriented)
     Greedy,       ///< priority rules, no lookahead
     Dp,           ///< priority rules + bounded DP lookahead (the paper's)
+    Dtt,          ///< Dijkstra-Through-Time optimal search (dtt_search.hh);
+                  ///< produced by baselines::DttPlanner, never DpScheduler
 };
 
 /** Short printable name of a scheduler mode. */

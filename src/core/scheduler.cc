@@ -511,6 +511,9 @@ DpScheduler::schedule() const
             dpSearch(state, _options.lookaheadDepth, _options.engines,
                      &combo);
             break;
+          case SchedMode::Dtt:
+            fatal("DpScheduler cannot run in Dtt mode — Dtt Rounds "
+                  "come from core::dttSearch (see dtt_search.hh)");
         }
         adAssert(!combo.empty(), "scheduler deadlock: no ready atoms");
         state.apply(combo);

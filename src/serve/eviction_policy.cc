@@ -45,12 +45,61 @@ LruPolicy::victim() const
     return _byTick.empty() ? std::string{} : _byTick.begin()->second;
 }
 
+void
+LfuPolicy::reindex(std::map<std::string, Entry>::iterator it)
+{
+    it->second.tick = ++_tick;
+    _byRank.emplace(std::pair{it->second.freq, it->second.tick},
+                    it->first);
+}
+
+void
+LfuPolicy::admitted(const std::string &key)
+{
+    adAssert(_entries.find(key) == _entries.end(),
+             "admitted() on a key the policy already tracks");
+    const auto [it, inserted] = _entries.emplace(key, Entry{1, 0});
+    adAssert(inserted, "LFU admit raced its own membership check");
+    reindex(it);
+}
+
+void
+LfuPolicy::touched(const std::string &key)
+{
+    const auto it = _entries.find(key);
+    adAssert(it != _entries.end(),
+             "touched() on a key the policy does not track");
+    _byRank.erase({it->second.freq, it->second.tick});
+    ++it->second.freq;
+    reindex(it);
+}
+
+void
+LfuPolicy::evicted(const std::string &key)
+{
+    const auto it = _entries.find(key);
+    adAssert(it != _entries.end(),
+             "evicted() on a key the policy does not track");
+    _byRank.erase({it->second.freq, it->second.tick});
+    _entries.erase(it);
+}
+
+std::string
+LfuPolicy::victim() const
+{
+    // Lowest frequency first, then oldest tick: LRU among the coldest.
+    return _byRank.empty() ? std::string{} : _byRank.begin()->second;
+}
+
 std::unique_ptr<EvictionPolicy>
 makeEvictionPolicy(const std::string &name)
 {
     if (name == "lru")
         return std::make_unique<LruPolicy>();
-    fatal("unknown eviction policy '", name, "' (expected: lru)");
+    if (name == "lfu")
+        return std::make_unique<LfuPolicy>();
+    fatal("unknown eviction policy '", name,
+          "' (expected: lru or lfu)");
 }
 
 } // namespace ad::serve

@@ -12,7 +12,7 @@
  * every serve report built on it) is replayable across runs, hosts, and
  * thread counts.
  *
- * LRU is the shipping policy; the interface is the seam for LFU and
+ * LRU and LFU are the shipping policies; the interface is the seam for
  * cost-aware variants (ROADMAP item 5) without another cache rewrite.
  */
 
@@ -20,6 +20,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 
 namespace ad::serve {
 
@@ -71,8 +72,43 @@ class LruPolicy final : public EvictionPolicy
 };
 
 /**
- * Policy by name; "lru" is the only shipping policy. Fatals on an
- * unknown name (the adctl layer turns that into a usage error).
+ * Least-frequently-used: victim is the key with the fewest accesses
+ * (admitted() counts as the first), ties broken by the oldest logical
+ * access tick — i.e. LRU among the equally-cold. Frequency survives
+ * touches but not eviction: a re-admitted key starts cold again, so a
+ * once-hot key cannot pin itself forever. Like LruPolicy, the choice
+ * is a pure function of the admit/touch/evict sequence.
+ */
+class LfuPolicy final : public EvictionPolicy
+{
+  public:
+    const char *name() const override { return "lfu"; }
+    void admitted(const std::string &key) override;
+    void touched(const std::string &key) override;
+    void evicted(const std::string &key) override;
+    std::string victim() const override;
+    std::size_t size() const override { return _entries.size(); }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t freq;
+        std::uint64_t tick;
+    };
+    /** Move @p it to its new (freq, tick) slot in the victim order. */
+    void reindex(std::map<std::string, Entry>::iterator it);
+
+    std::uint64_t _tick = 0;
+    std::map<std::string, Entry> _entries;
+    /** (freq, tick) -> key; begin() is the victim. Ticks are unique,
+     * so the order is total and deterministic. */
+    std::map<std::pair<std::uint64_t, std::uint64_t>, std::string>
+        _byRank;
+};
+
+/**
+ * Policy by name ("lru" or "lfu"). Fatals on an unknown name (the
+ * adctl layer turns that into a usage error).
  */
 std::unique_ptr<EvictionPolicy> makeEvictionPolicy(
     const std::string &name);

@@ -1,0 +1,402 @@
+/**
+ * @file
+ * Dijkstra-Through-Time planner tests (DESIGN.md Sec. 14): the search
+ * against the exhaustive brute-force oracle on every tractable seeded
+ * DAG (exact optimality, not just a bound), the DttPlanner against
+ * every other strategy on the tiny zoo nets, determinism across thread
+ * counts, the tractability-gate fallback, the canonical state key, and
+ * the commAware objective variant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/dtt.hh"
+#include "baselines/planners.hh"
+#include "check/brute_force.hh"
+#include "core/dtt_search.hh"
+#include "core/orchestrator.hh"
+#include "core/plan_io.hh"
+#include "core/validation.hh"
+#include "engine/cached_cost_model.hh"
+#include "models/models.hh"
+#include "obs/instrumentation.hh"
+#include "obs/metrics.hh"
+#include "sim/system.hh"
+#include "testing_support/random_graph.hh"
+#include "util/thread_pool.hh"
+
+namespace {
+
+using ad::Cycles;
+using ad::check::assertNotWorseThanBruteForce;
+using ad::check::bruteForceSchedule;
+using ad::check::roundComputeMakespan;
+using ad::core::AtomId;
+using ad::core::DttOptions;
+using ad::core::dttSearch;
+using ad::core::dttStateKey;
+using ad::core::RoundList;
+
+ad::sim::SystemConfig
+smallSystem()
+{
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    return system;
+}
+
+/** Run @p body under @p threads workers (global pool, no restore). */
+template <typename Fn>
+auto
+withThreads(int threads, Fn &&body)
+{
+    ad::util::ThreadPool::setGlobalThreads(threads);
+    return body();
+}
+
+/** Deterministic synthetic atom costs: varied magnitudes plus repeated
+ * values, so ties exercise the saturation pruning's equal-cost paths. */
+std::vector<Cycles>
+syntheticCycles(std::size_t n, std::uint64_t seed)
+{
+    std::vector<Cycles> cycles(n);
+    for (std::size_t i = 0; i < n; ++i)
+        cycles[i] = 50 + (seed * 31 + i * 37) % 400;
+    // Force at least one exact tie when there is room.
+    if (n >= 2)
+        cycles[n - 1] = cycles[0];
+    return cycles;
+}
+
+/** Every atom exactly once and no atom before its producers. */
+void
+expectValidRounds(const ad::core::AtomicDag &dag,
+                  const RoundList &rounds)
+{
+    std::set<AtomId> done;
+    std::size_t scheduled = 0;
+    for (const auto &round : rounds) {
+        for (AtomId a : round) {
+            for (AtomId dep : dag.depsSpan(a)) {
+                EXPECT_TRUE(done.count(dep))
+                    << "atom " << a << " ran before producer " << dep;
+            }
+        }
+        for (AtomId a : round) {
+            EXPECT_TRUE(done.insert(a).second)
+                << "atom " << a << " scheduled twice";
+            ++scheduled;
+        }
+    }
+    EXPECT_EQ(scheduled, dag.size());
+}
+
+/** Per-atom cycles of @p dag under the real cost model. */
+std::vector<Cycles>
+modelCycles(const ad::core::AtomicDag &dag,
+            const ad::sim::SystemConfig &system)
+{
+    const ad::engine::CachedCostModel model(system.engine,
+                                            system.dataflow);
+    std::vector<Cycles> cycles(dag.size());
+    for (std::size_t i = 0; i < dag.size(); ++i)
+        cycles[i] = model.cycles(dag.workload(static_cast<AtomId>(i)));
+    return cycles;
+}
+
+/** Round-compute makespan of a mapped schedule. */
+Cycles
+scheduleMakespan(const ad::core::Schedule &schedule,
+                 const std::vector<Cycles> &cycles)
+{
+    RoundList rounds;
+    for (const auto &round : schedule.rounds) {
+        std::vector<AtomId> ids;
+        for (const auto &p : round.placements)
+            ids.push_back(p.atom);
+        rounds.push_back(std::move(ids));
+    }
+    return roundComputeMakespan(rounds, cycles);
+}
+
+// On every seeded DAG small enough for the exhaustive oracle, the DTT
+// search must attain — not approximate — the optimal makespan, for
+// several engine counts, including engines=1 (pure serialization).
+TEST(DttSearch, MatchesBruteForceOptimumOnAllTractableSeeds)
+{
+    std::size_t tested = 0;
+    for (std::uint64_t seed = 0; seed < 200 && tested < 24; ++seed) {
+        const auto random = ad::testing::randomAtomicDag(seed);
+        if (random.dag->size() > 12)
+            continue;
+        ++tested;
+        const auto cycles =
+            syntheticCycles(random.dag->size(), seed);
+        for (const int engines : {1, 2, 4}) {
+            SCOPED_TRACE(testing::Message()
+                         << "seed=" << seed << " atoms="
+                         << random.dag->size()
+                         << " engines=" << engines);
+            DttOptions options;
+            options.engines = engines;
+            const auto found =
+                dttSearch(*random.dag, cycles, options);
+            ASSERT_TRUE(found.has_value());
+            expectValidRounds(*random.dag, found->rounds);
+            EXPECT_EQ(found->cost, found->makespan);
+            EXPECT_EQ(roundComputeMakespan(found->rounds, cycles),
+                      found->makespan);
+
+            const auto oracle =
+                bruteForceSchedule(*random.dag, cycles, engines);
+            EXPECT_EQ(found->makespan, oracle.optimalMakespan);
+
+            const auto cmp = assertNotWorseThanBruteForce(
+                *random.dag, cycles, engines, found->rounds);
+            EXPECT_TRUE(cmp.isOptimal());
+            EXPECT_EQ(cmp.slackCycles(), 0u);
+        }
+    }
+    // The sweep must not go vacuous if the generator drifts.
+    EXPECT_GE(tested, 10u);
+}
+
+// The same equality holds under the real cost model's atom cycles (the
+// planner's production configuration), not just synthetic costs.
+TEST(DttSearch, MatchesBruteForceUnderRealCostModel)
+{
+    const auto system = smallSystem();
+    std::size_t tested = 0;
+    for (std::uint64_t seed = 0; seed < 120 && tested < 8; ++seed) {
+        const auto random = ad::testing::randomAtomicDag(seed);
+        if (random.dag->size() > 12)
+            continue;
+        ++tested;
+        SCOPED_TRACE(testing::Message() << "seed=" << seed);
+        const auto cycles = modelCycles(*random.dag, system);
+        DttOptions options;
+        options.engines = system.engines();
+        const auto found = dttSearch(*random.dag, cycles, options);
+        ASSERT_TRUE(found.has_value());
+        const auto cmp = assertNotWorseThanBruteForce(
+            *random.dag, cycles, system.engines(), found->rounds);
+        EXPECT_TRUE(cmp.isOptimal());
+    }
+    EXPECT_GE(tested, 4u);
+}
+
+// Heuristic schedules must never *beat* the oracle (that would mean
+// the oracle and scheduler disagree), and the helper reports their
+// slack faithfully.
+TEST(DttSearch, AssertNotWorseAcceptsHeuristicSlack)
+{
+    // First seed whose DAG fits the oracle.
+    std::uint64_t seed = 0;
+    auto random = ad::testing::randomAtomicDag(seed);
+    while (random.dag->size() > 12) {
+        ASSERT_LT(seed, 200u) << "no oracle-tractable seed found";
+        random = ad::testing::randomAtomicDag(++seed);
+    }
+    const auto cycles = syntheticCycles(random.dag->size(), seed);
+    // Worst feasible schedule: one atom per round, dependency order.
+    RoundList serial;
+    for (std::size_t a = 0; a < random.dag->size(); ++a)
+        serial.push_back({static_cast<AtomId>(a)});
+    const auto cmp = assertNotWorseThanBruteForce(
+        *random.dag, cycles, 4, serial);
+    Cycles sum = 0;
+    for (const Cycles c : cycles)
+        sum += c;
+    EXPECT_EQ(cmp.makespan, sum);
+    EXPECT_GE(cmp.makespan, cmp.optimalMakespan);
+    EXPECT_EQ(cmp.slackCycles(),
+              cmp.makespan - cmp.optimalMakespan);
+}
+
+// On the tiny zoo nets the full DttPlanner must (a) produce an exact
+// Dtt-mode schedule, (b) never exceed AD's model makespan on the
+// shared DAG, and (c) never exceed any baseline's simulated cycles.
+TEST(DttPlanner, NeverWorseThanAnyStrategyOnTinyZooNets)
+{
+    const auto system = smallSystem();
+    for (const std::string net :
+         {"tiny_linear", "tiny_residual", "tiny_branchy"}) {
+        SCOPED_TRACE(net);
+        const auto graph = ad::models::buildByName(net);
+
+        const auto dtt =
+            ad::baselines::makePlanner("DTT", system, 1)->plan(graph);
+        ASSERT_TRUE(dtt.dag);
+        EXPECT_EQ(dtt.schedule.mode, ad::core::SchedMode::Dtt)
+            << "search fell back — tiny nets must stay tractable";
+        EXPECT_TRUE(
+            ad::core::scheduleIsValid(*dtt.dag, dtt.schedule,
+                                      system.engines()));
+
+        const auto ad_plan =
+            ad::baselines::makePlanner("AD", system, 1)->plan(graph);
+        const auto cycles = modelCycles(*dtt.dag, system);
+        EXPECT_LE(scheduleMakespan(dtt.schedule, cycles),
+                  scheduleMakespan(ad_plan.schedule,
+                                   modelCycles(*ad_plan.dag, system)));
+
+        for (const std::string other : {"LS", "Rammer", "IL-Pipe"}) {
+            SCOPED_TRACE(other);
+            const auto baseline =
+                ad::baselines::makePlanner(other, system, 1)
+                    ->plan(graph);
+            EXPECT_LE(dtt.report.totalCycles,
+                      baseline.report.totalCycles);
+        }
+    }
+}
+
+// Bit-identical plans for any worker-thread count: report, schedule,
+// and search metrics all agree between 1 and 4 threads.
+TEST(DttPlanner, BitIdenticalAcrossThreadCounts)
+{
+    const auto system = smallSystem();
+    const auto graph = ad::models::buildByName("tiny_residual");
+    const auto plan_once = [&] {
+        ad::obs::MetricsRegistry metrics;
+        ad::obs::Instrumentation ins{nullptr, &metrics};
+        const ad::baselines::DttPlanner planner(system);
+        auto plan = planner.plan(graph, &ins);
+        return std::make_pair(
+            std::move(plan),
+            metrics.counter("dtt.discovered_states").value());
+    };
+    auto [one, states_one] = withThreads(1, plan_once);
+    auto [four, states_four] = withThreads(4, plan_once);
+
+    EXPECT_TRUE(one.report.bitIdentical(four.report));
+    EXPECT_EQ(states_one, states_four);
+    ASSERT_EQ(one.schedule.rounds.size(), four.schedule.rounds.size());
+    for (std::size_t t = 0; t < one.schedule.rounds.size(); ++t) {
+        const auto &a = one.schedule.rounds[t].placements;
+        const auto &b = four.schedule.rounds[t].placements;
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].atom, b[i].atom);
+            EXPECT_EQ(a[i].engine, b[i].engine);
+        }
+    }
+}
+
+// When a tractability gate trips, the planner keeps the AD plan
+// unchanged and reports the downgrade in dtt.exact.
+TEST(DttPlanner, FallsBackToAdPlanWhenGatesTrip)
+{
+    const auto system = smallSystem();
+    const auto graph = ad::models::buildByName("tiny_linear");
+
+    ad::core::DttOptions search;
+    search.maxAtoms = 4; // tiny_linear's DAG is larger — always trips
+    const ad::baselines::DttPlanner planner(system, {}, search);
+    ad::obs::MetricsRegistry metrics;
+    ad::obs::Instrumentation ins{nullptr, &metrics};
+    const auto plan = planner.plan(graph, &ins);
+
+    EXPECT_EQ(metrics.gauge("dtt.exact").value(), 0.0);
+    ASSERT_TRUE(plan.dag);
+    EXPECT_NE(plan.schedule.mode, ad::core::SchedMode::Dtt);
+
+    const ad::core::Orchestrator base(system);
+    const auto ad_plan = base.plan(graph);
+    EXPECT_TRUE(plan.report.bitIdentical(ad_plan.report));
+}
+
+// Tractability gates return nullopt (never a wrong answer, never a
+// crash): the atom-count gate and the expansion-budget gate.
+TEST(DttSearch, GatesReturnNulloptNotWrongAnswers)
+{
+    const auto random = ad::testing::randomAtomicDag(1);
+    const auto cycles = syntheticCycles(random.dag->size(), 1);
+
+    DttOptions tiny_atoms;
+    tiny_atoms.engines = 4;
+    tiny_atoms.maxAtoms = 1;
+    EXPECT_FALSE(
+        dttSearch(*random.dag, cycles, tiny_atoms).has_value());
+
+    if (random.dag->size() >= 3) {
+        DttOptions tiny_budget;
+        tiny_budget.engines = 1;
+        tiny_budget.maxExpandedStates = 1;
+        EXPECT_FALSE(
+            dttSearch(*random.dag, cycles, tiny_budget).has_value());
+    }
+}
+
+// The canonical state key is the explicit little-endian FNV-1a of the
+// (executed, frontier) pair: order-sensitive, collision-distinct on
+// swapped operands, and pinned to the project hash.
+TEST(DttSearch, StateKeyIsCanonicalFnv)
+{
+    const std::uint64_t executed = 0x0123456789ABCDEFull;
+    const std::uint64_t frontier = 0x00FF00FF00FF00FFull;
+
+    char buf[16];
+    for (int i = 0; i < 8; ++i) {
+        buf[i] = static_cast<char>((executed >> (8 * i)) & 0xFF);
+        buf[8 + i] = static_cast<char>((frontier >> (8 * i)) & 0xFF);
+    }
+    EXPECT_EQ(dttStateKey(executed, frontier),
+              ad::core::fnv1a64(std::string_view(buf, sizeof(buf))));
+
+    EXPECT_NE(dttStateKey(executed, frontier),
+              dttStateKey(frontier, executed));
+    EXPECT_EQ(dttStateKey(executed, frontier),
+              dttStateKey(executed, frontier));
+    EXPECT_NE(dttStateKey(executed, 0), dttStateKey(0, executed));
+}
+
+// The commAware variant charges communication into the objective:
+// cost >= compute makespan, rounds stay valid, and two runs agree.
+TEST(DttSearch, CommAwareChargesCommunication)
+{
+    std::size_t tested = 0;
+    for (std::uint64_t seed = 0; seed < 120 && tested < 4; ++seed) {
+        const auto random = ad::testing::randomAtomicDag(seed);
+        if (random.dag->size() > 12)
+            continue;
+        ++tested;
+        SCOPED_TRACE(testing::Message() << "seed=" << seed);
+        const auto cycles =
+            syntheticCycles(random.dag->size(), seed);
+        DttOptions options;
+        options.engines = 2;
+        options.commAware = true;
+        const auto a = dttSearch(*random.dag, cycles, options);
+        ASSERT_TRUE(a.has_value());
+        expectValidRounds(*random.dag, a->rounds);
+        EXPECT_GE(a->cost, a->makespan);
+        const auto b = dttSearch(*random.dag, cycles, options);
+        ASSERT_TRUE(b.has_value());
+        EXPECT_EQ(a->cost, b->cost);
+        EXPECT_EQ(a->rounds, b->rounds);
+        EXPECT_EQ(a->goalStateKey, b->goalStateKey);
+    }
+    EXPECT_GE(tested, 2u);
+}
+
+// An empty-DAG search is the trivial plan, not a crash.
+TEST(DttSearch, HandlesDegenerateInputs)
+{
+    // 64+ atom masks are rejected, not truncated.
+    const auto big = ad::testing::randomAtomicDag(7);
+    std::vector<Cycles> cycles(big.dag->size(), 10);
+    DttOptions options;
+    options.engines = 4;
+    options.maxAtoms = 1'000; // gate wide open; the 63-bit cap rules
+    if (big.dag->size() > 63)
+        EXPECT_FALSE(dttSearch(*big.dag, cycles, options).has_value());
+    else
+        EXPECT_TRUE(dttSearch(*big.dag, cycles, options).has_value());
+}
+
+} // namespace

@@ -17,12 +17,17 @@
 #include <gtest/gtest.h>
 
 #include "baselines/cnn_partition.hh"
+#include "baselines/dtt.hh"
 #include "baselines/il_pipe.hh"
 #include "baselines/layer_sequential.hh"
 #include "baselines/rammer.hh"
+#include "check/brute_force.hh"
 #include "check/conservation.hh"
 #include "core/orchestrator.hh"
 #include "core/validation.hh"
+#include "engine/cached_cost_model.hh"
+#include "serve/plan_cache.hh"
+#include "serve/plan_store.hh"
 #include "serve/request_stream.hh"
 #include "serve/serve_loop.hh"
 #include "sim/system.hh"
@@ -171,6 +176,96 @@ TEST(Fuzz, AtomicDataflowIsValidAuditedAndDeterministic)
         expectCleanExecution(*one.dag, one.schedule, system,
                              one.report);
     }
+}
+
+TEST(Fuzz, DttIsValidAuditedOptimalAndPersistsBitIdentical)
+{
+    const auto system = smallSystem();
+    std::size_t exact_seeds = 0;
+    std::size_t oracle_seeds = 0;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed);
+        const auto graph = ad::testing::randomGraph(seed);
+        ad::core::OrchestratorOptions options;
+        options.batch = 1 + static_cast<int>(seed % 2);
+        // SA front half on a slice of the seeds (it dominates
+        // runtime); even partition elsewhere still drives the
+        // identical search/mapping/simulation path.
+        options.atomGen = seed % 10 == 0
+                              ? ad::core::AtomGenMode::Sa
+                              : ad::core::AtomGenMode::EvenPartition;
+        const ad::baselines::DttPlanner planner(system, options);
+
+        const auto one =
+            withThreads(1, [&] { return planner.plan(graph); });
+        const auto four =
+            withThreads(4, [&] { return planner.plan(graph); });
+        EXPECT_TRUE(one.report.bitIdentical(four.report))
+            << "DTT report differs across threads";
+        EXPECT_EQ(one.schedule.mode, four.schedule.mode);
+        EXPECT_EQ(one.schedule.rounds.size(),
+                  four.schedule.rounds.size());
+
+        expectCleanExecution(*one.dag, one.schedule, system,
+                             one.report);
+
+        // Wherever the exhaustive oracle can reach, an exact DTT
+        // schedule must attain its optimum — equality, not a bound.
+        if (one.schedule.mode == ad::core::SchedMode::Dtt)
+            ++exact_seeds;
+        if (one.schedule.mode == ad::core::SchedMode::Dtt &&
+            one.dag->size() <= 12) {
+            ++oracle_seeds;
+            const ad::engine::CachedCostModel model(system.engine,
+                                                    system.dataflow);
+            std::vector<ad::Cycles> cycles(one.dag->size());
+            for (std::size_t i = 0; i < one.dag->size(); ++i) {
+                cycles[i] = model.cycles(one.dag->workload(
+                    static_cast<ad::core::AtomId>(i)));
+            }
+            const auto cmp = ad::check::assertNotWorseThanBruteForce(
+                *one.dag, cycles, system.engines(), one.schedule);
+            EXPECT_TRUE(cmp.isOptimal())
+                << "DTT makespan " << cmp.makespan
+                << " missed the optimum " << cmp.optimalMakespan;
+        }
+
+        // Cache-key + store round-trip on a slice of the seeds (disk
+        // I/O): a persisted DTT plan must hydrate bitIdentical, as a
+        // restarted server would see it.
+        if (seed % 10 == 0) {
+            const auto key = ad::serve::makePlanKey("DTT", graph,
+                                                    system, options);
+            ad::serve::PlanStore store(
+                testing::TempDir() + "/fuzz_dtt_store");
+            ASSERT_TRUE(store.put(key, one));
+            const auto loaded = store.load(key);
+            ASSERT_TRUE(loaded.has_value());
+            EXPECT_TRUE(loaded->report.bitIdentical(one.report));
+            EXPECT_EQ(loaded->schedule.mode, one.schedule.mode);
+            ASSERT_EQ(loaded->schedule.rounds.size(),
+                      one.schedule.rounds.size());
+            for (std::size_t t = 0; t < one.schedule.rounds.size();
+                 ++t) {
+                const auto &a = one.schedule.rounds[t].placements;
+                const auto &b = loaded->schedule.rounds[t].placements;
+                ASSERT_EQ(a.size(), b.size());
+                for (std::size_t i = 0; i < a.size(); ++i) {
+                    EXPECT_EQ(a[i].atom, b[i].atom);
+                    EXPECT_EQ(a[i].engine, b[i].engine);
+                }
+            }
+            ASSERT_TRUE(loaded->dag);
+            EXPECT_EQ(loaded->dag->size(), one.dag->size());
+        }
+    }
+    // Floors so the test cannot silently hollow out: if a gate change
+    // ever pushes most fuzz DAGs into the AD fallback, fail loudly
+    // instead of passing a vacuous sweep (33/8 at the time of writing).
+    EXPECT_GE(exact_seeds, 25u)
+        << "too few seeds exercised the exact DTT search";
+    EXPECT_GE(oracle_seeds, 5u)
+        << "too few seeds reached the brute-force oracle";
 }
 
 TEST(Fuzz, ServedTracesHoldInvariantsAndAuditClean)

@@ -16,7 +16,9 @@
 
 #include <gtest/gtest.h>
 
+#include "baselines/dtt.hh"
 #include "core/orchestrator.hh"
+#include "core/schedule.hh"
 #include "graph/graph.hh"
 #include "obs/instrumentation.hh"
 #include "obs/trace.hh"
@@ -76,8 +78,32 @@ renderArtifacts()
     return {trace.perfettoJson(), trace.timelineCsv()};
 }
 
+/** Same pipeline through the optimal DTT planner (`adctl trace
+ * --strategy dtt`): the search is exact on this net, so the golden
+ * files also pin the optimal Round structure — an event-sequence drift
+ * here means either the trace format or the search itself moved. */
+Artifacts
+renderDttArtifacts()
+{
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+
+    ad::obs::TraceRecorder trace;
+    ad::obs::Instrumentation ins{&trace, nullptr};
+    const ad::baselines::DttPlanner planner(system, options);
+    const auto plan = planner.plan(tinyTwoLayer(), &ins);
+    EXPECT_EQ(plan.schedule.mode, ad::core::SchedMode::Dtt)
+        << "the golden net must stay inside the DTT tractability gates";
+    return {trace.perfettoJson(), trace.timelineCsv()};
+}
+
 const char *kJsonGolden = AD_GOLDEN_DIR "/tiny2_trace.json";
 const char *kCsvGolden = AD_GOLDEN_DIR "/tiny2_timeline.csv";
+const char *kDttJsonGolden = AD_GOLDEN_DIR "/tiny2_dtt_trace.json";
+const char *kDttCsvGolden = AD_GOLDEN_DIR "/tiny2_dtt_timeline.csv";
 
 TEST(GoldenTrace, PerfettoJsonAndTimelineCsvMatchGoldenFiles)
 {
@@ -99,12 +125,42 @@ TEST(GoldenTrace, PerfettoJsonAndTimelineCsvMatchGoldenFiles)
         << "; regenerate with scripts/regen_golden.sh if intentional";
 }
 
+TEST(GoldenTrace, DttPerfettoJsonAndTimelineCsvMatchGoldenFiles)
+{
+    const Artifacts got = renderDttArtifacts();
+    ASSERT_FALSE(got.json.empty());
+    ASSERT_FALSE(got.csv.empty());
+
+    if (std::getenv("AD_REGEN_GOLDEN") != nullptr) {
+        writeFile(kDttJsonGolden, got.json);
+        writeFile(kDttCsvGolden, got.csv);
+        GTEST_SKIP() << "regenerated golden files under " AD_GOLDEN_DIR;
+    }
+
+    EXPECT_EQ(got.json, readFileOrEmpty(kDttJsonGolden))
+        << "DTT Perfetto JSON drifted from " << kDttJsonGolden
+        << "; regenerate with scripts/regen_golden.sh if intentional";
+    EXPECT_EQ(got.csv, readFileOrEmpty(kDttCsvGolden))
+        << "DTT CSV timeline drifted from " << kDttCsvGolden
+        << "; regenerate with scripts/regen_golden.sh if intentional";
+}
+
 TEST(GoldenTrace, ArtifactsAreByteIdenticalAcrossThreadCounts)
 {
     ad::util::ThreadPool::setGlobalThreads(1);
     const Artifacts one = renderArtifacts();
     ad::util::ThreadPool::setGlobalThreads(4);
     const Artifacts four = renderArtifacts();
+    EXPECT_EQ(one.json, four.json);
+    EXPECT_EQ(one.csv, four.csv);
+}
+
+TEST(GoldenTrace, DttArtifactsAreByteIdenticalAcrossThreadCounts)
+{
+    ad::util::ThreadPool::setGlobalThreads(1);
+    const Artifacts one = renderDttArtifacts();
+    ad::util::ThreadPool::setGlobalThreads(4);
+    const Artifacts four = renderDttArtifacts();
     EXPECT_EQ(one.json, four.json);
     EXPECT_EQ(one.csv, four.csv);
 }
