@@ -10,8 +10,9 @@
 #   4. adctl serve on the zoo mix, with stdout checked byte-identical
 #      between --threads 1 and --threads 4 (the serving determinism
 #      contract, DESIGN.md Sec. 12);
-#   5. the differential-oracle and fuzz suites rebuilt and re-run under
-#      AddressSanitizer and UndefinedBehaviorSanitizer;
+#   5. the sanitizer matrix cell (scripts/check_asan.sh): one combined
+#      ASan+UBSan build running the unit, serve, fuzz and golden suites;
+#      skips gracefully when the toolchain lacks a sanitizer runtime;
 #   6. the static-analysis gate (DESIGN.md Sec. 10): hardened -Werror
 #      build, the adlint determinism linter, and clang-tidy when
 #      available (scripts/check_static.sh);
@@ -122,20 +123,13 @@ grep -q "^serve.store.corrupt 0$" build/serve_warm_t1.txt
 grep -q "^serve.store.hits [1-9]" build/serve_warm_t1.txt
 echo "warm restart OK"
 
-# The check/fuzz suites exercise the new-code surface; sanitizers catch
-# what asserts cannot (OOB in the counting loops, UB in the bitmask
-# enumeration, leaks in the report plumbing).
-SAN_FILTER="Reference|BruteForce|Conservation|Validation|Fuzz|TableOne"
-for san in address undefined; do
-    echo "== check/fuzz suites under -fsanitize=$san =="
-    cmake -B "build-$san" -S . \
-        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-        -DAD_SANITIZE="$san" \
-        -DAD_BUILD_BENCH=OFF -DAD_BUILD_EXAMPLES=OFF
-    cmake --build "build-$san" -j"$JOBS" \
-        --target test_check test_validation test_table1_golden test_fuzz
-    ctest --test-dir "build-$san" --output-on-failure -R "$SAN_FILTER"
-done
+# Sanitizers catch what asserts cannot (OOB in the counting loops, UB
+# in the bitmask enumeration, leaks in the report plumbing). One
+# combined ASan+UBSan build replaces the former separate address/
+# undefined builds; the widened label set covers the differential-
+# oracle, fuzz and golden suites on top of the CI cell's unit+serve.
+echo "== sanitizer matrix: ASan+UBSan over unit/serve/fuzz/golden =="
+scripts/check_asan.sh build-asan "$JOBS" 'unit|serve|fuzz|golden'
 
 echo "== static-analysis gate =="
 scripts/check_static.sh build-static "$JOBS"

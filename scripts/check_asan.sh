@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Build the test suite with AddressSanitizer + UndefinedBehaviorSanitizer
+# in one instrumented build (the two compose; TSan is the one that must
+# run alone — scripts/check_tsan.sh) and run the labelled test suites.
+# Heap corruption, OOB indexing, leaks, and UB (signed overflow, bad
+# shifts, misaligned loads) all abort the run.
+#
+# If the available compiler cannot link -fsanitize=address,undefined
+# (minimal containers sometimes lack the runtime libraries), the gate
+# SKIPS with exit 0 rather than failing: the sanitizer matrix is an
+# additional net, not a portability requirement.
+#
+# Usage: scripts/check_asan.sh [build-dir] [jobs] [ctest-label-regex]
+#   build-dir          defaults to build-asan
+#   jobs               parallel build jobs, defaults to nproc
+#   ctest-label-regex  defaults to 'unit|serve' (the CI matrix cell);
+#                      check_all.sh widens it to include fuzz + golden
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build-asan}"
+JOBS="${2:-$(nproc)}"
+LABELS="${3:-unit|serve}"
+
+# Probe: can this toolchain actually produce an ASan+UBSan binary?
+PROBE_DIR="$(mktemp -d)"
+trap 'rm -rf "$PROBE_DIR"' EXIT
+echo 'int main() { return 0; }' > "$PROBE_DIR/probe.cc"
+if ! "${CXX:-c++}" -fsanitize=address,undefined \
+        "$PROBE_DIR/probe.cc" -o "$PROBE_DIR/probe" >/dev/null 2>&1; then
+    echo "check_asan: SKIPPED — ${CXX:-c++} cannot link" \
+         "-fsanitize=address,undefined (no sanitizer runtime)"
+    exit 0
+fi
+
+echo "== ASan+UBSan build (-DAD_SANITIZE=asan+ubsan) =="
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DAD_SANITIZE=asan+ubsan \
+    -DAD_BUILD_BENCH=OFF -DAD_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$JOBS"
+
+# halt_on_error: a sanitizer report is a hard failure, not log noise.
+export ASAN_OPTIONS="halt_on_error=1 detect_leaks=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
+
+echo "== ctest -L '$LABELS' under ASan+UBSan =="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -L "$LABELS"
+
+echo "check_asan: no memory errors, leaks, or UB detected"

@@ -4,8 +4,10 @@
 #      everything with the curated warning set promoted to errors; under
 #      Clang this additionally runs -Werror=thread-safety against the
 #      annotations in src/util/thread_annotations.hh;
-#   2. adlint: build the determinism linter and run it over src/, tools/
-#      and bench/, then self-test it against tests/adlint_fixtures
+#   2. adlint: build the semantic-model linter and run it over src/,
+#      tools/, bench/ and tests/ against the checked-in suppression
+#      baseline (tools/adlint/baseline.json), smoke-check the JSON
+#      report, then self-test the linter against tests/adlint_fixtures
 #      (known-bad snippets MUST produce findings — a linter that passes
 #      them is broken);
 #   3. clang-tidy (when installed): the curated .clang-tidy profile over
@@ -62,9 +64,21 @@ echo "== layer 1: hardened build (-DAD_STATIC_ANALYSIS=ON) =="
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j"$JOBS"
 
-echo "== layer 2: adlint over src/ tools/ bench/ =="
+echo "== layer 2: adlint over src/ tools/ bench/ tests/ =="
 ADLINT="$BUILD_DIR/tools/adlint/adlint"
-"$ADLINT" src tools bench
+"$ADLINT" --baseline tools/adlint/baseline.json src tools bench tests
+
+echo "== layer 2a: adlint JSON report is well-formed =="
+JSON_OUT="$("$ADLINT" --format=json \
+    --baseline tools/adlint/baseline.json src tools bench tests)"
+for field in '"version": 1' '"tool": "adlint"' '"activeCount": 0'; do
+    if [[ "$JSON_OUT" != *"$field"* ]]; then
+        echo "check_static: FAIL — adlint --format=json output lacks" \
+             "$field" >&2
+        exit 1
+    fi
+done
+echo "adlint --format=json carries the report schema"
 
 echo "== layer 2b: adlint self-test on known-bad fixtures =="
 if "$ADLINT" tests/adlint_fixtures >/dev/null 2>&1; then
@@ -72,7 +86,18 @@ if "$ADLINT" tests/adlint_fixtures >/dev/null 2>&1; then
          "tests/adlint_fixtures; the linter has gone blind" >&2
     exit 1
 fi
-echo "adlint correctly rejects the fixture snippets"
+# adlint exits 1 on findings (that is the point here), so capture its
+# output with the status discarded rather than piping under pipefail.
+FIXTURE_OUT="$("$ADLINT" tests/adlint_fixtures 2>/dev/null || true)"
+for rule in layer-conformance integer-narrowing enum-switch-default \
+            raw-lock; do
+    if ! grep -q ": $rule:" <<<"$FIXTURE_OUT"; then
+        echo "check_static: FAIL — fixture run produced no $rule" \
+             "finding; that rule has gone blind" >&2
+        exit 1
+    fi
+done
+echo "adlint correctly rejects the fixture snippets (all rule families)"
 
 if [[ -n "$TIDY_BIN" ]]; then
     echo "== layer 3: $TIDY_BIN over src/core src/engine src/util =="

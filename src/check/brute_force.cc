@@ -59,8 +59,9 @@ class Enumerator
 
         Cycles best_cycles = kInfCycles;
         int best_rounds = std::numeric_limits<int>::max();
-        const std::uint32_t subsets = std::uint32_t{1}
-                                      << ready.size();
+        const std::uint32_t subsets =
+            std::uint32_t{1}
+            << static_cast<std::uint32_t>(ready.size());
         for (std::uint32_t pick = 1; pick < subsets; ++pick) {
             if (std::popcount(pick) > _engines)
                 continue;

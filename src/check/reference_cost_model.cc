@@ -42,8 +42,12 @@ ReferenceCostModel::countMacs(const AtomWorkload &atom) const
                         for (int kx = 0; kx < atom.window.kw; ++kx)
                             ++macs;
         break;
-      default:
-        break;
+      case OpType::Input:
+      case OpType::Pool:
+      case OpType::GlobalPool:
+      case OpType::Eltwise:
+      case OpType::Concat:
+        break; // no multiply-accumulates
     }
     return macs;
 }
@@ -88,8 +92,12 @@ ReferenceCostModel::countWeightBytes(const AtomWorkload &atom) const
                 for (int o = 0; o < atom.co; ++o)
                     bytes += static_cast<Bytes>(_config.bytesPerElem);
         break;
-      default:
-        break;
+      case OpType::Input:
+      case OpType::Pool:
+      case OpType::GlobalPool:
+      case OpType::Eltwise:
+      case OpType::Concat:
+        break; // no weights
     }
     return bytes;
 }
@@ -195,7 +203,9 @@ ReferenceCostModel::vectorSteadyCycles(const AtomWorkload &atom) const
       case OpType::Concat:
       case OpType::Input:
         break; // pure data movement, no vector-unit work
-      default:
+      case OpType::Conv:
+      case OpType::DepthwiseConv:
+      case OpType::FullyConnected:
         panic("vectorSteadyCycles called on MAC op");
     }
     return steady;

@@ -97,11 +97,17 @@ class AD_SCOPED_CAPABILITY ContentionLock
                    std::atomic<std::uint64_t> &contended) AD_ACQUIRE(mu)
         : _mu(mu)
     {
+        // This *is* an annotated RAII guard (AD_SCOPED_CAPABILITY); it
+        // manipulates the mutex directly to count contention, which
+        // util::MutexLock cannot observe.
+        // adlint: raw-lock-ok — uncontended fast path of the guard
         if (!_mu.try_lock()) {
             contended.fetch_add(1, std::memory_order_relaxed);
+            // adlint: raw-lock-ok — contended slow path of the guard
             _mu.lock();
         }
     }
+    // adlint: raw-lock-ok — release half of the annotated guard
     ~ContentionLock() AD_RELEASE() { _mu.unlock(); }
 
     ContentionLock(const ContentionLock &) = delete;

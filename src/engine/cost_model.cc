@@ -30,9 +30,14 @@ AtomWorkload::macs() const
         return out_elems * ci * window.kh * window.kw;
       case OpType::DepthwiseConv:
         return out_elems * window.kh * window.kw;
-      default:
+      case OpType::Input:
+      case OpType::Pool:
+      case OpType::GlobalPool:
+      case OpType::Eltwise:
+      case OpType::Concat:
         return 0;
     }
+    return 0;
 }
 
 Bytes
@@ -68,9 +73,14 @@ AtomWorkload::weightBytes(int bytes_per_elem) const
       case OpType::DepthwiseConv:
         return static_cast<Bytes>(window.kh) * window.kw * co *
                bytes_per_elem;
-      default:
+      case OpType::Input:
+      case OpType::Pool:
+      case OpType::GlobalPool:
+      case OpType::Eltwise:
+      case OpType::Concat:
         return 0;
     }
+    return 0;
 }
 
 CostModel::CostModel(const EngineConfig &config, DataflowKind kind)
@@ -156,7 +166,9 @@ CostModel::vectorCycles(const AtomWorkload &atom) const
         // Pure data movement; handled by the DMA/NoC, no compute.
         steady = 0;
         break;
-      default:
+      case OpType::Conv:
+      case OpType::DepthwiseConv:
+      case OpType::FullyConnected:
         panic("vectorCycles called on MAC op");
     }
     return steady + _config.configCycles;

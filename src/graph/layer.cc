@@ -10,9 +10,14 @@ isMacOp(OpType type)
       case OpType::DepthwiseConv:
       case OpType::FullyConnected:
         return true;
-      default:
+      case OpType::Input:
+      case OpType::Pool:
+      case OpType::GlobalPool:
+      case OpType::Eltwise:
+      case OpType::Concat:
         return false;
     }
+    return false;
 }
 
 bool
@@ -23,9 +28,14 @@ isVectorOp(OpType type)
       case OpType::GlobalPool:
       case OpType::Eltwise:
         return true;
-      default:
+      case OpType::Input:
+      case OpType::Conv:
+      case OpType::DepthwiseConv:
+      case OpType::FullyConnected:
+      case OpType::Concat:
         return false;
     }
+    return false;
 }
 
 const char *
@@ -62,9 +72,14 @@ Layer::macs() const
         return out_elems * in.c * window.kh * window.kw;
       case OpType::DepthwiseConv:
         return out_elems * window.kh * window.kw;
-      default:
+      case OpType::Input:
+      case OpType::Pool:
+      case OpType::GlobalPool:
+      case OpType::Eltwise:
+      case OpType::Concat:
         return 0;
     }
+    return 0;
 }
 
 std::int64_t
@@ -77,9 +92,14 @@ Layer::paramCount() const
                window.kw;
       case OpType::DepthwiseConv:
         return static_cast<std::int64_t>(out.c) * window.kh * window.kw;
-      default:
+      case OpType::Input:
+      case OpType::Pool:
+      case OpType::GlobalPool:
+      case OpType::Eltwise:
+      case OpType::Concat:
         return 0;
     }
+    return 0;
 }
 
 } // namespace ad::graph

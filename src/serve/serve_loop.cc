@@ -21,9 +21,10 @@ downgradeName(Downgrade d)
         return "none";
       case Downgrade::CachedFallback:
         return "cached-fallback";
-      default:
+      case Downgrade::FreshFallback:
         return "fresh-fallback";
     }
+    return "unknown";
 }
 
 bool

@@ -1,0 +1,19 @@
+// adlint fixture: default arm over a project enum. Never compiled.
+
+enum class FixtureMode { Fast, Exact, Hybrid };
+
+const char *
+fixtureModeName(FixtureMode m)
+{
+    switch (m) { // the default arm masks -Wswitch for FixtureMode
+      case FixtureMode::Fast:
+        return "fast";
+      case FixtureMode::Exact:
+        return "exact";
+      default:
+        return "hybrid";
+    }
+}
+
+// Expected findings:
+//   enum-switch-default  line 8

@@ -1,0 +1,25 @@
+// adlint fixture: integer-safety hazards. Never compiled.
+#include <cstdint>
+#include <vector>
+
+std::uint64_t accumulateCycles();
+
+void
+narrowingHazards(const std::vector<int> &xs)
+{
+    std::uint64_t total = accumulateCycles();
+    int narrowed = total; // silent truncation above 2^31
+
+    for (int i = 0; i < xs.size(); ++i) // counter wraps on large inputs
+        (void)xs[static_cast<std::size_t>(i)];
+
+    int lo = 3;
+    std::uint32_t hi = 4;
+    if (lo < hi) // lo converts to unsigned; negative lo compares huge
+        (void)narrowed;
+}
+
+// Expected findings:
+//   integer-narrowing  line 11  (64-bit expression into `int`)
+//   integer-narrowing  line 13  (`int` counter over a .size() extent)
+//   integer-narrowing  line 18  (signed/unsigned comparison)

@@ -1,0 +1,14 @@
+// adlint fixture: upward include. This file sits in a `core/` directory
+// (rank 3 in tools/adlint/layers.txt) and includes a `serve/` header
+// (rank 5) — an upward edge that breaks the module DAG. Never compiled.
+
+#include "serve/serve_loop.hh"
+#include "util/common.hh" // downward: fine
+
+void
+fixtureUpwardEdge()
+{
+}
+
+// Expected findings:
+//   layer-conformance  line 5

@@ -1,0 +1,13 @@
+// adlint fixture: downward includes only. This file sits in a `serve/`
+// directory (rank 5) and includes lower-ranked headers, which the layer
+// manifest allows. Must lint CLEAN. Never compiled.
+
+#include "core/scheduler.hh"
+#include "util/common.hh"
+
+void
+fixtureDownwardEdges()
+{
+}
+
+// Expected findings: none.

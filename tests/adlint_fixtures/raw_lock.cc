@@ -1,0 +1,17 @@
+// adlint fixture: raw mutex manipulation outside src/util. Never compiled.
+#include <mutex>
+
+std::mutex fixture_mu;
+
+void
+rawLockHazards()
+{
+    fixture_mu.lock(); // invisible to clang's thread-safety analysis
+    fixture_mu.unlock();
+    std::lock_guard<std::mutex> guard(fixture_mu); // unannotated guard
+}
+
+// Expected findings:
+//   raw-lock  line 9   (.lock())
+//   raw-lock  line 10  (.unlock())
+//   raw-lock  line 11  (std::lock_guard instead of util::MutexLock)

@@ -1,0 +1,40 @@
+// adlint fixture: known-good twins of the v2-rule hazards. Every
+// snippet here is the sanctioned spelling of something the bad fixtures
+// get flagged for. Must lint CLEAN. Never compiled.
+#include <cstdint>
+#include <vector>
+
+enum class FixtureMode { Fast, Exact, Hybrid };
+
+const char *
+fixtureModeName(FixtureMode m)
+{
+    switch (m) { // exhaustive: -Wswitch guards new enumerators
+      case FixtureMode::Fast:
+        return "fast";
+      case FixtureMode::Exact:
+        return "exact";
+      case FixtureMode::Hybrid:
+        return "hybrid";
+    }
+    return "unknown"; // shared fallback lives after the switch
+}
+
+std::uint64_t accumulateCycles();
+
+void
+sanctionedNarrowing(const std::vector<int> &xs)
+{
+    std::uint64_t total = accumulateCycles();
+    std::int64_t widened = total; // 64-bit target: no bits lost
+    // Bounded by the atom budget, far below 2^31.
+    int narrowed = static_cast<int>(total);
+
+    for (std::size_t i = 0; i < xs.size(); ++i) // counter spans extent
+        (void)xs[i];
+
+    (void)widened;
+    (void)narrowed;
+}
+
+// Expected findings: none.

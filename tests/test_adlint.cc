@@ -1,10 +1,13 @@
 /**
  * @file
  * Unit tests for the adlint rule engine (tools/adlint/rules.cc): each
- * determinism rule must fire on its target idiom, stay quiet on the
- * safe variants, and honor the justified-allowlist convention. The
- * on-disk twins of these snippets live in tests/adlint_fixtures/ and
- * are exercised through the CLI by scripts/check_static.sh.
+ * rule must fire on its target idiom, stay quiet on the safe variants,
+ * and honor the justified-allowlist convention. The semantic-model
+ * rules (layer-conformance, integer-narrowing, enum-switch-default,
+ * raw-lock) are exercised here alongside the v1 determinism rules, as
+ * are the suppression baseline and the JSON report writer. The on-disk
+ * twins of these snippets live in tests/adlint_fixtures/ and are
+ * exercised through the CLI by scripts/check_static.sh.
  */
 
 #include <gtest/gtest.h>
@@ -13,18 +16,33 @@
 #include <string>
 #include <vector>
 
+#include "baseline.hh"
 #include "rules.hh"
 
 namespace ad::lint {
 namespace {
 
-/** Lint one snippet, running both passes over it. */
+/** Lint one snippet at @p path, running both passes over it; an
+ * optional manifest text enables the layer-conformance rule. */
+std::vector<Finding>
+lintAt(const std::string &path, const std::string &code,
+       const std::string &manifest = "")
+{
+    ProjectModel project;
+    if (!manifest.empty()) {
+        std::string err;
+        project.layers = parseLayerManifest(manifest, &err);
+        EXPECT_TRUE(err.empty()) << err;
+    }
+    collectProjectFacts(code, project);
+    return lintContent(path, code, project);
+}
+
+/** Lint one snippet under a neutral path. */
 std::vector<Finding>
 lint(const std::string &code)
 {
-    std::vector<std::string> names;
-    collectUnorderedNames(code, names);
-    return lintContent("snippet.cc", code, names);
+    return lintAt("snippet.cc", code);
 }
 
 /** Findings for @p rule only, as their 1-based line numbers. */
@@ -43,7 +61,8 @@ TEST(AdlintRules, RuleSetIsStable)
     const auto names = ruleNames();
     for (const char *expected :
          {"unordered-iter", "raw-rand", "pointer-key", "hash-tiebreak",
-          "fp-parallel-reduce", "wall-clock",
+          "fp-parallel-reduce", "wall-clock", "layer-conformance",
+          "integer-narrowing", "enum-switch-default", "raw-lock",
           "allowlist-justification"}) {
         EXPECT_NE(std::find(names.begin(), names.end(), expected),
                   names.end())
@@ -77,12 +96,12 @@ TEST(AdlintRules, UnorderedNameCollectedFromHeaderText)
 {
     // The two-pass design: a member declared in one file (the header)
     // is recognized when iterated in another.
-    std::vector<std::string> names;
-    collectUnorderedNames("std::unordered_map<Key, long> _entries;",
-                          names);
+    ProjectModel project;
+    collectProjectFacts("std::unordered_map<Key, long> _entries;",
+                        project);
     const auto findings = lintContent(
         "user.cc", "void f() { for (auto &e : _entries) use(e); }",
-        names);
+        project);
     EXPECT_EQ(linesFor(findings, "unordered-iter"), std::vector<int>{1});
 }
 
@@ -246,15 +265,12 @@ TEST(AdlintRules, ObsQuarantineIsExemptFromWallClock)
 {
     const std::string code =
         "auto now() { return std::chrono::steady_clock::now(); }";
-    const std::vector<std::string> names;
-    EXPECT_TRUE(linesFor(lintContent("src/obs/clock.hh", code, names),
-                         "wall-clock")
+    EXPECT_TRUE(
+        linesFor(lintAt("src/obs/clock.hh", code), "wall-clock")
+            .empty());
+    EXPECT_TRUE(linesFor(lintAt("obs/clock.hh", code), "wall-clock")
                     .empty());
-    EXPECT_TRUE(linesFor(lintContent("obs/clock.hh", code, names),
-                         "wall-clock")
-                    .empty());
-    EXPECT_EQ(linesFor(lintContent("src/sim/system.cc", code, names),
-                       "wall-clock"),
+    EXPECT_EQ(linesFor(lintAt("src/sim/system.cc", code), "wall-clock"),
               std::vector<int>{1});
 }
 
@@ -268,6 +284,17 @@ const char *doc = "call rand() and iterate names.begin()";
     EXPECT_TRUE(findings.empty());
 }
 
+TEST(AdlintRules, RawStringLiteralsAreMasked)
+{
+    // A raw string holding hazardous-looking code (exactly what this
+    // test file itself does) must not desync the masker or fire rules.
+    const auto findings = lint(
+        "const char *snippet = R\"x(int a = rand(); \"quote\" "
+        "names.begin())x\";\n"
+        "int after = 0;\n");
+    EXPECT_TRUE(findings.empty());
+}
+
 TEST(AdlintRules, FindingsAreSortedByLine)
 {
     const auto findings = lint(R"(
@@ -276,6 +303,402 @@ int a() { return rand(); }
 )");
     ASSERT_EQ(findings.size(), 2u);
     EXPECT_LT(findings[0].line, findings[1].line);
+}
+
+// ---------------------------------------------------------------------
+// layer-conformance
+
+constexpr const char *kManifest = R"(# test manifest
+util  0
+core  3
+sim   3
+serve 5
+)";
+
+TEST(AdlintLayers, UpwardIncludeIsFlagged)
+{
+    const auto findings = lintAt("src/core/scheduler.cc", R"(
+#include "serve/serve_loop.hh"
+#include "util/common.hh"
+)",
+                                 kManifest);
+    EXPECT_EQ(linesFor(findings, "layer-conformance"),
+              std::vector<int>{2});
+}
+
+TEST(AdlintLayers, DownwardAndSameRankIncludesAreClean)
+{
+    const auto findings = lintAt("src/serve/serve_loop.cc", R"(
+#include "core/scheduler.hh"
+#include "util/common.hh"
+)",
+                                 kManifest);
+    EXPECT_TRUE(linesFor(findings, "layer-conformance").empty());
+    // core and sim share a rank: includes in both directions are legal.
+    const auto same = lintAt("src/core/orchestrator.cc",
+                             "#include \"sim/system.hh\"\n", kManifest);
+    EXPECT_TRUE(linesFor(same, "layer-conformance").empty());
+}
+
+TEST(AdlintLayers, FilesOutsideTheManifestAreExempt)
+{
+    // tools/ is not a declared module; system includes never count.
+    const auto findings = lintAt("tools/adctl.cc", R"(
+#include "serve/serve_loop.hh"
+#include <vector>
+)",
+                                 kManifest);
+    EXPECT_TRUE(linesFor(findings, "layer-conformance").empty());
+}
+
+TEST(AdlintLayers, ManifestParsingRejectsMalformedLines)
+{
+    std::string err;
+    const LayerManifest good = parseLayerManifest(kManifest, &err);
+    EXPECT_TRUE(err.empty());
+    EXPECT_EQ(good.rankOf("core"), 3);
+    EXPECT_EQ(good.rankOf("nonexistent"), -1);
+
+    const LayerManifest bad =
+        parseLayerManifest("core three\n", &err);
+    EXPECT_TRUE(bad.empty());
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(AdlintLayers, ModuleOfPathFindsLastDeclaredComponent)
+{
+    std::string err;
+    const LayerManifest manifest = parseLayerManifest(kManifest, &err);
+    EXPECT_EQ(moduleOfPath("src/core/mapper.cc", manifest), "core");
+    EXPECT_EQ(moduleOfPath("tests/adlint_fixtures/layering/core/x.cc",
+                           manifest),
+              "core");
+    EXPECT_EQ(moduleOfPath("tools/adctl.cc", manifest), "");
+    // The filename never names a module.
+    EXPECT_EQ(moduleOfPath("core", manifest), "");
+}
+
+// ---------------------------------------------------------------------
+// enum-switch-default
+
+TEST(AdlintEnums, DefaultArmOverProjectEnumIsFlagged)
+{
+    const auto findings = lint(R"(
+enum class Mode { Fast, Exact, Hybrid };
+const char *name(Mode m) {
+    switch (m) {
+      case Mode::Fast:
+        return "fast";
+      case Mode::Exact:
+        return "exact";
+      default:
+        return "hybrid";
+    }
+}
+)");
+    EXPECT_EQ(linesFor(findings, "enum-switch-default"),
+              std::vector<int>{4});
+}
+
+TEST(AdlintEnums, ExhaustiveSwitchIsClean)
+{
+    const auto findings = lint(R"(
+enum class Mode { Fast, Exact };
+const char *name(Mode m) {
+    switch (m) {
+      case Mode::Fast:
+        return "fast";
+      case Mode::Exact:
+        return "exact";
+    }
+    return "unknown";
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "enum-switch-default").empty());
+}
+
+TEST(AdlintEnums, ForeignEnumSwitchMayKeepItsDefault)
+{
+    // std::errc is not a project enum: a default arm there is fine.
+    const auto findings = lint(R"(
+int classify(std::errc e) {
+    switch (e) {
+      case std::errc::timed_out:
+        return 1;
+      default:
+        return 0;
+    }
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "enum-switch-default").empty());
+}
+
+TEST(AdlintEnums, EnumDefinedInHeaderIsRecognizedAcrossFiles)
+{
+    ProjectModel project;
+    collectProjectFacts("enum class SchedMode { Greedy, Dp, Dtt };",
+                        project);
+    const auto findings = lintContent("core/schedule.cc", R"(
+const char *schedModeName(SchedMode m) {
+    switch (m) {
+      case SchedMode::Greedy:
+        return "greedy";
+      default:
+        return "dp";
+    }
+}
+)",
+                                      project);
+    EXPECT_EQ(linesFor(findings, "enum-switch-default"),
+              std::vector<int>{3});
+}
+
+// ---------------------------------------------------------------------
+// integer-narrowing
+
+TEST(AdlintIntegers, ImplicitNarrowingAssignmentIsFlagged)
+{
+    const auto findings = lint(R"(
+void f() {
+    std::uint64_t total = accumulate();
+    int narrowed = total;
+    use(narrowed);
+}
+)");
+    EXPECT_EQ(linesFor(findings, "integer-narrowing"),
+              std::vector<int>{4});
+}
+
+TEST(AdlintIntegers, ExplicitStaticCastIsClean)
+{
+    const auto findings = lint(R"(
+void f() {
+    std::uint64_t total = accumulate();
+    // Bounded by maxAtoms, which is far below 2^31.
+    int narrowed = static_cast<int>(total);
+    use(narrowed);
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "integer-narrowing").empty());
+}
+
+TEST(AdlintIntegers, CycleTypedExpressionsAreRecognized)
+{
+    const auto findings = lint(R"(
+void f(Cycles budget) {
+    int remaining = budget * 2;
+    use(remaining);
+}
+)");
+    EXPECT_EQ(linesFor(findings, "integer-narrowing"),
+              std::vector<int>{3});
+}
+
+TEST(AdlintIntegers, NarrowLoopCounterOver64BitExtentIsFlagged)
+{
+    const auto findings = lint(R"(
+void f(const std::vector<int> &xs) {
+    for (int i = 0; i < xs.size(); ++i)
+        use(xs[i]);
+}
+)");
+    EXPECT_EQ(linesFor(findings, "integer-narrowing"),
+              std::vector<int>{3});
+}
+
+TEST(AdlintIntegers, SizeTypedCounterIsClean)
+{
+    const auto findings = lint(R"(
+void f(const std::vector<int> &xs) {
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        use(xs[i]);
+    for (int k = 0; k < 100; ++k)
+        use(k);
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "integer-narrowing").empty());
+}
+
+TEST(AdlintIntegers, SignedUnsignedComparisonIsFlagged)
+{
+    const auto findings = lint(R"(
+void f() {
+    int lo = threshold();
+    std::uint32_t hi = limit();
+    if (lo < hi)
+        use(lo);
+}
+)");
+    EXPECT_EQ(linesFor(findings, "integer-narrowing"),
+              std::vector<int>{5});
+}
+
+TEST(AdlintIntegers, MemberAccessAndCallResultsDoNotTaint)
+{
+    // `opts.count` is a member of unknown type and `levelOf(key)` is a
+    // call with an unknown return type: neither may count as a 64-bit
+    // source merely because same-named/64-bit identifiers exist.
+    const auto findings = lint(R"(
+void f(const Options &opts) {
+    std::uint64_t count = big();
+    std::uint64_t key = keyOf();
+    int a = opts.count;
+    int b = levelOf(key);
+    use(a, b, count);
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "integer-narrowing").empty());
+}
+
+TEST(AdlintIntegers, AmbiguouslyDeclaredNamesStaySilent)
+{
+    // Scope-flat model: `n` is size_t in one function and int in
+    // another, so its width is unknowable and must not fire.
+    const auto findings = lint(R"(
+void f(std::size_t n) { use(n); }
+void g(int n) {
+    int half = n / 2;
+    use(half);
+}
+)");
+    EXPECT_TRUE(linesFor(findings, "integer-narrowing").empty());
+}
+
+// ---------------------------------------------------------------------
+// raw-lock
+
+TEST(AdlintLocks, DirectLockCallsAreFlagged)
+{
+    const auto findings = lint(R"(
+std::mutex mu;
+void f() {
+    mu.lock();
+    work();
+    mu.unlock();
+}
+)");
+    EXPECT_EQ(linesFor(findings, "raw-lock"), (std::vector<int>{4, 6}));
+}
+
+TEST(AdlintLocks, UnannotatedStdGuardsAreFlagged)
+{
+    const auto findings = lint(R"(
+void f(std::mutex &mu) {
+    std::lock_guard<std::mutex> g(mu);
+    work();
+}
+)");
+    EXPECT_EQ(linesFor(findings, "raw-lock"), std::vector<int>{3});
+}
+
+TEST(AdlintLocks, UtilQuarantineIsExempt)
+{
+    const std::string code = "void f(M &m) { m.lock(); m.unlock(); }";
+    EXPECT_TRUE(
+        linesFor(lintAt("src/util/mutex.hh", code), "raw-lock").empty());
+    EXPECT_EQ(linesFor(lintAt("src/core/scheduler.cc", code), "raw-lock")
+                  .size(),
+              2u);
+}
+
+TEST(AdlintLocks, JustifiedAllowlistSuppresses)
+{
+    const auto findings = lint(R"(
+void f(std::mutex &mu) {
+    // adlint: raw-lock-ok — guard implementation detail under test
+    mu.lock();
+    mu.unlock(); // adlint: raw-lock-ok — see above, release half
+}
+)");
+    EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------
+// baseline + JSON output
+
+TEST(AdlintBaseline, RoundTripThroughWriterAndParser)
+{
+    const std::vector<Finding> findings = {
+        {"src/a.cc", 10, "raw-lock", "msg"},
+        {"src/b.cc", 20, "integer-narrowing", "msg"},
+    };
+    const std::string text = writeBaseline(findings);
+    std::string err;
+    Baseline parsed = parseBaseline(text, &err);
+    EXPECT_TRUE(err.empty()) << err;
+    ASSERT_EQ(parsed.suppressions.size(), 2u);
+    EXPECT_TRUE(parsed.matches(findings[0]));
+    EXPECT_TRUE(parsed.matches(findings[1]));
+    // A different rule in the same file is NOT suppressed.
+    EXPECT_FALSE(
+        parsed.matches({"src/a.cc", 10, "enum-switch-default", "m"}));
+    EXPECT_TRUE(parsed.staleEntries().empty());
+}
+
+TEST(AdlintBaseline, StaleEntriesAreDetected)
+{
+    std::string err;
+    Baseline baseline = parseBaseline(R"({
+  "version": 1,
+  "suppressions": [
+    {"file": "src/a.cc", "rule": "raw-lock", "line": 10},
+    {"file": "src/gone.cc", "rule": "raw-lock", "line": 5}
+  ]
+})",
+                                      &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(baseline.matches({"src/a.cc", 10, "raw-lock", "m"}));
+    const auto stale = baseline.staleEntries();
+    ASSERT_EQ(stale.size(), 1u);
+    EXPECT_EQ(stale[0].file, "src/gone.cc");
+}
+
+TEST(AdlintBaseline, NonPositiveLineMatchesAnyLine)
+{
+    std::string err;
+    Baseline baseline = parseBaseline(R"({
+  "version": 1,
+  "suppressions": [{"file": "src/a.cc", "rule": "raw-lock", "line": 0}]
+})",
+                                      &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(baseline.matches({"src/a.cc", 7, "raw-lock", "m"}));
+    EXPECT_TRUE(baseline.matches({"src/a.cc", 900, "raw-lock", "m"}));
+    EXPECT_FALSE(baseline.matches({"src/b.cc", 7, "raw-lock", "m"}));
+}
+
+TEST(AdlintBaseline, MalformedInputIsRejected)
+{
+    std::string err;
+    EXPECT_TRUE(parseBaseline("{not json", &err).empty());
+    EXPECT_FALSE(err.empty());
+
+    err.clear();
+    EXPECT_TRUE(
+        parseBaseline(R"({"version": 2, "suppressions": []})", &err)
+            .empty());
+    EXPECT_FALSE(err.empty()) << "unknown version must be rejected";
+}
+
+TEST(AdlintJson, ReportCarriesSchemaFieldsAndEscapes)
+{
+    const std::vector<Finding> active = {
+        {"src/a.cc", 3, "raw-lock",
+         "direct .lock() on \"mu\"\toutside src/util"},
+    };
+    const std::string report = writeJsonReport(active, 2, 41);
+    EXPECT_NE(report.find("\"version\": 1"), std::string::npos);
+    EXPECT_NE(report.find("\"tool\": \"adlint\""), std::string::npos);
+    EXPECT_NE(report.find("\"files\": 41"), std::string::npos);
+    EXPECT_NE(report.find("\"activeCount\": 1"), std::string::npos);
+    EXPECT_NE(report.find("\"baselinedCount\": 2"), std::string::npos);
+    EXPECT_NE(report.find("\"rule\": \"raw-lock\""), std::string::npos);
+    // Quotes and tabs in the message must be escaped.
+    EXPECT_NE(report.find("\\\"mu\\\""), std::string::npos);
+    EXPECT_NE(report.find("\\t"), std::string::npos);
+    // The empty report is still schema-complete.
+    const std::string empty = writeJsonReport({}, 0, 0);
+    EXPECT_NE(empty.find("\"findings\": []"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,294 @@
+#include "baseline.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace ad::lint {
+
+namespace {
+
+/**
+ * Minimal recursive-descent parser for the subset of JSON the baseline
+ * schema uses. Values are flattened into the visitor callbacks the two
+ * consumers below need; no DOM is built.
+ */
+struct JsonParser
+{
+    const std::string &s;
+    std::size_t i = 0;
+    bool ok = true;
+    std::string error;
+
+    explicit JsonParser(const std::string &text) : s(text) {}
+
+    void
+    fail(const std::string &msg)
+    {
+        if (ok) {
+            ok = false;
+            error = msg + " at byte " + std::to_string(i);
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (i < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[i])))
+            ++i;
+    }
+
+    bool
+    consume(char c)
+    {
+        skipWs();
+        if (i < s.size() && s[i] == c) {
+            ++i;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            fail(std::string("expected '") + c + "'");
+    }
+
+    std::string
+    parseString()
+    {
+        skipWs();
+        if (i >= s.size() || s[i] != '"') {
+            fail("expected string");
+            return {};
+        }
+        ++i;
+        std::string out;
+        while (i < s.size() && s[i] != '"') {
+            if (s[i] == '\\' && i + 1 < s.size()) {
+                const char e = s[i + 1];
+                if (e == '"' || e == '\\' || e == '/') {
+                    out += e;
+                } else if (e == 'n') {
+                    out += '\n';
+                } else if (e == 't') {
+                    out += '\t';
+                } else {
+                    fail("unsupported escape");
+                    return out;
+                }
+                i += 2;
+            } else {
+                out += s[i++];
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    long
+    parseInt()
+    {
+        skipWs();
+        const std::size_t begin = i;
+        if (i < s.size() && (s[i] == '-' || s[i] == '+'))
+            ++i;
+        while (i < s.size() &&
+               std::isdigit(static_cast<unsigned char>(s[i])))
+            ++i;
+        if (i == begin) {
+            fail("expected integer");
+            return 0;
+        }
+        return std::stol(s.substr(begin, i - begin));
+    }
+
+    /** Parse one `{"k": v, ...}` object, invoking @p on_field for each
+     *  field; on_field must consume the value. */
+    template <typename F>
+    void
+    parseObject(F &&on_field)
+    {
+        expect('{');
+        skipWs();
+        if (consume('}'))
+            return;
+        while (ok) {
+            const std::string key = parseString();
+            expect(':');
+            on_field(key);
+            skipWs();
+            if (consume('}'))
+                return;
+            expect(',');
+        }
+    }
+
+    /** Parse one `[v, ...]` array; on_element must consume each value. */
+    template <typename F>
+    void
+    parseArray(F &&on_element)
+    {
+        expect('[');
+        skipWs();
+        if (consume(']'))
+            return;
+        while (ok) {
+            on_element();
+            skipWs();
+            if (consume(']'))
+                return;
+            expect(',');
+        }
+    }
+};
+
+void
+appendJsonString(std::ostringstream &out, const std::string &s)
+{
+    out << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out << "\\\"";
+            break;
+          case '\\':
+            out << "\\\\";
+            break;
+          case '\n':
+            out << "\\n";
+            break;
+          case '\t':
+            out << "\\t";
+            break;
+          default:
+            out << c;
+        }
+    }
+    out << '"';
+}
+
+} // namespace
+
+bool
+Baseline::matches(const Finding &f)
+{
+    _used.resize(suppressions.size(), false);
+    for (std::size_t k = 0; k < suppressions.size(); ++k) {
+        const Suppression &sup = suppressions[k];
+        if (sup.file == f.file && sup.rule == f.rule &&
+            (sup.line <= 0 || sup.line == f.line)) {
+            _used[k] = true;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::vector<Suppression>
+Baseline::staleEntries() const
+{
+    std::vector<Suppression> stale;
+    for (std::size_t k = 0; k < suppressions.size(); ++k) {
+        if (k >= _used.size() || !_used[k])
+            stale.push_back(suppressions[k]);
+    }
+    return stale;
+}
+
+Baseline
+parseBaseline(const std::string &text, std::string *error)
+{
+    Baseline baseline;
+    JsonParser p(text);
+    long version = -1;
+    p.parseObject([&](const std::string &key) {
+        if (key == "version") {
+            version = p.parseInt();
+        } else if (key == "suppressions") {
+            p.parseArray([&] {
+                Suppression sup;
+                p.parseObject([&](const std::string &field) {
+                    if (field == "file") {
+                        sup.file = p.parseString();
+                    } else if (field == "rule") {
+                        sup.rule = p.parseString();
+                    } else if (field == "line") {
+                        sup.line = static_cast<int>(p.parseInt());
+                    } else {
+                        p.fail("unknown suppression field '" + field +
+                               "'");
+                    }
+                });
+                baseline.suppressions.push_back(sup);
+            });
+        } else {
+            p.fail("unknown baseline field '" + key + "'");
+        }
+    });
+    p.skipWs();
+    if (p.ok && p.i != p.s.size())
+        p.fail("trailing content");
+    if (p.ok && version != 1)
+        p.fail("unsupported baseline version " + std::to_string(version));
+    if (!p.ok) {
+        if (error)
+            *error = p.error;
+        return Baseline{};
+    }
+    return baseline;
+}
+
+std::string
+writeBaseline(const std::vector<Finding> &findings)
+{
+    std::vector<Finding> sorted = findings;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Finding &a, const Finding &b) {
+                  if (a.file != b.file)
+                      return a.file < b.file;
+                  if (a.rule != b.rule)
+                      return a.rule < b.rule;
+                  return a.line < b.line;
+              });
+    std::ostringstream out;
+    out << "{\n  \"version\": 1,\n  \"suppressions\": [";
+    for (std::size_t k = 0; k < sorted.size(); ++k) {
+        out << (k ? ",\n    " : "\n    ");
+        out << "{\"file\": ";
+        appendJsonString(out, sorted[k].file);
+        out << ", \"rule\": ";
+        appendJsonString(out, sorted[k].rule);
+        out << ", \"line\": " << sorted[k].line << "}";
+    }
+    out << (sorted.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+std::string
+writeJsonReport(const std::vector<Finding> &active,
+                std::size_t baselined_count, std::size_t file_count)
+{
+    std::ostringstream out;
+    out << "{\n  \"version\": 1,\n  \"tool\": \"adlint\",\n  \"files\": "
+        << file_count << ",\n  \"activeCount\": " << active.size()
+        << ",\n  \"baselinedCount\": " << baselined_count
+        << ",\n  \"findings\": [";
+    for (std::size_t k = 0; k < active.size(); ++k) {
+        out << (k ? ",\n    " : "\n    ");
+        out << "{\"file\": ";
+        appendJsonString(out, active[k].file);
+        out << ", \"line\": " << active[k].line << ", \"rule\": ";
+        appendJsonString(out, active[k].rule);
+        out << ", \"message\": ";
+        appendJsonString(out, active[k].message);
+        out << "}";
+    }
+    out << (active.empty() ? "]" : "\n  ]") << "\n}\n";
+    return out.str();
+}
+
+} // namespace ad::lint

@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Suppression baseline and JSON output for adlint.
+ *
+ * Inline allowlist comments (rules.hh) are for findings that are
+ * *permanently* fine — the justification lives next to the code.
+ * The baseline is the other tool: a checked-in ledger
+ * (`tools/adlint/baseline.json`) of pre-existing findings that are
+ * acknowledged but not yet fixed, so a new rule can ship enabled while
+ * its backlog is burned down explicitly. CI fails on any finding not in
+ * the baseline; fixing a baselined finding makes its entry stale, which
+ * adlint reports on stderr so the ledger shrinks monotonically.
+ *
+ * Baseline format (versioned, order-insensitive):
+ *
+ *     {
+ *       "version": 1,
+ *       "suppressions": [
+ *         {"file": "src/engine/foo.cc", "rule": "raw-lock", "line": 42}
+ *       ]
+ *     }
+ *
+ * `line` is advisory: a suppression with `line <= 0` (or omitted)
+ * matches any line of that file/rule pair, so routine edits above a
+ * baselined finding do not un-suppress it.
+ *
+ * The JSON reader/writer below is a deliberately tiny subset parser —
+ * objects, arrays, strings with `\"`/`\\` escapes, and integers — which
+ * is all the two schemas here need; adlint stays dependency-free.
+ */
+
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace ad::lint {
+
+/** One baseline entry. */
+struct Suppression
+{
+    std::string file;
+    std::string rule;
+    int line = 0; ///< <= 0 matches any line
+};
+
+/** A parsed suppression baseline. */
+struct Baseline
+{
+    std::vector<Suppression> suppressions;
+
+    bool empty() const { return suppressions.empty(); }
+
+    /** True when @p f matches an entry (marks that entry as used). */
+    bool matches(const Finding &f);
+
+    /** Entries matches() never hit — fixed findings to delete. */
+    std::vector<Suppression> staleEntries() const;
+
+  private:
+    std::vector<bool> _used;
+    friend Baseline parseBaseline(const std::string &, std::string *);
+};
+
+/**
+ * Parse baseline JSON. On malformed input or an unknown version,
+ * returns an empty baseline and sets @p error.
+ */
+Baseline parseBaseline(const std::string &text, std::string *error);
+
+/** Serialize @p findings as a baseline document (sorted, stable). */
+std::string writeBaseline(const std::vector<Finding> &findings);
+
+/**
+ * Serialize a lint run as the machine-readable report consumed by CI
+ * tooling (EXPERIMENTS.md):
+ *
+ *     {"version": 1, "tool": "adlint", "files": N,
+ *      "activeCount": N, "baselinedCount": N,
+ *      "findings": [{"file": ..., "line": N, "rule": ...,
+ *                    "message": ...}]}
+ *
+ * @p active are unbaselined findings (these fail the run);
+ * @p baselined_count is how many findings the baseline absorbed.
+ */
+std::string writeJsonReport(const std::vector<Finding> &active,
+                            std::size_t baselined_count,
+                            std::size_t file_count);
+
+} // namespace ad::lint

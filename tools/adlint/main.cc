@@ -1,23 +1,39 @@
 /**
  * @file
- * adlint — project-specific determinism linter (DESIGN.md Sec. 10).
+ * adlint — project-specific static analyzer (DESIGN.md Sec. 10, 15).
  *
  * Scans C++ sources for the determinism hazards the ahead-of-time
  * orchestration stack must never reintroduce (unordered-container
  * iteration, raw randomness, pointer keys, std::hash tie-breaks,
- * parallel floating-point reduction) and prints
- * `file:line: rule-id: message` diagnostics.
+ * parallel floating-point reduction, wall-clock reads) and for the
+ * semantic-model rule families (layer-conformance against
+ * tools/adlint/layers.txt, integer-narrowing, enum-switch-default,
+ * raw-lock), printing `file:line: rule-id: message` diagnostics.
  *
  * Usage:
- *   adlint [--list-rules] [path...]
+ *   adlint [--list-rules] [--format=text|json]
+ *          [--baseline FILE] [--write-baseline FILE]
+ *          [--layers FILE] [path...]
  *
- * Paths may be files or directories (recursed; `build*` and `tests`
- * directory components are skipped during recursion, but an explicitly
- * passed path is always scanned — that is how the self-test fixtures
- * under tests/adlint_fixtures are exercised). With no paths, scans
- * `src` and `tools` under the current directory.
+ * Paths may be files or directories (recursed; `build*`, `.git`,
+ * `golden`, and `adlint_fixtures` directory components are skipped
+ * during recursion, but an explicitly passed path is always scanned —
+ * that is how the self-test fixtures under tests/adlint_fixtures are
+ * exercised). With no paths, scans `src`, `tools`, and `tests` under
+ * the current directory.
  *
- * Exit status: 0 = clean, 1 = findings, 2 = usage/IO error.
+ * The layer manifest defaults to `tools/adlint/layers.txt` under the
+ * current directory when present; `--layers` overrides, and a missing
+ * manifest just disables the layer-conformance rule.
+ *
+ * `--baseline FILE` suppresses findings listed in the checked-in
+ * baseline (tools/adlint/baseline.json); stale entries — baselined
+ * findings that no longer occur — are reported on stderr so the ledger
+ * shrinks. `--write-baseline FILE` writes the current findings as a
+ * fresh baseline and exits 0.
+ *
+ * Exit status: 0 = clean (or fully baselined), 1 = active findings,
+ * 2 = usage/IO error.
  */
 
 #include <algorithm>
@@ -28,6 +44,7 @@
 #include <string>
 #include <vector>
 
+#include "baseline.hh"
 #include "rules.hh"
 
 namespace fs = std::filesystem;
@@ -47,8 +64,8 @@ bool
 skippedDir(const fs::path &p)
 {
     const std::string name = p.filename().string();
-    return name == "tests" || name == ".git" ||
-           name.rfind("build", 0) == 0;
+    return name == ".git" || name == "golden" ||
+           name == "adlint_fixtures" || name.rfind("build", 0) == 0;
 }
 
 void
@@ -93,12 +110,25 @@ readFile(const fs::path &p)
     return ss.str();
 }
 
+void
+usage(std::ostream &out)
+{
+    out << "usage: adlint [--list-rules] [--format=text|json]\n"
+           "              [--baseline FILE] [--write-baseline FILE]\n"
+           "              [--layers FILE] [path...]\n";
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::vector<fs::path> roots;
+    std::string format = "text";
+    std::string baseline_path;
+    std::string write_baseline_path;
+    std::string layers_path;
+    bool layers_explicit = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--list-rules") {
@@ -107,17 +137,47 @@ main(int argc, char **argv)
             return 0;
         }
         if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: adlint [--list-rules] [path...]\n";
+            usage(std::cout);
             return 0;
+        }
+        if (arg.rfind("--format=", 0) == 0) {
+            format = arg.substr(9);
+            if (format != "text" && format != "json") {
+                std::cerr << "adlint: unknown format '" << format
+                          << "' (text|json)\n";
+                return 2;
+            }
+            continue;
+        }
+        auto takesValue = [&](const std::string &flag,
+                              std::string *slot) {
+            if (arg != flag)
+                return false;
+            if (i + 1 >= argc) {
+                std::cerr << "adlint: " << flag
+                          << " requires an argument\n";
+                std::exit(2);
+            }
+            *slot = argv[++i];
+            return true;
+        };
+        if (takesValue("--baseline", &baseline_path))
+            continue;
+        if (takesValue("--write-baseline", &write_baseline_path))
+            continue;
+        if (takesValue("--layers", &layers_path)) {
+            layers_explicit = true;
+            continue;
         }
         if (!arg.empty() && arg[0] == '-') {
             std::cerr << "adlint: unknown option " << arg << '\n';
+            usage(std::cerr);
             return 2;
         }
         roots.emplace_back(arg);
     }
     if (roots.empty()) {
-        roots = {fs::path("src"), fs::path("tools")};
+        roots = {fs::path("src"), fs::path("tools"), fs::path("tests")};
         for (const fs::path &r : roots) {
             if (!fs::exists(r)) {
                 std::cerr << "adlint: default root '" << r.string()
@@ -132,35 +192,103 @@ main(int argc, char **argv)
     for (const fs::path &r : roots)
         gather(r, files);
 
-    // Pass 1: names of unordered containers declared anywhere in the
-    // scanned set (headers declare, sources iterate).
+    ad::lint::ProjectModel project;
+
+    // Layer manifest: explicit flag, else the conventional location.
+    if (!layers_explicit &&
+        fs::exists(fs::path("tools/adlint/layers.txt"))) {
+        layers_path = "tools/adlint/layers.txt";
+    }
+    if (!layers_path.empty()) {
+        std::string err;
+        project.layers = ad::lint::parseLayerManifest(
+            readFile(fs::path(layers_path)), &err);
+        if (project.layers.empty()) {
+            std::cerr << "adlint: bad layer manifest " << layers_path
+                      << ": " << err << '\n';
+            return 2;
+        }
+    }
+
+    ad::lint::Baseline baseline;
+    if (!baseline_path.empty()) {
+        std::string err;
+        baseline = ad::lint::parseBaseline(
+            readFile(fs::path(baseline_path)), &err);
+        if (!err.empty()) {
+            std::cerr << "adlint: bad baseline " << baseline_path
+                      << ": " << err << '\n';
+            return 2;
+        }
+    }
+
+    // Pass 1: cross-file facts (unordered-container names and project
+    // enum definitions) from every file in the scanned set.
     std::vector<std::pair<fs::path, std::string>> contents;
     contents.reserve(files.size());
-    std::vector<std::string> unordered_names;
     for (const fs::path &f : files) {
         contents.emplace_back(f, readFile(f));
-        ad::lint::collectUnorderedNames(contents.back().second,
-                                        unordered_names);
+        ad::lint::collectProjectFacts(contents.back().second, project);
     }
 
-    // Pass 2: rules.
-    std::size_t count = 0;
+    // Pass 2: rules, then baseline filtering.
+    std::vector<ad::lint::Finding> active;
+    std::size_t baselined = 0;
+    std::vector<ad::lint::Finding> all;
     for (const auto &[path, text] : contents) {
         const auto findings =
-            ad::lint::lintContent(path.string(), text, unordered_names);
+            ad::lint::lintContent(path.string(), text, project);
         for (const auto &f : findings) {
-            std::cout << f.file << ':' << f.line << ": " << f.rule
-                      << ": " << f.message << '\n';
+            all.push_back(f);
+            if (baseline.matches(f))
+                ++baselined;
+            else
+                active.push_back(f);
         }
-        count += findings.size();
     }
 
-    if (count > 0) {
-        std::cerr << "adlint: " << count << " finding"
-                  << (count == 1 ? "" : "s") << " in " << files.size()
-                  << " files\n";
+    if (!write_baseline_path.empty()) {
+        std::ofstream out(write_baseline_path, std::ios::binary);
+        if (!out) {
+            std::cerr << "adlint: cannot write " << write_baseline_path
+                      << '\n';
+            return 2;
+        }
+        out << ad::lint::writeBaseline(all);
+        std::cerr << "adlint: wrote " << all.size() << " suppression"
+                  << (all.size() == 1 ? "" : "s") << " to "
+                  << write_baseline_path << '\n';
+        return 0;
+    }
+
+    for (const auto &stale : baseline.staleEntries()) {
+        std::cerr << "adlint: stale baseline entry (finding fixed — "
+                     "delete it): "
+                  << stale.file << ": " << stale.rule << '\n';
+    }
+
+    if (format == "json") {
+        std::cout << ad::lint::writeJsonReport(active, baselined,
+                                               files.size());
+        return active.empty() ? 0 : 1;
+    }
+
+    for (const auto &f : active) {
+        std::cout << f.file << ':' << f.line << ": " << f.rule << ": "
+                  << f.message << '\n';
+    }
+    if (!active.empty()) {
+        std::cerr << "adlint: " << active.size() << " finding"
+                  << (active.size() == 1 ? "" : "s") << " in "
+                  << files.size() << " files";
+        if (baselined > 0)
+            std::cerr << " (+" << baselined << " baselined)";
+        std::cerr << '\n';
         return 1;
     }
-    std::cout << "adlint: clean (" << files.size() << " files)\n";
+    std::cout << "adlint: clean (" << files.size() << " files";
+    if (baselined > 0)
+        std::cout << ", " << baselined << " baselined";
+    std::cout << ")\n";
     return 0;
 }

@@ -1,0 +1,596 @@
+#include "model.hh"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ad::lint {
+
+namespace {
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentStart(char c)
+{
+    return (std::isalpha(static_cast<unsigned char>(c)) || c == '_');
+}
+
+} // namespace
+
+std::string
+maskCommentsAndStrings(const std::string &s)
+{
+    std::string out = s;
+    enum class State { Code, Line, Block, Str, Chr } st = State::Code;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        const char c = s[i];
+        const char n = i + 1 < s.size() ? s[i + 1] : '\0';
+        switch (st) {
+          case State::Code:
+            if (c == '/' && n == '/') {
+                st = State::Line;
+                out[i] = ' ';
+            } else if (c == '/' && n == '*') {
+                st = State::Block;
+                out[i] = ' ';
+            } else if (c == 'R' && n == '"' &&
+                       (i == 0 || !isIdentChar(s[i - 1]))) {
+                // Raw string literal R"delim( ... )delim". Without this
+                // case the plain-string masker desyncs on quotes inside
+                // the raw body (which is exactly what linted *tests*
+                // contain: snippets of known-bad code in R-strings).
+                std::size_t d = i + 2;
+                while (d < s.size() && s[d] != '(' && s[d] != '"' &&
+                       s[d] != '\\' && s[d] != '\n') {
+                    ++d;
+                }
+                if (d >= s.size() || s[d] != '(')
+                    break; // not a raw string; leave as-is
+                const std::string delim = s.substr(i + 2, d - (i + 2));
+                const std::string close = ")" + delim + "\"";
+                const std::size_t end = s.find(close, d + 1);
+                const std::size_t stop =
+                    end == std::string::npos ? s.size()
+                                             : end + close.size();
+                for (std::size_t k = i + 1; k < stop; ++k) {
+                    if (s[k] != '\n')
+                        out[k] = ' ';
+                }
+                i = stop - 1;
+            } else if (c == '"') {
+                st = State::Str;
+            } else if (c == '\'' &&
+                       !(i > 0 &&
+                         std::isdigit(static_cast<unsigned char>(
+                             s[i - 1])))) {
+                // skip digit separators (1'000'000)
+                st = State::Chr;
+            }
+            break;
+          case State::Line:
+            if (c == '\n')
+                st = State::Code;
+            else
+                out[i] = ' ';
+            break;
+          case State::Block:
+            if (c == '*' && n == '/') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Str:
+            if (c == '\\' && n != '\0') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+            } else if (c == '"') {
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+          case State::Chr:
+            if (c == '\\' && n != '\0') {
+                out[i] = ' ';
+                out[i + 1] = ' ';
+                ++i;
+            } else if (c == '\'') {
+                st = State::Code;
+            } else if (c != '\n') {
+                out[i] = ' ';
+            }
+            break;
+        }
+    }
+    return out;
+}
+
+std::vector<std::size_t>
+lineStarts(const std::string &s)
+{
+    std::vector<std::size_t> starts{0};
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        if (s[i] == '\n')
+            starts.push_back(i + 1);
+    }
+    return starts;
+}
+
+int
+lineOf(const std::vector<std::size_t> &starts, std::size_t pos)
+{
+    const auto it = std::upper_bound(starts.begin(), starts.end(), pos);
+    return static_cast<int>(it - starts.begin());
+}
+
+std::vector<Token>
+tokenize(const std::string &code, const std::vector<std::size_t> &starts)
+{
+    // Multi-character punctuators the rules care to see whole; longest
+    // match first within each leading character.
+    static const char *kPunct[] = {
+        "<<=", ">>=", "...", "::", "->", "<<", ">>", "<=", ">=",
+        "==",  "!=",  "&&",  "||", "+=", "-=", "*=", "/=", "%=",
+        "&=",  "|=",  "^=",  "++", "--"};
+
+    std::vector<Token> toks;
+    std::size_t i = 0;
+    while (i < code.size()) {
+        const char c = code[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        Token t;
+        t.pos = i;
+        t.line = lineOf(starts, i);
+        if (isIdentStart(c)) {
+            std::size_t j = i;
+            while (j < code.size() && isIdentChar(code[j]))
+                ++j;
+            t.kind = Token::Kind::Ident;
+            t.text = code.substr(i, j - i);
+            i = j;
+        } else if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t j = i;
+            while (j < code.size() &&
+                   (isIdentChar(code[j]) || code[j] == '.'))
+                ++j;
+            t.kind = Token::Kind::Number;
+            t.text = code.substr(i, j - i);
+            i = j;
+        } else {
+            t.kind = Token::Kind::Punct;
+            t.text = std::string(1, c);
+            for (const char *p : kPunct) {
+                const std::size_t n = std::string(p).size();
+                if (code.compare(i, n, p) == 0) {
+                    t.text = p;
+                    break;
+                }
+            }
+            i += t.text.size();
+        }
+        toks.push_back(std::move(t));
+    }
+    return toks;
+}
+
+namespace {
+
+/** Known integral type spellings → (width, signedness). */
+struct IntType
+{
+    const char *name;
+    int width;
+    bool isSigned;
+};
+
+const IntType kIntTypes[] = {
+    {"int", 32, true},           {"short", 32, true},
+    {"int8_t", 32, true},        {"int16_t", 32, true},
+    {"int32_t", 32, true},       {"LayerId", 32, true},
+    {"AtomId", 32, true},        {"unsigned", 32, false},
+    {"uint8_t", 32, false},      {"uint16_t", 32, false},
+    {"uint32_t", 32, false},     {"long", 64, true},
+    {"int64_t", 64, true},       {"ptrdiff_t", 64, true},
+    {"ssize_t", 64, true},       {"size_t", 64, false},
+    {"uint64_t", 64, false},     {"uintmax_t", 64, false},
+    {"intmax_t", 64, true},      {"Cycles", 64, false},
+    {"Bytes", 64, false},        {"MacCount", 64, false},
+};
+
+const IntType *
+findIntType(const std::string &name)
+{
+    for (const IntType &t : kIntTypes) {
+        if (name == t.name)
+            return &t;
+    }
+    return nullptr;
+}
+
+bool
+isQualifier(const std::string &s)
+{
+    return s == "const" || s == "constexpr" || s == "static" ||
+           s == "volatile" || s == "inline" || s == "mutable" ||
+           s == "register" || s == "thread_local";
+}
+
+/** Token index one past the matching close brace for `{` at @p open. */
+std::size_t
+matchBraceTok(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].text == "{") {
+            ++depth;
+        } else if (toks[i].text == "}") {
+            if (--depth == 0)
+                return i + 1;
+        }
+    }
+    return toks.size();
+}
+
+/** Token index one past the matching close paren for `(` at @p open. */
+std::size_t
+matchParenTok(const std::vector<Token> &toks, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < toks.size(); ++i) {
+        if (toks[i].text == "(") {
+            ++depth;
+        } else if (toks[i].text == ")") {
+            if (--depth == 0)
+                return i + 1;
+        }
+    }
+    return toks.size();
+}
+
+void
+extractIncludes(const std::string &raw,
+                const std::vector<std::size_t> &starts, FileModel &fm)
+{
+    for (std::size_t l = 0; l < starts.size(); ++l) {
+        const std::size_t begin = starts[l];
+        const std::size_t end =
+            l + 1 < starts.size() ? starts[l + 1] : raw.size();
+        std::size_t i = begin;
+        while (i < end && (raw[i] == ' ' || raw[i] == '\t'))
+            ++i;
+        if (i >= end || raw[i] != '#')
+            continue;
+        ++i;
+        while (i < end && (raw[i] == ' ' || raw[i] == '\t'))
+            ++i;
+        if (raw.compare(i, 7, "include") != 0)
+            continue;
+        i += 7;
+        while (i < end && (raw[i] == ' ' || raw[i] == '\t'))
+            ++i;
+        if (i >= end)
+            continue;
+        const char open = raw[i];
+        const char close = open == '"' ? '"' : open == '<' ? '>' : '\0';
+        if (close == '\0')
+            continue;
+        const std::size_t stop = raw.find(close, i + 1);
+        if (stop == std::string::npos || stop >= end)
+            continue;
+        IncludeDecl inc;
+        inc.target = raw.substr(i + 1, stop - i - 1);
+        inc.quoted = open == '"';
+        inc.line = static_cast<int>(l + 1);
+        fm.includes.push_back(std::move(inc));
+    }
+}
+
+void
+extractEnums(const std::vector<Token> &toks, FileModel &fm)
+{
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident || toks[i].text != "enum")
+            continue;
+        std::size_t j = i + 1;
+        if (j < toks.size() &&
+            (toks[j].text == "class" || toks[j].text == "struct"))
+            ++j;
+        if (j >= toks.size() || toks[j].kind != Token::Kind::Ident)
+            continue; // anonymous enum: nothing to index
+        EnumDecl decl;
+        decl.name = toks[j].text;
+        decl.line = toks[i].line;
+        ++j;
+        if (j < toks.size() && toks[j].text == ":") {
+            // underlying type: skip to '{' or ';'
+            while (j < toks.size() && toks[j].text != "{" &&
+                   toks[j].text != ";")
+                ++j;
+        }
+        if (j >= toks.size() || toks[j].text != "{")
+            continue; // forward declaration or elaborated use
+        const std::size_t end = matchBraceTok(toks, j);
+        // Enumerators: identifiers at depth 1 whose previous token is
+        // the opening `{` or a top-level `,` (skips `= value` tails).
+        int depth = 0;
+        for (std::size_t k = j; k < end; ++k) {
+            if (toks[k].text == "{" || toks[k].text == "(") {
+                ++depth;
+            } else if (toks[k].text == "}" || toks[k].text == ")") {
+                --depth;
+            } else if (depth == 1 && k > j &&
+                       toks[k].kind == Token::Kind::Ident &&
+                       (toks[k - 1].text == "{" ||
+                        toks[k - 1].text == ",")) {
+                decl.enumerators.push_back(toks[k].text);
+            }
+        }
+        fm.enums.push_back(std::move(decl));
+        i = end > i ? end - 1 : i;
+    }
+}
+
+void
+extractSwitches(const std::vector<Token> &toks, FileModel &fm)
+{
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident ||
+            toks[i].text != "switch")
+            continue;
+        std::size_t j = i + 1;
+        if (j >= toks.size() || toks[j].text != "(")
+            continue;
+        j = matchParenTok(toks, j);
+        if (j >= toks.size() || toks[j].text != "{")
+            continue;
+        const std::size_t end = matchBraceTok(toks, j);
+        SwitchStmt sw;
+        sw.line = toks[i].line;
+        sw.pos = toks[i].pos;
+        int depth = 0;
+        for (std::size_t k = j; k < end; ++k) {
+            if (toks[k].text == "{") {
+                ++depth;
+            } else if (toks[k].text == "}") {
+                --depth;
+            } else if (depth == 1 &&
+                       toks[k].kind == Token::Kind::Ident) {
+                if (toks[k].text == "default" && k + 1 < end &&
+                    toks[k + 1].text == ":") {
+                    sw.hasDefault = true;
+                    sw.defaultLine = toks[k].line;
+                } else if (toks[k].text == "case" && k + 2 < end &&
+                           toks[k + 1].kind == Token::Kind::Ident &&
+                           toks[k + 2].text == "::") {
+                    const std::string &e = toks[k + 1].text;
+                    if (std::find(sw.caseEnums.begin(),
+                                  sw.caseEnums.end(),
+                                  e) == sw.caseEnums.end())
+                        sw.caseEnums.push_back(e);
+                }
+            }
+        }
+        fm.switches.push_back(std::move(sw));
+        // Do not skip past `end`: nested switches are found on later
+        // iterations and keep their own labels (depth filtering above
+        // excludes them from this switch's record).
+    }
+}
+
+void
+extractIntDecls(const std::vector<Token> &toks, FileModel &fm)
+{
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident)
+            continue;
+        if (isQualifier(toks[i].text))
+            continue; // qualifiers are skipped below, at the type
+        // A declaration must not be a member access or qualified name.
+        if (i > 0 &&
+            (toks[i - 1].text == "." || toks[i - 1].text == "->" ||
+             toks[i - 1].text == "::"))
+            continue;
+        std::size_t j = i;
+        // `std ::` prefix
+        if (toks[j].text == "std" && j + 2 < toks.size() &&
+            toks[j + 1].text == "::") {
+            j += 2;
+            if (toks[j].kind != Token::Kind::Ident)
+                continue;
+        }
+        const IntType *ty = findIntType(toks[j].text);
+        if (!ty)
+            continue;
+        int width = ty->width;
+        bool is_signed = ty->isSigned;
+        // Multi-token spellings: `unsigned int|long [long]`,
+        // `long long`, `long int`, `short int`, `unsigned short`.
+        std::size_t k = j + 1;
+        if (toks[j].text == "unsigned" || toks[j].text == "long" ||
+            toks[j].text == "short") {
+            while (k < toks.size() &&
+                   (toks[k].text == "int" || toks[k].text == "long" ||
+                    toks[k].text == "short" ||
+                    toks[k].text == "unsigned")) {
+                if (toks[k].text == "long")
+                    width = 64;
+                if (toks[k].text == "unsigned")
+                    is_signed = false;
+                ++k;
+            }
+        }
+        // References/pointers still carry the declared width.
+        while (k < toks.size() &&
+               (toks[k].text == "&" || toks[k].text == "*" ||
+                toks[k].text == "const"))
+            ++k;
+        if (k >= toks.size() || toks[k].kind != Token::Kind::Ident)
+            continue;
+        const std::string &name = toks[k].text;
+        if (k + 1 >= toks.size())
+            continue;
+        const std::string &after = toks[k + 1].text;
+        // Variable or parameter, not a function declaration.
+        if (after != "=" && after != ";" && after != "," &&
+            after != ")" && after != "{")
+            continue;
+        if (after == "{") {
+            // Brace-init `int x{...};` — accept only when the braces
+            // close back onto `;`/`,`/`)` soon; cheap filter: next
+            // token after the matching brace.
+            const std::size_t close = matchBraceTok(toks, k + 1);
+            if (close >= toks.size() ||
+                (toks[close].text != ";" && toks[close].text != "," &&
+                 toks[close].text != ")"))
+                continue;
+        }
+        IntDecl d;
+        d.name = name;
+        d.width = width;
+        d.isSigned = is_signed;
+        d.line = toks[k].line;
+        fm.intDecls.push_back(std::move(d));
+        i = k;
+    }
+}
+
+} // namespace
+
+bool
+FileModel::lookupInt(const std::string &name, int *width,
+                     bool *is_signed) const
+{
+    // The model is scope-flat: two declarations of the same name in
+    // different functions land in one list. When they disagree the
+    // name is ambiguous and the integer rules must stay silent rather
+    // than guess (a `std::size_t i` in one function must not taint the
+    // `int i` of another).
+    const IntDecl *found = nullptr;
+    for (const IntDecl &d : intDecls) {
+        if (d.name != name)
+            continue;
+        if (found && (found->width != d.width ||
+                      found->isSigned != d.isSigned))
+            return false;
+        found = &d;
+    }
+    if (!found)
+        return false;
+    if (width)
+        *width = found->width;
+    if (is_signed)
+        *is_signed = found->isSigned;
+    return true;
+}
+
+FileModel
+buildFileModel(const std::string &path, const std::string &raw,
+               const std::string &code,
+               const std::vector<std::size_t> &starts)
+{
+    FileModel fm;
+    fm.path = path;
+    fm.tokens = tokenize(code, starts);
+    extractIncludes(raw, starts, fm);
+    extractEnums(fm.tokens, fm);
+    extractSwitches(fm.tokens, fm);
+    extractIntDecls(fm.tokens, fm);
+    return fm;
+}
+
+int
+LayerManifest::rankOf(const std::string &module) const
+{
+    for (const auto &[name, rank] : ranks) {
+        if (name == module)
+            return rank;
+    }
+    return -1;
+}
+
+LayerManifest
+parseLayerManifest(const std::string &text, std::string *error)
+{
+    LayerManifest manifest;
+    std::size_t pos = 0;
+    int lineno = 0;
+    while (pos <= text.size()) {
+        const std::size_t eol = text.find('\n', pos);
+        const std::size_t end =
+            eol == std::string::npos ? text.size() : eol;
+        std::string line = text.substr(pos, end - pos);
+        ++lineno;
+        pos = end + 1;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::string module, rank_str;
+        std::size_t i = 0;
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i])))
+            module += line[i++];
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        while (i < line.size() &&
+               !std::isspace(static_cast<unsigned char>(line[i])))
+            rank_str += line[i++];
+        while (i < line.size() &&
+               std::isspace(static_cast<unsigned char>(line[i])))
+            ++i;
+        if (module.empty() && rank_str.empty())
+            continue; // blank or comment-only line
+        if (module.empty() || rank_str.empty() || i != line.size() ||
+            rank_str.find_first_not_of("0123456789") !=
+                std::string::npos) {
+            if (error) {
+                *error = "layers.txt line " + std::to_string(lineno) +
+                         ": expected 'module rank'";
+            }
+            return LayerManifest{};
+        }
+        manifest.ranks.emplace_back(module, std::stoi(rank_str));
+        if (eol == std::string::npos)
+            break;
+    }
+    return manifest;
+}
+
+std::string
+moduleOfPath(const std::string &path, const LayerManifest &manifest)
+{
+    // Split into components; the filename itself never names a module.
+    std::vector<std::string> parts;
+    std::string cur;
+    for (char c : path) {
+        if (c == '/' || c == '\\') {
+            parts.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    // `cur` is the filename — intentionally dropped.
+    for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+        if (!it->empty() && manifest.rankOf(*it) >= 0)
+            return *it;
+    }
+    return {};
+}
+
+} // namespace ad::lint

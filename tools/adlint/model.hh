@@ -1,0 +1,165 @@
+#pragma once
+
+/**
+ * @file
+ * Semantic model of one C++ source file, shared by every adlint rule.
+ *
+ * adlint v1 was a per-line regex scanner: each rule re-derived whatever
+ * structure it needed from the raw text. v2 centralizes that work — a
+ * single tokenizer pass over the comment/string-masked text produces a
+ * token stream, and one model-building pass extracts the facts the rule
+ * families consume:
+ *
+ *  - includes         `#include "..."` / `#include <...>` directives
+ *                     with line numbers (read from the *raw* text, since
+ *                     masking blanks string contents);
+ *  - enums            `enum class` / `enum struct` / plain `enum`
+ *                     definitions with their enumerator lists — pass 1
+ *                     unions these across the scanned set so a switch in
+ *                     one file over an enum declared in another is still
+ *                     recognized as a project-enum switch;
+ *  - switches         every `switch` statement, with the enum names its
+ *                     `case` labels qualify (`case SchedMode::Dp:` →
+ *                     "SchedMode") and whether a `default:` arm appears
+ *                     at the switch's own brace depth;
+ *  - integer decls    declarations of integral variables with their
+ *                     width and signedness, including the project's
+ *                     64-bit aliases (`Cycles`, `Bytes`, `MacCount`) and
+ *                     32-bit ids (`LayerId`, `AtomId`), so the
+ *                     integer-safety rules can tell a 64-bit cycle
+ *                     expression from a plain loop index.
+ *
+ * The model is still deliberately compiler-free: it tokenizes real C++
+ * but resolves no templates, overloads, or types beyond the known-alias
+ * table. That is enough for the rule families adlint enforces, keeps
+ * the whole-tree scan in milliseconds, and needs zero dependencies.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ad::lint {
+
+/** One lexical token of the masked source text. */
+struct Token
+{
+    enum class Kind { Ident, Number, Punct };
+
+    Kind kind = Kind::Punct;
+    std::string text;
+    int line = 0;         ///< 1-based source line
+    std::size_t pos = 0;  ///< byte offset into the file
+};
+
+/** One `#include` directive. */
+struct IncludeDecl
+{
+    std::string target; ///< path between the quotes/brackets, verbatim
+    bool quoted = false; ///< `"..."` (project) vs `<...>` (system)
+    int line = 0;
+};
+
+/** One `enum` / `enum class` definition. */
+struct EnumDecl
+{
+    std::string name;
+    std::vector<std::string> enumerators;
+    int line = 0;
+};
+
+/** One `switch` statement. */
+struct SwitchStmt
+{
+    int line = 0;        ///< line of the `switch` keyword
+    std::size_t pos = 0; ///< byte offset of the `switch` keyword
+    bool hasDefault = false;
+    int defaultLine = 0;
+    /** Enum names qualifying this switch's own `case` labels
+     *  (`case OpType::Conv:` → "OpType"); nested switches keep their
+     *  labels to themselves. */
+    std::vector<std::string> caseEnums;
+};
+
+/** One integral variable declaration (or function parameter). */
+struct IntDecl
+{
+    std::string name;
+    int width = 32;        ///< 32 or 64 (16/8 map to 32: narrower still)
+    bool isSigned = true;
+    int line = 0;
+};
+
+/** Everything the rules need to know about one file. */
+struct FileModel
+{
+    std::string path;
+    std::vector<Token> tokens;
+    std::vector<IncludeDecl> includes;
+    std::vector<EnumDecl> enums;
+    std::vector<SwitchStmt> switches;
+    std::vector<IntDecl> intDecls;
+
+    /** Declared width/signedness lookup; false when @p name unknown. */
+    bool lookupInt(const std::string &name, int *width,
+                   bool *is_signed) const;
+};
+
+/**
+ * Replace the contents of comments, string literals (including raw
+ * string literals), and character literals with spaces, newlines
+ * preserved, so rule matchers never fire on prose or quoted text.
+ */
+std::string maskCommentsAndStrings(const std::string &s);
+
+/** Byte offset of the start of every line (offset → line mapping). */
+std::vector<std::size_t> lineStarts(const std::string &s);
+
+/** 1-based line containing byte offset @p pos. */
+int lineOf(const std::vector<std::size_t> &starts, std::size_t pos);
+
+/** Tokenize masked source text. */
+std::vector<Token> tokenize(const std::string &code,
+                            const std::vector<std::size_t> &starts);
+
+/**
+ * Build the per-file model. @p raw is the original text (includes are
+ * read from it); @p code the masked text; @p starts its line table.
+ */
+FileModel buildFileModel(const std::string &path, const std::string &raw,
+                         const std::string &code,
+                         const std::vector<std::size_t> &starts);
+
+/**
+ * Layer manifest: `src/<module>` directory → rank. An include may point
+ * at the same or a lower rank; an include of a strictly higher rank is
+ * an upward edge that breaks the declared module DAG.
+ */
+struct LayerManifest
+{
+    std::vector<std::pair<std::string, int>> ranks;
+
+    bool empty() const { return ranks.empty(); }
+
+    /** Rank of @p module, or -1 when the module is not declared. */
+    int rankOf(const std::string &module) const;
+};
+
+/**
+ * Parse the `layers.txt` manifest format: one `module rank` pair per
+ * line, `#` comments, blank lines ignored. On malformed input returns
+ * an empty manifest and sets @p error.
+ */
+LayerManifest parseLayerManifest(const std::string &text,
+                                 std::string *error);
+
+/**
+ * The manifest module a path belongs to: the last directory component
+ * that names a declared module (`src/core/mapper.cc` → "core";
+ * fixture trees like `tests/adlint_fixtures/layering/core/x.cc` →
+ * "core"). Empty when no component matches.
+ */
+std::string moduleOfPath(const std::string &path,
+                         const LayerManifest &manifest);
+
+} // namespace ad::lint

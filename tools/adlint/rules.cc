@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstddef>
 
+#include "model.hh"
+
 namespace ad::lint {
 
 namespace {
@@ -12,97 +14,6 @@ bool
 isIdentChar(char c)
 {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/**
- * Replace the contents of comments, string literals, and character
- * literals with spaces (newlines preserved), so the rule matchers never
- * fire on prose or quoted text. Allowlist markers are read from the raw
- * text separately.
- */
-std::string
-maskCommentsAndStrings(const std::string &s)
-{
-    std::string out = s;
-    enum class State { Code, Line, Block, Str, Chr } st = State::Code;
-    for (std::size_t i = 0; i < s.size(); ++i) {
-        const char c = s[i];
-        const char n = i + 1 < s.size() ? s[i + 1] : '\0';
-        switch (st) {
-          case State::Code:
-            if (c == '/' && n == '/') {
-                st = State::Line;
-                out[i] = ' ';
-            } else if (c == '/' && n == '*') {
-                st = State::Block;
-                out[i] = ' ';
-            } else if (c == '"') {
-                st = State::Str;
-            } else if (c == '\'') {
-                st = State::Chr;
-            }
-            break;
-          case State::Line:
-            if (c == '\n')
-                st = State::Code;
-            else
-                out[i] = ' ';
-            break;
-          case State::Block:
-            if (c == '*' && n == '/') {
-                out[i] = ' ';
-                out[i + 1] = ' ';
-                ++i;
-                st = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-          case State::Str:
-            if (c == '\\' && n != '\0') {
-                out[i] = ' ';
-                out[i + 1] = ' ';
-                ++i;
-            } else if (c == '"') {
-                st = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-          case State::Chr:
-            if (c == '\\' && n != '\0') {
-                out[i] = ' ';
-                out[i + 1] = ' ';
-                ++i;
-            } else if (c == '\'') {
-                st = State::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-        }
-    }
-    return out;
-}
-
-/** Byte offset of the start of every line, for offset -> line mapping. */
-std::vector<std::size_t>
-lineStarts(const std::string &s)
-{
-    std::vector<std::size_t> starts{0};
-    for (std::size_t i = 0; i < s.size(); ++i) {
-        if (s[i] == '\n')
-            starts.push_back(i + 1);
-    }
-    return starts;
-}
-
-int
-lineOf(const std::vector<std::size_t> &starts, std::size_t pos)
-{
-    const auto it =
-        std::upper_bound(starts.begin(), starts.end(), pos);
-    return static_cast<int>(it - starts.begin());
 }
 
 /** True when s[pos..] starts the whole word @p word. */
@@ -252,7 +163,8 @@ struct FileCtx
     const std::string &raw;
     const std::string &code; ///< comments/strings masked out
     const std::vector<std::size_t> &starts;
-    const std::vector<std::string> &unorderedNames;
+    const ProjectModel &project;
+    const FileModel &model;
     std::vector<Finding> &findings;
 
     void
@@ -280,9 +192,9 @@ struct FileCtx
 bool
 isUnorderedName(const FileCtx &ctx, const std::string &id)
 {
-    return std::find(ctx.unorderedNames.begin(),
-                     ctx.unorderedNames.end(),
-                     id) != ctx.unorderedNames.end();
+    return std::find(ctx.project.unorderedNames.begin(),
+                     ctx.project.unorderedNames.end(),
+                     id) != ctx.project.unorderedNames.end();
 }
 
 /**
@@ -348,7 +260,7 @@ ruleUnorderedIter(FileCtx &ctx)
         }
     }
 
-    for (const std::string &name : ctx.unorderedNames) {
+    for (const std::string &name : ctx.project.unorderedNames) {
         for (const char *method : {".begin(", ".cbegin("}) {
             const std::string pat = name + method;
             std::size_t at = 0;
@@ -583,21 +495,566 @@ inObsQuarantine(const std::string &path)
            path.rfind("obs/", 0) == 0;
 }
 
+/** True when @p path lives in src/util (raw-lock quarantine: the
+ * annotated Mutex/MutexLock wrappers themselves live there). */
+bool
+inUtilQuarantine(const std::string &path)
+{
+    return path.find("src/util/") != std::string::npos ||
+           path.rfind("util/", 0) == 0;
+}
+
+/**
+ * layer-conformance: includes must point at the same or a lower rank
+ * in the declared layer manifest. An upward edge is either a layering
+ * violation outright or one half of a cycle; both break the module DAG
+ * that DESIGN.md documents and the build's link order assumes.
+ */
+void
+ruleLayerConformance(FileCtx &ctx)
+{
+    const LayerManifest &manifest = ctx.project.layers;
+    if (manifest.empty())
+        return;
+    const std::string mod = moduleOfPath(ctx.path, manifest);
+    if (mod.empty())
+        return; // outside the manifest (tools/, tests/, bench/)
+    const int my_rank = manifest.rankOf(mod);
+    for (const IncludeDecl &inc : ctx.model.includes) {
+        if (!inc.quoted)
+            continue;
+        const std::size_t slash = inc.target.find('/');
+        if (slash == std::string::npos)
+            continue; // same-directory include
+        const std::string head = inc.target.substr(0, slash);
+        const int target_rank = manifest.rankOf(head);
+        if (target_rank < 0 || head == mod)
+            continue;
+        if (target_rank > my_rank) {
+            const std::size_t pos =
+                ctx.starts[static_cast<std::size_t>(inc.line - 1)];
+            ctx.report(
+                pos, "layer-conformance",
+                "'" + mod + "' (rank " + std::to_string(my_rank) +
+                    ") includes \"" + inc.target + "\" from '" + head +
+                    "' (rank " + std::to_string(target_rank) +
+                    "): upward include breaks the declared module DAG "
+                    "(tools/adlint/layers.txt)");
+        }
+    }
+}
+
+/**
+ * enum-switch-default: a `default:` arm in a switch over a project
+ * enum swallows `-Wswitch`, so a new enumerator (the SchedMode::Dtt
+ * pattern) degrades to whatever the default does at runtime instead of
+ * failing the build. Enumerate every case; put shared fallbacks after
+ * the switch.
+ */
+void
+ruleEnumSwitchDefault(FileCtx &ctx)
+{
+    for (const SwitchStmt &sw : ctx.model.switches) {
+        if (!sw.hasDefault)
+            continue;
+        for (const std::string &e : sw.caseEnums) {
+            if (std::find(ctx.project.enumNames.begin(),
+                          ctx.project.enumNames.end(),
+                          e) == ctx.project.enumNames.end())
+                continue;
+            ctx.report(
+                sw.pos, "enum-switch-default",
+                "switch over project enum '" + e +
+                    "' carries a default: arm, which masks -Wswitch; "
+                    "enumerate every case so a new enumerator is a "
+                    "compile error, and hoist the fallback below the "
+                    "switch");
+            break;
+        }
+    }
+}
+
+/**
+ * raw-lock: direct mutex manipulation outside src/util. Clang's
+ * thread-safety analysis only tracks capabilities through annotated
+ * types, so a bare `.lock()` / `std::lock_guard` is invisible to it —
+ * use the annotated util::MutexLock RAII guard.
+ */
+void
+ruleRawLock(FileCtx &ctx)
+{
+    const std::vector<Token> &toks = ctx.model.tokens;
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind != Token::Kind::Punct ||
+            (t.text != "." && t.text != "->"))
+            continue;
+        const Token &m = toks[i + 1];
+        if (m.kind != Token::Kind::Ident ||
+            (m.text != "lock" && m.text != "unlock" &&
+             m.text != "try_lock"))
+            continue;
+        if (toks[i + 2].text != "(")
+            continue;
+        ctx.report(m.pos, "raw-lock",
+                   "direct ." + m.text +
+                       "() outside src/util: invisible to "
+                       "thread-safety analysis; hold the mutex through "
+                       "the annotated util::MutexLock RAII guard");
+    }
+    for (const Token &t : toks) {
+        if (t.kind != Token::Kind::Ident)
+            continue;
+        if (t.text == "lock_guard" || t.text == "unique_lock" ||
+            t.text == "scoped_lock") {
+            ctx.report(t.pos, "raw-lock",
+                       "std::" + t.text +
+                           " outside src/util: unannotated guards are "
+                           "invisible to thread-safety analysis; use "
+                           "util::MutexLock");
+        }
+    }
+}
+
+/** Spellings that mark an expression as 64-bit valued. */
+const char *k64BitWords[] = {"int64_t",  "uint64_t", "size_t",
+                             "intmax_t", "uintmax_t", "ptrdiff_t",
+                             "Cycles",   "Bytes",     "MacCount"};
+
+/** Narrow (<= 32-bit) cast targets, spelled without spaces/std::. */
+bool
+isNarrowCastTarget(std::string target)
+{
+    target.erase(std::remove_if(target.begin(), target.end(),
+                                [](unsigned char c) {
+                                    return std::isspace(c) != 0;
+                                }),
+                 target.end());
+    if (target.rfind("std::", 0) == 0)
+        target = target.substr(5);
+    if (target.rfind("const", 0) == 0)
+        target = target.substr(5);
+    for (const char *t :
+         {"int", "unsignedint", "unsigned", "short", "int8_t",
+          "int16_t", "int32_t", "uint8_t", "uint16_t", "uint32_t",
+          "LayerId", "AtomId", "EngineId", "char"}) {
+        if (target == t)
+            return true;
+    }
+    return false;
+}
+
+/**
+ * Blank every `static_cast<NarrowType>(...)` span in @p expr: an
+ * explicit narrowing cast is the sanctioned escape hatch, so whatever
+ * 64-bit sources it wraps must not count as implicit narrowing.
+ */
+std::string
+stripExplicitNarrowingCasts(std::string expr)
+{
+    std::size_t at = 0;
+    while ((at = expr.find("static_cast", at)) != std::string::npos) {
+        const std::size_t lt = at + 11;
+        if (lt >= expr.size() || expr[lt] != '<') {
+            at = lt;
+            continue;
+        }
+        const std::size_t gt = matchAngles(expr, lt);
+        if (gt == std::string::npos) {
+            at = lt;
+            continue;
+        }
+        const std::string target = expr.substr(lt + 1, gt - lt - 2);
+        std::size_t open = expr.find_first_not_of(" \t\n", gt);
+        if (open == std::string::npos || expr[open] != '(') {
+            at = gt;
+            continue;
+        }
+        const std::size_t close = matchParens(expr, open);
+        if (close == std::string::npos) {
+            at = gt;
+            continue;
+        }
+        if (isNarrowCastTarget(target)) {
+            for (std::size_t k = at; k < close; ++k) {
+                if (expr[k] != '\n')
+                    expr[k] = ' ';
+            }
+        }
+        at = close;
+    }
+    return expr;
+}
+
+/** Blank every `[...]` span: a subscript's value has the container's
+ * element type, which the model cannot know — the 64-bitness of the
+ * *index* must not taint the expression. */
+std::string
+blankSubscripts(std::string expr)
+{
+    int depth = 0;
+    for (char &c : expr) {
+        if (c == '[') {
+            ++depth;
+            c = ' ';
+        } else if (c == ']') {
+            --depth;
+            c = ' ';
+        } else if (depth > 0 && c != '\n') {
+            c = ' ';
+        }
+    }
+    return expr;
+}
+
+/** True when @p expr is one call expression — `f(...)`, `std::f(...)`,
+ * `obj.f(...)`, `p->f(...)` — whose parens consume the whole string.
+ * The model cannot know a callee's return type, so such an expression
+ * carries no knowable 64-bit source (`.size()` is special-cased by the
+ * caller before this). */
+bool
+isSingleCallExpr(const std::string &expr)
+{
+    std::size_t i = expr.find_first_not_of(" \t\n");
+    if (i == std::string::npos || !isIdentChar(expr[i]) ||
+        std::isdigit(static_cast<unsigned char>(expr[i])))
+        return false;
+    while (i < expr.size()) {
+        while (i < expr.size() && isIdentChar(expr[i]))
+            ++i;
+        while (i < expr.size() &&
+               (expr[i] == ' ' || expr[i] == '\t' || expr[i] == '\n'))
+            ++i;
+        if (i >= expr.size())
+            return false;
+        if (expr[i] == '(') {
+            const std::size_t close = matchParens(expr, i);
+            if (close == std::string::npos)
+                return false;
+            return expr.find_first_not_of(" \t\n;", close) ==
+                   std::string::npos;
+        }
+        // Qualification/member chains keep scanning toward the call.
+        if (expr.compare(i, 2, "::") == 0 ||
+            expr.compare(i, 2, "->") == 0) {
+            i += 2;
+        } else if (expr[i] == '.') {
+            ++i;
+        } else {
+            return false;
+        }
+        while (i < expr.size() &&
+               (expr[i] == ' ' || expr[i] == '\t' || expr[i] == '\n'))
+            ++i;
+        if (i >= expr.size() || !isIdentChar(expr[i]))
+            return false;
+    }
+    return false;
+}
+
+/**
+ * True when @p raw_expr (masked code) carries a 64-bit value: a
+ * `.size()` call, a 64-bit type spelling, or an identifier declared
+ * 64-bit in this file's model. Explicit narrowing casts and subscript
+ * indices are stripped first; a lone call expression is unknowable and
+ * counts as clean. An identifier only counts when it stands on its
+ * own — not a member (`x.id`), not an object being accessed (`id.x`),
+ * not a callee (`id(`), and not a shift count (`<< id`).
+ */
+bool
+exprHas64BitSource(const FileCtx &ctx, const std::string &raw_expr)
+{
+    std::string expr = stripExplicitNarrowingCasts(raw_expr);
+    if (expr.find(".size(") != std::string::npos ||
+        expr.find("->size(") != std::string::npos)
+        return true;
+    if (isSingleCallExpr(expr))
+        return false;
+    expr = blankSubscripts(expr);
+    for (const char *w : k64BitWords) {
+        const std::string word(w);
+        std::size_t at = 0;
+        while ((at = expr.find(word, at)) != std::string::npos) {
+            if (wordAt(expr, at, word))
+                return true;
+            at += word.size();
+        }
+    }
+    std::size_t i = 0;
+    while (i < expr.size()) {
+        if (!isIdentChar(expr[i]) ||
+            std::isdigit(static_cast<unsigned char>(expr[i]))) {
+            // Skip whole number tokens (hex literals contain letters).
+            while (i < expr.size() && isIdentChar(expr[i]))
+                ++i;
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < expr.size() && isIdentChar(expr[j]))
+            ++j;
+        const std::string id = expr.substr(i, j - i);
+        // Context before: member/qualified name, or a shift count.
+        std::size_t b = i;
+        while (b > 0 && (expr[b - 1] == ' ' || expr[b - 1] == '\t' ||
+                         expr[b - 1] == '\n'))
+            --b;
+        // A comparison's operands yield a bool, not their own width
+        // (sub-check (c) owns mixed-sign comparisons); a shift *count*
+        // does not widen either. Single '<'/'>' must not be confused
+        // with '<<'/'>>' — shifting a 64-bit value stays 64-bit.
+        const bool member_or_shift =
+            (b > 0 && expr[b - 1] == '.') ||
+            (b > 1 && (expr.compare(b - 2, 2, "->") == 0 ||
+                       expr.compare(b - 2, 2, "::") == 0 ||
+                       expr.compare(b - 2, 2, "<<") == 0 ||
+                       expr.compare(b - 2, 2, ">>") == 0 ||
+                       expr.compare(b - 2, 2, "==") == 0 ||
+                       expr.compare(b - 2, 2, "!=") == 0 ||
+                       expr.compare(b - 2, 2, "<=") == 0 ||
+                       expr.compare(b - 2, 2, ">=") == 0)) ||
+            (b > 0 && (expr[b - 1] == '<' || expr[b - 1] == '>') &&
+             !(b > 1 && (expr[b - 2] == '<' || expr[b - 2] == '>' ||
+                         expr[b - 2] == '-')));
+        // Context after: callee, object-being-accessed, or the left
+        // operand of a comparison.
+        std::size_t a = j;
+        while (a < expr.size() &&
+               (expr[a] == ' ' || expr[a] == '\t' || expr[a] == '\n'))
+            ++a;
+        const bool two_after =
+            a + 1 < expr.size() &&
+            (expr.compare(a, 2, "->") == 0 ||
+             expr.compare(a, 2, "::") == 0 ||
+             expr.compare(a, 2, "==") == 0 ||
+             expr.compare(a, 2, "!=") == 0 ||
+             expr.compare(a, 2, "<=") == 0 ||
+             expr.compare(a, 2, ">=") == 0);
+        const bool cmp_after =
+            a < expr.size() &&
+            (expr[a] == '<' || expr[a] == '>') &&
+            !(a + 1 < expr.size() &&
+              (expr[a + 1] == '<' || expr[a + 1] == '>'));
+        const bool object_or_call =
+            (a < expr.size() &&
+             (expr[a] == '(' || expr[a] == '.')) ||
+            two_after || cmp_after;
+        if (!member_or_shift && !object_or_call) {
+            int width = 0;
+            bool is_signed = false;
+            if (ctx.model.lookupInt(id, &width, &is_signed) &&
+                width == 64)
+                return true;
+        }
+        i = j;
+    }
+    return false;
+}
+
+/**
+ * integer-narrowing: the paper's cycle/byte arithmetic is 64-bit end
+ * to end (`Cycles`, `Bytes`, `MacCount` in util/common.hh); one silent
+ * truncation corrupts a plan without any test noticing. Three shapes:
+ *
+ *  (a) a 32-bit variable assigned or initialized from an expression
+ *      carrying a 64-bit source;
+ *  (b) a 32-bit loop counter whose bound iterates a 64-bit extent;
+ *  (c) a comparison between two declared integers of opposite
+ *      signedness.
+ *
+ * `static_cast` to the narrow type is the explicit escape; pair it
+ * with a comment justifying why the value fits.
+ */
+void
+ruleIntegerNarrowing(FileCtx &ctx)
+{
+    const std::vector<Token> &toks = ctx.model.tokens;
+
+    // (a) `narrow = expr64` — declarations and assignments alike.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident ||
+            toks[i + 1].text != "=")
+            continue;
+        if (i > 0 && (toks[i - 1].text == "." ||
+                      toks[i - 1].text == "->" ||
+                      toks[i - 1].text == "::"))
+            continue; // member of something we did not declare
+        int width = 0;
+        bool is_signed = false;
+        if (!ctx.model.lookupInt(toks[i].text, &width, &is_signed) ||
+            width != 32)
+            continue;
+        // RHS span: to the next `;` or top-level `,`/`)` in the code.
+        std::size_t j = i + 2;
+        int depth = 0;
+        while (j < toks.size()) {
+            const std::string &s = toks[j].text;
+            if (s == "(" || s == "[" || s == "{") {
+                ++depth;
+            } else if (s == ")" || s == "]" || s == "}") {
+                if (depth == 0)
+                    break;
+                --depth;
+            } else if (depth == 0 && (s == ";" || s == ",")) {
+                break;
+            }
+            ++j;
+        }
+        if (j <= i + 2 || j >= toks.size())
+            continue;
+        const std::size_t begin = toks[i + 2].pos;
+        const std::size_t end = toks[j].pos;
+        if (exprHas64BitSource(ctx,
+                               ctx.code.substr(begin, end - begin))) {
+            ctx.report(
+                toks[i].pos, "integer-narrowing",
+                "64-bit value narrows implicitly into 32-bit '" +
+                    toks[i].text +
+                    "': widen the variable or make the truncation "
+                    "explicit with static_cast and a justifying "
+                    "comment");
+        }
+    }
+
+    // (b) `for (int i = ...; i < extent64; ...)`.
+    std::vector<std::pair<std::size_t, std::size_t>> flagged_conds;
+    for (std::size_t i = 0; i + 4 < toks.size(); ++i) {
+        if (toks[i].kind != Token::Kind::Ident || toks[i].text != "for")
+            continue;
+        if (toks[i + 1].text != "(")
+            continue;
+        std::size_t j = i + 2;
+        while (j < toks.size() &&
+               (toks[j].text == "const" || toks[j].text == "auto"))
+            ++j;
+        if (j >= toks.size() || toks[j].kind != Token::Kind::Ident)
+            continue;
+        std::string type = toks[j].text;
+        if (type == "std" && j + 2 < toks.size() &&
+            toks[j + 1].text == "::") {
+            j += 2;
+            type = toks[j].text;
+        }
+        if (type != "int" && type != "short" && type != "int32_t" &&
+            type != "uint32_t" && type != "unsigned" &&
+            type != "int16_t" && type != "uint16_t")
+            continue;
+        const std::string counter =
+            (j + 1 < toks.size() &&
+             toks[j + 1].kind == Token::Kind::Ident)
+                ? toks[j + 1].text
+                : std::string();
+        // First `;` at paren depth 1, then the condition up to the
+        // second one.
+        int depth = 1;
+        std::size_t semi1 = 0, semi2 = 0;
+        for (std::size_t k = i + 2; k < toks.size() && depth > 0; ++k) {
+            const std::string &s = toks[k].text;
+            if (s == "(") {
+                ++depth;
+            } else if (s == ")") {
+                --depth;
+            } else if (s == ";" && depth == 1) {
+                if (!semi1) {
+                    semi1 = k;
+                } else {
+                    semi2 = k;
+                    break;
+                }
+            }
+        }
+        if (!semi1 || !semi2 || semi2 <= semi1 + 1)
+            continue;
+        const std::size_t begin = toks[semi1 + 1].pos;
+        const std::size_t end = toks[semi2].pos;
+        std::string cond = ctx.code.substr(begin, end - begin);
+        // The counter itself is declared narrow right here; only
+        // *other* 64-bit sources in the bound matter.
+        if (!counter.empty()) {
+            std::size_t at = 0;
+            while ((at = cond.find(counter, at)) != std::string::npos) {
+                if (wordAt(cond, at, counter)) {
+                    for (std::size_t k = 0; k < counter.size(); ++k)
+                        cond[at + k] = ' ';
+                }
+                at += counter.size();
+            }
+        }
+        if (exprHas64BitSource(ctx, cond)) {
+            flagged_conds.emplace_back(semi1 + 1, semi2);
+            ctx.report(
+                toks[i].pos, "integer-narrowing",
+                "32-bit loop counter iterates a 64-bit extent: the "
+                "index wraps before the bound is reached; use "
+                "std::size_t or std::int64_t (or cast the bound "
+                "explicitly)");
+        }
+    }
+
+    // (c) signed/unsigned comparison between declared integers.
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+        const Token &a = toks[i];
+        const Token &op = toks[i + 1];
+        const Token &b = toks[i + 2];
+        if (a.kind != Token::Kind::Ident ||
+            b.kind != Token::Kind::Ident)
+            continue;
+        if (op.text != "<" && op.text != ">" && op.text != "<=" &&
+            op.text != ">=" && op.text != "==" && op.text != "!=")
+            continue;
+        if (i > 0 && (toks[i - 1].text == "." ||
+                      toks[i - 1].text == "->" ||
+                      toks[i - 1].text == "::" ||
+                      toks[i - 1].kind == Token::Kind::Ident))
+            continue;
+        if (i + 3 < toks.size() &&
+            (toks[i + 3].text == "." || toks[i + 3].text == "->" ||
+             toks[i + 3].text == "::" || toks[i + 3].text == "("))
+            continue;
+        bool covered = false;
+        for (const auto &[lo, hi] : flagged_conds) {
+            if (i + 1 >= lo && i + 1 < hi) {
+                covered = true; // already reported as a loop bound
+                break;
+            }
+        }
+        if (covered)
+            continue;
+        int wa = 0, wb = 0;
+        bool sa = false, sb = false;
+        if (!ctx.model.lookupInt(a.text, &wa, &sa) ||
+            !ctx.model.lookupInt(b.text, &wb, &sb))
+            continue;
+        if (sa == sb)
+            continue;
+        ctx.report(op.pos, "integer-narrowing",
+                   "signed/unsigned comparison between '" + a.text +
+                       "' and '" + b.text +
+                       "': the signed side converts modulo 2^N; cast "
+                       "one side explicitly");
+    }
+}
+
 } // namespace
 
 std::vector<std::string>
 ruleNames()
 {
-    return {"unordered-iter", "raw-rand", "pointer-key",
-            "hash-tiebreak", "fp-parallel-reduce", "wall-clock",
+    return {"unordered-iter",     "raw-rand",
+            "pointer-key",        "hash-tiebreak",
+            "fp-parallel-reduce", "wall-clock",
+            "layer-conformance",  "integer-narrowing",
+            "enum-switch-default", "raw-lock",
             "allowlist-justification"};
 }
 
 void
-collectUnorderedNames(const std::string &content,
-                      std::vector<std::string> &names)
+collectProjectFacts(const std::string &content, ProjectModel &project)
 {
     const std::string code = maskCommentsAndStrings(content);
+    const std::vector<std::size_t> starts = lineStarts(content);
+
+    // Unordered-container names (pass 1 of unordered-iter).
     for (std::size_t i = 0; i < code.size(); ++i) {
         const bool m = wordAt(code, i, "unordered_map") ||
                        wordAt(code, i, "unordered_multimap");
@@ -605,7 +1062,7 @@ collectUnorderedNames(const std::string &content,
                        wordAt(code, i, "unordered_multiset");
         if (!m && !s)
             continue;
-        std::size_t lt = i + (m ? 13 : 13); // both prefixes same length
+        std::size_t lt = i + 13; // both prefixes same length
         while (lt < code.size() && isIdentChar(code[lt]))
             ++lt; // cover the multimap/multiset suffix
         if (lt >= code.size() || code[lt] != '<') {
@@ -633,23 +1090,33 @@ collectUnorderedNames(const std::string &content,
                 ++e;
             const std::string name = code.substr(k, e - k);
             if (name != "const" &&
-                std::find(names.begin(), names.end(), name) ==
-                    names.end()) {
-                names.push_back(name);
+                std::find(project.unorderedNames.begin(),
+                          project.unorderedNames.end(),
+                          name) == project.unorderedNames.end()) {
+                project.unorderedNames.push_back(name);
             }
         }
         i = after;
+    }
+
+    // Project enum names (pass 1 of enum-switch-default).
+    const FileModel fm = buildFileModel("", content, code, starts);
+    for (const EnumDecl &e : fm.enums) {
+        if (std::find(project.enumNames.begin(), project.enumNames.end(),
+                      e.name) == project.enumNames.end())
+            project.enumNames.push_back(e.name);
     }
 }
 
 std::vector<Finding>
 lintContent(const std::string &path, const std::string &content,
-            const std::vector<std::string> &unordered_names)
+            const ProjectModel &project)
 {
     const std::string code = maskCommentsAndStrings(content);
     const std::vector<std::size_t> starts = lineStarts(content);
+    const FileModel model = buildFileModel(path, content, code, starts);
     std::vector<Finding> findings;
-    FileCtx ctx{path, content, code, starts, unordered_names, findings};
+    FileCtx ctx{path, content, code, starts, project, model, findings};
 
     ruleUnorderedIter(ctx);
     ruleRawRand(ctx);
@@ -658,6 +1125,11 @@ lintContent(const std::string &path, const std::string &content,
     ruleFpParallelReduce(ctx);
     if (!inObsQuarantine(path))
         ruleWallClock(ctx);
+    ruleLayerConformance(ctx);
+    ruleEnumSwitchDefault(ctx);
+    if (!inUtilQuarantine(path))
+        ruleRawLock(ctx);
+    ruleIntegerNarrowing(ctx);
 
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
@@ -665,6 +1137,13 @@ lintContent(const std::string &path, const std::string &content,
                       return a.line < b.line;
                   return a.rule < b.rule;
               });
+    findings.erase(std::unique(findings.begin(), findings.end(),
+                               [](const Finding &a, const Finding &b) {
+                                   return a.line == b.line &&
+                                          a.rule == b.rule &&
+                                          a.message == b.message;
+                               }),
+                   findings.end());
     return findings;
 }
 

@@ -2,12 +2,15 @@
 
 /**
  * @file
- * Rule engine of `adlint`, the project-specific determinism linter.
+ * Rule engine of `adlint`, the project-specific static analyzer.
  *
  * The ahead-of-time orchestration stack is only trustworthy if the
  * scheduler and cost model are pure deterministic functions of the graph
- * (DESIGN.md Sec. 10). These rules statically reject the ways C++ code
- * silently loses that property:
+ * (DESIGN.md Sec. 10) and if the 64-bit cycle/byte arithmetic they rest
+ * on never silently loses bits (DESIGN.md Sec. 15). These rules
+ * statically reject the ways C++ code loses those properties.
+ *
+ * Determinism family (v1, textual):
  *
  *  - `unordered-iter`      iteration over `std::unordered_map` /
  *                          `std::unordered_set`: hash-table order leaks
@@ -24,12 +27,35 @@
  *                          lambda: floating-point addition is not
  *                          associative, so reduction order changes the
  *                          result (and non-FP accumulation races).
- *  - `wall-clock`          direct `std::chrono::steady_clock` /
- *                          `system_clock` / `high_resolution_clock`
- *                          reads outside `src/obs`: wall time must flow
- *                          through the quarantined `obs::Stopwatch` and
- *                          surface only as `host.*` metrics, never in
- *                          trace timestamps or scheduling decisions.
+ *  - `wall-clock`          direct `std::chrono` clock reads outside
+ *                          `src/obs`: wall time must flow through the
+ *                          quarantined `obs::Stopwatch` and surface only
+ *                          as `host.*` metrics.
+ *
+ * Semantic-model family (v2, built on the tokenizer and per-file model
+ * in model.hh):
+ *
+ *  - `layer-conformance`   an include that points from a `src/` module
+ *                          at a strictly higher-ranked module in the
+ *                          declared layer manifest
+ *                          (`tools/adlint/layers.txt`): upward or cyclic
+ *                          edges break the module DAG.
+ *  - `integer-narrowing`   implicit narrowing of 64-bit cycle/byte
+ *                          expressions into 32-bit variables, 32-bit
+ *                          loop counters iterating 64-bit extents
+ *                          (`.size()`, `Cycles`/`Bytes` values), and
+ *                          signed/unsigned comparisons between declared
+ *                          integers. Explicit `static_cast` to the
+ *                          narrow type is the sanctioned escape.
+ *  - `enum-switch-default` a `switch` over a project enum carrying a
+ *                          `default:` arm: the arm masks `-Wswitch`, so
+ *                          adding an enumerator becomes a runtime
+ *                          surprise instead of a compile error.
+ *  - `raw-lock`            direct `.lock()` / `.unlock()` /
+ *                          `.try_lock()` calls (or unannotated std
+ *                          guards) outside `src/util`: use the annotated
+ *                          `util::MutexLock` so Clang's thread-safety
+ *                          analysis stays sound.
  *
  * A finding is suppressed by an allowlist comment on the same line or
  * one of the two lines above, naming the rule and justifying the
@@ -38,16 +64,21 @@
  *     // adlint: unordered-iter-ok — keys are sorted before use
  *
  * A marker without a justification is itself reported
- * (`allowlist-justification`), so exemptions stay auditable.
+ * (`allowlist-justification`), so exemptions stay auditable. Whole-tree
+ * burn-downs live in the checked-in `tools/adlint/baseline.json`
+ * instead (see baseline.hh).
  *
- * The engine is deliberately textual (no compiler front-end): it runs in
- * milliseconds over the whole tree, has zero dependencies, and the rules
- * target idioms that are reliably recognizable at the token level.
- * Comments and string literals are masked out before matching.
+ * The engine still has no compiler front-end: the semantic model is a
+ * token-level approximation that runs in milliseconds over the whole
+ * tree with zero dependencies, targeting idioms that are reliably
+ * recognizable at that level. Comments and string literals (including
+ * raw strings) are masked out before any rule runs.
  */
 
 #include <string>
 #include <vector>
+
+#include "model.hh"
 
 namespace ad::lint {
 
@@ -64,21 +95,33 @@ struct Finding
 std::vector<std::string> ruleNames();
 
 /**
- * Pass 1: collect identifiers declared with an
- * `unordered_map`/`unordered_set` type in @p content. Run over every
- * file first so pass 2 can recognize iteration over a member declared
- * in a header (e.g. `_entries` in a `.hh`, iterated in the `.cc`).
+ * Cross-file facts shared by every lint pass: names of unordered
+ * containers (headers declare, sources iterate), names of project
+ * enums (headers define, sources switch), and the layer manifest.
+ * Populate with collectProjectFacts() over every file first.
  */
-void collectUnorderedNames(const std::string &content,
-                           std::vector<std::string> &names);
+struct ProjectModel
+{
+    std::vector<std::string> unorderedNames;
+    std::vector<std::string> enumNames;
+    LayerManifest layers;
+};
 
 /**
- * Pass 2: lint @p content (from @p path, used only for diagnostics)
- * against every rule. @p unordered_names is the union of pass-1 results
- * across the scanned set.
+ * Pass 1: fold @p content's declarations into @p project — identifiers
+ * declared with an `unordered_map`/`unordered_set` type and `enum`
+ * definitions. Run over every file before lintContent() so facts
+ * declared in one file are visible while linting another.
  */
-std::vector<Finding>
-lintContent(const std::string &path, const std::string &content,
-            const std::vector<std::string> &unordered_names);
+void collectProjectFacts(const std::string &content,
+                         ProjectModel &project);
+
+/**
+ * Pass 2: lint @p content (from @p path, used for diagnostics and the
+ * path-scoped rules) against every rule.
+ */
+std::vector<Finding> lintContent(const std::string &path,
+                                 const std::string &content,
+                                 const ProjectModel &project);
 
 } // namespace ad::lint
