@@ -91,7 +91,11 @@ sim::ExecutionReport
 runStrategy(const std::string &name, const graph::Graph &graph,
             const sim::SystemConfig &system, int batch)
 {
-    return baselines::makePlanner(name, system, batch)->run(graph);
+    baselines::PlannerSpec spec;
+    spec.strategy = name;
+    spec.system = system;
+    spec.options.batch = batch;
+    return baselines::makePlanner(spec)->run(graph);
 }
 
 } // namespace

@@ -14,9 +14,12 @@
  * AD_BENCH_SERVE_REQUESTS overrides the trace length (default 64).
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
+#include <map>
+#include <string>
 
 #include "bench_common.hh"
 #include "serve/request_stream.hh"
@@ -73,7 +76,21 @@ main(int argc, char **argv)
 
             ad::serve::ServeLoop loop(system, options);
             const auto cold = loop.run(trace, stream.mix);
-            const auto warm = loop.run(trace, stream.mix);
+
+            // A cold pass under planning backlog can reject requests
+            // whose (net, batch) keys it therefore never compiles; the
+            // warm pass admits them, plans them, and writes them
+            // through. Iterate to the fixed point — a pass with zero
+            // misses adds nothing and reproduces itself — before
+            // comparing against the restarted replica.
+            auto warm = loop.run(trace, stream.mix);
+            for (int i = 0; i < 6 && warm.cacheMisses != 0; ++i)
+                warm = loop.run(trace, stream.mix);
+            if (warm.cacheMisses != 0) {
+                std::cerr << "FATAL: warm passes did not reach the "
+                             "all-hit fixed point\n";
+                return 1;
+            }
 
             // The warm-restart pass: a brand-new loop (empty memory
             // tier) pointed at the store the first loop populated —
@@ -102,6 +119,133 @@ main(int argc, char **argv)
         }
         std::cout << table.render() << "\n";
     }
+
+    // == SLO-class co-location on sub-mesh executors (DESIGN.md
+    // Sec. 16): a latency-critical tiny-model class and a batch class
+    // of compute-bound zoo nets share one machine. The single-tenant
+    // row serialises the merged trace on the whole mesh; the co-located
+    // row halves the 8x8 mesh into two executors and admits classes
+    // concurrently. Aggregate throughput must come out ahead for
+    // co-location.
+    {
+        const int total = traceRequests();
+        ad::serve::StreamOptions lat;
+        // Poisson, not bursty: the bursty generator's quiet phases can
+        // clamp to ~1e-3 req/s, and the resulting thousand-second
+        // arrival gaps would swamp the makespan both rows share. The
+        // co-location comparison should be service-bound.
+        lat.kind = ad::serve::ArrivalKind::Poisson;
+        lat.ratePerSec = 4000.0;
+        lat.requests = std::max(1, total / 2);
+        lat.seed = 7;
+        lat.deadlineMs = 50.0;
+        lat.freqGhz = system.engine.freqGhz;
+        lat.mix = ad::serve::resolveMix("tinymix");
+
+        ad::serve::StreamOptions batch = lat;
+        batch.ratePerSec = 2000.0;
+        batch.requests = std::max(1, total / 2);
+        batch.deadlineMs = 2000.0;
+        // The compute-bound end of the zoo: these nets lose little on a
+        // half-machine view (1.2-1.7x), so spatially overlapping them
+        // beats time-sharing the full mesh. The bandwidth-bound nets
+        // (vgg19, nasnet, pnasnet) scale with the HBM share and gain
+        // nothing from co-location.
+        batch.mix = {"resnet50", "resnet152", "resnet1001",
+                     "efficientnet"};
+
+        const auto merged = ad::serve::generateClassArrivals(
+            {{ad::serve::SloClass::Latency, lat},
+             {ad::serve::SloClass::Batch, batch}});
+
+        std::cout << "== Co-location: latency tinymix ("
+                  << lat.requests << " req @ "
+                  << ad::fmtDouble(lat.ratePerSec, 0)
+                  << "/s) + batch zoo mix (" << batch.requests
+                  << " req @ " << ad::fmtDouble(batch.ratePerSec, 0)
+                  << "/s), poisson, seed " << lat.seed << " ==\n";
+
+        struct Tenancy
+        {
+            const char *name;
+            std::vector<ad::sim::MeshView> views;
+        };
+        const std::vector<Tenancy> tenancies{
+            {"single-tenant", {}},
+            {"co-located",
+             {ad::sim::MeshView{0, 0, 4, 8, 0, 0, 0.5},
+              ad::sim::MeshView{4, 0, 4, 8, 0, 0, 0.5}}},
+        };
+
+        ad::TextTable table;
+        table.setHeader({"tenancy", "lat p50(ms)", "lat p99(ms)",
+                         "bat p50(ms)", "bat p99(ms)", "done", "rps",
+                         "preempt", "cold wall(s)", "restart wall(s)"});
+        std::map<std::string, double> aggregate_rps;
+        for (const Tenancy &tenancy : tenancies) {
+            ad::serve::ServeOptions options;
+            options.submeshes = tenancy.views;
+            options.storeDir =
+                (store_root / (std::string("colo_") + tenancy.name))
+                    .string();
+
+            ad::serve::ServeLoop loop(system, options);
+            const auto cold = loop.run(merged.requests, merged.mix);
+
+            // Multi-executor dispatch depends on planning latencies,
+            // so a warm pass can touch (net, view-shape) plan keys the
+            // cold pass never planned — which it then write-throughs
+            // to the store. Iterate to the fixed point: a pass with
+            // zero misses adds nothing and reproduces itself, and a
+            // store-hydrated restart replays it bit-identically.
+            auto warm = loop.run(merged.requests, merged.mix);
+            for (int i = 0; i < 6 && warm.cacheMisses != 0; ++i)
+                warm = loop.run(merged.requests, merged.mix);
+            if (warm.cacheMisses != 0) {
+                std::cerr << "FATAL: co-location warm passes did not "
+                             "reach the all-hit fixed point\n";
+                return 1;
+            }
+
+            ad::serve::ServeLoop restarted(system, options);
+            const auto restart =
+                restarted.run(merged.requests, merged.mix);
+            if (!restart.bitIdentical(warm)) {
+                std::cerr << "FATAL: store-hydrated co-location pass "
+                             "diverged from the warm in-memory pass\n";
+                return 1;
+            }
+
+            double class_ms[2][2] = {{0.0, 0.0}, {0.0, 0.0}};
+            for (const auto &cr : warm.classes) {
+                class_ms[static_cast<int>(cr.slo)][0] = cr.p50LatencyMs;
+                class_ms[static_cast<int>(cr.slo)][1] = cr.p99LatencyMs;
+            }
+            aggregate_rps[tenancy.name] = warm.throughputRps;
+            table.addRow({tenancy.name,
+                          ad::fmtDouble(class_ms[0][0], 2),
+                          ad::fmtDouble(class_ms[0][1], 2),
+                          ad::fmtDouble(class_ms[1][0], 2),
+                          ad::fmtDouble(class_ms[1][1], 2),
+                          std::to_string(warm.completed),
+                          ad::fmtDouble(warm.throughputRps, 1),
+                          std::to_string(warm.preemptions),
+                          ad::fmtDouble(cold.planWallSeconds, 2),
+                          ad::fmtDouble(restart.planWallSeconds, 2)});
+        }
+        std::cout << table.render() << "\n";
+        if (aggregate_rps["co-located"] <=
+            aggregate_rps["single-tenant"]) {
+            std::cerr << "FATAL: co-location did not improve aggregate "
+                         "throughput ("
+                      << ad::fmtDouble(aggregate_rps["co-located"], 1)
+                      << " vs "
+                      << ad::fmtDouble(aggregate_rps["single-tenant"], 1)
+                      << " rps)\n";
+            return 1;
+        }
+    }
+
     std::filesystem::remove_all(store_root);
     return 0;
 }

@@ -79,8 +79,10 @@ layerDramBytes(const graph::Layer &layer, int bytes_per_elem)
 } // namespace
 
 CnnPartition::CnnPartition(const sim::SystemConfig &system,
-                           CnnPOptions options)
-    : _system(system), _options(options)
+                           CnnPOptions options, sim::MeshView view)
+    : _system(sim::viewSystem(
+          system, view.resolved(system.meshX, system.meshY))),
+      _options(options)
 {
     _system.validate();
     if (_options.batch < 1)

@@ -34,8 +34,10 @@ struct CnnPOptions
 class CnnPartition : public core::Planner
 {
   public:
-    /** Create an executor for @p system. */
-    CnnPartition(const sim::SystemConfig &system, CnnPOptions options);
+    /** Create an executor for @p view of @p system (default: whole
+     * mesh); CLPs cluster the view's engines only. */
+    CnnPartition(const sim::SystemConfig &system, CnnPOptions options,
+                 sim::MeshView view = {});
 
     /** Planner interface. */
     std::string name() const override { return "CNN-P"; }

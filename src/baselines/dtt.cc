@@ -14,8 +14,10 @@ namespace ad::baselines {
 
 DttPlanner::DttPlanner(const sim::SystemConfig &system,
                        core::OrchestratorOptions options,
-                       core::DttOptions search)
-    : _system(system), _options(options), _search(search)
+                       core::DttOptions search, sim::MeshView view)
+    : _base(system), _view(view.resolved(system.meshX, system.meshY)),
+      _system(sim::viewSystem(system, _view)), _options(options),
+      _search(search)
 {
     _system.validate();
     _search.engines = _system.engines();
@@ -30,7 +32,7 @@ DttPlanner::plan(const graph::Graph &graph,
     // Front half: the full AD candidate sweep, untraced — the losing
     // candidates and the SA telemetry belong to the search, not to the
     // plan this call returns.
-    const core::Orchestrator base(_system, _options);
+    const core::Orchestrator base(_base, _options, _view);
     core::PlanResult result = base.plan(graph, nullptr);
 
     bool exact = false;
@@ -53,7 +55,7 @@ DttPlanner::plan(const graph::Graph &graph,
             search = *found;
             core::Schedule schedule = base.mapRounds(
                 *result.dag, search.rounds, core::SchedMode::Dtt);
-            const sim::SystemSimulator simulator(_system);
+            const sim::SystemSimulator simulator(_base, _view);
             const sim::ExecutionReport report =
                 simulator.execute(*result.dag, schedule);
             result.schedule = std::move(schedule);
@@ -82,7 +84,7 @@ DttPlanner::plan(const graph::Graph &graph,
         // re-execute only the returned plan with instrumentation.
         // Determinism makes the traced re-run bit-identical.
         if (result.dag) {
-            const sim::SystemSimulator simulator(_system);
+            const sim::SystemSimulator simulator(_base, _view);
             const sim::ExecutionReport traced = simulator.execute(
                 *result.dag, result.schedule, ins);
             adAssert(traced.bitIdentical(result.report),

@@ -34,14 +34,14 @@ class DttPlanner : public core::Planner
 {
   public:
     /**
-     * Create a planner for @p system; @p options configures the shared
-     * atom-generation front half (as for the Orchestrator) and
-     * @p search the DTT state-graph search (engines is overwritten
-     * from the system).
+     * Create a planner for @p view of @p system (default: the whole
+     * mesh); @p options configures the shared atom-generation front
+     * half (as for the Orchestrator) and @p search the DTT state-graph
+     * search (engines is overwritten from the view).
      */
     DttPlanner(const sim::SystemConfig &system,
                core::OrchestratorOptions options = {},
-               core::DttOptions search = {});
+               core::DttOptions search = {}, sim::MeshView view = {});
 
     /** Planner interface. */
     std::string name() const override { return "DTT"; }
@@ -61,7 +61,9 @@ class DttPlanner : public core::Planner
     const core::DttOptions &searchOptions() const { return _search; }
 
   private:
-    sim::SystemConfig _system;
+    sim::SystemConfig _base;  ///< the machine hosting the view
+    sim::MeshView _view;      ///< resolved against _base
+    sim::SystemConfig _system; ///< viewSystem(_base, _view)
     core::OrchestratorOptions _options;
     core::DttOptions _search;
 };

@@ -53,8 +53,11 @@ regionCycles(const graph::Layer &layer, int engines,
 
 } // namespace
 
-IlPipe::IlPipe(const sim::SystemConfig &system, IlPipeOptions options)
-    : _system(system), _options(options)
+IlPipe::IlPipe(const sim::SystemConfig &system, IlPipeOptions options,
+               sim::MeshView view)
+    : _system(sim::viewSystem(
+          system, view.resolved(system.meshX, system.meshY))),
+      _options(options)
 {
     _system.validate();
     if (_options.batch < 1)

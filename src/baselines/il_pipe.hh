@@ -33,8 +33,10 @@ struct IlPipeOptions
 class IlPipe : public core::Planner
 {
   public:
-    /** Create an executor for @p system. */
-    IlPipe(const sim::SystemConfig &system, IlPipeOptions options);
+    /** Create an executor for @p view of @p system (default: whole
+     * mesh); pipeline regions tile the view's engines only. */
+    IlPipe(const sim::SystemConfig &system, IlPipeOptions options,
+           sim::MeshView view = {});
 
     /** Planner interface. */
     std::string name() const override { return "IL-Pipe"; }

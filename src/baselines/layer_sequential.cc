@@ -14,8 +14,9 @@ using core::Placement;
 using core::Schedule;
 
 LayerSequential::LayerSequential(const sim::SystemConfig &system,
-                                 LsOptions options)
-    : _system(system), _options(options)
+                                 LsOptions options, sim::MeshView view)
+    : _base(system), _view(view.resolved(system.meshX, system.meshY)),
+      _system(sim::viewSystem(system, _view)), _options(options)
 {
     _system.validate();
     if (_options.batch < 1)
@@ -91,7 +92,7 @@ LayerSequential::plan(const graph::Graph &graph,
     core::PlanResult result;
     result.dag = std::move(dag);
     result.schedule = std::move(schedule);
-    const sim::SystemSimulator simulator(_system);
+    const sim::SystemSimulator simulator(_base, _view);
     result.report =
         simulator.execute(*result.dag, result.schedule, ins);
     return result;

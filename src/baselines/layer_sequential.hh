@@ -32,8 +32,10 @@ using LsPlan = core::PlanResult;
 class LayerSequential : public core::Planner
 {
   public:
-    /** Create an executor for @p system. */
-    LayerSequential(const sim::SystemConfig &system, LsOptions options);
+    /** Create an executor for @p view of @p system (default: whole
+     * mesh); the even split spans the view's engines only. */
+    LayerSequential(const sim::SystemConfig &system, LsOptions options,
+                    sim::MeshView view = {});
 
     /** Planner interface. */
     std::string name() const override { return "LS"; }
@@ -52,7 +54,9 @@ class LayerSequential : public core::Planner
     std::vector<double> layerUtilizations(const graph::Graph &graph) const;
 
   private:
-    sim::SystemConfig _system;
+    sim::SystemConfig _base;  ///< the machine hosting the view
+    sim::MeshView _view;      ///< resolved against _base
+    sim::SystemConfig _system; ///< viewSystem(_base, _view)
     LsOptions _options;
 };
 

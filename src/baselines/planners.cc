@@ -18,49 +18,39 @@ plannerNames()
 }
 
 std::unique_ptr<core::Planner>
-makePlanner(const std::string &name, const sim::SystemConfig &system,
-            int batch)
+makePlanner(const PlannerSpec &spec)
 {
-    if (name == "LS") {
+    if (spec.strategy == "LS") {
         LsOptions options;
-        options.batch = batch;
-        return std::make_unique<LayerSequential>(system, options);
+        options.batch = spec.options.batch;
+        return std::make_unique<LayerSequential>(spec.system, options,
+                                                 spec.view);
     }
-    if (name == "CNN-P") {
+    if (spec.strategy == "CNN-P") {
         CnnPOptions options;
-        options.batch = batch;
-        return std::make_unique<CnnPartition>(system, options);
+        options.batch = spec.options.batch;
+        return std::make_unique<CnnPartition>(spec.system, options,
+                                              spec.view);
     }
-    if (name == "IL-Pipe") {
+    if (spec.strategy == "IL-Pipe") {
         IlPipeOptions options;
-        options.batch = batch;
-        return std::make_unique<IlPipe>(system, options);
+        options.batch = spec.options.batch;
+        return std::make_unique<IlPipe>(spec.system, options, spec.view);
     }
-    if (name == "Rammer")
-        return std::make_unique<RammerScheduler>(system, batch);
-    if (name == "AD") {
-        core::OrchestratorOptions options;
-        options.batch = batch;
-        return std::make_unique<core::Orchestrator>(system, options);
+    if (spec.strategy == "Rammer") {
+        return std::make_unique<RammerScheduler>(
+            spec.system, spec.options.batch, spec.view);
     }
-    if (name == "DTT") {
-        core::OrchestratorOptions options;
-        options.batch = batch;
-        return std::make_unique<DttPlanner>(system, options);
+    if (spec.strategy == "AD") {
+        return std::make_unique<core::Orchestrator>(
+            spec.system, spec.options, spec.view);
     }
-    fatal("unknown planner '", name,
+    if (spec.strategy == "DTT") {
+        return std::make_unique<DttPlanner>(
+            spec.system, spec.options, core::DttOptions{}, spec.view);
+    }
+    fatal("unknown planner '", spec.strategy,
           "' (expected LS, CNN-P, IL-Pipe, Rammer, AD, or DTT)");
-}
-
-std::unique_ptr<core::Planner>
-makePlanner(const std::string &name, const sim::SystemConfig &system,
-            const core::OrchestratorOptions &options)
-{
-    if (name == "AD")
-        return std::make_unique<core::Orchestrator>(system, options);
-    if (name == "DTT")
-        return std::make_unique<DttPlanner>(system, options);
-    return makePlanner(name, system, options.batch);
 }
 
 } // namespace ad::baselines

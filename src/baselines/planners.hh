@@ -14,6 +14,7 @@
 
 #include "core/orchestrator.hh"
 #include "core/planner.hh"
+#include "sim/mesh_view.hh"
 #include "sim/system.hh"
 
 namespace ad::baselines {
@@ -22,22 +23,27 @@ namespace ad::baselines {
 const std::vector<std::string> &plannerNames();
 
 /**
- * Build the planner registered under @p name (case-sensitive) for
- * @p system at @p batch. Throws ConfigError for unknown names.
+ * Everything that selects and configures a planner — the single
+ * factory signature (there are no overloads). "AD" and "DTT" honour
+ * the full orchestrator option set; the other strategies consume
+ * options.batch and their own defaults. Every strategy plans for
+ * `view` of `system` (the default view is the whole mesh), so a
+ * strategy name means the same configuration everywhere: adctl, the
+ * serving layer, benches, and tests all build planners through this
+ * one spec.
  */
-std::unique_ptr<core::Planner>
-makePlanner(const std::string &name, const sim::SystemConfig &system,
-            int batch);
+struct PlannerSpec
+{
+    std::string strategy = "AD";
+    sim::SystemConfig system;
+    sim::MeshView view{};
+    core::OrchestratorOptions options;
+};
 
 /**
- * Like the batch-only overload, but "AD" and "DTT" honour the full
- * orchestrator option set (@p options.batch feeds every strategy;
- * DTT shares the AD front half, see baselines/dtt.hh). adctl and the
- * serving layer build all their planners through this one entry, so a
- * strategy name means the same configuration everywhere.
+ * Build the planner @p spec describes. Throws ConfigError for unknown
+ * strategy names.
  */
-std::unique_ptr<core::Planner>
-makePlanner(const std::string &name, const sim::SystemConfig &system,
-            const core::OrchestratorOptions &options);
+std::unique_ptr<core::Planner> makePlanner(const PlannerSpec &spec);
 
 } // namespace ad::baselines

@@ -3,8 +3,9 @@
 namespace ad::baselines {
 
 RammerScheduler::RammerScheduler(const sim::SystemConfig &system,
-                                 int batch)
-    : _system(system), _batch(batch)
+                                 int batch, sim::MeshView view)
+    : _system(system), _batch(batch),
+      _view(view.resolved(system.meshX, system.meshY))
 {
     _system.validate();
     if (batch < 1)
@@ -28,7 +29,7 @@ RammerScheduler::plan(const graph::Graph &graph,
     options.mapper.optimize = false;
     options.mapper.stableOrder = false;
     options.onChipReuse = false;
-    const core::Orchestrator orchestrator(_system, options);
+    const core::Orchestrator orchestrator(_system, options, _view);
     return orchestrator.plan(graph, ins);
 }
 

@@ -21,8 +21,10 @@ namespace ad::baselines {
 class RammerScheduler : public core::Planner
 {
   public:
-    /** Create an executor for @p system processing @p batch samples. */
-    RammerScheduler(const sim::SystemConfig &system, int batch = 1);
+    /** Create an executor for @p view of @p system (default: whole
+     * mesh) processing @p batch samples. */
+    RammerScheduler(const sim::SystemConfig &system, int batch = 1,
+                    sim::MeshView view = {});
 
     /** Planner interface. */
     std::string name() const override { return "Rammer"; }
@@ -36,8 +38,9 @@ class RammerScheduler : public core::Planner
         const override;
 
   private:
-    sim::SystemConfig _system;
+    sim::SystemConfig _system; ///< the machine hosting the view
     int _batch;
+    sim::MeshView _view; ///< resolved against _system
 };
 
 } // namespace ad::baselines

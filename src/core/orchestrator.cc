@@ -13,12 +13,15 @@
 namespace ad::core {
 
 Orchestrator::Orchestrator(const sim::SystemConfig &system,
-                           OrchestratorOptions options)
-    : _system(system), _options(options)
+                           OrchestratorOptions options,
+                           sim::MeshView view)
+    : _base(system), _view(view.resolved(system.meshX, system.meshY)),
+      _system(sim::viewSystem(system, _view)), _options(options)
 {
     _system.validate();
     _options.scheduler.engines = _system.engines();
     if (!_options.onChipReuse) {
+        _base.onChipReuse = false;
         _system.onChipReuse = false;
         _options.mapper.optimize = false;
     }
@@ -219,7 +222,7 @@ Orchestrator::runImpl(const graph::Graph &graph,
     // lookahead, the greedy priority rules, and plain dependency order,
     // each with and without placement optimization; a non-Dp mode pins a
     // single candidate (used by the Fig. 10 ablations).
-    const sim::SystemSimulator simulator(_system);
+    const sim::SystemSimulator simulator(_base, _view);
     struct Candidate
     {
         SchedMode mode;
@@ -252,7 +255,7 @@ Orchestrator::runImpl(const graph::Graph &graph,
             OrchestratorOptions trial_options = _options;
             trial_options.scheduler.mode = candidate.mode;
             trial_options.mapper.optimize = candidate.optimizeMapping;
-            Orchestrator trial(_system, trial_options);
+            Orchestrator trial(_base, trial_options, _view);
             Schedule schedule = trial.buildSchedule(*dag);
             sim::ExecutionReport report =
                 simulator.execute(*dag, schedule);

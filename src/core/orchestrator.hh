@@ -66,9 +66,16 @@ struct OrchestratorResult
 class Orchestrator : public Planner
 {
   public:
-    /** Create an orchestrator for @p system with @p options. */
+    /**
+     * Create an orchestrator planning for @p view of the machine
+     * @p system (the default view is the whole mesh). Every stage —
+     * atom generation, scheduling, mapping, evaluation — operates on
+     * the view-local machine viewSystem(system, view); only trace
+     * track naming sees the global mesh.
+     */
     Orchestrator(const sim::SystemConfig &system,
-                 OrchestratorOptions options = {});
+                 OrchestratorOptions options = {},
+                 sim::MeshView view = {});
 
     /** Planner interface. */
     std::string name() const override { return "AD"; }
@@ -109,8 +116,11 @@ class Orchestrator : public Planner
     Schedule mapRounds(const AtomicDag &dag, const RoundList &rounds,
                        SchedMode mode) const;
 
-    /** System configuration in use. */
+    /** View-local system configuration all stages plan on. */
     const sim::SystemConfig &system() const { return _system; }
+
+    /** Resolved executor view the plan targets. */
+    const sim::MeshView &view() const { return _view; }
 
     /** Options in use. */
     const OrchestratorOptions &options() const { return _options; }
@@ -119,7 +129,9 @@ class Orchestrator : public Planner
     OrchestratorResult runImpl(const graph::Graph &graph,
                                obs::Instrumentation *ins) const;
 
-    sim::SystemConfig _system;
+    sim::SystemConfig _base;  ///< the machine hosting the view
+    sim::MeshView _view;      ///< resolved against _base
+    sim::SystemConfig _system; ///< viewSystem(_base, _view)
     OrchestratorOptions _options;
 };
 

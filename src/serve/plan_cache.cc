@@ -12,11 +12,13 @@ namespace ad::serve {
 PlanKey
 makePlanKey(const std::string &strategy, const graph::Graph &graph,
             const sim::SystemConfig &system,
-            const core::OrchestratorOptions &options)
+            const core::OrchestratorOptions &options,
+            const sim::MeshView &view)
 {
     std::ostringstream os;
     os << "strategy " << strategy << '\n';
     os << "system " << system.fingerprint() << '\n';
+    os << view.resolved(system.meshX, system.meshY).shapeKey() << '\n';
     os << "options batch=" << options.batch << " atom_gen="
        << (options.atomGen == core::AtomGenMode::Sa ? "sa" : "even")
        << " sa=" << options.sa.maxIterations << '/'

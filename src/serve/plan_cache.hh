@@ -61,14 +61,19 @@ struct PlanKey
 
 /**
  * Build the canonical key for planning @p graph with strategy
- * @p strategy under @p system and @p options. The graph enters via its
- * adgraph serialization, so renamed-but-identical models share plans and
- * structurally different models never do.
+ * @p strategy under @p system and @p options, for executor @p view
+ * (default: the whole mesh). The graph enters via its adgraph
+ * serialization, so renamed-but-identical models share plans and
+ * structurally different models never do. The view enters via its
+ * origin-free shapeKey(), so sub-mesh plans never alias full-mesh
+ * plans, while equally-shaped sub-meshes (plans are origin-invariant)
+ * share cache and store entries.
  */
 PlanKey makePlanKey(const std::string &strategy,
                     const graph::Graph &graph,
                     const sim::SystemConfig &system,
-                    const core::OrchestratorOptions &options);
+                    const core::OrchestratorOptions &options,
+                    const sim::MeshView &view = {});
 
 /** Cache observability snapshot. */
 struct PlanCacheStats

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "models/models.hh"
 #include "util/random.hh"
@@ -22,6 +23,22 @@ const char *
 arrivalKindName(ArrivalKind kind)
 {
     return kind == ArrivalKind::Poisson ? "poisson" : "bursty";
+}
+
+const char *
+sloClassName(SloClass c)
+{
+    return c == SloClass::Latency ? "latency" : "batch";
+}
+
+SloClass
+sloClassFromString(const std::string &s)
+{
+    if (s == "latency")
+        return SloClass::Latency;
+    if (s == "batch")
+        return SloClass::Batch;
+    fatal("unknown SLO class '", s, "' (expected latency or batch)");
 }
 
 namespace {
@@ -93,6 +110,66 @@ generateArrivals(const StreamOptions &options)
         trace.push_back(r);
     }
     return trace;
+}
+
+namespace {
+
+/**
+ * Per-class seed substream: the splitmix64 finalizer over (seed, lane)
+ * decorrelates the classes, while lane 0 (Latency) keeps the raw seed
+ * so a single-latency-class merge is byte-identical to the historic
+ * single-stream trace.
+ */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t lane)
+{
+    if (lane == 0)
+        return seed;
+    std::uint64_t z = seed + lane * 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+MergedTrace
+generateClassArrivals(const std::vector<ClassTraffic> &classes)
+{
+    if (classes.empty())
+        fatal("a merged trace needs at least one traffic class");
+
+    MergedTrace merged;
+    std::vector<std::pair<Request, std::size_t>> all; // (request, class)
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+        StreamOptions stream = classes[c].stream;
+        stream.seed = mixSeed(
+            stream.seed,
+            static_cast<std::uint64_t>(classes[c].slo));
+        const int offset = static_cast<int>(merged.mix.size());
+        for (Request r : generateArrivals(stream)) {
+            r.net += offset;
+            r.slo = classes[c].slo;
+            all.emplace_back(r, c);
+        }
+        merged.mix.insert(merged.mix.end(), stream.mix.begin(),
+                          stream.mix.end());
+    }
+
+    std::stable_sort(all.begin(), all.end(),
+                     [](const auto &a, const auto &b) {
+                         if (a.first.arrival != b.first.arrival)
+                             return a.first.arrival < b.first.arrival;
+                         return a.second < b.second;
+                     });
+
+    merged.requests.reserve(all.size());
+    for (std::size_t i = 0; i < all.size(); ++i) {
+        Request r = all[i].first;
+        r.id = static_cast<int>(i);
+        merged.requests.push_back(r);
+    }
+    return merged;
 }
 
 std::vector<std::string>

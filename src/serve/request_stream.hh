@@ -37,6 +37,23 @@ ArrivalKind arrivalKindFromString(const std::string &s);
 /** Short printable name of an arrival kind. */
 const char *arrivalKindName(ArrivalKind kind);
 
+/**
+ * Service-level-objective class of a request (DESIGN.md Sec. 16).
+ * Latency-critical traffic is admitted onto the widest free sub-mesh
+ * and may preempt batch work at round barriers; batch traffic packs
+ * onto the smallest fitting sub-mesh and runs to a throughput SLO.
+ */
+enum class SloClass { Latency = 0, Batch = 1 };
+
+/** Number of SLO classes (enum values are 0..kSloClassCount-1). */
+constexpr int kSloClassCount = 2;
+
+/** Short stable name of an SLO class ("latency" / "batch"). */
+const char *sloClassName(SloClass c);
+
+/** Parse "latency" / "batch"; fatals otherwise. */
+SloClass sloClassFromString(const std::string &s);
+
 /** Trace-generation parameters. */
 struct StreamOptions
 {
@@ -65,6 +82,7 @@ struct Request
     Cycles arrival = 0;   ///< arrival time in simulated cycles
     Cycles deadline = 0;  ///< absolute completion deadline
     int batch = 1;        ///< samples in this request
+    SloClass slo = SloClass::Latency; ///< service-level class
 };
 
 /**
@@ -73,6 +91,35 @@ struct Request
  * mix, non-positive rate or request count).
  */
 std::vector<Request> generateArrivals(const StreamOptions &options);
+
+/** One tenant class of a merged multi-class trace. */
+struct ClassTraffic
+{
+    SloClass slo = SloClass::Latency;
+    StreamOptions stream;
+};
+
+/** A merged multi-class trace plus the concatenated workload mix its
+ * requests' net indices point into. */
+struct MergedTrace
+{
+    std::vector<Request> requests;
+    std::vector<std::string> mix;
+};
+
+/**
+ * Generate one arrival trace per class and merge them by arrival time.
+ * Each class draws from its own seeded substream — class k's effective
+ * seed is a fixed splitmix of its StreamOptions seed and its SloClass,
+ * with Latency keeping the raw seed — so adding or removing one class
+ * never perturbs another class's arrivals (bit-identical regression,
+ * tests/test_serve.cc), and a single-Latency-class merge replays
+ * generateArrivals() exactly. Merged requests are sorted by arrival
+ * (stable on ties, class list order first) with ids reassigned in
+ * merged order; their net indices point into the returned mix, which
+ * concatenates the per-class mixes.
+ */
+MergedTrace generateClassArrivals(const std::vector<ClassTraffic> &classes);
 
 /**
  * Expand a `--net` operand into a workload mix: "mix"/"zoo" is all

@@ -1,7 +1,7 @@
 #include "serve_loop.hh"
 
 #include <algorithm>
-#include <deque>
+#include <cmath>
 #include <utility>
 
 #include "baselines/planners.hh"
@@ -39,7 +39,22 @@ RequestOutcome::bitIdentical(const RequestOutcome &o) const
            start == o.start && finish == o.finish &&
            deadline == o.deadline && planCycles == o.planCycles &&
            execCycles == o.execCycles && downgrade == o.downgrade &&
-           cacheHit == o.cacheHit && deadlineMiss == o.deadlineMiss;
+           cacheHit == o.cacheHit && deadlineMiss == o.deadlineMiss &&
+           slo == o.slo && submesh == o.submesh &&
+           preemptions == o.preemptions;
+}
+
+bool
+ClassReport::bitIdentical(const ClassReport &o) const
+{
+    return slo == o.slo && requests == o.requests &&
+           admitted == o.admitted && rejected == o.rejected &&
+           completed == o.completed &&
+           deadlineMisses == o.deadlineMisses &&
+           preemptions == o.preemptions &&
+           p50LatencyMs == o.p50LatencyMs &&
+           p99LatencyMs == o.p99LatencyMs &&
+           throughputRps == o.throughputRps;
 }
 
 bool
@@ -51,16 +66,83 @@ ServeReport::bitIdentical(const ServeReport &o) const
         if (!outcomes[i].bitIdentical(o.outcomes[i]))
             return false;
     }
+    if (classes.size() != o.classes.size())
+        return false;
+    for (std::size_t i = 0; i < classes.size(); ++i) {
+        if (!classes[i].bitIdentical(o.classes[i]))
+            return false;
+    }
     return admitted == o.admitted && rejected == o.rejected &&
            completed == o.completed &&
            deadlineMisses == o.deadlineMisses &&
            downgradedCached == o.downgradedCached &&
            downgradedFresh == o.downgradedFresh &&
            cacheHits == o.cacheHits && cacheMisses == o.cacheMisses &&
+           preemptions == o.preemptions &&
            peakQueueDepth == o.peakQueueDepth &&
            makespan == o.makespan && p50LatencyMs == o.p50LatencyMs &&
            p99LatencyMs == o.p99LatencyMs &&
            throughputRps == o.throughputRps;
+}
+
+std::vector<ServeOptions::Error>
+ServeOptions::validate(const sim::SystemConfig &system) const
+{
+    std::vector<Error> errors;
+    const auto flag = [&errors](std::string field, std::string message) {
+        errors.push_back({std::move(field), std::move(message)});
+    };
+
+    const auto &names = baselines::plannerNames();
+    const auto known = [&names](const std::string &s) {
+        return std::find(names.begin(), names.end(), s) != names.end();
+    };
+    if (!known(strategy))
+        flag("strategy", "unknown strategy '" + strategy + "'");
+    if (!known(fallbackStrategy)) {
+        flag("fallbackStrategy",
+             "unknown strategy '" + fallbackStrategy + "'");
+    }
+    if (queueCapacity == 0)
+        flag("queueCapacity", "queue capacity must be positive");
+    if (evictionPolicy != "lru" && evictionPolicy != "lfu") {
+        flag("evictionPolicy", "unknown eviction policy '" +
+                                   evictionPolicy +
+                                   "' (expected lru or lfu)");
+    }
+    if (cachedPlanCycles > coldPlanCycles) {
+        flag("cachedPlanCycles",
+             "a cached dispatch cannot cost more than a cold plan");
+    }
+
+    // The sub-mesh partition: every view in bounds, pairwise disjoint
+    // (disjoint rectangles share no engine and no NoC link), HBM
+    // shares within the machine's budget.
+    std::vector<sim::MeshView> resolved;
+    double share_sum = 0.0;
+    for (std::size_t i = 0; i < submeshes.size(); ++i) {
+        const std::string field = "submeshes[" + std::to_string(i) + "]";
+        try {
+            resolved.push_back(
+                submeshes[i].resolved(system.meshX, system.meshY));
+            share_sum += resolved.back().hbmShare;
+        } catch (const ConfigError &e) {
+            flag(field, e.what());
+        }
+    }
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
+        for (std::size_t j = i + 1; j < resolved.size(); ++j) {
+            if (resolved[i].overlaps(resolved[j])) {
+                flag("submeshes", "views " + resolved[i].describe() +
+                                      " and " + resolved[j].describe() +
+                                      " overlap");
+            }
+        }
+    }
+    if (share_sum > 1.0 + 1e-9) {
+        flag("submeshes", "HBM shares sum to more than the machine has");
+    }
+    return errors;
 }
 
 ServeLoop::ServeLoop(const sim::SystemConfig &system, ServeOptions options)
@@ -72,8 +154,18 @@ ServeLoop::ServeLoop(const sim::SystemConfig &system, ServeOptions options)
              makeEvictionPolicy(_options.evictionPolicy))
 {
     _system.validate();
-    if (_options.queueCapacity == 0)
-        fatal("serve queue capacity must be positive");
+    const auto errors = _options.validate(_system);
+    if (!errors.empty()) {
+        fatal("serve options: ", errors.front().field, ": ",
+              errors.front().message);
+    }
+    if (_options.submeshes.empty()) {
+        _views.push_back(
+            sim::MeshView{}.resolved(_system.meshX, _system.meshY));
+    } else {
+        for (const sim::MeshView &v : _options.submeshes)
+            _views.push_back(v.resolved(_system.meshX, _system.meshY));
+    }
     if (_store)
         _cache.attachStore(_store.get());
 }
@@ -91,11 +183,12 @@ ServeLoop::workload(const std::string &name)
 core::PlanResult
 ServeLoop::planNow(const std::string &strategy,
                    const graph::Graph &graph, int batch,
-                   double &wall_seconds)
+                   const sim::MeshView &view, double &wall_seconds)
 {
     auto opts = _options.orchestrator;
     opts.batch = batch;
-    const auto planner = baselines::makePlanner(strategy, _system, opts);
+    const auto planner =
+        baselines::makePlanner({strategy, _system, view, opts});
     const obs::Stopwatch sw;
     // Uninstrumented on purpose: search telemetry from cold plans would
     // make warm-cache runs render different (though still deterministic)
@@ -105,9 +198,9 @@ ServeLoop::planNow(const std::string &strategy,
     return result;
 }
 
-/** Exact q-quantile of @p sorted (ascending); empty returns 0. */
 namespace {
 
+/** Exact q-quantile of @p sorted (ascending); empty returns 0. */
 double
 exactQuantile(const std::vector<double> &sorted, double q)
 {
@@ -118,6 +211,32 @@ exactQuantile(const std::vector<double> &sorted, double q)
     rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
     return sorted[rank - 1];
 }
+
+/** Round-barrier granularity of @p plan: one Round's average share of
+ * its @p exec cycles, never zero. Preemption may only cut in at
+ * multiples of this from the execution's segment start. */
+Cycles
+roundQuantum(const core::PlanResult &plan, Cycles exec)
+{
+    const std::uint64_t rounds = std::max<std::uint64_t>(
+        1, plan.report.rounds);
+    return std::max<Cycles>(1, (exec + rounds - 1) / rounds);
+}
+
+/** Per-executor dispatch state of the admission controller. */
+struct Slot
+{
+    Cycles free = 0; ///< when the executor drains its queue
+
+    // The slot's preemption window: valid while a batch-class
+    // execution is the *sole remaining* work on the executor (any
+    // newer admission clears it). The invariant free == tailExecStart
+    // + tailRemaining holds whenever tailBatch >= 0.
+    int tailBatch = -1;      ///< outcome index of the running batch
+    Cycles tailExecStart = 0; ///< start of its current exec segment
+    Cycles tailRemaining = 0; ///< exec cycles left in that segment
+    Cycles tailQuantum = 1;   ///< its round-barrier granularity
+};
 
 } // namespace
 
@@ -155,14 +274,27 @@ ServeLoop::run(const std::vector<Request> &trace,
                                       200);
         ms->gauge("serve.latency.p50_ms");
         ms->gauge("serve.latency.p99_ms");
+        // Co-location series, registered unconditionally so the render
+        // shape is trace-independent (zeros for an absent class).
+        ms->counter("serve.preemptions");
+        for (int c = 0; c < kSloClassCount; ++c) {
+            const std::string prefix =
+                std::string("serve.class.") +
+                sloClassName(static_cast<SloClass>(c));
+            ms->counter(prefix + ".completed");
+            ms->counter(prefix + ".deadline_miss");
+            ms->counter(prefix + ".preemptions");
+            ms->gauge(prefix + ".p50_ms");
+            ms->gauge(prefix + ".p99_ms");
+        }
     }
     if (tr)
         tr->setTrackName(obs::kTrackServe, "serve");
 
     ServeReport report;
     report.outcomes.reserve(trace.size());
-    std::deque<Cycles> pending; // finish times of in-flight requests
-    Cycles server_free = 0;
+    std::vector<Slot> slots(_views.size());
+    std::vector<std::size_t> live; // outcome indices still in flight
 
     for (const Request &r : trace) {
         if (r.net < 0 ||
@@ -176,22 +308,42 @@ ServeLoop::run(const std::vector<Request> &trace,
         out.batch = r.batch;
         out.arrival = r.arrival;
         out.deadline = r.deadline;
+        out.slo = r.slo;
 
         // Requests finished by this arrival have left the system.
-        while (!pending.empty() && pending.front() <= r.arrival)
-            pending.pop_front();
-        const std::size_t depth = pending.size();
+        // (With one executor finishes are monotone and this matches
+        // the historic pop-front loop; with several they are not, so
+        // every live entry is re-checked.)
+        live.erase(std::remove_if(
+                       live.begin(), live.end(),
+                       [&](std::size_t idx) {
+                           return report.outcomes[idx].finish <=
+                                  r.arrival;
+                       }),
+                   live.end());
+        const std::size_t depth = live.size();
         if (tr) {
             tr->counter(obs::kTrackServe, r.arrival,
                         "serve.queue_depth",
                         static_cast<double>(depth));
         }
 
-        if (depth >= _options.queueCapacity) {
+        std::size_t class_depth = 0;
+        for (const std::size_t idx : live) {
+            if (report.outcomes[idx].slo == r.slo)
+                ++class_depth;
+        }
+        const std::size_t class_cap = r.slo == SloClass::Latency
+                                          ? _options.latencyQueueCapacity
+                                          : _options.batchQueueCapacity;
+        if (depth >= _options.queueCapacity ||
+            (class_cap != 0 && class_depth >= class_cap)) {
             ++report.rejected;
             if (tr) {
                 obs::JsonArgs args;
-                args.add("id", r.id).add("net", out.net);
+                args.add("id", r.id)
+                    .add("net", out.net)
+                    .add("class", sloClassName(r.slo));
                 tr->instant(obs::kTrackServe, r.arrival, "rejected",
                             args.str());
             }
@@ -201,9 +353,66 @@ ServeLoop::run(const std::vector<Request> &trace,
 
         out.admitted = true;
         ++report.admitted;
-        out.start = std::max(r.arrival, server_free);
         report.peakQueueDepth =
             std::max(report.peakQueueDepth, depth + 1);
+
+        // Earliest-start dispatch. Ties prefer the widest view for
+        // latency traffic and the narrowest for batch (then the lowest
+        // index), so big nets keep the wide rectangle and tiny batch
+        // work packs on the remainder.
+        std::size_t chosen = 0;
+        Cycles best_start = std::max(r.arrival, slots[0].free);
+        for (std::size_t s = 1; s < slots.size(); ++s) {
+            const Cycles start_s = std::max(r.arrival, slots[s].free);
+            bool better = start_s < best_start;
+            if (start_s == best_start) {
+                const int mine = _views[s].engines();
+                const int held = _views[chosen].engines();
+                better = r.slo == SloClass::Latency ? mine > held
+                                                    : mine < held;
+            }
+            if (better) {
+                chosen = s;
+                best_start = start_s;
+            }
+        }
+
+        // A latency-class arrival that would otherwise wait may cut in
+        // at the next round barrier of a running batch-class execution
+        // — but only where that batch is the executor's sole remaining
+        // work, so nothing already admitted behind it is disturbed.
+        bool preempted = false;
+        out.start = best_start;
+        if (_options.preemptLatency && r.slo == SloClass::Latency &&
+            best_start > r.arrival) {
+            Cycles best_barrier = 0;
+            std::size_t preempt_slot = 0;
+            bool found = false;
+            for (std::size_t s = 0; s < slots.size(); ++s) {
+                const Slot &sl = slots[s];
+                if (sl.tailBatch < 0 || sl.tailExecStart > r.arrival ||
+                    sl.free <= r.arrival)
+                    continue;
+                const Cycles ran = r.arrival - sl.tailExecStart;
+                const Cycles barrier =
+                    sl.tailExecStart +
+                    (ran / sl.tailQuantum + 1) * sl.tailQuantum;
+                if (barrier >= sl.free || barrier >= best_start)
+                    continue;
+                if (!found || barrier < best_barrier) {
+                    found = true;
+                    best_barrier = barrier;
+                    preempt_slot = s;
+                }
+            }
+            if (found) {
+                preempted = true;
+                chosen = preempt_slot;
+                out.start = best_barrier;
+            }
+        }
+        out.submesh = static_cast<int>(chosen);
+        const sim::MeshView &view = _views[chosen];
 
         // Background compiles finished by pickup become visible now.
         for (auto it = _pending.begin(); it != _pending.end();) {
@@ -218,8 +427,8 @@ ServeLoop::run(const std::vector<Request> &trace,
         const graph::Graph &g = workload(out.net);
         auto key_opts = _options.orchestrator;
         key_opts.batch = r.batch;
-        const PlanKey key =
-            makePlanKey(_options.strategy, g, _system, key_opts);
+        const PlanKey key = makePlanKey(_options.strategy, g, _system,
+                                        key_opts, view);
 
         std::shared_ptr<const core::PlanResult> plan =
             _cache.lookup(key);
@@ -236,14 +445,15 @@ ServeLoop::run(const std::vector<Request> &trace,
                 out.start + _options.coldPlanCycles, r.deadline);
             if (!_options.allowDegrade || fits) {
                 plan = _cache.insert(
-                    key, planNow(_options.strategy, g, r.batch,
+                    key, planNow(_options.strategy, g, r.batch, view,
                                  report.planWallSeconds));
                 out.planCycles = _options.coldPlanCycles;
             } else {
                 // The search budget would blow the deadline: serve the
                 // fallback and compile the full plan in the background.
-                const PlanKey fb_key = makePlanKey(
-                    _options.fallbackStrategy, g, _system, key_opts);
+                const PlanKey fb_key =
+                    makePlanKey(_options.fallbackStrategy, g, _system,
+                                key_opts, view);
                 plan = _cache.lookup(fb_key);
                 if (plan) {
                     out.downgrade = Downgrade::CachedFallback;
@@ -253,7 +463,7 @@ ServeLoop::run(const std::vector<Request> &trace,
                     plan = _cache.insert(
                         fb_key,
                         planNow(_options.fallbackStrategy, g, r.batch,
-                                report.planWallSeconds));
+                                view, report.planWallSeconds));
                     out.downgrade = Downgrade::FreshFallback;
                     out.planCycles = _options.fallbackPlanCycles;
                     ++report.downgradedFresh;
@@ -261,7 +471,7 @@ ServeLoop::run(const std::vector<Request> &trace,
                 if (_pending.find(key) == _pending.end()) {
                     PendingPlan bg;
                     bg.plan = planNow(_options.strategy, g, r.batch,
-                                      report.planWallSeconds);
+                                      view, report.planWallSeconds);
                     bg.readyAt = out.start + _options.coldPlanCycles;
                     _pending.emplace(key, std::move(bg));
                 }
@@ -271,26 +481,40 @@ ServeLoop::run(const std::vector<Request> &trace,
         out.plan = plan;
         out.execCycles = plan->report.totalCycles;
         out.finish = out.start + out.planCycles + out.execCycles;
-        out.deadlineMiss = deadlineMissed(out.finish, r.deadline);
-        if (out.deadlineMiss)
-            ++report.deadlineMisses;
         ++report.completed;
-        server_free = out.finish;
-        pending.push_back(out.finish);
-        report.makespan = std::max(report.makespan, out.finish);
 
-        if (tr) {
-            obs::JsonArgs args;
-            args.add("id", r.id)
-                .add("net", out.net)
-                .add("wait", out.start - r.arrival)
-                .add("plan", out.planCycles)
-                .add("exec", out.execCycles)
-                .add("downgrade", downgradeName(out.downgrade))
-                .add("deadline_miss", out.deadlineMiss ? 1 : 0);
-            tr->span(obs::kTrackServe, r.arrival,
-                     out.finish - r.arrival, out.net, args.str());
+        const std::size_t out_idx = report.outcomes.size();
+        Slot &slot = slots[chosen];
+        if (preempted) {
+            // The victim yields at the barrier, the latency request
+            // runs to completion, then the remainder of the victim's
+            // execution resumes; everything behind the victim's old
+            // finish shifts by the inserted window.
+            RequestOutcome &victim =
+                report.outcomes[static_cast<std::size_t>(
+                    slot.tailBatch)];
+            const Cycles executed = out.start - slot.tailExecStart;
+            const Cycles remaining = slot.tailRemaining - executed;
+            victim.finish = out.finish + remaining;
+            ++victim.preemptions;
+            ++report.preemptions;
+            slot.free = victim.finish;
+            slot.tailExecStart = out.finish;
+            slot.tailRemaining = remaining;
+            // The resumed batch is still the slot's sole remaining
+            // work, so it stays preemptible at its new barriers.
+        } else {
+            slot.free = out.finish;
+            if (r.slo == SloClass::Batch) {
+                slot.tailBatch = static_cast<int>(out_idx);
+                slot.tailExecStart = out.start + out.planCycles;
+                slot.tailRemaining = out.execCycles;
+                slot.tailQuantum = roundQuantum(*plan, out.execCycles);
+            } else {
+                slot.tailBatch = -1;
+            }
         }
+        live.push_back(out_idx);
         report.outcomes.push_back(std::move(out));
     }
 
@@ -303,6 +527,37 @@ ServeLoop::run(const std::vector<Request> &trace,
     for (auto &bg : _pending)
         _cache.insert(bg.first, std::move(bg.second.plan));
     _pending.clear();
+
+    // Deadline verdicts, makespan, and per-request spans in one final
+    // pass over the outcomes (trace order): a preemption rewrites its
+    // victim's finish after admission, so completion facts are only
+    // settled once the whole trace has been dispatched. With no
+    // preemptions this reproduces the historic inline accounting
+    // exactly.
+    for (RequestOutcome &out : report.outcomes) {
+        if (!out.admitted)
+            continue;
+        out.deadlineMiss = deadlineMissed(out.finish, out.deadline);
+        if (out.deadlineMiss)
+            ++report.deadlineMisses;
+        report.makespan = std::max(report.makespan, out.finish);
+        if (tr) {
+            obs::JsonArgs args;
+            args.add("id", out.id)
+                .add("net", out.net)
+                .add("class", sloClassName(out.slo))
+                .add("submesh", out.submesh)
+                .add("wait", out.start - out.arrival)
+                .add("plan", out.planCycles)
+                .add("exec", out.execCycles)
+                .add("downgrade", downgradeName(out.downgrade))
+                .add("preemptions",
+                     static_cast<std::int64_t>(out.preemptions))
+                .add("deadline_miss", out.deadlineMiss ? 1 : 0);
+            tr->span(obs::kTrackServe, out.arrival,
+                     out.finish - out.arrival, out.net, args.str());
+        }
+    }
 
     // Latency aggregates over completed requests, in simulated
     // milliseconds at the system clock.
@@ -323,6 +578,41 @@ ServeLoop::run(const std::vector<Request> &trace,
         report.throughputRps =
             static_cast<double>(report.completed) /
             (static_cast<double>(report.makespan) / (freq * 1e9));
+    }
+
+    // Per-class slices, one row per class present in the trace.
+    for (int c = 0; c < kSloClassCount; ++c) {
+        const auto slo = static_cast<SloClass>(c);
+        ClassReport cls;
+        cls.slo = slo;
+        std::vector<double> class_latencies;
+        for (const RequestOutcome &out : report.outcomes) {
+            if (out.slo != slo)
+                continue;
+            ++cls.requests;
+            if (!out.admitted) {
+                ++cls.rejected;
+                continue;
+            }
+            ++cls.admitted;
+            ++cls.completed;
+            cls.deadlineMisses += out.deadlineMiss ? 1 : 0;
+            cls.preemptions += out.preemptions;
+            class_latencies.push_back(
+                static_cast<double>(out.finish - out.arrival) /
+                (freq * 1e6));
+        }
+        if (cls.requests == 0)
+            continue;
+        std::sort(class_latencies.begin(), class_latencies.end());
+        cls.p50LatencyMs = exactQuantile(class_latencies, 0.5);
+        cls.p99LatencyMs = exactQuantile(class_latencies, 0.99);
+        if (report.makespan > 0) {
+            cls.throughputRps =
+                static_cast<double>(cls.completed) /
+                (static_cast<double>(report.makespan) / (freq * 1e9));
+        }
+        report.classes.push_back(cls);
     }
 
     if (ms) {
@@ -367,6 +657,17 @@ ServeLoop::run(const std::vector<Request> &trace,
             .set(latency_hist->quantile(0.5));
         ms->gauge("serve.latency.p99_ms")
             .set(latency_hist->quantile(0.99));
+        ms->counter("serve.preemptions").add(report.preemptions);
+        for (const ClassReport &cls : report.classes) {
+            const std::string prefix =
+                std::string("serve.class.") + sloClassName(cls.slo);
+            ms->counter(prefix + ".completed").add(cls.completed);
+            ms->counter(prefix + ".deadline_miss")
+                .add(cls.deadlineMisses);
+            ms->counter(prefix + ".preemptions").add(cls.preemptions);
+            ms->gauge(prefix + ".p50_ms").set(cls.p50LatencyMs);
+            ms->gauge(prefix + ".p99_ms").set(cls.p99LatencyMs);
+        }
         // Reserved host.* prefix: wall time, excluded from determinism
         // comparisons and from bitIdentical().
         ms->gauge("host.serve.plan_seconds")

@@ -70,7 +70,9 @@ enum class Downgrade {
 /** Short stable name of a downgrade kind. */
 const char *downgradeName(Downgrade d);
 
-/** Serving-loop parameters. */
+/** Serving-loop parameters. Construction is validated: ServeLoop
+ * fatals on the first validate() finding, and adctl maps findings on
+ * flag-derived fields to usage errors (exit 2). */
 struct ServeOptions
 {
     /** Primary planning strategy for admitted requests. */
@@ -113,6 +115,41 @@ struct ServeOptions
 
     /** Orchestrator configuration (batch is overwritten per request). */
     core::OrchestratorOptions orchestrator;
+
+    /**
+     * Spatial partition for co-located serving (DESIGN.md Sec. 16):
+     * each view hosts one concurrent executor, and admitted requests
+     * dispatch to the earliest-free sub-mesh (latency traffic prefers
+     * the widest tied view, batch traffic the narrowest, so tiny nets
+     * pack on the remainder while big nets keep the wide rectangle).
+     * Views must be pairwise disjoint with HBM shares summing to at
+     * most 1. Empty = one executor on the whole mesh — exactly the
+     * pre-view single-tenant semantics.
+     */
+    std::vector<sim::MeshView> submeshes;
+
+    /** Allow latency-class arrivals to preempt a running batch-class
+     * execution at its next round barrier (DESIGN.md Sec. 16). */
+    bool preemptLatency = true;
+
+    /** Per-class admission bounds on top of queueCapacity; 0 = no
+     * class-specific bound. */
+    std::size_t latencyQueueCapacity = 0;
+    std::size_t batchQueueCapacity = 0;
+
+    /** One typed validation finding. */
+    struct Error
+    {
+        std::string field;   ///< offending option, e.g. "submeshes[1]"
+        std::string message; ///< what is wrong with it
+    };
+
+    /**
+     * Validate against @p system: queue bounds, strategy names, plan
+     * latencies, eviction policy, and the sub-mesh partition (bounds,
+     * pairwise disjointness, HBM share budget). Empty = well-formed.
+     */
+    std::vector<Error> validate(const sim::SystemConfig &system) const;
 };
 
 /** Outcome of one request of the trace. */
@@ -131,12 +168,34 @@ struct RequestOutcome
     Downgrade downgrade = Downgrade::None;
     bool cacheHit = false;
     bool deadlineMiss = false;
+    SloClass slo = SloClass::Latency; ///< request's SLO class
+    int submesh = -1; ///< executor (view) index; -1 when rejected
+    std::uint64_t preemptions = 0; ///< times this execution yielded
 
     /** Executed plan (shared with the cache); null when rejected. */
     std::shared_ptr<const core::PlanResult> plan;
 
     /** Field-wise equality, plan reports compared bitIdentical(). */
     bool bitIdentical(const RequestOutcome &o) const;
+};
+
+/** Per-SLO-class slice of a ServeReport (one row per class present in
+ * the trace, enum order). */
+struct ClassReport
+{
+    SloClass slo = SloClass::Latency;
+    std::uint64_t requests = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t deadlineMisses = 0;
+    std::uint64_t preemptions = 0;
+    double p50LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+    double throughputRps = 0.0; ///< completed / global makespan
+
+    /** Field-wise equality (everything is deterministic). */
+    bool bitIdentical(const ClassReport &o) const;
 };
 
 /** Aggregate results of serving one trace. */
@@ -152,8 +211,12 @@ struct ServeReport
     std::uint64_t downgradedFresh = 0;
     std::uint64_t cacheHits = 0;   ///< primary-plan hits
     std::uint64_t cacheMisses = 0; ///< primary-plan misses
+    std::uint64_t preemptions = 0; ///< round-barrier preemptions
     std::size_t peakQueueDepth = 0;
     Cycles makespan = 0; ///< completion time of the last request
+
+    /** Per-class slices, one per class present in the trace. */
+    std::vector<ClassReport> classes;
 
     // Exact latency percentiles over completed requests (simulated
     // milliseconds at the system clock); deterministic doubles.
@@ -206,14 +269,16 @@ class ServeLoop
     /** Workload by name (zoo or tiny test networks), built once. */
     const graph::Graph &workload(const std::string &name);
 
-    /** Plan @p name at @p batch with @p strategy, wall time accrued
-     * into @p wall_seconds. */
+    /** Plan @p graph at @p batch with @p strategy for executor
+     * @p view, wall time accrued into @p wall_seconds. */
     core::PlanResult planNow(const std::string &strategy,
                              const graph::Graph &graph, int batch,
+                             const sim::MeshView &view,
                              double &wall_seconds);
 
     sim::SystemConfig _system;
     ServeOptions _options;
+    std::vector<sim::MeshView> _views; ///< resolved executor views
     std::unique_ptr<PlanStore> _store; ///< outlives _cache's pointer
     PlanCache _cache;
     std::map<std::string, graph::Graph> _workloads;

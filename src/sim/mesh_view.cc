@@ -1,0 +1,75 @@
+#include "mesh_view.hh"
+
+#include <sstream>
+
+namespace ad::sim {
+
+MeshView
+MeshView::resolved(int base_x, int base_y) const
+{
+    if (base_x <= 0 || base_y <= 0)
+        fatal("mesh view needs a positive base mesh, got ", base_x, "x",
+              base_y);
+    MeshView v = *this;
+    if (v.baseX != 0 || v.baseY != 0) {
+        if (v.baseX != base_x || v.baseY != base_y)
+            fatal("mesh view ", describe(), " is pinned to a ", v.baseX,
+                  "x", v.baseY, " mesh, not ", base_x, "x", base_y);
+    }
+    v.baseX = base_x;
+    v.baseY = base_y;
+    if (v.width == 0 && v.height == 0) {
+        v.x0 = 0;
+        v.y0 = 0;
+        v.width = base_x;
+        v.height = base_y;
+    }
+    if (v.width <= 0 || v.height <= 0)
+        fatal("mesh view needs positive dimensions, got ", v.width, "x",
+              v.height);
+    if (v.x0 < 0 || v.y0 < 0 || v.x0 + v.width > base_x ||
+        v.y0 + v.height > base_y)
+        fatal("mesh view ", v.describe(), " falls outside the ", base_x,
+              "x", base_y, " mesh");
+    if (!(v.hbmShare > 0.0) || v.hbmShare > 1.0)
+        fatal("mesh view HBM share must be in (0, 1], got ",
+              v.hbmShare);
+    return v;
+}
+
+int
+MeshView::globalEngine(int local) const
+{
+    adAssert(isResolved(), "globalEngine() needs a resolved view");
+    adAssert(local >= 0 && local < engines(),
+             "local engine id out of view range");
+    const int vx = local % width;
+    const int vy = local / width;
+    return (y0 + vy) * baseX + (x0 + vx);
+}
+
+bool
+MeshView::overlaps(const MeshView &o) const
+{
+    return x0 < o.x0 + o.width && o.x0 < x0 + width &&
+           y0 < o.y0 + o.height && o.y0 < y0 + height;
+}
+
+std::string
+MeshView::shapeKey() const
+{
+    std::ostringstream os;
+    os << "view=" << width << "x" << height << " hbm=" << hbmShare;
+    return os.str();
+}
+
+std::string
+MeshView::describe() const
+{
+    std::ostringstream os;
+    os << width << "x" << height << "@" << x0 << "," << y0 << "/"
+       << hbmShare;
+    return os.str();
+}
+
+} // namespace ad::sim

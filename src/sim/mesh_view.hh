@@ -1,0 +1,98 @@
+#pragma once
+
+/**
+ * @file
+ * Sub-mesh executor views (DESIGN.md Sec. 16): a MeshView names the
+ * slice of one simulated machine that a single executor owns — a
+ * rectangular engine set (which is also its private NoC sub-rectangle,
+ * since the mesh NoC of a rectangle is exactly the links between its
+ * engines) plus a share of the HBM bandwidth. Every planner and
+ * executor operates on a view; the whole mesh is the trivial view, and
+ * deriving a machine from it is byte-exact (hbmShare 1.0 multiplies
+ * the bandwidth by exactly 1.0), so full-view plans and traces are
+ * bit-identical to the pre-view ones.
+ *
+ * Disjointness of two views is rectangle disjointness: executors on
+ * non-overlapping views share no engine and no NoC link, which is what
+ * lets serve::ServeLoop run N concurrent executors on one machine with
+ * per-executor conservation audits intact.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hh"
+
+namespace ad::sim {
+
+/**
+ * One executor's slice of the machine. A default-constructed view is
+ * the *unresolved* whole mesh: resolved() against a base grid fills in
+ * the dimensions. Width/height of 0x0 mean "the whole base mesh".
+ */
+struct MeshView
+{
+    int x0 = 0; ///< origin column on the base mesh
+    int y0 = 0; ///< origin row on the base mesh
+    int width = 0;  ///< engines per row (0 with height 0 = full mesh)
+    int height = 0; ///< engine rows
+
+    // Base-mesh dimensions, filled by resolved(); 0 = not yet resolved.
+    int baseX = 0;
+    int baseY = 0;
+
+    /** Fraction of the machine's HBM bandwidth this view owns. */
+    double hbmShare = 1.0;
+
+    /** Engines in the view. */
+    int engines() const { return width * height; }
+
+    /** True once resolved() has pinned the base dimensions. */
+    bool isResolved() const { return baseX > 0 && baseY > 0; }
+
+    /** True for the trivial view: the whole base mesh at full share. */
+    bool isFull() const
+    {
+        return isResolved() && x0 == 0 && y0 == 0 && width == baseX &&
+               height == baseY && hbmShare == 1.0;
+    }
+
+    /**
+     * Copy of this view pinned to a @p base_x by @p base_y machine:
+     * 0x0 dimensions expand to the whole mesh, and the rectangle and
+     * share are range-checked (ConfigError on nonsense — negative
+     * origin, out-of-bounds rectangle, share outside (0, 1], or a view
+     * already resolved against a different base).
+     */
+    MeshView resolved(int base_x, int base_y) const;
+
+    /**
+     * Base-mesh engine id of view-local engine @p local. Identity for
+     * the full view, so full-view trace tracks keep their historical
+     * numbering; disjoint views map to disjoint global id sets.
+     */
+    int globalEngine(int local) const;
+
+    /** True when the two view rectangles share at least one engine. */
+    bool overlaps(const MeshView &o) const;
+
+    /**
+     * Origin-free canonical key fragment ("view=WxH hbm=S"): plans are
+     * functions of the view's *shape* and bandwidth share only, never
+     * of where the rectangle sits on the machine, so equally-shaped
+     * sub-meshes share cache/store entries (DESIGN.md Sec. 16).
+     */
+    std::string shapeKey() const;
+
+    /** Human-readable rendering with origin, for logs and errors. */
+    std::string describe() const;
+
+    bool operator==(const MeshView &o) const
+    {
+        return x0 == o.x0 && y0 == o.y0 && width == o.width &&
+               height == o.height && baseX == o.baseX &&
+               baseY == o.baseY && hbmShare == o.hbmShare;
+    }
+};
+
+} // namespace ad::sim

@@ -65,8 +65,26 @@ SystemConfig::fingerprint() const
     return os.str();
 }
 
+SystemConfig
+viewSystem(const SystemConfig &base, const MeshView &view)
+{
+    const MeshView v = view.resolved(base.meshX, base.meshY);
+    SystemConfig derived = base;
+    derived.meshX = v.width;
+    derived.meshY = v.height;
+    derived.hbm.peakBandwidthGBps *= v.hbmShare;
+    return derived;
+}
+
 SystemSimulator::SystemSimulator(const SystemConfig &config)
-    : _config(config)
+    : SystemSimulator(config, MeshView{})
+{
+}
+
+SystemSimulator::SystemSimulator(const SystemConfig &config,
+                                 const MeshView &view)
+    : _view(view.resolved(config.meshX, config.meshY)),
+      _config(viewSystem(config, _view))
 {
     _config.validate();
 }
@@ -115,9 +133,13 @@ SystemSimulator::execute(const AtomicDag &dag,
         tr->setTrackName(obs::kTrackRounds, "rounds");
         tr->setTrackName(obs::kTrackNoc, "noc");
         tr->setTrackName(obs::kTrackHbm, "hbm");
+        // Tracks are named by *global* mesh engine id, so concurrent
+        // executors on disjoint views of one machine never collide;
+        // the full view keeps the historical 0..N-1 numbering.
         for (int e = 0; e < num_engines; ++e) {
-            tr->setTrackName(obs::kTrackEngineBase + e,
-                             "engine " + std::to_string(e));
+            const int g = _view.globalEngine(e);
+            tr->setTrackName(obs::kTrackEngineBase + g,
+                             "engine " + std::to_string(g));
         }
     }
     const engine::CachedCostModel cost(_config.engine,
@@ -365,7 +387,8 @@ SystemSimulator::execute(const AtomicDag &dag,
                                        e.bytes, true, now);
                             if (tr) {
                                 tr->instant(
-                                    obs::kTrackEngineBase + p.engine,
+                                    obs::kTrackEngineBase +
+                                        _view.globalEngine(p.engine),
                                     now, "sram.evict",
                                     obs::JsonArgs()
                                         .add("atom",
@@ -489,7 +512,9 @@ SystemSimulator::execute(const AtomicDag &dag,
                 if (tr) {
                     const core::Atom &a = dag.atom(p.atom);
                     tr->span(
-                        obs::kTrackEngineBase + p.engine, now, busy,
+                        obs::kTrackEngineBase +
+                            _view.globalEngine(p.engine),
+                        now, busy,
                         dag.graph().layer(a.layer).name + "[" +
                             std::to_string(a.index) + "]",
                         obs::JsonArgs()
@@ -557,7 +582,8 @@ SystemSimulator::execute(const AtomicDag &dag,
                                                  e.atom))
                                 .add("bytes", e.bytes)
                                 .str();
-                        tr->instant(obs::kTrackEngineBase + p.engine,
+                        tr->instant(obs::kTrackEngineBase +
+                                        _view.globalEngine(p.engine),
                                     when, write_kind, args);
                         tr->span(obs::kTrackHbm, when, write_done - when,
                                  "hbm.write", args);

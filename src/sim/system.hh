@@ -18,6 +18,7 @@
 #include "noc/noc_model.hh"
 #include "sim/event_queue.hh"
 #include "sim/executor.hh"
+#include "sim/mesh_view.hh"
 #include "sim/report.hh"
 
 namespace ad::sim {
@@ -61,6 +62,16 @@ struct SystemConfig
 };
 
 /**
+ * The machine a MeshView of @p base exposes: @p base with the mesh
+ * replaced by the view's sub-rectangle and the HBM bandwidth scaled by
+ * its share. The full view returns @p base unchanged (the share-1.0
+ * multiply is FP-exact), so full-view plans, fingerprints, and traces
+ * are byte-identical to pre-view ones. An unresolved view is resolved
+ * against @p base first.
+ */
+SystemConfig viewSystem(const SystemConfig &base, const MeshView &view);
+
+/**
  * Executes a mapped Schedule over an AtomicDag.
  *
  * Timing semantics per Round: input tensors are fetched from the HBM
@@ -74,8 +85,18 @@ struct SystemConfig
 class SystemSimulator : public Executor
 {
   public:
-    /** Create a simulator for @p config. */
+    /** Create a simulator for the whole machine @p config. */
     explicit SystemSimulator(const SystemConfig &config);
+
+    /**
+     * Create a simulator for @p view of the machine @p config: timing
+     * and capacity come from viewSystem(config, view), and engine
+     * trace tracks are named by *global* mesh coordinates, so N
+     * concurrent executors on disjoint views of one machine record
+     * onto disjoint tracks. The full view is exactly the one-argument
+     * constructor.
+     */
+    SystemSimulator(const SystemConfig &config, const MeshView &view);
 
     /** Execute @p schedule over @p dag and report. When @p ins carries
      * a TraceRecorder, every atom launch/retire, NoC multicast, HBM
@@ -87,11 +108,15 @@ class SystemSimulator : public Executor
                             obs::Instrumentation *ins = nullptr)
         const override;
 
-    /** Configuration in use. */
+    /** Derived (view-local) configuration in use. */
     const SystemConfig &config() const { return _config; }
 
+    /** Resolved executor view this simulator runs on. */
+    const MeshView &view() const { return _view; }
+
   private:
-    SystemConfig _config;
+    MeshView _view;       ///< resolved before _config derives from it
+    SystemConfig _config; ///< viewSystem(base, _view)
 };
 
 } // namespace ad::sim

@@ -229,7 +229,7 @@ TEST(DttPlanner, NeverWorseThanAnyStrategyOnTinyZooNets)
         const auto graph = ad::models::buildByName(net);
 
         const auto dtt =
-            ad::baselines::makePlanner("DTT", system, 1)->plan(graph);
+            ad::baselines::makePlanner({"DTT", system, {}, {}})->plan(graph);
         ASSERT_TRUE(dtt.dag);
         EXPECT_EQ(dtt.schedule.mode, ad::core::SchedMode::Dtt)
             << "search fell back — tiny nets must stay tractable";
@@ -238,7 +238,7 @@ TEST(DttPlanner, NeverWorseThanAnyStrategyOnTinyZooNets)
                                       system.engines()));
 
         const auto ad_plan =
-            ad::baselines::makePlanner("AD", system, 1)->plan(graph);
+            ad::baselines::makePlanner({"AD", system, {}, {}})->plan(graph);
         const auto cycles = modelCycles(*dtt.dag, system);
         EXPECT_LE(scheduleMakespan(dtt.schedule, cycles),
                   scheduleMakespan(ad_plan.schedule,
@@ -247,7 +247,7 @@ TEST(DttPlanner, NeverWorseThanAnyStrategyOnTinyZooNets)
         for (const std::string other : {"LS", "Rammer", "IL-Pipe"}) {
             SCOPED_TRACE(other);
             const auto baseline =
-                ad::baselines::makePlanner(other, system, 1)
+                ad::baselines::makePlanner({other, system, {}, {}})
                     ->plan(graph);
             EXPECT_LE(dtt.report.totalCycles,
                       baseline.report.totalCycles);

@@ -329,4 +329,116 @@ TEST(Fuzz, ServedTracesHoldInvariantsAndAuditClean)
     }
 }
 
+TEST(Fuzz, CoLocatedSubMeshPartitionsStayDisjointAndThreadInvariant)
+{
+    // Seeded random guillotine partitions of a 4x4 mesh, each serving
+    // a two-class trace on 2-3 co-located executors: the partition
+    // must stay pairwise engine-disjoint, every admitted request must
+    // land on a real executor, and the whole report must be
+    // bit-identical across thread counts.
+    ad::sim::SystemConfig system;
+    system.meshX = 4;
+    system.meshY = 4;
+    for (std::uint64_t seed = 0; seed < 16; ++seed) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed);
+
+        // Guillotine cuts driven by a splitmix of the seed: one full
+        // cut, then optionally cut the second piece along the other
+        // axis. Shares are proportional to engine counts.
+        const std::uint64_t h = (seed + 1) * 0x9E3779B97F4A7C15ULL;
+        const bool vertical = (h & 1) != 0;
+        const int cut = 1 + static_cast<int>((h >> 1) % 3);
+        std::vector<ad::sim::MeshView> views;
+        ad::sim::MeshView rest;
+        if (vertical) {
+            views.push_back(ad::sim::MeshView{0, 0, cut, 4});
+            rest = ad::sim::MeshView{cut, 0, 4 - cut, 4};
+        } else {
+            views.push_back(ad::sim::MeshView{0, 0, 4, cut});
+            rest = ad::sim::MeshView{0, cut, 4, 4 - cut};
+        }
+        if (((h >> 3) & 1) != 0) {
+            const int second = 1 + static_cast<int>((h >> 4) % 3);
+            if (vertical) {
+                views.push_back(ad::sim::MeshView{rest.x0, 0,
+                                                  rest.width, second});
+                views.push_back(ad::sim::MeshView{
+                    rest.x0, second, rest.width, 4 - second});
+            } else {
+                views.push_back(ad::sim::MeshView{0, rest.y0, second,
+                                                  rest.height});
+                views.push_back(ad::sim::MeshView{
+                    second, rest.y0, 4 - second, rest.height});
+            }
+        } else {
+            views.push_back(rest);
+        }
+        for (auto &v : views)
+            v.hbmShare = static_cast<double>(v.width * v.height) / 16.0;
+
+        std::vector<ad::sim::MeshView> resolved;
+        for (const auto &v : views)
+            resolved.push_back(v.resolved(4, 4));
+        int covered = 0;
+        for (std::size_t i = 0; i < resolved.size(); ++i) {
+            covered += resolved[i].engines();
+            for (std::size_t j = i + 1; j < resolved.size(); ++j) {
+                EXPECT_FALSE(resolved[i].overlaps(resolved[j]))
+                    << resolved[i].describe() << " vs "
+                    << resolved[j].describe();
+            }
+        }
+        EXPECT_EQ(covered, 16) << "guillotine cuts must tile the mesh";
+
+        ad::serve::StreamOptions lat;
+        lat.kind = seed % 2 == 0 ? ad::serve::ArrivalKind::Poisson
+                                 : ad::serve::ArrivalKind::Bursty;
+        lat.ratePerSec = 100.0 + static_cast<double>(seed % 5) * 100.0;
+        lat.requests = 6;
+        lat.seed = seed;
+        lat.freqGhz = system.engine.freqGhz;
+        lat.mix = ad::serve::resolveMix("tinymix");
+        ad::serve::StreamOptions batch = lat;
+        batch.requests = 4;
+        batch.deadlineMs = 500.0;
+        const auto merged = ad::serve::generateClassArrivals(
+            {{ad::serve::SloClass::Latency, lat},
+             {ad::serve::SloClass::Batch, batch}});
+
+        ad::serve::ServeOptions options;
+        options.submeshes = views;
+        options.orchestrator.atomGen =
+            ad::core::AtomGenMode::EvenPartition;
+        const auto serveAll = [&](int threads) {
+            return withThreads(threads, [&] {
+                ad::serve::ServeLoop loop(system, options);
+                return loop.run(merged.requests, merged.mix);
+            });
+        };
+        const auto report = serveAll(1);
+
+        EXPECT_EQ(report.admitted + report.rejected,
+                  merged.requests.size());
+        std::uint64_t class_requests = 0;
+        for (const auto &cls : report.classes)
+            class_requests += cls.requests;
+        EXPECT_EQ(class_requests, merged.requests.size());
+        for (const auto &out : report.outcomes) {
+            if (!out.admitted) {
+                EXPECT_EQ(out.submesh, -1);
+                continue;
+            }
+            EXPECT_GE(out.submesh, 0);
+            EXPECT_LT(out.submesh, static_cast<int>(views.size()));
+            EXPECT_GE(out.start, out.arrival);
+            EXPECT_GE(out.finish, out.start);
+        }
+
+        if (seed % 4 == 0) {
+            EXPECT_TRUE(report.bitIdentical(serveAll(4)))
+                << "co-located serve report differs across threads";
+        }
+    }
+}
+
 } // namespace

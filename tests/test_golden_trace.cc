@@ -145,6 +145,27 @@ TEST(GoldenTrace, DttPerfettoJsonAndTimelineCsvMatchGoldenFiles)
         << "; regenerate with scripts/regen_golden.sh if intentional";
 }
 
+TEST(GoldenTrace, ExplicitFullViewReproducesGoldenArtifacts)
+{
+    // The whole mesh is the trivial MeshView: planning through an
+    // explicit, pre-resolved full view must reproduce the golden
+    // artifacts byte for byte (viewSystem() returns the base machine
+    // unchanged and globalEngine() is the identity).
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    const ad::sim::MeshView full{0, 0, 2, 2, 2, 2, 1.0};
+
+    ad::obs::TraceRecorder trace;
+    ad::obs::Instrumentation ins{&trace, nullptr};
+    ad::core::Orchestrator(system, options, full)
+        .plan(tinyTwoLayer(), &ins);
+    EXPECT_EQ(trace.perfettoJson(), readFileOrEmpty(kJsonGolden));
+    EXPECT_EQ(trace.timelineCsv(), readFileOrEmpty(kCsvGolden));
+}
+
 TEST(GoldenTrace, ArtifactsAreByteIdenticalAcrossThreadCounts)
 {
     ad::util::ThreadPool::setGlobalThreads(1);

@@ -254,7 +254,7 @@ runInstrumented(const graph::Graph &graph, const std::string &strategy,
     util::ThreadPool::setGlobalThreads(threads);
     sim::SystemConfig system;
     const auto planner =
-        baselines::makePlanner(strategy, system, /*batch=*/1);
+        baselines::makePlanner({strategy, system, {}, {}});
     obs::TraceRecorder trace;
     obs::MetricsRegistry metrics;
     obs::Instrumentation ins{&trace, &metrics};
@@ -321,7 +321,7 @@ TEST(ObsDeterminism, InstrumentationDoesNotPerturbResults)
     GlobalThreadsGuard guard;
     const auto graph = testing::randomGraph(5);
     sim::SystemConfig system;
-    const auto planner = baselines::makePlanner("AD", system, 1);
+    const auto planner = baselines::makePlanner({"AD", system, {}, {}});
     const auto bare = planner->run(graph);
     const auto traced = runInstrumented(graph, "AD", 2);
     EXPECT_TRUE(bare.bitIdentical(traced.report));
@@ -334,10 +334,10 @@ TEST(PlannerApi, FactoryCoversEveryStrategy)
 {
     sim::SystemConfig system;
     for (const std::string &name : baselines::plannerNames()) {
-        const auto planner = baselines::makePlanner(name, system, 1);
+        const auto planner = baselines::makePlanner({name, system, {}, {}});
         EXPECT_EQ(planner->name(), name);
     }
-    EXPECT_THROW(baselines::makePlanner("nope", system, 1),
+    EXPECT_THROW(baselines::makePlanner({"nope", system, {}, {}}),
                  ConfigError);
 }
 
@@ -348,12 +348,12 @@ TEST(PlannerApi, AnalyticBaselinesReportWithoutDag)
     sim::SystemConfig system;
     // CNN-P and IL-Pipe are analytic: a report but no DAG/schedule.
     const auto plan =
-        baselines::makePlanner("CNN-P", system, 1)->plan(graph);
+        baselines::makePlanner({"CNN-P", system, {}, {}})->plan(graph);
     EXPECT_EQ(plan.dag, nullptr);
     EXPECT_GT(plan.report.totalCycles, 0u);
     // Simulated planners carry the full artefacts.
     const auto full =
-        baselines::makePlanner("LS", system, 1)->plan(graph);
+        baselines::makePlanner({"LS", system, {}, {}})->plan(graph);
     ASSERT_NE(full.dag, nullptr);
     EXPECT_FALSE(full.schedule.rounds.empty());
 }

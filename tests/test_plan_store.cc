@@ -57,7 +57,7 @@ planFresh(const std::string &strategy, const std::string &net,
           const ad::core::OrchestratorOptions &options)
 {
     const auto graph = ad::models::buildByName(net);
-    return ad::baselines::makePlanner(strategy, system, options)
+    return ad::baselines::makePlanner({strategy, system, {}, options})
         ->plan(graph);
 }
 

@@ -8,7 +8,10 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "baselines/planners.hh"
+#include "check/conservation.hh"
 #include "models/models.hh"
 #include "obs/instrumentation.hh"
 #include "obs/metrics.hh"
@@ -50,7 +53,7 @@ planFresh(const std::string &strategy, const std::string &net,
           const ad::core::OrchestratorOptions &options)
 {
     const auto graph = ad::models::buildByName(net);
-    return ad::baselines::makePlanner(strategy, system, options)
+    return ad::baselines::makePlanner({strategy, system, {}, options})
         ->plan(graph);
 }
 
@@ -567,6 +570,493 @@ TEST(ServeLoop, DowngradeNamesAreStable)
     EXPECT_STREQ(ad::serve::downgradeName(
                      ad::serve::Downgrade::FreshFallback),
                  "fresh-fallback");
+}
+
+// ---------------------------------------------------------------------
+// MeshView (DESIGN.md Sec. 16)
+
+TEST(MeshView, ResolvesValidatesAndMapsEngines)
+{
+    // The default view resolves to the whole base mesh: identity
+    // engine mapping, full HBM share.
+    const auto full = ad::sim::MeshView{}.resolved(4, 2);
+    EXPECT_TRUE(full.isResolved());
+    EXPECT_TRUE(full.isFull());
+    EXPECT_EQ(full.width, 4);
+    EXPECT_EQ(full.height, 2);
+    ASSERT_EQ(full.engines(), 8);
+    for (int e = 0; e < full.engines(); ++e)
+        EXPECT_EQ(full.globalEngine(e), e);
+
+    // A sub-rectangle maps its local engines to base-mesh coordinates.
+    const auto sub =
+        ad::sim::MeshView{2, 1, 2, 1, 0, 0, 0.25}.resolved(4, 2);
+    EXPECT_FALSE(sub.isFull());
+    EXPECT_EQ(sub.globalEngine(0), 1 * 4 + 2);
+    EXPECT_EQ(sub.globalEngine(1), 1 * 4 + 3);
+
+    // Nonsense rectangles and shares are rejected.
+    EXPECT_THROW((ad::sim::MeshView{3, 0, 2, 1}).resolved(4, 2),
+                 ad::ConfigError); // falls off the right edge
+    EXPECT_THROW((ad::sim::MeshView{-1, 0, 1, 1}).resolved(4, 2),
+                 ad::ConfigError); // negative origin
+    EXPECT_THROW((ad::sim::MeshView{0, 0, 1, 0}).resolved(4, 2),
+                 ad::ConfigError); // degenerate height
+    EXPECT_THROW((ad::sim::MeshView{0, 0, 1, 1, 0, 0, 1.5})
+                     .resolved(4, 2),
+                 ad::ConfigError); // share above the machine's budget
+    EXPECT_THROW((ad::sim::MeshView{0, 0, 1, 1, 0, 0, 0.0})
+                     .resolved(4, 2),
+                 ad::ConfigError); // share must be positive
+    // A view pinned to one base cannot resolve against another.
+    EXPECT_THROW(full.resolved(2, 2), ad::ConfigError);
+}
+
+TEST(MeshView, OverlapAgreesWithGlobalEngineSets)
+{
+    // Exhaustive on a 3x3 base: two rectangles overlap iff their
+    // global engine id sets intersect — the disjoint-executor
+    // guarantee the co-located ServeLoop relies on.
+    std::vector<ad::sim::MeshView> views;
+    for (int x0 = 0; x0 < 3; ++x0)
+        for (int y0 = 0; y0 < 3; ++y0)
+            for (int w = 1; x0 + w <= 3; ++w)
+                for (int h = 1; y0 + h <= 3; ++h)
+                    views.push_back(
+                        ad::sim::MeshView{x0, y0, w, h, 0, 0, 0.5}
+                            .resolved(3, 3));
+    const auto engineSet = [](const ad::sim::MeshView &v) {
+        std::set<int> ids;
+        for (int e = 0; e < v.engines(); ++e)
+            ids.insert(v.globalEngine(e));
+        return ids;
+    };
+    for (const auto &a : views) {
+        for (const auto &b : views) {
+            const auto ea = engineSet(a);
+            const auto eb = engineSet(b);
+            bool intersects = false;
+            for (const int id : ea)
+                intersects = intersects || eb.count(id) > 0;
+            EXPECT_EQ(a.overlaps(b), intersects)
+                << a.describe() << " vs " << b.describe();
+        }
+    }
+}
+
+TEST(MeshView, ShapeKeyIsOriginFree)
+{
+    const auto a = ad::sim::MeshView{0, 0, 1, 2, 0, 0, 0.5};
+    const auto b = ad::sim::MeshView{1, 0, 1, 2, 0, 0, 0.5};
+    EXPECT_EQ(a.shapeKey(), b.shapeKey());
+    auto c = a;
+    c.hbmShare = 0.25;
+    EXPECT_NE(a.shapeKey(), c.shapeKey());
+    auto d = a;
+    d.width = 2;
+    d.height = 1;
+    EXPECT_NE(a.shapeKey(), d.shapeKey());
+}
+
+TEST(MeshView, ViewSystemDerivesTheSlicedMachine)
+{
+    const auto system = smallSystem();
+    // The full view reproduces the base machine byte-for-byte — the
+    // property that keeps full-view plans and goldens bit-identical.
+    EXPECT_EQ(ad::sim::viewSystem(system, ad::sim::MeshView{})
+                  .fingerprint(),
+              system.fingerprint());
+
+    const auto half = ad::sim::MeshView{0, 0, 1, 2, 0, 0, 0.5};
+    const auto sliced = ad::sim::viewSystem(system, half);
+    EXPECT_EQ(sliced.meshX, 1);
+    EXPECT_EQ(sliced.meshY, 2);
+    EXPECT_EQ(sliced.hbm.peakBandwidthGBps,
+              system.hbm.peakBandwidthGBps * 0.5);
+    EXPECT_NE(sliced.fingerprint(), system.fingerprint());
+}
+
+TEST(MeshView, ViewPlannedExecutionPassesConservationAudits)
+{
+    const auto system = smallSystem();
+    const auto half = ad::sim::MeshView{0, 0, 1, 2, 0, 0, 0.5};
+    const auto plan =
+        ad::baselines::makePlanner({"AD", system, half, fastOptions()})
+            ->plan(ad::models::buildByName("tiny_linear"));
+    ASSERT_TRUE(plan.dag);
+    const auto audits = ad::check::auditExecution(
+        *plan.dag, plan.schedule, ad::sim::viewSystem(system, half),
+        plan.report);
+    EXPECT_TRUE(audits.empty())
+        << (audits.empty() ? "" : audits.front().what);
+}
+
+// ---------------------------------------------------------------------
+// PlanKey x MeshView
+
+TEST(PlanKey, ViewShapeIsPartOfTheKeyButOriginIsNot)
+{
+    const auto system = smallSystem();
+    const auto options = fastOptions();
+    const auto graph = ad::models::tinyLinear();
+
+    const PlanKey whole =
+        ad::serve::makePlanKey("AD", graph, system, options);
+    EXPECT_EQ(whole, ad::serve::makePlanKey("AD", graph, system,
+                                            options,
+                                            ad::sim::MeshView{}))
+        << "the defaulted view must key exactly like the legacy call";
+
+    const auto left = ad::sim::MeshView{0, 0, 1, 2, 0, 0, 0.5};
+    const PlanKey sub =
+        ad::serve::makePlanKey("AD", graph, system, options, left);
+    EXPECT_NE(whole, sub)
+        << "sub-mesh plans must never alias full-mesh plans";
+
+    // Same shape at a different origin shares the entry...
+    const auto right = ad::sim::MeshView{1, 0, 1, 2, 0, 0, 0.5};
+    EXPECT_EQ(sub, ad::serve::makePlanKey("AD", graph, system, options,
+                                          right));
+    // ...while a different bandwidth share or shape does not.
+    auto thin = left;
+    thin.hbmShare = 0.25;
+    EXPECT_NE(sub, ad::serve::makePlanKey("AD", graph, system, options,
+                                          thin));
+}
+
+// ---------------------------------------------------------------------
+// ServeOptions::validate
+
+TEST(ServeOptions, ValidateReportsTypedErrors)
+{
+    const auto system = smallSystem();
+    const auto fieldsOf = [&](const ad::serve::ServeOptions &o) {
+        std::vector<std::string> fields;
+        for (const auto &e : o.validate(system))
+            fields.push_back(e.field);
+        return fields;
+    };
+
+    ad::serve::ServeOptions ok;
+    EXPECT_TRUE(fieldsOf(ok).empty());
+
+    ad::serve::ServeOptions bad;
+    bad.strategy = "nope";
+    bad.queueCapacity = 0;
+    bad.evictionPolicy = "random";
+    bad.cachedPlanCycles = bad.coldPlanCycles + 1;
+    const auto fields = fieldsOf(bad);
+    EXPECT_NE(std::find(fields.begin(), fields.end(), "strategy"),
+              fields.end());
+    EXPECT_NE(std::find(fields.begin(), fields.end(), "queueCapacity"),
+              fields.end());
+    EXPECT_NE(std::find(fields.begin(), fields.end(), "evictionPolicy"),
+              fields.end());
+    EXPECT_NE(
+        std::find(fields.begin(), fields.end(), "cachedPlanCycles"),
+        fields.end());
+
+    // Sub-mesh findings carry the offending index...
+    ad::serve::ServeOptions oob;
+    oob.submeshes = {ad::sim::MeshView{0, 0, 4, 4, 0, 0, 0.5}};
+    EXPECT_EQ(fieldsOf(oob),
+              std::vector<std::string>{"submeshes[0]"});
+    // ...overlap and share-budget findings name the partition.
+    ad::serve::ServeOptions overlap;
+    overlap.submeshes = {ad::sim::MeshView{0, 0, 2, 1, 0, 0, 0.5},
+                         ad::sim::MeshView{1, 0, 1, 2, 0, 0, 0.5}};
+    EXPECT_EQ(fieldsOf(overlap),
+              std::vector<std::string>{"submeshes"});
+    ad::serve::ServeOptions greedy;
+    greedy.submeshes = {ad::sim::MeshView{0, 0, 1, 2, 0, 0, 0.8},
+                        ad::sim::MeshView{1, 0, 1, 2, 0, 0, 0.8}};
+    EXPECT_EQ(fieldsOf(greedy),
+              std::vector<std::string>{"submeshes"});
+
+    // The ServeLoop constructor enforces the same findings.
+    EXPECT_THROW(ad::serve::ServeLoop(system, overlap),
+                 ad::ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// Per-class request substreams
+
+TEST(RequestStream, SingleLatencyClassMergeReplaysLegacyTrace)
+{
+    ad::serve::StreamOptions stream;
+    stream.kind = ad::serve::ArrivalKind::Bursty;
+    stream.requests = 24;
+    stream.seed = 5;
+    stream.mix = ad::serve::resolveMix("tinymix");
+
+    const auto legacy = ad::serve::generateArrivals(stream);
+    const auto merged = ad::serve::generateClassArrivals(
+        {{ad::serve::SloClass::Latency, stream}});
+    EXPECT_EQ(merged.mix, stream.mix);
+    ASSERT_EQ(merged.requests.size(), legacy.size());
+    for (std::size_t i = 0; i < legacy.size(); ++i) {
+        EXPECT_EQ(merged.requests[i].id, legacy[i].id);
+        EXPECT_EQ(merged.requests[i].net, legacy[i].net);
+        EXPECT_EQ(merged.requests[i].arrival, legacy[i].arrival);
+        EXPECT_EQ(merged.requests[i].deadline, legacy[i].deadline);
+        EXPECT_EQ(merged.requests[i].slo,
+                  ad::serve::SloClass::Latency);
+    }
+}
+
+TEST(RequestStream, AddingAClassNeverPerturbsAnotherClass)
+{
+    ad::serve::StreamOptions lat;
+    lat.kind = ad::serve::ArrivalKind::Bursty;
+    lat.requests = 24;
+    lat.seed = 5;
+    lat.mix = ad::serve::resolveMix("tinymix");
+
+    ad::serve::StreamOptions batch = lat;
+    batch.requests = 16;
+    batch.ratePerSec = 40.0;
+    batch.deadlineMs = 500.0;
+
+    const auto alone = ad::serve::generateClassArrivals(
+        {{ad::serve::SloClass::Latency, lat}});
+    const auto both = ad::serve::generateClassArrivals(
+        {{ad::serve::SloClass::Latency, lat},
+         {ad::serve::SloClass::Batch, batch}});
+
+    // The merged mix concatenates the per-class mixes; batch rows
+    // index past the latency block.
+    ASSERT_EQ(both.mix.size(), lat.mix.size() + batch.mix.size());
+    ASSERT_EQ(both.requests.size(),
+              static_cast<std::size_t>(lat.requests + batch.requests));
+
+    // The latency rows of the two-class merge are bit-identical to the
+    // latency-alone trace — class substreams are independent.
+    std::vector<ad::serve::Request> lat_rows;
+    for (const auto &r : both.requests) {
+        if (r.slo == ad::serve::SloClass::Latency) {
+            lat_rows.push_back(r);
+        } else {
+            EXPECT_GE(r.net, static_cast<int>(lat.mix.size()));
+            EXPECT_LT(r.net, static_cast<int>(both.mix.size()));
+        }
+    }
+    ASSERT_EQ(lat_rows.size(), alone.requests.size());
+    for (std::size_t i = 0; i < lat_rows.size(); ++i) {
+        EXPECT_EQ(lat_rows[i].arrival, alone.requests[i].arrival);
+        EXPECT_EQ(lat_rows[i].net, alone.requests[i].net);
+        EXPECT_EQ(lat_rows[i].deadline, alone.requests[i].deadline);
+    }
+
+    // Merged order: sorted by arrival with ids reassigned 0..N-1.
+    for (std::size_t i = 0; i < both.requests.size(); ++i) {
+        EXPECT_EQ(both.requests[i].id, static_cast<int>(i));
+        if (i > 0) {
+            EXPECT_GE(both.requests[i].arrival,
+                      both.requests[i - 1].arrival);
+        }
+    }
+    EXPECT_THROW(ad::serve::generateClassArrivals({}),
+                 ad::ConfigError);
+}
+
+TEST(RequestStream, SloClassNamesRoundTrip)
+{
+    EXPECT_EQ(ad::serve::sloClassFromString("latency"),
+              ad::serve::SloClass::Latency);
+    EXPECT_EQ(ad::serve::sloClassFromString("batch"),
+              ad::serve::SloClass::Batch);
+    EXPECT_THROW(ad::serve::sloClassFromString("besteffort"),
+                 ad::ConfigError);
+    EXPECT_STREQ(
+        ad::serve::sloClassName(ad::serve::SloClass::Latency),
+        "latency");
+    EXPECT_STREQ(ad::serve::sloClassName(ad::serve::SloClass::Batch),
+                 "batch");
+}
+
+// ---------------------------------------------------------------------
+// Co-located serving
+
+TEST(ServeLoop, ExplicitFullViewMatchesImplicitWholeMesh)
+{
+    const auto system = smallSystem();
+    ad::serve::StreamOptions stream;
+    stream.kind = ad::serve::ArrivalKind::Bursty;
+    stream.requests = 12;
+    stream.seed = 9;
+    stream.ratePerSec = 300.0;
+    stream.freqGhz = system.engine.freqGhz;
+    stream.mix = ad::serve::resolveMix("tinymix");
+    const auto trace = ad::serve::generateArrivals(stream);
+
+    ad::serve::ServeOptions implicit_options;
+    implicit_options.orchestrator = fastOptions();
+    auto explicit_options = implicit_options;
+    explicit_options.submeshes = {ad::sim::MeshView{}};
+
+    ad::serve::ServeLoop implicit_loop(system, implicit_options);
+    ad::serve::ServeLoop explicit_loop(system, explicit_options);
+    const auto a = implicit_loop.run(trace, stream.mix);
+    const auto b = explicit_loop.run(trace, stream.mix);
+    EXPECT_TRUE(a.bitIdentical(b))
+        << "the whole mesh must be the trivial view";
+}
+
+TEST(ServeLoop, CoLocatedClassesAreThreadInvariantAndDisjoint)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = fastOptions();
+    serve_options.submeshes = {
+        ad::sim::MeshView{0, 0, 1, 2, 0, 0, 0.5},
+        ad::sim::MeshView{1, 0, 1, 2, 0, 0, 0.5}};
+
+    ad::serve::StreamOptions lat;
+    lat.kind = ad::serve::ArrivalKind::Bursty;
+    lat.requests = 10;
+    lat.seed = 13;
+    lat.ratePerSec = 500.0;
+    lat.freqGhz = system.engine.freqGhz;
+    lat.mix = ad::serve::resolveMix("tinymix");
+    ad::serve::StreamOptions batch = lat;
+    batch.requests = 6;
+    batch.ratePerSec = 200.0;
+    batch.deadlineMs = 500.0;
+    const auto merged = ad::serve::generateClassArrivals(
+        {{ad::serve::SloClass::Latency, lat},
+         {ad::serve::SloClass::Batch, batch}});
+
+    const auto serveAll = [&](int threads) {
+        return withThreads(threads, [&] {
+            ad::serve::ServeLoop loop(system, serve_options);
+            return loop.run(merged.requests, merged.mix);
+        });
+    };
+    const auto one = serveAll(1);
+    const auto four = serveAll(4);
+    EXPECT_TRUE(one.bitIdentical(four))
+        << "co-located serving differs across thread counts";
+    ASSERT_EQ(one.classes.size(), 2u);
+    EXPECT_EQ(one.classes[0].slo, ad::serve::SloClass::Latency);
+    EXPECT_EQ(one.classes[1].slo, ad::serve::SloClass::Batch);
+    EXPECT_EQ(one.classes[0].requests + one.classes[1].requests,
+              merged.requests.size());
+
+    // Every admitted request landed on a real executor, and the two
+    // executors' global engine sets are disjoint.
+    const auto v0 =
+        serve_options.submeshes[0].resolved(system.meshX, system.meshY);
+    const auto v1 =
+        serve_options.submeshes[1].resolved(system.meshX, system.meshY);
+    EXPECT_FALSE(v0.overlaps(v1));
+    for (const auto &out : one.outcomes) {
+        if (out.admitted) {
+            EXPECT_GE(out.submesh, 0);
+            EXPECT_LT(out.submesh, 2);
+        } else {
+            EXPECT_EQ(out.submesh, -1);
+        }
+    }
+}
+
+TEST(ServeLoop, PerClassQueueBoundsRejectIndependently)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = fastOptions();
+    serve_options.queueCapacity = 8;
+    serve_options.batchQueueCapacity = 1;
+
+    // Three simultaneous batch arrivals against a class cap of 1: the
+    // first is admitted, the rest bounce while the latency request
+    // sails through on the global bound.
+    std::vector<Request> trace(4);
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        trace[i].id = static_cast<int>(i);
+        trace[i].arrival = 0;
+        trace[i].deadline = ad::Cycles{1} << 60;
+        trace[i].slo = i < 3 ? ad::serve::SloClass::Batch
+                             : ad::serve::SloClass::Latency;
+    }
+    const std::vector<std::string> mix{"tiny_linear"};
+
+    ad::serve::ServeLoop loop(system, serve_options);
+    const auto report = loop.run(trace, mix);
+    EXPECT_EQ(report.admitted, 2u);
+    EXPECT_EQ(report.rejected, 2u);
+    ASSERT_EQ(report.classes.size(), 2u);
+    EXPECT_EQ(report.classes[0].rejected, 0u);
+    EXPECT_EQ(report.classes[1].admitted, 1u);
+    EXPECT_EQ(report.classes[1].rejected, 2u);
+}
+
+TEST(ServeLoop, LatencyPreemptsBatchAtRoundBarriers)
+{
+    const auto system = smallSystem();
+    ad::serve::ServeOptions serve_options;
+    serve_options.orchestrator = fastOptions();
+
+    // Probe pass: one batch request, to learn the deterministic plan
+    // latency, execution span, and round count.
+    std::vector<Request> trace(1);
+    trace[0].id = 0;
+    trace[0].arrival = 0;
+    trace[0].deadline = ad::Cycles{1} << 60;
+    trace[0].slo = ad::serve::SloClass::Batch;
+    const std::vector<std::string> mix{"tiny_linear"};
+
+    ad::serve::ServeLoop probe(system, serve_options);
+    const auto probed = probe.run(trace, mix).outcomes[0];
+    ASSERT_TRUE(probed.admitted);
+    const ad::Cycles exec_start = probed.start + probed.planCycles;
+    ASSERT_GT(probed.execCycles, 4u)
+        << "need a multi-cycle execution to preempt inside";
+    ASSERT_TRUE(probed.plan);
+    const std::uint64_t rounds =
+        std::max<std::uint64_t>(1, probed.plan->report.rounds);
+    const ad::Cycles quantum = std::max<ad::Cycles>(
+        1, (probed.execCycles + rounds - 1) / rounds);
+
+    // Real pass: a latency request lands mid-execution. It must cut in
+    // at the next round barrier, run to completion, and push the
+    // batch's remainder after itself.
+    trace.resize(2);
+    trace[1].id = 1;
+    trace[1].arrival = exec_start + probed.execCycles / 2;
+    trace[1].deadline = trace[1].arrival + (ad::Cycles{1} << 60);
+    trace[1].slo = ad::serve::SloClass::Latency;
+
+    ad::serve::ServeLoop loop(system, serve_options);
+    const auto report = loop.run(trace, mix);
+    const auto &victim = report.outcomes[0];
+    const auto &lat = report.outcomes[1];
+    ASSERT_TRUE(victim.admitted);
+    ASSERT_TRUE(lat.admitted);
+    EXPECT_EQ(report.preemptions, 1u);
+    EXPECT_EQ(victim.preemptions, 1u);
+    EXPECT_EQ(lat.preemptions, 0u);
+
+    // The cut-in point is a round barrier strictly after the arrival
+    // and strictly before the batch would have finished.
+    EXPECT_GT(lat.start, trace[1].arrival);
+    EXPECT_LT(lat.start, probed.finish);
+    EXPECT_EQ((lat.start - exec_start) % quantum, 0u);
+
+    // The preempted remainder resumes after the latency request.
+    const ad::Cycles remaining =
+        probed.execCycles - (lat.start - exec_start);
+    EXPECT_EQ(victim.finish, lat.finish + remaining);
+    ASSERT_EQ(report.classes.size(), 2u);
+    EXPECT_EQ(report.classes[1].preemptions, 1u);
+
+    // With preemption disabled the same trace queues behind the batch.
+    serve_options.preemptLatency = false;
+    ad::serve::ServeLoop fifo(system, serve_options);
+    const auto queued = fifo.run(trace, mix);
+    EXPECT_EQ(queued.preemptions, 0u);
+    EXPECT_EQ(queued.outcomes[1].start, probed.finish);
+    EXPECT_GT(queued.outcomes[1].finish, lat.finish)
+        << "preemption must improve the latency request's finish";
 }
 
 } // namespace

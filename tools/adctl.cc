@@ -75,7 +75,7 @@ constexpr CommandSpec kCommands[] = {
      "cost model, brute-force oracle)"},
     {"serve", "[net|mix]",
      "multi-tenant serving of a seeded arrival trace (plan cache, "
-     "deadlines, degradation)"},
+     "deadlines, degradation, SLO-class sub-mesh co-location)"},
 };
 
 std::string
@@ -124,6 +124,11 @@ usageText()
           "  --store DIR      persistent plan store; compiled plans are "
           "written through and a restarted server re-serves them "
           "without recompiling\n"
+          "  --class C        latency | batch | both: SLO class(es) of "
+          "the trace (default latency)\n"
+          "  --batch-deadline MS  batch-class deadline (default 500)\n"
+          "  --submesh SPEC   co-located executors, 'WxH@X,Y[/share]' "
+          "entries joined by ';' (default: one whole-mesh executor)\n"
           "  net may be a mix: 'mix'/'zoo' (all eight Table-I models) "
           "or 'tinymix'\n"
           "\nexit codes: 0 success, 1 runtime/config error or failed "
@@ -385,23 +390,15 @@ canonicalStrategy(const Args &args)
                      "or dtt)");
 }
 
-/** Configured planner for @p name; AD and DTT honour the full option
- * set (DTT shares the AD front half, see baselines/dtt.hh). */
+/** Configured planner for @p name through the one PlannerSpec factory;
+ * AD and DTT honour the full option set (DTT shares the AD front half,
+ * see baselines/dtt.hh), the rest consume options.batch. */
 std::unique_ptr<ad::core::Planner>
 plannerFor(const std::string &name, const Args &args,
            const ad::sim::SystemConfig &system)
 {
-    if (name == "AD") {
-        return std::make_unique<ad::core::Orchestrator>(
-            system, orchestratorFrom(args));
-    }
-    if (name == "DTT") {
-        return std::make_unique<ad::baselines::DttPlanner>(
-            system, orchestratorFrom(args));
-    }
     return ad::baselines::makePlanner(
-        name, system,
-        static_cast<int>(intOption(args, "batch", 1, 1, 4096)));
+        {name, system, {}, orchestratorFrom(args)});
 }
 
 void
@@ -726,13 +723,113 @@ cmdExport(const Args &args)
 }
 
 /**
+ * Parse one `--submesh` entry of the form `WxH@X,Y[/SHARE]`. SHARE
+ * defaults to the view's engine fraction of the whole mesh; explicit
+ * shares must be in (0, 1]. Malformed entries are usage errors.
+ */
+ad::sim::MeshView
+parseSubmeshEntry(const std::string &entry,
+                  const ad::sim::SystemConfig &system)
+{
+    const auto malformed = [&entry]() {
+        throw UsageError("--submesh entry '" + entry +
+                         "' must look like WxH@X,Y[/share]");
+    };
+    const auto at = entry.find('@');
+    if (at == std::string::npos)
+        malformed();
+    std::pair<int, int> dims{0, 0};
+    try {
+        dims = parsePair(entry.substr(0, at), 'x');
+    } catch (const UsageError &) {
+        malformed();
+    }
+
+    std::string rest = entry.substr(at + 1);
+    std::string share_text;
+    const auto slash = rest.find('/');
+    if (slash != std::string::npos) {
+        share_text = rest.substr(slash + 1);
+        rest = rest.substr(0, slash);
+    }
+
+    // The origin allows zero, so parsePair (positive-only) won't do.
+    const auto parseCoord = [&](const std::string &side) {
+        int value = -1;
+        std::size_t used = 0;
+        try {
+            value = std::stoi(side, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (side.empty() || used != side.size() || value < 0)
+            malformed();
+        return value;
+    };
+    const auto comma = rest.find(',');
+    if (comma == std::string::npos)
+        malformed();
+
+    ad::sim::MeshView view;
+    view.width = dims.first;
+    view.height = dims.second;
+    view.x0 = parseCoord(rest.substr(0, comma));
+    view.y0 = parseCoord(rest.substr(comma + 1));
+    if (share_text.empty()) {
+        view.hbmShare = static_cast<double>(view.width * view.height) /
+                        static_cast<double>(system.engines());
+    } else {
+        double share = 0.0;
+        std::size_t used = 0;
+        try {
+            share = std::stod(share_text, &used);
+        } catch (const std::exception &) {
+            used = 0;
+        }
+        if (used != share_text.size() || !std::isfinite(share) ||
+            share <= 0.0 || share > 1.0) {
+            throw UsageError("--submesh share '" + share_text +
+                             "' must be a number in (0, 1]");
+        }
+        view.hbmShare = share;
+    }
+    return view;
+}
+
+/** Split a `--submesh` flag on ';' and parse each entry. */
+std::vector<ad::sim::MeshView>
+parseSubmeshes(const std::string &text,
+               const ad::sim::SystemConfig &system)
+{
+    std::vector<ad::sim::MeshView> views;
+    if (text.empty())
+        return views;
+    std::size_t pos = 0;
+    while (true) {
+        const auto end = text.find(';', pos);
+        const std::string entry = end == std::string::npos
+                                      ? text.substr(pos)
+                                      : text.substr(pos, end - pos);
+        if (entry.empty())
+            throw UsageError("--submesh has an empty entry in '" + text +
+                             "'");
+        views.push_back(parseSubmeshEntry(entry, system));
+        if (end == std::string::npos)
+            break;
+        pos = end + 1;
+    }
+    return views;
+}
+
+/**
  * Multi-tenant serving: generate a seeded arrival trace over the
  * requested workload mix and drive it through the ServeLoop (plan
- * cache, bounded admission queue, deadline-aware degradation). Stdout —
- * the per-pass summary and the serve.* metrics — is deterministic:
- * byte-identical for any --threads and across repeat invocations. Wall
- * time (the warm-cache speedup signal) goes to stderr and the host.*
- * metrics only.
+ * cache, bounded admission queue, deadline-aware degradation, and —
+ * with --submesh — SLO-class co-location on disjoint executor views).
+ * Stdout — the per-pass summary and the serve.* metrics — is
+ * deterministic: byte-identical for any --threads and across repeat
+ * invocations. Wall time (the warm-cache speedup signal) goes to
+ * stderr and the host.* metrics only.
  */
 int
 cmdServe(const Args &args)
@@ -757,7 +854,26 @@ cmdServe(const Args &args)
     stream.freqGhz = system.engine.freqGhz;
     const std::string mix_name = option(args, "model", "resnet50");
     stream.mix = ad::serve::resolveMix(mix_name);
-    const auto trace = ad::serve::generateArrivals(stream);
+
+    // SLO classes: the default single latency class replays the exact
+    // historic single-stream trace (mixSeed keeps the raw seed for
+    // lane 0), so `--class latency` is byte-compatible with old runs.
+    const std::string cls = option(args, "class", "latency");
+    if (cls != "latency" && cls != "batch" && cls != "both") {
+        throw UsageError("unknown --class '" + cls +
+                         "' (expected latency, batch, or both)");
+    }
+    std::vector<ad::serve::ClassTraffic> traffic;
+    if (cls == "latency" || cls == "both")
+        traffic.push_back({ad::serve::SloClass::Latency, stream});
+    if (cls == "batch" || cls == "both") {
+        ad::serve::StreamOptions batch_stream = stream;
+        batch_stream.deadlineMs =
+            numOption(args, "batch-deadline", 500.0, 0.0);
+        traffic.push_back({ad::serve::SloClass::Batch, batch_stream});
+    }
+    const auto merged = ad::serve::generateClassArrivals(traffic);
+    const auto &trace = merged.requests;
 
     ad::serve::ServeOptions serve_options;
     serve_options.strategy = strategy;
@@ -765,6 +881,14 @@ cmdServe(const Args &args)
         intOption(args, "queue", 32, 1, 1'000'000));
     serve_options.storeDir = option(args, "store", "");
     serve_options.orchestrator = orchestratorFrom(args);
+    serve_options.submeshes =
+        parseSubmeshes(option(args, "submesh", ""), system);
+    // Flag-derived validation findings are usage errors (exit 2);
+    // everything else stays a ConfigError from the ServeLoop ctor.
+    for (const auto &err : serve_options.validate(system)) {
+        if (err.field.rfind("submeshes", 0) == 0)
+            throw UsageError("--submesh: " + err.message);
+    }
     ad::serve::ServeLoop loop(system, serve_options);
 
     ad::obs::TraceRecorder recorder;
@@ -773,16 +897,26 @@ cmdServe(const Args &args)
     ad::obs::Instrumentation ins{out.empty() ? nullptr : &recorder,
                                  &metrics};
 
-    std::cout << "serving " << mix_name << " (" << stream.mix.size()
+    std::cout << "serving " << mix_name << " (" << merged.mix.size()
               << " workloads): " << trace.size() << " requests, "
               << ad::serve::arrivalKindName(stream.kind) << " @ "
               << ad::fmtDouble(stream.ratePerSec, 1) << "/s, seed "
-              << stream.seed << ", strategy " << strategy << "\n";
+              << stream.seed << ", strategy " << strategy << ", class "
+              << cls << "\n";
+    if (!serve_options.submeshes.empty()) {
+        std::cout << "sub-meshes:";
+        for (const auto &v : serve_options.submeshes) {
+            std::cout << " "
+                      << v.resolved(system.meshX, system.meshY)
+                             .describe();
+        }
+        std::cout << "\n";
+    }
 
     const int repeat =
         static_cast<int>(intOption(args, "repeat", 1, 1, 1'000'000));
     for (int pass = 1; pass <= repeat; ++pass) {
-        const auto report = loop.run(trace, stream.mix, &ins);
+        const auto report = loop.run(trace, merged.mix, &ins);
         std::cout << "pass " << pass << ": admitted " << report.admitted
                   << ", rejected " << report.rejected
                   << ", deadline-miss " << report.deadlineMisses
@@ -793,6 +927,16 @@ cmdServe(const Args &args)
                   << ad::fmtDouble(report.p50LatencyMs, 3) << " ms, p99 "
                   << ad::fmtDouble(report.p99LatencyMs, 3) << " ms, "
                   << ad::fmtDouble(report.throughputRps, 1) << " rps\n";
+        for (const auto &cr : report.classes) {
+            std::cout << "  class " << ad::serve::sloClassName(cr.slo)
+                      << ": completed " << cr.completed
+                      << ", deadline-miss " << cr.deadlineMisses
+                      << ", preempted " << cr.preemptions << ", p50 "
+                      << ad::fmtDouble(cr.p50LatencyMs, 3)
+                      << " ms, p99 "
+                      << ad::fmtDouble(cr.p99LatencyMs, 3) << " ms, "
+                      << ad::fmtDouble(cr.throughputRps, 1) << " rps\n";
+        }
         std::cerr << "pass " << pass << " planning wall: "
                   << ad::fmtDouble(report.planWallSeconds, 3) << " s\n";
     }
