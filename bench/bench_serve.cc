@@ -12,6 +12,8 @@
  * time a restarted replica pays instead of recompiling.
  *
  * AD_BENCH_SERVE_REQUESTS overrides the trace length (default 64).
+ * AD_BENCH_SERVE_SECTION=surrogate runs only the surrogate cold-plan
+ * cell (the CI accuracy smoke); unset runs everything.
  */
 
 #include <algorithm>
@@ -20,8 +22,13 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bench_common.hh"
+#include "core/orchestrator.hh"
+#include "engine/cached_cost_model.hh"
+#include "models/models.hh"
+#include "obs/clock.hh"
 #include "serve/request_stream.hh"
 #include "serve/serve_loop.hh"
 
@@ -34,6 +41,76 @@ traceRequests()
     return env ? std::max(1, std::atoi(env)) : 64;
 }
 
+/**
+ * Surrogate cold-plan cell (DESIGN.md Sec. 17): per net, one fully
+ * cold plan with screening off and one with screening on — the shared
+ * cost-model memo store is dropped before every run, so each wall
+ * number is the price a cold replica pays. Gates (FATAL on failure,
+ * pinned together with kCrossDagConfirmMargin):
+ *   - median cold-plan speedup across the nets >= 5x;
+ *   - every screened plan's cycles within 10% of the unscreened plan.
+ */
+int
+surrogateColdPlanCell(const ad::sim::SystemConfig &system)
+{
+    constexpr double kMinMedianSpeedup = 5.0;
+    constexpr double kMaxCycleDrift = 1.10;
+    const char *nets[] = {"tiny_linear", "tiny_branchy", "resnet50",
+                          "inception_v3", "efficientnet"};
+
+    std::cout << "== Surrogate screening: cold-plan wall, "
+              << "exact-confirmed plans ==\n";
+    ad::TextTable table;
+    table.setHeader({"net", "cold wall off(s)", "cold wall on(s)",
+                     "speedup", "cycles off", "cycles on", "drift"});
+    std::vector<double> speedups;
+    bool drift_ok = true;
+    for (const char *net : nets) {
+        const ad::graph::Graph graph = ad::models::buildByName(net);
+        double wall[2] = {0.0, 0.0};
+        ad::Cycles cycles[2] = {0, 0};
+        for (const bool surrogate : {false, true}) {
+            ad::engine::CachedCostModel::clearSharedStores();
+            ad::core::OrchestratorOptions options;
+            options.surrogate = surrogate;
+            const ad::core::Orchestrator orch(system, options);
+            const ad::obs::Stopwatch timer;
+            const ad::core::PlanResult plan = orch.plan(graph);
+            wall[surrogate] = timer.seconds();
+            cycles[surrogate] = plan.report.totalCycles;
+        }
+        const double speedup = wall[0] / std::max(wall[1], 1e-9);
+        const double drift = static_cast<double>(cycles[1]) /
+                             static_cast<double>(cycles[0]);
+        speedups.push_back(speedup);
+        if (drift > kMaxCycleDrift)
+            drift_ok = false;
+        table.addRow({net, ad::fmtDouble(wall[0], 3),
+                      ad::fmtDouble(wall[1], 3),
+                      ad::fmtDouble(speedup, 2) + "x",
+                      std::to_string(cycles[0]),
+                      std::to_string(cycles[1]),
+                      ad::fmtDouble((drift - 1.0) * 100.0, 2) + "%"});
+    }
+    std::cout << table.render() << "\n";
+
+    std::sort(speedups.begin(), speedups.end());
+    const double median = speedups[speedups.size() / 2];
+    if (median < kMinMedianSpeedup) {
+        std::cerr << "FATAL: median surrogate cold-plan speedup "
+                  << ad::fmtDouble(median, 2) << "x is below "
+                  << ad::fmtDouble(kMinMedianSpeedup, 1) << "x\n";
+        return 1;
+    }
+    if (!drift_ok) {
+        std::cerr << "FATAL: a screened plan drifted more than "
+                  << ad::fmtDouble((kMaxCycleDrift - 1.0) * 100.0, 0)
+                  << "% past its unscreened cycles\n";
+        return 1;
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -41,6 +118,10 @@ main(int argc, char **argv)
 {
     ad::bench::applyBenchArgs(argc, argv);
     const auto system = ad::bench::defaultSystem();
+
+    const char *section = std::getenv("AD_BENCH_SERVE_SECTION");
+    if (section && std::string(section) == "surrogate")
+        return surrogateColdPlanCell(system);
 
     const std::filesystem::path store_root =
         std::filesystem::temp_directory_path() / "ad_bench_serve_store";
@@ -247,5 +328,5 @@ main(int argc, char **argv)
     }
 
     std::filesystem::remove_all(store_root);
-    return 0;
+    return surrogateColdPlanCell(system);
 }

@@ -103,7 +103,15 @@ expect_rc 2 ./build/tools/adctl serve tinymix --seed -1
 expect_rc 2 ./build/tools/adctl trace resnet50 --strategy bogus
 expect_rc 2 ./build/tools/adctl run resnet50 --mesh 8y8
 expect_rc 2 ./build/tools/adctl nonsense
+expect_rc 2 ./build/tools/adctl run tiny_linear --surrogate maybe
+expect_rc 2 ./build/tools/adctl run tiny_linear --surrogate 1
+expect_rc 2 ./build/tools/adctl serve tinymix --surrogate ON
 echo "usage exit codes OK"
+
+echo "== adctl: --surrogate on/off both plan tiny_linear =="
+./build/tools/adctl run tiny_linear --surrogate on >/dev/null
+./build/tools/adctl run tiny_linear --surrogate off >/dev/null
+echo "surrogate flag OK"
 
 echo "== adctl serve: warm restart from the plan store =="
 # Cold process populates the store; two restarted processes (different

@@ -6,7 +6,7 @@
 #
 # Usage: scripts/check_coverage.sh [build-dir] [jobs]
 # Floors (percent) override via AD_COV_FLOOR_CORE / AD_COV_FLOOR_SERVE
-# / AD_COV_FLOOR_BASELINES.
+# / AD_COV_FLOOR_BASELINES / AD_COV_FLOOR_ENGINE.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,6 +15,7 @@ JOBS="${2:-$(nproc)}"
 CORE_FLOOR="${AD_COV_FLOOR_CORE:-85}"
 SERVE_FLOOR="${AD_COV_FLOOR_SERVE:-85}"
 BASELINES_FLOOR="${AD_COV_FLOOR_BASELINES:-80}"
+ENGINE_FLOOR="${AD_COV_FLOOR_ENGINE:-85}"
 
 cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Debug \
@@ -29,7 +30,7 @@ find "$BUILD_DIR" -name '*.gcda' -delete
 # runtime without touching lines the faster suites miss.
 ctest --test-dir "$BUILD_DIR" --output-on-failure -LE fuzz
 
-echo "== coverage floors: src/core >= ${CORE_FLOOR}%, src/serve >= ${SERVE_FLOOR}%, src/baselines >= ${BASELINES_FLOOR}% =="
+echo "== coverage floors: src/core >= ${CORE_FLOOR}%, src/serve >= ${SERVE_FLOOR}%, src/baselines >= ${BASELINES_FLOOR}%, src/engine >= ${ENGINE_FLOOR}% =="
 if command -v gcovr >/dev/null 2>&1; then
     gcovr --root . "$BUILD_DIR" --filter 'src/core/' \
         --print-summary --fail-under-line "$CORE_FLOOR"
@@ -37,9 +38,11 @@ if command -v gcovr >/dev/null 2>&1; then
         --print-summary --fail-under-line "$SERVE_FLOOR"
     gcovr --root . "$BUILD_DIR" --filter 'src/baselines/' \
         --print-summary --fail-under-line "$BASELINES_FLOOR"
+    gcovr --root . "$BUILD_DIR" --filter 'src/engine/' \
+        --print-summary --fail-under-line "$ENGINE_FLOOR"
 else
     python3 scripts/coverage_report.py "$BUILD_DIR" \
         "src/core=$CORE_FLOOR" "src/serve=$SERVE_FLOOR" \
-        "src/baselines=$BASELINES_FLOOR"
+        "src/baselines=$BASELINES_FLOOR" "src/engine=$ENGINE_FLOOR"
 fi
 echo "check_coverage: floors hold"

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Regenerate src/engine/surrogate_weights.hh from the exact cost model.
+#
+# The surrogate weights are committed constants: they are fitted here,
+# offline, never at runtime. Run this after changing the exact
+# CostModel formulas, the featurization in surrogate_cost_model.cc, or
+# the sweep in tools/fit_surrogate.cc — then rebuild, run
+# tests/test_surrogate, and commit the header diff alongside the code
+# change that motivated it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target fit_surrogate -j "$(nproc)"
+"$BUILD_DIR/tools/fit_surrogate" src/engine/surrogate_weights.hh
+
+# The evaluator compiles the header it just helped regenerate; rebuild
+# and sweep so a bad fit is caught before it is ever committed.
+cmake --build "$BUILD_DIR" --target test_surrogate -j "$(nproc)"
+"$BUILD_DIR/tests/test_surrogate"
+echo "regenerated src/engine/surrogate_weights.hh"

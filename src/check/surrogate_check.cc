@@ -1,0 +1,201 @@
+#include "surrogate_check.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "check/reference_cost_model.hh"
+#include "engine/surrogate_cost_model.hh"
+#include "util/random.hh"
+
+namespace ad::check {
+
+using engine::AtomWorkload;
+using engine::DataflowKind;
+using engine::EngineConfig;
+using engine::SurrogateCostModel;
+using graph::OpType;
+
+namespace {
+
+/**
+ * Work ceiling per sweep point. The reference model literally iterates
+ * the MAC space, so unbounded draws would make the sweep minutes long;
+ * this cap keeps every point sub-millisecond while still covering the
+ * shape ranges the planner's shape catalog actually emits.
+ */
+constexpr std::uint64_t kMaxPointWork = 2'000'000;
+
+/** Log-uniform integer draw in [lo, hi]. */
+int
+logUniform(Rng &rng, int lo, int hi)
+{
+    const double u = rng.uniform(std::log(static_cast<double>(lo)),
+                                 std::log(static_cast<double>(hi) + 1.0));
+    const int v = static_cast<int>(std::exp(u));
+    return std::clamp(v, lo, hi);
+}
+
+/** MAC-space size the reference model will iterate for @p atom. */
+std::uint64_t
+pointWork(const AtomWorkload &atom)
+{
+    const auto h = static_cast<std::uint64_t>(atom.h);
+    const auto w = static_cast<std::uint64_t>(atom.w);
+    const auto ci = static_cast<std::uint64_t>(atom.ci);
+    const auto co = static_cast<std::uint64_t>(atom.co);
+    const auto khw = static_cast<std::uint64_t>(atom.window.kh) *
+                     static_cast<std::uint64_t>(atom.window.kw);
+    switch (atom.type) {
+      case OpType::Conv:
+      case OpType::FullyConnected:
+        return h * w * ci * co * khw;
+      case OpType::DepthwiseConv:
+      case OpType::Pool:
+      case OpType::GlobalPool:
+        return h * w * co * khw;
+      case OpType::Eltwise:
+        return h * w * co * 2;
+      case OpType::Input:
+      case OpType::Concat:
+        return 0;
+    }
+    return 0;
+}
+
+/**
+ * One randomized in-domain workload. Shapes stay inside the offline
+ * fitting sweep's ranges (tools/fit_surrogate.cc) so the fitted path is
+ * exercised, and inside the work cap so the reference stays fast.
+ */
+AtomWorkload
+randomWorkload(Rng &rng, int index)
+{
+    static constexpr int kKernels[] = {1, 3, 5};
+    for (;;) {
+        AtomWorkload atom;
+        atom.h = logUniform(rng, 1, 64);
+        atom.w = logUniform(rng, 1, 64);
+        atom.ci = logUniform(rng, 1, 512);
+        atom.co = logUniform(rng, 1, 512);
+        const int k =
+            kKernels[static_cast<std::size_t>(rng.uniformInt(0, 2))];
+        atom.window = {k, k, 1, 1, k / 2, k / 2};
+        switch (index % 5) {
+          case 0:
+            atom.type = OpType::Conv;
+            break;
+          case 1:
+            atom.type = OpType::DepthwiseConv;
+            atom.ci = atom.co;
+            break;
+          case 2:
+            atom.type = OpType::FullyConnected;
+            atom.h = 1;
+            atom.w = 1;
+            atom.ci = logUniform(rng, 1, 4096);
+            atom.window = {1, 1, 1, 1, 0, 0};
+            break;
+          case 3: {
+            atom.type =
+                rng.chance(0.5) ? OpType::Pool : OpType::GlobalPool;
+            atom.ci = atom.co;
+            const int pk = atom.type == OpType::GlobalPool
+                               ? logUniform(rng, 2, 32)
+                               : std::max(2, k);
+            atom.window = {pk, pk, 1, 1, 0, 0};
+            break;
+          }
+          default:
+            atom.type = OpType::Eltwise;
+            atom.ci = atom.co;
+            atom.window = {1, 1, 1, 1, 0, 0};
+            break;
+        }
+        if (pointWork(atom) <= kMaxPointWork)
+            return atom;
+    }
+}
+
+std::string
+describe(const AtomWorkload &atom, DataflowKind kind, Cycles predicted,
+         Cycles reference)
+{
+    std::ostringstream os;
+    os << graph::opName(atom.type) << " " << atom.h << "x" << atom.w
+       << "x" << atom.ci << "->" << atom.co << " k"
+       << atom.window.kh << " " << engine::dataflowName(kind)
+       << ": surrogate " << predicted << " vs reference " << reference;
+    return os.str();
+}
+
+} // namespace
+
+SurrogateSweepReport
+sweepSurrogateError(const EngineConfig &config,
+                    const SurrogateSweepOptions &options)
+{
+    static constexpr DataflowKind kKinds[] = {
+        DataflowKind::KcPartition,
+        DataflowKind::YxPartition,
+        DataflowKind::Flexible,
+    };
+
+    SurrogateSweepReport report;
+    double err_sum = 0.0;
+    for (const DataflowKind kind : kKinds) {
+        const SurrogateCostModel surrogate(config, kind);
+        const ReferenceCostModel reference(config, kind);
+        // Per-dataflow stream: sweeps stay comparable when one
+        // dataflow's point budget changes.
+        Rng rng(options.seed + static_cast<std::uint64_t>(kind));
+        for (int p = 0; p < options.pointsPerDataflow; ++p) {
+            const AtomWorkload atom = randomWorkload(rng, p);
+            ++report.points;
+            Cycles predicted = 0;
+            if (!surrogate.fittedCycles(atom, &predicted)) {
+                ++report.fallbacks;
+                continue;
+            }
+            ++report.fitted;
+            const Cycles truth = reference.cycles(atom);
+            const double rel =
+                std::fabs(static_cast<double>(predicted) -
+                          static_cast<double>(truth)) /
+                static_cast<double>(std::max<Cycles>(truth, 1));
+            err_sum += rel;
+            if (rel > report.maxRelError) {
+                report.maxRelError = rel;
+                report.worst = describe(atom, kind, predicted, truth);
+            }
+        }
+    }
+    if (report.fitted > 0)
+        report.meanRelError = err_sum / report.fitted;
+    return report;
+}
+
+SurrogateSweepReport
+assertSurrogateError(double tolerance, const EngineConfig &config,
+                     const SurrogateSweepOptions &options)
+{
+    const SurrogateSweepReport report =
+        sweepSurrogateError(config, options);
+    if (report.points < 600) {
+        fatal("surrogate sweep drew ", report.points,
+              " points, below the 600-point floor");
+    }
+    if (report.fitted * 2 < report.points) {
+        fatal("surrogate sweep hit the fitted path on only ",
+              report.fitted, " of ", report.points,
+              " points — the committed domain bounds have drifted");
+    }
+    if (report.maxRelError > tolerance) {
+        fatal("surrogate max relative error ", report.maxRelError,
+              " exceeds tolerance ", tolerance, " (worst: ",
+              report.worst, ")");
+    }
+    return report;
+}
+
+} // namespace ad::check

@@ -1,0 +1,73 @@
+#pragma once
+
+/**
+ * @file
+ * Bounded-error certification of engine::SurrogateCostModel against the
+ * loop-counting ReferenceCostModel (DESIGN.md Sec. 17).
+ *
+ * The surrogate is allowed to steer the planner only because its
+ * predictions provably stay close to ground truth inside the fitted
+ * domain. sweepSurrogateError() draws randomized in-domain workloads
+ * across all three dataflows, asks the surrogate for its *fitted*
+ * prediction (fallback-to-exact points are excluded — grading the exact
+ * model against itself would hide a broken fit), and grades it against
+ * the reference model's independently counted cycles.
+ * assertSurrogateError() is the fatal wrapper the tests, the CI
+ * surrogate-accuracy step, and `adctl selfcheck` consumers share.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "engine/engine_config.hh"
+
+namespace ad::check {
+
+/**
+ * Pinned relative-error tolerance for the surrogate sweep. The fit is
+ * typically 3+ orders of magnitude better; the pin only moves with a
+ * deliberate refit (scripts/regen_surrogate.sh) plus a DESIGN.md note.
+ */
+inline constexpr double kSurrogateErrorTolerance = 0.05;
+
+/** Sweep shape knobs (defaults satisfy the >= 600-point gate). */
+struct SurrogateSweepOptions
+{
+    /** Points drawn per dataflow (KC, YX, Flexible). */
+    int pointsPerDataflow = 220;
+    /** Seed for the randomized workload draw. */
+    std::uint64_t seed = 0xad5eedULL;
+};
+
+/** Aggregate outcome of one bounded-error sweep. */
+struct SurrogateSweepReport
+{
+    int points = 0;        ///< workloads drawn in total
+    int fitted = 0;        ///< answered by the fitted model and graded
+    int fallbacks = 0;     ///< out-of-domain draws (not graded)
+    double maxRelError = 0.0;
+    double meanRelError = 0.0;
+    std::string worst;     ///< description of the worst-error point
+};
+
+/**
+ * Run the randomized sweep for @p config across all three dataflows.
+ * Workload shapes are capped so the reference model's literal MAC
+ * counting stays fast; the cap is far above every fitted feature the
+ * planner produces in practice.
+ */
+SurrogateSweepReport sweepSurrogateError(
+    const engine::EngineConfig &config,
+    const SurrogateSweepOptions &options = {});
+
+/**
+ * Sweep and call ad::fatal if max relative error exceeds @p tolerance,
+ * if fewer than 600 points were drawn, or if fewer than half of them
+ * exercised the fitted path. Returns the report for table rendering.
+ */
+SurrogateSweepReport assertSurrogateError(
+    double tolerance = kSurrogateErrorTolerance,
+    const engine::EngineConfig &config = {},
+    const SurrogateSweepOptions &options = {});
+
+} // namespace ad::check

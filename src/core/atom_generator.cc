@@ -62,6 +62,26 @@ shapeEnergy(const ShapeCatalog &catalog,
     return cycles.variance() / (mean * mean);
 }
 
+double
+exactShapeEnergy(const ShapeCatalog &catalog,
+                 const std::vector<std::size_t> &indices,
+                 double *mean_out)
+{
+    RunningStats cycles;
+    for (const graph::Layer &l : catalog.graph().layers()) {
+        if (catalog.candidatesFor(l.id).empty())
+            continue;
+        cycles.add(static_cast<double>(catalog.exactCycles(
+            l.id, indices[static_cast<std::size_t>(l.id)])));
+    }
+    if (mean_out)
+        *mean_out = cycles.mean();
+    const double mean = cycles.mean();
+    if (mean <= 0.0)
+        return 0.0;
+    return cycles.variance() / (mean * mean);
+}
+
 SaAtomGenerator::SaAtomGenerator(SaOptions options)
     : _options(options)
 {}
@@ -92,8 +112,23 @@ SaAtomGenerator::generate(const ShapeCatalog &catalog) const
     result.varianceTrace.reserve(
         static_cast<std::size_t>(_options.maxIterations));
 
+    // Screened catalogs price candidates with a surrogate; the search
+    // then runs two Metropolis tiers per move — a cheap screen on the
+    // surrogate energy and, only for moves that survive it, a confirm
+    // on the ground-truth energy. Both tiers consume the SAME uniform
+    // draw, so the RNG sequence (two draws per iteration) is identical
+    // to the unscreened search and screening can be flipped without
+    // perturbing any other stochastic decision.
+    const bool screened = catalog.screened();
+    result.screened = screened;
+    double energy_exact = energy;
+    if (screened) {
+        energy_exact = exactShapeEnergy(catalog, indices, nullptr);
+        ++result.exactRescores;
+    }
+
     std::vector<std::size_t> best = indices;
-    double best_energy = energy;
+    double best_energy = screened ? energy_exact : energy;
 
     std::vector<std::size_t> moved(n, 0);
     for (int ite = 0; ite < _options.maxIterations; ++ite) {
@@ -126,21 +161,49 @@ SaAtomGenerator::generate(const ShapeCatalog &catalog) const
             delta >= 0 ? 1.0
                        : std::exp(delta / (_options.lambda *
                                            std::max(temp, 1e-12)));
-        if (rng.uniform() <= p) {
-            ++result.acceptedMoves;
-            state = state_move;
-            energy = energy_move;
-            indices = moved;
-            if (energy < best_energy) {
-                best_energy = energy;
-                best = indices;
+        const double u = rng.uniform();
+        if (u > p) {
+            if (screened)
+                ++result.screenRejects;
+            continue;
+        }
+        if (screened) {
+            // Confirm tier: the exact re-score decides. An accepted
+            // move can therefore never enter the plan on surrogate
+            // numbers alone.
+            const double exact_move =
+                exactShapeEnergy(catalog, moved, nullptr);
+            ++result.exactRescores;
+            const double delta_exact = energy_exact - exact_move;
+            const double p_exact =
+                delta_exact >= 0
+                    ? 1.0
+                    : std::exp(delta_exact /
+                               (_options.lambda *
+                                std::max(temp, 1e-12)));
+            if (u > p_exact) {
+                ++result.confirmRejects;
+                continue;
             }
+            energy_exact = exact_move;
+        }
+        ++result.acceptedMoves;
+        state = state_move;
+        energy = energy_move;
+        indices = moved;
+        const double tracked = screened ? energy_exact : energy;
+        if (tracked < best_energy) {
+            best_energy = tracked;
+            best = indices;
         }
     }
 
     result.shapes = catalog.shapesFromIndices(best);
     result.finalVariance = best_energy;
-    shapeEnergy(catalog, best, &result.meanCycles);
+    if (screened)
+        exactShapeEnergy(catalog, best, &result.meanCycles);
+    else
+        shapeEnergy(catalog, best, &result.meanCycles);
     result.meanUtilization = meanUtilization(catalog, best);
     return result;
 }

@@ -27,6 +27,12 @@ struct GenerationResult
     std::vector<double> varianceTrace; ///< per-iteration energy (Fig. 5b)
     int iterations = 0;             ///< iterations actually executed
     int acceptedMoves = 0;          ///< moves the Metropolis rule kept
+
+    // Surrogate screening telemetry (zero for unscreened catalogs).
+    bool screened = false;   ///< search ran over a screened catalog
+    int screenRejects = 0;   ///< moves the surrogate tier filtered out
+    int confirmRejects = 0;  ///< surrogate-passed moves exact re-score refused
+    int exactRescores = 0;   ///< exact energy evaluations performed
 };
 
 /** Parameters of Algorithm 1. */
@@ -96,5 +102,16 @@ class GaAtomGenerator
 double shapeEnergy(const ShapeCatalog &catalog,
                    const std::vector<std::size_t> &indices,
                    double *mean_out = nullptr);
+
+/**
+ * shapeEnergy over ground-truth cycles: identical to shapeEnergy for an
+ * unscreened catalog, and computed from ShapeCatalog::exactCycles for a
+ * screened one. The SA confirm tier re-scores every surrogate-passed
+ * move with this before it may change the plan, so the returned shapes
+ * are always exact-model-scored.
+ */
+double exactShapeEnergy(const ShapeCatalog &catalog,
+                        const std::vector<std::size_t> &indices,
+                        double *mean_out = nullptr);
 
 } // namespace ad::core

@@ -4,13 +4,35 @@
 #include <cmath>
 
 #include "engine/cached_cost_model.hh"
+#include "engine/surrogate_cost_model.hh"
 #include "noc/mesh.hh"
 #include "obs/clock.hh"
 #include "obs/instrumentation.hh"
 #include "obs/metrics.hh"
 #include "obs/trace.hh"
+#include "util/thread_pool.hh"
 
 namespace ad::core {
+
+namespace {
+
+/**
+ * Cross-DAG confirm gate for surrogate screening. The analytic Round
+ * estimate systematically over-costs the dense even-partition fallback
+ * DAG relative to the SA DAG (observed inflation 1.2-2.2x across the
+ * zoo), so estimates never rank DAGs against each other directly.
+ * Instead the SA DAG's best trial is always confirmed exactly, and a
+ * fallback DAG's best trial is confirmed only when its estimate stays
+ * below margin x the best confirmed plan's exact cycles — i.e. only
+ * when, after de-inflation, it could still plausibly win. Pinned:
+ * lowering it trades cold-plan wall for screened-plan quality; the
+ * bench_serve surrogate cell FATALs if the screened plan drifts past
+ * tolerance, so this constant only moves together with a re-measured
+ * EXPERIMENTS.md table.
+ */
+constexpr double kCrossDagConfirmMargin = 2.0;
+
+} // namespace
 
 Orchestrator::Orchestrator(const sim::SystemConfig &system,
                            OrchestratorOptions options,
@@ -104,6 +126,11 @@ Orchestrator::runImpl(const graph::Graph &graph,
 
     const engine::CachedCostModel model(_system.engine,
                                         _system.dataflow);
+    // Fitted screening surrogate (DESIGN.md Sec. 17). Only consulted
+    // when options.surrogate is on; every decision it screens is
+    // confirmed against the exact model before entering the plan.
+    const engine::SurrogateCostModel surrogate_model(_system.engine,
+                                                     _system.dataflow);
     OrchestratorResult result;
 
     // Stage 1: atomic tensor generation (Sec. IV-A). The iterative
@@ -152,7 +179,10 @@ Orchestrator::runImpl(const graph::Graph &graph,
         break;
       case AtomGenMode::Sa: {
         const obs::Stopwatch gen_sw;
-        const ShapeCatalog catalog(graph, model);
+        const ShapeCatalog catalog =
+            _options.surrogate
+                ? ShapeCatalog(graph, surrogate_model, {}, &model)
+                : ShapeCatalog(graph, model);
         const SaAtomGenerator generator(_options.sa);
         result.generation = generator.generate(catalog);
         if (ms) {
@@ -175,6 +205,20 @@ Orchestrator::runImpl(const graph::Graph &graph,
                 .set(result.generation.finalVariance);
             ms->gauge("sa.mean_utilization")
                 .set(result.generation.meanUtilization);
+            if (result.generation.screened) {
+                // Deterministic screening telemetry (thread-count
+                // invariant, so no "host." prefix): proves every
+                // accepted move paid an exact re-score.
+                ms->counter("sa.screen_rejects")
+                    .add(static_cast<std::uint64_t>(
+                        result.generation.screenRejects));
+                ms->counter("sa.confirm_rejects")
+                    .add(static_cast<std::uint64_t>(
+                        result.generation.confirmRejects));
+                ms->counter("sa.exact_rescores")
+                    .add(static_cast<std::uint64_t>(
+                        result.generation.exactRescores));
+            }
         }
         if (tr) {
             // SA telemetry: energy and temperature curves as counter
@@ -246,44 +290,150 @@ Orchestrator::runImpl(const graph::Graph &graph,
     dag_options.batch = _options.batch;
     dag_options.bytesPerElem = _system.engine.bytesPerElem;
 
-    bool first = true;
+    std::vector<std::unique_ptr<AtomicDag>> dags;
+    dags.reserve(shape_sets.size());
     for (const auto &shapes : shape_sets) {
-        auto dag = std::make_unique<AtomicDag>(graph, shapes,
-                                               dag_options);
-        bool dag_won = false;
-        for (const Candidate &candidate : candidates) {
-            OrchestratorOptions trial_options = _options;
-            trial_options.scheduler.mode = candidate.mode;
-            trial_options.mapper.optimize = candidate.optimizeMapping;
-            Orchestrator trial(_base, trial_options, _view);
-            Schedule schedule = trial.buildSchedule(*dag);
-            sim::ExecutionReport report =
-                simulator.execute(*dag, schedule);
-            // Primary objective: cycles. Near-ties (within 10%) resolve
-            // by energy, so the search does not trade a large energy
-            // regression for a marginal speedup.
-            bool better = false;
-            if (first) {
-                better = true;
-            } else if (report.totalCycles <
-                       result.report.totalCycles * 90 / 100) {
-                better = true;
-            } else if (report.totalCycles <=
-                           result.report.totalCycles * 110 / 100 &&
-                       report.totalEnergyPj() <
-                           result.report.totalEnergyPj()) {
-                better = true;
-            }
-            if (better) {
-                first = false;
-                dag_won = true;
-                result.schedule = std::move(schedule);
-                result.report = report;
-            }
-        }
-        if (dag_won)
-            result.dag = std::move(dag);
+        dags.push_back(
+            std::make_unique<AtomicDag>(graph, shapes, dag_options));
     }
+
+    // One trial per (DAG, scheduling candidate), in the same
+    // dag-major order the unscreened sweep evaluates them. When
+    // surrogate screening is on, raw-mapping variants are dropped up
+    // front (they only differ downstream of mapping, which screening
+    // ranks by schedule estimate anyway).
+    struct Trial
+    {
+        std::size_t dagIdx = 0;
+        SchedMode mode = SchedMode::Dp;
+        bool optimizeMapping = true;
+        SchedMode effective = SchedMode::Dp;
+        RoundList rounds;
+        double estimate = 0.0;
+        bool confirm = true;
+    };
+    std::vector<Trial> trials;
+    for (std::size_t d = 0; d < dags.size(); ++d) {
+        for (const Candidate &candidate : candidates) {
+            if (_options.surrogate && candidates.size() > 1 &&
+                !candidate.optimizeMapping) {
+                continue;
+            }
+            Trial trial;
+            trial.dagIdx = d;
+            trial.mode = candidate.mode;
+            trial.optimizeMapping = candidate.optimizeMapping;
+            trials.push_back(std::move(trial));
+        }
+    }
+
+    // Screening tier (only meaningful with competing candidates):
+    // schedule every trial — cheap next to mapping + simulation — rank
+    // by the analytic Round-cost estimate, and confirm only the
+    // kScreenConfirmTrials best with the full exact pipeline.
+    const bool screening = _options.surrogate && trials.size() > 1;
+    if (screening) {
+        // Fan the candidate schedules out: each index writes only its
+        // own Trial, the memoized cost store is thread-safe, and every
+        // per-trial value is a pure function of (dag, mode) — so the
+        // estimates are bit-identical for any pool size.
+        util::ThreadPool::global().parallelFor(
+            trials.size(), [&](std::size_t i) {
+                Trial &trial = trials[i];
+                SchedulerOptions sched_options = _options.scheduler;
+                sched_options.mode = trial.mode;
+                DpScheduler scheduler(*dags[trial.dagIdx], model,
+                                      sched_options);
+                trial.rounds = scheduler.schedule();
+                trial.effective = scheduler.effectiveMode();
+                trial.estimate = scheduler.estimateCost(trial.rounds);
+            });
+        std::vector<std::size_t> order(trials.size());
+        for (std::size_t i = 0; i < order.size(); ++i)
+            order[i] = i;
+        // Stable: estimate ties keep the original evaluation order.
+        std::stable_sort(order.begin(), order.end(),
+                         [&trials](std::size_t a, std::size_t b) {
+                             return trials[a].estimate <
+                                    trials[b].estimate;
+                         });
+        // The analytic estimate carries a per-DAG bias (atom granularity
+        // shifts the makespan/transfer balance), so estimates only rank
+        // reliably WITHIN one DAG. The best-estimate trial of every DAG
+        // is therefore marked for confirmation; the confirm loop below
+        // additionally gates fallback DAGs on kCrossDagConfirmMargin
+        // once the SA DAG's exact cycles are known.
+        for (Trial &trial : trials)
+            trial.confirm = false;
+        std::vector<char> dag_covered(dags.size(), 0);
+        for (std::size_t idx : order) {
+            if (dag_covered[trials[idx].dagIdx])
+                continue;
+            dag_covered[trials[idx].dagIdx] = 1;
+            trials[idx].confirm = true;
+        }
+    }
+
+    // Confirm phase: map + simulate the surviving trials in the same
+    // dag-major order the unscreened sweep uses, folding each result
+    // into the winner as it lands. Screened runs walk the trials
+    // sequentially because the cross-DAG gate needs the SA DAG's exact
+    // cycles before deciding whether a fallback DAG is worth paying
+    // for; the unscreened path is the historical loop, untouched.
+    bool first = true;
+    std::size_t winner_dag = dags.size();
+    std::size_t confirmed = 0;
+    for (Trial &trial : trials) {
+        if (screening && !trial.confirm)
+            continue;
+        if (screening && trial.dagIdx > 0 && !first &&
+            trial.estimate >=
+                kCrossDagConfirmMargin *
+                    static_cast<double>(result.report.totalCycles)) {
+            // Even de-inflated, this fallback DAG cannot plausibly beat
+            // the confirmed plan — skip its mapping + simulation.
+            continue;
+        }
+        ++confirmed;
+        OrchestratorOptions trial_options = _options;
+        trial_options.scheduler.mode = trial.mode;
+        trial_options.mapper.optimize = trial.optimizeMapping;
+        Orchestrator trial_orch(_base, trial_options, _view);
+        // A screened trial re-uses the rounds it was ranked on; the
+        // unscreened path re-derives them inside buildSchedule exactly
+        // as before. Either way the result below is fully mapped and
+        // exactly simulated — the surrogate never scores a final plan.
+        Schedule schedule =
+            screening ? trial_orch.mapRounds(*dags[trial.dagIdx],
+                                             trial.rounds,
+                                             trial.effective)
+                      : trial_orch.buildSchedule(*dags[trial.dagIdx]);
+        sim::ExecutionReport report =
+            simulator.execute(*dags[trial.dagIdx], schedule);
+        // Primary objective: cycles. Near-ties (within 10%) resolve
+        // by energy, so the search does not trade a large energy
+        // regression for a marginal speedup.
+        bool better = false;
+        if (first) {
+            better = true;
+        } else if (report.totalCycles <
+                   result.report.totalCycles * 90 / 100) {
+            better = true;
+        } else if (report.totalCycles <=
+                       result.report.totalCycles * 110 / 100 &&
+                   report.totalEnergyPj() <
+                       result.report.totalEnergyPj()) {
+            better = true;
+        }
+        if (better) {
+            first = false;
+            winner_dag = trial.dagIdx;
+            result.schedule = std::move(schedule);
+            result.report = report;
+        }
+    }
+    if (winner_dag < dags.size())
+        result.dag = std::move(dags[winner_dag]);
 
     // Candidate evaluations above run untraced; re-execute only the
     // winning schedule with instrumentation so the trace describes
@@ -312,6 +462,18 @@ Orchestrator::runImpl(const graph::Graph &graph,
             .set(static_cast<double>(model.size()));
         ms->gauge("host.costmodel.contended")
             .set(static_cast<double>(model.contended()));
+        if (_options.surrogate) {
+            ms->gauge("host.surrogate.plan_trials")
+                .set(static_cast<double>(trials.size()));
+            ms->gauge("host.surrogate.confirmed_trials")
+                .set(static_cast<double>(confirmed));
+            ms->gauge("host.surrogate.fitted_evals")
+                .set(static_cast<double>(
+                    surrogate_model.fittedEvals()));
+            ms->gauge("host.surrogate.fallback_evals")
+                .set(static_cast<double>(
+                    surrogate_model.fallbackEvals()));
+        }
     }
     return result;
 }

@@ -40,6 +40,18 @@ struct OrchestratorOptions
     bool onChipReuse = true;
 
     /**
+     * Surrogate-screened planning (DESIGN.md Sec. 17): the SA search
+     * prices its shape catalog with the fitted
+     * engine::SurrogateCostModel and re-scores accepted moves exactly,
+     * and the plan-candidate sweep ranks scheduling candidates with an
+     * analytic estimate, paying for full mapping + simulation only on
+     * the top-ranked ones. The returned plan is always exact-model
+     * scored and exact-simulated. Off reproduces the unscreened
+     * pipeline bit-for-bit.
+     */
+    bool surrogate = true;
+
+    /**
      * Upper bound on total atoms in one DAG. When the SA solution's
      * unified cycle is so small that the batch explodes past this
      * bound (tiny-layer networks), the per-layer shapes are snapped to

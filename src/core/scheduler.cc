@@ -487,6 +487,67 @@ DpScheduler::atomCycles(AtomId atom) const
     return _cycles[i];
 }
 
+double
+DpScheduler::estimateCost(const RoundList &rounds) const
+{
+    // Replays SchedState::comboCost's accounting over a fixed Round
+    // sequence: per-Round makespan, weight first-touch once per
+    // (layer, sample) key, dependency bytes over the NoC when the
+    // producer is within the residency window (HBM otherwise), and
+    // external-input fetches.
+    const AtomicDag &dag = *_dag;
+    const auto layers =
+        static_cast<std::int64_t>(dag.graph().size());
+    std::vector<int> produced_round(dag.size(), -1);
+    std::vector<char> started(
+        static_cast<std::size_t>(layers) *
+            static_cast<std::size_t>(dag.batch()),
+        0);
+
+    double cost = 0.0;
+    for (std::size_t t = 0; t < rounds.size(); ++t) {
+        const int round = static_cast<int>(t);
+        Cycles makespan = 0;
+        double hbm_bytes = 0.0;
+        double noc_bytes = 0.0;
+        for (AtomId a : rounds[t]) {
+            makespan = std::max(
+                makespan, _cycles[static_cast<std::size_t>(a)]);
+            const auto dep_ids = dag.depsSpan(a);
+            const auto dep_bytes = dag.depBytesSpan(a);
+            for (std::size_t di = 0; di < dep_ids.size(); ++di) {
+                const int produced = produced_round[static_cast<
+                    std::size_t>(dep_ids[di])];
+                const auto bytes = static_cast<double>(dep_bytes[di]);
+                if (produced >= 0 &&
+                    produced + _options.residencyWindow >= round) {
+                    noc_bytes += bytes;
+                } else {
+                    hbm_bytes += bytes;
+                }
+            }
+            const Atom &atom = dag.atom(a);
+            const auto key = static_cast<std::size_t>(
+                static_cast<std::int64_t>(atom.batch) * layers +
+                atom.layer);
+            if (!started[key]) {
+                started[key] = 1;
+                hbm_bytes += static_cast<double>(dag.weightBytes(a));
+            }
+            if (dag.readsExternalInput(a)) {
+                hbm_bytes +=
+                    static_cast<double>(dag.workload(a).ifmapBytes());
+            }
+        }
+        for (AtomId a : rounds[t])
+            produced_round[static_cast<std::size_t>(a)] = round;
+        cost += static_cast<double>(makespan) +
+                hbm_bytes / _options.hbmBytesPerCycle +
+                noc_bytes / _options.nocBytesPerCycle;
+    }
+    return cost;
+}
+
 RoundList
 DpScheduler::schedule() const
 {

@@ -12,8 +12,10 @@ using graph::OpType;
 
 ShapeCatalog::ShapeCatalog(const graph::Graph &graph,
                            const engine::CostModel &model,
-                           const ShapeCatalogOptions &options)
-    : _graph(&graph), _model(&model), _options(options)
+                           const ShapeCatalogOptions &options,
+                           const engine::CostModel *exact)
+    : _graph(&graph), _model(&model), _exactModel(exact),
+      _options(options)
 {
     _catalog.resize(graph.size());
     // Candidate enumeration is independent per layer: buildLayer only
@@ -27,6 +29,44 @@ ShapeCatalog::ShapeCatalog(const graph::Graph &graph,
     }
     util::ThreadPool::global().parallelFor(
         todo.size(), [&](std::size_t i) { buildLayer(*todo[i]); });
+    if (_exactModel) {
+        _exactCycles.resize(_catalog.size());
+        for (std::size_t l = 0; l < _catalog.size(); ++l)
+            _exactCycles[l].assign(_catalog[l].size(), 0);
+    }
+}
+
+engine::AtomWorkload
+ShapeCatalog::workloadFor(const graph::Layer &layer,
+                          const TileShape &shape)
+{
+    engine::AtomWorkload atom;
+    atom.type = layer.type;
+    atom.h = shape.h;
+    atom.w = shape.w;
+    atom.co = shape.c;
+    atom.ci = layer.in.c;
+    if (layer.type == OpType::DepthwiseConv ||
+        layer.type == OpType::Pool || layer.type == OpType::Eltwise) {
+        atom.ci = shape.c;
+    }
+    atom.window = layer.window;
+    return atom;
+}
+
+Cycles
+ShapeCatalog::exactCycles(graph::LayerId layer, std::size_t idx) const
+{
+    const auto &cands = candidatesFor(layer);
+    adAssert(idx < cands.size(), "candidate index out of range");
+    if (!_exactModel)
+        return cands[idx].cycles;
+    Cycles &memo = _exactCycles[static_cast<std::size_t>(layer)][idx];
+    if (memo == 0) {
+        memo = _exactModel->cycles(
+            workloadFor(_graph->layer(layer), cands[idx].shape));
+    }
+    return memo;
 }
 
 std::vector<int>
@@ -95,18 +135,8 @@ ShapeCatalog::buildLayer(const graph::Layer &layer)
     for (int th : hs) {
         for (int tw : ws) {
             for (int tc : chans) {
-                engine::AtomWorkload atom;
-                atom.type = layer.type;
-                atom.h = th;
-                atom.w = tw;
-                atom.co = tc;
-                atom.ci = layer.in.c;
-                if (layer.type == OpType::DepthwiseConv ||
-                    layer.type == OpType::Pool ||
-                    layer.type == OpType::Eltwise) {
-                    atom.ci = tc;
-                }
-                atom.window = layer.window;
+                const engine::AtomWorkload atom =
+                    workloadFor(layer, {th, tw, tc});
 
                 const Bytes weights =
                     atom.weightBytes(_options.bytesPerElem);
@@ -144,15 +174,12 @@ ShapeCatalog::buildLayer(const graph::Layer &layer)
     if (cands.empty()) {
         // Nothing fits the buffer (huge layer): fall back to the finest
         // granularity and let the simulator charge the spills.
-        engine::AtomWorkload atom;
-        atom.type = layer.type;
-        atom.h = std::min(layer.out.h, qh);
-        atom.w = std::min(layer.out.w, qw);
-        atom.co = std::min(layer.out.c, std::max(qc, 1));
-        atom.ci = layer.in.c;
-        atom.window = layer.window;
+        const TileShape finest{std::min(layer.out.h, qh),
+                               std::min(layer.out.w, qw),
+                               std::min(layer.out.c, std::max(qc, 1))};
+        const engine::AtomWorkload atom = workloadFor(layer, finest);
         ShapeCandidate cand;
-        cand.shape = {atom.h, atom.w, atom.co};
+        cand.shape = finest;
         cand.cycles = _model->cycles(atom);
         cand.utilization = _model->utilization(atom);
         cand.footprint = atom.ifmapBytes(_options.bytesPerElem) +

@@ -53,10 +53,39 @@ struct ShapeCatalogOptions
 class ShapeCatalog
 {
   public:
-    /** Enumerate and cost all candidates for every layer of @p graph. */
+    /**
+     * Enumerate and cost all candidates for every layer of @p graph.
+     *
+     * When @p exact is non-null the catalog is *surrogate-screened*:
+     * @p model (typically engine::SurrogateCostModel) prices the
+     * candidate enumeration and steers the search, while @p exact
+     * serves lazy ground-truth re-scoring through exactCycles() — the
+     * screen/confirm contract of DESIGN.md Sec. 17. Both models must
+     * outlive the catalog.
+     */
     ShapeCatalog(const graph::Graph &graph,
                  const engine::CostModel &model,
-                 const ShapeCatalogOptions &options = {});
+                 const ShapeCatalogOptions &options = {},
+                 const engine::CostModel *exact = nullptr);
+
+    /** True when candidate cycles come from a screening surrogate. */
+    bool screened() const { return _exactModel != nullptr; }
+
+    /**
+     * Ground-truth cycles of candidate @p idx of @p layer. Identical to
+     * the candidate's cycles for an unscreened catalog; for a screened
+     * one the exact model is consulted lazily and memoized. Not thread-
+     * safe — confirm phases run on the search thread.
+     */
+    Cycles exactCycles(graph::LayerId layer, std::size_t idx) const;
+
+    /**
+     * The engine workload a tile of @p shape induces for @p layer —
+     * the single place the (layer, shape) -> atom convention lives, so
+     * catalog costing and exact re-scoring can never disagree on it.
+     */
+    static engine::AtomWorkload workloadFor(const graph::Layer &layer,
+                                            const TileShape &shape);
 
     /** Candidates of @p layer, sorted by ascending cycles. Empty for
      * Input/Concat layers. */
@@ -90,8 +119,12 @@ class ShapeCatalog
 
     const graph::Graph *_graph;
     const engine::CostModel *_model;
+    const engine::CostModel *_exactModel; ///< null when unscreened
     ShapeCatalogOptions _options;
     std::vector<std::vector<ShapeCandidate>> _catalog;
+    /** Lazy exact-cycle memo parallel to _catalog; 0 = not yet scored
+     * (real cycles are always positive: configCycles floor). */
+    mutable std::vector<std::vector<Cycles>> _exactCycles;
 };
 
 } // namespace ad::core

@@ -1,0 +1,266 @@
+#include "surrogate_cost_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/surrogate_weights.hh"
+
+namespace ad::engine {
+
+using graph::OpType;
+
+namespace {
+
+/** ln of a positive integer quantity (features are log-transformed). */
+double
+lnOf(std::int64_t v)
+{
+    return std::log(static_cast<double>(std::max<std::int64_t>(v, 1)));
+}
+
+/** Vector-unit elements touched per output element. */
+std::int64_t
+vectorWorkPerElem(const AtomWorkload &atom)
+{
+    if (atom.type == OpType::Eltwise)
+        return 2;
+    return static_cast<std::int64_t>(atom.window.kh) * atom.window.kw;
+}
+
+constexpr auto kFeatures =
+    static_cast<std::size_t>(kSurrogateFeatureCount);
+
+static_assert(surrogate_weights::kFeatures == kSurrogateFeatureCount,
+              "committed weight header drifted from the featurization");
+static_assert(surrogate_weights::kSegments == kSurrogateSegmentCount,
+              "committed weight header drifted from the segment table");
+
+/** Fitted-domain check against the committed per-segment bounds. */
+bool
+inFittedDomain(SurrogateSegment segment, const SurrogateFeatures &f)
+{
+    const auto s = static_cast<std::size_t>(segment);
+    for (std::size_t i = 0; i < kFeatures; ++i) {
+        if (f.values[i] < surrogate_weights::kFeatureMin[s][i] ||
+            f.values[i] > surrogate_weights::kFeatureMax[s][i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+double
+dot(SurrogateSegment segment, const SurrogateFeatures &f)
+{
+    const auto s = static_cast<std::size_t>(segment);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        acc += surrogate_weights::kWeights[s][i] * f.values[i];
+    return acc;
+}
+
+} // namespace
+
+bool
+surrogateSegmentFor(graph::OpType type, DataflowKind family,
+                    SurrogateSegment *out)
+{
+    const bool yx = family == DataflowKind::YxPartition;
+    switch (type) {
+      case OpType::Conv:
+        *out = yx ? SurrogateSegment::ConvYx : SurrogateSegment::ConvKc;
+        return true;
+      case OpType::DepthwiseConv:
+        *out = yx ? SurrogateSegment::DepthwiseYx
+                  : SurrogateSegment::DepthwiseKc;
+        return true;
+      case OpType::FullyConnected:
+        *out = yx ? SurrogateSegment::FcYx : SurrogateSegment::FcKc;
+        return true;
+      case OpType::Pool:
+      case OpType::GlobalPool:
+        *out = SurrogateSegment::PoolVector;
+        return true;
+      case OpType::Eltwise:
+        *out = SurrogateSegment::EltwiseVector;
+        return true;
+      case OpType::Input:
+      case OpType::Concat:
+        return false; // pure data movement, nothing fitted
+    }
+    return false;
+}
+
+SurrogateFeatures
+surrogateFeatures(const AtomWorkload &atom, const EngineConfig &config,
+                  SurrogateSegment segment)
+{
+    SurrogateFeatures f;
+    f.values[0] = 1.0; // bias
+    const auto h = static_cast<std::int64_t>(atom.h);
+    const auto w = static_cast<std::int64_t>(atom.w);
+    const auto ci = static_cast<std::int64_t>(atom.ci);
+    const auto co = static_cast<std::int64_t>(atom.co);
+    const auto khw = static_cast<std::int64_t>(atom.window.kh) *
+                     atom.window.kw;
+
+    switch (segment) {
+      case SurrogateSegment::ConvKc:
+      case SurrogateSegment::ConvYx:
+      case SurrogateSegment::DepthwiseKc:
+      case SurrogateSegment::DepthwiseYx:
+      case SurrogateSegment::FcKc:
+      case SurrogateSegment::FcYx: {
+        const auto rows = static_cast<std::int64_t>(config.peRows);
+        const auto cols = static_cast<std::int64_t>(config.peCols);
+        f.values[1] = lnOf(h);
+        f.values[2] = lnOf(w);
+        f.values[3] = lnOf(ci);
+        f.values[4] = lnOf(co);
+        f.values[5] = lnOf(khw);
+        f.values[6] = lnOf(ceilDiv(ci, rows));
+        f.values[7] = lnOf(ceilDiv(co, cols));
+        f.values[8] = lnOf(ceilDiv(h, rows));
+        f.values[9] = lnOf(ceilDiv(w, cols));
+        f.values[10] = lnOf(ceilDiv(co, rows * cols));
+        f.values[11] = lnOf(ceilDiv(khw, rows));
+        f.values[12] = lnOf(rows * cols);
+        break;
+      }
+      case SurrogateSegment::PoolVector:
+      case SurrogateSegment::EltwiseVector: {
+        const auto lanes = static_cast<std::int64_t>(config.vectorLanes);
+        const std::int64_t work = vectorWorkPerElem(atom);
+        f.values[1] = lnOf(h);
+        f.values[2] = lnOf(w);
+        f.values[4] = lnOf(co);
+        f.values[5] = lnOf(work);
+        f.values[6] = lnOf(ceilDiv(h * w * co * work, lanes));
+        f.values[12] = lnOf(lanes);
+        break;
+      }
+    }
+    return f;
+}
+
+SurrogateCostModel::SurrogateCostModel(const EngineConfig &config,
+                                       DataflowKind kind)
+    : CostModel(config, kind)
+{}
+
+bool
+SurrogateCostModel::predictSteady(SurrogateSegment segment,
+                                  const AtomWorkload &atom,
+                                  double *ln_steady) const
+{
+    const SurrogateFeatures f =
+        surrogateFeatures(atom, config(), segment);
+    if (!inFittedDomain(segment, f))
+        return false;
+    const double pred = dot(segment, f);
+    // Anything above e^44 (~10^19 cycles) is outside what any fitted
+    // point ever produced and would overflow the Cycles conversion.
+    if (!(pred < 44.0))
+        return false;
+    *ln_steady = pred;
+    return true;
+}
+
+bool
+SurrogateCostModel::fittedCycles(const AtomWorkload &atom,
+                                 Cycles *out) const
+{
+    const EngineConfig &cfg = config();
+    const auto steadyOf = [](double ln_steady) {
+        const long long v = std::llround(std::exp(ln_steady));
+        return static_cast<Cycles>(std::max(1LL, v));
+    };
+
+    if (!graph::isMacOp(atom.type)) {
+        SurrogateSegment segment{};
+        if (!surrogateSegmentFor(atom.type, dataflow(), &segment))
+            return false;
+        double ln_steady = 0.0;
+        if (!predictSteady(segment, atom, &ln_steady))
+            return false;
+        *out = steadyOf(ln_steady) + cfg.configCycles;
+        return true;
+    }
+
+    const Cycles fill = static_cast<Cycles>(cfg.peRows) +
+                        static_cast<Cycles>(cfg.peCols);
+    if (dataflow() == DataflowKind::Flexible) {
+        // Mirror the exact model's structure: the cheaper of the two
+        // mappings plus a reconfiguration charge. Either half leaving
+        // the fitted domain disqualifies the whole prediction.
+        SurrogateSegment kc{}, yx{};
+        if (!surrogateSegmentFor(atom.type, DataflowKind::KcPartition,
+                                 &kc) ||
+            !surrogateSegmentFor(atom.type, DataflowKind::YxPartition,
+                                 &yx)) {
+            return false;
+        }
+        double ln_kc = 0.0, ln_yx = 0.0;
+        if (!predictSteady(kc, atom, &ln_kc) ||
+            !predictSteady(yx, atom, &ln_yx)) {
+            return false;
+        }
+        *out = std::min(steadyOf(ln_kc), steadyOf(ln_yx)) + fill +
+               cfg.reconfigCycles + cfg.configCycles;
+        return true;
+    }
+
+    SurrogateSegment segment{};
+    if (!surrogateSegmentFor(atom.type, dataflow(), &segment))
+        return false;
+    double ln_steady = 0.0;
+    if (!predictSteady(segment, atom, &ln_steady))
+        return false;
+    *out = steadyOf(ln_steady) + fill + cfg.configCycles;
+    return true;
+}
+
+Cycles
+SurrogateCostModel::cycles(const AtomWorkload &atom) const
+{
+    Cycles fitted = 0;
+    if (fittedCycles(atom, &fitted)) {
+        _fitted.fetch_add(1, std::memory_order_relaxed);
+        return fitted;
+    }
+    _fallback.fetch_add(1, std::memory_order_relaxed);
+    return CostModel::cycles(atom);
+}
+
+double
+SurrogateCostModel::utilization(const AtomWorkload &atom) const
+{
+    if (!graph::isMacOp(atom.type))
+        return 0.0;
+    const Cycles c = cycles(atom);
+    if (c == 0)
+        return 0.0;
+    return static_cast<double>(atom.macs()) /
+           (static_cast<double>(c) * config().pes());
+}
+
+CostResult
+SurrogateCostModel::evaluate(const AtomWorkload &atom) const
+{
+    // Byte and energy accounting stay exact; only the cycle estimate
+    // (and the utilization derived from it) comes from the fit.
+    CostResult r = CostModel::evaluate(atom);
+    const Cycles c = cycles(atom);
+    if (c == r.cycles)
+        return r;
+    const Cycles overhead = r.cycles - r.computeCycles;
+    r.cycles = c;
+    r.computeCycles = c > overhead ? c - overhead : 0;
+    if (graph::isMacOp(atom.type) && c > 0) {
+        r.utilization = static_cast<double>(r.macs) /
+                        (static_cast<double>(c) * config().pes());
+    }
+    return r;
+}
+
+} // namespace ad::engine

@@ -1,0 +1,132 @@
+#pragma once
+
+/**
+ * @file
+ * Fitted surrogate for the analytical cost model (ROADMAP item 1).
+ *
+ * The SA search and the plan-candidate sweep only need *relative*
+ * cycle estimates to steer; exactness is restored by re-scoring every
+ * accepted decision with the exact model (DESIGN.md Sec. 17). The
+ * surrogate featurizes (atom shape, dataflow, engine config) into a
+ * small fixed log-feature vector and evaluates a per-segment linear
+ * model in log space — a polynomial model over the original
+ * dimensions. The weights are committed constants generated offline by
+ * tools/fit_surrogate (ridge regression against the exact model on a
+ * randomized sweep; regenerate with scripts/regen_surrogate.sh). There
+ * is deliberately no runtime fitting path: identical binaries produce
+ * bit-identical scores, so screened plans stay deterministic.
+ *
+ * Every feature vector is checked against the committed fitted domain
+ * (per-segment min/max observed during training); out-of-domain atoms
+ * fall back to the exact analytical model instead of extrapolating.
+ */
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "engine/cost_model.hh"
+#include "engine/engine_config.hh"
+
+namespace ad::engine {
+
+/** Width of the fixed feature vector (bias + log-transformed terms). */
+inline constexpr int kSurrogateFeatureCount = 13;
+
+/**
+ * One fitted weight segment: MAC buckets are split per spatial-mapping
+ * family (Flexible arrays evaluate both and take the min, mirroring the
+ * exact model's structure); vector-unit ops have shape-only segments.
+ */
+enum class SurrogateSegment : int {
+    ConvKc,
+    ConvYx,
+    DepthwiseKc,
+    DepthwiseYx,
+    FcKc,
+    FcYx,
+    PoolVector,
+    EltwiseVector,
+};
+
+/** Number of fitted segments (size of the committed weight table). */
+inline constexpr int kSurrogateSegmentCount = 8;
+
+/** Fixed-width feature vector; unused slots stay 0 per segment. */
+struct SurrogateFeatures
+{
+    std::array<double, kSurrogateFeatureCount> values{};
+};
+
+/**
+ * Segment for @p type under mapping family @p family (KcPartition or
+ * YxPartition; vector ops ignore it). Returns false for ops with no
+ * fitted segment (Input/Concat: pure data movement, no engine cycles
+ * worth modelling).
+ */
+bool surrogateSegmentFor(graph::OpType type, DataflowKind family,
+                         SurrogateSegment *out);
+
+/**
+ * Featurize @p atom for @p segment on @p config. Shared verbatim by
+ * the offline fitting tool, the runtime evaluator, and the bounded-
+ * error check harness, so the three can never drift apart.
+ */
+SurrogateFeatures surrogateFeatures(const AtomWorkload &atom,
+                                    const EngineConfig &config,
+                                    SurrogateSegment segment);
+
+/**
+ * CostModel drop-in whose cycles() is the fitted surrogate. Traffic
+ * and energy accounting stay exact (the fit covers steady-state
+ * compute cycles only; fill/drain and configuration overheads are
+ * structural constants taken from the config, exactly as in the
+ * analytical model).
+ *
+ * Thread-safe: evaluation is pure; the eval counters are relaxed
+ * atomics (observability only, like the cost-model cache counters).
+ */
+class SurrogateCostModel : public CostModel
+{
+  public:
+    /** Build a surrogate for @p config executing with dataflow @p kind. */
+    SurrogateCostModel(const EngineConfig &config, DataflowKind kind);
+
+    /** Exact evaluation with cycles/utilization from the surrogate. */
+    CostResult evaluate(const AtomWorkload &atom) const override;
+
+    /** Fitted cycles; exact-model fallback out of the fitted domain. */
+    Cycles cycles(const AtomWorkload &atom) const override;
+
+    /** MACs / (surrogate cycles * PEs); 0 for non-MAC ops. */
+    double utilization(const AtomWorkload &atom) const override;
+
+    /**
+     * Fitted prediction for @p atom without the fallback: false when
+     * the op has no segment or any feature leaves the fitted domain.
+     * Exposed for the bounded-error sweep, which must not silently
+     * grade the exact model against itself.
+     */
+    bool fittedCycles(const AtomWorkload &atom, Cycles *out) const;
+
+    /** Evaluations answered by the fitted model. */
+    std::uint64_t fittedEvals() const
+    {
+        return _fitted.load(std::memory_order_relaxed);
+    }
+
+    /** Evaluations that fell back to the exact analytical model. */
+    std::uint64_t fallbackEvals() const
+    {
+        return _fallback.load(std::memory_order_relaxed);
+    }
+
+  private:
+    bool predictSteady(SurrogateSegment segment, const AtomWorkload &atom,
+                       double *ln_steady) const;
+
+    mutable std::atomic<std::uint64_t> _fitted{0};
+    mutable std::atomic<std::uint64_t> _fallback{0};
+};
+
+} // namespace ad::engine

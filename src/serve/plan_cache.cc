@@ -34,7 +34,15 @@ makePlanKey(const std::string &strategy, const graph::Graph &graph,
        << " mapper=" << options.mapper.maxPermutationLayers << '/'
        << options.mapper.optimize << '/' << options.mapper.stableOrder
        << " reuse=" << options.onChipReuse
-       << " max_atoms=" << options.maxAtoms << '\n';
+       << " max_atoms=" << options.maxAtoms;
+    // Appended only when screening is on: plans produced with
+    // surrogate screening may legitimately differ from unscreened
+    // ones, so they get their own key — while every key minted with
+    // screening off stays byte-identical with historical plan-store
+    // artifacts.
+    if (options.surrogate)
+        os << " surrogate=1";
+    os << '\n';
     os << "graph\n" << graph::toText(graph);
     return PlanKey{os.str()};
 }

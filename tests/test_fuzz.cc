@@ -178,6 +178,57 @@ TEST(Fuzz, AtomicDataflowIsValidAuditedAndDeterministic)
     }
 }
 
+TEST(Fuzz, SurrogateScreenedPlansAuditCleanAndStayNearUnscreened)
+{
+    const auto system = smallSystem();
+    // Pinned quality tolerance for screened planning, matching the
+    // bench_serve surrogate cell: a screened plan may trade at most 10%
+    // cycles for its cold-plan speedup. Raising it needs a re-measured
+    // EXPERIMENTS.md table, not a casual bump.
+    constexpr double kMaxCycleDrift = 1.10;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed);
+        const auto graph = ad::testing::randomGraph(seed);
+        ad::core::OrchestratorOptions options;
+        options.batch = 1 + static_cast<int>(seed % 2);
+        // Full SA search on a slice of the seeds (it dominates
+        // runtime); the even-partition ablation elsewhere still drives
+        // the screened trial loop in the orchestrator.
+        options.atomGen = seed % 10 == 0
+                              ? ad::core::AtomGenMode::Sa
+                              : ad::core::AtomGenMode::EvenPartition;
+
+        options.surrogate = false;
+        ad::engine::CachedCostModel::clearSharedStores();
+        const ad::core::Orchestrator unscreened(system, options);
+        const auto exact =
+            withThreads(1, [&] { return unscreened.run(graph); });
+
+        options.surrogate = true;
+        ad::engine::CachedCostModel::clearSharedStores();
+        const ad::core::Orchestrator screened(system, options);
+        const auto one =
+            withThreads(1, [&] { return screened.run(graph); });
+        const auto four =
+            withThreads(4, [&] { return screened.run(graph); });
+        EXPECT_TRUE(one.report.bitIdentical(four.report))
+            << "screened report differs across threads";
+
+        expectCleanExecution(*one.dag, one.schedule, system,
+                             one.report);
+
+        // Screened planning skips exact simulation of surrogate-ranked
+        // losers, so its plan may differ — but never by more than the
+        // pinned drift against the fully exact pipeline.
+        const double drift =
+            static_cast<double>(one.report.totalCycles) /
+            static_cast<double>(exact.report.totalCycles);
+        EXPECT_LE(drift, kMaxCycleDrift)
+            << "screened plan drifted: " << one.report.totalCycles
+            << " vs unscreened " << exact.report.totalCycles;
+    }
+}
+
 TEST(Fuzz, DttIsValidAuditedOptimalAndPersistsBitIdentical)
 {
     const auto system = smallSystem();

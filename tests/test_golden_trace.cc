@@ -71,6 +71,10 @@ renderArtifacts()
     system.meshY = 2;
     ad::core::OrchestratorOptions options;
     options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    // Goldens pin the fully exact pipeline: with screening off the
+    // planner's event sequence is contractually byte-identical with
+    // every artifact minted before surrogate screening existed.
+    options.surrogate = false;
 
     ad::obs::TraceRecorder trace;
     ad::obs::Instrumentation ins{&trace, nullptr};
@@ -90,6 +94,7 @@ renderDttArtifacts()
     system.meshY = 2;
     ad::core::OrchestratorOptions options;
     options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    options.surrogate = false;
 
     ad::obs::TraceRecorder trace;
     ad::obs::Instrumentation ins{&trace, nullptr};
@@ -156,6 +161,7 @@ TEST(GoldenTrace, ExplicitFullViewReproducesGoldenArtifacts)
     system.meshY = 2;
     ad::core::OrchestratorOptions options;
     options.atomGen = ad::core::AtomGenMode::EvenPartition;
+    options.surrogate = false;
     const ad::sim::MeshView full{0, 0, 2, 2, 2, 2, 1.0};
 
     ad::obs::TraceRecorder trace;
@@ -184,6 +190,31 @@ TEST(GoldenTrace, DttArtifactsAreByteIdenticalAcrossThreadCounts)
     const Artifacts four = renderDttArtifacts();
     EXPECT_EQ(one.json, four.json);
     EXPECT_EQ(one.csv, four.csv);
+}
+
+TEST(GoldenTrace, SurrogateScreenedDttStaysOnTheGoldenOptimum)
+{
+    // Screening changes which trials are simulated, never the DTT
+    // search itself: with the surrogate on, the golden net must still
+    // come out on an exact DTT schedule with the same makespan the
+    // goldens pin for the unscreened pipeline.
+    ad::sim::SystemConfig system;
+    system.meshX = 2;
+    system.meshY = 2;
+    ad::core::OrchestratorOptions options;
+    options.atomGen = ad::core::AtomGenMode::EvenPartition;
+
+    options.surrogate = false;
+    const ad::baselines::DttPlanner unscreened(system, options);
+    const auto exact = unscreened.plan(tinyTwoLayer());
+
+    options.surrogate = true;
+    const ad::baselines::DttPlanner screened(system, options);
+    const auto got = screened.plan(tinyTwoLayer());
+
+    EXPECT_EQ(got.schedule.mode, ad::core::SchedMode::Dtt);
+    EXPECT_EQ(got.report.totalCycles, exact.report.totalCycles);
+    EXPECT_TRUE(got.report.bitIdentical(exact.report));
 }
 
 } // namespace

@@ -1,0 +1,506 @@
+/**
+ * @file
+ * Tests for surrogate-screened planning (DESIGN.md Sec. 17): the fitted
+ * SurrogateCostModel's bounded error against the loop-counting
+ * ReferenceCostModel, its committed-weight determinism (two processes,
+ * bit-identical scores), the out-of-domain fallback, and the
+ * screen/confirm contract — every decision the surrogate screens is
+ * re-scored by the exact model before it can enter a plan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+#include "check/brute_force.hh"
+#include "check/surrogate_check.hh"
+#include "core/atom_generator.hh"
+#include "core/dtt_search.hh"
+#include "core/orchestrator.hh"
+#include "core/shape_catalog.hh"
+#include "engine/cached_cost_model.hh"
+#include "engine/surrogate_cost_model.hh"
+#include "engine/surrogate_weights.hh"
+#include "models/models.hh"
+#include "serve/plan_cache.hh"
+#include "testing_support/random_graph.hh"
+
+namespace ad {
+namespace {
+
+using engine::DataflowKind;
+using engine::EngineConfig;
+using engine::SurrogateCostModel;
+using engine::SurrogateSegment;
+
+EngineConfig
+defaultConfig()
+{
+    return EngineConfig{};
+}
+
+engine::AtomWorkload
+convAtom(int h, int w, int ci, int co, int k = 3)
+{
+    engine::AtomWorkload a;
+    a.type = graph::OpType::Conv;
+    a.h = h;
+    a.w = w;
+    a.ci = ci;
+    a.co = co;
+    a.window = {k, k, 1, 1, k / 2, k / 2};
+    return a;
+}
+
+engine::AtomWorkload
+fcAtom(int ci, int co)
+{
+    engine::AtomWorkload a;
+    a.type = graph::OpType::FullyConnected;
+    a.h = 1;
+    a.w = 1;
+    a.ci = ci;
+    a.co = co;
+    a.window = {1, 1, 1, 1, 0, 0};
+    return a;
+}
+
+engine::AtomWorkload
+poolAtom(int h, int w, int c, int k = 2)
+{
+    engine::AtomWorkload a;
+    a.type = graph::OpType::Pool;
+    a.h = h;
+    a.w = w;
+    a.ci = c;
+    a.co = c;
+    a.window = {k, k, k, k, 0, 0};
+    return a;
+}
+
+double
+relError(Cycles got, Cycles want)
+{
+    return std::abs(static_cast<double>(got) -
+                    static_cast<double>(want)) /
+           std::max(1.0, static_cast<double>(want));
+}
+
+// ---------------------------------------------------------------------
+// Segments and features.
+
+TEST(SurrogateSegments, MacOpsSplitByMappingFamily)
+{
+    SurrogateSegment seg;
+    ASSERT_TRUE(surrogateSegmentFor(graph::OpType::Conv,
+                                    DataflowKind::KcPartition, &seg));
+    EXPECT_EQ(seg, SurrogateSegment::ConvKc);
+    ASSERT_TRUE(surrogateSegmentFor(graph::OpType::Conv,
+                                    DataflowKind::YxPartition, &seg));
+    EXPECT_EQ(seg, SurrogateSegment::ConvYx);
+    ASSERT_TRUE(surrogateSegmentFor(graph::OpType::DepthwiseConv,
+                                    DataflowKind::KcPartition, &seg));
+    EXPECT_EQ(seg, SurrogateSegment::DepthwiseKc);
+    ASSERT_TRUE(surrogateSegmentFor(graph::OpType::FullyConnected,
+                                    DataflowKind::YxPartition, &seg));
+    EXPECT_EQ(seg, SurrogateSegment::FcYx);
+}
+
+TEST(SurrogateSegments, VectorOpsIgnoreFamily)
+{
+    SurrogateSegment kc;
+    SurrogateSegment yx;
+    ASSERT_TRUE(surrogateSegmentFor(graph::OpType::Pool,
+                                    DataflowKind::KcPartition, &kc));
+    ASSERT_TRUE(surrogateSegmentFor(graph::OpType::Pool,
+                                    DataflowKind::YxPartition, &yx));
+    EXPECT_EQ(kc, SurrogateSegment::PoolVector);
+    EXPECT_EQ(yx, SurrogateSegment::PoolVector);
+    ASSERT_TRUE(surrogateSegmentFor(graph::OpType::Eltwise,
+                                    DataflowKind::KcPartition, &kc));
+    EXPECT_EQ(kc, SurrogateSegment::EltwiseVector);
+}
+
+TEST(SurrogateSegments, DataMovementOpsHaveNoSegment)
+{
+    SurrogateSegment seg;
+    EXPECT_FALSE(surrogateSegmentFor(graph::OpType::Input,
+                                     DataflowKind::KcPartition, &seg));
+    EXPECT_FALSE(surrogateSegmentFor(graph::OpType::Concat,
+                                     DataflowKind::KcPartition, &seg));
+}
+
+TEST(SurrogateFeatures, BiasTermAndFiniteValues)
+{
+    const auto f = engine::surrogateFeatures(
+        convAtom(56, 56, 64, 64), defaultConfig(),
+        SurrogateSegment::ConvKc);
+    EXPECT_DOUBLE_EQ(f.values[0], 1.0);
+    for (const double v : f.values)
+        EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(SurrogateFeatures, MonotoneInWorkloadSize)
+{
+    // Growing the tile must not shrink any log-transformed size term.
+    const auto small = engine::surrogateFeatures(
+        convAtom(14, 14, 32, 32), defaultConfig(),
+        SurrogateSegment::ConvKc);
+    const auto big = engine::surrogateFeatures(
+        convAtom(56, 56, 256, 256), defaultConfig(),
+        SurrogateSegment::ConvKc);
+    for (std::size_t i = 1; i < small.values.size(); ++i)
+        EXPECT_GE(big.values[i], small.values[i]) << "feature " << i;
+}
+
+// ---------------------------------------------------------------------
+// Committed-weight header contract.
+
+TEST(SurrogateWeights, CommittedHeaderContractPinned)
+{
+    namespace w = engine::surrogate_weights;
+    EXPECT_EQ(w::kSegments, engine::kSurrogateSegmentCount);
+    EXPECT_EQ(w::kFeatures, engine::kSurrogateFeatureCount);
+    EXPECT_GE(w::kTrainingPointsPerSegment, 500);
+    EXPECT_LT(w::kTrainingMaxRelError,
+              check::kSurrogateErrorTolerance);
+    for (int s = 0; s < w::kSegments; ++s) {
+        for (int f = 0; f < w::kFeatures; ++f) {
+            EXPECT_TRUE(std::isfinite(w::kWeights[s][f]));
+            // An exercised feature dimension has min <= max; unused
+            // dimensions keep the sentinel (min > max) that forces the
+            // domain guard to reject nonzero values.
+            if (w::kFeatureMin[s][f] <= w::kFeatureMax[s][f]) {
+                EXPECT_TRUE(std::isfinite(w::kFeatureMin[s][f]));
+                EXPECT_TRUE(std::isfinite(w::kFeatureMax[s][f]));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fitted accuracy against the exact/reference models.
+
+TEST(SurrogateAccuracy, TypicalAtomsWithinToleranceBothDataflows)
+{
+    for (const auto kind :
+         {DataflowKind::KcPartition, DataflowKind::YxPartition,
+          DataflowKind::Flexible}) {
+        const engine::CostModel exact(defaultConfig(), kind);
+        const SurrogateCostModel surrogate(defaultConfig(), kind);
+        for (const auto &atom :
+             {convAtom(56, 56, 64, 64), convAtom(14, 14, 256, 512),
+              fcAtom(2048, 1000), poolAtom(28, 28, 128)}) {
+            EXPECT_LE(relError(surrogate.cycles(atom),
+                               exact.cycles(atom)),
+                      check::kSurrogateErrorTolerance)
+                << engine::dataflowName(kind);
+        }
+    }
+}
+
+TEST(SurrogateAccuracy, DefaultSweepMeetsPointAndErrorGates)
+{
+    const auto report = check::sweepSurrogateError(defaultConfig());
+    EXPECT_GE(report.points, 600);
+    EXPECT_GE(report.fitted * 2, report.points);
+    EXPECT_LE(report.maxRelError, check::kSurrogateErrorTolerance);
+    EXPECT_LE(report.meanRelError, report.maxRelError);
+}
+
+TEST(SurrogateAccuracy, AssertSurrogateErrorPasses)
+{
+    const auto report = check::assertSurrogateError();
+    EXPECT_GE(report.points, 600);
+}
+
+TEST(SurrogateAccuracy, AlternateEngineGeometrySweepBounded)
+{
+    EngineConfig cfg;
+    cfg.peRows = 32;
+    cfg.peCols = 32;
+    cfg.vectorLanes = 32;
+    const auto report = check::sweepSurrogateError(cfg);
+    EXPECT_GE(report.fitted * 2, report.points);
+    EXPECT_LE(report.maxRelError, check::kSurrogateErrorTolerance);
+}
+
+TEST(SurrogateAccuracy, SweepDeterministicForFixedSeed)
+{
+    const auto a = check::sweepSurrogateError(defaultConfig());
+    const auto b = check::sweepSurrogateError(defaultConfig());
+    EXPECT_EQ(a.points, b.points);
+    EXPECT_EQ(a.fitted, b.fitted);
+    EXPECT_EQ(a.fallbacks, b.fallbacks);
+    EXPECT_DOUBLE_EQ(a.maxRelError, b.maxRelError);
+    EXPECT_DOUBLE_EQ(a.meanRelError, b.meanRelError);
+    EXPECT_EQ(a.worst, b.worst);
+}
+
+// ---------------------------------------------------------------------
+// Fallback and counters.
+
+TEST(SurrogateModel, OutOfDomainFallsBackToExact)
+{
+    const engine::CostModel exact(defaultConfig(),
+                                  DataflowKind::KcPartition);
+    const SurrogateCostModel surrogate(defaultConfig(),
+                                       DataflowKind::KcPartition);
+    // Far past every training range: the fit never saw h near 1<<16.
+    const auto atom = convAtom(1 << 16, 4, 8, 8);
+    Cycles fitted = 0;
+    EXPECT_FALSE(surrogate.fittedCycles(atom, &fitted));
+    EXPECT_EQ(surrogate.cycles(atom), exact.cycles(atom));
+    EXPECT_GE(surrogate.fallbackEvals(), 1u);
+}
+
+TEST(SurrogateModel, CountersSplitFittedAndFallbackEvals)
+{
+    const SurrogateCostModel surrogate(defaultConfig(),
+                                       DataflowKind::KcPartition);
+    EXPECT_EQ(surrogate.fittedEvals(), 0u);
+    EXPECT_EQ(surrogate.fallbackEvals(), 0u);
+    (void)surrogate.cycles(convAtom(56, 56, 64, 64));
+    EXPECT_EQ(surrogate.fittedEvals(), 1u);
+    EXPECT_EQ(surrogate.fallbackEvals(), 0u);
+    (void)surrogate.cycles(convAtom(1 << 16, 4, 8, 8));
+    EXPECT_EQ(surrogate.fittedEvals(), 1u);
+    EXPECT_EQ(surrogate.fallbackEvals(), 1u);
+}
+
+TEST(SurrogateModel, EvaluateKeepsExactTrafficAndOverheads)
+{
+    const engine::CostModel exact(defaultConfig(),
+                                  DataflowKind::KcPartition);
+    const SurrogateCostModel surrogate(defaultConfig(),
+                                       DataflowKind::KcPartition);
+    const auto atom = convAtom(28, 28, 128, 128);
+    const auto e = exact.evaluate(atom);
+    const auto s = surrogate.evaluate(atom);
+    // Traffic, MACs, and energy accounting are exact by construction.
+    EXPECT_EQ(s.macs, e.macs);
+    EXPECT_EQ(s.ifmapBytes, e.ifmapBytes);
+    EXPECT_EQ(s.weightBytes, e.weightBytes);
+    EXPECT_EQ(s.ofmapBytes, e.ofmapBytes);
+    EXPECT_DOUBLE_EQ(s.energyPj, e.energyPj);
+    // Fill/drain + configuration overhead is structural, not fitted.
+    EXPECT_EQ(s.cycles - s.computeCycles, e.cycles - e.computeCycles);
+    EXPECT_EQ(s.cycles, surrogate.cycles(atom));
+}
+
+TEST(SurrogateModel, UtilizationConsistentWithPredictedCycles)
+{
+    const SurrogateCostModel surrogate(defaultConfig(),
+                                       DataflowKind::KcPartition);
+    const auto atom = convAtom(28, 28, 64, 128);
+    const double util = surrogate.utilization(atom);
+    const double expected =
+        static_cast<double>(atom.macs()) /
+        (static_cast<double>(surrogate.cycles(atom)) *
+         defaultConfig().pes());
+    EXPECT_NEAR(util, expected, 1e-12);
+    EXPECT_DOUBLE_EQ(surrogate.utilization(poolAtom(8, 8, 32)), 0.0);
+}
+
+// Committed constants mean two *processes* must produce bit-identical
+// scores — the property that keeps screened plans reproducible across
+// replicas. A child re-scores the same atoms and ships raw bytes back.
+TEST(SurrogateModel, TwoProcessScoresBitIdentical)
+{
+    const std::vector<engine::AtomWorkload> atoms = {
+        convAtom(56, 56, 64, 64),   convAtom(7, 7, 512, 512),
+        fcAtom(4096, 1000),         poolAtom(28, 28, 128),
+        convAtom(112, 112, 3, 64, 7)};
+    const auto score = [&atoms]() {
+        const SurrogateCostModel surrogate(
+            EngineConfig{}, DataflowKind::KcPartition);
+        std::vector<Cycles> out;
+        out.reserve(atoms.size());
+        for (const auto &a : atoms)
+            out.push_back(surrogate.cycles(a));
+        return out;
+    };
+    const std::vector<Cycles> mine = score();
+    const std::size_t bytes = mine.size() * sizeof(Cycles);
+
+    int fds[2];
+    ASSERT_EQ(pipe(fds), 0);
+    const pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: recompute from scratch and write the raw bytes.
+        close(fds[0]);
+        const std::vector<Cycles> theirs = score();
+        ssize_t unused =
+            write(fds[1], theirs.data(), bytes);
+        (void)unused;
+        close(fds[1]);
+        _exit(0);
+    }
+    close(fds[1]);
+    std::vector<Cycles> theirs(mine.size(), 0);
+    std::size_t got = 0;
+    while (got < bytes) {
+        const ssize_t n =
+            read(fds[0], reinterpret_cast<char *>(theirs.data()) + got,
+                 bytes - got);
+        ASSERT_GT(n, 0);
+        got += static_cast<std::size_t>(n);
+    }
+    close(fds[0]);
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+    EXPECT_EQ(mine, theirs);
+}
+
+// ---------------------------------------------------------------------
+// Screen/confirm contract in the SA search.
+
+TEST(Screening, CatalogScreenedFlagAndExactMemo)
+{
+    const auto g = models::tinyBranchy();
+    const engine::CostModel exact(defaultConfig(),
+                                  DataflowKind::KcPartition);
+    const SurrogateCostModel surrogate(defaultConfig(),
+                                       DataflowKind::KcPartition);
+    const core::ShapeCatalog unscreened(g, exact);
+    EXPECT_FALSE(unscreened.screened());
+
+    const core::ShapeCatalog screened(g, surrogate, {}, &exact);
+    EXPECT_TRUE(screened.screened());
+    for (const auto &l : g.layers()) {
+        const auto &cands = screened.candidatesFor(l.id);
+        for (std::size_t i = 0; i < cands.size(); ++i) {
+            const auto workload =
+                core::ShapeCatalog::workloadFor(l, cands[i].shape);
+            // Ground truth comes from the exact model, regardless of
+            // what the surrogate priced the candidate at.
+            EXPECT_EQ(screened.exactCycles(l.id, i),
+                      exact.cycles(workload));
+        }
+    }
+}
+
+TEST(Screening, SaRescoresEveryAcceptedMoveExactly)
+{
+    const auto g = models::tinyLinear(64);
+    const engine::CostModel exact(defaultConfig(),
+                                  DataflowKind::KcPartition);
+    const SurrogateCostModel surrogate(defaultConfig(),
+                                       DataflowKind::KcPartition);
+    const core::ShapeCatalog catalog(g, surrogate, {}, &exact);
+    const core::SaAtomGenerator generator{core::SaOptions{}};
+    const auto result = generator.generate(catalog);
+    EXPECT_TRUE(result.screened);
+    // One exact re-score for the initial state plus one per move that
+    // survived the surrogate screen: accepted moves can never enter
+    // the plan on surrogate numbers alone.
+    EXPECT_GE(result.exactRescores,
+              result.acceptedMoves + result.confirmRejects + 1);
+    EXPECT_GT(result.exactRescores, 0);
+}
+
+TEST(Screening, UnscreenedSaReportsNoScreeningCounters)
+{
+    const auto g = models::tinyLinear(64);
+    const engine::CostModel exact(defaultConfig(),
+                                  DataflowKind::KcPartition);
+    const core::ShapeCatalog catalog(g, exact);
+    const core::SaAtomGenerator generator{core::SaOptions{}};
+    const auto result = generator.generate(catalog);
+    EXPECT_FALSE(result.screened);
+    EXPECT_EQ(result.exactRescores, 0);
+    EXPECT_EQ(result.screenRejects, 0);
+    EXPECT_EQ(result.confirmRejects, 0);
+}
+
+TEST(Screening, OnAndOffPlansBothDeterministic)
+{
+    const auto g = models::tinyBranchy();
+    const sim::SystemConfig system;
+    for (const bool surrogate : {false, true}) {
+        core::OrchestratorOptions options;
+        options.surrogate = surrogate;
+        const core::Orchestrator orch(system, options);
+        const auto a = orch.run(g);
+        const auto b = orch.run(g);
+        EXPECT_TRUE(a.report.bitIdentical(b.report))
+            << "surrogate=" << surrogate;
+    }
+}
+
+TEST(Screening, ScreenedPlanWithinPinnedToleranceOfUnscreened)
+{
+    const sim::SystemConfig system;
+    for (const auto *name : {"tiny_linear", "tiny_branchy"}) {
+        const auto g = models::buildByName(name);
+        Cycles cycles[2] = {0, 0};
+        for (const bool surrogate : {false, true}) {
+            engine::CachedCostModel::clearSharedStores();
+            core::OrchestratorOptions options;
+            options.surrogate = surrogate;
+            const core::Orchestrator orch(system, options);
+            cycles[surrogate] = orch.run(g).report.totalCycles;
+        }
+        // Same pinned tolerance the bench_serve surrogate cell FATALs
+        // on: screened plans trade at most 10% cycles for plan speed.
+        EXPECT_LE(cycles[1], cycles[0] + cycles[0] / 10) << name;
+    }
+}
+
+TEST(Screening, PlanKeyCarriesMarkerOnlyWhenOn)
+{
+    const auto g = models::tinyLinear(32);
+    const sim::SystemConfig system;
+    core::OrchestratorOptions options;
+    options.surrogate = false;
+    const auto off = serve::makePlanKey("AD", g, system, options, {});
+    options.surrogate = true;
+    const auto on = serve::makePlanKey("AD", g, system, options, {});
+    EXPECT_EQ(off.text.find("surrogate"), std::string::npos);
+    EXPECT_NE(on.text.find(" surrogate=1"), std::string::npos);
+    EXPECT_NE(off.text, on.text);
+}
+
+// ---------------------------------------------------------------------
+// The DTT exact search still matches the exhaustive oracle when its
+// per-atom cycles come from the surrogate: screening changes where
+// cycle numbers come from, never the optimality machinery downstream.
+
+TEST(SurrogateOracle, DttMatchesBruteForceOnSurrogateCycles)
+{
+    const SurrogateCostModel surrogate(defaultConfig(),
+                                       DataflowKind::KcPartition);
+    std::size_t tested = 0;
+    for (std::uint64_t seed = 0; seed < 120 && tested < 8; ++seed) {
+        const auto random = testing::randomAtomicDag(seed);
+        if (random.dag->size() > 10)
+            continue;
+        ++tested;
+        std::vector<Cycles> cycles(random.dag->size());
+        for (std::size_t i = 0; i < cycles.size(); ++i) {
+            cycles[i] = surrogate.cycles(
+                random.dag->workload(static_cast<core::AtomId>(i)));
+        }
+        core::DttOptions options;
+        options.engines = 2;
+        const auto found =
+            core::dttSearch(*random.dag, cycles, options);
+        ASSERT_TRUE(found.has_value()) << "seed=" << seed;
+        const auto oracle =
+            check::bruteForceSchedule(*random.dag, cycles, 2);
+        EXPECT_EQ(found->makespan, oracle.optimalMakespan)
+            << "seed=" << seed;
+    }
+    EXPECT_GE(tested, 4u);
+}
+
+} // namespace
+} // namespace ad

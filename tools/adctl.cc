@@ -111,6 +111,9 @@ usageText()
           "  --csv FILE       trace: also write the CSV timeline\n"
           "  --schedule FILE  trace: also write the schedule CSV\n"
           "  --seed S         validate/serve: trace seed\n"
+          "  --surrogate V    on | off: surrogate-screened planning "
+          "(default on; off reproduces the unscreened pipeline "
+          "bit-for-bit)\n"
           "  --no-reuse       disable distributed-buffer reuse\n"
           "\nserve options:\n"
           "  --arrivals R     mean arrival rate, requests/s (default "
@@ -361,6 +364,17 @@ orchestratorFrom(const Args &args)
     else
         ad::fatal("unknown --sched '", sched, "'");
     options.onChipReuse = !args.noReuse;
+    // Strict on|off: anything else is a usage error (exit 2), never a
+    // silent default.
+    const std::string surrogate = option(args, "surrogate", "on");
+    if (surrogate == "on")
+        options.surrogate = true;
+    else if (surrogate == "off")
+        options.surrogate = false;
+    else
+        throw UsageError("option '--surrogate' expects 'on' or 'off', "
+                         "got '" +
+                         surrogate + "'");
     return options;
 }
 

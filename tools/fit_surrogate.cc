@@ -1,0 +1,341 @@
+/**
+ * @file
+ * Offline fitting tool for engine::SurrogateCostModel (DESIGN.md
+ * Sec. 17): sweeps randomized (workload, engine config) points per
+ * fitted segment, evaluates the exact analytical CostModel as the
+ * training oracle, solves a ridge regression in log space, and emits
+ * src/engine/surrogate_weights.hh — the committed constants the
+ * runtime evaluator loads. Fitting never happens at runtime; this tool
+ * is the only place weights are produced. Regenerate via
+ * scripts/regen_surrogate.sh and commit the diff.
+ *
+ * Usage: fit_surrogate [out-header]   (default src/engine/surrogate_weights.hh)
+ */
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/cost_model.hh"
+#include "engine/engine_config.hh"
+#include "engine/surrogate_cost_model.hh"
+#include "util/random.hh"
+
+namespace {
+
+using ad::Cycles;
+using ad::Rng;
+using ad::engine::AtomWorkload;
+using ad::engine::CostModel;
+using ad::engine::DataflowKind;
+using ad::engine::EngineConfig;
+using ad::engine::SurrogateFeatures;
+using ad::engine::SurrogateSegment;
+using ad::graph::OpType;
+
+constexpr std::size_t kFeatures =
+    static_cast<std::size_t>(ad::engine::kSurrogateFeatureCount);
+constexpr std::size_t kSegments =
+    static_cast<std::size_t>(ad::engine::kSurrogateSegmentCount);
+constexpr int kPointsPerSegment = 3000;
+constexpr std::uint64_t kSeed = 0xf175a11ULL;
+constexpr double kRidgeLambda = 1e-7;
+
+constexpr const char *kSegmentNames[kSegments] = {
+    "ConvKc", "ConvYx",      "DepthwiseKc", "DepthwiseYx",
+    "FcKc",   "FcYx",        "PoolVector",  "EltwiseVector",
+};
+
+/** Log-uniform integer draw in [lo, hi]. */
+int
+logUniform(Rng &rng, int lo, int hi)
+{
+    const double u = rng.uniform(std::log(static_cast<double>(lo)),
+                                 std::log(static_cast<double>(hi) + 1.0));
+    const int v = static_cast<int>(std::exp(u));
+    return std::clamp(v, lo, hi);
+}
+
+/** Random engine config covering the deployable microarchitectures. */
+EngineConfig
+randomConfig(Rng &rng)
+{
+    static constexpr int kDims[] = {4, 8, 16, 32, 64};
+    static constexpr int kLanes[] = {8, 16, 32, 64};
+    EngineConfig cfg;
+    cfg.peRows = kDims[static_cast<std::size_t>(rng.uniformInt(0, 4))];
+    cfg.peCols = kDims[static_cast<std::size_t>(rng.uniformInt(0, 4))];
+    cfg.vectorLanes = kLanes[static_cast<std::size_t>(rng.uniformInt(0, 3))];
+    return cfg;
+}
+
+/** Random workload for @p segment; shape ranges define the fitted domain. */
+AtomWorkload
+randomWorkload(Rng &rng, SurrogateSegment segment)
+{
+    static constexpr int kKernels[] = {1, 3, 5, 7, 11};
+    AtomWorkload atom;
+    atom.h = logUniform(rng, 1, 512);
+    atom.w = logUniform(rng, 1, 512);
+    atom.ci = logUniform(rng, 1, 8192);
+    atom.co = logUniform(rng, 1, 8192);
+    const int k = kKernels[static_cast<std::size_t>(rng.uniformInt(0, 4))];
+    atom.window = {k, k, 1, 1, k / 2, k / 2};
+    switch (segment) {
+      case SurrogateSegment::ConvKc:
+      case SurrogateSegment::ConvYx:
+        atom.type = OpType::Conv;
+        break;
+      case SurrogateSegment::DepthwiseKc:
+      case SurrogateSegment::DepthwiseYx:
+        atom.type = OpType::DepthwiseConv;
+        atom.ci = atom.co;
+        break;
+      case SurrogateSegment::FcKc:
+      case SurrogateSegment::FcYx:
+        atom.type = OpType::FullyConnected;
+        atom.h = 1;
+        atom.w = 1;
+        atom.ci = logUniform(rng, 1, 32768);
+        atom.window = {1, 1, 1, 1, 0, 0};
+        break;
+      case SurrogateSegment::PoolVector: {
+        // Cover both windowed pooling and global pooling, whose window
+        // spans the whole input feature map (kh*kw up to 64*64).
+        atom.type = rng.chance(0.5) ? OpType::Pool : OpType::GlobalPool;
+        atom.ci = atom.co;
+        const int pk = atom.type == OpType::GlobalPool
+                           ? logUniform(rng, 2, 64)
+                           : std::max(2, k);
+        atom.window = {pk, pk, 1, 1, 0, 0};
+        break;
+      }
+      case SurrogateSegment::EltwiseVector:
+        atom.type = OpType::Eltwise;
+        atom.ci = atom.co;
+        atom.window = {1, 1, 1, 1, 0, 0};
+        break;
+    }
+    return atom;
+}
+
+/** Mapping family the exact training oracle runs for @p segment. */
+DataflowKind
+familyOf(SurrogateSegment segment)
+{
+    switch (segment) {
+      case SurrogateSegment::ConvYx:
+      case SurrogateSegment::DepthwiseYx:
+      case SurrogateSegment::FcYx:
+        return DataflowKind::YxPartition;
+      case SurrogateSegment::ConvKc:
+      case SurrogateSegment::DepthwiseKc:
+      case SurrogateSegment::FcKc:
+      case SurrogateSegment::PoolVector:
+      case SurrogateSegment::EltwiseVector:
+        return DataflowKind::KcPartition;
+    }
+    return DataflowKind::KcPartition;
+}
+
+/** Steady-state cycles: the exact model minus its structural overhead. */
+double
+steadyCycles(const CostModel &model, const AtomWorkload &atom)
+{
+    const EngineConfig &cfg = model.config();
+    Cycles overhead = cfg.configCycles;
+    if (ad::graph::isMacOp(atom.type)) {
+        overhead += static_cast<Cycles>(cfg.peRows) +
+                    static_cast<Cycles>(cfg.peCols);
+    }
+    const Cycles total = model.cycles(atom);
+    return static_cast<double>(total > overhead ? total - overhead : 1);
+}
+
+/** Solve (A + lambda*I) x = b by Gauss-Jordan with partial pivoting. */
+std::array<double, kFeatures>
+solveRidge(std::array<std::array<double, kFeatures>, kFeatures> a,
+           std::array<double, kFeatures> b, double lambda)
+{
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        a[i][i] += lambda;
+    for (std::size_t c = 0; c < kFeatures; ++c) {
+        std::size_t pivot = c;
+        for (std::size_t r = c + 1; r < kFeatures; ++r) {
+            if (std::fabs(a[r][c]) > std::fabs(a[pivot][c]))
+                pivot = r;
+        }
+        std::swap(a[c], a[pivot]);
+        std::swap(b[c], b[pivot]);
+        if (std::fabs(a[c][c]) < 1e-12)
+            continue; // degenerate column: its weight stays 0
+        for (std::size_t r = 0; r < kFeatures; ++r) {
+            if (r == c)
+                continue;
+            const double factor = a[r][c] / a[c][c];
+            for (std::size_t k = c; k < kFeatures; ++k)
+                a[r][k] -= factor * a[c][k];
+            b[r] -= factor * b[c];
+        }
+    }
+    std::array<double, kFeatures> x{};
+    for (std::size_t i = 0; i < kFeatures; ++i)
+        x[i] = std::fabs(a[i][i]) < 1e-12 ? 0.0 : b[i] / a[i][i];
+    return x;
+}
+
+struct SegmentFit
+{
+    std::array<double, kFeatures> weights{};
+    std::array<double, kFeatures> featMin{};
+    std::array<double, kFeatures> featMax{};
+    double maxRelError = 0.0;
+    double meanRelError = 0.0;
+};
+
+SegmentFit
+fitSegment(SurrogateSegment segment)
+{
+    // One private stream per segment: adding a segment never perturbs
+    // the training points (and hence the weights) of the others.
+    Rng rng(kSeed + static_cast<std::uint64_t>(segment) * 1000003ULL);
+
+    std::vector<SurrogateFeatures> feats;
+    std::vector<double> steadies;
+    feats.reserve(kPointsPerSegment);
+    steadies.reserve(kPointsPerSegment);
+
+    SegmentFit fit;
+    fit.featMin.fill(1e300);
+    fit.featMax.fill(-1e300);
+
+    std::array<std::array<double, kFeatures>, kFeatures> a{};
+    std::array<double, kFeatures> b{};
+    for (int p = 0; p < kPointsPerSegment; ++p) {
+        const EngineConfig cfg = randomConfig(rng);
+        const AtomWorkload atom = randomWorkload(rng, segment);
+        const CostModel exact(cfg, familyOf(segment));
+        const double steady = steadyCycles(exact, atom);
+        const double y = std::log(steady);
+        const SurrogateFeatures f =
+            ad::engine::surrogateFeatures(atom, cfg, segment);
+        for (std::size_t i = 0; i < kFeatures; ++i) {
+            fit.featMin[i] = std::min(fit.featMin[i], f.values[i]);
+            fit.featMax[i] = std::max(fit.featMax[i], f.values[i]);
+            for (std::size_t j = 0; j < kFeatures; ++j)
+                a[i][j] += f.values[i] * f.values[j];
+            b[i] += f.values[i] * y;
+        }
+        feats.push_back(f);
+        steadies.push_back(steady);
+    }
+
+    fit.weights = solveRidge(a, b, kRidgeLambda * kPointsPerSegment);
+
+    double err_sum = 0.0;
+    for (std::size_t p = 0; p < feats.size(); ++p) {
+        double pred = 0.0;
+        for (std::size_t i = 0; i < kFeatures; ++i)
+            pred += fit.weights[i] * feats[p].values[i];
+        const double rel =
+            std::fabs(std::exp(pred) - steadies[p]) / steadies[p];
+        fit.maxRelError = std::max(fit.maxRelError, rel);
+        err_sum += rel;
+    }
+    fit.meanRelError = err_sum / static_cast<double>(feats.size());
+    return fit;
+}
+
+std::string
+hexDouble(double v)
+{
+    std::ostringstream os;
+    os << std::hexfloat << v;
+    return os.str();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string out_path =
+        argc > 1 ? argv[1] : "src/engine/surrogate_weights.hh";
+
+    std::vector<SegmentFit> fits;
+    double max_rel = 0.0;
+    for (std::size_t s = 0; s < kSegments; ++s) {
+        fits.push_back(fitSegment(static_cast<SurrogateSegment>(s)));
+        max_rel = std::max(max_rel, fits.back().maxRelError);
+        std::cout << kSegmentNames[s] << ": max rel err "
+                  << fits.back().maxRelError << ", mean "
+                  << fits.back().meanRelError << "\n";
+    }
+
+    std::ostringstream os;
+    os << "#pragma once\n\n"
+       << "// Generated by tools/fit_surrogate — do not edit by hand.\n"
+       << "// Regenerate with scripts/regen_surrogate.sh and commit the "
+          "diff.\n"
+       << "//\n"
+       << "// Fitted against the exact analytical CostModel on "
+       << kPointsPerSegment << " randomized\n"
+       << "// (workload, engine config) points per segment, seed 0x"
+       << std::hex << kSeed << std::dec << ", ridge lambda "
+       << kRidgeLambda << ".\n"
+       << "// Constants are hexfloat so committed values round-trip "
+          "bit-exactly.\n\n"
+       << "namespace ad::engine::surrogate_weights {\n\n"
+       << "inline constexpr int kSegments = " << kSegments << ";\n"
+       << "inline constexpr int kFeatures = " << kFeatures << ";\n"
+       << "inline constexpr int kTrainingPointsPerSegment = "
+       << kPointsPerSegment << ";\n"
+       << "inline constexpr unsigned long long kTrainingSeed = 0x"
+       << std::hex << kSeed << std::dec << "ULL;\n"
+       << "inline constexpr double kRidgeLambda = "
+       << hexDouble(kRidgeLambda) << "; // " << kRidgeLambda << "\n"
+       << "inline constexpr double kTrainingMaxRelError = "
+       << hexDouble(max_rel) << "; // " << max_rel << "\n\n";
+
+    const auto emitTable = [&os, &fits](const char *name, auto select) {
+        os << "inline constexpr double " << name
+           << "[kSegments][kFeatures] = {\n";
+        for (std::size_t s = 0; s < kSegments; ++s) {
+            os << "    // " << kSegmentNames[s] << "\n    {";
+            const std::array<double, kFeatures> &row = select(fits[s]);
+            for (std::size_t i = 0; i < kFeatures; ++i)
+                os << (i == 0 ? "" : ",") << "\n        " << hexDouble(row[i]);
+            os << ",\n    },\n";
+        }
+        os << "};\n\n";
+    };
+    emitTable("kWeights", [](const SegmentFit &f)
+                              -> const std::array<double, kFeatures> & {
+        return f.weights;
+    });
+    emitTable("kFeatureMin", [](const SegmentFit &f)
+                                 -> const std::array<double, kFeatures> & {
+        return f.featMin;
+    });
+    emitTable("kFeatureMax", [](const SegmentFit &f)
+                                 -> const std::array<double, kFeatures> & {
+        return f.featMax;
+    });
+    os << "} // namespace ad::engine::surrogate_weights\n";
+
+    std::ofstream out(out_path);
+    if (!out) {
+        std::cerr << "cannot open '" << out_path << "'\n";
+        return 1;
+    }
+    out << os.str();
+    std::cout << "wrote " << out_path << " (max rel err " << max_rel
+              << ")\n";
+    return max_rel < 0.05 ? 0 : 1;
+}
